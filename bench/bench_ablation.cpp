@@ -1,0 +1,173 @@
+// Ablations of the paper's design choices (DESIGN.md §2, "ablation" row),
+// all on one mid-size ICCAD04-like circuit:
+//   A. macro grouping on/off           (Sec. II-A's complexity reduction)
+//   B. value-network evaluation vs random-rollout evaluation in MCTS
+//      (Sec. IV-B3's runtime reduction)  — measured via γ at equal budget
+//   C. PUCT exploration constant c sweep (Eq. 11; paper uses 1.05)
+//   D. γ (explorations per move) sweep   (quality/runtime trade)
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "mcts/mcts.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+#include "util/timer.hpp"
+
+using namespace mp;
+
+namespace {
+
+struct Prepared {
+  netlist::Design design;
+  place::FlowContext context;
+  std::unique_ptr<rl::PlacementEnv> env;
+  std::unique_ptr<rl::CoarseEvaluator> evaluator;
+  std::unique_ptr<rl::AgentNetwork> agent;
+  rl::TrainResult train_result;
+};
+
+Prepared prepare(bool grouping, int episodes) {
+  const bench::Budgets budgets = bench::budgets();
+  benchgen::BenchSpec spec =
+      bench::scale_macros(benchgen::iccad04_spec(4, bench::cell_scale()));
+  Prepared p;
+  p.design = benchgen::generate(spec);
+  place::FlowOptions flow;
+  flow.grid_dim = 16;
+  flow.initial_gp.max_iterations = 6;
+  if (!grouping) flow.cluster.nu = 1e12;  // every macro its own group
+  p.context = place::prepare_flow(p.design, flow);
+  p.env = std::make_unique<rl::PlacementEnv>(p.context.coarse,
+                                             p.context.clustering,
+                                             p.context.spec);
+  p.evaluator =
+      std::make_unique<rl::CoarseEvaluator>(p.context.coarse, p.context.spec);
+  rl::AgentConfig agent_config;
+  agent_config.grid_dim = 16;
+  agent_config.channels = budgets.channels;
+  agent_config.res_blocks = budgets.blocks;
+  p.agent = std::make_unique<rl::AgentNetwork>(agent_config);
+  rl::TrainOptions train;
+  train.episodes = episodes;
+  train.update_window = std::max(3, episodes / 4);
+  train.calibration_episodes = budgets.calibration;
+  p.train_result = rl::train_agent(*p.env, *p.evaluator, *p.agent, train);
+  return p;
+}
+
+double run_mcts(Prepared& p, int gamma, double c_puct, double* seconds,
+                mcts::LeafEvaluation leaf = mcts::LeafEvaluation::kPartialPlacement) {
+  mcts::MctsOptions options;
+  options.explorations_per_move = gamma;
+  options.c_puct = c_puct;
+  options.leaf_evaluation = leaf;
+  util::Timer timer;
+  mcts::MctsPlacer placer(*p.env, *p.evaluator, *p.agent,
+                          p.train_result.calibration.make_reward(0.75),
+                          options);
+  const mcts::MctsResult result = placer.run();
+  if (seconds != nullptr) *seconds = timer.seconds();
+  return result.wirelength;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Budgets budgets = bench::budgets();
+  std::printf("# Ablations on ibm06-like (episodes=%d gamma=%d)\n",
+              budgets.episodes, budgets.gamma);
+
+  // --- A: grouping on/off --------------------------------------------------
+  {
+    std::printf("\n## A. macro grouping (Sec. II-A)\n");
+    std::printf("%-12s  %8s  %10s  %12s  %12s\n", "variant", "groups",
+                "train_s", "mcts_s", "coarse_wl");
+    for (const bool grouping : {true, false}) {
+      util::Timer train_timer;
+      Prepared p = prepare(grouping, budgets.episodes);
+      const double train_seconds = train_timer.seconds();
+      double mcts_seconds = 0.0;
+      const double wl = run_mcts(p, budgets.gamma, 1.05, &mcts_seconds);
+      std::printf("%-12s  %8zu  %10.1f  %12.2f  %12.5g\n",
+                  grouping ? "grouped" : "per-macro",
+                  p.context.clustering.macro_groups.size(), train_seconds,
+                  mcts_seconds, wl);
+      std::fflush(stdout);
+    }
+  }
+
+  Prepared p = prepare(true, budgets.episodes);
+
+  // --- C: PUCT constant sweep ---------------------------------------------
+  {
+    std::printf("\n## C. PUCT constant c (Eq. 11; paper c=1.05)\n");
+    std::printf("%-8s  %12s\n", "c", "coarse_wl");
+    for (const double c : {0.1, 0.5, 1.05, 2.0, 5.0}) {
+      const double wl = run_mcts(p, budgets.gamma, c, nullptr);
+      std::printf("%-8.2f  %12.5g\n", c, wl);
+      std::fflush(stdout);
+    }
+  }
+
+  // --- D: gamma sweep -------------------------------------------------------
+  {
+    std::printf("\n## D. explorations per move (gamma)\n");
+    std::printf("%-8s  %12s  %10s\n", "gamma", "coarse_wl", "mcts_s");
+    for (const int gamma : {1, 4, 8, 16, 32}) {
+      double seconds = 0.0;
+      const double wl = run_mcts(p, gamma, 1.05, &seconds);
+      std::printf("%-8d  %12.5g  %10.2f\n", gamma, wl, seconds);
+      std::fflush(stdout);
+    }
+  }
+
+  // --- B: leaf-evaluation modes ---------------------------------------------
+  // The paper replaces random rollouts with value-network evaluation for
+  // runtime (Sec. IV-B3).  Compare the three modes at equal γ: the paper's
+  // value-net (fast; needs training), the QP completion estimate (the bench
+  // default at CPU budgets) and the traditional random rollout (slowest).
+  {
+    std::printf("\n## B. leaf evaluation mode (Sec. IV-B3), equal gamma\n");
+    std::printf("%-18s  %12s  %10s\n", "mode", "coarse_wl", "mcts_s");
+    const struct {
+      const char* name;
+      mcts::LeafEvaluation mode;
+    } modes[] = {
+        {"value-net", mcts::LeafEvaluation::kValueNetwork},
+        {"partial-qp", mcts::LeafEvaluation::kPartialPlacement},
+        {"random-rollout", mcts::LeafEvaluation::kRandomRollout},
+    };
+    for (const auto& m : modes) {
+      double seconds = 0.0;
+      const double wl = run_mcts(p, budgets.gamma, 1.05, &seconds, m.mode);
+      std::printf("%-18s  %12.5g  %10.2f\n", m.name, wl, seconds);
+      std::fflush(stdout);
+    }
+  }
+
+  // Per-call costs backing the paper's runtime argument.
+  {
+    std::printf("\n## B2. evaluation cost per call\n");
+    util::Timer timer;
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      std::vector<grid::CellCoord> anchors(
+          p.context.clustering.macro_groups.size(), {i % 16, (i / 2) % 16});
+      p.evaluator->evaluate(anchors);
+    }
+    const double eval_ms = timer.milliseconds() / reps;
+    timer.reset();
+    const std::vector<double> sp = p.env->placement_state();
+    const std::vector<double> avail(sp.size(), 1.0);
+    for (int i = 0; i < reps; ++i) {
+      p.agent->forward(sp, avail, 0, p.env->num_steps(), false);
+    }
+    const double nn_ms = timer.milliseconds() / reps;
+    std::printf("value-net call: %8.3f ms   full coarse placement: %8.3f ms "
+                "  ratio %.1fx\n",
+                nn_ms, eval_ms, eval_ms / std::max(1e-9, nn_ms));
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 5 reproduction: rewards achieved by MCTS guided by a *partially
+// trained* agent vs the RL result at the same training stage, for ibm01-like
+// and ibm06-like circuits.
+//
+// The paper checkpoints the agent every 35 training iterations; we snapshot
+// at evenly spaced checkpoints, and at each checkpoint measure
+//   rl_reward    — greedy rollout of the policy (the blue curve)
+//   mcts_reward  — MCTS guided by the same checkpoint (the red dashed curve)
+// Expected shape: mcts >= rl at every stage, and early-stage MCTS is already
+// close to the final RL reward.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "mcts/mcts.hpp"
+#include "nn/serialize.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+
+using namespace mp;
+
+namespace {
+
+void run_circuit(std::size_t preset_index) {
+  const bench::Budgets budgets = bench::budgets();
+  benchgen::BenchSpec spec = bench::scale_macros(
+      benchgen::iccad04_spec(preset_index, bench::cell_scale()));
+  const int episodes =
+      util::env_int("REPRO_FIG5_EPISODES", std::max(24, budgets.episodes * 2));
+  const int num_checkpoints = 4;
+  const int checkpoint_every = std::max(1, episodes / num_checkpoints);
+
+  std::printf("\n## %s-like (macros=%d, episodes=%d, checkpoint every %d)\n",
+              spec.name.c_str(), spec.movable_macros, episodes,
+              checkpoint_every);
+
+  netlist::Design design = benchgen::generate(spec);
+  place::FlowOptions flow;
+  flow.grid_dim = 16;
+  flow.initial_gp.max_iterations = 6;
+  place::FlowContext context = place::prepare_flow(design, flow);
+  rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
+  rl::CoarseEvaluator evaluator(context.coarse, context.spec);
+
+  rl::AgentConfig agent_config;
+  agent_config.grid_dim = 16;
+  agent_config.channels = budgets.channels;
+  agent_config.res_blocks = budgets.blocks;
+  rl::AgentNetwork agent(agent_config);
+
+  // Train, snapshotting parameters at checkpoints.
+  std::vector<std::pair<int, std::vector<nn::Tensor>>> checkpoints;
+  rl::TrainOptions options;
+  options.episodes = episodes;
+  options.update_window = std::min(30, std::max(3, episodes / 8));
+  options.calibration_episodes = budgets.calibration;
+  options.on_episode = [&](int episode, double, double) {
+    if ((episode + 1) % checkpoint_every == 0) {
+      checkpoints.emplace_back(episode + 1,
+                               nn::snapshot_parameters(agent.parameters()));
+    }
+  };
+  const rl::TrainResult train_result =
+      rl::train_agent(env, evaluator, agent, options);
+  const rl::RewardFn reward = train_result.calibration.make_reward(0.75);
+
+  std::printf("%10s  %12s  %12s  %12s  %12s\n", "episode", "rl_reward",
+              "mcts_reward", "rl_wl", "mcts_wl");
+  for (const auto& [episode, snapshot] : checkpoints) {
+    nn::restore_parameters(agent.parameters(), snapshot);
+    std::vector<grid::CellCoord> anchors;
+    const double rl_wl = rl::play_greedy_episode(env, evaluator, agent, anchors);
+
+    mcts::MctsOptions mcts_options;
+    mcts_options.explorations_per_move = budgets.gamma;
+    mcts_options.leaf_evaluation = bench::leaf_evaluation();
+    mcts::MctsPlacer placer(env, evaluator, agent, reward, mcts_options);
+    const mcts::MctsResult mcts_result = placer.run();
+
+    std::printf("%10d  %12.5f  %12.5f  %12.5g  %12.5g\n", episode,
+                reward(rl_wl), mcts_result.reward, rl_wl,
+                mcts_result.wirelength);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Fig. 5 — MCTS guided by partially trained agents vs RL\n");
+  run_circuit(0);  // ibm01
+  run_circuit(4);  // ibm06
+  return 0;
+}

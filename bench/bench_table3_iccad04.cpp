@@ -1,0 +1,76 @@
+// Table III reproduction: HPWL comparison on the 17 ICCAD04-like circuits
+// (ibm01-ibm18 minus ibm05) between
+//   CT-like      — RL-only placer (pre-trained policy, greedy rollout) [27]
+//   MaskPlace-like — wiremask greedy placer                            [19]
+//   RePlAce-like — analytical mixed-size placer                        [10]
+//   Ours         — MCTS guided by the pre-trained RL agent
+// plus the paper's normalized geometric-mean row ("Nor.", ours = 1).
+//
+// Circuits are synthesized at the published macro/cell/net counts scaled by
+// REPRO_MACRO_SCALE / REPRO_SCALE (see common.hpp); expected *shape*: ours
+// best, RL-only worst of the learned methods, analytical close to ours.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "place/analytic_placer.hpp"
+#include "place/rl_only_placer.hpp"
+#include "place/wiremask_placer.hpp"
+#include "util/timer.hpp"
+
+using namespace mp;
+
+int main() {
+  const int circuits = util::env_int(
+      "REPRO_TABLE3_CIRCUITS",
+      static_cast<int>(benchgen::iccad04_names().size()));
+  std::printf(
+      "# Table III — HPWL on ICCAD04-like circuits (macro_scale=%.2f "
+      "cell_scale=%.3f)\n",
+      bench::macro_scale(), bench::cell_scale());
+  bench::print_header("circuit", {"CT-like", "MaskPl-like", "RePlAce-like",
+                                  "Ours", "ours_s"});
+
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < circuits; ++i) {
+    const benchgen::BenchSpec spec = bench::scale_macros(
+        benchgen::iccad04_spec(static_cast<std::size_t>(i),
+                               bench::cell_scale()));
+
+    // Each placer gets its own identical copy of the circuit.
+    netlist::Design d_rl = benchgen::generate(spec);
+    netlist::Design d_wm = benchgen::generate(spec);
+    netlist::Design d_an = benchgen::generate(spec);
+    netlist::Design d_ours = benchgen::generate(spec);
+
+    const place::MctsRlOptions options = bench::default_flow_options();
+
+    const place::RlOnlyResult rl = place::rl_only_place(d_rl, options);
+
+    place::WiremaskOptions wm_options;
+    wm_options.grid_dim = 32;
+    wm_options.initial_gp.max_iterations = 6;
+    wm_options.final_gp.max_iterations = 8;
+    const place::WiremaskResult wm = place::wiremask_place(d_wm, wm_options);
+
+    place::AnalyticOptions an_options;
+    an_options.mixed_gp.max_iterations = 12;
+    an_options.final_gp.max_iterations = 8;
+    const place::AnalyticResult an = place::analytic_place(d_an, an_options);
+
+    util::Timer ours_timer;
+    const place::MctsRlResult ours = place::mcts_rl_place(d_ours, options);
+
+    rows.push_back({rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl});
+    bench::print_row(spec.name,
+                     {rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl,
+                      ours_timer.seconds()});
+    std::fflush(stdout);
+  }
+
+  // Normalized row: geometric mean of (method / ours), paper's bottom row.
+  std::vector<double> nor = bench::normalized_row(rows, /*reference=*/3);
+  nor.push_back(0.0);
+  bench::print_row("Nor.", nor);
+  return 0;
+}

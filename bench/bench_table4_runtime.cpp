@@ -1,0 +1,66 @@
+// Table IV reproduction: runtime of the MCTS placement-optimization stage
+// per ICCAD04-like benchmark.  The paper trains agents to convergence first
+// (3-10 h GPU) and reports the MCTS stage runtime only; we train briefly
+// (the MCTS runtime does not depend on training quality) and time the MCTS
+// stage.  Expected shape: runtime grows with the number of macro groups.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "mcts/mcts.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+#include "util/timer.hpp"
+
+using namespace mp;
+
+int main() {
+  const bench::Budgets budgets = bench::budgets();
+  std::printf(
+      "# Table IV — MCTS stage runtime per circuit (gamma=%d, macro_scale=%.2f)\n",
+      budgets.gamma, bench::macro_scale());
+  std::printf("%-8s  %8s  %8s  %12s  %14s  %14s\n", "circuit", "macros",
+              "groups", "mcts_sec", "nn_evals", "terminal_evals");
+
+  const int circuits = util::env_int(
+      "REPRO_TABLE4_CIRCUITS",
+      static_cast<int>(benchgen::iccad04_names().size()));
+  for (int i = 0; i < circuits; ++i) {
+    const benchgen::BenchSpec spec = bench::scale_macros(
+        benchgen::iccad04_spec(static_cast<std::size_t>(i),
+                               bench::cell_scale()));
+    netlist::Design design = benchgen::generate(spec);
+    place::FlowOptions flow;
+    flow.grid_dim = 16;
+    flow.initial_gp.max_iterations = 6;
+    place::FlowContext context = place::prepare_flow(design, flow);
+    rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
+    rl::CoarseEvaluator evaluator(context.coarse, context.spec);
+
+    rl::AgentConfig agent_config;
+    agent_config.grid_dim = 16;
+    agent_config.channels = budgets.channels;
+    agent_config.res_blocks = budgets.blocks;
+    rl::AgentNetwork agent(agent_config);
+    rl::TrainOptions train;
+    train.episodes = std::max(6, budgets.episodes / 2);
+    train.update_window = 3;
+    train.calibration_episodes = std::max(5, budgets.calibration / 2);
+    const rl::TrainResult tr = rl::train_agent(env, evaluator, agent, train);
+
+    mcts::MctsOptions mcts_options;
+    mcts_options.explorations_per_move = budgets.gamma;
+    mcts_options.leaf_evaluation = bench::leaf_evaluation();
+    util::Timer timer;
+    mcts::MctsPlacer placer(env, evaluator, agent,
+                            tr.calibration.make_reward(0.75), mcts_options);
+    const mcts::MctsResult result = placer.run();
+    std::printf("%-8s  %8d  %8zu  %12.2f  %14lld  %14lld\n",
+                spec.name.c_str(), spec.movable_macros,
+                context.clustering.macro_groups.size(), timer.seconds(),
+                result.nn_evaluations, result.terminal_evaluations);
+    std::fflush(stdout);
+  }
+  return 0;
+}

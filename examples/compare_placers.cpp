@@ -1,0 +1,76 @@
+// Head-to-head of every placer in the library on one ICCAD04-like circuit —
+// the Table III setting in miniature:
+//   RL-only (CT-style), wiremask greedy (MaskPlace-style), analytical
+//   mixed-size (RePlAce-style), simulated annealing (SE-style), and ours.
+//
+//   ./compare_placers [preset-index 0..16] [macro-count-override]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchgen/presets.hpp"
+#include "place/analytic_placer.hpp"
+#include "place/placer.hpp"
+#include "place/rl_only_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "place/wiremask_placer.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t preset = argc > 1
+      ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+      : 0;
+  mp::benchgen::BenchSpec spec = mp::benchgen::iccad04_spec(preset, 0.02);
+  spec.movable_macros = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  std::printf("circuit %s-like: %d macros, %d cells, %d nets\n",
+              spec.name.c_str(), spec.movable_macros,
+              static_cast<int>(spec.std_cells * spec.scale),
+              static_cast<int>(spec.nets * spec.scale));
+  std::printf("%-24s  %12s  %10s\n", "placer", "HPWL", "seconds");
+
+  const auto report = [](const char* name, double hpwl, double seconds) {
+    std::printf("%-24s  %12.5g  %10.1f\n", name, hpwl, seconds);
+    std::fflush(stdout);
+  };
+
+  mp::place::MctsRlOptions options;
+  options.agent.channels = 16;
+  options.agent.res_blocks = 2;
+  options.train.episodes = 16;
+  options.train.update_window = 4;
+  options.train.calibration_episodes = 8;
+  options.mcts.explorations_per_move = 10;
+
+  {
+    mp::netlist::Design d = mp::benchgen::generate(spec);
+    const auto r = mp::place::rl_only_place(d, options);
+    report("RL-only (CT-style)", r.hpwl, r.seconds);
+  }
+  {
+    mp::netlist::Design d = mp::benchgen::generate(spec);
+    mp::place::WiremaskOptions wm;
+    wm.grid_dim = 32;
+    mp::util::Timer t;
+    const auto r = mp::place::wiremask_place(d, wm);
+    report("wiremask (MaskPlace)", r.hpwl, t.seconds());
+  }
+  {
+    mp::netlist::Design d = mp::benchgen::generate(spec);
+    const auto r = mp::place::analytic_place(d);
+    report("analytical (RePlAce)", r.hpwl, r.seconds);
+  }
+  {
+    mp::netlist::Design d = mp::benchgen::generate(spec);
+    mp::place::SaOptions sa;
+    sa.iterations = 8000;
+    const auto r = mp::place::sa_place(d, sa);
+    report("annealing (SE-style)", r.hpwl, r.seconds);
+  }
+  {
+    mp::netlist::Design d = mp::benchgen::generate(spec);
+    const auto r = mp::place::mcts_rl_place(d, options);
+    report("MCTS+RL (ours)", r.hpwl, r.total_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Training-introspection example: pre-train an agent, watch the Eq. (9)
+// reward curve, snapshot/restore checkpoints, persist the agent to disk and
+// reload it — the API surface for users who want to manage their own
+// training schedules (the paper's "halt at any time" workflow, Sec. V).
+//
+//   ./train_inspect [episodes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchgen/generator.hpp"
+#include "nn/serialize.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  mp::benchgen::BenchSpec spec;
+  spec.movable_macros = 16;
+  spec.std_cells = 600;
+  spec.nets = 900;
+  spec.seed = 7;
+  mp::netlist::Design design = mp::benchgen::generate(spec);
+
+  mp::place::FlowOptions flow;
+  flow.grid_dim = 8;
+  mp::place::FlowContext context = mp::place::prepare_flow(design, flow);
+  std::printf("%zu macro groups, %zu cell groups\n",
+              context.clustering.macro_groups.size(),
+              context.clustering.cell_groups.size());
+
+  mp::rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
+  mp::rl::CoarseEvaluator evaluator(context.coarse, context.spec);
+
+  mp::rl::AgentConfig agent_config;
+  agent_config.grid_dim = flow.grid_dim;
+  agent_config.channels = 16;
+  agent_config.res_blocks = 2;
+  mp::rl::AgentNetwork agent(agent_config);
+  std::printf("agent: %zu parameters\n", agent.num_parameters());
+
+  // Checkpoint halfway through training.
+  std::vector<mp::nn::Tensor> halfway;
+  mp::rl::TrainOptions options;
+  options.episodes = episodes;
+  options.update_window = std::max(3, episodes / 6);
+  options.calibration_episodes = 10;
+  options.on_episode = [&](int episode, double reward, double wirelength) {
+    if (episode % 5 == 0) {
+      std::printf("  episode %3d  reward %7.4f  wirelength %.4g\n", episode,
+                  reward, wirelength);
+    }
+    if (episode + 1 == episodes / 2) {
+      halfway = mp::nn::snapshot_parameters(agent.parameters());
+    }
+  };
+  const mp::rl::TrainResult result =
+      mp::rl::train_agent(env, evaluator, agent, options);
+
+  std::printf("calibration: W in [%.4g, %.4g], mean %.4g\n",
+              result.calibration.wl_min, result.calibration.wl_max,
+              result.calibration.wl_mean);
+  std::printf("best sampled wirelength: %.4g\n", result.best_wirelength);
+
+  // Compare the final policy against the halfway checkpoint (greedy rollouts).
+  std::vector<mp::grid::CellCoord> anchors;
+  const double final_wl =
+      mp::rl::play_greedy_episode(env, evaluator, agent, anchors);
+  double halfway_wl = 0.0;
+  if (!halfway.empty()) {
+    const auto final_params = mp::nn::snapshot_parameters(agent.parameters());
+    mp::nn::restore_parameters(agent.parameters(), halfway);
+    halfway_wl = mp::rl::play_greedy_episode(env, evaluator, agent, anchors);
+    mp::nn::restore_parameters(agent.parameters(), final_params);
+  }
+  std::printf("greedy rollout: halfway checkpoint %.4g, final %.4g\n",
+              halfway_wl, final_wl);
+
+  // Persist and reload.
+  const std::string path = "train_inspect_agent.bin";
+  mp::nn::save_parameters(agent.parameters(), path);
+  mp::rl::AgentNetwork reloaded(agent_config);
+  mp::nn::load_parameters(reloaded.parameters(), path);
+  const double reloaded_wl =
+      mp::rl::play_greedy_episode(env, evaluator, reloaded, anchors);
+  std::printf("reloaded agent greedy rollout: %.4g (expect == final)\n",
+              reloaded_wl);
+  return 0;
+}

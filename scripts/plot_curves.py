@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Renders the Fig. 4 / Fig. 5 bench outputs as dependency-free SVG charts.
+
+Usage:
+    scripts/plot_curves.py results/bench_fig4_reward.txt fig4.svg
+    scripts/plot_curves.py results/bench_fig5_mcts_vs_rl.txt fig5.svg
+
+Fig. 4 files contain '## reward=<label>' blocks with
+'episode reward wirelength reward_ma10' rows; the chart plots the moving
+average per block.  Fig. 5 files contain '## <circuit>' blocks with
+'episode rl_reward mcts_reward ...' rows; the chart plots both curves per
+circuit.
+"""
+
+import sys
+
+PALETTE = ["#d55e00", "#0072b2", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"]
+
+
+def parse_blocks(path):
+    """Returns [(label, [row-of-floats, ...]), ...]."""
+    blocks = []
+    label = None
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("##"):
+                if label is not None and rows:
+                    blocks.append((label, rows))
+                label = line.lstrip("# ").strip()
+                rows = []
+                continue
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                rows.append([float(p) for p in parts])
+            except ValueError:
+                continue  # header row
+    if label is not None and rows:
+        blocks.append((label, rows))
+    return blocks
+
+
+def svg_chart(series, title, width=720, height=420, margin=60):
+    """series: [(label, [(x, y), ...]), ...] -> SVG string."""
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    if not xs:
+        raise SystemExit("no data parsed")
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    pad = (y1 - y0) * 0.08
+    y0, y1 = y0 - pad, y1 + pad
+
+    def px(x):
+        return margin + (x - x0) / (x1 - x0) * (width - 2 * margin)
+
+    def py(y):
+        return height - margin - (y - y0) / (y1 - y0) * (height - 2 * margin)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" '
+        f'font-size="15">{title}</text>',
+    ]
+    # Axes.
+    out.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="#333"/>')
+    out.append(
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}" stroke="#333"/>')
+    for i in range(5):
+        y = y0 + (y1 - y0) * i / 4
+        out.append(
+            f'<text x="{margin - 6}" y="{py(y) + 4}" text-anchor="end">'
+            f'{y:.3g}</text>')
+        out.append(
+            f'<line x1="{margin}" y1="{py(y)}" x2="{width - margin}" '
+            f'y2="{py(y)}" stroke="#ddd"/>')
+        x = x0 + (x1 - x0) * i / 4
+        out.append(
+            f'<text x="{px(x)}" y="{height - margin + 18}" '
+            f'text-anchor="middle">{x:.3g}</text>')
+    # Series.
+    for k, (label, pts) in enumerate(series):
+        color = PALETTE[k % len(PALETTE)]
+        path = " ".join(
+            f'{"M" if i == 0 else "L"}{px(x):.1f},{py(y):.1f}'
+            for i, (x, y) in enumerate(pts))
+        out.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                   f'stroke-width="1.8"/>')
+        ly = margin + 16 * k
+        out.append(f'<rect x="{width - margin - 170}" y="{ly - 9}" width="12" '
+                   f'height="12" fill="{color}"/>')
+        out.append(f'<text x="{width - margin - 152}" y="{ly + 2}">'
+                   f'{label}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    in_path, out_path = sys.argv[1], sys.argv[2]
+    blocks = parse_blocks(in_path)
+    series = []
+    for label, rows in blocks:
+        if rows and len(rows[0]) >= 4 and "reward=" in label:
+            # Fig. 4 block: plot the moving average (column 3).
+            series.append((label, [(r[0], r[3]) for r in rows]))
+        elif rows and len(rows[0]) >= 3:
+            # Fig. 5 block: plot rl and mcts rewards.
+            series.append((label + " rl", [(r[0], r[1]) for r in rows]))
+            series.append((label + " mcts", [(r[0], r[2]) for r in rows]))
+    with open(out_path, "w") as f:
+        f.write(svg_chart(series, in_path.split("/")[-1]))
+    print(f"wrote {out_path} ({len(series)} series)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Splits a combined `for b in build/bench/*; do $b; done` transcript
+# (bench_output.txt) into per-bench files under results/, keyed on each
+# binary's first header line.
+set -euo pipefail
+in=${1:-bench_output.txt}
+out=${2:-results}
+mkdir -p "$out"
+awk -v out="$out" '
+  /^# Ablations/        { f = out "/bench_ablation.txt" }
+  /^# Fig\. 4/          { f = out "/bench_fig4_reward.txt" }
+  /^# Fig\. 5/          { f = out "/bench_fig5_mcts_vs_rl.txt" }
+  /^# Table II /        { f = out "/bench_table2_industrial.txt" }
+  /^# Table III/        { f = out "/bench_table3_iccad04.txt" }
+  /^# Table IV/         { f = out "/bench_table4_runtime.txt" }
+  /^Running .*bench_micro/ { f = out "/bench_micro_kernels.txt" }
+  f { print > f }
+' "$in"
+ls -la "$out"

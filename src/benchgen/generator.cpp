@@ -1,0 +1,339 @@
+#include "benchgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mp::benchgen {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+using netlist::PinRef;
+
+namespace {
+
+struct Module {
+  std::string path;           // hierarchy name ("top/m2/s1")
+  geometry::Point home;       // locality center
+  double spread;              // scatter radius
+};
+
+// Builds a two-level module tree with homes on a jittered grid.
+std::vector<Module> build_modules(const geometry::Rect& region, int top_count,
+                                  int sub_count, bool hierarchy,
+                                  util::Rng& rng) {
+  std::vector<Module> modules;
+  const int grid = std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                                    static_cast<double>(top_count)))));
+  int made = 0;
+  for (int ty = 0; ty < grid && made < top_count; ++ty) {
+    for (int tx = 0; tx < grid && made < top_count; ++tx, ++made) {
+      const double cx =
+          region.x + region.w * (tx + 0.5 + rng.uniform(-0.15, 0.15)) / grid;
+      const double cy =
+          region.y + region.h * (ty + 0.5 + rng.uniform(-0.15, 0.15)) / grid;
+      for (int s = 0; s < sub_count; ++s) {
+        Module m;
+        m.path = hierarchy ? "top/m" + std::to_string(made) + "/s" +
+                                 std::to_string(s)
+                           : "";
+        const double jitter = region.w / grid * 0.2;
+        m.home = {cx + rng.uniform(-jitter, jitter),
+                  cy + rng.uniform(-jitter, jitter)};
+        m.spread = region.w / grid * 0.5;
+        modules.push_back(m);
+      }
+    }
+  }
+  return modules;
+}
+
+geometry::Point scatter(const Module& m, const geometry::Rect& region,
+                        util::Rng& rng) {
+  geometry::Point p{m.home.x + rng.normal(0.0, m.spread),
+                    m.home.y + rng.normal(0.0, m.spread)};
+  p.x = std::clamp(p.x, region.left(), region.right());
+  p.y = std::clamp(p.y, region.bottom(), region.top());
+  return p;
+}
+
+}  // namespace
+
+Design generate(const BenchSpec& spec) {
+  util::Rng rng(spec.seed);
+  const double scale = std::clamp(spec.scale, 1e-3, 1.0);
+  const int num_cells = std::max(1, static_cast<int>(spec.std_cells * scale));
+  const int num_nets = std::max(1, static_cast<int>(spec.nets * scale));
+  const int num_macros = spec.movable_macros;
+  const int num_preplaced = spec.preplaced_macros;
+  const int num_pads = spec.io_pads;
+
+  // --- Sizing ------------------------------------------------------------
+  // Std cells: fixed row height, variable width (units: µm-like).
+  const double row_height = 12.0;
+  std::vector<double> cell_widths(static_cast<std::size_t>(num_cells));
+  double cell_area = 0.0;
+  for (double& w : cell_widths) {
+    w = rng.uniform(6.0, 36.0);
+    cell_area += w * row_height;
+  }
+  // Macro area budget derives from the requested fraction.
+  const double total_macro_area =
+      cell_area * spec.macro_area_fraction / (1.0 - spec.macro_area_fraction);
+  const int all_macros = num_macros + num_preplaced;
+  std::vector<std::pair<double, double>> macro_dims;
+  if (all_macros > 0) {
+    // Lognormal-ish area mix normalized to the budget.
+    std::vector<double> weights(static_cast<std::size_t>(all_macros));
+    double weight_sum = 0.0;
+    for (double& w : weights) {
+      w = std::exp(rng.normal(0.0, 0.7));
+      weight_sum += w;
+    }
+    // Real macros dwarf std cells; keep every macro at least 8 cells big so
+    // area-based classification (Bookshelf readers, clustering) stays sharp.
+    const double min_macro_area =
+        8.0 * cell_area / std::max(1, num_cells);
+    for (int i = 0; i < all_macros; ++i) {
+      const double area = std::max(
+          min_macro_area,
+          total_macro_area * weights[static_cast<std::size_t>(i)] / weight_sum);
+      const double aspect = std::exp(rng.normal(0.0, 0.35));
+      const double w = std::sqrt(area * aspect);
+      const double h = area / w;
+      macro_dims.emplace_back(w, h);
+    }
+  }
+
+  // Region sizing uses the *actual* macro areas (the per-macro minimum can
+  // push the total above the requested fraction on tiny designs).
+  double actual_macro_area = 0.0;
+  for (const auto& [w, h] : macro_dims) actual_macro_area += w * h;
+  const double placeable_area = cell_area + actual_macro_area;
+  const double side = std::sqrt(placeable_area / spec.utilization);
+  const geometry::Rect region(0.0, 0.0, side, side);
+
+  Design design(spec.name, region);
+
+  // --- Modules -----------------------------------------------------------
+  const int top_modules = std::clamp(all_macros / 6 + 2, 2, 16);
+  const int sub_modules = 3;
+  const std::vector<Module> modules =
+      build_modules(region, top_modules, sub_modules, spec.hierarchy, rng);
+  const auto random_module = [&]() -> const Module& {
+    return modules[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(modules.size()) - 1))];
+  };
+
+  std::vector<NodeId> macro_ids, cell_ids, pad_ids;
+
+  // --- Preplaced macros: peripheral, fixed, non-overlapping ---------------
+  // Walk the four edges with a per-edge cursor; fall back to rejection
+  // sampling in the interior when the ring fills up.
+  {
+    const double margin = 1.0;
+    int edge = 0;
+    double cursor = margin;
+    std::vector<geometry::Rect> placed;
+    for (int i = 0; i < num_preplaced; ++i) {
+      const auto [w, h] = macro_dims[static_cast<std::size_t>(i)];
+      Node node;
+      node.name = "pmacro" + std::to_string(i);
+      node.kind = NodeKind::kMacro;
+      node.fixed = true;
+      node.width = w;
+      node.height = h;
+      node.hierarchy = spec.hierarchy ? random_module().path : "";
+
+      bool found = false;
+      for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+        const double extent = (edge % 2 == 0) ? w : h;
+        if (cursor + extent + margin > side) {
+          edge = (edge + 1) % 4;
+          cursor = margin;
+          continue;
+        }
+        geometry::Point p;
+        switch (edge) {
+          case 0: p = {cursor, margin}; break;                    // bottom
+          case 1: p = {side - w - margin, cursor}; break;         // right
+          case 2: p = {side - w - cursor, side - h - margin}; break;  // top
+          default: p = {margin, side - h - cursor}; break;        // left
+        }
+        p.x = std::clamp(p.x, 0.0, std::max(0.0, side - w));
+        p.y = std::clamp(p.y, 0.0, std::max(0.0, side - h));
+        const geometry::Rect candidate(p.x, p.y, w, h);
+        bool overlap = false;
+        for (const geometry::Rect& r : placed) overlap |= candidate.overlaps(r);
+        if (!overlap) {
+          node.position = p;
+          cursor += extent + margin;
+          found = true;
+        } else {
+          cursor += extent * 0.5 + margin;
+        }
+      }
+      while (!found) {  // interior rejection sampling (total area fits)
+        const geometry::Point p{rng.uniform(0.0, side - w),
+                                rng.uniform(0.0, side - h)};
+        const geometry::Rect candidate(p.x, p.y, w, h);
+        bool overlap = false;
+        for (const geometry::Rect& r : placed) overlap |= candidate.overlaps(r);
+        if (!overlap) {
+          node.position = p;
+          found = true;
+        }
+      }
+      placed.push_back(node.rect());
+      macro_ids.push_back(design.add_node(node));
+    }
+  }
+  // --- Movable macros ------------------------------------------------------
+  for (int i = 0; i < num_macros; ++i) {
+    const auto [w, h] = macro_dims[static_cast<std::size_t>(num_preplaced + i)];
+    const Module& m = random_module();
+    Node node;
+    node.name = "macro" + std::to_string(i);
+    node.kind = NodeKind::kMacro;
+    node.fixed = false;
+    node.width = w;
+    node.height = h;
+    node.hierarchy = m.path;
+    const geometry::Point c = scatter(m, region, rng);
+    node.position = {std::clamp(c.x - w / 2.0, 0.0, side - w),
+                     std::clamp(c.y - h / 2.0, 0.0, side - h)};
+    macro_ids.push_back(design.add_node(node));
+  }
+  // --- Std cells -----------------------------------------------------------
+  for (int i = 0; i < num_cells; ++i) {
+    const Module& m = random_module();
+    Node node;
+    node.name = "c" + std::to_string(i);
+    node.kind = NodeKind::kStdCell;
+    node.width = cell_widths[static_cast<std::size_t>(i)];
+    node.height = row_height;
+    node.hierarchy = m.path;
+    const geometry::Point c = scatter(m, region, rng);
+    node.position = {std::clamp(c.x - node.width / 2.0, 0.0, side - node.width),
+                     std::clamp(c.y - node.height / 2.0, 0.0, side - row_height)};
+    cell_ids.push_back(design.add_node(node));
+  }
+  // --- Pads on the boundary ring -------------------------------------------
+  for (int i = 0; i < num_pads; ++i) {
+    Node node;
+    node.name = "p" + std::to_string(i);
+    node.kind = NodeKind::kPad;
+    node.fixed = true;
+    node.width = 2.0;
+    node.height = 2.0;
+    const double t = static_cast<double>(i) / num_pads * 4.0;
+    const int edge = static_cast<int>(t);
+    const double along = (t - edge) * side;
+    switch (edge) {
+      case 0: node.position = {along, 0.0}; break;
+      case 1: node.position = {side - 2.0, along}; break;
+      case 2: node.position = {side - 2.0 - along, side - 2.0}; break;
+      default: node.position = {0.0, side - 2.0 - along}; break;
+    }
+    pad_ids.push_back(design.add_node(node));
+  }
+
+  // --- Locality index: nodes per module ------------------------------------
+  // Group placeable nodes by module for local net generation.
+  std::vector<std::vector<NodeId>> members(modules.size());
+  {
+    std::size_t module_index = 0;
+    // Assign by hashing positions back to nearest module home (cheap and
+    // deterministic).
+    const auto nearest_module = [&](const geometry::Point& p) {
+      std::size_t best = 0;
+      double best_d = 1e300;
+      for (std::size_t m = 0; m < modules.size(); ++m) {
+        const double d = geometry::euclidean(p, modules[m].home);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      return best;
+    };
+    (void)module_index;
+    for (NodeId id : cell_ids) {
+      members[nearest_module(design.node(id).center())].push_back(id);
+    }
+    for (NodeId id : macro_ids) {
+      members[nearest_module(design.node(id).center())].push_back(id);
+    }
+    for (auto& v : members) {
+      if (v.empty()) v.push_back(cell_ids[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cell_ids.size()) - 1))]);
+    }
+  }
+
+  // --- Nets -----------------------------------------------------------------
+  const auto random_pin = [&](NodeId id) {
+    const Node& node = design.node(id);
+    return PinRef{id, rng.uniform(0.0, node.width), rng.uniform(0.0, node.height)};
+  };
+  // Macro pin quota: make sure every macro is connected several times so the
+  // macro placement problem is meaningful.
+  int net_counter = 0;
+  const auto add_net = [&](Net&& net) {
+    if (net.pins.size() >= 2) {
+      net.name = "n" + std::to_string(net_counter++);
+      design.add_net(std::move(net));
+    }
+  };
+  for (NodeId macro : macro_ids) {
+    const int fanout = rng.uniform_int(3, 8);
+    for (int f = 0; f < fanout && net_counter < num_nets; ++f) {
+      Net net;
+      net.pins.push_back(random_pin(macro));
+      const std::size_t m = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(modules.size()) - 1));
+      const int degree = 1 + rng.uniform_int(1, 4);
+      for (int d = 0; d < degree; ++d) {
+        const auto& pool = rng.bernoulli(0.75)
+                               ? members[m]
+                               : members[static_cast<std::size_t>(rng.uniform_int(
+                                     0, static_cast<int>(members.size()) - 1))];
+        net.pins.push_back(random_pin(pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pool.size()) - 1))]));
+      }
+      add_net(std::move(net));
+    }
+  }
+  // Remaining nets: cell-to-cell with locality, occasional pad.
+  while (net_counter < num_nets) {
+    Net net;
+    const std::size_t m = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(members.size()) - 1));
+    const auto& pool = members[m];
+    // Geometric-ish degree: mostly 2-3 pins, a thin tail.
+    int degree = 2;
+    while (degree < 12 && rng.bernoulli(0.35)) ++degree;
+    for (int d = 0; d < degree; ++d) {
+      const bool local = rng.bernoulli(0.8);
+      const auto& src = local ? pool
+                              : members[static_cast<std::size_t>(rng.uniform_int(
+                                    0, static_cast<int>(members.size()) - 1))];
+      net.pins.push_back(random_pin(src[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(src.size()) - 1))]));
+    }
+    if (!pad_ids.empty() && rng.bernoulli(0.06)) {
+      net.pins.push_back(PinRef{pad_ids[static_cast<std::size_t>(rng.uniform_int(
+                                    0, static_cast<int>(pad_ids.size()) - 1))],
+                                1.0, 1.0});
+    }
+    add_net(std::move(net));
+  }
+
+  return design;
+}
+
+}  // namespace mp::benchgen

@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic synthetic circuit generator.  The original evaluation
+// circuits (ICCAD04 ibm01-18, the authors' industrial Cir1-8) are not
+// redistributable, so benches synthesize circuits matching the *published
+// statistics* (macro / std-cell / net / pad counts; hierarchy and preplaced
+// macros for the industrial set) with realistic structure:
+//   * a module tree provides hierarchy names and locality,
+//   * every module has a home location; nodes scatter around it,
+//   * nets pick a seed node and mostly-local partners, with a geometric
+//     degree distribution dominated by 2-3 pin nets,
+//   * pads sit on the boundary ring; a fraction of nets reaches a pad,
+//   * preplaced macros occupy peripheral sites and are fixed.
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace mp::benchgen {
+
+struct BenchSpec {
+  std::string name = "synthetic";
+  int movable_macros = 50;
+  int preplaced_macros = 0;
+  int io_pads = 128;
+  int std_cells = 10000;
+  int nets = 12000;
+  bool hierarchy = false;      ///< emit module-path hierarchy names
+  std::uint64_t seed = 1;
+  /// Scales std_cells and nets (macro counts are preserved so the macro
+  /// placement problem keeps its published size).  Clamped to (0, 1].
+  double scale = 1.0;
+  /// Fraction of total placeable area taken by macros.
+  double macro_area_fraction = 0.4;
+  /// Placeable area / region area.
+  double utilization = 0.6;
+};
+
+/// Generates a design; same spec + seed => identical design.
+netlist::Design generate(const BenchSpec& spec);
+
+}  // namespace mp::benchgen

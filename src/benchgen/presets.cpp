@@ -1,0 +1,104 @@
+#include "benchgen/presets.hpp"
+
+#include <stdexcept>
+
+namespace mp::benchgen {
+
+namespace {
+
+struct IbmRow {
+  const char* name;
+  int macros;
+  int cells;   // thousands in the paper; stored as absolute counts
+  int nets;
+};
+
+// Table III rows (cells/nets given in thousands in the paper).
+constexpr IbmRow kIbmRows[] = {
+    {"ibm01", 246, 12000, 14000},  {"ibm02", 280, 19000, 19000},
+    {"ibm03", 290, 22000, 27000},  {"ibm04", 608, 26000, 31000},
+    {"ibm06", 178, 32000, 34000},  {"ibm07", 507, 45000, 48000},
+    {"ibm08", 309, 51000, 50000},  {"ibm09", 253, 53000, 60000},
+    {"ibm10", 786, 68000, 75000},  {"ibm11", 373, 70000, 81000},
+    {"ibm12", 651, 70000, 77000},  {"ibm13", 424, 83000, 99000},
+    {"ibm14", 614, 146000, 152000}, {"ibm15", 393, 161000, 186000},
+    {"ibm16", 458, 183000, 190000}, {"ibm17", 760, 184000, 189000},
+    {"ibm18", 285, 210000, 201000},
+};
+
+struct CirRow {
+  const char* name;
+  int movable_macros;
+  int preplaced_macros;
+  int pads;
+  int cells;
+  int nets;
+};
+
+// Table II rows.
+constexpr CirRow kCirRows[] = {
+    {"Cir1", 30, 13, 130, 157000, 181000},
+    {"Cir2", 71, 47, 365, 1098000, 1126000},
+    {"Cir3", 55, 15, 219, 232000, 235000},
+    {"Cir4", 38, 15, 169, 321000, 327000},
+    {"Cir5", 32, 12, 351, 347000, 352000},
+    {"Cir6", 66, 3, 481, 209000, 217000},
+};
+
+}  // namespace
+
+const std::vector<std::string>& iccad04_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const IbmRow& row : kIbmRows) v.emplace_back(row.name);
+    return v;
+  }();
+  return names;
+}
+
+BenchSpec iccad04_spec(std::size_t index, double scale) {
+  if (index >= std::size(kIbmRows)) {
+    throw std::out_of_range("iccad04_spec index");
+  }
+  const IbmRow& row = kIbmRows[index];
+  BenchSpec spec;
+  spec.name = row.name;
+  spec.movable_macros = row.macros;
+  spec.preplaced_macros = 0;
+  spec.io_pads = 256;
+  spec.std_cells = row.cells;
+  spec.nets = row.nets;
+  spec.hierarchy = false;  // ICCAD04 benchmarks carry no hierarchy (Sec. VI-D)
+  spec.seed = 0x1b00 + index;
+  spec.scale = scale;
+  return spec;
+}
+
+const std::vector<std::string>& industrial_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const CirRow& row : kCirRows) v.emplace_back(row.name);
+    return v;
+  }();
+  return names;
+}
+
+BenchSpec industrial_spec(std::size_t index, double scale) {
+  if (index >= std::size(kCirRows)) {
+    throw std::out_of_range("industrial_spec index");
+  }
+  const CirRow& row = kCirRows[index];
+  BenchSpec spec;
+  spec.name = row.name;
+  spec.movable_macros = row.movable_macros;
+  spec.preplaced_macros = row.preplaced_macros;
+  spec.io_pads = row.pads;
+  spec.std_cells = row.cells;
+  spec.nets = row.nets;
+  spec.hierarchy = true;
+  spec.seed = 0xc170 + index;
+  spec.scale = scale;
+  return spec;
+}
+
+}  // namespace mp::benchgen

@@ -1,0 +1,28 @@
+#pragma once
+// Benchmark presets reproducing the published circuit statistics:
+//   * iccad04_spec(i)   — "ibmXX-like" circuits with the macro / std-cell /
+//     net counts of Table III (no hierarchy, no preplaced macros; ibm05 is
+//     skipped by the paper as it has no macros),
+//   * industrial_spec(i) — "CirX-like" circuits with the counts of Table II
+//     (design hierarchy + preplaced macros).
+// `scale` (0, 1] shrinks std-cell and net counts for CPU-budget runs while
+// preserving macro counts; see EXPERIMENTS.md for the committed settings.
+
+#include <vector>
+
+#include "benchgen/generator.hpp"
+
+namespace mp::benchgen {
+
+/// Names of the 17 ICCAD04 rows used by the paper (ibm01..ibm18 minus ibm05).
+const std::vector<std::string>& iccad04_names();
+
+/// Spec for iccad04_names()[index].
+BenchSpec iccad04_spec(std::size_t index, double scale = 1.0);
+
+/// Names Cir1..Cir6 (Table II; the paper could not run Cir7-8 baselines).
+const std::vector<std::string>& industrial_names();
+
+BenchSpec industrial_spec(std::size_t index, double scale = 1.0);
+
+}  // namespace mp::benchgen

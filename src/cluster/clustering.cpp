@@ -1,0 +1,294 @@
+#include "cluster/clustering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "netlist/hierarchy.hpp"
+#include "netlist/stats.hpp"
+#include "util/log.hpp"
+
+namespace mp::cluster {
+
+using netlist::Design;
+using netlist::NodeId;
+
+namespace {
+
+// Internal mutable cluster state during agglomeration.
+struct Entity {
+  bool alive = true;
+  int version = 0;  // bumped on every merge for lazy heap invalidation
+  std::vector<NodeId> members;
+  double area = 0.0;
+  double weighted_x = 0.0;  // area-weighted centroid accumulators
+  double weighted_y = 0.0;
+  std::string hierarchy;
+  // Connectivity to other entities: entity index -> weight.
+  std::unordered_map<int, double> adjacency;
+
+  geometry::Point centroid() const {
+    if (area <= 0.0) return {weighted_x, weighted_y};
+    return {weighted_x / area, weighted_y / area};
+  }
+};
+
+struct Candidate {
+  double score;
+  int a, b;
+  int version_a, version_b;
+  bool operator<(const Candidate& o) const { return score < o.score; }
+};
+
+constexpr double kDistanceEpsilon = 1e-6;
+
+// Γ (Eq. 1) for two macro entities.
+double macro_score(const Entity& a, const Entity& b, double connectivity,
+                   const ClusterParams& p) {
+  const double dist =
+      std::max(kDistanceEpsilon, geometry::euclidean(a.centroid(), b.centroid()));
+  const double hierarchy_common = (a.hierarchy.empty() || b.hierarchy.empty())
+      ? 0.0
+      : static_cast<double>(
+            netlist::common_hierarchy_depth(a.hierarchy, b.hierarchy));
+  const double area_diff = std::abs(a.area - b.area);
+  return 1.0 / dist + p.delta * hierarchy_common + p.epsilon * connectivity +
+         p.kappa / (area_diff + 1.0);
+}
+
+// φ (Eq. 2) for two cell entities.
+double cell_score(const Entity& a, const Entity& b, double connectivity,
+                  const ClusterParams& p) {
+  const double dist =
+      std::max(kDistanceEpsilon, geometry::euclidean(a.centroid(), b.centroid()));
+  return 1.0 / dist + p.rho * connectivity / (a.area + b.area);
+}
+
+// Common hierarchy prefix of two paths as a string.
+std::string common_prefix_path(const std::string& a, const std::string& b) {
+  const int depth = netlist::common_hierarchy_depth(a, b);
+  if (depth == 0) return {};
+  auto parts = netlist::split_hierarchy(a);
+  parts.resize(static_cast<std::size_t>(depth));
+  return netlist::join_hierarchy(parts);
+}
+
+// Generic agglomeration.  `score` evaluates a candidate pair.  Entities with
+// area <= cell_area are "undersize"; merging requires at least one undersize
+// participant and a merged area below the cap.
+std::vector<Group> agglomerate(
+    const Design& design, const std::vector<NodeId>& nodes,
+    const netlist::ConnectivityMap& connectivity, const ClusterParams& params,
+    double cell_area, bool use_macro_score, bool all_pairs,
+    std::vector<int>& group_of) {
+  std::vector<Entity> entities;
+  entities.reserve(nodes.size() * 2);
+  std::vector<int> entity_of_node(design.num_nodes(), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const netlist::Node& node = design.node(nodes[i]);
+    Entity e;
+    e.members = {nodes[i]};
+    e.area = node.area();
+    e.weighted_x = node.center().x * std::max(node.area(), kDistanceEpsilon);
+    e.weighted_y = node.center().y * std::max(node.area(), kDistanceEpsilon);
+    if (node.area() <= 0.0) e.area = kDistanceEpsilon;
+    e.hierarchy = node.hierarchy;
+    entities.push_back(std::move(e));
+    entity_of_node[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+  }
+  // Seed adjacency from the connectivity map.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const auto& [nbr, w] : connectivity.neighbors(nodes[i])) {
+      const int j = entity_of_node[static_cast<std::size_t>(nbr)];
+      if (j >= 0 && j != static_cast<int>(i)) {
+        entities[i].adjacency[j] += w;
+      }
+    }
+  }
+
+  const auto pair_score = [&](int a, int b) {
+    double w = 0.0;
+    const auto it = entities[static_cast<std::size_t>(a)].adjacency.find(b);
+    if (it != entities[static_cast<std::size_t>(a)].adjacency.end()) w = it->second;
+    return use_macro_score
+               ? macro_score(entities[static_cast<std::size_t>(a)],
+                             entities[static_cast<std::size_t>(b)], w, params)
+               : cell_score(entities[static_cast<std::size_t>(a)],
+                            entities[static_cast<std::size_t>(b)], w, params);
+  };
+
+  const double max_merged_area = params.max_merged_cells * cell_area;
+  const auto mergeable = [&](int a, int b) {
+    const Entity& ea = entities[static_cast<std::size_t>(a)];
+    const Entity& eb = entities[static_cast<std::size_t>(b)];
+    if (!ea.alive || !eb.alive) return false;
+    if (ea.area > cell_area && eb.area > cell_area) return false;
+    if (ea.area + eb.area > max_merged_area) return false;
+    return true;
+  };
+
+  std::priority_queue<Candidate> heap;
+  const auto push_candidate = [&](int a, int b) {
+    if (a == b || !mergeable(a, b)) return;
+    heap.push(Candidate{pair_score(a, b), a, b,
+                        entities[static_cast<std::size_t>(a)].version,
+                        entities[static_cast<std::size_t>(b)].version});
+  };
+
+  if (all_pairs) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        push_candidate(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (const auto& [j, w] : entities[i].adjacency) {
+        (void)w;
+        if (static_cast<int>(i) < j) push_candidate(static_cast<int>(i), j);
+      }
+    }
+  }
+
+  while (!heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    const Entity& ea = entities[static_cast<std::size_t>(top.a)];
+    const Entity& eb = entities[static_cast<std::size_t>(top.b)];
+    if (ea.version != top.version_a || eb.version != top.version_b) continue;
+    if (!mergeable(top.a, top.b)) continue;
+    if (top.score < params.nu) break;
+
+    // Merge b into a new entity.
+    const int id = static_cast<int>(entities.size());
+    Entity merged;
+    merged.members = ea.members;
+    merged.members.insert(merged.members.end(), eb.members.begin(),
+                          eb.members.end());
+    merged.area = ea.area + eb.area;
+    merged.weighted_x = ea.weighted_x + eb.weighted_x;
+    merged.weighted_y = ea.weighted_y + eb.weighted_y;
+    merged.hierarchy = common_prefix_path(ea.hierarchy, eb.hierarchy);
+    // Union adjacency, dropping references to the two dead entities.
+    for (const auto* src : {&ea.adjacency, &eb.adjacency}) {
+      for (const auto& [k, w] : *src) {
+        if (k == top.a || k == top.b) continue;
+        merged.adjacency[k] += w;
+      }
+    }
+    entities.push_back(std::move(merged));
+    entities[static_cast<std::size_t>(top.a)].alive = false;
+    entities[static_cast<std::size_t>(top.a)].version++;
+    entities[static_cast<std::size_t>(top.b)].alive = false;
+    entities[static_cast<std::size_t>(top.b)].version++;
+
+    // Update the neighbors' adjacency to point at the merged entity and push
+    // refreshed candidates.
+    for (const auto& [k, w] : entities[static_cast<std::size_t>(id)].adjacency) {
+      Entity& nbr = entities[static_cast<std::size_t>(k)];
+      if (!nbr.alive) continue;
+      nbr.adjacency.erase(top.a);
+      nbr.adjacency.erase(top.b);
+      nbr.adjacency[id] += w;
+      push_candidate(id, k);
+    }
+    if (all_pairs) {
+      for (std::size_t k = 0; k < entities.size(); ++k) {
+        if (entities[k].alive && static_cast<int>(k) != id) {
+          push_candidate(id, static_cast<int>(k));
+        }
+      }
+    }
+  }
+
+  // Harvest alive entities into Groups.
+  std::vector<Group> groups;
+  group_of.assign(design.num_nodes(), -1);
+  for (const Entity& e : entities) {
+    if (!e.alive) continue;
+    Group g;
+    g.members = e.members;
+    g.area = 0.0;
+    for (NodeId m : e.members) g.area += design.node(m).area();
+    g.centroid = e.centroid();
+    g.hierarchy = e.hierarchy;
+    assign_group_shape(g, design);
+    const int idx = static_cast<int>(groups.size());
+    for (NodeId m : e.members) group_of[static_cast<std::size_t>(m)] = idx;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace
+
+void assign_group_shape(Group& group, const Design& design, double whitespace) {
+  double max_w = 0.0, max_h = 0.0;
+  for (NodeId m : group.members) {
+    max_w = std::max(max_w, design.node(m).width);
+    max_h = std::max(max_h, design.node(m).height);
+  }
+  const double target_area = group.area * (1.0 + whitespace);
+  double w = std::max(max_w, std::sqrt(target_area));
+  double h = std::max(max_h, target_area / std::max(w, kDistanceEpsilon));
+  // Height growth (for a tall member) may demand more width again.
+  w = std::max(w, target_area / std::max(h, kDistanceEpsilon));
+  group.width = w;
+  group.height = h;
+}
+
+Clustering cluster_design(const Design& design, const grid::GridSpec& grid,
+                          const ClusterParams& params) {
+  Clustering result;
+  const double cell_area = grid.cell_area();
+
+  // Macro groups: movable macros only; all pairs considered (count is small).
+  {
+    const auto& macros = design.movable_macros();
+    netlist::ConnectivityMap conn(design, macros, params.max_net_degree);
+    // All-pairs candidate generation is O(n^2); guard very large macro counts
+    // by falling back to graph neighbors only.
+    const bool all_pairs = macros.size() <= 2000;
+    result.macro_groups =
+        agglomerate(design, macros, conn, params, cell_area,
+                    /*use_macro_score=*/true, all_pairs, result.macro_group_of);
+    std::vector<int> rank(result.macro_groups.size());
+    // Sort groups by non-increasing area (placement priority, Sec. V).
+    std::vector<std::size_t> order(result.macro_groups.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return result.macro_groups[a].area > result.macro_groups[b].area;
+    });
+    std::vector<Group> sorted;
+    sorted.reserve(order.size());
+    std::vector<int> new_index(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      new_index[order[i]] = static_cast<int>(i);
+      sorted.push_back(std::move(result.macro_groups[order[i]]));
+    }
+    result.macro_groups = std::move(sorted);
+    for (int& g : result.macro_group_of) {
+      if (g >= 0) g = new_index[static_cast<std::size_t>(g)];
+    }
+  }
+
+  // Cell groups: graph-neighbor candidates only (cells are numerous).
+  {
+    const auto& cells = design.std_cells();
+    netlist::ConnectivityMap conn(design, cells, params.max_net_degree);
+    result.cell_groups =
+        agglomerate(design, cells, conn, params, cell_area,
+                    /*use_macro_score=*/false, /*all_pairs=*/false,
+                    result.cell_group_of);
+  }
+
+  util::log_info() << "clustering: " << design.movable_macros().size()
+                   << " macros -> " << result.macro_groups.size()
+                   << " groups; " << design.std_cells().size() << " cells -> "
+                   << result.cell_groups.size() << " groups";
+  return result;
+}
+
+}  // namespace mp::cluster

@@ -1,0 +1,68 @@
+#pragma once
+// Coarsened-netlist generation (Sec. II-A): macros are merged into macro
+// groups by the score Γ (Eq. 1) and std cells into cell groups by φ (Eq. 2),
+// agglomeratively, until every group exceeds one grid cell in area or the
+// best merge score drops below the threshold ν.
+//
+// Both phases share one lazy-heap agglomerator whose merge candidates are
+// connectivity-graph neighbors (macros additionally consider all pairs, as
+// their count is small); scores are recomputed on pop when stale.
+
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "netlist/design.hpp"
+
+namespace mp::cluster {
+
+/// A group of macros or cells with an aggregate rectangular shape.
+struct Group {
+  std::vector<netlist::NodeId> members;
+  double area = 0.0;         ///< sum of member areas
+  double width = 0.0;        ///< synthesized rectangular shape (see notes)
+  double height = 0.0;
+  geometry::Point centroid;  ///< area-weighted member centroid (initial placement)
+  std::string hierarchy;     ///< common hierarchy prefix of the members
+};
+
+/// Γ / φ parameters; defaults are the paper's experimental values.
+struct ClusterParams {
+  // Macro score Γ (Eq. 1).
+  double delta = 0.001;    ///< hierarchy term weight δ
+  double epsilon = 0.0003; ///< connectivity term weight ε
+  double kappa = 1.0;      ///< area-difference term weight κ
+  // Cell score φ (Eq. 2).
+  double rho = 1.0;        ///< connectivity/area term weight ϱ
+  // Termination.
+  double nu = 0.001;       ///< merge-score threshold ν
+  /// Merges stop involving groups whose area exceeds one grid cell; a merge
+  /// may not produce a group larger than `max_merged_cells` grid cells.
+  double max_merged_cells = 4.0;
+  /// Nets above this degree are ignored for connectivity.
+  std::size_t max_net_degree = 64;
+};
+
+struct Clustering {
+  std::vector<Group> macro_groups;  ///< sorted by area, non-increasing
+  std::vector<Group> cell_groups;
+  /// Original node id -> index into macro_groups / cell_groups (-1 when the
+  /// node is not part of any group: pads, fixed macros, other kind).
+  std::vector<int> macro_group_of;
+  std::vector<int> cell_group_of;
+};
+
+/// Clusters the movable macros and std cells of `design`.  Node positions
+/// must already hold an initial (analytical) placement — the distance terms
+/// of Γ and φ read them.
+Clustering cluster_design(const netlist::Design& design,
+                          const grid::GridSpec& grid,
+                          const ClusterParams& params = {});
+
+/// Synthesizes the rectangular shape of a group: wide enough for its widest
+/// member, tall enough for its tallest, area-preserving (plus `whitespace`
+/// slack) and near-square otherwise.
+void assign_group_shape(Group& group, const netlist::Design& design,
+                        double whitespace = 0.05);
+
+}  // namespace mp::cluster

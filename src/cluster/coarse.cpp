@@ -1,0 +1,123 @@
+#include "cluster/coarse.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace mp::cluster {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::NetId;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+using netlist::PinRef;
+
+CoarseDesign build_coarse_design(const Design& original,
+                                 const Clustering& clustering) {
+  CoarseDesign out;
+  out.design = Design(original.name() + "_coarse", original.region());
+  out.coarse_of_original.assign(original.num_nodes(), netlist::kInvalidNode);
+
+  // Macro-group nodes.
+  out.macro_group_nodes.reserve(clustering.macro_groups.size());
+  for (std::size_t g = 0; g < clustering.macro_groups.size(); ++g) {
+    const Group& group = clustering.macro_groups[g];
+    Node node;
+    node.name = "mg" + std::to_string(g);
+    node.kind = NodeKind::kMacro;
+    node.width = group.width;
+    node.height = group.height;
+    node.position = {group.centroid.x - group.width / 2.0,
+                     group.centroid.y - group.height / 2.0};
+    node.fixed = false;
+    node.hierarchy = group.hierarchy;
+    out.macro_group_nodes.push_back(out.design.add_node(node));
+  }
+  // Cell-group nodes.
+  out.cell_group_nodes.reserve(clustering.cell_groups.size());
+  for (std::size_t g = 0; g < clustering.cell_groups.size(); ++g) {
+    const Group& group = clustering.cell_groups[g];
+    Node node;
+    node.name = "cg" + std::to_string(g);
+    node.kind = NodeKind::kStdCell;
+    node.width = group.width;
+    node.height = group.height;
+    node.position = {group.centroid.x - group.width / 2.0,
+                     group.centroid.y - group.height / 2.0};
+    node.fixed = false;
+    node.hierarchy = group.hierarchy;
+    out.cell_group_nodes.push_back(out.design.add_node(node));
+  }
+  // Fixed terminals copied through: pads and preplaced (fixed) macros.
+  for (std::size_t i = 0; i < original.num_nodes(); ++i) {
+    const Node& node = original.node(static_cast<NodeId>(i));
+    const bool copy = node.kind == NodeKind::kPad ||
+                      (node.kind == NodeKind::kMacro && node.fixed);
+    if (!copy) continue;
+    Node fixed = node;
+    fixed.fixed = true;
+    out.coarse_of_original[i] = out.design.add_node(fixed);
+  }
+  // Map group members.
+  for (std::size_t i = 0; i < original.num_nodes(); ++i) {
+    const int mg = clustering.macro_group_of.empty()
+                       ? -1
+                       : clustering.macro_group_of[i];
+    const int cg = clustering.cell_group_of.empty()
+                       ? -1
+                       : clustering.cell_group_of[i];
+    if (mg >= 0) {
+      out.coarse_of_original[i] = out.macro_group_nodes[static_cast<std::size_t>(mg)];
+    } else if (cg >= 0) {
+      out.coarse_of_original[i] = out.cell_group_nodes[static_cast<std::size_t>(cg)];
+    }
+  }
+
+  // Coarse nets: dedupe pins per net, merge parallel nets by weight.
+  std::map<std::vector<NodeId>, double> merged;
+  for (std::size_t n = 0; n < original.num_nets(); ++n) {
+    const Net& net = original.net(static_cast<NetId>(n));
+    std::vector<NodeId> coarse_nodes;
+    for (const PinRef& pin : net.pins) {
+      const NodeId c = out.coarse_of_original[static_cast<std::size_t>(pin.node)];
+      if (c != netlist::kInvalidNode) coarse_nodes.push_back(c);
+    }
+    std::sort(coarse_nodes.begin(), coarse_nodes.end());
+    coarse_nodes.erase(std::unique(coarse_nodes.begin(), coarse_nodes.end()),
+                       coarse_nodes.end());
+    if (coarse_nodes.size() < 2) continue;
+    merged[coarse_nodes] += net.weight;
+  }
+  int net_counter = 0;
+  for (const auto& [nodes, weight] : merged) {
+    Net net;
+    net.name = "cn" + std::to_string(net_counter++);
+    net.weight = weight;
+    for (NodeId id : nodes) {
+      const Node& node = out.design.node(id);
+      // Pins at node centers.
+      net.pins.push_back(PinRef{id, node.width / 2.0, node.height / 2.0});
+    }
+    out.design.add_net(net);
+  }
+  return out;
+}
+
+void apply_group_positions(const CoarseDesign& coarse,
+                           const Clustering& clustering, Design& original) {
+  for (std::size_t g = 0; g < clustering.macro_groups.size(); ++g) {
+    const Group& group = clustering.macro_groups[g];
+    const Node& coarse_node =
+        coarse.design.node(coarse.macro_group_nodes[g]);
+    const geometry::Point new_center = coarse_node.center();
+    const geometry::Point shift = new_center - group.centroid;
+    for (NodeId m : group.members) {
+      Node& macro = original.node(m);
+      macro.position = macro.position + shift;
+    }
+  }
+}
+
+}  // namespace mp::cluster

@@ -1,0 +1,39 @@
+#pragma once
+// Coarsened netlist: a Design whose movable nodes are the macro groups and
+// cell groups produced by clustering, with pads and preplaced macros copied
+// through as fixed terminals.  RL pre-training, MCTS and legalization step 1
+// all operate on this design; parallel nets between the same group set are
+// merged with accumulated weight so its net count is small.
+
+#include <vector>
+
+#include "cluster/clustering.hpp"
+#include "netlist/design.hpp"
+
+namespace mp::cluster {
+
+struct CoarseDesign {
+  netlist::Design design;
+  /// Coarse node id of each macro group (indexed like Clustering::macro_groups).
+  std::vector<netlist::NodeId> macro_group_nodes;
+  /// Coarse node id of each cell group.
+  std::vector<netlist::NodeId> cell_group_nodes;
+  /// Original node id -> coarse node id (group node, or the copied fixed
+  /// node; kInvalidNode for original nodes dropped from the coarse model).
+  std::vector<netlist::NodeId> coarse_of_original;
+};
+
+/// Builds the coarse design from an original design and its clustering.
+/// Group positions are initialized at the group centroids.
+CoarseDesign build_coarse_design(const netlist::Design& original,
+                                 const Clustering& clustering);
+
+/// Copies macro-group placements from the coarse design back onto the
+/// original: each movable macro is translated so the group's members keep
+/// their relative offsets around the group's new center.  (The precise
+/// per-macro legalization is done later by legal/.)
+void apply_group_positions(const CoarseDesign& coarse,
+                           const Clustering& clustering,
+                           netlist::Design& original);
+
+}  // namespace mp::cluster

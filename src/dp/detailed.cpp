@@ -1,0 +1,139 @@
+#include "dp/detailed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace mp::dp {
+
+using netlist::Design;
+using netlist::NetId;
+using netlist::NodeId;
+
+namespace {
+
+// HPWL of the nets incident to one or two cells.
+double local_hpwl(const Design& design, const std::vector<NetId>& nets) {
+  double total = 0.0;
+  for (NetId n : nets) {
+    total += design.net(n).weight * design.net_hpwl(n);
+  }
+  return total;
+}
+
+std::vector<NetId> merged_nets(const Design& design, NodeId a, NodeId b) {
+  const auto& adjacency = design.node_nets();
+  std::vector<NetId> nets = adjacency[static_cast<std::size_t>(a)];
+  nets.insert(nets.end(), adjacency[static_cast<std::size_t>(b)].begin(),
+              adjacency[static_cast<std::size_t>(b)].end());
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+}  // namespace
+
+DetailedResult refine_detailed(Design& design, const DetailedOptions& options) {
+  DetailedResult result;
+  result.hpwl_before = design.total_hpwl();
+
+  // Obstacles a swapped cell must not land on: macros and oversized cells.
+  std::vector<geometry::Rect> blockages;
+  std::set<NodeId> oversized;
+  for (NodeId id : design.macros()) {
+    blockages.push_back(design.node(id).rect());
+  }
+  {
+    std::map<double, int> height_counts;
+    for (NodeId id : design.std_cells()) {
+      height_counts[design.node(id).height]++;
+    }
+    double modal_height = 12.0;
+    int best = 0;
+    for (const auto& [h, c] : height_counts) {
+      if (c > best) {
+        best = c;
+        modal_height = h;
+      }
+    }
+    for (NodeId id : design.std_cells()) {
+      if (design.node(id).height > modal_height * 1.5) {
+        blockages.push_back(design.node(id).rect());
+        oversized.insert(id);
+      }
+    }
+  }
+  const auto hits_blockage = [&](const geometry::Rect& rect) {
+    for (const geometry::Rect& b : blockages) {
+      if (rect.overlaps(b)) return true;
+    }
+    return false;
+  };
+
+  // Group single-row cells by row (y coordinate), ordered by x; oversized
+  // cells are immovable blockages.
+  std::map<double, std::vector<NodeId>> rows;
+  for (NodeId id : design.std_cells()) {
+    if (oversized.count(id) != 0) continue;
+    rows[design.node(id).position.y].push_back(id);
+  }
+  for (auto& [y, row] : rows) {
+    (void)y;
+    std::sort(row.begin(), row.end(), [&](NodeId a, NodeId b) {
+      return design.node(a).position.x < design.node(b).position.x;
+    });
+  }
+
+  for (int pass = 0; pass < options.passes; ++pass) {
+    long long swaps_this_pass = 0;
+    for (auto& [y, row] : rows) {
+      (void)y;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        for (int w = 1; w <= options.swap_window; ++w) {
+          const std::size_t j = i + static_cast<std::size_t>(w);
+          if (j >= row.size()) break;
+          NodeId a = row[i];
+          NodeId b = row[j];
+          netlist::Node& na = design.node(a);
+          netlist::Node& nb = design.node(b);
+          // Legality-preserving swaps:
+          //  * adjacent cells (w == 1) re-pack inside their combined span,
+          //  * non-adjacent swaps require equal widths (pure exchange).
+          if (w > 1 && na.width != nb.width) continue;
+
+          const std::vector<NetId> nets = merged_nets(design, a, b);
+          const double before = local_hpwl(design, nets);
+          const double ax = na.position.x;
+          const double bx = nb.position.x;
+          if (w == 1) {
+            // b takes the left edge of the span; a abuts the span's right
+            // end.  Both stay inside [ax, bx + nb.width].
+            nb.position.x = ax;
+            na.position.x = bx + nb.width - na.width;
+          } else {
+            na.position.x = bx;
+            nb.position.x = ax;
+          }
+          const double after = local_hpwl(design, nets);
+          const bool illegal =
+              hits_blockage(na.rect()) || hits_blockage(nb.rect());
+          if (!illegal && after + 1e-12 < before) {
+            std::swap(row[i], row[j]);
+            ++swaps_this_pass;
+          } else {
+            na.position.x = ax;
+            nb.position.x = bx;
+          }
+        }
+      }
+    }
+    result.swaps_applied += swaps_this_pass;
+    if (swaps_this_pass == 0) break;
+  }
+
+  result.hpwl_after = design.total_hpwl();
+  return result;
+}
+
+}  // namespace mp::dp

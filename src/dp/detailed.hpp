@@ -1,0 +1,29 @@
+#pragma once
+// Detailed placement refinement on a row-legal placement: greedy intra-row
+// cell swaps and whole-row position re-optimization ("iterative local
+// refinement"), preserving legality.
+
+#include "netlist/design.hpp"
+
+namespace mp::dp {
+
+struct DetailedOptions {
+  int passes = 2;                 ///< refinement sweeps over all rows
+  /// Consider swapping each cell with up to this many of its neighbors in
+  /// the same row (by order).
+  int swap_window = 2;
+};
+
+struct DetailedResult {
+  long long swaps_applied = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+};
+
+/// Greedy legality-preserving refinement.  Requires a row-legal input (cells
+/// already aligned to rows, e.g. from legalize_rows); cells only move within
+/// their rows.
+DetailedResult refine_detailed(netlist::Design& design,
+                               const DetailedOptions& options = {});
+
+}  // namespace mp::dp

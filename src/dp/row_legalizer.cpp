@@ -1,0 +1,226 @@
+#include "dp/row_legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace mp::dp {
+
+using netlist::Design;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+namespace {
+
+// One free horizontal segment of a row, tracked as disjoint free intervals
+// (placing a cell in the middle splits its interval, so no space is lost).
+struct Segment {
+  double left = 0.0;
+  double right = 0.0;
+  std::vector<std::pair<double, double>> free_intervals;
+};
+
+struct Row {
+  double y = 0.0;
+  std::vector<Segment> segments;
+};
+
+double most_common_height(const Design& design) {
+  std::map<double, int> counts;
+  for (NodeId id : design.std_cells()) {
+    counts[design.node(id).height]++;
+  }
+  double best = 12.0;
+  int best_count = 0;
+  for (const auto& [h, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = h;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RowLegalizeResult legalize_rows(Design& design,
+                                const RowLegalizeOptions& options) {
+  RowLegalizeResult result;
+  const geometry::Rect region = design.region();
+  const auto& cells = design.std_cells();
+  if (cells.empty()) return result;
+
+  double row_height = options.row_height;
+  if (row_height <= 0.0) row_height = most_common_height(design);
+  const int num_rows =
+      std::max(1, static_cast<int>(std::floor(region.h / row_height)));
+  result.rows = num_rows;
+
+  double site_width = options.site_width;
+  if (site_width <= 0.0) {
+    std::vector<double> widths;
+    widths.reserve(cells.size());
+    for (NodeId id : cells) widths.push_back(design.node(id).width);
+    std::nth_element(widths.begin(), widths.begin() + widths.size() / 2,
+                     widths.end());
+    site_width = std::max(1.0, widths[widths.size() / 2] / 2.0);
+  }
+
+  // Blockages: all macros, plus std cells taller than one row.
+  std::vector<geometry::Rect> blockages;
+  for (NodeId id : design.macros()) blockages.push_back(design.node(id).rect());
+  std::vector<NodeId> movable;
+  for (NodeId id : cells) {
+    if (design.node(id).height > row_height * 1.5) {
+      blockages.push_back(design.node(id).rect());
+    } else {
+      movable.push_back(id);
+    }
+  }
+
+  // Build rows and carve free segments around blockage overlaps.
+  std::vector<Row> rows(static_cast<std::size_t>(num_rows));
+  for (int r = 0; r < num_rows; ++r) {
+    Row& row = rows[static_cast<std::size_t>(r)];
+    row.y = region.y + r * row_height;
+    const geometry::Rect strip(region.x, row.y, region.w, row_height);
+    // Collect blocked x-intervals.
+    std::vector<std::pair<double, double>> blocked;
+    for (const geometry::Rect& b : blockages) {
+      if (!strip.overlaps(b)) continue;
+      blocked.emplace_back(std::max(region.x, b.left()),
+                           std::min(region.right(), b.right()));
+    }
+    std::sort(blocked.begin(), blocked.end());
+    double cursor = region.x;
+    for (const auto& [lo, hi] : blocked) {
+      if (lo > cursor) {
+        row.segments.push_back({cursor, lo, {{cursor, lo}}});
+      }
+      cursor = std::max(cursor, hi);
+    }
+    if (cursor < region.right()) {
+      row.segments.push_back(
+          {cursor, region.right(), {{cursor, region.right()}}});
+    }
+  }
+
+  // Greedy Tetris: process cells in order of x (left to right), assigning
+  // each to the (row, segment) minimizing displacement.
+  std::sort(movable.begin(), movable.end(), [&](NodeId a, NodeId b) {
+    return design.node(a).position.x < design.node(b).position.x;
+  });
+
+  for (NodeId id : movable) {
+    netlist::Node& cell = design.node(id);
+    const geometry::Point desired = cell.position;
+    const int desired_row = std::clamp(
+        static_cast<int>(std::floor((desired.y - region.y) / row_height)), 0,
+        num_rows - 1);
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    Segment* best_segment = nullptr;
+    std::size_t best_interval = 0;
+    double best_x = 0.0, best_y = 0.0;
+    // Search rows outward from the desired row; early-exit once the
+    // row-distance alone exceeds the best cost.
+    for (int dr = 0; dr < num_rows; ++dr) {
+      bool any_candidate_row = false;
+      for (const int r : {desired_row - dr, desired_row + dr}) {
+        if (r < 0 || r >= num_rows) continue;
+        if (dr != 0 && r == desired_row) continue;
+        any_candidate_row = true;
+        Row& row = rows[static_cast<std::size_t>(r)];
+        const double dy = std::abs(row.y - desired.y);
+        if (dy >= best_cost) continue;
+        for (Segment& seg : row.segments) {
+          for (std::size_t k = 0; k < seg.free_intervals.size(); ++k) {
+            const auto [lo, hi] = seg.free_intervals[k];
+            if (hi - lo < cell.width) continue;
+            // Best x in [lo, hi - width], snapped to the site grid.
+            double x = std::clamp(desired.x, lo, hi - cell.width);
+            x = lo + std::floor((x - lo) / site_width) * site_width;
+            x = std::clamp(x, lo, hi - cell.width);
+            const double cost = std::abs(x - desired.x) + dy;
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_segment = &seg;
+              best_interval = k;
+              best_x = x;
+              best_y = row.y;
+            }
+          }
+        }
+      }
+      if (!any_candidate_row && dr > 0) break;
+      if (best_segment != nullptr &&
+          static_cast<double>(dr) * row_height > best_cost) {
+        break;
+      }
+    }
+
+    if (best_segment == nullptr) {
+      ++result.failed_cells;
+      continue;
+    }
+    cell.position = {best_x, best_y};
+    // Carve the cell out of its free interval (split into the remainders).
+    {
+      const auto [lo, hi] = best_segment->free_intervals[best_interval];
+      best_segment->free_intervals.erase(
+          best_segment->free_intervals.begin() +
+          static_cast<long>(best_interval));
+      constexpr double kMin = 1e-9;
+      if (best_x - lo > kMin) {
+        best_segment->free_intervals.emplace_back(lo, best_x);
+      }
+      if (hi - (best_x + cell.width) > kMin) {
+        best_segment->free_intervals.emplace_back(best_x + cell.width, hi);
+      }
+    }
+    ++result.legalized_cells;
+    const double displacement = std::abs(best_x - desired.x) +
+                                std::abs(best_y - desired.y);
+    result.total_displacement += displacement;
+    result.max_displacement = std::max(result.max_displacement, displacement);
+  }
+
+  util::log_debug() << "legalize_rows: " << result.legalized_cells
+                    << " cells into " << result.rows << " rows, "
+                    << result.failed_cells << " failed";
+  return result;
+}
+
+bool cells_are_legal(const Design& design) {
+  // Sweep by x over cells + macros.
+  struct Item {
+    geometry::Rect rect;
+    bool is_cell;
+  };
+  std::vector<Item> items;
+  for (NodeId id : design.std_cells()) {
+    items.push_back({design.node(id).rect(), true});
+  }
+  for (NodeId id : design.macros()) {
+    items.push_back({design.node(id).rect(), false});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.rect.left() < b.rect.left();
+  });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      if (items[j].rect.left() >= items[i].rect.right()) break;
+      if (!items[i].is_cell && !items[j].is_cell) continue;  // macros: not ours
+      // Abutting cells can interpenetrate by an ulp after arithmetic on
+      // their edges; only material overlap counts.
+      if (geometry::overlap_area(items[i].rect, items[j].rect) > 1e-6) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mp::dp

@@ -1,0 +1,44 @@
+#pragma once
+// Row-based standard-cell legalization (Tetris/Abacus-style): cells are
+// assigned to uniform placement rows, macros and fixed blocks carve the rows
+// into free segments, and each row's cells are packed into its segments in
+// order, minimizing displacement from the global-placement positions.
+//
+// The analytical global placer (gp/) produces a spread but overlapping cell
+// placement — this pass makes it row-legal, completing the DREAMPlace-role
+// substrate (its GP + LG + DP pipeline).
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::dp {
+
+struct RowLegalizeOptions {
+  /// Row height; 0 derives it from the most common std-cell height.
+  double row_height = 0.0;
+  /// Cells are placed on a site grid of this width inside rows; 0 = derive
+  /// (half the median cell width, at least 1).
+  double site_width = 0.0;
+};
+
+struct RowLegalizeResult {
+  int rows = 0;
+  int legalized_cells = 0;
+  int failed_cells = 0;       ///< cells that did not fit in any segment
+  double total_displacement = 0.0;
+  double max_displacement = 0.0;
+};
+
+/// Legalizes all movable std cells of `design` into rows.  Macros (movable
+/// and fixed) and pads act as blockages.  Cell heights are preserved; cells
+/// taller than one row are treated as blockages too (multi-row cells are out
+/// of scope for this reproduction).
+RowLegalizeResult legalize_rows(netlist::Design& design,
+                                const RowLegalizeOptions& options = {});
+
+/// True when no two std cells overlap and no cell overlaps a macro
+/// (utility for tests and assertions; O(n log n) sweep).
+bool cells_are_legal(const netlist::Design& design);
+
+}  // namespace mp::dp

@@ -1,0 +1,42 @@
+#include "geometry/geometry.hpp"
+
+#include <cmath>
+
+namespace mp::geometry {
+
+double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double overlap_area(const Rect& a, const Rect& b) {
+  const double ox = std::min(a.right(), b.right()) - std::max(a.left(), b.left());
+  const double oy = std::min(a.top(), b.top()) - std::max(a.bottom(), b.bottom());
+  if (ox <= 0.0 || oy <= 0.0) return 0.0;
+  return ox * oy;
+}
+
+double fit_interval(double desired, double size, double lo, double hi) {
+  double pos = std::clamp(desired, lo, std::max(lo, hi - size));
+  // Nudge down until pos + size <= hi holds exactly (at most a few ulps).
+  while (pos > lo && pos + size > hi) {
+    pos = std::nextafter(pos, lo);
+  }
+  return pos;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[x=" << r.x << " y=" << r.y << " w=" << r.w << " h=" << r.h
+            << "]";
+}
+
+}  // namespace mp::geometry

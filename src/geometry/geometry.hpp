@@ -1,0 +1,122 @@
+#pragma once
+// Basic planar geometry used everywhere: points, axis-aligned rectangles,
+// bounding boxes.  Coordinates are doubles in micrometres (the unit used by
+// the paper's wirelength tables).
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+namespace mp::geometry {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Manhattan (L1) distance between two points.
+double manhattan(const Point& a, const Point& b);
+
+/// Euclidean (L2) distance between two points.
+double euclidean(const Point& a, const Point& b);
+
+/// Axis-aligned rectangle described by its lower-left corner and extents.
+/// Invariant: width >= 0 and height >= 0 for rectangles produced by the
+/// factory functions; an empty Rect (default) has zero extents.
+struct Rect {
+  double x = 0.0;   ///< lower-left x
+  double y = 0.0;   ///< lower-left y
+  double w = 0.0;   ///< width
+  double h = 0.0;   ///< height
+
+  Rect() = default;
+  Rect(double lx, double ly, double width, double height)
+      : x(lx), y(ly), w(width), h(height) {}
+
+  static Rect from_corners(double x0, double y0, double x1, double y1) {
+    return Rect(std::min(x0, x1), std::min(y0, y1), std::abs(x1 - x0),
+                std::abs(y1 - y0));
+  }
+
+  double left() const { return x; }
+  double right() const { return x + w; }
+  double bottom() const { return y; }
+  double top() const { return y + h; }
+  double area() const { return w * h; }
+  Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+  Point lower_left() const { return {x, y}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= left() && p.x <= right() && p.y >= bottom() && p.y <= top();
+  }
+
+  /// True if `inner` lies fully inside (or on the border of) this rect.
+  bool contains(const Rect& inner) const {
+    return inner.left() >= left() && inner.right() <= right() &&
+           inner.bottom() >= bottom() && inner.top() <= top();
+  }
+
+  /// True when the interiors intersect (touching edges do not overlap).
+  bool overlaps(const Rect& o) const {
+    return left() < o.right() && o.left() < right() && bottom() < o.top() &&
+           o.bottom() < top();
+  }
+
+  bool operator==(const Rect& o) const {
+    return x == o.x && y == o.y && w == o.w && h == o.h;
+  }
+};
+
+/// Area of the intersection of two rectangles (0 when disjoint).
+double overlap_area(const Rect& a, const Rect& b);
+
+/// Clamps a lower-left coordinate so the interval [pos, pos + size] lies in
+/// [lo, hi] *in floating point*: plain `clamp(v, lo, hi - size)` can leave
+/// `pos + size` one ulp past `hi`, which breaks exact containment checks.
+/// When size > hi - lo the result is lo.
+double fit_interval(double desired, double size, double lo, double hi);
+
+/// Incrementally grown bounding box; starts empty.
+class BoundingBox {
+ public:
+  void add(const Point& p) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+
+  bool empty() const { return min_x_ > max_x_; }
+
+  /// Half-perimeter of the box; 0 for empty or single-point boxes.
+  double half_perimeter() const {
+    if (empty()) return 0.0;
+    return (max_x_ - min_x_) + (max_y_ - min_y_);
+  }
+
+  double width() const { return empty() ? 0.0 : max_x_ - min_x_; }
+  double height() const { return empty() ? 0.0 : max_y_ - min_y_; }
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+ private:
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double min_y_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  double max_y_ = -std::numeric_limits<double>::infinity();
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace mp::geometry

@@ -1,0 +1,70 @@
+#include "gp/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mp::gp {
+
+DensityGrid::DensityGrid(const geometry::Rect& region, int bins,
+                         double target_density)
+    : region_(region), bins_(bins) {
+  bin_w_ = region.w / bins;
+  bin_h_ = region.h / bins;
+  capacity_.assign(static_cast<std::size_t>(bins) * bins,
+                   bin_w_ * bin_h_ * target_density);
+  usage_.assign(capacity_.size(), 0.0);
+}
+
+int DensityGrid::bin_x_of(double x) const {
+  return std::clamp(static_cast<int>(std::floor((x - region_.x) / bin_w_)), 0,
+                    bins_ - 1);
+}
+
+int DensityGrid::bin_y_of(double y) const {
+  return std::clamp(static_cast<int>(std::floor((y - region_.y) / bin_h_)), 0,
+                    bins_ - 1);
+}
+
+void DensityGrid::add_fixed(const geometry::Rect& rect) {
+  const int bx0 = bin_x_of(rect.left());
+  const int bx1 = bin_x_of(std::nextafter(rect.right(), rect.left()));
+  const int by0 = bin_y_of(rect.bottom());
+  const int by1 = bin_y_of(std::nextafter(rect.top(), rect.bottom()));
+  for (int by = by0; by <= by1; ++by) {
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      const geometry::Rect bin(bin_left(bx), bin_bottom(by), bin_w_, bin_h_);
+      capacity_[index(bx, by)] = std::max(
+          0.0, capacity_[index(bx, by)] - geometry::overlap_area(rect, bin));
+    }
+  }
+}
+
+void DensityGrid::add_movable(const geometry::Rect& rect) {
+  total_movable_ += rect.area();
+  const int bx0 = bin_x_of(rect.left());
+  const int bx1 = bin_x_of(std::nextafter(rect.right(), rect.left()));
+  const int by0 = bin_y_of(rect.bottom());
+  const int by1 = bin_y_of(std::nextafter(rect.top(), rect.bottom()));
+  for (int by = by0; by <= by1; ++by) {
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      const geometry::Rect bin(bin_left(bx), bin_bottom(by), bin_w_, bin_h_);
+      usage_[index(bx, by)] += geometry::overlap_area(rect, bin);
+    }
+  }
+}
+
+void DensityGrid::clear_movable() {
+  std::fill(usage_.begin(), usage_.end(), 0.0);
+  total_movable_ = 0.0;
+}
+
+double DensityGrid::overflow_ratio() const {
+  if (total_movable_ <= 0.0) return 0.0;
+  double overflow = 0.0;
+  for (std::size_t i = 0; i < usage_.size(); ++i) {
+    overflow += std::max(0.0, usage_[i] - capacity_[i]);
+  }
+  return overflow / total_movable_;
+}
+
+}  // namespace mp::gp

@@ -1,0 +1,52 @@
+#pragma once
+// Bin-density bookkeeping for the global placer's spreading phase.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::gp {
+
+/// Uniform B×B bin grid over the placement region tracking movable area and
+/// capacity (bin area × target density − fixed area).
+class DensityGrid {
+ public:
+  DensityGrid(const geometry::Rect& region, int bins, double target_density);
+
+  int bins() const { return bins_; }
+  double bin_width() const { return bin_w_; }
+  double bin_height() const { return bin_h_; }
+
+  /// Subtracts the overlap of a fixed rectangle from the capacities.
+  void add_fixed(const geometry::Rect& rect);
+
+  /// Adds the overlap of a movable rectangle to the usage map.
+  void add_movable(const geometry::Rect& rect);
+
+  void clear_movable();
+
+  double capacity(int bx, int by) const { return capacity_[index(bx, by)]; }
+  double usage(int bx, int by) const { return usage_[index(bx, by)]; }
+
+  /// Total overflow ratio: Σ max(0, usage − capacity) / Σ movable area.
+  double overflow_ratio() const;
+
+  int bin_x_of(double x) const;
+  int bin_y_of(double y) const;
+  double bin_left(int bx) const { return region_.x + bx * bin_w_; }
+  double bin_bottom(int by) const { return region_.y + by * bin_h_; }
+
+ private:
+  std::size_t index(int bx, int by) const {
+    return static_cast<std::size_t>(by) * bins_ + bx;
+  }
+
+  geometry::Rect region_;
+  int bins_;
+  double bin_w_, bin_h_;
+  std::vector<double> capacity_;
+  std::vector<double> usage_;
+  double total_movable_ = 0.0;
+};
+
+}  // namespace mp::gp

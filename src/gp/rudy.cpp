@@ -1,0 +1,81 @@
+#include "gp/rudy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mp::gp {
+
+double RudyMap::max_density() const {
+  double best = 0.0;
+  for (double v : density) best = std::max(best, v);
+  return best;
+}
+
+double RudyMap::mean_density() const {
+  if (density.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : density) sum += v;
+  return sum / static_cast<double>(density.size());
+}
+
+double RudyMap::overflow_fraction(double threshold) const {
+  if (density.empty()) return 0.0;
+  std::size_t over = 0;
+  for (double v : density) over += (v > threshold);
+  return static_cast<double>(over) / static_cast<double>(density.size());
+}
+
+RudyMap compute_rudy(const netlist::Design& design, const RudyOptions& options) {
+  RudyMap map;
+  map.bins = options.bins;
+  map.density.assign(static_cast<std::size_t>(options.bins) * options.bins, 0.0);
+  const geometry::Rect region = design.region();
+  if (region.w <= 0.0 || region.h <= 0.0) return map;
+  const double bin_w = region.w / options.bins;
+  const double bin_h = region.h / options.bins;
+
+  const auto bin_x = [&](double x) {
+    return std::clamp(static_cast<int>(std::floor((x - region.x) / bin_w)), 0,
+                      options.bins - 1);
+  };
+  const auto bin_y = [&](double y) {
+    return std::clamp(static_cast<int>(std::floor((y - region.y) / bin_h)), 0,
+                      options.bins - 1);
+  };
+
+  for (const netlist::Net& net : design.nets()) {
+    if (net.pins.size() < 2 || net.pins.size() > options.max_net_degree) continue;
+    geometry::BoundingBox box;
+    for (const netlist::PinRef& pin : net.pins) {
+      box.add(design.pin_position(pin));
+    }
+    const double hpwl = box.half_perimeter();
+    if (hpwl <= 0.0) continue;
+    // Degenerate boxes (all pins on one line) get a one-wire-width extent.
+    const double bw = std::max(box.width(), options.wire_width);
+    const double bh = std::max(box.height(), options.wire_width);
+    const double wire_area = net.weight * hpwl * options.wire_width;
+    const double density = wire_area / (bw * bh);
+
+    const int x0 = bin_x(box.min_x());
+    const int x1 = bin_x(box.max_x());
+    const int y0 = bin_y(box.min_y());
+    const int y1 = bin_y(box.max_y());
+    for (int by = y0; by <= y1; ++by) {
+      for (int bx = x0; bx <= x1; ++bx) {
+        // Overlap fraction of this bin with the net box, relative to bin area.
+        const geometry::Rect bin(region.x + bx * bin_w, region.y + by * bin_h,
+                                 bin_w, bin_h);
+        const geometry::Rect net_box = geometry::Rect::from_corners(
+            box.min_x(), box.min_y(), box.min_x() + bw, box.min_y() + bh);
+        const double overlap = geometry::overlap_area(bin, net_box);
+        if (overlap <= 0.0) continue;
+        map.density[static_cast<std::size_t>(by) * options.bins + bx] +=
+            density * overlap / (bin_w * bin_h);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace mp::gp

@@ -1,0 +1,39 @@
+#pragma once
+// RUDY congestion estimation (Rectangular Uniform wire DensitY, Spindler &
+// Johannes DATE'07): each net spreads its expected wire volume uniformly
+// over its bounding box; summing over nets gives a fast routability proxy.
+// The paper's placer family optimizes HPWL only, but routability-driven
+// variants ([7], [15], [23] in its references) gate on exactly this kind of
+// map — provided here as a library utility and reported by the examples.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::gp {
+
+struct RudyOptions {
+  int bins = 64;            ///< map resolution (bins × bins)
+  double wire_width = 1.0;  ///< assumed wire width/pitch in layout units
+  std::size_t max_net_degree = 256;  ///< skip larger (global) nets
+};
+
+struct RudyMap {
+  int bins = 0;
+  std::vector<double> density;  ///< row-major bins×bins congestion values
+
+  double at(int bx, int by) const {
+    return density[static_cast<std::size_t>(by) * bins + bx];
+  }
+  double max_density() const;
+  double mean_density() const;
+  /// Fraction of bins above `threshold` (default 1.0 = nominally routable).
+  double overflow_fraction(double threshold = 1.0) const;
+};
+
+/// Computes the RUDY map of the current placement: for each net,
+/// density += w · HPWL · wire_width / bbox_area, spread over the bbox bins.
+RudyMap compute_rudy(const netlist::Design& design,
+                     const RudyOptions& options = {});
+
+}  // namespace mp::gp

@@ -1,0 +1,43 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mp::grid {
+
+GridSpec::GridSpec(const geometry::Rect& region, int dim)
+    : region_(region), dim_(dim) {
+  assert(dim >= 1);
+  assert(region.w > 0.0 && region.h > 0.0);
+  cell_w_ = region.w / dim;
+  cell_h_ = region.h / dim;
+}
+
+geometry::Rect GridSpec::cell_rect(const CellCoord& c) const {
+  return geometry::Rect(region_.x + c.gx * cell_w_, region_.y + c.gy * cell_h_,
+                        cell_w_, cell_h_);
+}
+
+geometry::Point GridSpec::cell_origin(const CellCoord& c) const {
+  return {region_.x + c.gx * cell_w_, region_.y + c.gy * cell_h_};
+}
+
+CellCoord GridSpec::cell_of(const geometry::Point& p) const {
+  int gx = static_cast<int>(std::floor((p.x - region_.x) / cell_w_));
+  int gy = static_cast<int>(std::floor((p.y - region_.y) / cell_h_));
+  gx = std::clamp(gx, 0, dim_ - 1);
+  gy = std::clamp(gy, 0, dim_ - 1);
+  return {gx, gy};
+}
+
+CellCoord GridSpec::footprint_cells(double w, double h) const {
+  // A group aligned to a cell origin spans ceil(w / cell_w) columns; guard
+  // against floating-point edges (w == k * cell_w must give exactly k).
+  constexpr double kSlack = 1e-9;
+  const int nx = std::max(1, static_cast<int>(std::ceil(w / cell_w_ - kSlack)));
+  const int ny = std::max(1, static_cast<int>(std::ceil(h / cell_h_ - kSlack)));
+  return {nx, ny};
+}
+
+}  // namespace mp::grid

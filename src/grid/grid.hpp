@@ -1,0 +1,58 @@
+#pragma once
+// ζ×ζ partition of the placement region (Sec. II-A of the paper; ζ=16 in the
+// paper's experiments).  Grid cells are addressed either by (gx, gy) column/
+// row coordinates or by a flat index gy*dim + gx, which is also the action
+// index of the RL policy and the MCTS branching factor.
+
+#include <cstddef>
+
+#include "geometry/geometry.hpp"
+
+namespace mp::grid {
+
+struct CellCoord {
+  int gx = 0;
+  int gy = 0;
+  bool operator==(const CellCoord& o) const { return gx == o.gx && gy == o.gy; }
+};
+
+class GridSpec {
+ public:
+  GridSpec() = default;
+  GridSpec(const geometry::Rect& region, int dim);
+
+  const geometry::Rect& region() const { return region_; }
+  int dim() const { return dim_; }
+  int num_cells() const { return dim_ * dim_; }
+
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+  double cell_area() const { return cell_w_ * cell_h_; }
+
+  int flat_index(const CellCoord& c) const { return c.gy * dim_ + c.gx; }
+  CellCoord coord(int flat) const { return {flat % dim_, flat / dim_}; }
+  bool in_bounds(const CellCoord& c) const {
+    return c.gx >= 0 && c.gy >= 0 && c.gx < dim_ && c.gy < dim_;
+  }
+
+  /// Geometry of one cell.
+  geometry::Rect cell_rect(const CellCoord& c) const;
+
+  /// Lower-left corner of a cell — where a group anchored at `c` is aligned.
+  geometry::Point cell_origin(const CellCoord& c) const;
+
+  /// Cell containing a point (clamped to the grid for boundary points).
+  CellCoord cell_of(const geometry::Point& p) const;
+
+  /// Number of cells a w×h object spans per axis when aligned to a cell
+  /// origin (at least 1 each).
+  CellCoord footprint_cells(double w, double h) const;
+
+ private:
+  geometry::Rect region_;
+  int dim_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+};
+
+}  // namespace mp::grid

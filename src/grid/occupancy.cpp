@@ -1,0 +1,131 @@
+#include "grid/occupancy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mp::grid {
+
+Footprint make_footprint(const GridSpec& spec, double w, double h) {
+  Footprint fp;
+  const CellCoord span = spec.footprint_cells(w, h);
+  fp.nx = span.gx;
+  fp.ny = span.gy;
+  fp.util.assign(static_cast<std::size_t>(fp.nx) * fp.ny, 0.0);
+  const double cw = spec.cell_width();
+  const double ch = spec.cell_height();
+  for (int iy = 0; iy < fp.ny; ++iy) {
+    // Vertical overlap of the object with row iy when aligned at y=0.
+    const double oy =
+        std::clamp(h - iy * ch, 0.0, ch);
+    for (int ix = 0; ix < fp.nx; ++ix) {
+      const double ox = std::clamp(w - ix * cw, 0.0, cw);
+      const double frac = (ox * oy) / (cw * ch);
+      fp.util[static_cast<std::size_t>(iy) * fp.nx + ix] =
+          std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return fp;
+}
+
+OccupancyMap::OccupancyMap(const GridSpec& spec)
+    : spec_(spec),
+      occupied_(static_cast<std::size_t>(spec.num_cells()), 0.0) {}
+
+bool OccupancyMap::fits(const Footprint& fp, const CellCoord& anchor) const {
+  return anchor.gx >= 0 && anchor.gy >= 0 &&
+         anchor.gx + fp.nx <= spec_.dim() && anchor.gy + fp.ny <= spec_.dim();
+}
+
+void OccupancyMap::place(const Footprint& fp, const CellCoord& anchor) {
+  assert(fits(fp, anchor));
+  const double cell_area = spec_.cell_area();
+  for (int iy = 0; iy < fp.ny; ++iy) {
+    for (int ix = 0; ix < fp.nx; ++ix) {
+      const CellCoord c{anchor.gx + ix, anchor.gy + iy};
+      occupied_[static_cast<std::size_t>(spec_.flat_index(c))] +=
+          fp.at(ix, iy) * cell_area;
+    }
+  }
+}
+
+void OccupancyMap::remove(const Footprint& fp, const CellCoord& anchor) {
+  assert(fits(fp, anchor));
+  const double cell_area = spec_.cell_area();
+  for (int iy = 0; iy < fp.ny; ++iy) {
+    for (int ix = 0; ix < fp.nx; ++ix) {
+      const CellCoord c{anchor.gx + ix, anchor.gy + iy};
+      double& occ = occupied_[static_cast<std::size_t>(spec_.flat_index(c))];
+      occ = std::max(0.0, occ - fp.at(ix, iy) * cell_area);
+    }
+  }
+}
+
+double OccupancyMap::occupied_area(const CellCoord& c) const {
+  return occupied_[static_cast<std::size_t>(spec_.flat_index(c))];
+}
+
+double OccupancyMap::utilization(const CellCoord& c) const {
+  return std::min(1.0, occupied_area(c) / spec_.cell_area());
+}
+
+std::vector<double> OccupancyMap::utilization_map() const {
+  std::vector<double> out(occupied_.size());
+  const double cell_area = spec_.cell_area();
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    out[i] = std::min(1.0, occupied_[i] / cell_area);
+  }
+  return out;
+}
+
+double OccupancyMap::total_overflow() const {
+  const double capacity = spec_.cell_area();
+  double overflow = 0.0;
+  for (double occ : occupied_) overflow += std::max(0.0, occ - capacity);
+  return overflow;
+}
+
+void OccupancyMap::clear() { std::fill(occupied_.begin(), occupied_.end(), 0.0); }
+
+std::vector<double> availability_map(const OccupancyMap& occupancy,
+                                     const Footprint& fp) {
+  const GridSpec& spec = occupancy.spec();
+  const int dim = spec.dim();
+  std::vector<double> out(static_cast<std::size_t>(dim) * dim, 0.0);
+  const std::vector<double> sp = occupancy.utilization_map();
+  const double inv_n = 1.0 / static_cast<double>(fp.cells());
+
+  // Footprint cells that the group covers completely would zero the product
+  // for every anchor (1 - s_m = 0), making multi-cell groups unplaceable
+  // anywhere.  The group's own coverage is therefore soft-clamped; existing
+  // occupancy (s_p) stays hard: a full cell yields zero availability.
+  constexpr double kMaxSelfCoverage = 0.995;
+
+  for (int gy = 0; gy < dim; ++gy) {
+    for (int gx = 0; gx < dim; ++gx) {
+      const CellCoord anchor{gx, gy};
+      if (!occupancy.fits(fp, anchor)) continue;  // stays 0: off-chip
+      double log_product = 0.0;
+      bool zero = false;
+      for (int iy = 0; iy < fp.ny && !zero; ++iy) {
+        for (int ix = 0; ix < fp.nx && !zero; ++ix) {
+          const CellCoord c{gx + ix, gy + iy};
+          const double sm = std::min(fp.at(ix, iy), kMaxSelfCoverage);
+          const double term =
+              (1.0 - sm) *
+              (1.0 - sp[static_cast<std::size_t>(spec.flat_index(c))]);
+          if (term <= 0.0) {
+            zero = true;
+          } else {
+            log_product += std::log(term);
+          }
+        }
+      }
+      out[static_cast<std::size_t>(spec.flat_index(anchor))] =
+          zero ? 0.0 : std::exp(log_product * inv_n);
+    }
+  }
+  return out;
+}
+
+}  // namespace mp::grid

@@ -1,0 +1,76 @@
+#pragma once
+// Grid occupancy bookkeeping and the paper's state maps:
+//
+//  * OccupancyMap  — per-cell occupied area; its capped utilization is the
+//    paper's s_p (Sec. III-B): groups are aligned to the lower-left corner of
+//    their anchor cell, contribute their geometric overlap to each covered
+//    cell, and a cell's utilization saturates at 1.
+//  * Footprint     — the paper's s_m: the per-cell utilization pattern of the
+//    next macro group, an (nx × ny) matrix.
+//  * availability_map — the paper's s_a via Eq. (4): for each anchor cell g,
+//    the n-th-root of ∏ (1 - s_m(g_i)) (1 - s_p(g_i)) over the n covered
+//    cells, 0 when the footprint leaves the chip.
+
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace mp::grid {
+
+/// Per-cell utilization pattern of one object aligned to a cell origin.
+struct Footprint {
+  int nx = 1;                 ///< covered columns
+  int ny = 1;                 ///< covered rows
+  std::vector<double> util;   ///< row-major (ny rows × nx cols), in [0, 1]
+
+  double at(int ix, int iy) const { return util[static_cast<std::size_t>(iy) * nx + ix]; }
+  int cells() const { return nx * ny; }
+};
+
+/// Builds the footprint (s_m) of a w×h object on `spec`.
+Footprint make_footprint(const GridSpec& spec, double w, double h);
+
+/// Tracks occupied area per grid cell.
+class OccupancyMap {
+ public:
+  explicit OccupancyMap(const GridSpec& spec);
+
+  const GridSpec& spec() const { return spec_; }
+
+  /// Adds (or removes, with negative sign convention via `remove`) the area
+  /// contribution of `fp` anchored at `anchor`.  Out-of-bounds cells of the
+  /// footprint are a precondition violation.
+  void place(const Footprint& fp, const CellCoord& anchor);
+  void remove(const Footprint& fp, const CellCoord& anchor);
+
+  /// Whether the footprint stays inside the grid when anchored at `anchor`.
+  bool fits(const Footprint& fp, const CellCoord& anchor) const;
+
+  /// Raw occupied area of one cell (not capped).
+  double occupied_area(const CellCoord& c) const;
+
+  /// Capped utilization in [0, 1] — the paper's s_p value for one cell.
+  double utilization(const CellCoord& c) const;
+
+  /// Full utilization map, row-major dim×dim — the s_p plane fed to the
+  /// policy/value networks.
+  std::vector<double> utilization_map() const;
+
+  /// Sum over cells of max(0, occupied - capacity): a measure of grid-level
+  /// congestion used by tests and the SA baseline's overflow penalty.
+  double total_overflow() const;
+
+  void clear();
+
+ private:
+  GridSpec spec_;
+  std::vector<double> occupied_;
+};
+
+/// Eq. (4): availability value for anchoring `fp` at every grid cell.
+/// Returns a dim×dim row-major vector; entries where the footprint would
+/// cross the chip boundary are 0.
+std::vector<double> availability_map(const OccupancyMap& occupancy,
+                                     const Footprint& fp);
+
+}  // namespace mp::grid

@@ -1,0 +1,246 @@
+#include "io/bookshelf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mp::io {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::Node;
+using netlist::NodeKind;
+using netlist::PinRef;
+
+void write_nodes(const Design& design, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "UCLA nodes 1.0\n";
+  std::size_t terminals = 0;
+  for (const Node& n : design.nodes()) {
+    if (n.fixed || n.kind == NodeKind::kPad) ++terminals;
+  }
+  os << "NumNodes : " << design.num_nodes() << "\n";
+  os << "NumTerminals : " << terminals << "\n";
+  for (const Node& n : design.nodes()) {
+    os << "  " << n.name << " " << n.width << " " << n.height;
+    if (n.fixed || n.kind == NodeKind::kPad) os << " terminal";
+    os << "\n";
+  }
+}
+
+void write_nets(const Design& design, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "UCLA nets 1.0\n";
+  std::size_t pins = 0;
+  for (const Net& net : design.nets()) pins += net.pins.size();
+  os << "NumNets : " << design.num_nets() << "\n";
+  os << "NumPins : " << pins << "\n";
+  for (std::size_t i = 0; i < design.num_nets(); ++i) {
+    const Net& net = design.net(static_cast<netlist::NetId>(i));
+    os << "NetDegree : " << net.pins.size() << " " << net.name << "\n";
+    for (const PinRef& pin : net.pins) {
+      const Node& owner = design.node(pin.node);
+      // Bookshelf pin offsets are measured from the node center.
+      const double cx = pin.dx - owner.width / 2.0;
+      const double cy = pin.dy - owner.height / 2.0;
+      os << "  " << owner.name << " B : " << cx << " " << cy << "\n";
+    }
+  }
+}
+
+void write_pl(const Design& design, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "UCLA pl 1.0\n";
+  for (const Node& n : design.nodes()) {
+    os << n.name << " " << n.position.x << " " << n.position.y << " : N";
+    if (n.fixed || n.kind == NodeKind::kPad) os << " /FIXED";
+    os << "\n";
+  }
+}
+
+void write_bookshelf(const Design& design, const std::string& prefix) {
+  const auto open = [](const std::string& path) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    return f;
+  };
+  {
+    auto f = open(prefix + ".nodes");
+    write_nodes(design, f);
+  }
+  {
+    auto f = open(prefix + ".nets");
+    write_nets(design, f);
+  }
+  {
+    auto f = open(prefix + ".pl");
+    write_pl(design, f);
+  }
+}
+
+namespace {
+
+// Strips comments (#...) and returns trimmed line; empty when blank.
+std::string clean_line(const std::string& raw) {
+  std::string line = raw;
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  line.erase(line.begin(), std::find_if(line.begin(), line.end(), not_space));
+  line.erase(std::find_if(line.rbegin(), line.rend(), not_space).base(),
+             line.end());
+  return line;
+}
+
+struct RawNode {
+  std::string name;
+  double w = 0.0;
+  double h = 0.0;
+  bool terminal = false;
+};
+
+}  // namespace
+
+Design read_bookshelf(const std::string& prefix, double macro_area_threshold) {
+  // --- .nodes ---
+  std::ifstream nodes_file(prefix + ".nodes");
+  if (!nodes_file) throw std::runtime_error("cannot open " + prefix + ".nodes");
+  std::vector<RawNode> raw_nodes;
+  std::string line;
+  while (std::getline(nodes_file, line)) {
+    line = clean_line(line);
+    if (line.empty() || line.rfind("UCLA", 0) == 0 ||
+        line.rfind("NumNodes", 0) == 0 || line.rfind("NumTerminals", 0) == 0) {
+      continue;
+    }
+    std::istringstream ss(line);
+    RawNode rn;
+    std::string tag;
+    if (!(ss >> rn.name >> rn.w >> rn.h)) {
+      throw std::runtime_error("bad .nodes line: " + line);
+    }
+    if (ss >> tag && tag == "terminal") rn.terminal = true;
+    raw_nodes.push_back(rn);
+  }
+
+  // Median movable area for macro classification.
+  std::vector<double> movable_areas;
+  for (const RawNode& rn : raw_nodes) {
+    if (!rn.terminal) movable_areas.push_back(rn.w * rn.h);
+  }
+  double median_area = 1.0;
+  if (!movable_areas.empty()) {
+    std::nth_element(movable_areas.begin(),
+                     movable_areas.begin() + movable_areas.size() / 2,
+                     movable_areas.end());
+    median_area = std::max(1e-12, movable_areas[movable_areas.size() / 2]);
+  }
+
+  Design design(prefix, geometry::Rect());
+  std::unordered_map<std::string, netlist::NodeId> ids;
+  for (const RawNode& rn : raw_nodes) {
+    Node node;
+    node.name = rn.name;
+    node.width = rn.w;
+    node.height = rn.h;
+    const double area = rn.w * rn.h;
+    if (rn.terminal) {
+      node.kind = (area > macro_area_threshold * median_area)
+                      ? NodeKind::kMacro
+                      : NodeKind::kPad;
+      node.fixed = true;
+    } else {
+      node.kind = (area > macro_area_threshold * median_area)
+                      ? NodeKind::kMacro
+                      : NodeKind::kStdCell;
+      node.fixed = false;
+    }
+    ids[rn.name] = design.add_node(node);
+  }
+
+  // --- .nets ---
+  std::ifstream nets_file(prefix + ".nets");
+  if (!nets_file) throw std::runtime_error("cannot open " + prefix + ".nets");
+  Net current;
+  bool in_net = false;
+  int net_counter = 0;
+  const auto flush_net = [&]() {
+    if (in_net && !current.pins.empty()) design.add_net(current);
+    current = Net{};
+    in_net = false;
+  };
+  while (std::getline(nets_file, line)) {
+    line = clean_line(line);
+    if (line.empty() || line.rfind("UCLA", 0) == 0 ||
+        line.rfind("NumNets", 0) == 0 || line.rfind("NumPins", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("NetDegree", 0) == 0) {
+      flush_net();
+      std::istringstream ss(line);
+      std::string tag, colon, name;
+      int degree = 0;
+      ss >> tag >> colon >> degree;
+      if (colon != ":") {
+        // "NetDegree : N name" vs "NetDegree:N" variants
+        throw std::runtime_error("bad NetDegree line: " + line);
+      }
+      if (!(ss >> name)) name = "n" + std::to_string(net_counter);
+      ++net_counter;
+      current.name = name;
+      in_net = true;
+      continue;
+    }
+    if (!in_net) continue;
+    std::istringstream ss(line);
+    std::string node_name, direction, colon;
+    double cx = 0.0, cy = 0.0;
+    ss >> node_name >> direction;
+    if (ss >> colon && colon == ":") ss >> cx >> cy;
+    const auto it = ids.find(node_name);
+    if (it == ids.end()) {
+      throw std::runtime_error("net references unknown node: " + node_name);
+    }
+    const Node& owner = design.node(it->second);
+    PinRef pin;
+    pin.node = it->second;
+    pin.dx = cx + owner.width / 2.0;
+    pin.dy = cy + owner.height / 2.0;
+    current.pins.push_back(pin);
+  }
+  flush_net();
+
+  // --- .pl ---
+  std::ifstream pl_file(prefix + ".pl");
+  if (!pl_file) throw std::runtime_error("cannot open " + prefix + ".pl");
+  while (std::getline(pl_file, line)) {
+    line = clean_line(line);
+    if (line.empty() || line.rfind("UCLA", 0) == 0) continue;
+    std::istringstream ss(line);
+    std::string name;
+    double x = 0.0, y = 0.0;
+    if (!(ss >> name >> x >> y)) continue;
+    const auto it = ids.find(name);
+    if (it == ids.end()) continue;
+    design.node(it->second).position = {x, y};
+  }
+
+  // Derive the region as the bounding box of everything.
+  geometry::BoundingBox box;
+  for (const Node& n : design.nodes()) {
+    box.add(n.position);
+    box.add({n.position.x + n.width, n.position.y + n.height});
+  }
+  if (!box.empty()) {
+    design.set_region(geometry::Rect(box.min_x(), box.min_y(), box.width(),
+                                     box.height()));
+  }
+  return design;
+}
+
+}  // namespace mp::io

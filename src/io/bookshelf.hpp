@@ -1,0 +1,32 @@
+#pragma once
+// Bookshelf-subset reader/writer (.nodes / .nets / .pl) so designs round-trip
+// to the format used by the ICCAD04 mixed-size benchmarks.  The subset covers
+// what the placers need: node dimensions, terminal markers, pin offsets and
+// locations; SCL row information is not modeled (the global placer spreads
+// over a continuous region).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace mp::io {
+
+/// Writes `<prefix>.nodes`, `<prefix>.nets` and `<prefix>.pl`.
+/// Throws std::runtime_error when a file cannot be opened.
+void write_bookshelf(const netlist::Design& design, const std::string& prefix);
+
+/// Reads a design from `<prefix>.nodes`, `<prefix>.nets`, `<prefix>.pl`.
+/// Nodes marked `terminal` whose area exceeds `macro_area_threshold` times
+/// the median movable area are classified as macros; smaller terminals
+/// become pads.  Movable nodes above the threshold are movable macros.
+/// Throws std::runtime_error on parse errors.
+netlist::Design read_bookshelf(const std::string& prefix,
+                               double macro_area_threshold = 4.0);
+
+// Stream-level entry points (used by tests; file versions wrap these).
+void write_nodes(const netlist::Design& design, std::ostream& os);
+void write_nets(const netlist::Design& design, std::ostream& os);
+void write_pl(const netlist::Design& design, std::ostream& os);
+
+}  // namespace mp::io

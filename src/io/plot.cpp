@@ -1,0 +1,126 @@
+#include "io/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mp::io {
+
+namespace {
+
+struct Rgb {
+  unsigned char r, g, b;
+};
+
+constexpr Rgb kBackground{245, 245, 245};
+constexpr Rgb kMacroMovable{66, 133, 244};
+constexpr Rgb kMacroFixed{120, 120, 120};
+constexpr Rgb kCell{221, 148, 72};
+constexpr Rgb kPad{40, 160, 90};
+constexpr Rgb kGridLine{200, 200, 210};
+
+class Canvas {
+ public:
+  Canvas(int w, int h) : w_(w), h_(h), pixels_(static_cast<std::size_t>(w) * h, kBackground) {}
+
+  void set(int x, int y, Rgb color) {
+    if (x < 0 || y < 0 || x >= w_ || y >= h_) return;
+    // Flip y so the image has math orientation (y up).
+    pixels_[static_cast<std::size_t>(h_ - 1 - y) * w_ + x] = color;
+  }
+
+  void fill_rect(int x0, int y0, int x1, int y1, Rgb color) {
+    for (int y = std::max(0, y0); y <= std::min(h_ - 1, y1); ++y) {
+      for (int x = std::max(0, x0); x <= std::min(w_ - 1, x1); ++x) {
+        set(x, y, color);
+      }
+    }
+  }
+
+  void outline_rect(int x0, int y0, int x1, int y1, Rgb color) {
+    for (int x = x0; x <= x1; ++x) {
+      set(x, y0, color);
+      set(x, y1, color);
+    }
+    for (int y = y0; y <= y1; ++y) {
+      set(x0, y, color);
+      set(x1, y, color);
+    }
+  }
+
+  void write_ppm(const std::string& path) const {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    f << "P6\n" << w_ << " " << h_ << "\n255\n";
+    for (const Rgb& p : pixels_) {
+      f.put(static_cast<char>(p.r));
+      f.put(static_cast<char>(p.g));
+      f.put(static_cast<char>(p.b));
+    }
+  }
+
+ private:
+  int w_, h_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace
+
+void plot_placement(const netlist::Design& design, const std::string& path,
+                    const PlotOptions& options) {
+  const geometry::Rect region = design.region();
+  const double aspect = (region.w > 0.0) ? region.h / region.w : 1.0;
+  const int width = std::max(16, options.width_px);
+  const int height = std::max(16, static_cast<int>(std::lround(width * aspect)));
+  Canvas canvas(width, height);
+
+  const double sx = (region.w > 0.0) ? width / region.w : 1.0;
+  const double sy = (region.h > 0.0) ? height / region.h : 1.0;
+  const auto to_px_x = [&](double x) {
+    return static_cast<int>(std::lround((x - region.x) * sx));
+  };
+  const auto to_px_y = [&](double y) {
+    return static_cast<int>(std::lround((y - region.y) * sy));
+  };
+
+  if (options.draw_grid && options.grid_dim > 0) {
+    for (int g = 0; g <= options.grid_dim; ++g) {
+      const int px = static_cast<int>(std::lround(
+          static_cast<double>(g) * width / options.grid_dim));
+      const int py = static_cast<int>(std::lround(
+          static_cast<double>(g) * height / options.grid_dim));
+      canvas.fill_rect(px, 0, px, height - 1, kGridLine);
+      canvas.fill_rect(0, py, width - 1, py, kGridLine);
+    }
+  }
+
+  // Cells first (background layer), then macros, then pads.
+  if (options.draw_cells) {
+    for (const netlist::Node& n : design.nodes()) {
+      if (n.kind != netlist::NodeKind::kStdCell) continue;
+      canvas.set(to_px_x(n.center().x), to_px_y(n.center().y), kCell);
+    }
+  }
+  for (const netlist::Node& n : design.nodes()) {
+    if (n.kind != netlist::NodeKind::kMacro) continue;
+    const Rgb color = n.fixed ? kMacroFixed : kMacroMovable;
+    canvas.fill_rect(to_px_x(n.position.x), to_px_y(n.position.y),
+                     to_px_x(n.position.x + n.width),
+                     to_px_y(n.position.y + n.height), color);
+    canvas.outline_rect(to_px_x(n.position.x), to_px_y(n.position.y),
+                        to_px_x(n.position.x + n.width),
+                        to_px_y(n.position.y + n.height), Rgb{30, 30, 30});
+  }
+  for (const netlist::Node& n : design.nodes()) {
+    if (n.kind != netlist::NodeKind::kPad) continue;
+    const int px = to_px_x(n.center().x);
+    const int py = to_px_y(n.center().y);
+    canvas.fill_rect(px - 1, py - 1, px + 1, py + 1, kPad);
+  }
+
+  canvas.write_ppm(path);
+}
+
+}  // namespace mp::io

@@ -1,0 +1,24 @@
+#pragma once
+// Placement visualization: renders a design to a binary PPM image (macros,
+// cells and pads in distinct colors) so results can be inspected without any
+// external dependency.
+
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace mp::io {
+
+struct PlotOptions {
+  int width_px = 800;          ///< image width; height follows aspect ratio
+  bool draw_cells = true;      ///< cells drawn as single pixels
+  bool draw_grid = false;      ///< overlay ζ×ζ grid lines
+  int grid_dim = 16;
+};
+
+/// Writes a PPM (P6) image of the current placement.
+/// Throws std::runtime_error when the file cannot be opened.
+void plot_placement(const netlist::Design& design, const std::string& path,
+                    const PlotOptions& options = {});
+
+}  // namespace mp::io

@@ -1,0 +1,238 @@
+#include "legal/lp_legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "legal/sequence_pair.hpp"
+#include "lp/simplex.hpp"
+#include "util/log.hpp"
+
+namespace mp::legal {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::NetId;
+using netlist::NodeId;
+using netlist::PinRef;
+
+namespace {
+
+// One axis worth of net data for the LP objective.
+struct NetTerm {
+  double weight = 1.0;
+  // (macro local index, pin offset along the axis) for movable pins.
+  std::vector<std::pair<int, double>> movable_pins;
+  double fixed_min = std::numeric_limits<double>::infinity();
+  double fixed_max = -std::numeric_limits<double>::infinity();
+  bool has_fixed = false;
+};
+
+// Solves one axis.  `sizes` are widths (x axis) or heights; `lo`/`hi` are the
+// per-macro allowed intervals for the coordinate (lower-left corner).
+// Returns true when the LP solved; positions written into `coords`.
+bool solve_axis(const std::vector<PairConstraint>& constraints,
+                PairRelation relation, const std::vector<double>& sizes,
+                const std::vector<double>& lo, const std::vector<double>& hi,
+                const std::vector<NetTerm>& nets, std::vector<double>& coords,
+                int iteration_limit) {
+  const std::size_t n = sizes.size();
+  const std::size_t num_nets = nets.size();
+
+  // Global shift so all variable values are non-negative.
+  double shift = 0.0;
+  for (double v : lo) shift = std::min(shift, v);
+  for (const NetTerm& net : nets) {
+    if (net.has_fixed) shift = std::min(shift, net.fixed_min);
+  }
+  shift -= 1.0;
+
+  const std::size_t num_vars = n + 2 * num_nets;  // x_i, then u_k, l_k
+  lp::LinearProgram lp(num_vars);
+  for (std::size_t k = 0; k < num_nets; ++k) {
+    lp.set_objective(n + 2 * k, nets[k].weight);        // u_k
+    lp.set_objective(n + 2 * k + 1, -nets[k].weight);   // -l_k
+  }
+  // Separation constraints for the requested relation only.
+  for (const PairConstraint& c : constraints) {
+    if (c.relation != relation) continue;
+    lp.add_difference_ge(static_cast<std::size_t>(c.j),
+                         static_cast<std::size_t>(c.i),
+                         sizes[static_cast<std::size_t>(c.i)]);
+  }
+  // Bounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    lp.add_lower_bound(i, lo[i] - shift);
+    lp.add_upper_bound(i, std::max(lo[i], hi[i]) - shift);
+  }
+  // Net linearization.
+  for (std::size_t k = 0; k < num_nets; ++k) {
+    const std::size_t u = n + 2 * k;
+    const std::size_t l = n + 2 * k + 1;
+    for (const auto& [macro, off] : nets[k].movable_pins) {
+      // u >= x_i + off   <=>  u - x_i >= off
+      std::vector<double> row_u(num_vars, 0.0);
+      row_u[u] = 1.0;
+      row_u[static_cast<std::size_t>(macro)] = -1.0;
+      lp.add_constraint(std::move(row_u), lp::Relation::kGreaterEqual, off);
+      // l <= x_i + off   <=>  x_i - l >= -off
+      std::vector<double> row_l(num_vars, 0.0);
+      row_l[static_cast<std::size_t>(macro)] = 1.0;
+      row_l[l] = -1.0;
+      lp.add_constraint(std::move(row_l), lp::Relation::kGreaterEqual, -off);
+    }
+    if (nets[k].has_fixed) {
+      lp.add_lower_bound(u, nets[k].fixed_max - shift);
+      lp.add_upper_bound(l, nets[k].fixed_min - shift);
+    }
+  }
+
+  const lp::LpResult result = lp.solve(iteration_limit);
+  if (result.status != lp::LpStatus::kOptimal) return false;
+  coords.resize(n);
+  for (std::size_t i = 0; i < n; ++i) coords[i] = result.x[i] + shift;
+  return true;
+}
+
+}  // namespace
+
+LpLegalizeResult lp_legalize_component(Design& design,
+                                       const std::vector<NodeId>& macros,
+                                       const geometry::Rect& region,
+                                       const std::vector<geometry::Rect>& allowed,
+                                       const LpLegalizeOptions& options) {
+  LpLegalizeResult out;
+  const std::size_t n = macros.size();
+  if (n == 0) return out;
+
+  std::vector<geometry::Rect> rects(n);
+  if (n > options.max_lp_macros) {
+    // Dense-simplex cost is prohibitive; use longest-path packing from the
+    // region origin instead (always overlap-free).
+    std::vector<double> widths(n), heights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rects[i] = design.node(macros[i]).rect();
+      widths[i] = rects[i].w;
+      heights[i] = rects[i].h;
+    }
+    const SequencePair sp = sequence_pair_from_placement(rects);
+    std::vector<geometry::Point> packed;
+    pack_longest_path(sp, widths, heights, region.lower_left(), packed);
+    for (std::size_t i = 0; i < n; ++i) {
+      design.node(macros[i]).position = {
+          geometry::fit_interval(packed[i].x, widths[i], region.left(),
+                                 region.right()),
+          geometry::fit_interval(packed[i].y, heights[i], region.bottom(),
+                                 region.top())};
+    }
+    return out;
+  }
+
+  std::vector<double> widths(n), heights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rects[i] = design.node(macros[i]).rect();
+    widths[i] = rects[i].w;
+    heights[i] = rects[i].h;
+  }
+  const SequencePair sp = sequence_pair_from_placement(rects);
+  const std::vector<PairConstraint> constraints = extract_constraints(sp);
+
+  // Per-macro allowed interval per axis, clipped to the component region.
+  std::vector<double> lo_x(n), hi_x(n), lo_y(n), hi_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    geometry::Rect box = allowed.empty() ? region : allowed[i];
+    lo_x[i] = std::max(box.left(), region.left());
+    hi_x[i] = std::min(box.right(), region.right()) - widths[i];
+    lo_y[i] = std::max(box.bottom(), region.bottom());
+    hi_y[i] = std::min(box.top(), region.top()) - heights[i];
+    if (hi_x[i] < lo_x[i]) hi_x[i] = lo_x[i];
+    if (hi_y[i] < lo_y[i]) hi_y[i] = lo_y[i];
+  }
+
+  // Collect nets touching the component's macros.
+  std::vector<int> local_of(design.num_nodes(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    local_of[static_cast<std::size_t>(macros[i])] = static_cast<int>(i);
+  }
+  std::set<NetId> net_ids;
+  const auto& adjacency = design.node_nets();
+  for (NodeId m : macros) {
+    for (NetId net : adjacency[static_cast<std::size_t>(m)]) net_ids.insert(net);
+  }
+  struct ScoredNet {
+    NetId id;
+    double weight;
+  };
+  std::vector<ScoredNet> scored;
+  for (NetId id : net_ids) {
+    const Net& net = design.net(id);
+    if (net.pins.size() < 2 || net.pins.size() > options.max_net_degree) continue;
+    scored.push_back({id, net.weight});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredNet& a, const ScoredNet& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.id < b.id;
+            });
+  if (scored.size() > options.max_nets) scored.resize(options.max_nets);
+
+  std::vector<NetTerm> nets_x, nets_y;
+  for (const ScoredNet& sn : scored) {
+    const Net& net = design.net(sn.id);
+    NetTerm tx, ty;
+    tx.weight = ty.weight = net.weight;
+    for (const PinRef& pin : net.pins) {
+      const int local = local_of[static_cast<std::size_t>(pin.node)];
+      if (local >= 0) {
+        tx.movable_pins.emplace_back(local, pin.dx);
+        ty.movable_pins.emplace_back(local, pin.dy);
+      } else {
+        const geometry::Point p = design.pin_position(pin);
+        tx.fixed_min = std::min(tx.fixed_min, p.x);
+        tx.fixed_max = std::max(tx.fixed_max, p.x);
+        tx.has_fixed = true;
+        ty.fixed_min = std::min(ty.fixed_min, p.y);
+        ty.fixed_max = std::max(ty.fixed_max, p.y);
+        ty.has_fixed = true;
+      }
+    }
+    if (tx.movable_pins.empty()) continue;
+    // A single movable pin and no fixed pins gives a vacuous objective term.
+    if (!tx.has_fixed && tx.movable_pins.size() < 2) continue;
+    nets_x.push_back(std::move(tx));
+    nets_y.push_back(std::move(ty));
+  }
+
+  std::vector<double> xs(n), ys(n);
+  out.lp_solved_x =
+      solve_axis(constraints, PairRelation::kLeftOf, widths, lo_x, hi_x,
+                 nets_x, xs, options.simplex_iteration_limit);
+  out.lp_solved_y =
+      solve_axis(constraints, PairRelation::kBelow, heights, lo_y, hi_y,
+                 nets_y, ys, options.simplex_iteration_limit);
+
+  if (!out.lp_solved_x || !out.lp_solved_y) {
+    // Fallback: longest-path packing from the region origin (always
+    // overlap-free; may exceed the region when the component cannot fit).
+    std::vector<geometry::Point> packed;
+    pack_longest_path(sp, widths, heights, region.lower_left(), packed);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!out.lp_solved_x) xs[i] = packed[i].x;
+      if (!out.lp_solved_y) ys[i] = packed[i].y;
+    }
+    util::log_debug() << "lp_legalize: fallback packing used for component of "
+                      << n << " macros";
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Guard against 1-ulp bound violations from the simplex arithmetic.
+    design.node(macros[i]).position = {
+        geometry::fit_interval(xs[i], widths[i], region.left(), region.right()),
+        geometry::fit_interval(ys[i], heights[i], region.bottom(),
+                               region.top())};
+  }
+  return out;
+}
+
+}  // namespace mp::legal

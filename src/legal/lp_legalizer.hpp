@@ -1,0 +1,51 @@
+#pragma once
+// LP-based overlap removal (Eq. (3), after Tang-Tian-Wong): given a set of
+// movable macros, a bounding region and the sequence pair extracted from
+// their current positions, solve — per axis, independently — a linear
+// program that satisfies the sequence-pair separation constraints, keeps each
+// macro inside its allowed region, and minimizes the weighted one-dimensional
+// half-perimeter wirelength of the nets touching those macros.
+//
+// Net HPWL is linearized with the usual max/min auxiliary variables:
+//     minimize Σ λ_n (u_n − l_n)
+//     u_n ≥ x_i + off_i        for every movable pin on net n
+//     l_n ≤ x_i + off_i
+//     u_n ≥ fmax_n,  l_n ≤ fmin_n   (bounding box of the net's fixed pins)
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::legal {
+
+struct LpLegalizeOptions {
+  /// Most-weighted nets kept in the objective (per component); the rest are
+  /// dropped — they only affect the objective, never feasibility.
+  std::size_t max_nets = 120;
+  /// Nets above this pin count are ignored (global nets).
+  std::size_t max_net_degree = 64;
+  int simplex_iteration_limit = 20000;
+  /// Components larger than this skip the LP entirely (the sequence-pair
+  /// constraint count is O(n²) and the dense simplex tableau becomes
+  /// minutes-slow); they fall through to longest-path packing / shove.
+  std::size_t max_lp_macros = 18;
+};
+
+struct LpLegalizeResult {
+  bool lp_solved_x = false;  ///< x LP reached optimality (else packed fallback)
+  bool lp_solved_y = false;
+  double objective_x = 0.0;
+  double objective_y = 0.0;
+};
+
+/// Legalizes `macros` (node ids into `design`) inside `region`.  Current
+/// positions seed the sequence pair; final positions are written back.
+/// `allowed` optionally restricts each macro to its own sub-region (same
+/// length as `macros`); pass empty to use `region` for all.
+LpLegalizeResult lp_legalize_component(
+    netlist::Design& design, const std::vector<netlist::NodeId>& macros,
+    const geometry::Rect& region,
+    const std::vector<geometry::Rect>& allowed = {},
+    const LpLegalizeOptions& options = {});
+
+}  // namespace mp::legal

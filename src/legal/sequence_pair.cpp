@@ -1,0 +1,127 @@
+#include "legal/sequence_pair.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mp::legal {
+
+SequencePair sequence_pair_from_placement(
+    const std::vector<geometry::Rect>& rects) {
+  const std::size_t n = rects.size();
+  SequencePair sp;
+  sp.s_plus.resize(n);
+  sp.s_minus.resize(n);
+  std::iota(sp.s_plus.begin(), sp.s_plus.end(), 0);
+  std::iota(sp.s_minus.begin(), sp.s_minus.end(), 0);
+
+  const auto anti_key = [&](int i) {
+    const geometry::Point c = rects[static_cast<std::size_t>(i)].center();
+    return c.x - c.y;
+  };
+  const auto diag_key = [&](int i) {
+    const geometry::Point c = rects[static_cast<std::size_t>(i)].center();
+    return c.x + c.y;
+  };
+  std::sort(sp.s_plus.begin(), sp.s_plus.end(), [&](int a, int b) {
+    const double ka = anti_key(a), kb = anti_key(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  std::sort(sp.s_minus.begin(), sp.s_minus.end(), [&](int a, int b) {
+    const double ka = diag_key(a), kb = diag_key(b);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  return sp;
+}
+
+std::vector<PairConstraint> extract_constraints(const SequencePair& sp) {
+  const std::size_t n = sp.size();
+  std::vector<int> pos_plus(n), pos_minus(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    pos_plus[static_cast<std::size_t>(sp.s_plus[k])] = static_cast<int>(k);
+    pos_minus[static_cast<std::size_t>(sp.s_minus[k])] = static_cast<int>(k);
+  }
+  std::vector<PairConstraint> out;
+  out.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool i_first_plus = pos_plus[i] < pos_plus[j];
+      const bool i_first_minus = pos_minus[i] < pos_minus[j];
+      PairConstraint c;
+      if (i_first_plus && i_first_minus) {
+        c = {static_cast<int>(i), static_cast<int>(j), PairRelation::kLeftOf};
+      } else if (!i_first_plus && i_first_minus) {
+        c = {static_cast<int>(i), static_cast<int>(j), PairRelation::kBelow};
+      } else if (i_first_plus && !i_first_minus) {
+        // j below i.
+        c = {static_cast<int>(j), static_cast<int>(i), PairRelation::kBelow};
+      } else {
+        // j left of i.
+        c = {static_cast<int>(j), static_cast<int>(i), PairRelation::kLeftOf};
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool is_valid_sequence_pair(const SequencePair& sp) {
+  if (sp.s_plus.size() != sp.s_minus.size()) return false;
+  const std::size_t n = sp.size();
+  std::vector<bool> seen(n, false);
+  for (int v : sp.s_plus) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n || seen[static_cast<std::size_t>(v)])
+      return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  std::fill(seen.begin(), seen.end(), false);
+  for (int v : sp.s_minus) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n || seen[static_cast<std::size_t>(v)])
+      return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+void pack_longest_path(const SequencePair& sp, const std::vector<double>& widths,
+                       const std::vector<double>& heights,
+                       const geometry::Point& origin,
+                       std::vector<geometry::Point>& positions) {
+  const std::size_t n = sp.size();
+  assert(widths.size() == n && heights.size() == n);
+  positions.assign(n, origin);
+  const std::vector<PairConstraint> constraints = extract_constraints(sp);
+
+  // Longest path via repeated relaxation in topological-ish order; the
+  // constraint graph is a DAG, and processing pairs sorted by S+ position
+  // relaxes each edge after its source is final (both edge kinds point from
+  // earlier to later... below-edges point from the S- -earlier node; use
+  // simple Bellman-Ford style sweeps, n is small).
+  bool changed = true;
+  std::size_t sweeps = 0;
+  while (changed && sweeps <= n + 1) {
+    changed = false;
+    ++sweeps;
+    for (const PairConstraint& c : constraints) {
+      const std::size_t i = static_cast<std::size_t>(c.i);
+      const std::size_t j = static_cast<std::size_t>(c.j);
+      if (c.relation == PairRelation::kLeftOf) {
+        const double need = positions[i].x + widths[i];
+        if (positions[j].x < need) {
+          positions[j].x = need;
+          changed = true;
+        }
+      } else {
+        const double need = positions[i].y + heights[i];
+        if (positions[j].y < need) {
+          positions[j].y = need;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mp::legal

@@ -1,0 +1,56 @@
+#pragma once
+// Sequence-pair representation [Murata et al., ICCAD'95] used by the macro
+// legalizer (Sec. II-B step 3): the geometric relations of an existing
+// placement are captured as two permutations (S+, S-); the LP then removes
+// overlaps while honoring those relations.
+//
+// Convention: for macros i, j
+//   i before j in S+ AND in S-  =>  i is left of j   (x_j - x_i >= w_i)
+//   i after  j in S+, before in S-  =>  i is below j (y_j - y_i >= h_i)
+
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+namespace mp::legal {
+
+struct SequencePair {
+  std::vector<int> s_plus;   ///< permutation of 0..n-1
+  std::vector<int> s_minus;  ///< permutation of 0..n-1
+
+  std::size_t size() const { return s_plus.size(); }
+};
+
+/// Derives a sequence pair from rectangle centers: S+ orders by the
+/// anti-diagonal key (cx - cy), S- by the diagonal key (cx + cy) — the
+/// stepline construction, which reproduces left-of/below relations of any
+/// overlap-free placement and gives a consistent relation for overlapping
+/// ones.  Ties break by index so the result is deterministic.
+SequencePair sequence_pair_from_placement(const std::vector<geometry::Rect>& rects);
+
+/// Relation of an ordered pair under a sequence pair.
+enum class PairRelation { kLeftOf, kBelow };
+
+/// All ordered pairs (i, j) with their relation: for kLeftOf, i is left of j;
+/// for kBelow, i is below j.  Exactly one relation per unordered pair.
+struct PairConstraint {
+  int i = 0;
+  int j = 0;
+  PairRelation relation = PairRelation::kLeftOf;
+};
+
+std::vector<PairConstraint> extract_constraints(const SequencePair& sp);
+
+/// True when both vectors are permutations of 0..n-1 with equal n.
+bool is_valid_sequence_pair(const SequencePair& sp);
+
+/// Packed placement by longest paths: x from left edge honoring horizontal
+/// constraints, y from bottom honoring vertical ones (no wirelength
+/// objective; used as an LP fallback and by tests as a feasibility witness).
+void pack_longest_path(const SequencePair& sp,
+                       const std::vector<double>& widths,
+                       const std::vector<double>& heights,
+                       const geometry::Point& origin,
+                       std::vector<geometry::Point>& positions);
+
+}  // namespace mp::legal

@@ -1,0 +1,92 @@
+#include "legal/shove.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mp::legal {
+
+using netlist::Design;
+using netlist::NodeId;
+
+namespace {
+
+bool position_free(const geometry::Rect& candidate,
+                   const std::vector<geometry::Rect>& placed,
+                   const std::vector<geometry::Rect>& obstacles) {
+  for (const geometry::Rect& r : placed) {
+    if (candidate.overlaps(r)) return false;
+  }
+  for (const geometry::Rect& r : obstacles) {
+    if (candidate.overlaps(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ShoveResult shove_legalize(Design& design, const std::vector<NodeId>& macros,
+                           const geometry::Rect& region,
+                           const std::vector<geometry::Rect>& obstacles,
+                           const ShoveOptions& options) {
+  ShoveResult result;
+  if (macros.empty()) return result;
+
+  // Biggest first: large macros have the fewest options.
+  std::vector<NodeId> order = macros;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return design.node(a).area() > design.node(b).area();
+  });
+
+  double avg_dim = 0.0;
+  for (NodeId id : order) {
+    avg_dim += (design.node(id).width + design.node(id).height) / 2.0;
+  }
+  avg_dim /= static_cast<double>(order.size());
+  const double step = std::max(1e-6, options.step_fraction * avg_dim);
+
+  std::vector<geometry::Rect> placed;
+  placed.reserve(order.size());
+
+  for (NodeId id : order) {
+    netlist::Node& node = design.node(id);
+    const double w = node.width;
+    const double h = node.height;
+    const auto clamp_pos = [&](geometry::Point p) {
+      p.x = geometry::fit_interval(p.x, w, region.left(), region.right());
+      p.y = geometry::fit_interval(p.y, h, region.bottom(), region.top());
+      return p;
+    };
+
+    const geometry::Point desired = clamp_pos(node.position);
+    geometry::Point best = desired;
+    bool found = false;
+
+    // Ring search around the desired position.
+    for (int ring = 0; ring <= options.max_rings && !found; ++ring) {
+      const double radius = ring * step;
+      // Candidate points on the ring (8 directions + axis-aligned fill).
+      const int samples = std::max(1, 8 * ring);
+      for (int s = 0; s < samples; ++s) {
+        const double angle =
+            2.0 * 3.14159265358979323846 * static_cast<double>(s) / samples;
+        const geometry::Point candidate = clamp_pos(
+            {desired.x + radius * std::cos(angle), desired.y + radius * std::sin(angle)});
+        const geometry::Rect rect(candidate.x, candidate.y, w, h);
+        if (region.contains(rect) && position_free(rect, placed, obstacles)) {
+          best = candidate;
+          found = true;
+          if (ring > 0) ++result.moved;
+          break;
+        }
+        if (ring == 0) break;  // ring 0 has a single candidate
+      }
+    }
+    if (!found) ++result.unplaced;
+    node.position = best;
+    placed.push_back(node.rect());
+  }
+  return result;
+}
+
+}  // namespace mp::legal

@@ -1,0 +1,33 @@
+#pragma once
+// Greedy displacement-minimizing legalizer used as the final safety net: it
+// guarantees an overlap-free macro placement whenever total macro area fits
+// in the region, regardless of what the LP produced.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::legal {
+
+struct ShoveOptions {
+  /// Search-ring step as a fraction of the average macro dimension.
+  double step_fraction = 0.25;
+  /// Give up on a macro after this many search rings (it is then clamped to
+  /// the closest in-region position even if overlapping).
+  int max_rings = 256;
+};
+
+struct ShoveResult {
+  int moved = 0;     ///< macros displaced from their desired spot
+  int unplaced = 0;  ///< macros that could not be made overlap-free
+};
+
+/// Legalizes `macros` inside `region` by greedy nearest-free-position search,
+/// biggest macros first; also avoids the fixed obstacles in `obstacles`.
+ShoveResult shove_legalize(netlist::Design& design,
+                           const std::vector<netlist::NodeId>& macros,
+                           const geometry::Rect& region,
+                           const std::vector<geometry::Rect>& obstacles = {},
+                           const ShoveOptions& options = {});
+
+}  // namespace mp::legal

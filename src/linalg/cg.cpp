@@ -1,0 +1,59 @@
+#include "linalg/cg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mp::linalg {
+
+CgResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
+                            const CgOptions& options) {
+  const std::size_t n = a.dimension();
+  assert(b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  CgResult result;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner M = diag(A); fall back to identity on zero pivots.
+  Vec inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = (std::abs(d) > 1e-300) ? 1.0 / d : 1.0;
+
+  Vec r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  Vec p = z;
+  double rz = dot(r, z);
+
+  Vec ap(n);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // loss of positive definiteness (numerical)
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    result.residual = norm2(r) / b_norm;
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual = norm2(r) / b_norm;
+  result.converged = result.residual < options.tolerance;
+  return result;
+}
+
+}  // namespace mp::linalg

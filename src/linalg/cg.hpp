@@ -1,0 +1,27 @@
+#pragma once
+// Jacobi-preconditioned conjugate gradient for the SPD systems produced by
+// quadratic placement.  The matrices are graph Laplacians plus fixed-pin
+// diagonal terms, so they are symmetric positive definite whenever at least
+// one fixed pin anchors each connected component.
+
+#include "linalg/sparse.hpp"
+
+namespace mp::linalg {
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-8;  ///< relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+/// Solves A x = b in place; `x` supplies the initial guess and receives the
+/// solution.  Returns convergence statistics.
+CgResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
+                            const CgOptions& options = {});
+
+}  // namespace mp::linalg

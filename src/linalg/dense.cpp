@@ -1,0 +1,38 @@
+#include "linalg/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mp::linalg {
+
+double dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vec& v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vec& v, double alpha) {
+  for (double& value : v) value *= alpha;
+}
+
+Vec DenseMatrix::multiply(const Vec& x) const {
+  assert(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+}  // namespace mp::linalg

@@ -1,0 +1,46 @@
+#pragma once
+// Small dense-vector helpers shared by the QP solver and the LP simplex.
+
+#include <cstddef>
+#include <vector>
+
+namespace mp::linalg {
+
+using Vec = std::vector<double>;
+
+/// Dot product; vectors must have equal length.
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double norm2(const Vec& v);
+
+/// y += alpha * x (lengths must match).
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// v *= alpha.
+void scale(Vec& v, double alpha);
+
+/// Row-major dense matrix, used only for small systems (simplex tableaus,
+/// network blocks); large placement systems use the CSR path.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Matrix-vector product; x.size() must equal cols().
+  Vec multiply(const Vec& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mp::linalg

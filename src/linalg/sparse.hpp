@@ -1,0 +1,70 @@
+#pragma once
+// Symmetric sparse matrices in CSR form for the quadratic-placement systems.
+// Built from (row, col, value) triplets with duplicate coalescing, which is
+// the natural output of clique/B2B net models.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace mp::linalg {
+
+/// Accumulates triplets; duplicates are summed when compiled to CSR.
+class TripletBuilder {
+ public:
+  explicit TripletBuilder(std::size_t n) : n_(n) {}
+
+  std::size_t dimension() const { return n_; }
+
+  /// Adds value at (r, c). Out-of-range indices are a programming error.
+  void add(std::size_t r, std::size_t c, double value);
+
+  /// Convenience for symmetric stamps: adds `value` to (r,r) and (c,c) and
+  /// `-value` to (r,c) and (c,r) — the graph-Laplacian pattern of a two-pin
+  /// quadratic connection.
+  void add_connection(std::size_t r, std::size_t c, double weight);
+
+  /// Adds `weight` to the diagonal entry (r, r) — fixed-pin anchoring.
+  void add_diagonal(std::size_t r, double weight);
+
+  const std::vector<std::size_t>& rows() const { return rows_; }
+  const std::vector<std::size_t>& cols() const { return cols_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rows_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> values_;
+};
+
+/// Compressed-sparse-row square matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Compiles triplets (duplicates summed, zeros kept out).
+  static CsrMatrix from_triplets(const TripletBuilder& builder);
+
+  std::size_t dimension() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x.
+  void multiply(const Vec& x, Vec& y) const;
+  Vec multiply(const Vec& x) const;
+
+  /// Diagonal entries (0 where absent); used by the Jacobi preconditioner.
+  Vec diagonal() const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mp::linalg

@@ -1,0 +1,271 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mp::lp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+void LinearProgram::set_objective(std::size_t j, double coefficient) {
+  assert(j < num_variables_);
+  objective_[j] = coefficient;
+}
+
+void LinearProgram::add_constraint(std::vector<double> coefficients,
+                                   Relation relation, double rhs) {
+  assert(coefficients.size() == num_variables_);
+  constraints_.push_back(Constraint{std::move(coefficients), relation, rhs});
+}
+
+void LinearProgram::add_difference_ge(std::size_t j, std::size_t i, double gap) {
+  std::vector<double> row(num_variables_, 0.0);
+  row[j] += 1.0;
+  row[i] -= 1.0;
+  add_constraint(std::move(row), Relation::kGreaterEqual, gap);
+}
+
+void LinearProgram::add_upper_bound(std::size_t j, double bound) {
+  std::vector<double> row(num_variables_, 0.0);
+  row[j] = 1.0;
+  add_constraint(std::move(row), Relation::kLessEqual, bound);
+}
+
+void LinearProgram::add_lower_bound(std::size_t j, double bound) {
+  std::vector<double> row(num_variables_, 0.0);
+  row[j] = 1.0;
+  add_constraint(std::move(row), Relation::kGreaterEqual, bound);
+}
+
+namespace {
+
+// Tableau layout: columns = [structural | slack/surplus | artificial | rhs].
+// Rows = constraints, plus the objective row appended logically (kept as a
+// separate vector so phase switching is cheap).
+struct Tableau {
+  std::size_t rows;
+  std::size_t cols;  // total columns including rhs
+  std::vector<double> data;
+  std::vector<std::size_t> basis;  // basic variable per row
+
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_value = at(pr, pc);
+    for (std::size_t c = 0; c < cols; ++c) at(pr, c) /= pivot_value;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t c = 0; c < cols; ++c) at(r, c) -= factor * at(pr, c);
+    }
+    basis[pr] = pc;
+  }
+};
+
+// One phase of simplex: minimize reduced costs given in `cost` (length =
+// structural+slack+artificial columns).  Returns false on iteration limit.
+enum class PhaseOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+PhaseOutcome run_phase(Tableau& t, std::vector<double>& cost, double& objective,
+                       std::size_t usable_cols, int max_iterations) {
+  // `cost` row is maintained in reduced form: cost[c] already accounts for
+  // the current basis; objective holds -z.
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Bland's rule: entering column = smallest index with negative reduced cost.
+    std::size_t entering = usable_cols;
+    for (std::size_t c = 0; c < usable_cols; ++c) {
+      if (cost[c] < -kEps) {
+        entering = c;
+        break;
+      }
+    }
+    if (entering == usable_cols) return PhaseOutcome::kOptimal;
+
+    // Ratio test, Bland tie-break by basis index.
+    std::size_t leaving = t.rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows; ++r) {
+      const double a = t.at(r, entering);
+      if (a > kEps) {
+        const double ratio = t.at(r, t.cols - 1) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == t.rows || t.basis[r] < t.basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+    }
+    if (leaving == t.rows) return PhaseOutcome::kUnbounded;
+
+    t.pivot(leaving, entering);
+    // Update the cost row with the same pivot elimination.
+    const double factor = cost[entering];
+    if (std::abs(factor) > kEps) {
+      for (std::size_t c = 0; c < usable_cols; ++c)
+        cost[c] -= factor * t.at(leaving, c);
+      objective -= factor * t.at(leaving, t.cols - 1);
+    }
+  }
+  return PhaseOutcome::kIterationLimit;
+}
+
+}  // namespace
+
+LpResult LinearProgram::solve(int max_iterations) const {
+  const std::size_t n = num_variables_;
+  const std::size_t m = constraints_.size();
+
+  // Count slack and artificial columns.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& con : constraints_) {
+    if (con.relation != Relation::kEqual) ++num_slack;
+  }
+  // Artificial variables are needed for >= and = rows (after rhs sign fix we
+  // conservatively allocate one per row; unneeded ones start non-basic only
+  // when a slack can serve as the initial basis).
+  std::vector<int> slack_col(m, -1);
+  std::vector<int> art_col(m, -1);
+
+  const std::size_t total_structural = n;
+  std::size_t next_col = total_structural;
+
+  // First pass: normalize rhs >= 0 and decide columns.
+  std::vector<Constraint> cons = constraints_;
+  for (auto& con : cons) {
+    if (con.rhs < 0.0) {
+      for (double& a : con.coefficients) a = -a;
+      con.rhs = -con.rhs;
+      if (con.relation == Relation::kLessEqual) con.relation = Relation::kGreaterEqual;
+      else if (con.relation == Relation::kGreaterEqual) con.relation = Relation::kLessEqual;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (cons[i].relation != Relation::kEqual) slack_col[i] = static_cast<int>(next_col++);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    // <= rows get a slack that can be the initial basic variable; >= and =
+    // rows need an artificial.
+    if (cons[i].relation != Relation::kLessEqual) {
+      art_col[i] = static_cast<int>(next_col++);
+      ++num_artificial;
+    }
+  }
+  const std::size_t usable_cols = next_col;        // structural+slack+artificial
+  const std::size_t total_cols = usable_cols + 1;  // + rhs
+
+  Tableau t;
+  t.rows = m;
+  t.cols = total_cols;
+  t.data.assign(m * total_cols, 0.0);
+  t.basis.assign(m, 0);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t.at(i, j) = cons[i].coefficients[j];
+    if (slack_col[i] >= 0) {
+      t.at(i, static_cast<std::size_t>(slack_col[i])) =
+          (cons[i].relation == Relation::kLessEqual) ? 1.0 : -1.0;
+    }
+    if (art_col[i] >= 0) {
+      t.at(i, static_cast<std::size_t>(art_col[i])) = 1.0;
+      t.basis[i] = static_cast<std::size_t>(art_col[i]);
+    } else {
+      t.basis[i] = static_cast<std::size_t>(slack_col[i]);
+    }
+    t.at(i, total_cols - 1) = cons[i].rhs;
+  }
+
+  LpResult result;
+
+  // Phase 1: minimize sum of artificials.
+  if (num_artificial > 0) {
+    std::vector<double> cost(usable_cols, 0.0);
+    double objective = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (art_col[i] >= 0) cost[static_cast<std::size_t>(art_col[i])] = 1.0;
+    }
+    // Reduce cost row against the initial basis (artificials are basic).
+    for (std::size_t i = 0; i < m; ++i) {
+      if (art_col[i] < 0) continue;
+      for (std::size_t c = 0; c < usable_cols; ++c) cost[c] -= t.at(i, c);
+      objective -= t.at(i, total_cols - 1);
+    }
+    const PhaseOutcome outcome =
+        run_phase(t, cost, objective, usable_cols, max_iterations);
+    if (outcome == PhaseOutcome::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    // objective holds -z; infeasible when the artificial sum is positive.
+    if (-objective > 1e-6) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive any artificial still in the basis out (degenerate but possible).
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t b = t.basis[r];
+      bool is_artificial = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (art_col[i] >= 0 && static_cast<std::size_t>(art_col[i]) == b)
+          is_artificial = true;
+      }
+      if (!is_artificial) continue;
+      bool pivoted = false;
+      for (std::size_t c = 0; c < total_structural + num_slack && !pivoted; ++c) {
+        if (std::abs(t.at(r, c)) > kEps) {
+          t.pivot(r, c);
+          pivoted = true;
+        }
+      }
+      // If no pivot exists the row is redundant (all-zero); leave it.
+    }
+  }
+
+  // Phase 2: minimize the true objective over structural+slack columns only.
+  const std::size_t phase2_cols = total_structural + num_slack;
+  {
+    std::vector<double> cost(usable_cols, 0.0);
+    for (std::size_t j = 0; j < n; ++j) cost[j] = objective_[j];
+    // Forbid artificials from re-entering by giving them a huge cost.
+    for (std::size_t c = phase2_cols; c < usable_cols; ++c) cost[c] = 1e30;
+    double objective = 0.0;
+    // Reduce against current basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      const double cb = cost[t.basis[r]];
+      if (std::abs(cb) < kEps) continue;
+      for (std::size_t c = 0; c < usable_cols; ++c) cost[c] -= cb * t.at(r, c);
+      objective -= cb * t.at(r, total_cols - 1);
+    }
+    const PhaseOutcome outcome =
+        run_phase(t, cost, objective, phase2_cols, max_iterations);
+    if (outcome == PhaseOutcome::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    if (outcome == PhaseOutcome::kUnbounded) {
+      result.status = LpStatus::kUnbounded;
+      return result;
+    }
+    result.objective = -objective;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) result.x[t.basis[r]] = t.at(r, total_cols - 1);
+  }
+  // Recompute the objective from the primal solution for numerical sanity.
+  double obj = 0.0;
+  for (std::size_t j = 0; j < n; ++j) obj += objective_[j] * result.x[j];
+  result.objective = obj;
+  return result;
+}
+
+}  // namespace mp::lp

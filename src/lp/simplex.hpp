@@ -1,0 +1,71 @@
+#pragma once
+// Dense two-phase primal simplex for the small linear programs produced by
+// sequence-pair macro legalization (Eq. (3) of the paper, following Tang,
+// Tian and Wong, ASP-DAC'05).  Instances have tens of variables (macro
+// coordinates inside one grid plus per-net auxiliary wirelength variables),
+// so a dense tableau with Bland's anti-cycling rule is both simple and fast.
+//
+// Problem form:
+//   minimize    c^T x
+//   subject to  a_i^T x  (<= | = | >=)  b_i      for each constraint i
+//               x >= 0
+//
+// Variables are non-negative; callers with free variables shift them (the
+// legalizer shifts by the grid origin, which also keeps numbers small).
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace mp::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<double> coefficients;  ///< dense row, length = num variables
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal solution (valid when status == kOptimal)
+};
+
+/// Linear program accumulated row by row.
+class LinearProgram {
+ public:
+  explicit LinearProgram(std::size_t num_variables)
+      : num_variables_(num_variables), objective_(num_variables, 0.0) {}
+
+  std::size_t num_variables() const { return num_variables_; }
+
+  /// Sets the objective coefficient of variable `j` (minimization).
+  void set_objective(std::size_t j, double coefficient);
+
+  /// Adds a constraint; `coefficients` must have one entry per variable.
+  void add_constraint(std::vector<double> coefficients, Relation relation,
+                      double rhs);
+
+  /// Convenience: adds  x[j] - x[i] >= gap  (difference constraint).
+  void add_difference_ge(std::size_t j, std::size_t i, double gap);
+
+  /// Convenience: adds an upper bound  x[j] <= bound.
+  void add_upper_bound(std::size_t j, double bound);
+
+  /// Convenience: adds a lower bound  x[j] >= bound.
+  void add_lower_bound(std::size_t j, double bound);
+
+  /// Solves with two-phase simplex.
+  LpResult solve(int max_iterations = 20000) const;
+
+ private:
+  std::size_t num_variables_;
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mp::lp

@@ -1,0 +1,307 @@
+#include "mcts/mcts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace mp::mcts {
+
+MctsPlacer::MctsPlacer(rl::PlacementEnv& env, rl::AllocationEvaluator& evaluator,
+                       rl::AgentNetwork& agent, rl::RewardFn reward,
+                       const MctsOptions& options)
+    : env_(env),
+      evaluator_(evaluator),
+      agent_(agent),
+      reward_(std::move(reward)),
+      options_(options),
+      rng_(options.seed) {
+  nodes_.push_back(Node{});  // root
+}
+
+bool MctsPlacer::replay(const std::vector<int>& actions) {
+  env_.reset();
+  for (int action : actions) {
+    if (!env_.step(action)) return false;
+  }
+  return true;
+}
+
+int MctsPlacer::select_edge(const Node& node) const {
+  // Eq. (10)-(11): argmax over children of Q + c * P * sqrt(ΣN) / (1 + N).
+  // Q is min-max normalized over all values seen so far, and unvisited edges
+  // fall back to the node's own evaluation (first-play urgency) — without
+  // both, the positive reward scale of Eq. (9) drowns the exploration term
+  // and the search degenerates into one exploited line.
+  double sum_visits = 0.0;
+  for (const Edge& e : node.edges) sum_visits += e.visits;
+  const double sqrt_sum = std::sqrt(std::max(1.0, sum_visits));
+  const double fpu = value_bounds_.normalize(node.eval_value);
+
+  int best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    const Edge& e = node.edges[i];
+    const double q = (e.visits > 0)
+                         ? value_bounds_.normalize(e.mean_value())
+                         : fpu;
+    const double u = options_.c_puct * e.prior * sqrt_sum / (1.0 + e.visits);
+    const double score = q + u;
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double MctsPlacer::expand_and_evaluate(int node_index) {
+  // Terminal: evaluate the actual allocation (Sec. IV-B3), once per node.
+  if (env_.done()) {
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (!node.has_terminal_value) {
+      const double w = evaluator_.evaluate(env_.anchors());
+      ++stats_.terminal_evaluations;
+      node.eval_value = reward_(w);
+      node.has_terminal_value = true;
+      if (w < best_terminal_wirelength_) {
+        best_terminal_wirelength_ = w;
+        best_terminal_anchors_ = env_.anchors();
+      }
+    }
+    return node.eval_value;
+  }
+
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  const bool already_expanded = node.expanded;
+  const std::vector<double> sp = env_.placement_state();
+  const std::vector<double> availability = env_.availability();
+  const rl::AgentOutput out = agent_.forward(
+      sp, availability, env_.current_step(), env_.num_steps(), /*train=*/false);
+  ++stats_.nn_evaluations;
+
+  // Expansion first (it reads the node's own environment state; the rollout
+  // leaf evaluation below advances the environment).
+  if (!already_expanded) {
+    // Children: every on-chip anchor; priors from the masked policy, with a
+    // uniform floor so zero-availability (but feasible) anchors stay
+    // reachable.
+    const std::vector<int> legal = env_.legal_actions();
+    node.edges.reserve(legal.size());
+    double prior_sum = 0.0;
+    for (int action : legal) {
+      Edge e;
+      e.action = action;
+      e.prior = static_cast<double>(out.probs[static_cast<std::size_t>(action)]);
+      prior_sum += e.prior;
+      node.edges.push_back(e);
+    }
+    if (prior_sum <= 1e-12) {
+      for (Edge& e : node.edges) e.prior = 1.0 / static_cast<double>(legal.size());
+    } else {
+      for (Edge& e : node.edges) e.prior /= prior_sum;
+    }
+    // Optional analytic prior bias (DESIGN.md "Substitutions").
+    if (options_.prior_bonus) {
+      const int step = env_.current_step();
+      double bonus_sum = 0.0;
+      for (Edge& e : node.edges) {
+        e.prior *= std::max(0.0, options_.prior_bonus(step, e.action));
+        bonus_sum += e.prior;
+      }
+      if (bonus_sum > 1e-12) {
+        for (Edge& e : node.edges) e.prior /= bonus_sum;
+      } else {
+        for (Edge& e : node.edges) {
+          e.prior = 1.0 / static_cast<double>(node.edges.size());
+        }
+      }
+    }
+    node.expanded = true;
+  }
+
+  // Leaf value per the configured evaluation mode.
+  double value = static_cast<double>(out.value);
+  switch (options_.leaf_evaluation) {
+    case LeafEvaluation::kValueNetwork:
+      break;
+    case LeafEvaluation::kPartialPlacement:
+      value = reward_(evaluator_.evaluate_partial(env_.anchors()));
+      break;
+    case LeafEvaluation::kRandomRollout: {
+      // Complete the episode randomly from the current state (the caller
+      // replays the environment for every exploration, so no restore).
+      bool ok = true;
+      while (!env_.done()) {
+        const std::vector<int> legal = env_.legal_actions();
+        if (legal.empty()) {
+          ok = false;
+          break;
+        }
+        env_.step(legal[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<int>(legal.size()) - 1))]);
+      }
+      if (ok) {
+        const double w = evaluator_.evaluate(env_.anchors());
+        ++stats_.terminal_evaluations;
+        value = reward_(w);
+        if (w < best_terminal_wirelength_) {
+          best_terminal_wirelength_ = w;
+          best_terminal_anchors_ = env_.anchors();
+        }
+      }
+      break;
+    }
+  }
+  node.eval_value = value;
+  return value;
+}
+
+void MctsPlacer::explore() {
+  if (!replay(committed_)) {
+    util::log_warn() << "mcts: committed prefix became unplayable";
+    return;
+  }
+  // Selection: descend until an unexplored node or terminal state.
+  std::vector<std::pair<int, int>> path;  // (node index, edge index)
+  int node_index = root_;
+  while (nodes_[static_cast<std::size_t>(node_index)].expanded && !env_.done()) {
+    const int edge_index = select_edge(nodes_[static_cast<std::size_t>(node_index)]);
+    if (edge_index < 0) break;  // no legal children (full chip)
+    Edge& edge =
+        nodes_[static_cast<std::size_t>(node_index)].edges[static_cast<std::size_t>(edge_index)];
+    if (!env_.step(edge.action)) break;
+    if (edge.child < 0) {
+      edge.child = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      ++stats_.nodes_created;
+    }
+    path.emplace_back(node_index, edge_index);
+    node_index = edge.child;
+  }
+
+  // Expansion + evaluation.
+  const double value = expand_and_evaluate(node_index);
+  value_bounds_.update(value);
+
+  // Backpropagation (Eq. 12).
+  for (const auto& [n, e] : path) {
+    Edge& edge = nodes_[static_cast<std::size_t>(n)].edges[static_cast<std::size_t>(e)];
+    edge.visits += 1;
+    edge.total_value += value;
+    value_bounds_.update(edge.mean_value());
+  }
+}
+
+void MctsPlacer::seed_path(const std::vector<int>& actions) {
+  if (!replay(committed_)) return;
+  int node_index = root_;
+  std::vector<std::pair<int, int>> path;
+  for (std::size_t k = committed_.size(); k < actions.size(); ++k) {
+    if (env_.done()) break;
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (!node.expanded) {
+      // Expanding consumes the env state *before* stepping.
+      expand_and_evaluate(node_index);
+      if (options_.leaf_evaluation == LeafEvaluation::kRandomRollout) {
+        // The rollout advanced the environment; restore this node's state.
+        std::vector<int> prefix(committed_);
+        prefix.insert(prefix.end(), actions.begin() + static_cast<long>(committed_.size()),
+                      actions.begin() + static_cast<long>(k));
+        if (!replay(prefix)) return;
+      }
+    }
+    Node& expanded = nodes_[static_cast<std::size_t>(node_index)];
+    int edge_index = -1;
+    for (std::size_t i = 0; i < expanded.edges.size(); ++i) {
+      if (expanded.edges[i].action == actions[k]) {
+        edge_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (edge_index < 0) return;  // seed action not legal here; abandon
+    Edge& edge = expanded.edges[static_cast<std::size_t>(edge_index)];
+    if (!env_.step(edge.action)) return;
+    if (edge.child < 0) {
+      edge.child = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      ++stats_.nodes_created;
+    }
+    path.emplace_back(node_index, edge_index);
+    node_index = edge.child;
+  }
+  if (!env_.done()) return;
+  const double value = expand_and_evaluate(node_index);  // cached terminal
+  value_bounds_.update(value);
+  const int visits = std::max(1, options_.seed_visits);
+  for (const auto& [n, e] : path) {
+    Edge& edge = nodes_[static_cast<std::size_t>(n)].edges[static_cast<std::size_t>(e)];
+    edge.visits += visits;
+    edge.total_value += value * visits;
+    value_bounds_.update(edge.mean_value());
+  }
+}
+
+MctsResult MctsPlacer::run() {
+  const int total_steps = env_.num_steps();
+  for (const std::vector<int>& seed : options_.seed_paths) seed_path(seed);
+  for (int t = 0; t < total_steps; ++t) {
+    for (int g = 0; g < options_.explorations_per_move; ++g) explore();
+
+    // Commit the most-visited root edge (ties by mean value, then prior).
+    Node& root = nodes_[static_cast<std::size_t>(root_)];
+    if (!root.expanded || root.edges.empty()) {
+      // The root was never expanded (e.g. γ == 0); expand it now.
+      if (replay(committed_)) expand_and_evaluate(root_);
+    }
+    Node& r = nodes_[static_cast<std::size_t>(root_)];
+    if (r.edges.empty()) {
+      util::log_error() << "mcts: no legal action at step " << t;
+      break;
+    }
+    int best = 0;
+    for (std::size_t i = 1; i < r.edges.size(); ++i) {
+      const Edge& a = r.edges[i];
+      const Edge& b = r.edges[static_cast<std::size_t>(best)];
+      const bool better =
+          a.visits > b.visits ||
+          (a.visits == b.visits && a.mean_value() > b.mean_value()) ||
+          (a.visits == b.visits && a.mean_value() == b.mean_value() &&
+           a.prior > b.prior);
+      if (better) best = static_cast<int>(i);
+    }
+    Edge& chosen = r.edges[static_cast<std::size_t>(best)];
+    committed_.push_back(chosen.action);
+    if (chosen.child < 0) {
+      chosen.child = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{});
+      ++stats_.nodes_created;
+    }
+    root_ = chosen.child;  // subtree reuse
+  }
+
+  MctsResult result = stats_;
+  if (replay(committed_) && env_.done()) {
+    result.anchors = env_.anchors();
+    result.committed_wirelength = evaluator_.evaluate(result.anchors);
+    result.wirelength = result.committed_wirelength;
+  } else {
+    util::log_error() << "mcts: final allocation incomplete";
+    result.committed_wirelength = std::numeric_limits<double>::infinity();
+    result.wirelength = result.committed_wirelength;
+  }
+  // The search evaluates many complete allocations (terminal leaves, seed
+  // lines); return the best one when it beats the traced path.
+  if (best_terminal_wirelength_ < result.wirelength &&
+      !best_terminal_anchors_.empty()) {
+    result.anchors = best_terminal_anchors_;
+    result.wirelength = best_terminal_wirelength_;
+  }
+  result.reward = reward_(result.wirelength);
+  env_.reset();
+  return result;
+}
+
+}  // namespace mp::mcts

@@ -1,0 +1,156 @@
+#pragma once
+// Placement optimization by MCTS guided by the pre-trained agent (Sec. IV).
+//
+// For every macro group M_t the search runs γ explorations, each consisting
+// of
+//   selection      — descend by argmax Q + U with the PUCT bonus (Eqs. 10-11,
+//                    c = 1.05 in the paper), priors P from π_θ,
+//   expansion      — create all child edges of the reached unexplored node,
+//   evaluation     — v_θ from the value network for non-terminal nodes; the
+//                    *actual* placement flow (evaluator + reward) only for
+//                    terminal nodes — the paper's key runtime reduction,
+//   backpropagation— update N, W, Q along the path (Eq. 12).
+// The most-visited root edge is then committed and its child becomes the new
+// root (statistics are reused).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "rl/agent.hpp"
+#include "rl/reward.hpp"
+
+namespace mp::mcts {
+
+/// How non-terminal leaves are scored (Sec. IV-B3).
+enum class LeafEvaluation {
+  /// The paper's method: the value network's v_θ.  Needs a well-trained
+  /// value head (the paper trains 3-10 h); with a short CPU budget the
+  /// guidance is weak.
+  kValueNetwork,
+  /// QP completion estimate: pin the prefix, relax the remaining groups and
+  /// cell groups, take the reward of the resulting coarse HPWL.  A strong,
+  /// training-free evaluator (used by the scaled-down benches; see
+  /// EXPERIMENTS.md) at the cost of one small QP per leaf.
+  kPartialPlacement,
+  /// Traditional MCTS: complete the episode with uniform random actions and
+  /// run the full evaluation — the expensive baseline the paper argues
+  /// against (kept for the ablation bench).
+  kRandomRollout,
+};
+
+struct MctsOptions {
+  int explorations_per_move = 40;  ///< γ
+  double c_puct = 1.05;            ///< c in Eq. (11)
+  LeafEvaluation leaf_evaluation = LeafEvaluation::kValueNetwork;
+  std::uint64_t seed = 7;
+
+  /// Optional warm-start lines: full action sequences (one action per macro
+  /// group) walked, evaluated and backed up before the search starts, each
+  /// with `seed_visits` virtual visits.  mcts_rl_place() seeds the
+  /// analytic-placement-derived allocation and the best training episode —
+  /// standing in for the prior a fully pre-trained agent would provide (the
+  /// paper trains 3-10 h; see DESIGN.md "Substitutions").
+  std::vector<std::vector<int>> seed_paths;
+  int seed_visits = 4;
+
+  /// Optional multiplicative prior re-weighting: bonus(step, action) >= 0 is
+  /// multiplied into the policy prior at expansion.  Used to bias the search
+  /// toward each group's analytical position; empty = pure π_θ (paper mode).
+  std::function<double(int step, int action)> prior_bonus;
+};
+
+struct MctsResult {
+  std::vector<grid::CellCoord> anchors;   ///< final allocation (best seen)
+  double wirelength = 0.0;                ///< evaluator W of the allocation
+  double reward = 0.0;                    ///< reward(W)
+  /// W of the allocation committed by tracing the search path (Algorithm 1
+  /// line 15); `wirelength` is min(committed, best terminal ever evaluated).
+  double committed_wirelength = 0.0;
+  long long nodes_created = 0;
+  long long nn_evaluations = 0;           ///< value-network evaluations
+  long long terminal_evaluations = 0;     ///< full placement evaluations
+};
+
+class MctsPlacer {
+ public:
+  /// All references must outlive the placer.  `reward` maps wirelength to
+  /// value (higher is better) and must match the scale the agent's value
+  /// head was trained on (use the trainer's calibrated Eq. 9 reward).
+  MctsPlacer(rl::PlacementEnv& env, rl::AllocationEvaluator& evaluator,
+             rl::AgentNetwork& agent, rl::RewardFn reward,
+             const MctsOptions& options = {});
+
+  /// Runs the full allocation (Algorithm 1 lines 11-15).
+  MctsResult run();
+
+ private:
+  struct Edge {
+    int action = -1;
+    int child = -1;  ///< node index, -1 until visited
+    double prior = 0.0;
+    double total_value = 0.0;  ///< W(s_p, s_q)
+    int visits = 0;            ///< N(s_p, s_q)
+    double mean_value() const { return visits > 0 ? total_value / visits : 0.0; }
+  };
+
+  struct Node {
+    bool expanded = false;
+    /// v_θ of this node when it was expanded (first-play urgency for its
+    /// unvisited edges), or the cached terminal reward.
+    double eval_value = 0.0;
+    bool has_terminal_value = false;
+    std::vector<Edge> edges;
+  };
+
+  /// Running min/max of every backed-up value; Q is min-max normalized to
+  /// [0, 1] inside the selection rule so the PUCT exploration term stays
+  /// comparable to Q regardless of the reward calibration (the paper's
+  /// rewards live in [α-0.5, α+0.5] while U ~ c/branching).
+  struct MinMaxStats {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    void update(double v) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    double normalize(double v) const {
+      if (!(hi > lo)) return 0.5;
+      return (v - lo) / (hi - lo);
+    }
+  };
+
+  // Replays env to the state given by `actions`; returns false on failure.
+  bool replay(const std::vector<int>& actions);
+
+  // One exploration from the current root; returns the leaf value.
+  void explore();
+
+  // Walks one seed line from the current root, expanding nodes along it and
+  // backing up its terminal value with options_.seed_visits virtual visits.
+  void seed_path(const std::vector<int>& actions);
+
+  // Expands `node` (whose env state is current) and returns its evaluation.
+  double expand_and_evaluate(int node_index);
+
+  int select_edge(const Node& node) const;
+
+  MinMaxStats value_bounds_;
+  double best_terminal_wirelength_ = std::numeric_limits<double>::infinity();
+  std::vector<grid::CellCoord> best_terminal_anchors_;
+
+  rl::PlacementEnv& env_;
+  rl::AllocationEvaluator& evaluator_;
+  rl::AgentNetwork& agent_;
+  rl::RewardFn reward_;
+  MctsOptions options_;
+  util::Rng rng_;
+
+  std::vector<Node> nodes_;
+  int root_ = 0;
+  std::vector<int> committed_;  ///< actions fixed so far
+  MctsResult stats_;
+};
+
+}  // namespace mp::mcts

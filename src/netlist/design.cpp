@@ -1,0 +1,170 @@
+#include "netlist/design.hpp"
+
+#include <cassert>
+
+namespace mp::netlist {
+
+NodeId Design::add_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  assert(name_index_.find(node.name) == name_index_.end() &&
+         "duplicate node name");
+  name_index_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  invalidate_caches();
+  return id;
+}
+
+NetId Design::add_net(Net net) {
+  for (const PinRef& pin : net.pins) {
+    assert(pin.node >= 0 &&
+           static_cast<std::size_t>(pin.node) < nodes_.size() &&
+           "net references unknown node");
+    (void)pin;
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(std::move(net));
+  adjacency_valid_ = false;
+  return id;
+}
+
+std::optional<NodeId> Design::find_node(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Design::invalidate_caches() {
+  index_valid_ = false;
+  adjacency_valid_ = false;
+}
+
+namespace {
+void build_kind_index(const std::vector<Node>& nodes,
+                      std::vector<NodeId>& macros,
+                      std::vector<NodeId>& movable_macros,
+                      std::vector<NodeId>& std_cells,
+                      std::vector<NodeId>& pads) {
+  macros.clear();
+  movable_macros.clear();
+  std_cells.clear();
+  pads.clear();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    switch (nodes[i].kind) {
+      case NodeKind::kMacro:
+        macros.push_back(id);
+        if (!nodes[i].fixed) movable_macros.push_back(id);
+        break;
+      case NodeKind::kStdCell:
+        std_cells.push_back(id);
+        break;
+      case NodeKind::kPad:
+        pads.push_back(id);
+        break;
+    }
+  }
+}
+}  // namespace
+
+const std::vector<NodeId>& Design::macros() const {
+  if (!index_valid_) {
+    build_kind_index(nodes_, macros_, movable_macros_, std_cells_, pads_);
+    index_valid_ = true;
+  }
+  return macros_;
+}
+
+const std::vector<NodeId>& Design::movable_macros() const {
+  macros();  // ensure index
+  return movable_macros_;
+}
+
+const std::vector<NodeId>& Design::std_cells() const {
+  macros();
+  return std_cells_;
+}
+
+const std::vector<NodeId>& Design::pads() const {
+  macros();
+  return pads_;
+}
+
+const std::vector<std::vector<NetId>>& Design::node_nets() const {
+  if (!adjacency_valid_) {
+    node_nets_.assign(nodes_.size(), {});
+    for (std::size_t n = 0; n < nets_.size(); ++n) {
+      for (const PinRef& pin : nets_[n].pins) {
+        node_nets_[static_cast<std::size_t>(pin.node)].push_back(
+            static_cast<NetId>(n));
+      }
+    }
+    adjacency_valid_ = true;
+  }
+  return node_nets_;
+}
+
+geometry::Point Design::pin_position(const PinRef& pin) const {
+  const Node& owner = node(pin.node);
+  return {owner.position.x + pin.dx, owner.position.y + pin.dy};
+}
+
+double Design::net_hpwl(NetId id) const {
+  const Net& n = net(id);
+  if (n.pins.size() < 2) return 0.0;
+  geometry::BoundingBox box;
+  for (const PinRef& pin : n.pins) box.add(pin_position(pin));
+  return box.half_perimeter();
+}
+
+double Design::total_hpwl() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    total += nets_[i].weight * net_hpwl(static_cast<NetId>(i));
+  }
+  return total;
+}
+
+DesignStats Design::stats() const {
+  DesignStats s;
+  for (const Node& n : nodes_) {
+    switch (n.kind) {
+      case NodeKind::kMacro:
+        if (n.fixed) ++s.preplaced_macros;
+        else ++s.movable_macros;
+        s.macro_area += n.area();
+        break;
+      case NodeKind::kStdCell:
+        ++s.standard_cells;
+        s.cell_area += n.area();
+        break;
+      case NodeKind::kPad:
+        ++s.io_pads;
+        break;
+    }
+  }
+  s.nets = static_cast<int>(nets_.size());
+  s.region_area = region_.area();
+  return s;
+}
+
+bool Design::all_inside_region() const {
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kPad) continue;  // pads sit on the boundary ring
+    if (!region_.contains(n.rect())) return false;
+  }
+  return true;
+}
+
+double Design::macro_overlap_area() const {
+  const auto& macro_ids = macros();
+  double total = 0.0;
+  for (std::size_t i = 0; i < macro_ids.size(); ++i) {
+    const geometry::Rect a = node(macro_ids[i]).rect();
+    for (std::size_t j = i + 1; j < macro_ids.size(); ++j) {
+      total += geometry::overlap_area(a, node(macro_ids[j]).rect());
+    }
+  }
+  return total;
+}
+
+}  // namespace mp::netlist

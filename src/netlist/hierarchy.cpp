@@ -1,0 +1,45 @@
+#include "netlist/hierarchy.hpp"
+
+#include <algorithm>
+
+namespace mp::netlist {
+
+std::vector<std::string> split_hierarchy(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t end = path.find('/', begin);
+    const std::size_t stop = (end == std::string::npos) ? path.size() : end;
+    if (stop > begin) parts.push_back(path.substr(begin, stop - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return parts;
+}
+
+int common_hierarchy_depth(const std::string& a, const std::string& b) {
+  const auto pa = split_hierarchy(a);
+  const auto pb = split_hierarchy(b);
+  const std::size_t limit = std::min(pa.size(), pb.size());
+  int depth = 0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (pa[i] != pb[i]) break;
+    ++depth;
+  }
+  return depth;
+}
+
+int hierarchy_depth(const std::string& path) {
+  return static_cast<int>(split_hierarchy(path).size());
+}
+
+std::string join_hierarchy(const std::vector<std::string>& components) {
+  std::string out;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i > 0) out += '/';
+    out += components[i];
+  }
+  return out;
+}
+
+}  // namespace mp::netlist

@@ -1,0 +1,24 @@
+#pragma once
+// Helpers for hierarchical instance paths ("top/core0/alu/mul").  The macro
+// clustering score Γ (Eq. (1)) rewards merging groups whose members share a
+// long common hierarchy prefix.
+
+#include <string>
+#include <vector>
+
+namespace mp::netlist {
+
+/// Splits a path on '/' (empty components dropped).
+std::vector<std::string> split_hierarchy(const std::string& path);
+
+/// Number of leading path components shared by two hierarchy paths.
+/// "top/a/b" vs "top/a/c" -> 2;  "" vs anything -> 0.
+int common_hierarchy_depth(const std::string& a, const std::string& b);
+
+/// Depth (component count) of one path.
+int hierarchy_depth(const std::string& path);
+
+/// Joins components back into a path.
+std::string join_hierarchy(const std::vector<std::string>& components);
+
+}  // namespace mp::netlist

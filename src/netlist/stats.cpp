@@ -1,0 +1,68 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mp::netlist {
+
+ConnectivityMap::ConnectivityMap(const Design& design,
+                                 const std::vector<NodeId>& nodes_of_interest,
+                                 std::size_t max_net_degree) {
+  dense_index_.assign(design.num_nodes(), -1);
+  for (std::size_t i = 0; i < nodes_of_interest.size(); ++i) {
+    dense_index_[static_cast<std::size_t>(nodes_of_interest[i])] =
+        static_cast<int>(i);
+  }
+  adjacency_.assign(nodes_of_interest.size(), {});
+
+  // Accumulate weights per (local_a, local_b) pair.
+  std::map<std::pair<int, int>, double> weights;
+  for (const Net& net : design.nets()) {
+    if (net.pins.size() < 2 || net.pins.size() > max_net_degree) continue;
+    // Collect distinct nodes of interest on this net.
+    std::vector<int> locals;
+    for (const PinRef& pin : net.pins) {
+      const int local = dense_index_[static_cast<std::size_t>(pin.node)];
+      if (local >= 0) locals.push_back(local);
+    }
+    std::sort(locals.begin(), locals.end());
+    locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+    if (locals.size() < 2) continue;
+    // Clique weight 2/k keeps large nets from dominating.
+    const double w =
+        net.weight * 2.0 / static_cast<double>(locals.size());
+    for (std::size_t a = 0; a < locals.size(); ++a) {
+      for (std::size_t b = a + 1; b < locals.size(); ++b) {
+        weights[{locals[a], locals[b]}] += w;
+      }
+    }
+  }
+
+  for (const auto& [pair, w] : weights) {
+    const auto [a, b] = pair;
+    adjacency_[static_cast<std::size_t>(a)].emplace_back(
+        nodes_of_interest[static_cast<std::size_t>(b)], w);
+    adjacency_[static_cast<std::size_t>(b)].emplace_back(
+        nodes_of_interest[static_cast<std::size_t>(a)], w);
+  }
+}
+
+double ConnectivityMap::between(NodeId a, NodeId b) const {
+  if (a < 0 || static_cast<std::size_t>(a) >= dense_index_.size()) return 0.0;
+  const int local = dense_index_[static_cast<std::size_t>(a)];
+  if (local < 0) return 0.0;
+  for (const auto& [nbr, w] : adjacency_[static_cast<std::size_t>(local)]) {
+    if (nbr == b) return w;
+  }
+  return 0.0;
+}
+
+const std::vector<std::pair<NodeId, double>>& ConnectivityMap::neighbors(
+    NodeId a) const {
+  if (a < 0 || static_cast<std::size_t>(a) >= dense_index_.size()) return empty_;
+  const int local = dense_index_[static_cast<std::size_t>(a)];
+  if (local < 0) return empty_;
+  return adjacency_[static_cast<std::size_t>(local)];
+}
+
+}  // namespace mp::netlist

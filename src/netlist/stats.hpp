@@ -1,0 +1,33 @@
+#pragma once
+// Connectivity statistics shared by clustering and the QP net models.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mp::netlist {
+
+/// Pairwise node connectivity: number of (weighted) nets shared by two nodes.
+/// Stored sparsely as adjacency lists over nodes that actually connect.
+class ConnectivityMap {
+ public:
+  /// Builds connectivity restricted to `nodes_of_interest` (e.g. macros
+  /// only).  Nets larger than `max_net_degree` are skipped — giant nets
+  /// (clock/reset) carry no locality information and would densify the map.
+  ConnectivityMap(const Design& design, const std::vector<NodeId>& nodes_of_interest,
+                  std::size_t max_net_degree = 64);
+
+  /// Weighted connection count between two nodes of interest (0 when absent
+  /// or when either node is not of interest).
+  double between(NodeId a, NodeId b) const;
+
+  /// Neighbors of `a` among the nodes of interest, with weights.
+  const std::vector<std::pair<NodeId, double>>& neighbors(NodeId a) const;
+
+ private:
+  std::vector<int> dense_index_;  // node id -> local index or -1
+  std::vector<std::vector<std::pair<NodeId, double>>> adjacency_;
+  std::vector<std::pair<NodeId, double>> empty_;
+};
+
+}  // namespace mp::netlist

@@ -1,0 +1,60 @@
+#include "nn/functional.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mp::nn {
+
+Tensor softmax(const Tensor& logits) {
+  Tensor out = logits;
+  float max_logit = -1e30f;
+  for (std::size_t i = 0; i < out.size(); ++i) max_logit = std::max(max_logit, out[i]);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i] - max_logit);
+    sum += out[i];
+  }
+  const float inv = 1.0f / std::max(sum, 1e-30f);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= inv;
+  return out;
+}
+
+Tensor masked_softmax(const Tensor& logits, const std::vector<double>& mask) {
+  assert(mask.size() == logits.size());
+  bool any = false;
+  for (double m : mask) {
+    if (m > 0.0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return softmax(logits);
+
+  Tensor out = logits;
+  float max_logit = -1e30f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (mask[i] > 0.0) max_logit = std::max(max_logit, out[i]);
+  }
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (mask[i] > 0.0) {
+      out[i] = std::exp(out[i] - max_logit) * static_cast<float>(mask[i]);
+      sum += out[i];
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  const float inv = 1.0f / std::max(sum, 1e-30f);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= inv;
+  return out;
+}
+
+Tensor policy_gradient(const Tensor& probs, int action, float advantage) {
+  Tensor grad = probs;
+  grad.scale(advantage);
+  grad[static_cast<std::size_t>(action)] -= advantage;
+  return grad;
+}
+
+}  // namespace mp::nn

@@ -1,0 +1,24 @@
+#pragma once
+// Stateless tensor functions: (masked) softmax and small numerics helpers
+// used by the agent.  The availability mask s_a enters the policy as an
+// additive log-mask, which is algebraically identical to "multiply softmax
+// output by s_a, renormalize" (Sec. III-C) but keeps the gradient standard.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mp::nn {
+
+/// Softmax over a flat tensor (numerically stable).
+Tensor softmax(const Tensor& logits);
+
+/// Masked softmax: probability is proportional to exp(logit) * mask, with
+/// mask >= 0.  When every mask entry is 0, falls back to the plain softmax.
+Tensor masked_softmax(const Tensor& logits, const std::vector<double>& mask);
+
+/// Gradient of  loss = -log p[action] * advantage  wrt the logits of a
+/// (masked) softmax with output probabilities `probs`.
+Tensor policy_gradient(const Tensor& probs, int action, float advantage);
+
+}  // namespace mp::nn

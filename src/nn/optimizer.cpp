@@ -1,0 +1,79 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mp::nn {
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : parameters_) p->grad.zero();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : parameters_) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      total += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : parameters_) p->grad.scale(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> parameters, float lr, float momentum)
+    : Optimizer(std::move(parameters)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(parameters_.size());
+  for (Parameter* p : parameters_) velocity_.push_back(Tensor::zeros_like(p->grad));
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < parameters_.size(); ++k) {
+    Parameter* p = parameters_[k];
+    Tensor& vel = velocity_[k];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      vel[i] = momentum_ * vel[i] + p->grad[i];
+      p->value[i] -= lr_ * vel[i];
+    }
+  }
+  zero_grad();
+}
+
+Adam::Adam(std::vector<Parameter*> parameters, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(parameters)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (Parameter* p : parameters_) {
+    m_.push_back(Tensor::zeros_like(p->grad));
+    v_.push_back(Tensor::zeros_like(p->grad));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < parameters_.size(); ++k) {
+    Parameter* p = parameters_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      p->value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+}  // namespace mp::nn

@@ -1,0 +1,53 @@
+#pragma once
+// Optimizers consuming accumulated Parameter gradients.
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mp::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  void zero_grad();
+
+  /// Global L2 gradient-norm clipping (applied before step by callers that
+  /// want it).  Returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Parameter*> parameters_;
+};
+
+/// SGD with momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> parameters, float lr, float momentum = 0.9f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> parameters, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace mp::nn

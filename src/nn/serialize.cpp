@@ -1,0 +1,86 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mp::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d504e4e;  // "MPNN"
+}
+
+std::vector<Tensor> snapshot_parameters(const std::vector<Parameter*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void restore_parameters(const std::vector<Parameter*>& params,
+                        const std::vector<Tensor>& snapshot) {
+  if (params.size() != snapshot.size()) {
+    throw std::runtime_error("parameter snapshot count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value.size() != snapshot[i].size()) {
+      throw std::runtime_error("parameter snapshot shape mismatch");
+    }
+    params[i]->value = snapshot[i];
+  }
+}
+
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  f.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(p->value.rank());
+    f.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d = 0; d < p->value.rank(); ++d) {
+      const std::int32_t dim = p->value.dim(d);
+      f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    f.write(reinterpret_cast<const char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (magic != kMagic) throw std::runtime_error("bad magic in " + path);
+  if (count != params.size()) {
+    throw std::runtime_error("parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    std::uint32_t rank = 0;
+    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (rank != static_cast<std::uint32_t>(p->value.rank())) {
+      throw std::runtime_error("parameter rank mismatch in " + path);
+    }
+    std::size_t total = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      std::int32_t dim = 0;
+      f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (dim != p->value.dim(static_cast<int>(d))) {
+        throw std::runtime_error("parameter shape mismatch in " + path);
+      }
+      total *= static_cast<std::size_t>(dim);
+    }
+    f.read(reinterpret_cast<char*>(p->value.data()),
+           static_cast<std::streamsize>(total * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("read failed: " + path);
+}
+
+}  // namespace mp::nn

@@ -1,0 +1,27 @@
+#pragma once
+// Parameter snapshot / save / load.  Snapshots back the Fig. 5 experiment
+// (MCTS guided by checkpoints of a partially trained agent); file
+// (de)serialization lets users persist pre-trained agents.
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mp::nn {
+
+/// In-memory copy of parameter values (not gradients).
+std::vector<Tensor> snapshot_parameters(const std::vector<Parameter*>& params);
+
+/// Restores a snapshot; shapes must match element-for-element.
+void restore_parameters(const std::vector<Parameter*>& params,
+                        const std::vector<Tensor>& snapshot);
+
+/// Binary format: magic, count, then per tensor rank/shape/data.
+/// Throws std::runtime_error on I/O or shape mismatch.
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+}  // namespace mp::nn

@@ -1,0 +1,49 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mp::nn {
+
+namespace {
+std::size_t shape_size(const std::vector<int>& shape) {
+  std::size_t total = 1;
+  for (int d : shape) {
+    assert(d > 0);
+    total *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : total;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<int> shape) {
+  assert(shape_size(shape) == data_.size());
+  shape_ = std::move(shape);
+}
+
+void Tensor::init_he(util::Rng& rng, int fan_in) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(std::max(1, fan_in)));
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Tensor::init_uniform(util::Rng& rng, float bound) {
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void Tensor::add(const Tensor& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+}  // namespace mp::nn

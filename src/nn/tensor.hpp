@@ -1,0 +1,71 @@
+#pragma once
+// Minimal CPU tensor for the agent networks: dense float storage with a
+// shape, plus the initializers the layers need.  The layers in this library
+// operate on single samples — 3-D [C, H, W] activations and 1-D vectors — so
+// there is no batch dimension; gradient accumulation across an update window
+// happens in the Parameter buffers instead.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mp::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other) {
+    return Tensor(other.shape(), 0.0f);
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 3-D accessor for [C, H, W] tensors.
+  float& at(int c, int h, int w) {
+    return data_[flat3(c, h, w)];
+  }
+  float at(int c, int h, int w) const { return data_[flat3(c, h, w)]; }
+
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// In-place reshape; total element count must be preserved.
+  void reshape(std::vector<int> shape);
+
+  /// He-normal initialization with fan-in (for conv/linear weights).
+  void init_he(util::Rng& rng, int fan_in);
+
+  /// Uniform init in [-bound, bound].
+  void init_uniform(util::Rng& rng, float bound);
+
+  /// this += other (shapes must match).
+  void add(const Tensor& other);
+  /// this *= s.
+  void scale(float s);
+
+ private:
+  std::size_t flat3(int c, int h, int w) const {
+    assert(shape_.size() == 3);
+    return (static_cast<std::size_t>(c) * shape_[1] + h) * shape_[2] + w;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mp::nn

@@ -1,0 +1,31 @@
+#pragma once
+// Analytical mixed-size baseline — the RePlAce [10] / DREAMPlace [25]
+// stand-in (Tables II-III): one mixed-size global placement moves macros and
+// cells together, macros are legalized flat, cells are re-placed with macros
+// fixed.
+
+#include "place/flow.hpp"
+
+namespace mp::place {
+
+struct AnalyticOptions {
+  gp::GlobalPlaceOptions mixed_gp = [] {
+    gp::GlobalPlaceOptions o;
+    o.move_macros = true;
+    o.max_iterations = 16;
+    return o;
+  }();
+  gp::GlobalPlaceOptions final_gp;
+  legal::MacroLegalizeOptions legalize;
+};
+
+struct AnalyticResult {
+  double hpwl = 0.0;
+  double seconds = 0.0;
+  double mixed_overflow = 0.0;
+};
+
+AnalyticResult analytic_place(netlist::Design& design,
+                              const AnalyticOptions& options = {});
+
+}  // namespace mp::place

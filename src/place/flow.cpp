@@ -1,0 +1,87 @@
+#include "place/flow.hpp"
+
+#include "dp/detailed.hpp"
+#include "dp/row_legalizer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mp::place {
+
+FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options) {
+  util::Timer timer;
+  gp::global_place(design, options.initial_gp);
+  util::log_info() << "prepare_flow: initial GP in " << timer.seconds() << "s";
+
+  FlowContext context{
+      grid::GridSpec(design.region(), options.grid_dim),
+      {},
+      {},
+  };
+  context.clustering = cluster::cluster_design(design, context.spec,
+                                               options.cluster);
+  context.coarse = cluster::build_coarse_design(design, context.clustering);
+  return context;
+}
+
+double finalize_placement(netlist::Design& design, FlowContext& context,
+                          const std::vector<grid::CellCoord>& anchors,
+                          const FlowOptions& options) {
+  legal::legalize_groups(design, context.coarse, context.clustering,
+                         context.spec, anchors, options.legalize);
+  double hpwl = place_cells_and_measure(design, options.final_gp);
+
+  // Bounded macro refinement interleaved with cell placement (see
+  // FlowOptions::refine_rounds).  Rounds that do not improve are rolled
+  // back, so refinement can only help.
+  for (int round = 0; round < options.refine_rounds; ++round) {
+    const std::vector<netlist::NodeId>& movable = design.movable_macros();
+    if (movable.empty()) break;
+    std::vector<geometry::Point> snapshot;
+    snapshot.reserve(design.num_nodes());
+    for (std::size_t i = 0; i < design.num_nodes(); ++i) {
+      snapshot.push_back(design.node(static_cast<netlist::NodeId>(i)).position);
+    }
+
+    // Widen the allowed displacement each round (1x, 2x, 4x, ... cells).
+    const double widen =
+        options.refine_inflation_cells * static_cast<double>(1 << round);
+    const double dx = widen * context.spec.cell_width();
+    const double dy = widen * context.spec.cell_height();
+    std::vector<qp::BoxBound> bounds;
+    bounds.reserve(movable.size());
+    for (netlist::NodeId id : movable) {
+      const geometry::Point c = design.node(id).center();
+      bounds.push_back({id, geometry::Rect::from_corners(c.x - dx, c.y - dy,
+                                                         c.x + dx, c.y + dy)});
+    }
+    qp::solve_quadratic_placement(design, movable, {}, bounds,
+                                  options.legalize.qp);
+    legal::legalize_flat(design, options.legalize);
+    const double refined = place_cells_and_measure(design, options.final_gp);
+    if (refined >= hpwl) {
+      // Roll back and try the next (wider) round.
+      for (std::size_t i = 0; i < design.num_nodes(); ++i) {
+        design.node(static_cast<netlist::NodeId>(i)).position = snapshot[i];
+      }
+      continue;
+    }
+    hpwl = refined;
+  }
+
+  if (options.row_legal_cells) {
+    dp::legalize_rows(design);
+    dp::refine_detailed(design);
+    hpwl = design.total_hpwl();
+  }
+  return hpwl;
+}
+
+double place_cells_and_measure(netlist::Design& design,
+                               const gp::GlobalPlaceOptions& final_gp) {
+  gp::GlobalPlaceOptions o = final_gp;
+  o.move_macros = false;
+  const gp::GlobalPlaceResult r = gp::global_place(design, o);
+  return r.hpwl;
+}
+
+}  // namespace mp::place

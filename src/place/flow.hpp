@@ -1,0 +1,68 @@
+#pragma once
+// Shared flow plumbing (preprocessing and postprocessing stages of
+// Algorithm 1): initial analytical placement, grid partition, clustering,
+// coarse netlist, and the finalize step (macro legalization + cell placement
+// + HPWL measurement).  Both the MCTS+RL placer and the RL-only baseline run
+// on top of this context.
+
+#include "cluster/coarse.hpp"
+#include "gp/global_placer.hpp"
+#include "grid/grid.hpp"
+#include "legal/legalizer.hpp"
+
+namespace mp::place {
+
+struct FlowOptions {
+  int grid_dim = 16;  ///< ζ (paper: 16)
+  cluster::ClusterParams cluster;
+  /// Mixed-size initial placement that seeds clustering distances.
+  gp::GlobalPlaceOptions initial_gp = [] {
+    gp::GlobalPlaceOptions o;
+    o.move_macros = true;
+    o.max_iterations = 8;
+    return o;
+  }();
+  /// Final cell placement with macros fixed (DREAMPlace role, Sec. II-C).
+  gp::GlobalPlaceOptions final_gp = [] {
+    gp::GlobalPlaceOptions o;
+    o.move_macros = false;
+    return o;
+  }();
+  legal::MacroLegalizeOptions legalize;
+  /// Post-legalization refinement rounds: each round places cells, re-solves
+  /// the macro QP with cells fixed (displacement bounded to
+  /// `refine_inflation_cells` grid cells around the current position) and
+  /// removes overlaps again.  Recovers the grid-quantization loss of the
+  /// anchor-pinned legalization; 0 reproduces the paper's flow verbatim.
+  int refine_rounds = 3;
+  double refine_inflation_cells = 1.0;
+  /// When true, finalize additionally snaps std cells into legal rows
+  /// (dp::legalize_rows) and runs the intra-row swap refinement, measuring
+  /// HPWL on the row-legal placement.  Off by default: the paper reports
+  /// the global-placement wirelength (DREAMPlace convention).
+  bool row_legal_cells = false;
+};
+
+struct FlowContext {
+  grid::GridSpec spec;
+  cluster::Clustering clustering;
+  cluster::CoarseDesign coarse;
+};
+
+/// Runs the preprocessing stage: initial global placement (mutates node
+/// positions), ζ×ζ grid partition, clustering, coarse netlist.
+FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options);
+
+/// Postprocessing: legalizes macros from the group `anchors` (Sec. II-B),
+/// places cells with the analytical placer (Sec. II-C) and returns the final
+/// HPWL of `design`.
+double finalize_placement(netlist::Design& design, FlowContext& context,
+                          const std::vector<grid::CellCoord>& anchors,
+                          const FlowOptions& options);
+
+/// Places cells with macros fixed and returns HPWL (used by the baselines
+/// that position macros directly).
+double place_cells_and_measure(netlist::Design& design,
+                               const gp::GlobalPlaceOptions& final_gp);
+
+}  // namespace mp::place

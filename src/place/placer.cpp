@@ -1,0 +1,136 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mp::place {
+
+MctsRlResult mcts_rl_place(netlist::Design& design,
+                           const MctsRlOptions& options) {
+  MctsRlResult result;
+  util::Timer total_timer;
+
+  // --- Preprocessing (Algorithm 1, lines 1-2) ---
+  FlowContext context = prepare_flow(design, options.flow);
+  result.macro_groups = static_cast<int>(context.clustering.macro_groups.size());
+  result.cell_groups = static_cast<int>(context.clustering.cell_groups.size());
+
+  // --- RL pre-training (lines 3-10) ---
+  rl::AgentConfig agent_config = options.agent;
+  agent_config.grid_dim = options.flow.grid_dim;
+  rl::AgentNetwork agent(agent_config);
+  rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
+  rl::CoarseEvaluator evaluator(context.coarse, context.spec);
+  evaluator.set_overflow_penalty(options.overflow_penalty);
+
+  util::Timer train_timer;
+  result.train_result = rl::train_agent(env, evaluator, agent, options.train);
+  result.train_seconds = train_timer.seconds();
+
+  // --- MCTS placement optimization (lines 11-15) ---
+  rl::RewardFn reward = options.train.reward;
+  if (!reward) {
+    reward = result.train_result.calibration.make_reward(options.train.alpha);
+  }
+  mcts::MctsOptions mcts_options = options.mcts;
+  if (options.analytic_guidance) {
+    // Anchor suggestion per group from the initial analytical placement
+    // (the clustering centroids), clamped so the footprint stays on-chip.
+    std::vector<int> analytic_path;
+    std::vector<geometry::Point> targets;
+    for (const cluster::Group& group : context.clustering.macro_groups) {
+      const grid::CellCoord fp =
+          context.spec.footprint_cells(group.width, group.height);
+      grid::CellCoord c = context.spec.cell_of(
+          {group.centroid.x - group.width / 2.0,
+           group.centroid.y - group.height / 2.0});
+      c.gx = std::min(c.gx, context.spec.dim() - fp.gx);
+      c.gy = std::min(c.gy, context.spec.dim() - fp.gy);
+      analytic_path.push_back(context.spec.flat_index(c));
+      targets.push_back(group.centroid);
+    }
+    mcts_options.seed_paths.push_back(std::move(analytic_path));
+    if (!result.train_result.best_anchors.empty()) {
+      std::vector<int> best_path;
+      for (const grid::CellCoord& c : result.train_result.best_anchors) {
+        best_path.push_back(context.spec.flat_index(c));
+      }
+      mcts_options.seed_paths.push_back(std::move(best_path));
+    }
+    // Prior bias: prefer anchors near the group's analytical position.
+    const double temperature = 0.15 * design.region().w;
+    const grid::GridSpec spec = context.spec;
+    mcts_options.prior_bonus = [targets, spec, temperature](int step,
+                                                            int action) {
+      if (step < 0 || step >= static_cast<int>(targets.size())) return 1.0;
+      const geometry::Point anchor =
+          spec.cell_rect(spec.coord(action)).center();
+      const double dist = geometry::manhattan(anchor,
+                                              targets[static_cast<std::size_t>(step)]);
+      return std::exp(-dist / temperature) + 1e-4;
+    };
+  }
+  util::Timer mcts_timer;
+  mcts::MctsPlacer mcts_placer(env, evaluator, agent, reward, mcts_options);
+  result.mcts_result = mcts_placer.run();
+  result.coarse_wirelength = result.mcts_result.wirelength;
+
+  // Greedy anchor hill-climb on the coarse objective (placer extension; see
+  // MctsRlOptions::hill_climb_rounds).
+  if (options.hill_climb_rounds > 0 && !result.mcts_result.anchors.empty()) {
+    std::vector<grid::CellCoord> anchors = result.mcts_result.anchors;
+    double best = result.coarse_wirelength;
+    const int dim = context.spec.dim();
+    for (int round = 0; round < options.hill_climb_rounds; ++round) {
+      bool improved = false;
+      for (std::size_t g = 0; g < anchors.size(); ++g) {
+        const cluster::Group& group = context.clustering.macro_groups[g];
+        const grid::CellCoord fp =
+            context.spec.footprint_cells(group.width, group.height);
+        const grid::CellCoord original = anchors[g];
+        grid::CellCoord best_anchor = original;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const grid::CellCoord candidate{original.gx + dx, original.gy + dy};
+            if (candidate.gx < 0 || candidate.gy < 0 ||
+                candidate.gx + fp.gx > dim || candidate.gy + fp.gy > dim) {
+              continue;
+            }
+            anchors[g] = candidate;
+            const double w = evaluator.evaluate(anchors);
+            if (w < best) {
+              best = w;
+              best_anchor = candidate;
+              improved = true;
+            }
+          }
+        }
+        anchors[g] = best_anchor;
+      }
+      if (!improved) break;
+    }
+    if (best < result.coarse_wirelength) {
+      result.mcts_result.anchors = anchors;
+      result.coarse_wirelength = best;
+      result.mcts_result.wirelength = best;
+      result.mcts_result.reward = reward(best);
+    }
+  }
+  result.mcts_seconds = mcts_timer.seconds();
+
+  // --- Legalization + cell placement (line 16) ---
+  result.hpwl = finalize_placement(design, context, result.mcts_result.anchors,
+                                   options.flow);
+  result.total_seconds = total_timer.seconds();
+  util::log_info() << "mcts_rl_place: hpwl=" << result.hpwl << " ("
+                   << result.macro_groups << " macro groups, train "
+                   << result.train_seconds << "s, mcts "
+                   << result.mcts_seconds << "s)";
+  return result;
+}
+
+}  // namespace mp::place

@@ -1,0 +1,58 @@
+#pragma once
+// The paper's placer (Algorithm 1): preprocessing → RL pre-training →
+// MCTS placement optimization → macro legalization → cell placement.
+
+#include "mcts/mcts.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+
+namespace mp::place {
+
+struct MctsRlOptions {
+  FlowOptions flow;
+  rl::AgentConfig agent = [] {
+    rl::AgentConfig c;
+    // CPU-budget default; the paper's configuration is channels=128,
+    // res_blocks=10 (pass those for full fidelity).
+    c.channels = 32;
+    c.res_blocks = 3;
+    return c;
+  }();
+  rl::TrainOptions train;
+  mcts::MctsOptions mcts;
+  /// Warm-start the MCTS with the allocation induced by the initial
+  /// analytical placement and the best training episode, and bias expansion
+  /// priors toward each group's analytical position.  This stands in for the
+  /// prior knowledge a fully pre-trained agent provides (the paper trains
+  /// 3-10 h on GPU); set false for the paper's pure-π_θ search.
+  bool analytic_guidance = true;
+  /// Greedy post-pass on the MCTS allocation: each round tries moving every
+  /// group to its 8 neighboring anchor cells, keeping strict improvements of
+  /// the evaluated wirelength.  Off by default: near its optimum the coarse
+  /// proxy anti-correlates with post-legalization HPWL (see the ablation
+  /// bench), so climbing it further tends to over-pack groups.
+  int hill_climb_rounds = 0;
+  /// Density term of the in-loop evaluator (CoarseEvaluator::
+  /// set_overflow_penalty); keeps the coarse objective aligned with what the
+  /// legalizer can realize.  0 = the paper's pure-HPWL reward.
+  double overflow_penalty = 0.0;
+};
+
+struct MctsRlResult {
+  double hpwl = 0.0;             ///< final measured HPWL (Sec. II-C)
+  double coarse_wirelength = 0.0;///< MCTS allocation wirelength (coarse model)
+  double train_seconds = 0.0;
+  double mcts_seconds = 0.0;
+  double total_seconds = 0.0;
+  int macro_groups = 0;
+  int cell_groups = 0;
+  rl::TrainResult train_result;
+  mcts::MctsResult mcts_result;
+};
+
+/// Runs the full flow in place; `design` ends up fully placed and legal.
+MctsRlResult mcts_rl_place(netlist::Design& design,
+                           const MctsRlOptions& options = {});
+
+}  // namespace mp::place

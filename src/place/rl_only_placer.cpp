@@ -1,0 +1,38 @@
+#include "place/rl_only_placer.hpp"
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mp::place {
+
+RlOnlyResult rl_only_place(netlist::Design& design,
+                           const MctsRlOptions& options) {
+  RlOnlyResult result;
+  util::Timer timer;
+
+  FlowContext context = prepare_flow(design, options.flow);
+  rl::AgentConfig agent_config = options.agent;
+  agent_config.grid_dim = options.flow.grid_dim;
+  rl::AgentNetwork agent(agent_config);
+  rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
+  rl::CoarseEvaluator evaluator(context.coarse, context.spec);
+
+  result.train_result = rl::train_agent(env, evaluator, agent, options.train);
+
+  std::vector<grid::CellCoord> anchors;
+  result.coarse_wirelength =
+      rl::play_greedy_episode(env, evaluator, agent, anchors);
+  // Fall back to the best training-time allocation if the greedy rollout is
+  // worse (CT also reports its best seen placement).
+  if (!result.train_result.best_anchors.empty() &&
+      result.train_result.best_wirelength < result.coarse_wirelength) {
+    anchors = result.train_result.best_anchors;
+    result.coarse_wirelength = result.train_result.best_wirelength;
+  }
+  result.hpwl = finalize_placement(design, context, anchors, options.flow);
+  result.seconds = timer.seconds();
+  util::log_info() << "rl_only_place: hpwl=" << result.hpwl;
+  return result;
+}
+
+}  // namespace mp::place

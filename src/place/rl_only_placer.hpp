@@ -1,0 +1,22 @@
+#pragma once
+// RL-only placer — the CT [27] stand-in: identical preprocessing and
+// pre-training to the full flow, but the final allocation comes from a greedy
+// rollout of the trained policy instead of MCTS (Table III's "relies solely
+// on RL" comparison, and the blue curve of Fig. 5).
+
+#include "place/placer.hpp"
+
+namespace mp::place {
+
+struct RlOnlyResult {
+  double hpwl = 0.0;
+  double coarse_wirelength = 0.0;
+  double seconds = 0.0;
+  rl::TrainResult train_result;
+};
+
+/// Uses MctsRlOptions for parity with the full flow; options.mcts is ignored.
+RlOnlyResult rl_only_place(netlist::Design& design,
+                           const MctsRlOptions& options = {});
+
+}  // namespace mp::place

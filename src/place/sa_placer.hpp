@@ -1,0 +1,43 @@
+#pragma once
+// Simulated-annealing macro placer — the stand-in for the simulated-
+// evolution (SE) macro placer of [26] used in Table II.  Std cells are first
+// placed analytically; the annealer then moves/swaps movable macros
+// minimizing the HPWL of macro-incident nets plus an overlap penalty, and
+// the result is legalized (sequence pair + LP) before final cell placement.
+
+#include <cstdint>
+
+#include "place/flow.hpp"
+
+namespace mp::place {
+
+struct SaOptions {
+  int iterations = 20000;
+  /// Initial acceptance probability for uphill moves (temperature is
+  /// calibrated from sampled move deltas).
+  double initial_acceptance = 0.8;
+  double cooling = 0.97;         ///< geometric factor applied per batch
+  int batch = 200;               ///< moves per temperature step
+  double swap_probability = 0.2; ///< vs displacement
+  double overlap_weight = -1.0;  ///< <0: auto (scales with HPWL magnitude)
+  std::uint64_t seed = 11;
+  gp::GlobalPlaceOptions initial_gp = [] {
+    gp::GlobalPlaceOptions o;
+    o.move_macros = true;
+    o.max_iterations = 8;
+    return o;
+  }();
+  gp::GlobalPlaceOptions final_gp;
+  legal::MacroLegalizeOptions legalize;
+};
+
+struct SaResult {
+  double hpwl = 0.0;
+  double seconds = 0.0;
+  double accept_ratio = 0.0;
+  double final_cost = 0.0;
+};
+
+SaResult sa_place(netlist::Design& design, const SaOptions& options = {});
+
+}  // namespace mp::place

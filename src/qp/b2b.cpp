@@ -1,0 +1,182 @@
+#include "qp/b2b.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/cg.hpp"
+#include "linalg/sparse.hpp"
+
+namespace mp::qp {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::NodeId;
+using netlist::PinRef;
+
+namespace {
+
+// One axis of the B2B system over `movable` variables (no star nodes: B2B
+// replaces the star/clique entirely).
+struct Axis {
+  linalg::TripletBuilder triplets;
+  linalg::Vec rhs;
+  explicit Axis(std::size_t n) : triplets(n), rhs(n, 0.0) {}
+
+  void connect_vars(std::size_t i, std::size_t j, double o_i, double o_j,
+                    double w) {
+    if (i == j) return;
+    triplets.add_connection(i, j, w);
+    rhs[i] += w * (o_j - o_i);
+    rhs[j] += w * (o_i - o_j);
+  }
+  void connect_fixed(std::size_t i, double o_i, double c, double w) {
+    triplets.add_diagonal(i, w);
+    rhs[i] += w * (c - o_i);
+  }
+};
+
+struct PinInfo {
+  int var;               // -1 when fixed
+  double offset;         // offset along the axis from the node center
+  double position;       // absolute pin coordinate along the axis
+};
+
+}  // namespace
+
+B2bResult solve_b2b_placement(Design& design,
+                              const std::vector<NodeId>& movable,
+                              const std::vector<Anchor>& anchors,
+                              const B2bOptions& options) {
+  B2bResult result;
+  if (movable.empty()) {
+    result.hpwl = design.total_hpwl();
+    return result;
+  }
+  const geometry::Rect region = design.region();
+  const double diagonal = std::hypot(region.w, region.h);
+  const double min_distance =
+      std::max(1e-12, options.min_distance_fraction * diagonal);
+
+  std::vector<int> var_of_node(design.num_nodes(), -1);
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    var_of_node[static_cast<std::size_t>(movable[i])] = static_cast<int>(i);
+  }
+  const std::size_t n = movable.size();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Axis sys_x(n), sys_y(n);
+
+    for (const Net& net : design.nets()) {
+      const int degree = static_cast<int>(net.pins.size());
+      if (degree < 2 || degree > options.max_net_degree) continue;
+
+      // Gather per-axis pin info.
+      std::vector<PinInfo> px, py;
+      px.reserve(net.pins.size());
+      py.reserve(net.pins.size());
+      for (const PinRef& pin : net.pins) {
+        const netlist::Node& node = design.node(pin.node);
+        const geometry::Point p = design.pin_position(pin);
+        const int var = var_of_node[static_cast<std::size_t>(pin.node)];
+        px.push_back({var, pin.dx - node.width / 2.0, p.x});
+        py.push_back({var, pin.dy - node.height / 2.0, p.y});
+      }
+
+      // B2B model per axis: find min/max pins; connect boundary-boundary and
+      // boundary-inner pairs with weight w_net * 2/((p-1)|Δ|).
+      const auto stamp_axis = [&](Axis& sys, std::vector<PinInfo>& pins) {
+        std::size_t lo = 0, hi = 0;
+        for (std::size_t k = 1; k < pins.size(); ++k) {
+          if (pins[k].position < pins[lo].position) lo = k;
+          if (pins[k].position > pins[hi].position) hi = k;
+        }
+        if (lo == hi) hi = (lo + 1) % pins.size();
+        const double base = net.weight * 2.0 / static_cast<double>(degree - 1);
+        const auto connect = [&](std::size_t a, std::size_t b) {
+          if (a == b) return;
+          const double dist =
+              std::max(min_distance,
+                       std::abs(pins[a].position - pins[b].position));
+          const double w = base / dist;
+          const PinInfo& pa = pins[a];
+          const PinInfo& pb = pins[b];
+          if (pa.var >= 0 && pb.var >= 0) {
+            sys.connect_vars(static_cast<std::size_t>(pa.var),
+                             static_cast<std::size_t>(pb.var), pa.offset,
+                             pb.offset, w);
+          } else if (pa.var >= 0) {
+            sys.connect_fixed(static_cast<std::size_t>(pa.var), pa.offset,
+                              pb.position, w);
+          } else if (pb.var >= 0) {
+            sys.connect_fixed(static_cast<std::size_t>(pb.var), pb.offset,
+                              pa.position, w);
+          }
+        };
+        connect(lo, hi);
+        for (std::size_t k = 0; k < pins.size(); ++k) {
+          if (k == lo || k == hi) continue;
+          connect(lo, k);
+          connect(k, hi);
+        }
+      };
+      stamp_axis(sys_x, px);
+      stamp_axis(sys_y, py);
+    }
+
+    for (const Anchor& anchor : anchors) {
+      const int var = var_of_node[static_cast<std::size_t>(anchor.node)];
+      assert(var >= 0 && "anchor on non-movable node");
+      sys_x.connect_fixed(static_cast<std::size_t>(var), 0.0, anchor.target.x,
+                          anchor.weight);
+      sys_y.connect_fixed(static_cast<std::size_t>(var), 0.0, anchor.target.y,
+                          anchor.weight);
+    }
+
+    // Regularize disconnected variables.
+    {
+      linalg::CsrMatrix probe = linalg::CsrMatrix::from_triplets(sys_x.triplets);
+      const linalg::Vec diag = probe.diagonal();
+      const geometry::Point center = region.center();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (diag[i] <= 0.0) {
+          sys_x.connect_fixed(i, 0.0, center.x, 1e-6);
+          sys_y.connect_fixed(i, 0.0, center.y, 1e-6);
+        }
+      }
+    }
+
+    const linalg::CsrMatrix ax = linalg::CsrMatrix::from_triplets(sys_x.triplets);
+    const linalg::CsrMatrix ay = linalg::CsrMatrix::from_triplets(sys_y.triplets);
+    linalg::Vec x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const geometry::Point c = design.node(movable[i]).center();
+      x[i] = c.x;
+      y[i] = c.y;
+    }
+    linalg::conjugate_gradient(ax, sys_x.rhs, x, options.cg);
+    linalg::conjugate_gradient(ay, sys_y.rhs, y, options.cg);
+
+    double movement = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      netlist::Node& node = design.node(movable[i]);
+      const geometry::Point old_center = node.center();
+      const double nx = geometry::fit_interval(x[i] - node.width / 2.0,
+                                               node.width, region.left(),
+                                               region.right());
+      const double ny = geometry::fit_interval(y[i] - node.height / 2.0,
+                                               node.height, region.bottom(),
+                                               region.top());
+      node.position = {nx, ny};
+      movement += geometry::manhattan(old_center, node.center());
+    }
+    movement /= static_cast<double>(n);
+    result.iterations = iter + 1;
+    result.final_movement = movement;
+    if (movement < options.convergence_fraction * diagonal) break;
+  }
+  result.hpwl = design.total_hpwl();
+  return result;
+}
+
+}  // namespace mp::qp

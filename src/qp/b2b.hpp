@@ -1,0 +1,45 @@
+#pragma once
+// Bound-to-Bound (B2B) wirelength refinement [Spindler et al., Kraftwerk2]:
+// the clique/star quadratic proxy over-penalizes long nets quadratically;
+// B2B reweights each two-pin connection by 1 / distance so the quadratic
+// optimum approaches the true HPWL optimum.  Implemented as an outer
+// iteration around qp::solve_quadratic_placement-style solves: connect each
+// net's boundary pins to every inner pin with weight 1/((p-1)·|Δ|) and
+// re-solve until the movement stalls.
+//
+// Used by gp::GlobalPlaceOptions::b2b_refinement as a final wirelength
+// polish and available standalone for library users.
+
+#include "netlist/design.hpp"
+#include "qp/quadratic.hpp"
+
+namespace mp::qp {
+
+struct B2bOptions {
+  int max_iterations = 6;
+  /// Stop when the mean movable-node movement drops below this fraction of
+  /// the region diagonal.
+  double convergence_fraction = 1e-3;
+  /// Distances are clamped below by this fraction of the region diagonal to
+  /// keep weights finite for coincident pins.
+  double min_distance_fraction = 1e-6;
+  /// Nets above this degree are ignored.
+  int max_net_degree = 256;
+  linalg::CgOptions cg;
+};
+
+struct B2bResult {
+  int iterations = 0;
+  double final_movement = 0.0;  ///< mean movement of the last iteration
+  double hpwl = 0.0;
+};
+
+/// Runs B2B-refined quadratic placement over `movable`, everything else
+/// fixed.  Positions must hold a reasonable starting placement (the B2B
+/// weights derive from it).  Anchors are applied at every iteration.
+B2bResult solve_b2b_placement(netlist::Design& design,
+                              const std::vector<netlist::NodeId>& movable,
+                              const std::vector<Anchor>& anchors = {},
+                              const B2bOptions& options = {});
+
+}  // namespace mp::qp

@@ -1,0 +1,81 @@
+#include "rl/coarse_evaluator.hpp"
+
+#include <cassert>
+
+namespace mp::rl {
+
+CoarseEvaluator::CoarseEvaluator(const cluster::CoarseDesign& coarse,
+                                 grid::GridSpec spec, qp::QpOptions qp_options)
+    : design_(coarse.design),
+      macro_group_nodes_(coarse.macro_group_nodes),
+      cell_group_nodes_(coarse.cell_group_nodes),
+      spec_(spec),
+      qp_options_(qp_options) {
+  initial_cell_positions_.reserve(cell_group_nodes_.size());
+  for (netlist::NodeId id : cell_group_nodes_) {
+    initial_cell_positions_.push_back(design_.node(id).position);
+  }
+  initial_macro_positions_.reserve(macro_group_nodes_.size());
+  for (netlist::NodeId id : macro_group_nodes_) {
+    initial_macro_positions_.push_back(design_.node(id).position);
+    const netlist::Node& node = design_.node(id);
+    group_footprints_.push_back(
+        grid::make_footprint(spec_, node.width, node.height));
+    total_group_area_ += node.area();
+  }
+}
+
+double CoarseEvaluator::evaluate(const std::vector<grid::CellCoord>& anchors) {
+  assert(anchors.size() == macro_group_nodes_.size());
+  ++evaluations_;
+  // Pin each macro group with its lower-left corner at the anchor cell's
+  // origin — the same alignment the occupancy/state model uses.
+  for (std::size_t g = 0; g < anchors.size(); ++g) {
+    netlist::Node& node = design_.node(macro_group_nodes_[g]);
+    node.position = spec_.cell_origin(anchors[g]);
+  }
+  for (std::size_t c = 0; c < cell_group_nodes_.size(); ++c) {
+    design_.node(cell_group_nodes_[c]).position = initial_cell_positions_[c];
+  }
+  qp::solve_quadratic_placement(design_, cell_group_nodes_, {}, {}, qp_options_);
+  double w = design_.total_hpwl();
+  if (overflow_penalty_ > 0.0 && total_group_area_ > 0.0) {
+    grid::OccupancyMap occupancy(spec_);
+    for (std::size_t g = 0; g < anchors.size(); ++g) {
+      if (occupancy.fits(group_footprints_[g], anchors[g])) {
+        occupancy.place(group_footprints_[g], anchors[g]);
+      }
+    }
+    w *= 1.0 + overflow_penalty_ * occupancy.total_overflow() /
+                   total_group_area_;
+  }
+  return w;
+}
+
+double CoarseEvaluator::evaluate_partial(
+    const std::vector<grid::CellCoord>& anchors) {
+  assert(anchors.size() <= macro_group_nodes_.size());
+  ++evaluations_;
+  // Pin the prefix; everything else (remaining macro groups + cell groups)
+  // starts from its canonical position and relaxes in one joint QP.
+  std::vector<netlist::NodeId> movable;
+  movable.reserve(macro_group_nodes_.size() - anchors.size() +
+                  cell_group_nodes_.size());
+  for (std::size_t g = 0; g < macro_group_nodes_.size(); ++g) {
+    netlist::Node& node = design_.node(macro_group_nodes_[g]);
+    if (g < anchors.size()) {
+      node.position = spec_.cell_origin(anchors[g]);
+    } else {
+      node.position = initial_macro_positions_[g];
+      movable.push_back(macro_group_nodes_[g]);
+    }
+  }
+  for (std::size_t c = 0; c < cell_group_nodes_.size(); ++c) {
+    design_.node(cell_group_nodes_[c]).position = initial_cell_positions_[c];
+    movable.push_back(cell_group_nodes_[c]);
+  }
+  qp::solve_quadratic_placement(design_, movable, {}, {}, qp_options_);
+  return design_.total_hpwl();
+}
+
+}  // namespace mp::rl

@@ -1,0 +1,72 @@
+#include "rl/env.hpp"
+
+#include <cassert>
+
+namespace mp::rl {
+
+PlacementEnv::PlacementEnv(const cluster::CoarseDesign& coarse,
+                           const cluster::Clustering& clustering,
+                           grid::GridSpec spec)
+    : coarse_(coarse),
+      spec_(spec),
+      occupancy_(spec),
+      initial_occupancy_(spec) {
+  footprints_.reserve(clustering.macro_groups.size());
+  for (const cluster::Group& group : clustering.macro_groups) {
+    footprints_.push_back(grid::make_footprint(spec_, group.width, group.height));
+  }
+  // Preplaced (fixed) macros pre-fill the occupancy: their geometric overlap
+  // with each cell counts as occupied area.
+  for (const netlist::Node& node : coarse_.design.nodes()) {
+    if (node.kind != netlist::NodeKind::kMacro || !node.fixed) continue;
+    const geometry::Rect rect = node.rect();
+    const grid::Footprint fp = grid::make_footprint(spec_, rect.w, rect.h);
+    grid::CellCoord anchor = spec_.cell_of(rect.lower_left());
+    // Clamp so the footprint stays on the grid (fixed macros on the border).
+    anchor.gx = std::min(anchor.gx, spec_.dim() - fp.nx);
+    anchor.gy = std::min(anchor.gy, spec_.dim() - fp.ny);
+    if (anchor.gx < 0 || anchor.gy < 0) continue;
+    initial_occupancy_.place(fp, anchor);
+  }
+  reset();
+}
+
+void PlacementEnv::reset() {
+  occupancy_ = initial_occupancy_;
+  anchors_.clear();
+  step_ = 0;
+}
+
+const grid::Footprint& PlacementEnv::current_footprint() const {
+  assert(!done());
+  return footprints_[static_cast<std::size_t>(step_)];
+}
+
+std::vector<double> PlacementEnv::availability() const {
+  assert(!done());
+  return grid::availability_map(occupancy_, current_footprint());
+}
+
+bool PlacementEnv::step(int action) {
+  assert(!done());
+  if (action < 0 || action >= spec_.num_cells()) return false;
+  const grid::CellCoord anchor = spec_.coord(action);
+  const grid::Footprint& fp = current_footprint();
+  if (!occupancy_.fits(fp, anchor)) return false;
+  occupancy_.place(fp, anchor);
+  anchors_.push_back(anchor);
+  ++step_;
+  return true;
+}
+
+std::vector<int> PlacementEnv::legal_actions() const {
+  assert(!done());
+  const grid::Footprint& fp = current_footprint();
+  std::vector<int> actions;
+  for (int flat = 0; flat < spec_.num_cells(); ++flat) {
+    if (occupancy_.fits(fp, spec_.coord(flat))) actions.push_back(flat);
+  }
+  return actions;
+}
+
+}  // namespace mp::rl

@@ -1,0 +1,161 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace mp::rl {
+
+namespace {
+
+// One recorded step of an episode (enough to replay the forward pass).
+struct StepRecord {
+  std::vector<double> sp;
+  std::vector<double> availability;
+  int action = 0;
+};
+
+// Samples an action from the policy; falls back to a random legal action
+// when the sampled one cannot be applied (e.g. mask was all-zero and the
+// unmasked softmax proposed an off-chip anchor).
+int sample_action(const nn::Tensor& probs, PlacementEnv& env, util::Rng& rng) {
+  std::vector<double> weights(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    weights[i] = static_cast<double>(probs[i]);
+  }
+  int action = rng.categorical(weights);
+  const grid::Footprint& fp = env.current_footprint();
+  const grid::CellCoord anchor = env.spec().coord(action);
+  if (anchor.gx + fp.nx <= env.spec().dim() &&
+      anchor.gy + fp.ny <= env.spec().dim()) {
+    return action;
+  }
+  const std::vector<int> legal = env.legal_actions();
+  if (legal.empty()) return -1;
+  return legal[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(legal.size()) - 1))];
+}
+
+}  // namespace
+
+TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
+                        AgentNetwork& agent, const TrainOptions& options) {
+  TrainResult result;
+  util::Rng rng(options.seed);
+
+  RewardFn reward = options.reward;
+  if (!reward) {
+    result.calibration =
+        calibrate_reward(env, evaluator, options.calibration_episodes, rng);
+    reward = result.calibration.make_reward(options.alpha);
+  }
+
+  nn::Adam optimizer(agent.parameters(), options.learning_rate);
+  result.best_wirelength = std::numeric_limits<double>::infinity();
+  const int total_steps = env.num_steps();
+  int window_fill = 0;
+
+  for (int episode = 0; episode < options.episodes; ++episode) {
+    // --- Rollout ---
+    env.reset();
+    std::vector<StepRecord> steps;
+    steps.reserve(static_cast<std::size_t>(total_steps));
+    bool aborted = false;
+    while (!env.done()) {
+      StepRecord record;
+      record.sp = env.placement_state();
+      record.availability = env.availability();
+      const AgentOutput out =
+          agent.forward(record.sp, record.availability, env.current_step(),
+                        total_steps, /*train=*/false);
+      const int action = sample_action(out.probs, env, rng);
+      if (action < 0 || !env.step(action)) {
+        aborted = true;
+        break;
+      }
+      record.action = action;
+      steps.push_back(std::move(record));
+    }
+    if (aborted) {
+      util::log_warn() << "train_agent: episode " << episode
+                       << " aborted (no legal action)";
+      continue;
+    }
+
+    const double wirelength = evaluator.evaluate(env.anchors());
+    const double r = reward(wirelength);
+    result.episodes.push_back({r, wirelength});
+    if (wirelength < result.best_wirelength) {
+      result.best_wirelength = wirelength;
+      result.best_anchors = env.anchors();
+    }
+    if (options.on_episode) options.on_episode(episode, r, wirelength);
+
+    // --- Gradient accumulation (replay with train-mode forwards) ---
+    const float inv_steps =
+        1.0f / static_cast<float>(std::max<std::size_t>(1, steps.size()));
+    for (std::size_t t = 0; t < steps.size(); ++t) {
+      const StepRecord& record = steps[t];
+      const AgentOutput out =
+          agent.forward(record.sp, record.availability, static_cast<int>(t),
+                        total_steps, /*train=*/true);
+      const float advantage = static_cast<float>(r) - out.value;  // Eq. (6)
+      const nn::Tensor policy_grad = nn::policy_gradient(
+          out.probs, record.action, advantage * inv_steps);       // Eq. (5)
+      const float value_grad = -2.0f * advantage * inv_steps;     // Eq. (7)
+      agent.backward(policy_grad, value_grad);
+    }
+    ++window_fill;
+
+    // --- Parameter update every `update_window` episodes (paper: 30) ---
+    if (window_fill >= options.update_window ||
+        episode + 1 == options.episodes) {
+      optimizer.clip_grad_norm(options.grad_clip);
+      optimizer.step();
+      ++result.optimizer_steps;
+      window_fill = 0;
+    }
+  }
+  env.reset();
+  return result;
+}
+
+double play_greedy_episode(PlacementEnv& env, AllocationEvaluator& evaluator,
+                           AgentNetwork& agent,
+                           std::vector<grid::CellCoord>& anchors_out) {
+  env.reset();
+  const int total_steps = env.num_steps();
+  while (!env.done()) {
+    const std::vector<double> sp = env.placement_state();
+    const std::vector<double> availability = env.availability();
+    const AgentOutput out = agent.forward(sp, availability, env.current_step(),
+                                          total_steps, /*train=*/false);
+    // Argmax over applicable actions.
+    int best = -1;
+    float best_p = -1.0f;
+    const grid::Footprint& fp = env.current_footprint();
+    for (int a = 0; a < env.spec().num_cells(); ++a) {
+      const grid::CellCoord anchor = env.spec().coord(a);
+      if (anchor.gx + fp.nx > env.spec().dim() ||
+          anchor.gy + fp.ny > env.spec().dim()) {
+        continue;
+      }
+      if (out.probs[static_cast<std::size_t>(a)] > best_p) {
+        best_p = out.probs[static_cast<std::size_t>(a)];
+        best = a;
+      }
+    }
+    if (best < 0 || !env.step(best)) {
+      // Should not happen (every design fits); bail with the worst value.
+      anchors_out.clear();
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  anchors_out = env.anchors();
+  const double w = evaluator.evaluate(anchors_out);
+  env.reset();
+  return w;
+}
+
+}  // namespace mp::rl

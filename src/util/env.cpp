@@ -1,0 +1,35 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace mp::util {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int>(value);
+}
+
+double repro_scale() {
+  static const double scale = [] {
+    double s = env_double("REPRO_SCALE", 1.0);
+    if (s <= 0.0) s = 1.0;
+    if (s > 1.0) s = 1.0;
+    return s;
+  }();
+  return scale;
+}
+
+}  // namespace mp::util

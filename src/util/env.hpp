@@ -1,0 +1,20 @@
+#pragma once
+// Environment-variable helpers for bench scaling knobs.
+
+#include <string>
+
+namespace mp::util {
+
+/// Reads a double from the environment; returns `fallback` when unset or
+/// unparsable.
+double env_double(const char* name, double fallback);
+
+/// Reads an int from the environment; returns `fallback` when unset or
+/// unparsable.
+int env_int(const char* name, int fallback);
+
+/// Global experiment scale in (0, 1]: multiplies cell counts, episode counts
+/// and exploration budgets in bench binaries.  Reads REPRO_SCALE once.
+double repro_scale();
+
+}  // namespace mp::util

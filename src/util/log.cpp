@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mp::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  const char* env = std::getenv("MP_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) g_level = static_cast<int>(LogLevel::kError);
+  else if (std::strcmp(env, "warn") == 0) g_level = static_cast<int>(LogLevel::kWarn);
+  else if (std::strcmp(env, "info") == 0) g_level = static_cast<int>(LogLevel::kInfo);
+  else if (std::strcmp(env, "debug") == 0) g_level = static_cast<int>(LogLevel::kDebug);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace mp::util

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logger.  Output goes to stderr so bench tables on stdout
+// stay machine-parsable.  Level is controlled programmatically or by the
+// MP_LOG_LEVEL environment variable (error|warn|info|debug).
+
+#include <sstream>
+#include <string>
+
+namespace mp::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] message") if `level` passes the filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+
+}  // namespace mp::util

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (benchmark synthesis, simulated
+// annealing, RL action sampling, MCTS tie-breaking) draw from util::Rng so a
+// fixed seed reproduces a run bit-for-bit across platforms.  The engine is
+// xoshiro256** seeded through splitmix64, which has no libstdc++/libc++
+// distribution differences (we implement the distributions ourselves).
+
+#include <cstdint>
+#include <vector>
+
+namespace mp::util {
+
+/// xoshiro256** engine with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the four words of state via splitmix64 from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Returns the last index with positive weight if rounding exhausts the
+  /// cumulative mass; returns 0 when all weights are zero.
+  int categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      const int j = uniform_int(0, i);
+      std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  /// Independent child stream; (parent, salt) pairs give distinct streams.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mp::util

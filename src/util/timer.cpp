@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only; this TU exists so the target has a stable archive member.
+namespace mp::util {}

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing used by the runtime tables (Table IV) and benches.
+
+#include <chrono>
+
+namespace mp::util {
+
+/// Stopwatch measuring wall time since construction or the last reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double minutes() const { return seconds() / 60.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mp::util

@@ -1,0 +1,131 @@
+// Tests for the Bound-to-Bound refinement: HPWL improvement over the
+// clique/star QP, convergence, and fixed-terminal behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/generator.hpp"
+#include "qp/b2b.hpp"
+#include "qp/quadratic.hpp"
+
+namespace mp::qp {
+namespace {
+
+netlist::Design bench(std::uint64_t seed, int cells = 400) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = 4;
+  spec.std_cells = cells;
+  spec.nets = cells * 3 / 2;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+TEST(B2b, ImprovesHpwlOverCliqueStarQp) {
+  netlist::Design d = bench(700);
+  solve_quadratic_placement(d, d.std_cells());
+  const double hpwl_qp = d.total_hpwl();
+  const B2bResult r = solve_b2b_placement(d, d.std_cells());
+  EXPECT_LT(r.hpwl, hpwl_qp) << "B2B should reduce the true HPWL";
+  EXPECT_DOUBLE_EQ(r.hpwl, d.total_hpwl());
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(B2b, TwoPinNetOptimumIsBetweenFixedPins) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  netlist::Node pad;
+  pad.name = "p0";
+  pad.kind = netlist::NodeKind::kPad;
+  pad.fixed = true;
+  pad.position = {10, 10};
+  d.add_node(pad);
+  pad.name = "p1";
+  pad.position = {90, 30};
+  d.add_node(pad);
+  netlist::Node cell;
+  cell.name = "c";
+  cell.position = {50, 80};
+  d.add_node(cell);
+  netlist::Net n1;
+  n1.pins = {{0, 0, 0}, {2, 0, 0}};
+  d.add_net(n1);
+  netlist::Net n2;
+  n2.pins = {{1, 0, 0}, {2, 0, 0}};
+  d.add_net(n2);
+  solve_b2b_placement(d, {2});
+  const geometry::Point c = d.node(2).center();
+  EXPECT_GE(c.x, 10.0 - 1e-6);
+  EXPECT_LE(c.x, 90.0 + 1e-6);
+  EXPECT_GE(c.y, 10.0 - 1e-6);
+  EXPECT_LE(c.y, 30.0 + 1e-6);
+}
+
+TEST(B2b, ConvergesAndStops) {
+  netlist::Design d = bench(701, 200);
+  solve_quadratic_placement(d, d.std_cells());
+  B2bOptions options;
+  options.max_iterations = 20;
+  options.convergence_fraction = 1e-2;  // loose: should stop early
+  const B2bResult r = solve_b2b_placement(d, d.std_cells(), {}, options);
+  EXPECT_LT(r.iterations, 20);
+}
+
+TEST(B2b, KeepsNodesInRegion) {
+  netlist::Design d = bench(702, 250);
+  solve_quadratic_placement(d, d.std_cells());
+  solve_b2b_placement(d, d.std_cells());
+  for (netlist::NodeId id : d.std_cells()) {
+    EXPECT_TRUE(d.region().contains(d.node(id).rect()));
+  }
+}
+
+TEST(B2b, AnchorsPull) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  netlist::Node pad;
+  pad.name = "p";
+  pad.kind = netlist::NodeKind::kPad;
+  pad.fixed = true;
+  pad.position = {0, 0};
+  d.add_node(pad);
+  netlist::Node cell;
+  cell.name = "c";
+  cell.position = {50, 50};
+  d.add_node(cell);
+  netlist::Net n;
+  n.pins = {{0, 0, 0}, {1, 0, 0}};
+  d.add_net(n);
+  B2bOptions options;
+  const B2bResult weak = solve_b2b_placement(d, {1}, {{1, {90, 90}, 0.001}}, options);
+  const geometry::Point weak_pos = d.node(1).center();
+  d.node(1).position = {50, 50};
+  solve_b2b_placement(d, {1}, {{1, {90.0, 90.0}, 1000.0}}, options);
+  const geometry::Point strong_pos = d.node(1).center();
+  (void)weak;
+  EXPECT_GT(strong_pos.x, weak_pos.x);
+  EXPECT_NEAR(strong_pos.x, 90.0, 2.0);
+}
+
+TEST(B2b, EmptyMovableIsNoop) {
+  netlist::Design d = bench(703, 50);
+  const double before = d.total_hpwl();
+  const B2bResult r = solve_b2b_placement(d, {});
+  EXPECT_DOUBLE_EQ(r.hpwl, before);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+class B2bSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(B2bSweep, NeverWorseThanCliqueStar) {
+  netlist::Design d = bench(710 + static_cast<std::uint64_t>(GetParam()),
+                            GetParam());
+  solve_quadratic_placement(d, d.std_cells());
+  const double hpwl_qp = d.total_hpwl();
+  const B2bResult r = solve_b2b_placement(d, d.std_cells());
+  EXPECT_LE(r.hpwl, hpwl_qp * 1.02) << "cells=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CellCounts, B2bSweep,
+                         ::testing::Values(100, 300, 800));
+
+}  // namespace
+}  // namespace mp::qp

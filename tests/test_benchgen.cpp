@@ -1,0 +1,177 @@
+// Tests for the synthetic benchmark generator and the published presets.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/presets.hpp"
+
+namespace mp::benchgen {
+namespace {
+
+TEST(Generator, CountsMatchSpec) {
+  BenchSpec spec;
+  spec.movable_macros = 7;
+  spec.preplaced_macros = 3;
+  spec.io_pads = 16;
+  spec.std_cells = 120;
+  spec.nets = 200;
+  spec.hierarchy = true;
+  spec.seed = 1;
+  const netlist::Design d = generate(spec);
+  const netlist::DesignStats s = d.stats();
+  EXPECT_EQ(s.movable_macros, 7);
+  EXPECT_EQ(s.preplaced_macros, 3);
+  EXPECT_EQ(s.io_pads, 16);
+  EXPECT_EQ(s.standard_cells, 120);
+  EXPECT_EQ(s.nets, 200);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  BenchSpec spec;
+  spec.movable_macros = 5;
+  spec.std_cells = 80;
+  spec.nets = 120;
+  spec.seed = 9;
+  const netlist::Design a = generate(spec);
+  const netlist::Design b = generate(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.node(static_cast<int>(i)).position,
+              b.node(static_cast<int>(i)).position);
+    EXPECT_EQ(a.node(static_cast<int>(i)).width,
+              b.node(static_cast<int>(i)).width);
+  }
+  EXPECT_DOUBLE_EQ(a.total_hpwl(), b.total_hpwl());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  BenchSpec spec;
+  spec.movable_macros = 5;
+  spec.std_cells = 80;
+  spec.nets = 120;
+  spec.seed = 10;
+  const netlist::Design a = generate(spec);
+  spec.seed = 11;
+  const netlist::Design b = generate(spec);
+  EXPECT_NE(a.total_hpwl(), b.total_hpwl());
+}
+
+TEST(Generator, ScaleShrinksCellsNotMacros) {
+  BenchSpec spec;
+  spec.movable_macros = 6;
+  spec.std_cells = 1000;
+  spec.nets = 1500;
+  spec.seed = 12;
+  spec.scale = 0.1;
+  const netlist::Design d = generate(spec);
+  const netlist::DesignStats s = d.stats();
+  EXPECT_EQ(s.movable_macros, 6);
+  EXPECT_EQ(s.standard_cells, 100);
+  EXPECT_EQ(s.nets, 150);
+}
+
+TEST(Generator, NodesInsideRegion) {
+  BenchSpec spec;
+  spec.movable_macros = 10;
+  spec.preplaced_macros = 4;
+  spec.std_cells = 200;
+  spec.nets = 300;
+  spec.hierarchy = true;
+  spec.seed = 13;
+  const netlist::Design d = generate(spec);
+  for (const netlist::Node& n : d.nodes()) {
+    if (n.kind == netlist::NodeKind::kPad) continue;
+    EXPECT_TRUE(d.region().contains(n.rect())) << n.name;
+  }
+}
+
+TEST(Generator, PreplacedMacrosDoNotOverlapEachOther) {
+  BenchSpec spec;
+  spec.movable_macros = 0;
+  spec.preplaced_macros = 8;
+  spec.std_cells = 100;
+  spec.nets = 150;
+  spec.hierarchy = true;
+  spec.seed = 14;
+  const netlist::Design d = generate(spec);
+  EXPECT_NEAR(d.macro_overlap_area(), 0.0, 1e-9);
+}
+
+TEST(Generator, HierarchyNamesPresentWhenRequested) {
+  BenchSpec spec;
+  spec.movable_macros = 4;
+  spec.std_cells = 50;
+  spec.nets = 80;
+  spec.hierarchy = true;
+  spec.seed = 15;
+  const netlist::Design d = generate(spec);
+  int with_hierarchy = 0;
+  for (const netlist::Node& n : d.nodes()) {
+    if (!n.hierarchy.empty()) ++with_hierarchy;
+  }
+  EXPECT_GT(with_hierarchy, 0);
+  spec.hierarchy = false;
+  const netlist::Design flat = generate(spec);
+  for (const netlist::Node& n : flat.nodes()) {
+    EXPECT_TRUE(n.hierarchy.empty());
+  }
+}
+
+TEST(Generator, EveryMacroIsConnected) {
+  BenchSpec spec;
+  spec.movable_macros = 8;
+  spec.std_cells = 100;
+  spec.nets = 200;
+  spec.seed = 16;
+  const netlist::Design d = generate(spec);
+  const auto& adjacency = d.node_nets();
+  for (netlist::NodeId id : d.movable_macros()) {
+    EXPECT_FALSE(adjacency[static_cast<std::size_t>(id)].empty())
+        << "macro " << id << " has no nets";
+  }
+}
+
+TEST(Generator, NetsHaveAtLeastTwoPins) {
+  BenchSpec spec;
+  spec.movable_macros = 4;
+  spec.std_cells = 60;
+  spec.nets = 100;
+  spec.seed = 17;
+  const netlist::Design d = generate(spec);
+  for (const netlist::Net& net : d.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+  }
+}
+
+TEST(Presets, Iccad04TableRows) {
+  ASSERT_EQ(iccad04_names().size(), 17u);
+  EXPECT_EQ(iccad04_names().front(), "ibm01");
+  EXPECT_EQ(iccad04_names().back(), "ibm18");
+  const BenchSpec ibm01 = iccad04_spec(0);
+  EXPECT_EQ(ibm01.movable_macros, 246);
+  EXPECT_EQ(ibm01.std_cells, 12000);
+  EXPECT_FALSE(ibm01.hierarchy);
+  const BenchSpec ibm10 = iccad04_spec(8);
+  EXPECT_EQ(ibm10.name, "ibm10");
+  EXPECT_EQ(ibm10.movable_macros, 786);  // largest macro count in Table III
+  EXPECT_THROW(iccad04_spec(17), std::out_of_range);
+}
+
+TEST(Presets, IndustrialTableRows) {
+  ASSERT_EQ(industrial_names().size(), 6u);
+  const BenchSpec cir2 = industrial_spec(1);
+  EXPECT_EQ(cir2.movable_macros, 71);
+  EXPECT_EQ(cir2.preplaced_macros, 47);
+  EXPECT_EQ(cir2.io_pads, 365);
+  EXPECT_TRUE(cir2.hierarchy);
+  EXPECT_THROW(industrial_spec(6), std::out_of_range);
+}
+
+TEST(Presets, ScaledPresetGenerates) {
+  const BenchSpec spec = iccad04_spec(0, /*scale=*/0.02);
+  const netlist::Design d = generate(spec);
+  EXPECT_EQ(d.stats().movable_macros, 246);
+  EXPECT_EQ(d.stats().standard_cells, 240);
+}
+
+}  // namespace
+}  // namespace mp::benchgen

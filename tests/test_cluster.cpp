@@ -1,0 +1,245 @@
+// Tests for clustering (Eqs. 1-2) and coarse-netlist construction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/generator.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/coarse.hpp"
+#include "gp/global_placer.hpp"
+
+namespace mp::cluster {
+namespace {
+
+netlist::Design clustered_bench(std::uint64_t seed, int macros = 24,
+                                int cells = 400, bool hierarchy = true) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = macros;
+  spec.preplaced_macros = hierarchy ? 3 : 0;
+  spec.std_cells = cells;
+  spec.nets = cells * 3 / 2;
+  spec.hierarchy = hierarchy;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+TEST(GroupShape, FitsLargestMember) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  netlist::Node m;
+  m.name = "m1";
+  m.kind = netlist::NodeKind::kMacro;
+  m.width = 20.0;
+  m.height = 2.0;
+  d.add_node(m);
+  m.name = "m2";
+  m.width = 3.0;
+  m.height = 8.0;
+  d.add_node(m);
+  Group g;
+  g.members = {0, 1};
+  g.area = 20.0 * 2.0 + 3.0 * 8.0;
+  assign_group_shape(g, d);
+  EXPECT_GE(g.width, 20.0);
+  EXPECT_GE(g.height, 8.0);
+  EXPECT_GE(g.width * g.height, g.area);
+}
+
+TEST(Clustering, EveryMovableMacroAssignedToExactlyOneGroup) {
+  netlist::Design d = clustered_bench(31);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+
+  std::set<netlist::NodeId> seen;
+  for (const Group& g : c.macro_groups) {
+    for (netlist::NodeId m : g.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "macro in two groups";
+      EXPECT_EQ(d.node(m).kind, netlist::NodeKind::kMacro);
+      EXPECT_FALSE(d.node(m).fixed);
+    }
+  }
+  EXPECT_EQ(seen.size(), d.movable_macros().size());
+}
+
+TEST(Clustering, GroupOfMapsAreConsistent) {
+  netlist::Design d = clustered_bench(32);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  for (std::size_t g = 0; g < c.macro_groups.size(); ++g) {
+    for (netlist::NodeId m : c.macro_groups[g].members) {
+      EXPECT_EQ(c.macro_group_of[static_cast<std::size_t>(m)],
+                static_cast<int>(g));
+    }
+  }
+  for (std::size_t g = 0; g < c.cell_groups.size(); ++g) {
+    for (netlist::NodeId m : c.cell_groups[g].members) {
+      EXPECT_EQ(c.cell_group_of[static_cast<std::size_t>(m)],
+                static_cast<int>(g));
+    }
+  }
+}
+
+TEST(Clustering, GroupsSortedByNonIncreasingArea) {
+  netlist::Design d = clustered_bench(33);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  for (std::size_t g = 1; g < c.macro_groups.size(); ++g) {
+    EXPECT_GE(c.macro_groups[g - 1].area, c.macro_groups[g].area);
+  }
+}
+
+TEST(Clustering, MergingReducesGroupCount) {
+  netlist::Design d = clustered_bench(34);
+  const grid::GridSpec spec(d.region(), 4);  // big cells: lots of merging room
+  const Clustering c = cluster_design(d, spec);
+  EXPECT_LT(c.macro_groups.size(), d.movable_macros().size());
+  EXPECT_LT(c.cell_groups.size(), d.std_cells().size());
+  EXPECT_GE(c.macro_groups.size(), 1u);
+}
+
+TEST(Clustering, GroupAreaEqualsSumOfMembers) {
+  netlist::Design d = clustered_bench(35);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  for (const Group& g : c.macro_groups) {
+    double sum = 0.0;
+    for (netlist::NodeId m : g.members) sum += d.node(m).area();
+    EXPECT_NEAR(g.area, sum, 1e-6);
+  }
+}
+
+TEST(Clustering, MergedAreaRespectsCap) {
+  netlist::Design d = clustered_bench(36);
+  const grid::GridSpec spec(d.region(), 8);
+  ClusterParams params;
+  params.max_merged_cells = 2.0;
+  const Clustering c = cluster_design(d, spec, params);
+  for (const Group& g : c.macro_groups) {
+    if (g.members.size() > 1) {
+      EXPECT_LE(g.area, params.max_merged_cells * spec.cell_area() + 1e-6);
+    }
+  }
+}
+
+TEST(Clustering, HierarchyBiasGroupsSameModule) {
+  // Two spatial clusters of macros; hierarchy names cross-cut the spatial
+  // arrangement with a large delta so hierarchy should win ties.
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  const char* mods[2] = {"top/a", "top/b"};
+  for (int i = 0; i < 4; ++i) {
+    netlist::Node m;
+    m.name = "m" + std::to_string(i);
+    m.kind = netlist::NodeKind::kMacro;
+    m.width = 5.0;
+    m.height = 5.0;
+    m.hierarchy = mods[i % 2];
+    // All at similar distance from each other.
+    m.position = {20.0 + 25.0 * (i % 2), 20.0 + 25.0 * (i / 2)};
+    d.add_node(m);
+  }
+  const grid::GridSpec spec(d.region(), 10);  // 10×10 cells (area 100)
+  ClusterParams params;
+  params.delta = 10.0;  // hierarchy dominates
+  params.nu = 0.0001;
+  // Each macro is 25 area; cap merged groups at 50 so only pairs can form.
+  params.max_merged_cells = 0.5;
+  const Clustering c = cluster_design(d, spec, params);
+  // Expect the two groups to follow the hierarchy split {0,2} / {1,3}.
+  ASSERT_EQ(c.macro_groups.size(), 2u);
+  for (const Group& g : c.macro_groups) {
+    ASSERT_EQ(g.members.size(), 2u);
+    EXPECT_EQ(d.node(g.members[0]).hierarchy, d.node(g.members[1]).hierarchy);
+  }
+}
+
+TEST(Clustering, HighNuDisablesMerging) {
+  netlist::Design d = clustered_bench(37);
+  const grid::GridSpec spec(d.region(), 8);
+  ClusterParams params;
+  params.nu = 1e12;  // nothing scores this high
+  const Clustering c = cluster_design(d, spec, params);
+  EXPECT_EQ(c.macro_groups.size(), d.movable_macros().size());
+}
+
+TEST(Coarse, NodeCountsAndKinds) {
+  netlist::Design d = clustered_bench(38);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  const CoarseDesign coarse = build_coarse_design(d, c);
+
+  EXPECT_EQ(coarse.macro_group_nodes.size(), c.macro_groups.size());
+  EXPECT_EQ(coarse.cell_group_nodes.size(), c.cell_groups.size());
+  // Pads and preplaced macros are copied as fixed.
+  const auto stats = coarse.design.stats();
+  EXPECT_EQ(stats.preplaced_macros, d.stats().preplaced_macros);
+  EXPECT_EQ(stats.io_pads, d.stats().io_pads);
+  EXPECT_EQ(stats.movable_macros, static_cast<int>(c.macro_groups.size()));
+}
+
+TEST(Coarse, NetsConnectAtLeastTwoDistinctGroups) {
+  netlist::Design d = clustered_bench(39);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  const CoarseDesign coarse = build_coarse_design(d, c);
+  EXPECT_GT(coarse.design.num_nets(), 0u);
+  for (const netlist::Net& net : coarse.design.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+    std::set<netlist::NodeId> distinct;
+    for (const netlist::PinRef& pin : net.pins) distinct.insert(pin.node);
+    EXPECT_EQ(distinct.size(), net.pins.size()) << "duplicate pins in a net";
+  }
+}
+
+TEST(Coarse, ParallelNetsMergedWithWeight) {
+  // Two original nets between the same two macros must merge into one coarse
+  // net of weight 2.
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  for (int i = 0; i < 2; ++i) {
+    netlist::Node m;
+    m.name = "m" + std::to_string(i);
+    m.kind = netlist::NodeKind::kMacro;
+    m.width = 60.0;  // too big to merge into one group on a 2x2 grid
+    m.height = 60.0;
+    m.position = {0.0 + 40.0 * i, 0.0};
+    d.add_node(m);
+  }
+  for (int k = 0; k < 2; ++k) {
+    netlist::Net n;
+    n.name = "n" + std::to_string(k);
+    n.pins = {{0, 1, 1}, {1, 1, 1}};
+    d.add_net(n);
+  }
+  const grid::GridSpec spec(d.region(), 2);
+  const Clustering c = cluster_design(d, spec);
+  ASSERT_EQ(c.macro_groups.size(), 2u);
+  const CoarseDesign coarse = build_coarse_design(d, c);
+  ASSERT_EQ(coarse.design.num_nets(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.design.net(0).weight, 2.0);
+}
+
+TEST(Coarse, ApplyGroupPositionsTranslatesMembers) {
+  netlist::Design d = clustered_bench(40);
+  const grid::GridSpec spec(d.region(), 8);
+  const Clustering c = cluster_design(d, spec);
+  CoarseDesign coarse = build_coarse_design(d, c);
+
+  // Move group 0 by a known shift.
+  const geometry::Point delta{7.0, -3.0};
+  netlist::Node& gnode = coarse.design.node(coarse.macro_group_nodes[0]);
+  gnode.position = gnode.position + delta;
+
+  std::vector<geometry::Point> before;
+  for (netlist::NodeId m : c.macro_groups[0].members) {
+    before.push_back(d.node(m).position);
+  }
+  apply_group_positions(coarse, c, d);
+  for (std::size_t i = 0; i < c.macro_groups[0].members.size(); ++i) {
+    const geometry::Point now =
+        d.node(c.macro_groups[0].members[i]).position;
+    EXPECT_NEAR(now.x - before[i].x, delta.x, 1e-9);
+    EXPECT_NEAR(now.y - before[i].y, delta.y, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mp::cluster

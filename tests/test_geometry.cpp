@@ -1,0 +1,105 @@
+// Tests for geometry: points, rects, overlap, bounding boxes.
+
+#include <gtest/gtest.h>
+
+#include "geometry/geometry.hpp"
+
+namespace mp::geometry {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+}
+
+TEST(Point, Distances) {
+  const Point a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+}
+
+TEST(Rect, BasicAccessors) {
+  const Rect r(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.left(), 1.0);
+  EXPECT_DOUBLE_EQ(r.right(), 5.0);
+  EXPECT_DOUBLE_EQ(r.bottom(), 2.0);
+  EXPECT_DOUBLE_EQ(r.top(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 24.0);
+  EXPECT_EQ(r.center(), Point(3.0, 5.0));
+  EXPECT_EQ(r.lower_left(), Point(1.0, 2.0));
+}
+
+TEST(Rect, FromCornersNormalizes) {
+  const Rect r = Rect::from_corners(5.0, 8.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+  EXPECT_DOUBLE_EQ(r.y, 2.0);
+  EXPECT_DOUBLE_EQ(r.w, 4.0);
+  EXPECT_DOUBLE_EQ(r.h, 6.0);
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r(0.0, 0.0, 2.0, 2.0);
+  EXPECT_TRUE(r.contains(Point(1.0, 1.0)));
+  EXPECT_TRUE(r.contains(Point(0.0, 0.0)));  // border inclusive
+  EXPECT_TRUE(r.contains(Point(2.0, 2.0)));
+  EXPECT_FALSE(r.contains(Point(2.1, 1.0)));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(outer.contains(Rect(1.0, 1.0, 2.0, 2.0)));
+  EXPECT_TRUE(outer.contains(Rect(0.0, 0.0, 10.0, 10.0)));  // coincident
+  EXPECT_FALSE(outer.contains(Rect(9.0, 9.0, 2.0, 2.0)));
+}
+
+TEST(Rect, OverlapsExcludesTouching) {
+  const Rect a(0.0, 0.0, 2.0, 2.0);
+  EXPECT_TRUE(a.overlaps(Rect(1.0, 1.0, 2.0, 2.0)));
+  EXPECT_FALSE(a.overlaps(Rect(2.0, 0.0, 2.0, 2.0)));  // share an edge
+  EXPECT_FALSE(a.overlaps(Rect(3.0, 3.0, 1.0, 1.0)));
+}
+
+TEST(OverlapArea, Values) {
+  const Rect a(0.0, 0.0, 4.0, 4.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect(2.0, 2.0, 4.0, 4.0)), 4.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect(4.0, 0.0, 2.0, 2.0)), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect(1.0, 1.0, 1.0, 1.0)), 1.0);  // nested
+  EXPECT_DOUBLE_EQ(overlap_area(a, a), 16.0);
+}
+
+TEST(BoundingBox, EmptyHasZeroHalfPerimeter) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+}
+
+TEST(BoundingBox, SinglePoint) {
+  BoundingBox box;
+  box.add({3.0, 4.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 0.0);
+}
+
+TEST(BoundingBox, GrowsWithPoints) {
+  BoundingBox box;
+  box.add({0.0, 0.0});
+  box.add({3.0, 1.0});
+  box.add({1.0, 5.0});
+  EXPECT_DOUBLE_EQ(box.width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.height(), 5.0);
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 8.0);
+}
+
+TEST(BoundingBox, NegativeCoordinates) {
+  BoundingBox box;
+  box.add({-2.0, -3.0});
+  box.add({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(box.half_perimeter(), 10.0);
+  EXPECT_DOUBLE_EQ(box.min_x(), -2.0);
+  EXPECT_DOUBLE_EQ(box.max_y(), 3.0);
+}
+
+}  // namespace
+}  // namespace mp::geometry

@@ -1,0 +1,202 @@
+// Tests for grid partition, occupancy, footprints and the Eq. (4)
+// availability map — including the worked example from Fig. 1 of the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid.hpp"
+#include "grid/occupancy.hpp"
+
+namespace mp::grid {
+namespace {
+
+GridSpec unit_grid(int dim) {
+  return GridSpec(geometry::Rect(0.0, 0.0, dim, dim), dim);  // 1×1 cells
+}
+
+TEST(GridSpec, CellGeometry) {
+  const GridSpec g(geometry::Rect(0.0, 0.0, 16.0, 8.0), 4);
+  EXPECT_DOUBLE_EQ(g.cell_width(), 4.0);
+  EXPECT_DOUBLE_EQ(g.cell_height(), 2.0);
+  EXPECT_EQ(g.num_cells(), 16);
+  const geometry::Rect cell = g.cell_rect({1, 2});
+  EXPECT_DOUBLE_EQ(cell.x, 4.0);
+  EXPECT_DOUBLE_EQ(cell.y, 4.0);
+}
+
+TEST(GridSpec, FlatIndexRoundTrip) {
+  const GridSpec g = unit_grid(5);
+  for (int flat = 0; flat < g.num_cells(); ++flat) {
+    EXPECT_EQ(g.flat_index(g.coord(flat)), flat);
+  }
+}
+
+TEST(GridSpec, CellOfClampsBoundary) {
+  const GridSpec g = unit_grid(4);
+  EXPECT_EQ(g.cell_of({0.5, 0.5}), (CellCoord{0, 0}));
+  EXPECT_EQ(g.cell_of({3.99, 3.99}), (CellCoord{3, 3}));
+  EXPECT_EQ(g.cell_of({4.0, 4.0}), (CellCoord{3, 3}));   // on the far edge
+  EXPECT_EQ(g.cell_of({-1.0, 9.0}), (CellCoord{0, 3}));  // out of range clamps
+}
+
+TEST(GridSpec, FootprintCells) {
+  const GridSpec g = unit_grid(8);
+  EXPECT_EQ(g.footprint_cells(0.4, 0.4), (CellCoord{1, 1}));
+  EXPECT_EQ(g.footprint_cells(1.0, 1.0), (CellCoord{1, 1}));  // exact fit
+  EXPECT_EQ(g.footprint_cells(1.01, 0.5), (CellCoord{2, 1}));
+  EXPECT_EQ(g.footprint_cells(2.6, 1.5), (CellCoord{3, 2}));
+}
+
+TEST(Footprint, PartialCoverageValues) {
+  const GridSpec g = unit_grid(4);
+  // 0.6 × 1.5 object: bottom cell 0.6, top cell 0.6*0.5=0.3.
+  const Footprint fp = make_footprint(g, 0.6, 1.5);
+  ASSERT_EQ(fp.nx, 1);
+  ASSERT_EQ(fp.ny, 2);
+  EXPECT_NEAR(fp.at(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(fp.at(0, 1), 0.3, 1e-12);
+}
+
+TEST(Footprint, FullCoverageCells) {
+  const GridSpec g = unit_grid(4);
+  const Footprint fp = make_footprint(g, 2.0, 2.0);
+  ASSERT_EQ(fp.nx, 2);
+  ASSERT_EQ(fp.ny, 2);
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) EXPECT_DOUBLE_EQ(fp.at(ix, iy), 1.0);
+  }
+}
+
+TEST(Occupancy, PlaceAndUtilization) {
+  const GridSpec g = unit_grid(4);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 0.5, 0.5);
+  occ.place(fp, {1, 1});
+  EXPECT_DOUBLE_EQ(occ.utilization({1, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(occ.utilization({0, 0}), 0.0);
+}
+
+TEST(Occupancy, UtilizationCapsAtOne) {
+  const GridSpec g = unit_grid(4);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 1.0, 1.0);
+  occ.place(fp, {0, 0});
+  occ.place(fp, {0, 0});
+  EXPECT_DOUBLE_EQ(occ.utilization({0, 0}), 1.0);
+  EXPECT_GT(occ.occupied_area({0, 0}), 1.0);  // raw area keeps accumulating
+  EXPECT_DOUBLE_EQ(occ.total_overflow(), 1.0);
+}
+
+TEST(Occupancy, RemoveUndoesPlace) {
+  const GridSpec g = unit_grid(4);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 0.7, 0.7);
+  occ.place(fp, {2, 2});
+  occ.remove(fp, {2, 2});
+  for (int flat = 0; flat < g.num_cells(); ++flat) {
+    EXPECT_NEAR(occ.occupied_area(g.coord(flat)), 0.0, 1e-12);
+  }
+}
+
+TEST(Occupancy, FitsChecksBounds) {
+  const GridSpec g = unit_grid(4);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 2.0, 1.0);  // 2×1 cells
+  EXPECT_TRUE(occ.fits(fp, {2, 3}));
+  EXPECT_FALSE(occ.fits(fp, {3, 3}));   // spills right
+  EXPECT_FALSE(occ.fits(fp, {-1, 0}));  // negative anchor
+}
+
+// The paper's Fig. 1 example: s_m = [0.6, 0.3] (a 0.6 × 1.5 group), target
+// cells with s_p = 0.5 (bottom) and 0.25 (top):
+// V = sqrt((1-0.6)(1-0.5) * (1-0.3)(1-0.25)) = sqrt(0.105) ≈ 0.32.
+TEST(Availability, PaperFigure1Example) {
+  const GridSpec g = unit_grid(2);
+  OccupancyMap occ(g);
+  // Fill cell (1,0) to 0.5 and cell (1,1) to 0.25.
+  occ.place(make_footprint(g, 0.5, 1.0), {1, 0});
+  occ.place(make_footprint(g, 0.25, 1.0), {1, 1});
+  EXPECT_DOUBLE_EQ(occ.utilization({1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(occ.utilization({1, 1}), 0.25);
+
+  const Footprint fp = make_footprint(g, 0.6, 1.5);  // s_m = [0.6, 0.3]
+  const std::vector<double> sa = availability_map(occ, fp);
+  const double expected = std::sqrt((1 - 0.6) * (1 - 0.5) * (1 - 0.3) * (1 - 0.25));
+  EXPECT_NEAR(sa[static_cast<std::size_t>(g.flat_index({1, 0}))], expected, 1e-9);
+  EXPECT_NEAR(expected, 0.324, 0.001);
+}
+
+TEST(Availability, OffChipAnchorsAreZero) {
+  const GridSpec g = unit_grid(3);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 2.0, 2.0);  // 2×2 cells
+  const std::vector<double> sa = availability_map(occ, fp);
+  // Anchors on the last row/column cannot host a 2×2 footprint.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sa[static_cast<std::size_t>(g.flat_index({2, i}))], 0.0);
+    EXPECT_DOUBLE_EQ(sa[static_cast<std::size_t>(g.flat_index({i, 2}))], 0.0);
+  }
+  EXPECT_GT(sa[static_cast<std::size_t>(g.flat_index({0, 0}))], 0.0);
+}
+
+TEST(Availability, FullCellBlocksPlacement) {
+  const GridSpec g = unit_grid(2);
+  OccupancyMap occ(g);
+  occ.place(make_footprint(g, 1.0, 1.0), {0, 0});  // cell (0,0) full
+  const Footprint fp = make_footprint(g, 0.5, 0.5);
+  const std::vector<double> sa = availability_map(occ, fp);
+  EXPECT_DOUBLE_EQ(sa[static_cast<std::size_t>(g.flat_index({0, 0}))], 0.0);
+  EXPECT_GT(sa[static_cast<std::size_t>(g.flat_index({1, 1}))], 0.0);
+}
+
+TEST(Availability, EmptierAnchorsScoreHigher) {
+  const GridSpec g = unit_grid(3);
+  OccupancyMap occ(g);
+  occ.place(make_footprint(g, 0.8, 0.8), {0, 0});
+  occ.place(make_footprint(g, 0.3, 0.3), {1, 1});
+  const Footprint fp = make_footprint(g, 0.5, 0.5);
+  const std::vector<double> sa = availability_map(occ, fp);
+  const double at_heavy = sa[static_cast<std::size_t>(g.flat_index({0, 0}))];
+  const double at_light = sa[static_cast<std::size_t>(g.flat_index({1, 1}))];
+  const double at_empty = sa[static_cast<std::size_t>(g.flat_index({2, 2}))];
+  EXPECT_LT(at_heavy, at_light);
+  EXPECT_LT(at_light, at_empty);
+}
+
+// A multi-cell group (interior footprint cells fully covered) must still be
+// placeable somewhere — the soft-clamp design note in occupancy.cpp.
+TEST(Availability, LargeGroupRemainsPlaceable) {
+  const GridSpec g = unit_grid(8);
+  OccupancyMap occ(g);
+  const Footprint fp = make_footprint(g, 3.0, 3.0);
+  const std::vector<double> sa = availability_map(occ, fp);
+  double max_avail = 0.0;
+  for (double v : sa) max_avail = std::max(max_avail, v);
+  EXPECT_GT(max_avail, 0.0);
+}
+
+class AvailabilityBoundsProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AvailabilityBoundsProperty, ValuesInUnitInterval) {
+  const auto [w, h] = GetParam();
+  const GridSpec g = unit_grid(6);
+  OccupancyMap occ(g);
+  occ.place(make_footprint(g, 1.8, 0.9), {1, 1});
+  occ.place(make_footprint(g, 0.4, 2.3), {4, 2});
+  const std::vector<double> sa = availability_map(occ, make_footprint(g, w, h));
+  for (double v : sa) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AvailabilityBoundsProperty,
+    ::testing::Values(std::make_pair(0.3, 0.3), std::make_pair(1.0, 1.0),
+                      std::make_pair(2.5, 0.7), std::make_pair(3.0, 3.0),
+                      std::make_pair(5.9, 1.2)));
+
+}  // namespace
+}  // namespace mp::grid

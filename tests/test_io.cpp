@@ -1,0 +1,109 @@
+// Tests for Bookshelf round-trip and placement plotting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "io/bookshelf.hpp"
+#include "io/plot.hpp"
+
+namespace mp::io {
+namespace {
+
+netlist::Design small_design() {
+  benchgen::BenchSpec spec;
+  spec.name = "tiny";
+  spec.movable_macros = 4;
+  spec.preplaced_macros = 1;
+  spec.io_pads = 8;
+  spec.std_cells = 40;
+  spec.nets = 60;
+  spec.seed = 3;
+  return benchgen::generate(spec);
+}
+
+TEST(Bookshelf, NodesHeaderAndCounts) {
+  const netlist::Design d = small_design();
+  std::ostringstream os;
+  write_nodes(d, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("UCLA nodes 1.0"), std::string::npos);
+  EXPECT_NE(text.find("NumNodes : " + std::to_string(d.num_nodes())),
+            std::string::npos);
+  EXPECT_NE(text.find("terminal"), std::string::npos);
+}
+
+TEST(Bookshelf, RoundTripPreservesStructure) {
+  const netlist::Design d = small_design();
+  const std::string prefix = "/tmp/mp_test_bookshelf";
+  write_bookshelf(d, prefix);
+  const netlist::Design back = read_bookshelf(prefix);
+
+  EXPECT_EQ(back.num_nodes(), d.num_nodes());
+  EXPECT_EQ(back.num_nets(), d.num_nets());
+  // Node dimensions and positions survive.
+  for (std::size_t i = 0; i < d.num_nodes(); ++i) {
+    const auto id = back.find_node(d.node(static_cast<int>(i)).name);
+    ASSERT_TRUE(id.has_value());
+    const netlist::Node& a = d.node(static_cast<int>(i));
+    const netlist::Node& b = back.node(*id);
+    EXPECT_NEAR(a.width, b.width, 1e-6);
+    EXPECT_NEAR(a.height, b.height, 1e-6);
+    EXPECT_NEAR(a.position.x, b.position.x, 1e-6);
+    EXPECT_NEAR(a.position.y, b.position.y, 1e-6);
+  }
+}
+
+TEST(Bookshelf, RoundTripPreservesHpwl) {
+  const netlist::Design d = small_design();
+  const std::string prefix = "/tmp/mp_test_bookshelf2";
+  write_bookshelf(d, prefix);
+  const netlist::Design back = read_bookshelf(prefix);
+  EXPECT_NEAR(back.total_hpwl(), d.total_hpwl(), d.total_hpwl() * 1e-6 + 1e-6);
+}
+
+TEST(Bookshelf, ReadMissingFileThrows) {
+  EXPECT_THROW(read_bookshelf("/tmp/definitely_not_there_xyz"),
+               std::runtime_error);
+}
+
+TEST(Bookshelf, MacroClassificationByArea) {
+  const netlist::Design d = small_design();
+  const std::string prefix = "/tmp/mp_test_bookshelf3";
+  write_bookshelf(d, prefix);
+  const netlist::Design back = read_bookshelf(prefix);
+  // Macro count should be preserved (macros are much larger than cells).
+  EXPECT_EQ(back.macros().size(), d.macros().size());
+  EXPECT_EQ(back.pads().size(), d.pads().size());
+}
+
+TEST(Plot, WritesValidPpm) {
+  const netlist::Design d = small_design();
+  const std::string path = "/tmp/mp_test_plot.ppm";
+  PlotOptions options;
+  options.width_px = 64;
+  options.draw_grid = true;
+  plot_placement(d, path, options);
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w = 0, h = 0, depth = 0;
+  f >> w >> h >> depth;
+  EXPECT_EQ(w, 64);
+  EXPECT_GT(h, 0);
+  EXPECT_EQ(depth, 255);
+  // Payload size matches.
+  f.ignore(1);
+  f.seekg(0, std::ios::end);
+  const auto end = f.tellg();
+  EXPECT_GT(end, static_cast<std::streamoff>(3 * w * h));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mp::io

@@ -1,0 +1,129 @@
+// Parser-robustness tests for the Bookshelf reader: comments, whitespace,
+// anonymous nets, error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/bookshelf.hpp"
+
+namespace mp::io {
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+struct TempPrefix {
+  std::string prefix;
+  explicit TempPrefix(const std::string& name) : prefix("/tmp/" + name) {}
+  ~TempPrefix() {
+    for (const char* ext : {".nodes", ".nets", ".pl"}) {
+      std::remove((prefix + ext).c_str());
+    }
+  }
+};
+
+TEST(BookshelfParser, HandlesCommentsAndBlankLines) {
+  TempPrefix t("mp_parse1");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\n"
+             "# a comment line\n"
+             "\n"
+             "NumNodes : 2\n"
+             "NumTerminals : 1\n"
+             "  a 10 10\n"
+             "  p 2 2 terminal  # trailing comment\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\n"
+             "NumNets : 1\nNumPins : 2\n"
+             "NetDegree : 2 n0\n"
+             "  a B : 0 0\n"
+             "  p B : 0 0\n");
+  write_file(t.prefix + ".pl",
+             "UCLA pl 1.0\n"
+             "a 5 5 : N\n"
+             "p 0 0 : N /FIXED\n");
+  const netlist::Design d = read_bookshelf(t.prefix);
+  EXPECT_EQ(d.num_nodes(), 2u);
+  EXPECT_EQ(d.num_nets(), 1u);
+  EXPECT_DOUBLE_EQ(d.node(0).position.x, 5.0);
+}
+
+TEST(BookshelfParser, AnonymousNetsGetNames) {
+  TempPrefix t("mp_parse2");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+             "  a 4 4\n  b 4 4\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+             "NetDegree : 2\n"
+             "  a B : 0 0\n"
+             "  b B : 0 0\n");
+  write_file(t.prefix + ".pl", "UCLA pl 1.0\na 0 0 : N\nb 9 9 : N\n");
+  const netlist::Design d = read_bookshelf(t.prefix);
+  ASSERT_EQ(d.num_nets(), 1u);
+  EXPECT_FALSE(d.net(0).name.empty());
+}
+
+TEST(BookshelfParser, UnknownNodeInNetThrows) {
+  TempPrefix t("mp_parse3");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  a 4 4\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+             "NetDegree : 2 n0\n"
+             "  a B : 0 0\n"
+             "  ghost B : 0 0\n");
+  write_file(t.prefix + ".pl", "UCLA pl 1.0\na 0 0 : N\n");
+  EXPECT_THROW(read_bookshelf(t.prefix), std::runtime_error);
+}
+
+TEST(BookshelfParser, MalformedNodesLineThrows) {
+  TempPrefix t("mp_parse4");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  broken\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n");
+  write_file(t.prefix + ".pl", "UCLA pl 1.0\n");
+  EXPECT_THROW(read_bookshelf(t.prefix), std::runtime_error);
+}
+
+TEST(BookshelfParser, PlacementForUnknownNodesIgnored) {
+  TempPrefix t("mp_parse5");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  a 4 4\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n");
+  write_file(t.prefix + ".pl",
+             "UCLA pl 1.0\na 3 4 : N\nsomeghost 9 9 : N\n");
+  const netlist::Design d = read_bookshelf(t.prefix);
+  EXPECT_DOUBLE_EQ(d.node(0).position.y, 4.0);
+}
+
+TEST(BookshelfParser, RegionCoversAllNodes) {
+  TempPrefix t("mp_parse6");
+  write_file(t.prefix + ".nodes",
+             "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+             "  a 10 10\n  b 5 5\n");
+  write_file(t.prefix + ".nets",
+             "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n");
+  write_file(t.prefix + ".pl", "UCLA pl 1.0\na -20 -20 : N\nb 100 200 : N\n");
+  const netlist::Design d = read_bookshelf(t.prefix);
+  EXPECT_TRUE(d.region().contains(d.node(0).rect()));
+  EXPECT_TRUE(d.region().contains(d.node(1).rect()));
+}
+
+TEST(BookshelfParser, EmptyDesignRoundTrips) {
+  TempPrefix t("mp_parse7");
+  netlist::Design empty("empty", geometry::Rect(0, 0, 10, 10));
+  write_bookshelf(empty, t.prefix);
+  const netlist::Design back = read_bookshelf(t.prefix);
+  EXPECT_EQ(back.num_nodes(), 0u);
+  EXPECT_EQ(back.num_nets(), 0u);
+}
+
+}  // namespace
+}  // namespace mp::io

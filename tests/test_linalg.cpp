@@ -1,0 +1,156 @@
+// Tests for linalg: dense helpers, CSR assembly, conjugate gradient.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cg.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace mp::linalg {
+namespace {
+
+TEST(Dense, DotAndNorm) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{3.0, 4.0}), 5.0);
+}
+
+TEST(Dense, Axpy) {
+  Vec y{1.0, 1.0};
+  axpy(2.0, Vec{3.0, -1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Dense, MatrixMultiply) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1.0; m(0, 1) = 2.0; m(0, 2) = 3.0;
+  m(1, 0) = 4.0; m(1, 1) = 5.0; m(1, 2) = 6.0;
+  const Vec y = m.multiply(Vec{1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Csr, TripletsCoalesce) {
+  TripletBuilder b(3);
+  b.add(0, 1, 2.0);
+  b.add(0, 1, 3.0);   // duplicate, should sum
+  b.add(2, 2, 1.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_EQ(m.dimension(), 3u);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  const Vec y = m.multiply(Vec{0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(Csr, ZeroSumEntriesDropped) {
+  TripletBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  b.add(1, 1, 2.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(b);
+  EXPECT_EQ(m.nonzeros(), 1u);
+}
+
+TEST(Csr, ConnectionStampIsLaplacian) {
+  TripletBuilder b(2);
+  b.add_connection(0, 1, 3.0);
+  const CsrMatrix m = CsrMatrix::from_triplets(b);
+  const Vec d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  // Laplacian times constant vector = 0.
+  const Vec y = m.multiply(Vec{5.0, 5.0});
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.0, 1e-12);
+}
+
+TEST(Cg, SolvesSmallSpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+  TripletBuilder b(2);
+  b.add(0, 0, 4.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 3.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(b);
+  Vec x;
+  const CgResult r = conjugate_gradient(a, Vec{1.0, 2.0}, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-8);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-8);
+}
+
+TEST(Cg, ZeroRhsGivesZero) {
+  TripletBuilder b(2);
+  b.add_diagonal(0, 1.0);
+  b.add_diagonal(1, 1.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(b);
+  Vec x{5.0, -3.0};
+  const CgResult r = conjugate_gradient(a, Vec{0.0, 0.0}, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Cg, WarmStartAtSolutionConvergesImmediately) {
+  TripletBuilder b(2);
+  b.add_diagonal(0, 2.0);
+  b.add_diagonal(1, 2.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(b);
+  Vec x{1.5, -0.5};
+  const CgResult r = conjugate_gradient(a, Vec{3.0, -1.0}, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 1);
+}
+
+// Property: CG solves anchored-Laplacian systems (the quadratic placement
+// shape) for random graphs; residual check against direct multiplication.
+class CgLaplacianProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgLaplacianProperty, SolvesAnchoredLaplacian) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 977);
+  TripletBuilder b(static_cast<std::size_t>(n));
+  // Random connected chain + extra edges.
+  for (int i = 1; i < n; ++i) {
+    b.add_connection(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i),
+                     rng.uniform(0.5, 2.0));
+  }
+  for (int e = 0; e < n; ++e) {
+    const int i = rng.uniform_int(0, n - 1);
+    const int j = rng.uniform_int(0, n - 1);
+    if (i != j) {
+      b.add_connection(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       rng.uniform(0.1, 1.0));
+    }
+  }
+  // Anchors make it SPD.
+  b.add_diagonal(0, 1.0);
+  b.add_diagonal(static_cast<std::size_t>(n - 1), 1.0);
+  const CsrMatrix a = CsrMatrix::from_triplets(b);
+
+  Vec rhs(static_cast<std::size_t>(n));
+  for (double& v : rhs) v = rng.uniform(-1.0, 1.0);
+  Vec x;
+  CgOptions options;
+  options.max_iterations = 5 * n + 100;
+  const CgResult r = conjugate_gradient(a, rhs, x, options);
+  EXPECT_TRUE(r.converged) << "n=" << n << " residual=" << r.residual;
+  // Verify by direct multiplication.
+  const Vec ax = a.multiply(x);
+  double err = 0.0;
+  for (int i = 0; i < n; ++i) err = std::max(err, std::abs(ax[static_cast<std::size_t>(i)] - rhs[static_cast<std::size_t>(i)]));
+  EXPECT_LT(err, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgLaplacianProperty,
+                         ::testing::Values(2, 5, 10, 50, 200, 1000));
+
+}  // namespace
+}  // namespace mp::linalg

@@ -1,0 +1,165 @@
+// Tests for the two-phase simplex LP solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace mp::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // minimize -x - y  s.t. x + y <= 4, x <= 3, y <= 2  -> x=3, y=1? No:
+  // optimum of x+y is 4 with x in [2,3]; simplex picks a vertex: (3,1) or (2,2).
+  LinearProgram lp(2);
+  lp.set_objective(0, -1.0);
+  lp.set_objective(1, -1.0);
+  lp.add_constraint({1.0, 1.0}, Relation::kLessEqual, 4.0);
+  lp.add_upper_bound(0, 3.0);
+  lp.add_upper_bound(1, 2.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-9);
+  EXPECT_NEAR(r.x[0] + r.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // minimize x + 2y  s.t. x + y = 3, x <= 2  ->  x=2, y=1, obj=4.
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.set_objective(1, 2.0);
+  lp.add_constraint({1.0, 1.0}, Relation::kEqual, 3.0);
+  lp.add_upper_bound(0, 2.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+  // minimize 2x + 3y  s.t. x + y >= 5, x >= 1 -> x=5? obj: prefer x (cheaper):
+  // x=5,y=0 obj=10... but x>=1 already satisfied. Optimum x=5, y=0.
+  LinearProgram lp(2);
+  lp.set_objective(0, 2.0);
+  lp.set_objective(1, 3.0);
+  lp.add_constraint({1.0, 1.0}, Relation::kGreaterEqual, 5.0);
+  lp.add_lower_bound(0, 1.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp(1);
+  lp.add_upper_bound(0, 1.0);
+  lp.add_lower_bound(0, 2.0);
+  const LpResult r = lp.solve();
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp(1);
+  lp.set_objective(0, -1.0);  // minimize -x with x unbounded above
+  lp.add_lower_bound(0, 0.0);
+  const LpResult r = lp.solve();
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1  (i.e. y >= x + 1); minimize y with x >= 2 -> x=2, y=3.
+  LinearProgram lp(2);
+  lp.set_objective(1, 1.0);
+  lp.add_constraint({1.0, -1.0}, Relation::kLessEqual, -1.0);
+  lp.add_lower_bound(0, 2.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-9);
+}
+
+TEST(Simplex, DifferenceConstraintChain) {
+  // Legalization shape: x0 >= 1, x1 - x0 >= 2, x2 - x1 >= 3, minimize x2:
+  // x = (1, 3, 6).
+  LinearProgram lp(3);
+  lp.set_objective(2, 1.0);
+  lp.add_lower_bound(0, 1.0);
+  lp.add_difference_ge(1, 0, 2.0);
+  lp.add_difference_ge(2, 1, 3.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[2], 6.0, 1e-9);
+}
+
+TEST(Simplex, WirelengthLinearization) {
+  // One macro x in [0, 10], one net with fixed pins at 2 and 8:
+  // minimize (u - l), u >= x, u >= 8, l <= x, l <= 2.
+  // Any x in [2, 8] is optimal with objective 6.
+  LinearProgram lp(3);  // x, u, l
+  lp.set_objective(1, 1.0);
+  lp.set_objective(2, -1.0);
+  lp.add_upper_bound(0, 10.0);
+  lp.add_constraint({-1.0, 1.0, 0.0}, Relation::kGreaterEqual, 0.0);  // u - x >= 0
+  lp.add_lower_bound(1, 8.0);                                        // u >= 8
+  lp.add_constraint({1.0, 0.0, -1.0}, Relation::kGreaterEqual, 0.0); // x - l >= 0
+  lp.add_upper_bound(2, 2.0);                                        // l <= 2
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-9);
+  EXPECT_GE(r.x[0], 2.0 - 1e-9);
+  EXPECT_LE(r.x[0], 8.0 + 1e-9);
+}
+
+TEST(Simplex, DegenerateRedundantConstraints) {
+  LinearProgram lp(2);
+  lp.set_objective(0, 1.0);
+  lp.add_lower_bound(0, 1.0);
+  lp.add_lower_bound(0, 1.0);  // duplicate
+  lp.add_constraint({1.0, 0.0}, Relation::kGreaterEqual, 1.0);  // same again
+  lp.add_upper_bound(1, 5.0);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+}
+
+// Property test: random bounded difference-constraint LPs are feasible and
+// the simplex solution satisfies every constraint.
+class SimplexChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexChainProperty, SolutionSatisfiesAllConstraints) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  LinearProgram lp(static_cast<std::size_t>(n));
+  std::vector<double> gaps;
+  double total = 0.0;
+  for (int i = 1; i < n; ++i) {
+    const double gap = rng.uniform(0.5, 2.0);
+    gaps.push_back(gap);
+    total += gap;
+    lp.add_difference_ge(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(i - 1), gap);
+  }
+  // Room: upper bound with 20% slack.
+  for (int i = 0; i < n; ++i) {
+    lp.add_upper_bound(static_cast<std::size_t>(i), total * 1.2 + 1.0);
+    lp.set_objective(static_cast<std::size_t>(i), rng.uniform(-1.0, 1.0));
+  }
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, LpStatus::kOptimal) << "n=" << n;
+  for (int i = 1; i < n; ++i) {
+    EXPECT_GE(r.x[static_cast<std::size_t>(i)] - r.x[static_cast<std::size_t>(i - 1)],
+              gaps[static_cast<std::size_t>(i - 1)] - 1e-7);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(r.x[static_cast<std::size_t>(i)], -1e-9);
+    EXPECT_LE(r.x[static_cast<std::size_t>(i)], total * 1.2 + 1.0 + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimplexChainProperty,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace mp::lp

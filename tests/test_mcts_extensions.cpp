@@ -1,0 +1,188 @@
+// Tests for the MCTS extensions: leaf-evaluation modes, seed paths,
+// best-terminal tracking, prior bonus, and value normalization behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/generator.hpp"
+#include "mcts/mcts.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+
+namespace mp::mcts {
+namespace {
+
+struct Fixture {
+  netlist::Design design;
+  place::FlowContext context;
+  std::unique_ptr<rl::PlacementEnv> env;
+  std::unique_ptr<rl::CoarseEvaluator> evaluator;
+  std::unique_ptr<rl::AgentNetwork> agent;
+  rl::RewardCalibration calibration;
+
+  explicit Fixture(std::uint64_t seed, int macros = 10, int grid_dim = 4) {
+    benchgen::BenchSpec spec;
+    spec.movable_macros = macros;
+    spec.std_cells = 150;
+    spec.nets = 250;
+    spec.seed = seed;
+    design = benchgen::generate(spec);
+    place::FlowOptions options;
+    options.grid_dim = grid_dim;
+    options.initial_gp.max_iterations = 3;
+    context = place::prepare_flow(design, options);
+    env = std::make_unique<rl::PlacementEnv>(context.coarse,
+                                             context.clustering, context.spec);
+    evaluator =
+        std::make_unique<rl::CoarseEvaluator>(context.coarse, context.spec);
+    rl::AgentConfig config;
+    config.grid_dim = grid_dim;
+    config.channels = 8;
+    config.res_blocks = 1;
+    config.seed = seed;
+    agent = std::make_unique<rl::AgentNetwork>(config);
+    util::Rng rng(seed);
+    calibration = rl::calibrate_reward(*env, *evaluator, 10, rng);
+  }
+
+  MctsResult run(MctsOptions options) {
+    MctsPlacer placer(*env, *evaluator, *agent,
+                      calibration.make_reward(0.75), options);
+    return placer.run();
+  }
+};
+
+TEST(LeafModes, AllModesProduceCompleteAllocations) {
+  for (const LeafEvaluation mode :
+       {LeafEvaluation::kValueNetwork, LeafEvaluation::kPartialPlacement,
+        LeafEvaluation::kRandomRollout}) {
+    Fixture f(200);
+    MctsOptions options;
+    options.explorations_per_move = 6;
+    options.leaf_evaluation = mode;
+    const MctsResult r = f.run(options);
+    EXPECT_EQ(r.anchors.size(), f.context.clustering.macro_groups.size())
+        << "mode " << static_cast<int>(mode);
+    EXPECT_TRUE(std::isfinite(r.wirelength));
+  }
+}
+
+TEST(LeafModes, RolloutDoesManyTerminalEvaluations) {
+  Fixture f(201);
+  MctsOptions options;
+  options.explorations_per_move = 6;
+  options.leaf_evaluation = LeafEvaluation::kRandomRollout;
+  const MctsResult r = f.run(options);
+  // Every rollout ends in a terminal evaluation.
+  EXPECT_GE(r.terminal_evaluations, r.nn_evaluations / 2);
+}
+
+TEST(LeafModes, PartialPlacementBeatsValueNetUntrained) {
+  // With an untrained value net, the QP completion estimate must guide the
+  // search at least as well (generous margin — this is the motivating
+  // property for the bench default).
+  Fixture f_value(202), f_partial(202);
+  MctsOptions value;
+  value.explorations_per_move = 12;
+  value.leaf_evaluation = LeafEvaluation::kValueNetwork;
+  MctsOptions partial = value;
+  partial.leaf_evaluation = LeafEvaluation::kPartialPlacement;
+  const double w_value = f_value.run(value).wirelength;
+  const double w_partial = f_partial.run(partial).wirelength;
+  EXPECT_LT(w_partial, w_value * 1.15);
+}
+
+TEST(SeedPaths, SeededAllocationBecomesFloorOnQuality) {
+  // Build a decent seed by greedy diagonal spreading and verify the search
+  // result is never worse than that seed's wirelength.
+  Fixture f(203);
+  // Build a guaranteed-legal seed by walking the environment.
+  std::vector<int> seed_actions;
+  f.env->reset();
+  int i = 0;
+  while (!f.env->done()) {
+    const auto legal = f.env->legal_actions();
+    ASSERT_FALSE(legal.empty());
+    const int action = legal[static_cast<std::size_t>(i * 7) % legal.size()];
+    ASSERT_TRUE(f.env->step(action));
+    seed_actions.push_back(action);
+    ++i;
+  }
+  const std::vector<grid::CellCoord> seed_anchors = f.env->anchors();
+  f.env->reset();
+  const double seed_wl = f.evaluator->evaluate(seed_anchors);
+
+  MctsOptions options;
+  options.explorations_per_move = 4;
+  options.leaf_evaluation = LeafEvaluation::kValueNetwork;  // weak guidance
+  options.seed_paths.push_back(seed_actions);
+  const MctsResult r = f.run(options);
+  EXPECT_LE(r.wirelength, seed_wl + 1e-9)
+      << "best-seen tracking must return at least the seed allocation";
+}
+
+TEST(SeedPaths, IllegalSeedIsIgnoredGracefully) {
+  Fixture f(204);
+  MctsOptions options;
+  options.explorations_per_move = 4;
+  options.seed_paths.push_back({-5, 9999});  // nonsense actions
+  const MctsResult r = f.run(options);
+  EXPECT_EQ(r.anchors.size(), f.context.clustering.macro_groups.size());
+}
+
+TEST(SeedPaths, BestSeenUsedWhenCommittedPathIsWorse) {
+  Fixture f(205);
+  const int n = f.env->num_steps();
+  const int dim = f.context.spec.dim();
+  std::vector<int> seed_actions;
+  for (int i = 0; i < n; ++i) {
+    seed_actions.push_back(
+        f.context.spec.flat_index({i % dim, (i / dim) % dim}));
+  }
+  MctsOptions options;
+  options.explorations_per_move = 2;
+  options.seed_paths.push_back(seed_actions);
+  const MctsResult r = f.run(options);
+  // wirelength is min(committed, best terminal).
+  EXPECT_LE(r.wirelength, r.committed_wirelength + 1e-9);
+}
+
+TEST(PriorBonus, BiasesAllocationTowardFavoredCells) {
+  // Bonus strongly favoring the left half of the grid: the allocation's
+  // anchors should be predominantly in the left half.
+  Fixture f(206);
+  const int dim = f.context.spec.dim();
+  MctsOptions options;
+  options.explorations_per_move = 8;
+  options.leaf_evaluation = LeafEvaluation::kValueNetwork;
+  const grid::GridSpec spec = f.context.spec;
+  options.prior_bonus = [spec, dim](int, int action) {
+    return spec.coord(action).gx < dim / 2 ? 1.0 : 1e-6;
+  };
+  const MctsResult r = f.run(options);
+  int left = 0;
+  for (const grid::CellCoord& c : r.anchors) left += (c.gx < dim / 2);
+  EXPECT_GT(left * 2, static_cast<int>(r.anchors.size()))
+      << "most anchors should be in the favored half";
+}
+
+TEST(Determinism, SameSeedsSameResult) {
+  Fixture f1(207), f2(207);
+  MctsOptions options;
+  options.explorations_per_move = 8;
+  options.leaf_evaluation = LeafEvaluation::kPartialPlacement;
+  options.seed = 3;
+  const MctsResult r1 = f1.run(options);
+  const MctsResult r2 = f2.run(options);
+  EXPECT_DOUBLE_EQ(r1.wirelength, r2.wirelength);
+  ASSERT_EQ(r1.anchors.size(), r2.anchors.size());
+  for (std::size_t i = 0; i < r1.anchors.size(); ++i) {
+    EXPECT_EQ(r1.anchors[i].gx, r2.anchors[i].gx);
+    EXPECT_EQ(r1.anchors[i].gy, r2.anchors[i].gy);
+  }
+}
+
+}  // namespace
+}  // namespace mp::mcts

@@ -1,0 +1,230 @@
+// Tests for the netlist model: nodes, nets, HPWL, hierarchy, connectivity.
+
+#include <gtest/gtest.h>
+
+#include "netlist/design.hpp"
+#include "netlist/hierarchy.hpp"
+#include "netlist/stats.hpp"
+
+namespace mp::netlist {
+namespace {
+
+Design two_cell_design() {
+  Design d("d", geometry::Rect(0, 0, 100, 100));
+  Node a;
+  a.name = "a";
+  a.width = 4.0;
+  a.height = 2.0;
+  a.position = {10.0, 10.0};
+  d.add_node(a);
+  Node b;
+  b.name = "b";
+  b.width = 4.0;
+  b.height = 2.0;
+  b.position = {20.0, 30.0};
+  d.add_node(b);
+  Net n;
+  n.name = "n";
+  n.pins = {{0, 0.0, 0.0}, {1, 0.0, 0.0}};
+  d.add_net(n);
+  return d;
+}
+
+TEST(Design, AddAndFindNodes) {
+  Design d = two_cell_design();
+  EXPECT_EQ(d.num_nodes(), 2u);
+  ASSERT_TRUE(d.find_node("a").has_value());
+  EXPECT_EQ(*d.find_node("a"), 0);
+  EXPECT_FALSE(d.find_node("zz").has_value());
+}
+
+TEST(Design, PinPositionUsesOffsets) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node a;
+  a.name = "a";
+  a.width = 4.0;
+  a.height = 2.0;
+  a.position = {1.0, 2.0};
+  d.add_node(a);
+  const geometry::Point p = d.pin_position(PinRef{0, 3.0, 1.5});
+  EXPECT_DOUBLE_EQ(p.x, 4.0);
+  EXPECT_DOUBLE_EQ(p.y, 3.5);
+}
+
+TEST(Design, NetHpwl) {
+  Design d = two_cell_design();
+  // Pins at (10,10) and (20,30): HPWL = 10 + 20 = 30.
+  EXPECT_DOUBLE_EQ(d.net_hpwl(0), 30.0);
+  EXPECT_DOUBLE_EQ(d.total_hpwl(), 30.0);
+}
+
+TEST(Design, NetWeightScalesHpwl) {
+  Design d = two_cell_design();
+  d.net(0).weight = 2.5;
+  EXPECT_DOUBLE_EQ(d.total_hpwl(), 75.0);
+}
+
+TEST(Design, SinglePinNetHasZeroHpwl) {
+  Design d = two_cell_design();
+  Net n;
+  n.name = "single";
+  n.pins = {{0, 0.0, 0.0}};
+  d.add_net(n);
+  EXPECT_DOUBLE_EQ(d.net_hpwl(1), 0.0);
+}
+
+TEST(Design, HpwlChangesWithMovement) {
+  Design d = two_cell_design();
+  const double before = d.total_hpwl();
+  d.node(1).position = {10.0, 10.0};
+  EXPECT_LT(d.total_hpwl(), before);
+  EXPECT_DOUBLE_EQ(d.total_hpwl(), 0.0);
+}
+
+TEST(Design, KindIndexing) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m";
+  m.kind = NodeKind::kMacro;
+  d.add_node(m);
+  Node mf;
+  mf.name = "mf";
+  mf.kind = NodeKind::kMacro;
+  mf.fixed = true;
+  d.add_node(mf);
+  Node c;
+  c.name = "c";
+  c.kind = NodeKind::kStdCell;
+  d.add_node(c);
+  Node p;
+  p.name = "p";
+  p.kind = NodeKind::kPad;
+  p.fixed = true;
+  d.add_node(p);
+  EXPECT_EQ(d.macros().size(), 2u);
+  EXPECT_EQ(d.movable_macros().size(), 1u);
+  EXPECT_EQ(d.std_cells().size(), 1u);
+  EXPECT_EQ(d.pads().size(), 1u);
+}
+
+TEST(Design, StatsMatchTableColumns) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m";
+  m.kind = NodeKind::kMacro;
+  m.width = 2.0;
+  m.height = 2.0;
+  d.add_node(m);
+  Node mf = m;
+  mf.name = "mf";
+  mf.fixed = true;
+  d.add_node(mf);
+  Node c;
+  c.name = "c";
+  c.kind = NodeKind::kStdCell;
+  c.width = 1.0;
+  c.height = 1.0;
+  d.add_node(c);
+  const DesignStats s = d.stats();
+  EXPECT_EQ(s.movable_macros, 1);
+  EXPECT_EQ(s.preplaced_macros, 1);
+  EXPECT_EQ(s.standard_cells, 1);
+  EXPECT_DOUBLE_EQ(s.macro_area, 8.0);
+  EXPECT_DOUBLE_EQ(s.cell_area, 1.0);
+}
+
+TEST(Design, NodeNetsAdjacency) {
+  Design d = two_cell_design();
+  const auto& adj = d.node_nets();
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[1].size(), 1u);
+}
+
+TEST(Design, MacroOverlapArea) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m1";
+  m.kind = NodeKind::kMacro;
+  m.width = 4.0;
+  m.height = 4.0;
+  m.position = {0.0, 0.0};
+  d.add_node(m);
+  m.name = "m2";
+  m.position = {2.0, 2.0};
+  d.add_node(m);
+  EXPECT_DOUBLE_EQ(d.macro_overlap_area(), 4.0);
+}
+
+TEST(Design, AllInsideRegion) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m";
+  m.kind = NodeKind::kMacro;
+  m.width = 4.0;
+  m.height = 4.0;
+  m.position = {1.0, 1.0};
+  d.add_node(m);
+  EXPECT_TRUE(d.all_inside_region());
+  d.node(0).position = {8.0, 8.0};  // sticks out
+  EXPECT_FALSE(d.all_inside_region());
+}
+
+TEST(Hierarchy, Split) {
+  const auto parts = split_hierarchy("top/a/b");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "top");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_TRUE(split_hierarchy("").empty());
+  EXPECT_EQ(split_hierarchy("/x//y/").size(), 2u);  // empties dropped
+}
+
+TEST(Hierarchy, CommonDepth) {
+  EXPECT_EQ(common_hierarchy_depth("top/a/b", "top/a/c"), 2);
+  EXPECT_EQ(common_hierarchy_depth("top/a", "top/a"), 2);
+  EXPECT_EQ(common_hierarchy_depth("top", "other"), 0);
+  EXPECT_EQ(common_hierarchy_depth("", "top"), 0);
+}
+
+TEST(Hierarchy, JoinRoundTrip) {
+  const std::string path = "top/m3/s1";
+  EXPECT_EQ(join_hierarchy(split_hierarchy(path)), path);
+}
+
+TEST(Connectivity, CountsSharedNets) {
+  Design d = two_cell_design();
+  // Add a second net between the same pair.
+  Net n;
+  n.name = "n2";
+  n.pins = {{0, 0.0, 0.0}, {1, 0.0, 0.0}};
+  d.add_net(n);
+  ConnectivityMap conn(d, {0, 1});
+  // Each 2-pin net contributes weight 2/2 = 1.
+  EXPECT_DOUBLE_EQ(conn.between(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(conn.between(1, 0), 2.0);
+}
+
+TEST(Connectivity, SkipsHugeNets) {
+  Design d("d", geometry::Rect(0, 0, 100, 100));
+  for (int i = 0; i < 10; ++i) {
+    Node c;
+    c.name = "c" + std::to_string(i);
+    d.add_node(c);
+  }
+  Net n;
+  n.name = "big";
+  for (int i = 0; i < 10; ++i) n.pins.push_back({i, 0.0, 0.0});
+  d.add_net(n);
+  ConnectivityMap conn(d, d.std_cells(), /*max_net_degree=*/5);
+  EXPECT_DOUBLE_EQ(conn.between(0, 1), 0.0);
+}
+
+TEST(Connectivity, RestrictedToNodesOfInterest) {
+  Design d = two_cell_design();
+  ConnectivityMap conn(d, {0});  // only node 0 of interest
+  EXPECT_DOUBLE_EQ(conn.between(0, 1), 0.0);
+  EXPECT_TRUE(conn.neighbors(0).empty());
+}
+
+}  // namespace
+}  // namespace mp::netlist

@@ -1,0 +1,165 @@
+// Tests for the baseline placers: each must produce a legal, in-region,
+// finite-HPWL placement on small synthetic designs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/generator.hpp"
+#include "place/analytic_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "place/wiremask_placer.hpp"
+
+namespace mp::place {
+namespace {
+
+netlist::Design small_bench(std::uint64_t seed, int macros = 10,
+                            bool hierarchy = false, int preplaced = 0) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = macros;
+  spec.preplaced_macros = preplaced;
+  spec.std_cells = 250;
+  spec.nets = 400;
+  spec.hierarchy = hierarchy;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+void expect_legal(const netlist::Design& d) {
+  EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
+  for (netlist::NodeId id : d.movable_macros()) {
+    EXPECT_TRUE(d.region().contains(d.node(id).rect()))
+        << "macro " << id << " escaped the region";
+  }
+}
+
+TEST(SaPlacer, ProducesLegalPlacement) {
+  netlist::Design d = small_bench(80);
+  SaOptions options;
+  options.iterations = 2000;
+  options.initial_gp.max_iterations = 3;
+  options.final_gp.max_iterations = 4;
+  const SaResult r = sa_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  EXPECT_GT(r.hpwl, 0.0);
+  expect_legal(d);
+}
+
+TEST(SaPlacer, AcceptsSomeMoves) {
+  netlist::Design d = small_bench(81);
+  SaOptions options;
+  options.iterations = 1000;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  const SaResult r = sa_place(d, options);
+  EXPECT_GT(r.accept_ratio, 0.0);
+}
+
+TEST(SaPlacer, MoreIterationsHelpOrEqual) {
+  netlist::Design d1 = small_bench(82);
+  netlist::Design d2 = small_bench(82);
+  SaOptions short_run;
+  short_run.iterations = 100;
+  short_run.initial_gp.max_iterations = 2;
+  short_run.final_gp.max_iterations = 3;
+  short_run.seed = 4;
+  SaOptions long_run = short_run;
+  long_run.iterations = 4000;
+  const SaResult r_short = sa_place(d1, short_run);
+  const SaResult r_long = sa_place(d2, long_run);
+  EXPECT_LT(r_long.hpwl, r_short.hpwl * 1.2);
+}
+
+TEST(SaPlacer, HandlesPreplacedMacros) {
+  netlist::Design d = small_bench(83, 8, true, 3);
+  std::vector<geometry::Point> fixed_before;
+  for (netlist::NodeId id : d.macros()) {
+    if (d.node(id).fixed) fixed_before.push_back(d.node(id).position);
+  }
+  SaOptions options;
+  options.iterations = 800;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  sa_place(d, options);
+  std::size_t k = 0;
+  for (netlist::NodeId id : d.macros()) {
+    if (!d.node(id).fixed) continue;
+    EXPECT_EQ(d.node(id).position, fixed_before[k]);
+    ++k;
+  }
+}
+
+TEST(WiremaskPlacer, ProducesLegalPlacement) {
+  netlist::Design d = small_bench(84);
+  WiremaskOptions options;
+  options.grid_dim = 8;
+  options.initial_gp.max_iterations = 3;
+  options.final_gp.max_iterations = 4;
+  const WiremaskResult r = wiremask_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  EXPECT_GT(r.candidates_evaluated, 0);
+  expect_legal(d);
+}
+
+TEST(WiremaskPlacer, RespectsOccupancyPreference) {
+  // With a tiny grid every anchor gets probed; just verify placements avoid
+  // stacking all macros on one anchor.
+  netlist::Design d = small_bench(85, 6);
+  WiremaskOptions options;
+  options.grid_dim = 6;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  wiremask_place(d, options);
+  // At least two distinct macro positions.
+  const auto& macros = d.movable_macros();
+  bool distinct = false;
+  for (std::size_t i = 1; i < macros.size(); ++i) {
+    if (!(d.node(macros[i]).position == d.node(macros[0]).position)) {
+      distinct = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(distinct);
+}
+
+TEST(AnalyticPlacer, ProducesLegalPlacement) {
+  netlist::Design d = small_bench(86);
+  AnalyticOptions options;
+  options.mixed_gp.max_iterations = 6;
+  options.final_gp.max_iterations = 4;
+  const AnalyticResult r = analytic_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  expect_legal(d);
+}
+
+TEST(AnalyticPlacer, WorksWithoutMacros) {
+  netlist::Design d = small_bench(87, /*macros=*/0);
+  AnalyticOptions options;
+  options.mixed_gp.max_iterations = 4;
+  options.final_gp.max_iterations = 3;
+  const AnalyticResult r = analytic_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  EXPECT_GT(r.hpwl, 0.0);
+}
+
+// All baselines on the same design: results should be within one order of
+// magnitude of each other (sanity against unit mistakes).
+TEST(Baselines, ComparableMagnitudes) {
+  netlist::Design d1 = small_bench(88);
+  netlist::Design d2 = small_bench(88);
+  SaOptions sa;
+  sa.iterations = 1500;
+  sa.initial_gp.max_iterations = 3;
+  sa.final_gp.max_iterations = 3;
+  WiremaskOptions wm;
+  wm.grid_dim = 8;
+  wm.initial_gp.max_iterations = 3;
+  wm.final_gp.max_iterations = 3;
+  const double hpwl_sa = sa_place(d1, sa).hpwl;
+  const double hpwl_wm = wiremask_place(d2, wm).hpwl;
+  EXPECT_LT(hpwl_sa, hpwl_wm * 10.0);
+  EXPECT_LT(hpwl_wm, hpwl_sa * 10.0);
+}
+
+}  // namespace
+}  // namespace mp::place

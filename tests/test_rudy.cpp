@@ -1,0 +1,117 @@
+// Tests for the RUDY congestion estimator.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "gp/global_placer.hpp"
+#include "gp/rudy.hpp"
+
+namespace mp::gp {
+namespace {
+
+TEST(Rudy, EmptyDesignIsZero) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  const RudyMap map = compute_rudy(d);
+  EXPECT_DOUBLE_EQ(map.max_density(), 0.0);
+  EXPECT_DOUBLE_EQ(map.overflow_fraction(), 0.0);
+}
+
+TEST(Rudy, SingleNetSpreadsOverItsBox) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  netlist::Node a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  a.position = {10, 10};
+  d.add_node(a);
+  a.name = "b";
+  a.position = {60, 60};
+  d.add_node(a);
+  netlist::Net n;
+  n.pins = {{0, 0, 0}, {1, 0, 0}};
+  d.add_net(n);
+
+  RudyOptions options;
+  options.bins = 10;
+  const RudyMap map = compute_rudy(d, options);
+  // Density inside the net box, zero far outside.
+  EXPECT_GT(map.at(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(map.at(9, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map.at(0, 9), 0.0);
+}
+
+TEST(Rudy, DensityScalesWithNetWeight) {
+  const auto build = [](double weight) {
+    netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+    netlist::Node a;
+    a.name = "a";
+    a.width = 1;
+    a.height = 1;
+    a.position = {20, 20};
+    d.add_node(a);
+    a.name = "b";
+    a.position = {70, 70};
+    d.add_node(a);
+    netlist::Net n;
+    n.weight = weight;
+    n.pins = {{0, 0, 0}, {1, 0, 0}};
+    d.add_net(n);
+    return compute_rudy(d).max_density();
+  };
+  EXPECT_NEAR(build(3.0), 3.0 * build(1.0), 1e-9);
+}
+
+TEST(Rudy, DegenerateFlatNetStillCounts) {
+  netlist::Design d("d", geometry::Rect(0, 0, 100, 100));
+  netlist::Node a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  a.position = {10, 50};
+  d.add_node(a);
+  a.name = "b";
+  a.position = {90, 50};  // exactly horizontal net
+  d.add_node(a);
+  netlist::Net n;
+  n.pins = {{0, 0, 0}, {1, 0, 0}};
+  d.add_net(n);
+  const RudyMap map = compute_rudy(d);
+  EXPECT_GT(map.max_density(), 0.0);
+}
+
+TEST(Rudy, SpreadPlacementLessCongestedThanStacked) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = 4;
+  spec.std_cells = 300;
+  spec.nets = 450;
+  spec.seed = 950;
+  netlist::Design spread = benchgen::generate(spec);
+  GlobalPlaceOptions gpo;
+  gpo.move_macros = true;
+  gpo.max_iterations = 6;
+  global_place(spread, gpo);
+
+  netlist::Design stacked = benchgen::generate(spec);
+  for (netlist::NodeId id : stacked.std_cells()) {
+    stacked.node(id).position = {stacked.region().w / 2, stacked.region().h / 2};
+  }
+  const double spread_peak = compute_rudy(spread).max_density();
+  const double stacked_peak = compute_rudy(stacked).max_density();
+  EXPECT_LT(spread_peak, stacked_peak);
+}
+
+TEST(Rudy, StatisticsConsistent) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = 4;
+  spec.std_cells = 150;
+  spec.nets = 250;
+  spec.seed = 951;
+  netlist::Design d = benchgen::generate(spec);
+  const RudyMap map = compute_rudy(d);
+  EXPECT_GE(map.max_density(), map.mean_density());
+  EXPECT_GE(map.overflow_fraction(0.0), map.overflow_fraction(1e9));
+  EXPECT_LE(map.overflow_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace mp::gp

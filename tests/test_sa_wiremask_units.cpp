@@ -1,0 +1,132 @@
+// Focused unit tests for the SA and wiremask baselines' internal behavior
+// (beyond the end-to-end checks in test_place.cpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/generator.hpp"
+#include "place/sa_placer.hpp"
+#include "place/wiremask_placer.hpp"
+
+namespace mp::place {
+namespace {
+
+netlist::Design bench(std::uint64_t seed, int macros = 8) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = macros;
+  spec.std_cells = 150;
+  spec.nets = 250;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+TEST(SaUnit, DeterministicForSameSeed) {
+  SaOptions options;
+  options.iterations = 500;
+  options.seed = 77;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  netlist::Design d1 = bench(600);
+  netlist::Design d2 = bench(600);
+  const SaResult r1 = sa_place(d1, options);
+  const SaResult r2 = sa_place(d2, options);
+  EXPECT_DOUBLE_EQ(r1.hpwl, r2.hpwl);
+  EXPECT_DOUBLE_EQ(r1.final_cost, r2.final_cost);
+}
+
+TEST(SaUnit, DifferentSeedsExploreDifferently) {
+  SaOptions a;
+  a.iterations = 800;
+  a.seed = 1;
+  a.initial_gp.max_iterations = 2;
+  a.final_gp.max_iterations = 3;
+  SaOptions b = a;
+  b.seed = 2;
+  netlist::Design d1 = bench(601);
+  netlist::Design d2 = bench(601);
+  const SaResult r1 = sa_place(d1, a);
+  const SaResult r2 = sa_place(d2, b);
+  EXPECT_NE(r1.final_cost, r2.final_cost);
+}
+
+TEST(SaUnit, ZeroIterationsStillLegalizes) {
+  SaOptions options;
+  options.iterations = 0;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  netlist::Design d = bench(602);
+  const SaResult r = sa_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
+}
+
+TEST(SaUnit, WorksWithoutNets) {
+  netlist::Design d("isolated", geometry::Rect(0, 0, 100, 100));
+  for (int i = 0; i < 4; ++i) {
+    netlist::Node m;
+    m.name = "m" + std::to_string(i);
+    m.kind = netlist::NodeKind::kMacro;
+    m.width = 10;
+    m.height = 10;
+    m.position = {40.0, 40.0};
+    d.add_node(m);
+  }
+  SaOptions options;
+  options.iterations = 200;
+  const SaResult r = sa_place(d, options);
+  EXPECT_NEAR(d.macro_overlap_area(), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.hpwl, 0.0);  // no nets, no wirelength
+}
+
+TEST(WiremaskUnit, DeterministicAcrossRuns) {
+  WiremaskOptions options;
+  options.grid_dim = 8;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 3;
+  netlist::Design d1 = bench(603);
+  netlist::Design d2 = bench(603);
+  EXPECT_DOUBLE_EQ(wiremask_place(d1, options).hpwl,
+                   wiremask_place(d2, options).hpwl);
+}
+
+TEST(WiremaskUnit, FinerGridNotCatastrophicallyWorse) {
+  WiremaskOptions coarse;
+  coarse.grid_dim = 4;
+  coarse.initial_gp.max_iterations = 2;
+  coarse.final_gp.max_iterations = 3;
+  WiremaskOptions fine = coarse;
+  fine.grid_dim = 16;
+  netlist::Design d1 = bench(604);
+  netlist::Design d2 = bench(604);
+  const double h_coarse = wiremask_place(d1, coarse).hpwl;
+  const double h_fine = wiremask_place(d2, fine).hpwl;
+  EXPECT_LT(h_fine, h_coarse * 1.5);
+}
+
+TEST(WiremaskUnit, CandidateCountScalesWithGrid) {
+  WiremaskOptions small;
+  small.grid_dim = 4;
+  small.initial_gp.max_iterations = 2;
+  small.final_gp.max_iterations = 2;
+  WiremaskOptions big = small;
+  big.grid_dim = 16;
+  netlist::Design d1 = bench(605);
+  netlist::Design d2 = bench(605);
+  const auto r_small = wiremask_place(d1, small);
+  const auto r_big = wiremask_place(d2, big);
+  EXPECT_GT(r_big.candidates_evaluated, r_small.candidates_evaluated * 4);
+}
+
+TEST(WiremaskUnit, NoMacrosIsGraceful) {
+  netlist::Design d = bench(606, /*macros=*/0);
+  WiremaskOptions options;
+  options.initial_gp.max_iterations = 2;
+  options.final_gp.max_iterations = 2;
+  const WiremaskResult r = wiremask_place(d, options);
+  EXPECT_TRUE(std::isfinite(r.hpwl));
+  EXPECT_EQ(r.candidates_evaluated, 0);
+}
+
+}  // namespace
+}  // namespace mp::place

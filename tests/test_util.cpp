@@ -1,0 +1,163 @@
+// Tests for util: RNG determinism and distribution sanity, env helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(2));
+  EXPECT_TRUE(seen.count(5));
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[static_cast<std::size_t>(rng.categorical(weights))];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(Rng, CategoricalAllZeroReturnsZero) {
+  Rng rng(15);
+  std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.categorical(weights), 0);
+}
+
+TEST(Rng, CategoricalNegativeTreatedAsZero) {
+  Rng rng(16);
+  std::vector<double> weights{-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(20);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Env, DoubleFallback) {
+  unsetenv("MP_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(env_double("MP_TEST_ENV_D", 2.5), 2.5);
+  setenv("MP_TEST_ENV_D", "0.125", 1);
+  EXPECT_DOUBLE_EQ(env_double("MP_TEST_ENV_D", 2.5), 0.125);
+  setenv("MP_TEST_ENV_D", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_double("MP_TEST_ENV_D", 2.5), 2.5);
+  unsetenv("MP_TEST_ENV_D");
+}
+
+TEST(Env, IntFallback) {
+  unsetenv("MP_TEST_ENV_I");
+  EXPECT_EQ(env_int("MP_TEST_ENV_I", 7), 7);
+  setenv("MP_TEST_ENV_I", "42", 1);
+  EXPECT_EQ(env_int("MP_TEST_ENV_I", 7), 42);
+  unsetenv("MP_TEST_ENV_I");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.0);
+  // seconds() and milliseconds() sample the clock separately; allow skew.
+  EXPECT_NEAR(t.milliseconds(), s * 1e3, 50.0);
+}
+
+}  // namespace
+}  // namespace mp::util

@@ -1,0 +1,161 @@
+// Tests for the design validator.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "netlist/validate.hpp"
+
+namespace mp::netlist {
+namespace {
+
+TEST(Validate, CleanGeneratedDesignPasses) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = 6;
+  spec.std_cells = 100;
+  spec.nets = 160;
+  spec.seed = 800;
+  const Design d = benchgen::generate(spec);
+  const ValidationReport report = validate_design(d);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_TRUE(report.warnings.empty())
+      << (report.warnings.empty() ? "" : report.warnings[0]);
+}
+
+TEST(Validate, FlagsNonPositiveDimensions) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node bad;
+  bad.name = "bad";
+  bad.width = 0.0;
+  bad.height = 5.0;
+  d.add_node(bad);
+  const ValidationReport report = validate_design(d);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].find("non-positive"), std::string::npos);
+}
+
+TEST(Validate, FlagsZeroRegion) {
+  Design d("d", geometry::Rect());
+  const ValidationReport report = validate_design(d);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, FlagsNegativeNetWeight) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  d.add_node(a);
+  a.name = "b";
+  d.add_node(a);
+  Net n;
+  n.name = "n";
+  n.weight = -1.0;
+  n.pins = {{0, 0, 0}, {1, 0, 0}};
+  d.add_net(n);
+  const ValidationReport report = validate_design(d);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, WarnsOnSinglePinNet) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  d.add_node(a);
+  Net n;
+  n.name = "n";
+  n.pins = {{0, 0, 0}};
+  d.add_net(n);
+  const ValidationReport report = validate_design(d);
+  EXPECT_TRUE(report.ok());
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings[0].find("fewer than 2 pins"), std::string::npos);
+}
+
+TEST(Validate, WarnsOnDisconnectedMacro) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m";
+  m.kind = NodeKind::kMacro;
+  m.width = 2;
+  m.height = 2;
+  d.add_node(m);
+  const ValidationReport report = validate_design(d);
+  bool found = false;
+  for (const std::string& w : report.warnings) {
+    found |= w.find("disconnected") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, WarnsOnEscapedNode) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node a;
+  a.name = "a";
+  a.width = 4;
+  a.height = 4;
+  a.position = {8, 8};  // sticks out
+  d.add_node(a);
+  const ValidationReport report = validate_design(d);
+  bool found = false;
+  for (const std::string& w : report.warnings) {
+    found |= w.find("outside placement region") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, MacroOverlapCheckOptIn) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node m;
+  m.name = "m1";
+  m.kind = NodeKind::kMacro;
+  m.width = 4;
+  m.height = 4;
+  m.position = {1, 1};
+  d.add_node(m);
+  m.name = "m2";
+  m.position = {2, 2};
+  d.add_node(m);
+  ValidationOptions options;
+  options.check_macro_overlap = false;
+  options.check_connectivity = false;
+  const ValidationReport off = validate_design(d, options);
+  bool found_off = false;
+  for (const std::string& w : off.warnings) {
+    found_off |= w.find("macro overlap") != std::string::npos;
+  }
+  EXPECT_FALSE(found_off);
+  options.check_macro_overlap = true;
+  const ValidationReport on = validate_design(d, options);
+  bool found_on = false;
+  for (const std::string& w : on.warnings) {
+    found_on |= w.find("macro overlap") != std::string::npos;
+  }
+  EXPECT_TRUE(found_on);
+}
+
+TEST(Validate, WarnsOnDuplicatePin) {
+  Design d("d", geometry::Rect(0, 0, 10, 10));
+  Node a;
+  a.name = "a";
+  a.width = 1;
+  a.height = 1;
+  d.add_node(a);
+  a.name = "b";
+  d.add_node(a);
+  Net n;
+  n.name = "n";
+  n.pins = {{0, 0.5, 0.5}, {0, 0.5, 0.5}, {1, 0, 0}};
+  d.add_net(n);
+  const ValidationReport report = validate_design(d);
+  bool found = false;
+  for (const std::string& w : report.warnings) {
+    found |= w.find("duplicate pin") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mp::netlist
