@@ -82,19 +82,17 @@ int main() {
   // --- A: grouping on/off --------------------------------------------------
   {
     std::printf("\n## A. macro grouping (Sec. II-A)\n");
-    std::printf("%-12s  %8s  %10s  %12s  %12s\n", "variant", "groups",
-                "train_s", "mcts_s", "coarse_wl");
+    bench::Table table("ablation_grouping", "variant",
+                       {"groups", "train_s", "mcts_s", "coarse_wl"});
     for (const bool grouping : {true, false}) {
       util::Timer train_timer;
       Prepared p = prepare(grouping, budgets.episodes);
       const double train_seconds = train_timer.seconds();
       double mcts_seconds = 0.0;
       const double wl = run_mcts(p, budgets.gamma, 1.05, &mcts_seconds);
-      std::printf("%-12s  %8zu  %10.1f  %12.2f  %12.5g\n",
-                  grouping ? "grouped" : "per-macro",
-                  p.context.clustering.macro_groups.size(), train_seconds,
-                  mcts_seconds, wl);
-      std::fflush(stdout);
+      table.row(grouping ? "grouped" : "per-macro",
+                {static_cast<double>(p.context.clustering.macro_groups.size()),
+                 train_seconds, mcts_seconds, wl});
     }
   }
 
@@ -103,23 +101,23 @@ int main() {
   // --- C: PUCT constant sweep ---------------------------------------------
   {
     std::printf("\n## C. PUCT constant c (Eq. 11; paper c=1.05)\n");
-    std::printf("%-8s  %12s\n", "c", "coarse_wl");
+    bench::Table table("ablation_c_puct", "c", {"coarse_wl"});
     for (const double c : {0.1, 0.5, 1.05, 2.0, 5.0}) {
       const double wl = run_mcts(p, budgets.gamma, c, nullptr);
-      std::printf("%-8.2f  %12.5g\n", c, wl);
-      std::fflush(stdout);
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.2f", c);
+      table.row(label, {wl});
     }
   }
 
   // --- D: gamma sweep -------------------------------------------------------
   {
     std::printf("\n## D. explorations per move (gamma)\n");
-    std::printf("%-8s  %12s  %10s\n", "gamma", "coarse_wl", "mcts_s");
+    bench::Table table("ablation_gamma", "gamma", {"coarse_wl", "mcts_s"});
     for (const int gamma : {1, 4, 8, 16, 32}) {
       double seconds = 0.0;
       const double wl = run_mcts(p, gamma, 1.05, &seconds);
-      std::printf("%-8d  %12.5g  %10.2f\n", gamma, wl, seconds);
-      std::fflush(stdout);
+      table.row(std::to_string(gamma), {wl, seconds});
     }
   }
 
@@ -130,7 +128,7 @@ int main() {
   // default at CPU budgets) and the traditional random rollout (slowest).
   {
     std::printf("\n## B. leaf evaluation mode (Sec. IV-B3), equal gamma\n");
-    std::printf("%-18s  %12s  %10s\n", "mode", "coarse_wl", "mcts_s");
+    bench::Table table("ablation_leaf_eval", "mode", {"coarse_wl", "mcts_s"});
     const struct {
       const char* name;
       mcts::LeafEvaluation mode;
@@ -142,8 +140,7 @@ int main() {
     for (const auto& m : modes) {
       double seconds = 0.0;
       const double wl = run_mcts(p, budgets.gamma, 1.05, &seconds, m.mode);
-      std::printf("%-18s  %12.5g  %10.2f\n", m.name, wl, seconds);
-      std::fflush(stdout);
+      table.row(m.name, {wl, seconds});
     }
   }
 

@@ -127,6 +127,8 @@ int main() {
   }
 
   std::printf("\n## summary (late mean - early mean, calibrated units)\n");
+  bench::Table summary("fig4_reward_summary", "reward",
+                       {"early", "late", "improvement"});
   for (const Curve& curve : curves) {
     const std::size_t n = curve.rewards.size();
     const std::size_t q = std::max<std::size_t>(1, n / 4);
@@ -138,8 +140,7 @@ int main() {
     for (double w : curve.wirelengths) scaled.push_back(scale_fn(w));
     const double early = window_mean(scaled, 0, q);
     const double late = window_mean(scaled, n - q, n);
-    std::printf("%-12s  early=%8.4f  late=%8.4f  improvement=%8.4f\n",
-                curve.label.c_str(), early, late, late - early);
+    summary.row(curve.label, {early, late, late - early});
   }
   return 0;
 }

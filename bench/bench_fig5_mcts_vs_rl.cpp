@@ -65,8 +65,8 @@ void run_circuit(std::size_t preset_index) {
       rl::train_agent(env, evaluator, agent, options);
   const rl::RewardFn reward = train_result.calibration.make_reward(0.75);
 
-  std::printf("%10s  %12s  %12s  %12s  %12s\n", "episode", "rl_reward",
-              "mcts_reward", "rl_wl", "mcts_wl");
+  bench::Table table("fig5_" + spec.name, "episode",
+                     {"rl_reward", "mcts_reward", "rl_wl", "mcts_wl"});
   for (const auto& [episode, snapshot] : checkpoints) {
     nn::restore_parameters(agent.parameters(), snapshot);
     std::vector<grid::CellCoord> anchors;
@@ -78,9 +78,9 @@ void run_circuit(std::size_t preset_index) {
     mcts::MctsPlacer placer(env, evaluator, agent, reward, mcts_options);
     const mcts::MctsResult mcts_result = placer.run();
 
-    std::printf("%10d  %12.5f  %12.5f  %12.5g  %12.5g\n", episode,
-                reward(rl_wl), mcts_result.reward, rl_wl,
-                mcts_result.wirelength);
+    table.row(std::to_string(episode),
+              {reward(rl_wl), mcts_result.reward, rl_wl,
+               mcts_result.wirelength});
   }
 }
 

@@ -20,8 +20,8 @@ int main() {
       "# Table II — HPWL on industrial-like circuits (hierarchy + preplaced "
       "macros; macro_scale=%.2f cell_scale=%.3f)\n",
       bench::macro_scale(), bench::cell_scale());
-  bench::print_header("circuit",
-                      {"#mov", "#prep", "SE-like", "DMP-like", "Ours"});
+  bench::Table table("table2_industrial", "circuit",
+                     {"#mov", "#prep", "SE-like", "DMP-like", "Ours"});
 
   const int sa_iterations =
       util::env_int("REPRO_SA_ITERS",
@@ -51,14 +51,13 @@ int main() {
     const place::MctsRlResult ours = place::mcts_rl_place(d_ours, options);
 
     rows.push_back({sa.hpwl, an.hpwl, ours.hpwl});
-    bench::print_row(spec.name,
-                     {static_cast<double>(spec.movable_macros),
-                      static_cast<double>(spec.preplaced_macros), sa.hpwl,
-                      an.hpwl, ours.hpwl});
-    std::fflush(stdout);
+    table.row(spec.name,
+              {static_cast<double>(spec.movable_macros),
+               static_cast<double>(spec.preplaced_macros), sa.hpwl, an.hpwl,
+               ours.hpwl});
   }
 
   const std::vector<double> nor = bench::normalized_row(rows, /*reference=*/2);
-  bench::print_row("Nor.", {0.0, 0.0, nor[0], nor[1], nor[2]});
+  table.row("Nor.", {0.0, 0.0, nor[0], nor[1], nor[2]});
   return 0;
 }

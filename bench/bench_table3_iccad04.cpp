@@ -28,8 +28,9 @@ int main() {
       "# Table III — HPWL on ICCAD04-like circuits (macro_scale=%.2f "
       "cell_scale=%.3f)\n",
       bench::macro_scale(), bench::cell_scale());
-  bench::print_header("circuit", {"CT-like", "MaskPl-like", "RePlAce-like",
-                                  "Ours", "ours_s"});
+  bench::Table table("table3_iccad04", "circuit",
+                     {"CT-like", "MaskPl-like", "RePlAce-like", "Ours",
+                      "ours_s"});
 
   std::vector<std::vector<double>> rows;
   for (int i = 0; i < circuits; ++i) {
@@ -62,15 +63,13 @@ int main() {
     const place::MctsRlResult ours = place::mcts_rl_place(d_ours, options);
 
     rows.push_back({rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl});
-    bench::print_row(spec.name,
-                     {rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl,
-                      ours_timer.seconds()});
-    std::fflush(stdout);
+    table.row(spec.name, {rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl,
+                          ours_timer.seconds()});
   }
 
   // Normalized row: geometric mean of (method / ours), paper's bottom row.
   std::vector<double> nor = bench::normalized_row(rows, /*reference=*/3);
   nor.push_back(0.0);
-  bench::print_row("Nor.", nor);
+  table.row("Nor.", nor);
   return 0;
 }

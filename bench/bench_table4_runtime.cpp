@@ -20,8 +20,9 @@ int main() {
   std::printf(
       "# Table IV — MCTS stage runtime per circuit (gamma=%d, macro_scale=%.2f)\n",
       budgets.gamma, bench::macro_scale());
-  std::printf("%-8s  %8s  %8s  %12s  %14s  %14s\n", "circuit", "macros",
-              "groups", "mcts_sec", "nn_evals", "terminal_evals");
+  bench::Table table("table4_runtime", "circuit",
+                     {"macros", "groups", "mcts_sec", "nn_evals",
+                      "terminal_evals"});
 
   const int circuits = util::env_int(
       "REPRO_TABLE4_CIRCUITS",
@@ -56,11 +57,11 @@ int main() {
     mcts::MctsPlacer placer(env, evaluator, agent,
                             tr.calibration.make_reward(0.75), mcts_options);
     const mcts::MctsResult result = placer.run();
-    std::printf("%-8s  %8d  %8zu  %12.2f  %14lld  %14lld\n",
-                spec.name.c_str(), spec.movable_macros,
-                context.clustering.macro_groups.size(), timer.seconds(),
-                result.nn_evaluations, result.terminal_evaluations);
-    std::fflush(stdout);
+    table.row(spec.name,
+              {static_cast<double>(spec.movable_macros),
+               static_cast<double>(context.clustering.macro_groups.size()),
+               timer.seconds(), static_cast<double>(result.nn_evaluations),
+               static_cast<double>(result.terminal_evaluations)});
   }
   return 0;
 }

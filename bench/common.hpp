@@ -24,6 +24,7 @@
 #include <cstring>
 
 #include "benchgen/presets.hpp"
+#include "obs/report.hpp"
 #include "place/placer.hpp"
 #include "util/env.hpp"
 
@@ -117,6 +118,39 @@ inline void print_header(const std::string& first,
   for (const std::string& c : columns) std::printf("  %12s", c.c_str());
   std::printf("\n");
 }
+
+/// Bench table that prints paper-style rows to stdout AND mirrors them as
+/// one machine-readable JSONL object through obs::ReportWriter (MP_OBS_OUT)
+/// when telemetry is enabled — benches stay scrapable by eye and by tooling
+/// (scripts/obs_summary.py) at the same time.  The JSON artifact is written
+/// when the table goes out of scope.
+class Table {
+ public:
+  Table(std::string bench, const std::string& first,
+        std::vector<std::string> columns)
+      : bench_(std::move(bench)), columns_(std::move(columns)) {
+    print_header(first, columns_);
+  }
+
+  void row(const std::string& name, const std::vector<double>& values) {
+    print_row(name, values);
+    rows_.emplace_back(name, values);
+    std::fflush(stdout);
+  }
+
+  ~Table() {
+    if (!obs::enabled()) return;
+    obs::ReportWriter writer = obs::ReportWriter::from_env();
+    if (writer.valid()) writer.write_table(bench_, columns_, rows_);
+  }
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+ private:
+  std::string bench_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
 
 /// Normalized geomean row (paper's "Nor." row): each column's geometric mean
 /// of ratio vs the reference column.

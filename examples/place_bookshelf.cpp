@@ -13,11 +13,13 @@
 // Reads <prefix>.nodes/.nets/.pl, places, reports HPWL and legality.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "io/bookshelf.hpp"
 #include "io/plot.hpp"
+#include "obs/report.hpp"
 #include "place/analytic_placer.hpp"
 #include "place/placer.hpp"
 #include "place/rl_only_placer.hpp"
@@ -99,6 +101,15 @@ int main(int argc, char** argv) {
   std::printf("placer=%s  HPWL=%.6g  macro_overlap=%.3g  in_region=%s\n",
               placer.c_str(), hpwl, design.macro_overlap_area(),
               design.all_inside_region() ? "yes" : "no");
+
+  // MP_OBS_SUMMARY=1 prints the per-phase runtime table (docs/OBSERVABILITY.md)
+  // to stderr; the JSONL report goes to MP_OBS_OUT as usual.
+  const char* want_summary = std::getenv("MP_OBS_SUMMARY");
+  if (want_summary != nullptr && want_summary[0] != '\0' &&
+      std::strcmp(want_summary, "0") != 0) {
+    const std::string summary = mp::obs::summary_table();
+    if (!summary.empty()) std::fprintf(stderr, "%s", summary.c_str());
+  }
 
   if (!out.empty()) {
     mp::io::write_bookshelf(design, out);

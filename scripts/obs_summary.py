@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Summarizes JSONL telemetry reports (docs/OBSERVABILITY.md) as tables.
+
+Usage:
+    scripts/obs_summary.py run.jsonl [more.jsonl ...]
+    MP_OBS_OUT=run.jsonl build/examples/place_bookshelf ... && \
+        scripts/obs_summary.py run.jsonl
+
+For every 'kind:"run"' line, prints the span tree (phase, calls, wall
+seconds, self seconds, share of the run — a Table-IV-style runtime
+breakdown), the non-zero counters, and histogram summaries.  'kind:"table"'
+lines (bench result tables routed through MP_OBS_OUT by bench::Table) are
+re-rendered as text tables.  Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fmt(v):
+    if v is None:
+        return "null"
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def print_spans(spans, total, depth=0):
+    for span in spans:
+        wall = span.get("wall_s") or 0.0
+        share = 100.0 * wall / total if total > 0 else 0.0
+        print(f"  {'  ' * depth + span['name']:<38} {span.get('count', 0):>7} "
+              f"{wall:>11.4f} {span.get('self_s') or 0.0:>11.4f} {share:>6.1f}%")
+        print_spans(span.get("children", []), total, depth + 1)
+
+
+def print_run(doc):
+    print(f"\n== run: {doc.get('label', '?')} ==")
+    spans = doc.get("spans", [])
+    if spans:
+        total = sum(s.get("wall_s") or 0.0 for s in spans)
+        print(f"  {'phase':<38} {'calls':>7} {'wall_s':>11} {'self_s':>11} {'%':>7}")
+        print_spans(spans, total)
+    counters = {k: v for k, v in doc.get("counters", {}).items() if v}
+    if counters:
+        print("  counters:")
+        for name, value in sorted(counters.items()):
+            print(f"    {name:<40} {value:>14}")
+    histograms = {k: h for k, h in doc.get("histograms", {}).items()
+                  if h.get("count")}
+    if histograms:
+        print(f"    {'histogram':<30} {'count':>8} {'mean':>12} "
+              f"{'p50':>12} {'p99':>12} {'max':>12}")
+    for name, h in sorted(histograms.items()):
+        print(f"    {name:<30} {h['count']:>8} {fmt(h.get('mean')):>12} "
+              f"{fmt(h.get('p50')):>12} {fmt(h.get('p99')):>12} "
+              f"{fmt(h.get('max')):>12}")
+
+
+def print_table(doc):
+    print(f"\n== table: {doc.get('bench', '?')} ==")
+    columns = doc.get("columns", [])
+    print("  " + f"{'name':<16}" + "".join(f"{c:>14}" for c in columns))
+    for row in doc.get("rows", []):
+        values = "".join(f"{fmt(v):>14}" for v in row.get("values", []))
+        print(f"  {row.get('name', '?'):<16}{values}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        print(f"# {path}")
+        try:
+            lines = open(path).read().splitlines()
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            status = 1
+            continue
+        for i, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"error: {path}:{i}: {e}", file=sys.stderr)
+                status = 1
+                continue
+            if doc.get("kind") == "run":
+                print_run(doc)
+            elif doc.get("kind") == "table":
+                print_table(doc)
+            else:
+                print(f"\n== unknown kind {doc.get('kind')!r} (line {i}) ==")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

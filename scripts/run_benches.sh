@@ -2,6 +2,10 @@
 # Regenerates every table/figure of the paper into results/.
 # Knobs (see bench/common.hpp): REPRO_SCALE, REPRO_MACRO_SCALE,
 # REPRO_EPISODES, REPRO_GAMMA, REPRO_CHANNELS, REPRO_BLOCKS, REPRO_LEAF.
+#
+# Next to each text table a machine-readable JSONL telemetry report
+# ($out/<bench>.jsonl, schema in docs/OBSERVABILITY.md) is written via
+# MP_OBS_OUT; summarize with scripts/obs_summary.py.
 set -euo pipefail
 
 build=${1:-build}
@@ -11,7 +15,8 @@ mkdir -p "$out"
 for b in bench_fig4_reward bench_fig5_mcts_vs_rl bench_table2_industrial \
          bench_table3_iccad04 bench_table4_runtime bench_ablation; do
   echo "=== $b ==="
-  "$build/bench/$b" | tee "$out/$b.txt"
+  rm -f "$out/$b.jsonl"
+  MP_OBS_OUT="$out/$b.jsonl" "$build/bench/$b" | tee "$out/$b.txt"
 done
 "$build/bench/bench_micro_kernels" --benchmark_min_time=0.1s \
   | tee "$out/bench_micro_kernels.txt" \

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "gp/density.hpp"
+#include "obs/obs.hpp"
 #include "qp/b2b.hpp"
 #include "util/log.hpp"
 
@@ -81,6 +82,9 @@ std::vector<double> equalize_slice(const std::vector<double>& positions,
 }  // namespace
 
 GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options) {
+  MP_OBS_SPAN("gp.global_place");
+  MP_OBS_COUNT("gp.invocations", 1);
+  MP_OBS_HIST("gp.hpwl_before", design.total_hpwl());
   GlobalPlaceResult result;
 
   // Movable set.
@@ -107,6 +111,7 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
 
   double anchor_weight = options.anchor_weight;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    MP_OBS_COUNT("gp.spreading_passes", 1);
     DensityGrid grid(region, bins, options.target_density);
     for (std::size_t i = 0; i < design.num_nodes(); ++i) {
       const netlist::Node& node = design.node(static_cast<NodeId>(i));
@@ -207,6 +212,8 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
     qp::solve_b2b_placement(design, movable, anchors, b2b);
   }
   result.hpwl = design.total_hpwl();
+  MP_OBS_HIST("gp.hpwl_after", result.hpwl);
+  MP_OBS_GAUGE("gp.overflow_ratio", result.overflow_ratio);
   util::log_debug() << "global_place: hpwl=" << result.hpwl
                     << " overflow=" << result.overflow_ratio
                     << " iters=" << result.iterations;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace mp::mcts {
@@ -64,6 +65,8 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
     if (!node.has_terminal_value) {
       const double w = evaluator_.evaluate(env_.anchors());
       ++stats_.terminal_evaluations;
+      MP_OBS_COUNT("mcts.terminal_evaluations", 1);
+      MP_OBS_HIST("mcts.terminal_wirelength", w);
       node.eval_value = reward_(w);
       node.has_terminal_value = true;
       if (w < best_terminal_wirelength_) {
@@ -81,6 +84,8 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
   const rl::AgentOutput out = agent_.forward(
       sp, availability, env_.current_step(), env_.num_steps(), /*train=*/false);
   ++stats_.nn_evaluations;
+  MP_OBS_COUNT("mcts.nn_evaluations", 1);
+  if (!already_expanded) MP_OBS_COUNT("mcts.expansions", 1);
 
   // Expansion first (it reads the node's own environment state; the rollout
   // leaf evaluation below advances the environment).
@@ -146,6 +151,8 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
       if (ok) {
         const double w = evaluator_.evaluate(env_.anchors());
         ++stats_.terminal_evaluations;
+        MP_OBS_COUNT("mcts.terminal_evaluations", 1);
+        MP_OBS_HIST("mcts.terminal_wirelength", w);
         value = reward_(w);
         if (w < best_terminal_wirelength_) {
           best_terminal_wirelength_ = w;
@@ -160,6 +167,7 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
 }
 
 void MctsPlacer::explore() {
+  MP_OBS_COUNT("mcts.simulations", 1);
   if (!replay(committed_)) {
     util::log_warn() << "mcts: committed prefix became unplayable";
     return;
@@ -181,6 +189,8 @@ void MctsPlacer::explore() {
     path.emplace_back(node_index, edge_index);
     node_index = edge.child;
   }
+
+  MP_OBS_HIST("mcts.path_depth", static_cast<double>(path.size()));
 
   // Expansion + evaluation.
   const double value = expand_and_evaluate(node_index);
@@ -249,6 +259,8 @@ MctsResult MctsPlacer::run() {
   for (const std::vector<int>& seed : options_.seed_paths) seed_path(seed);
   for (int t = 0; t < total_steps; ++t) {
     for (int g = 0; g < options_.explorations_per_move; ++g) explore();
+    MP_OBS_COUNT("mcts.moves", 1);
+    MP_OBS_HIST("mcts.tree_nodes_per_move", static_cast<double>(nodes_.size()));
 
     // Commit the most-visited root edge (ties by mean value, then prior).
     Node& root = nodes_[static_cast<std::size_t>(root_)];
@@ -300,6 +312,9 @@ MctsResult MctsPlacer::run() {
     result.wirelength = best_terminal_wirelength_;
   }
   result.reward = reward_(result.wirelength);
+  MP_OBS_GAUGE("mcts.tree_nodes", static_cast<double>(nodes_.size()));
+  MP_OBS_GAUGE("mcts.value_bound_lo", value_bounds_.lo);
+  MP_OBS_GAUGE("mcts.value_bound_hi", value_bounds_.hi);
   env_.reset();
   return result;
 }

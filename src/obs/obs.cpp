@@ -1,0 +1,238 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace mp::obs {
+
+namespace {
+
+// -1 = not yet initialized from MP_OBS_LEVEL; 0 = off; 1 = on.
+std::atomic<int> g_enabled{-1};
+
+int level_from_env() {
+  const char* raw = std::getenv("MP_OBS_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return 1;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "off" || v == "0" || v == "false" || v == "none") return 0;
+  if (v == "on" || v == "1" || v == "true" || v == "full" || v == "all") return 1;
+  std::fprintf(stderr,
+               "[warn] MP_OBS_LEVEL=\"%s\" not recognized (expected off|on); "
+               "telemetry stays on\n",
+               raw);
+  return 1;
+}
+
+// Per-thread position in the global registry's span tree.
+thread_local detail::SpanNode* t_cursor = nullptr;
+
+}  // namespace
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = level_from_env();
+    int expected = -1;
+    // Another thread may have raced set_enabled(); keep its value.
+    g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_enabled.load(std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_enabled(bool on) { g_enabled.store(on ? 1 : 0, std::memory_order_relaxed); }
+
+// --- Histogram ---
+
+namespace {
+
+int bin_index(double v) {
+  // kSubBins bins per octave, bin kZeroBin holds v in [1, 2^(1/kSubBins)).
+  const double b = std::floor(std::log2(v) * Histogram::kSubBins);
+  const double idx = b + Histogram::kZeroBin;
+  if (idx < 0.0) return 0;
+  if (idx >= Histogram::kNumBins) return Histogram::kNumBins - 1;
+  return static_cast<int>(idx);
+}
+
+}  // namespace
+
+double Histogram::bin_value(int index) {
+  return std::exp2((index - kZeroBin + 0.5) / static_cast<double>(kSubBins));
+}
+
+void Histogram::record(double v) {
+  if (!std::isfinite(v)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (v <= 0.0) {
+    ++underflow_;
+  } else {
+    ++bins_[bin_index(v)];
+  }
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  underflow_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::memset(bins_, 0, sizeof(bins_));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot s;
+  s.count = count_;
+  s.underflow = underflow_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.bins.assign(bins_, bins_ + kNumBins);
+  return s;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank among all samples; underflow samples sort first and report min
+  // (their exact values are not binned).
+  const double target = q * static_cast<double>(count);
+  double cum = static_cast<double>(underflow);
+  if (cum >= target) return min;
+  for (int i = 0; i < static_cast<int>(bins.size()); ++i) {
+    cum += static_cast<double>(bins[static_cast<std::size_t>(i)]);
+    if (cum >= target) {
+      return std::clamp(Histogram::bin_value(i), min, max);
+    }
+  }
+  return max;
+}
+
+// --- Registry ---
+
+Registry& Registry::global() {
+  // Leaked on purpose: spans and cached metric references may be touched by
+  // static destructors; a never-destroyed registry keeps them valid.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+detail::SpanNode* Registry::enter_span(const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::SpanNode* parent = t_cursor != nullptr ? t_cursor : &span_root_;
+  std::unique_ptr<detail::SpanNode>& slot = parent->children[name];
+  if (!slot) {
+    slot = std::make_unique<detail::SpanNode>();
+    slot->name = name;
+    slot->parent = parent;
+  }
+  t_cursor = slot.get();
+  return slot.get();
+}
+
+void Registry::exit_span(detail::SpanNode* node, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  node->count += 1;
+  node->total_seconds += seconds;
+  t_cursor = node->parent == &span_root_ ? nullptr : node->parent;
+}
+
+namespace {
+
+void reset_span_tree(detail::SpanNode& node) {
+  node.count = 0;
+  node.total_seconds = 0.0;
+  for (auto& [name, child] : node.children) reset_span_tree(*child);
+}
+
+SpanSnapshot snapshot_span_tree(const detail::SpanNode& node) {
+  SpanSnapshot s;
+  s.name = node.name;
+  s.count = node.count;
+  s.total_seconds = node.total_seconds;
+  double child_total = 0.0;
+  for (const auto& [name, child] : node.children) {
+    // Nodes survive reset_values() so cached references stay valid; prune
+    // subtrees nothing was recorded into since, so snapshots describe only
+    // the current run.
+    SpanSnapshot cs = snapshot_span_tree(*child);
+    if (cs.count == 0 && cs.children.empty()) continue;
+    child_total += cs.total_seconds;
+    s.children.push_back(std::move(cs));
+  }
+  s.self_seconds = std::max(0.0, s.total_seconds - child_total);
+  return s;
+}
+
+}  // namespace
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  reset_span_tree(span_root_);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  for (const auto& [name, child] : span_root_.children) {
+    SpanSnapshot s = snapshot_span_tree(*child);
+    if (s.count == 0 && s.children.empty()) continue;  // pruned (see above)
+    snap.spans.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void reset_values() { Registry::global().reset_values(); }
+
+}  // namespace mp::obs

@@ -1,0 +1,224 @@
+#pragma once
+// Structured telemetry: a process-wide Registry of named counters, gauges
+// and log-scale histograms, plus an RAII Span that times a scoped phase and
+// aggregates into a parent/child tree (one node per unique span path).
+//
+// Recording is gated by MP_OBS_LEVEL (off|on, default on, case-insensitive)
+// or programmatically via set_enabled(); every macro below is a cheap branchy
+// no-op when disabled, so instrumentation never perturbs the algorithms —
+// only reads state and records.  Reports are emitted separately (see
+// obs/report.hpp, MP_OBS_OUT).  Metric names and the span hierarchy are
+// documented in docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace mp::obs {
+
+/// True when telemetry recording is enabled (MP_OBS_LEVEL != off, or the
+/// last set_enabled() call).  The env var is read once, lazily.
+bool enabled();
+
+/// Programmatic override of MP_OBS_LEVEL (tests, embedding applications).
+void set_enabled(bool on);
+
+/// Monotonic event count.  Lock-free; relaxed ordering is enough because
+/// readers only ever see snapshots between phases.
+class Counter {
+ public:
+  void add(long long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Last-written scalar (tree size, overflow ratio, value bounds, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only view of a histogram at one point in time; quantiles are
+/// estimated from the log-scale bins (relative error bounded by the bin
+/// width, 2^(1/kSubBins) ~ 19%) and clamped to the observed [min, max].
+struct HistogramSnapshot {
+  long long count = 0;
+  long long underflow = 0;  ///< samples <= 0 (kept out of the log bins)
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<long long> bins;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  double quantile(double q) const;
+};
+
+/// Log-scale histogram for positive samples: kSubBins bins per power of two,
+/// covering 2^-32 .. 2^32; non-positive samples land in an underflow bucket.
+/// Bins are mutex-guarded (record() is rare enough that contention is moot);
+/// exact count/sum/min/max ride along for precise means and bounds.
+class Histogram {
+ public:
+  static constexpr int kSubBins = 4;
+  static constexpr int kNumBins = 256;
+  static constexpr int kZeroBin = kNumBins / 2;  // bin of v == 1
+
+  void record(double v);
+  void reset();
+  HistogramSnapshot snapshot() const;
+
+  long long count() const { return snapshot().count; }
+  double sum() const { return snapshot().sum; }
+  double mean() const { return snapshot().mean(); }
+  double quantile(double q) const { return snapshot().quantile(q); }
+
+  /// Geometric midpoint of bin `index` (the representative sample value).
+  static double bin_value(int index);
+
+ private:
+  mutable std::mutex mutex_;
+  long long count_ = 0;
+  long long underflow_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  long long bins_[kNumBins] = {};
+};
+
+namespace detail {
+/// One node of the aggregated span tree: all Span instances sharing the same
+/// path ("flow.finalize" under "mcts_rl_place", say) accumulate here.
+struct SpanNode {
+  std::string name;
+  SpanNode* parent = nullptr;
+  long long count = 0;
+  double total_seconds = 0.0;
+  std::map<std::string, std::unique_ptr<SpanNode>> children;
+};
+}  // namespace detail
+
+/// Aggregated timing of one span path; self time excludes child spans.
+struct SpanSnapshot {
+  std::string name;
+  long long count = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+  std::vector<SpanSnapshot> children;
+};
+
+/// Full registry state at one point in time (entries sorted by name).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<SpanSnapshot> spans;  ///< top-level spans (root's children)
+};
+
+/// Process-wide metric registry.  Entries are created on first use and never
+/// removed, so references returned by counter()/gauge()/histogram() stay
+/// valid for the process lifetime (the MP_OBS_* macros cache them in
+/// function-local statics).  reset_values() zeroes every metric and span
+/// statistic in place without invalidating those references.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  void reset_values();
+  RegistrySnapshot snapshot() const;
+
+  // Span plumbing (used by Span; the cursor is thread-local, rooted at this
+  // registry's span tree).
+  detail::SpanNode* enter_span(const char* name);
+  void exit_span(detail::SpanNode* node, double seconds);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  detail::SpanNode span_root_;
+};
+
+/// Zeroes every metric of the global registry (used at the start of a run so
+/// each JSONL report line describes exactly one run).
+void reset_values();
+
+/// RAII phase timer.  Nests: a Span constructed while another is alive on
+/// the same thread becomes its child in the aggregated tree.  Inert when
+/// telemetry is disabled.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!enabled()) return;
+    node_ = Registry::global().enter_span(name);
+    timer_.reset();
+  }
+  ~Span() {
+    if (node_ != nullptr) Registry::global().exit_span(node_, timer_.seconds());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  detail::SpanNode* node_ = nullptr;
+  util::Timer timer_;
+};
+
+}  // namespace mp::obs
+
+// Instrumentation macros.  Each checks enabled() first and resolves its
+// metric once (function-local static reference — safe because the registry
+// never removes entries), so the disabled cost is one predictable branch.
+#define MP_OBS_CONCAT_INNER(a, b) a##b
+#define MP_OBS_CONCAT(a, b) MP_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as span `name` (a string literal).
+#define MP_OBS_SPAN(name) \
+  ::mp::obs::Span MP_OBS_CONCAT(mp_obs_span_, __LINE__)(name)
+
+/// Adds `n` to counter `name`.
+#define MP_OBS_COUNT(name, n)                                        \
+  do {                                                               \
+    if (::mp::obs::enabled()) {                                      \
+      static ::mp::obs::Counter& MP_OBS_CONCAT(mp_obs_c_, __LINE__) = \
+          ::mp::obs::Registry::global().counter(name);               \
+      MP_OBS_CONCAT(mp_obs_c_, __LINE__).add(n);                     \
+    }                                                                \
+  } while (0)
+
+/// Sets gauge `name` to `v`.
+#define MP_OBS_GAUGE(name, v)                                        \
+  do {                                                               \
+    if (::mp::obs::enabled()) {                                      \
+      static ::mp::obs::Gauge& MP_OBS_CONCAT(mp_obs_g_, __LINE__) =  \
+          ::mp::obs::Registry::global().gauge(name);                 \
+      MP_OBS_CONCAT(mp_obs_g_, __LINE__).set(v);                     \
+    }                                                                \
+  } while (0)
+
+/// Records sample `v` into histogram `name`.
+#define MP_OBS_HIST(name, v)                                            \
+  do {                                                                  \
+    if (::mp::obs::enabled()) {                                         \
+      static ::mp::obs::Histogram& MP_OBS_CONCAT(mp_obs_h_, __LINE__) = \
+          ::mp::obs::Registry::global().histogram(name);                \
+      MP_OBS_CONCAT(mp_obs_h_, __LINE__).record(v);                     \
+    }                                                                   \
+  } while (0)

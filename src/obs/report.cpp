@@ -1,0 +1,227 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace mp::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out += buf;
+}
+
+void append_histogram(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":";
+  append_number(out, h.count);
+  out += ",\"sum\":";
+  append_number(out, h.sum);
+  out += ",\"min\":";
+  append_number(out, h.min);
+  out += ",\"max\":";
+  append_number(out, h.max);
+  out += ",\"mean\":";
+  append_number(out, h.mean());
+  out += ",\"p50\":";
+  append_number(out, h.quantile(0.5));
+  out += ",\"p90\":";
+  append_number(out, h.quantile(0.9));
+  out += ",\"p99\":";
+  append_number(out, h.quantile(0.99));
+  out += '}';
+}
+
+void append_span(std::string& out, const SpanSnapshot& s) {
+  out += "{\"name\":";
+  append_escaped(out, s.name);
+  out += ",\"count\":";
+  append_number(out, s.count);
+  out += ",\"wall_s\":";
+  append_number(out, s.total_seconds);
+  out += ",\"self_s\":";
+  append_number(out, s.self_seconds);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span(out, s.children[i]);
+  }
+  out += "]}";
+}
+
+void flatten_spans(const SpanSnapshot& span, int depth,
+                   std::vector<std::pair<std::string, const SpanSnapshot*>>& out) {
+  out.emplace_back(std::string(static_cast<std::size_t>(depth) * 2, ' ') + span.name,
+                   &span);
+  for (const SpanSnapshot& child : span.children) {
+    flatten_spans(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string report_destination() {
+  const char* raw = std::getenv("MP_OBS_OUT");
+  return raw != nullptr ? std::string(raw) : std::string();
+}
+
+void ReportWriter::write_line(const std::string& line) {
+  if (destination_.empty()) return;
+  if (destination_ == "-") {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(destination_.c_str(), "a");
+  if (f == nullptr) {
+    util::log_warn() << "obs: cannot open report file " << destination_;
+    return;
+  }
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+}
+
+void ReportWriter::write_run(const std::string& label,
+                             const RegistrySnapshot& snapshot) {
+  if (!valid()) return;
+  std::string out;
+  out.reserve(1024);
+  out += "{\"kind\":\"run\",\"label\":";
+  append_escaped(out, label);
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, snapshot.counters[i].first);
+    out += ':';
+    append_number(out, snapshot.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, snapshot.gauges[i].first);
+    out += ':';
+    append_number(out, snapshot.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, snapshot.histograms[i].first);
+    out += ':';
+    append_histogram(out, snapshot.histograms[i].second);
+  }
+  out += "},\"spans\":[";
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span(out, snapshot.spans[i]);
+  }
+  out += "]}";
+  write_line(out);
+}
+
+void ReportWriter::write_table(
+    const std::string& bench, const std::vector<std::string>& columns,
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows) {
+  if (!valid()) return;
+  std::string out;
+  out.reserve(512);
+  out += "{\"kind\":\"table\",\"bench\":";
+  append_escaped(out, bench);
+  out += ",\"columns\":[";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, columns[i]);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    append_escaped(out, rows[i].first);
+    out += ",\"values\":[";
+    for (std::size_t j = 0; j < rows[i].second.size(); ++j) {
+      if (j > 0) out += ',';
+      append_number(out, rows[i].second[j]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  write_line(out);
+}
+
+void write_run_report(const std::string& label) {
+  if (!enabled()) return;
+  ReportWriter writer = ReportWriter::from_env();
+  if (!writer.valid()) return;
+  writer.write_run(label, Registry::global().snapshot());
+}
+
+std::string summary_table() {
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  if (snap.spans.empty() && snap.counters.empty()) return {};
+
+  std::vector<std::pair<std::string, const SpanSnapshot*>> flat;
+  double total = 0.0;
+  for (const SpanSnapshot& span : snap.spans) {
+    flatten_spans(span, 0, flat);
+    total += span.total_seconds;
+  }
+
+  std::string out;
+  char buf[160];
+  if (!flat.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-36s %8s %12s %12s %7s\n", "phase",
+                  "calls", "wall_s", "self_s", "%");
+    out += buf;
+    for (const auto& [label, span] : flat) {
+      const double share = total > 0.0 ? 100.0 * span->total_seconds / total : 0.0;
+      std::snprintf(buf, sizeof(buf), "%-36s %8lld %12.4f %12.4f %6.1f%%\n",
+                    label.c_str(), span->count, span->total_seconds,
+                    span->self_seconds, share);
+      out += buf;
+    }
+  }
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-34s %12lld\n", name.c_str(), value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace mp::obs

@@ -1,0 +1,56 @@
+#pragma once
+// JSONL run reports and human-readable summaries over obs::Registry
+// snapshots.  The destination is the MP_OBS_OUT environment variable: a file
+// path (lines are appended) or "-" for stderr; unset/empty disables
+// reporting.  One JSON object per line; the schema is documented in
+// docs/OBSERVABILITY.md.
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace mp::obs {
+
+/// Resolved report destination: MP_OBS_OUT verbatim ("" when unset).
+std::string report_destination();
+
+/// Serializes registry snapshots (and bench tables) as JSONL.
+class ReportWriter {
+ public:
+  /// `destination` is a file path (append) or "-" (stderr); "" disables.
+  explicit ReportWriter(std::string destination)
+      : destination_(std::move(destination)) {}
+
+  /// Writer for the MP_OBS_OUT destination.
+  static ReportWriter from_env() { return ReportWriter(report_destination()); }
+
+  bool valid() const { return !destination_.empty(); }
+  const std::string& destination() const { return destination_; }
+
+  /// Appends one run object: {"kind":"run","label":...,"counters":{...},
+  /// "gauges":{...},"histograms":{...},"spans":[...]}.
+  void write_run(const std::string& label, const RegistrySnapshot& snapshot);
+
+  /// Appends one bench-table object: {"kind":"table","bench":...,
+  /// "columns":[...],"rows":[{"name":...,"values":[...]}]}.
+  void write_table(
+      const std::string& bench, const std::vector<std::string>& columns,
+      const std::vector<std::pair<std::string, std::vector<double>>>& rows);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string destination_;
+};
+
+/// Snapshots the global registry and appends one run line to MP_OBS_OUT.
+/// No-op when telemetry is disabled or MP_OBS_OUT is unset.
+void write_run_report(const std::string& label);
+
+/// Human-readable per-phase table of the global registry's span tree
+/// (phase, calls, wall seconds, self seconds, share of total) followed by
+/// the counters.  Empty string when nothing was recorded.
+std::string summary_table();
+
+}  // namespace mp::obs

@@ -2,14 +2,19 @@
 
 #include "dp/detailed.hpp"
 #include "dp/row_legalizer.hpp"
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace mp::place {
 
 FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options) {
+  MP_OBS_SPAN("flow.prepare");
   util::Timer timer;
-  gp::global_place(design, options.initial_gp);
+  {
+    MP_OBS_SPAN("flow.initial_gp");
+    gp::global_place(design, options.initial_gp);
+  }
   util::log_info() << "prepare_flow: initial GP in " << timer.seconds() << "s";
 
   FlowContext context{
@@ -17,23 +22,35 @@ FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options) {
       {},
       {},
   };
+  MP_OBS_SPAN("flow.clustering");
   context.clustering = cluster::cluster_design(design, context.spec,
                                                options.cluster);
   context.coarse = cluster::build_coarse_design(design, context.clustering);
+  MP_OBS_GAUGE("flow.macro_groups",
+               static_cast<double>(context.clustering.macro_groups.size()));
+  MP_OBS_GAUGE("flow.cell_groups",
+               static_cast<double>(context.clustering.cell_groups.size()));
   return context;
 }
 
 double finalize_placement(netlist::Design& design, FlowContext& context,
                           const std::vector<grid::CellCoord>& anchors,
                           const FlowOptions& options) {
-  legal::legalize_groups(design, context.coarse, context.clustering,
-                         context.spec, anchors, options.legalize);
+  MP_OBS_SPAN("flow.finalize");
+  {
+    MP_OBS_SPAN("flow.legalize");
+    legal::legalize_groups(design, context.coarse, context.clustering,
+                           context.spec, anchors, options.legalize);
+  }
   double hpwl = place_cells_and_measure(design, options.final_gp);
+  MP_OBS_HIST("flow.hpwl_after_legalize", hpwl);
 
   // Bounded macro refinement interleaved with cell placement (see
   // FlowOptions::refine_rounds).  Rounds that do not improve are rolled
   // back, so refinement can only help.
   for (int round = 0; round < options.refine_rounds; ++round) {
+    MP_OBS_SPAN("flow.refine_round");
+    MP_OBS_COUNT("flow.refine_rounds", 1);
     const std::vector<netlist::NodeId>& movable = design.movable_macros();
     if (movable.empty()) break;
     std::vector<geometry::Point> snapshot;
@@ -65,19 +82,23 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
       }
       continue;
     }
+    MP_OBS_COUNT("flow.refine_rounds_accepted", 1);
     hpwl = refined;
   }
 
   if (options.row_legal_cells) {
+    MP_OBS_SPAN("flow.row_legalize");
     dp::legalize_rows(design);
     dp::refine_detailed(design);
     hpwl = design.total_hpwl();
   }
+  MP_OBS_HIST("flow.final_hpwl", hpwl);
   return hpwl;
 }
 
 double place_cells_and_measure(netlist::Design& design,
                                const gp::GlobalPlaceOptions& final_gp) {
+  MP_OBS_SPAN("flow.final_gp");
   gp::GlobalPlaceOptions o = final_gp;
   o.move_macros = false;
   const gp::GlobalPlaceResult r = gp::global_place(design, o);

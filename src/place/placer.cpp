@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -10,8 +13,14 @@ namespace mp::place {
 
 MctsRlResult mcts_rl_place(netlist::Design& design,
                            const MctsRlOptions& options) {
+  // Each run owns one telemetry window: the registry is zeroed up front and
+  // serialized as one JSONL line at the end (MP_OBS_OUT; no-op when unset).
+  if (obs::enabled()) obs::reset_values();
   MctsRlResult result;
   util::Timer total_timer;
+  // optional<> so the root span can close before the report is serialized.
+  std::optional<obs::Span> run_span;
+  run_span.emplace("mcts_rl_place");
 
   // --- Preprocessing (Algorithm 1, lines 1-2) ---
   FlowContext context = prepare_flow(design, options.flow);
@@ -27,7 +36,10 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   evaluator.set_overflow_penalty(options.overflow_penalty);
 
   util::Timer train_timer;
-  result.train_result = rl::train_agent(env, evaluator, agent, options.train);
+  {
+    MP_OBS_SPAN("rl.train");
+    result.train_result = rl::train_agent(env, evaluator, agent, options.train);
+  }
   result.train_seconds = train_timer.seconds();
 
   // --- MCTS placement optimization (lines 11-15) ---
@@ -74,6 +86,8 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
     };
   }
   util::Timer mcts_timer;
+  std::optional<obs::Span> mcts_span;
+  mcts_span.emplace("mcts.search");
   mcts::MctsPlacer mcts_placer(env, evaluator, agent, reward, mcts_options);
   result.mcts_result = mcts_placer.run();
   result.coarse_wirelength = result.mcts_result.wirelength;
@@ -81,6 +95,7 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   // Greedy anchor hill-climb on the coarse objective (placer extension; see
   // MctsRlOptions::hill_climb_rounds).
   if (options.hill_climb_rounds > 0 && !result.mcts_result.anchors.empty()) {
+    MP_OBS_SPAN("mcts.hill_climb");
     std::vector<grid::CellCoord> anchors = result.mcts_result.anchors;
     double best = result.coarse_wirelength;
     const int dim = context.spec.dim();
@@ -120,6 +135,7 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
       result.mcts_result.reward = reward(best);
     }
   }
+  mcts_span.reset();
   result.mcts_seconds = mcts_timer.seconds();
 
   // --- Legalization + cell placement (line 16) ---
@@ -130,6 +146,10 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
                    << result.macro_groups << " macro groups, train "
                    << result.train_seconds << "s, mcts "
                    << result.mcts_seconds << "s)";
+  MP_OBS_HIST("place.hpwl", result.hpwl);
+  MP_OBS_GAUGE("place.coarse_wirelength", result.coarse_wirelength);
+  run_span.reset();
+  obs::write_run_report("mcts_rl_place");
   return result;
 }
 

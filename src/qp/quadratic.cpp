@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace mp::qp {
 
 using netlist::Design;
@@ -178,6 +180,10 @@ QpResult solve_quadratic_placement(Design& design,
   QpResult result;
   result.cg_x = linalg::conjugate_gradient(ax, sys_x.rhs, x, options.cg);
   result.cg_y = linalg::conjugate_gradient(ay, sys_y.rhs, y, options.cg);
+  MP_OBS_COUNT("qp.solves", 1);
+  MP_OBS_COUNT("qp.cg_iterations", result.cg_x.iterations + result.cg_y.iterations);
+  MP_OBS_HIST("qp.cg_iterations_per_solve",
+              static_cast<double>(result.cg_x.iterations + result.cg_y.iterations));
 
   // Write back (center -> lower-left), applying box bounds then the region
   // clamp.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace mp::rl {
 
 CoarseEvaluator::CoarseEvaluator(const cluster::CoarseDesign& coarse,
@@ -28,6 +30,7 @@ CoarseEvaluator::CoarseEvaluator(const cluster::CoarseDesign& coarse,
 double CoarseEvaluator::evaluate(const std::vector<grid::CellCoord>& anchors) {
   assert(anchors.size() == macro_group_nodes_.size());
   ++evaluations_;
+  MP_OBS_COUNT("evaluator.coarse_evaluations", 1);
   // Pin each macro group with its lower-left corner at the anchor cell's
   // origin — the same alignment the occupancy/state model uses.
   for (std::size_t g = 0; g < anchors.size(); ++g) {
@@ -56,6 +59,7 @@ double CoarseEvaluator::evaluate_partial(
     const std::vector<grid::CellCoord>& anchors) {
   assert(anchors.size() <= macro_group_nodes_.size());
   ++evaluations_;
+  MP_OBS_COUNT("evaluator.coarse_partial_evaluations", 1);
   // Pin the prefix; everything else (remaining macro groups + cell groups)
   // starts from its canonical position and relaxes in one joint QP.
   std::vector<netlist::NodeId> movable;

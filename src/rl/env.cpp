@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace mp::rl {
 
 PlacementEnv::PlacementEnv(const cluster::CoarseDesign& coarse,
@@ -56,6 +58,7 @@ bool PlacementEnv::step(int action) {
   occupancy_.place(fp, anchor);
   anchors_.push_back(anchor);
   ++step_;
+  MP_OBS_COUNT("rl.env.steps", 1);
   return true;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace mp::rl {
@@ -58,6 +60,9 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
 
   for (int episode = 0; episode < options.episodes; ++episode) {
     // --- Rollout ---
+    MP_OBS_COUNT("rl.episodes", 1);
+    std::optional<obs::Span> rollout_span;
+    rollout_span.emplace("rl.rollout");
     env.reset();
     std::vector<StepRecord> steps;
     steps.reserve(static_cast<std::size_t>(total_steps));
@@ -77,7 +82,9 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       record.action = action;
       steps.push_back(std::move(record));
     }
+    rollout_span.reset();
     if (aborted) {
+      MP_OBS_COUNT("rl.episodes_aborted", 1);
       util::log_warn() << "train_agent: episode " << episode
                        << " aborted (no legal action)";
       continue;
@@ -85,6 +92,8 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
 
     const double wirelength = evaluator.evaluate(env.anchors());
     const double r = reward(wirelength);
+    MP_OBS_HIST("rl.reward", r);
+    MP_OBS_HIST("rl.episode_wirelength", wirelength);
     result.episodes.push_back({r, wirelength});
     if (wirelength < result.best_wirelength) {
       result.best_wirelength = wirelength;
@@ -93,18 +102,25 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
     if (options.on_episode) options.on_episode(episode, r, wirelength);
 
     // --- Gradient accumulation (replay with train-mode forwards) ---
+    MP_OBS_SPAN("rl.update");
     const float inv_steps =
         1.0f / static_cast<float>(std::max<std::size_t>(1, steps.size()));
+    double value_loss = 0.0;
     for (std::size_t t = 0; t < steps.size(); ++t) {
       const StepRecord& record = steps[t];
       const AgentOutput out =
           agent.forward(record.sp, record.availability, static_cast<int>(t),
                         total_steps, /*train=*/true);
       const float advantage = static_cast<float>(r) - out.value;  // Eq. (6)
+      value_loss += static_cast<double>(advantage) * advantage;
       const nn::Tensor policy_grad = nn::policy_gradient(
           out.probs, record.action, advantage * inv_steps);       // Eq. (5)
       const float value_grad = -2.0f * advantage * inv_steps;     // Eq. (7)
       agent.backward(policy_grad, value_grad);
+    }
+    if (!steps.empty()) {
+      // Mean squared advantage — the value-head loss the update descends.
+      MP_OBS_HIST("rl.value_loss", value_loss / static_cast<double>(steps.size()));
     }
     ++window_fill;
 
@@ -114,6 +130,7 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       optimizer.clip_grad_norm(options.grad_clip);
       optimizer.step();
       ++result.optimizer_steps;
+      MP_OBS_COUNT("rl.optimizer_steps", 1);
       window_fill = 0;
     }
   }

@@ -1,9 +1,10 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
 
 namespace mp::util {
@@ -26,11 +27,21 @@ const char* level_name(LogLevel level) {
 
 void init_from_env() {
   const char* env = std::getenv("MP_LOG_LEVEL");
-  if (env == nullptr) return;
-  if (std::strcmp(env, "error") == 0) g_level = static_cast<int>(LogLevel::kError);
-  else if (std::strcmp(env, "warn") == 0) g_level = static_cast<int>(LogLevel::kWarn);
-  else if (std::strcmp(env, "info") == 0) g_level = static_cast<int>(LogLevel::kInfo);
-  else if (std::strcmp(env, "debug") == 0) g_level = static_cast<int>(LogLevel::kDebug);
+  if (env == nullptr || env[0] == '\0') return;
+  std::string v(env);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "error") g_level = static_cast<int>(LogLevel::kError);
+  else if (v == "warn" || v == "warning") g_level = static_cast<int>(LogLevel::kWarn);
+  else if (v == "info") g_level = static_cast<int>(LogLevel::kInfo);
+  else if (v == "debug") g_level = static_cast<int>(LogLevel::kDebug);
+  else {
+    // One warning instead of silently keeping the default (init runs once).
+    std::fprintf(stderr,
+                 "[warn] MP_LOG_LEVEL=\"%s\" not recognized "
+                 "(expected error|warn|info|debug); keeping \"%s\"\n",
+                 env, level_name(static_cast<LogLevel>(g_level.load())));
+  }
 }
 
 }  // namespace

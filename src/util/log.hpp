@@ -20,19 +20,25 @@ void log_line(LogLevel level, const std::string& message);
 namespace detail {
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { log_line(level_, stream_.str()); }
+  // Filtering is resolved up front so a dropped message never pays for
+  // formatting (the destructor used to build the string unconditionally).
+  explicit LogStream(LogLevel level)
+      : level_(level), enabled_(level <= log_level()) {}
+  ~LogStream() {
+    if (enabled_) log_line(level_, stream_.str());
+  }
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
 
   template <typename T>
   LogStream& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 }  // namespace detail

@@ -8,13 +8,25 @@ namespace mp::util {
 /// Stopwatch measuring wall time since construction or the last reset().
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(Clock::now()), lap_(start_) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed seconds since construction/reset.
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Seconds since the previous lap() (or construction/reset), and starts
+  /// the next lap.  seconds() is unaffected.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
   }
 
   double milliseconds() const { return seconds() * 1e3; }
@@ -23,6 +35,7 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace mp::util

@@ -1,0 +1,593 @@
+// Tests for the telemetry subsystem (obs): counter/gauge/histogram math,
+// span nesting and self-time accounting, JSONL report round-trips through a
+// tiny JSON parser, disabled-mode inertness, and the guarantee that flow
+// instrumentation never changes placement results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "place/flow.hpp"
+#include "util/timer.hpp"
+
+namespace mp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny JSON parser — just enough to round-trip the report writer's output.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key: " << key;
+    static const Json null_json;
+    return it != object.end() ? it->second : null_json;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON value";
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() { skip_ws(); return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) { ok_ = false; return false; }
+    ++pos_;
+    return true;
+  }
+
+  bool consume_word(const char* w) {
+    skip_ws();
+    for (const char* p = w; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) { ok_ = false; return false; }
+    }
+    return true;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': { Json v; v.type = Json::Type::kString; v.string = string(); return v; }
+      case 't': { Json v; v.type = Json::Type::kBool; v.boolean = true; consume_word("true"); return v; }
+      case 'f': { Json v; v.type = Json::Type::kBool; v.boolean = false; consume_word("false"); return v; }
+      case 'n': { consume_word("null"); return Json{}; }
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::kObject;
+    consume('{');
+    if (peek() == '}') { consume('}'); return v; }
+    while (ok_) {
+      const std::string key = string();
+      consume(':');
+      v.object.emplace(key, value());
+      if (peek() == ',') { consume(','); continue; }
+      consume('}');
+      break;
+    }
+    return v;
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::kArray;
+    consume('[');
+    if (peek() == ']') { consume(']'); return v; }
+    while (ok_) {
+      v.array.push_back(value());
+      if (peek() == ',') { consume(','); continue; }
+      consume(']');
+      break;
+    }
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': pos_ += 4; out += '?'; break;  // enough for round-trip tests
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ < text_.size()) ++pos_;  // closing quote
+    else ok_ = false;
+    return out;
+  }
+
+  Json number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    Json v;
+    if (pos_ == start) { ok_ = false; return v; }
+    v.type = Json::Type::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return lines;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += static_cast<char>(c);
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  std::fclose(f);
+  return lines;
+}
+
+// Busy-waits so span totals are measured by the same wall clock Timer uses.
+void spin_for(double seconds) {
+  util::Timer t;
+  while (t.seconds() < seconds) {}
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset_values();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    reset_values();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Counters / gauges
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter& c = Registry::global().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name returns the same entry.
+  EXPECT_EQ(&Registry::global().counter("test.counter"), &c);
+  reset_values();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.75);
+  EXPECT_DOUBLE_EQ(g.value(), -2.75);
+}
+
+TEST_F(ObsTest, MacrosRecordIntoGlobalRegistry) {
+  MP_OBS_COUNT("test.macro_counter", 3);
+  MP_OBS_COUNT("test.macro_counter", 4);
+  MP_OBS_GAUGE("test.macro_gauge", 9.0);
+  MP_OBS_HIST("test.macro_hist", 2.0);
+  EXPECT_EQ(Registry::global().counter("test.macro_counter").value(), 7);
+  EXPECT_DOUBLE_EQ(Registry::global().gauge("test.macro_gauge").value(), 9.0);
+  EXPECT_EQ(Registry::global().histogram("test.macro_hist").count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram math
+
+TEST_F(ObsTest, HistogramExactStatistics) {
+  Histogram h;
+  for (double v : {4.0, 1.0, 16.0, 0.25}) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.sum, 21.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 16.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 21.25 / 4.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOnUniformDistribution) {
+  // 1..1000 once each: true p50 = 500, p90 = 900.  Log-scale bins bound the
+  // relative error by the bin width, 2^(1/4) - 1 ~ 19%; allow 25% headroom.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * 0.25);
+  EXPECT_NEAR(h.quantile(0.9), 900.0, 900.0 * 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileOfConstantIsExact) {
+  // All mass in one bin; clamping to [min, max] makes the estimate exact.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.0);
+}
+
+TEST_F(ObsTest, HistogramNonPositiveSamplesGoToUnderflow) {
+  Histogram h;
+  h.record(-5.0);
+  h.record(0.0);
+  h.record(1.0);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(s.underflow, 2);
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  // Rank 1.5 of 3 falls inside the underflow mass -> reports min.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), -5.0);
+}
+
+TEST_F(ObsTest, HistogramIgnoresNonFiniteAndResets) {
+  Histogram h;
+  h.record(std::nan(""));
+  h.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0);
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramBinValueIsGeometricMidpoint) {
+  // kZeroBin covers [1, 2^(1/4)); its representative lies inside.
+  const double v = Histogram::bin_value(Histogram::kZeroBin);
+  EXPECT_GT(v, 1.0);
+  EXPECT_LT(v, std::exp2(1.0 / Histogram::kSubBins));
+  // Midpoints are strictly increasing across bins.
+  EXPECT_LT(Histogram::bin_value(10), Histogram::bin_value(11));
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+TEST_F(ObsTest, SpanNestingAndSelfTime) {
+  {
+    Span outer("outer");
+    spin_for(0.004);
+    {
+      Span inner("inner");
+      spin_for(0.008);
+    }
+    spin_for(0.004);
+  }
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const SpanSnapshot& outer = snap.spans[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 1);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const SpanSnapshot& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 1);
+  EXPECT_GE(inner.total_seconds, 0.008);
+  EXPECT_GE(outer.total_seconds, inner.total_seconds + 0.008);
+  // Self time is wall time minus the children's wall time.
+  EXPECT_NEAR(outer.self_seconds, outer.total_seconds - inner.total_seconds, 1e-12);
+  EXPECT_GE(outer.self_seconds, 0.008);
+  // Leaves own all of their time.
+  EXPECT_DOUBLE_EQ(inner.self_seconds, inner.total_seconds);
+}
+
+TEST_F(ObsTest, RepeatedSpansAggregateByPath) {
+  for (int i = 0; i < 3; ++i) {
+    MP_OBS_SPAN("loop");
+    spin_for(0.001);
+  }
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "loop");
+  EXPECT_EQ(snap.spans[0].count, 3);
+  EXPECT_GE(snap.spans[0].total_seconds, 0.003);
+}
+
+TEST_F(ObsTest, SameNameUnderDifferentParentsIsDistinct) {
+  {
+    Span a("parent_a");
+    Span s("shared");
+  }
+  {
+    Span b("parent_b");
+    Span s("shared");
+  }
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  for (const SpanSnapshot& top : snap.spans) {
+    ASSERT_EQ(top.children.size(), 1u);
+    EXPECT_EQ(top.children[0].name, "shared");
+    EXPECT_EQ(top.children[0].count, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  MP_OBS_COUNT("test.never_created", 1);
+  MP_OBS_GAUGE("test.never_created_gauge", 1.0);
+  MP_OBS_HIST("test.never_created_hist", 1.0);
+  {
+    Span s("never_recorded");
+    spin_for(0.001);
+  }
+  set_enabled(true);
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "test.never_created");
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_NE(name, "test.never_created_gauge");
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    EXPECT_NE(name, "test.never_created_hist");
+  }
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(ObsTest, DisabledMacrosDoNotEvaluateArguments) {
+  set_enabled(false);
+  int evaluations = 0;
+  const auto side_effect = [&]() { ++evaluations; return 1.0; };
+  MP_OBS_HIST("test.lazy", side_effect());
+  MP_OBS_GAUGE("test.lazy_gauge", side_effect());
+  EXPECT_EQ(evaluations, 0);
+  set_enabled(true);
+  MP_OBS_HIST("test.lazy", side_effect());
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL reports
+
+TEST_F(ObsTest, RunReportRoundTripsThroughJsonParser) {
+  Registry::global().counter("rt.counter").add(42);
+  Registry::global().gauge("rt.gauge").set(2.5);
+  Histogram& h = Registry::global().histogram("rt.hist");
+  for (int i = 0; i < 10; ++i) h.record(3.0);
+  {
+    Span outer("rt.outer");
+    Span inner("rt.inner");
+    spin_for(0.001);
+  }
+
+  const std::string path = ::testing::TempDir() + "obs_roundtrip.jsonl";
+  std::remove(path.c_str());
+  ReportWriter writer(path);
+  ASSERT_TRUE(writer.valid());
+  writer.write_run("unit_test", Registry::global().snapshot());
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  JsonParser parser(lines[0]);
+  const Json doc = parser.parse();
+  ASSERT_TRUE(parser.ok());
+  ASSERT_EQ(doc.type, Json::Type::kObject);
+
+  EXPECT_EQ(doc.at("kind").string, "run");
+  EXPECT_EQ(doc.at("label").string, "unit_test");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("rt.counter").number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("rt.gauge").number, 2.5);
+
+  const Json& hist = doc.at("histograms").at("rt.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 10.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 30.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, 3.0);
+
+  const Json& spans = doc.at("spans");
+  ASSERT_EQ(spans.type, Json::Type::kArray);
+  ASSERT_EQ(spans.array.size(), 1u);
+  EXPECT_EQ(spans.array[0].at("name").string, "rt.outer");
+  EXPECT_GT(spans.array[0].at("wall_s").number, 0.0);
+  ASSERT_EQ(spans.array[0].at("children").array.size(), 1u);
+  EXPECT_EQ(spans.array[0].at("children").array[0].at("name").string, "rt.inner");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, RunReportAppendsOneLinePerRun) {
+  const std::string path = ::testing::TempDir() + "obs_append.jsonl";
+  std::remove(path.c_str());
+  ReportWriter writer(path);
+  writer.write_run("first", Registry::global().snapshot());
+  writer.write_run("second", Registry::global().snapshot());
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  JsonParser p0(lines[0]), p1(lines[1]);
+  EXPECT_EQ(p0.parse().at("label").string, "first");
+  EXPECT_EQ(p1.parse().at("label").string, "second");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, NonFiniteValuesSerializeAsNull) {
+  Registry::global().gauge("rt.nan_gauge").set(std::nan(""));
+  const std::string path = ::testing::TempDir() + "obs_nan.jsonl";
+  std::remove(path.c_str());
+  ReportWriter(path).write_run("nan", Registry::global().snapshot());
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  JsonParser parser(lines[0]);
+  const Json doc = parser.parse();
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(doc.at("gauges").at("rt.nan_gauge").type, Json::Type::kNull);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TableReportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "obs_table.jsonl";
+  std::remove(path.c_str());
+  ReportWriter writer(path);
+  writer.write_table("bench_x", {"hpwl", "seconds"},
+                     {{"ibm01", {12.5, 0.25}}, {"ibm02", {99.0, 1.0}}});
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  JsonParser parser(lines[0]);
+  const Json doc = parser.parse();
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(doc.at("kind").string, "table");
+  EXPECT_EQ(doc.at("bench").string, "bench_x");
+  ASSERT_EQ(doc.at("columns").array.size(), 2u);
+  EXPECT_EQ(doc.at("columns").array[0].string, "hpwl");
+  ASSERT_EQ(doc.at("rows").array.size(), 2u);
+  EXPECT_EQ(doc.at("rows").array[0].at("name").string, "ibm01");
+  EXPECT_DOUBLE_EQ(doc.at("rows").array[0].at("values").array[1].number, 0.25);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, EscapedStringsSurviveRoundTrip) {
+  Registry::global().counter("weird \"name\"\twith\nescapes").add(1);
+  const std::string path = ::testing::TempDir() + "obs_escape.jsonl";
+  std::remove(path.c_str());
+  ReportWriter(path).write_run("label \\ \"quoted\"",
+                               Registry::global().snapshot());
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  JsonParser parser(lines[0]);
+  const Json doc = parser.parse();
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(doc.at("label").string, "label \\ \"quoted\"");
+  EXPECT_DOUBLE_EQ(
+      doc.at("counters").at("weird \"name\"\twith\nescapes").number, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, EmptyDestinationIsInvalidAndWritesNothing) {
+  ReportWriter writer((std::string()));
+  EXPECT_FALSE(writer.valid());
+  writer.write_run("dropped", Registry::global().snapshot());  // must not crash
+}
+
+TEST_F(ObsTest, SummaryTableListsPhasesAndCounters) {
+  {
+    Span outer("phase_a");
+    Span inner("phase_b");
+    spin_for(0.001);
+  }
+  Registry::global().counter("summary.counter").add(5);
+  const std::string table = summary_table();
+  EXPECT_NE(table.find("phase_a"), std::string::npos);
+  EXPECT_NE(table.find("phase_b"), std::string::npos);
+  EXPECT_NE(table.find("summary.counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flow instrumentation is inert: identical placements with obs off and on.
+
+netlist::Design small_bench(std::uint64_t seed) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = 8;
+  spec.std_cells = 150;
+  spec.nets = 220;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+double run_small_flow(netlist::Design& design) {
+  place::FlowOptions options;
+  options.grid_dim = 4;
+  options.initial_gp.max_iterations = 3;
+  options.final_gp.max_iterations = 4;
+  place::FlowContext context = place::prepare_flow(design, options);
+  std::vector<grid::CellCoord> anchors;
+  for (std::size_t g = 0; g < context.clustering.macro_groups.size(); ++g) {
+    anchors.push_back({static_cast<int>(g) % 4, static_cast<int>(g / 4) % 4});
+  }
+  return place::finalize_placement(design, context, anchors, options);
+}
+
+TEST_F(ObsTest, FlowInstrumentationIsInert) {
+  netlist::Design d_off = small_bench(314);
+  netlist::Design d_on = small_bench(314);
+
+  set_enabled(false);
+  const double hpwl_off = run_small_flow(d_off);
+
+  set_enabled(true);
+  reset_values();
+  const double hpwl_on = run_small_flow(d_on);
+
+  // Bit-for-bit identical results...
+  EXPECT_EQ(hpwl_off, hpwl_on);
+  ASSERT_EQ(d_off.num_nodes(), d_on.num_nodes());
+  for (std::size_t i = 0; i < d_off.num_nodes(); ++i) {
+    const netlist::NodeId id = static_cast<netlist::NodeId>(i);
+    EXPECT_EQ(d_off.node(id).position.x, d_on.node(id).position.x);
+    EXPECT_EQ(d_off.node(id).position.y, d_on.node(id).position.y);
+  }
+
+  // ...while the enabled run actually recorded the flow's telemetry.
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  std::vector<std::string> top;
+  for (const SpanSnapshot& s : snap.spans) top.push_back(s.name);
+  EXPECT_NE(std::find(top.begin(), top.end(), "flow.prepare"), top.end());
+  EXPECT_NE(std::find(top.begin(), top.end(), "flow.finalize"), top.end());
+  bool saw_gp = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "gp.invocations") saw_gp = value > 0;
+  }
+  EXPECT_TRUE(saw_gp);
+}
+
+}  // namespace
+}  // namespace mp::obs

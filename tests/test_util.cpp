@@ -1,4 +1,5 @@
-// Tests for util: RNG determinism and distribution sanity, env helpers.
+// Tests for util: RNG determinism and distribution sanity, env helpers,
+// timers, and the log filter fast path.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,7 @@
 #include <set>
 
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -157,6 +159,53 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(s, 0.0);
   // seconds() and milliseconds() sample the clock separately; allow skew.
   EXPECT_NEAR(t.milliseconds(), s * 1e3, 50.0);
+}
+
+TEST(Timer, LapMeasuresSinceLastLapWithoutAffectingTotal) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 50000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  const double lap1 = t.lap();
+  for (int i = 0; i < 50000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  const double lap2 = t.lap();
+  const double elapsed = t.seconds();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  // Laps tile the elapsed time: their sum cannot exceed seconds() sampled
+  // afterwards, and only the tiny lap2->seconds() gap is unaccounted for.
+  EXPECT_LE(lap1 + lap2, elapsed);
+  EXPECT_GE(lap1 + lap2, elapsed - 0.05);
+}
+
+// A streamed type whose formatting has an observable side effect, to prove
+// filtered messages never pay for formatting.
+struct CountingFormat {
+  int* formats;
+};
+
+std::ostream& operator<<(std::ostream& os, const CountingFormat& c) {
+  ++*c.formats;
+  return os << "formatted";
+}
+
+TEST(Log, FilteredMessagesSkipFormatting) {
+  const LogLevel saved = log_level();
+  int formats = 0;
+  set_log_level(LogLevel::kError);
+  log_debug() << CountingFormat{&formats};
+  log_info() << CountingFormat{&formats};
+  EXPECT_EQ(formats, 0);
+  set_log_level(LogLevel::kDebug);
+  log_debug() << CountingFormat{&formats};
+  EXPECT_EQ(formats, 1);
+  set_log_level(saved);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  set_log_level(saved);
 }
 
 }  // namespace
