@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Correctness gate for the placement flow (docs/CHECKING.md).
+#
+# Runs, in order:
+#   1. A Debug build with AddressSanitizer + UndefinedBehaviorSanitizer and
+#      -Werror, then the full ctest suite under it at MP_VALIDATE_LEVEL=2 so
+#      the deep structural validators are exercised together with the
+#      sanitizers.
+#   2. (--tsan) The same under ThreadSanitizer, in its own build tree —
+#      TSan cannot be combined with ASan.
+#   3. clang-tidy over the compile database, when clang-tidy is installed.
+#      Skipped with a notice otherwise (the container ships gcc only).
+#
+# Build trees live under build-check/ and are reused across runs; use
+# --fresh to reconfigure from scratch.  Also reachable as `cmake --build
+# build --target check`.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${ROOT}"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TSAN=0
+FRESH=0
+for arg in "$@"; do
+  case "${arg}" in
+    --tsan) RUN_TSAN=1 ;;
+    --fresh) FRESH=1 ;;
+    -h|--help)
+      echo "usage: scripts/check.sh [--tsan] [--fresh]"
+      exit 0
+      ;;
+    *)
+      echo "check.sh: unknown argument '${arg}'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+# Build + full test suite in one sanitized tree.
+run_sanitized() {
+  local name="$1" sanitizers="$2"
+  local dir="build-check/${name}"
+  [[ "${FRESH}" == 1 ]] && rm -rf "${dir}"
+  note "${name}: configure (${sanitizers})"
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DMP_SANITIZE="${sanitizers}" \
+    -DMP_WERROR=ON
+  note "${name}: build"
+  cmake --build "${dir}" -j "${JOBS}"
+  note "${name}: ctest (MP_VALIDATE_LEVEL=2)"
+  # halt_on_error: the suite's death tests intentionally abort; only genuine
+  # sanitizer reports should fail the run.
+  MP_VALIDATE_LEVEL=2 \
+  ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_sanitized asan "address;undefined"
+if [[ "${RUN_TSAN}" == 1 ]]; then
+  run_sanitized tsan "thread"
+fi
+
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_DIR="build-check/tidy"
+  [[ "${FRESH}" == 1 ]] && rm -rf "${TIDY_DIR}"
+  cmake -B "${TIDY_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t SOURCES < <(find src tests -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "${TIDY_DIR}" "${SOURCES[@]}"
+  else
+    clang-tidy -quiet -p "${TIDY_DIR}" "${SOURCES[@]}"
+  fi
+else
+  echo "clang-tidy not installed; skipping static analysis pass" >&2
+fi
+
+note "check.sh: all gates passed"

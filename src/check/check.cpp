@@ -1,0 +1,104 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hpp"
+
+namespace mp::check {
+
+namespace {
+
+// -1 = not yet initialized from MP_VALIDATE_LEVEL.
+std::atomic<int> g_validate_level{-1};
+std::atomic<bool> g_abort_on_failure{true};
+
+int level_from_env() {
+  const char* raw = std::getenv("MP_VALIDATE_LEVEL");
+  if (raw == nullptr || raw[0] == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0') || v < 0 || v > 2) {
+    std::fprintf(stderr,
+                 "[warn] MP_VALIDATE_LEVEL=\"%s\" not recognized (expected "
+                 "0|1|2); validation stays off\n",
+                 raw);
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int validate_level() {
+  int v = g_validate_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = level_from_env();
+    int expected = -1;
+    // Another thread may have raced set_validate_level(); keep its value.
+    g_validate_level.compare_exchange_strong(expected, v,
+                                             std::memory_order_relaxed);
+    v = g_validate_level.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_validate_level(int level) {
+  g_validate_level.store(level < 0 ? 0 : (level > 2 ? 2 : level),
+                         std::memory_order_relaxed);
+}
+
+void set_abort_on_failure(bool abort_on_failure) {
+  g_abort_on_failure.store(abort_on_failure, std::memory_order_relaxed);
+}
+
+bool abort_on_failure() {
+  return g_abort_on_failure.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::string format_message(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out.empty() ? out : " — " + out;
+}
+
+void fail(const char* file, int line, const char* kind, const char* expr,
+          const std::string& message) {
+  const std::string span = obs::current_span_path();
+  std::string text;
+  text.reserve(256);
+  text += file;
+  text += ':';
+  text += std::to_string(line);
+  text += ": ";
+  text += kind;
+  text += " failed: ";
+  text += expr;
+  text += message;
+  text += "\n  [obs span: ";
+  text += span.empty() ? "<none>" : span;
+  text += "]";
+  if (!abort_on_failure()) throw CheckFailure(text);
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace mp::check

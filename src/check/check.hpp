@@ -1,0 +1,179 @@
+#pragma once
+// Machine-checked invariants for the placement flow (docs/CHECKING.md):
+//
+//  * MP_CHECK(cond, ...)        — always-on invariant; on failure prints
+//    file:line, the stringized condition, an optional printf-style message
+//    and the active obs span path (so the failure names the phase it died
+//    in), then aborts.
+//  * MP_DCHECK(cond, ...)       — debug/validate builds only (follows assert
+//    semantics: compiled out when NDEBUG is defined, overridable with
+//    MP_DCHECK_ENABLED=0|1).
+//  * MP_CHECK_NEAR/GE/GT/LE/LT — numeric comparisons that print both
+//    operand values on failure (NaN operands always fail).
+//  * MP_CHECK_FINITE(x, ...)    — NaN/Inf guard.
+//
+// Deep structural validators built on these macros live in
+// check/validators.hpp and are gated by MP_VALIDATE_LEVEL (see
+// validate_level() below); the macros themselves are unconditional.
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mp::check {
+
+/// Structural-validation depth, read once from MP_VALIDATE_LEVEL:
+///   0 — off (default): validators are skipped entirely and the flow output
+///       is bit-identical to a build without the layer,
+///   1 — cheap: aggregate checks at stage boundaries (overlap totals,
+///       residual/finiteness guards),
+///   2 — exhaustive: per-pair / per-cell / per-step reconciliation.
+int validate_level();
+
+/// Programmatic override of MP_VALIDATE_LEVEL (tests, embedding apps).
+void set_validate_level(int level);
+
+/// Thrown instead of aborting when abort-on-failure is disabled (tests use
+/// this to assert that a validator catches a corrupted state).
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// When `abort_on_failure` is false, a failed check throws CheckFailure
+/// instead of calling std::abort().  Default: true (abort).  Intended for
+/// tests only; the RAII ScopedCheckThrow below restores the previous mode.
+void set_abort_on_failure(bool abort_on_failure);
+bool abort_on_failure();
+
+class ScopedCheckThrow {
+ public:
+  ScopedCheckThrow() : previous_(abort_on_failure()) {
+    set_abort_on_failure(false);
+  }
+  ~ScopedCheckThrow() { set_abort_on_failure(previous_); }
+  ScopedCheckThrow(const ScopedCheckThrow&) = delete;
+  ScopedCheckThrow& operator=(const ScopedCheckThrow&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace detail {
+
+/// Reports a failed check and aborts (or throws CheckFailure, see above).
+/// `kind` is the macro name, `expr` the stringized condition.
+[[noreturn]] void fail(const char* file, int line, const char* kind,
+                       const char* expr, const std::string& message);
+
+/// printf-style message formatting; the no-argument overload supports the
+/// message-less macro forms.
+inline std::string format_message() { return {}; }
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string format_message(const char* fmt, ...);
+
+/// "  (lhs=…, rhs=…)" operand dump for the numeric comparison macros.
+template <typename A, typename B>
+std::string describe_operands(const A& a, const B& b) {
+  std::ostringstream os;
+  os.precision(17);
+  os << " (lhs=" << a << ", rhs=" << b << ")";
+  return os.str();
+}
+
+template <typename A>
+std::string describe_operand(const A& a) {
+  std::ostringstream os;
+  os.precision(17);
+  os << " (value=" << a << ")";
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace mp::check
+
+/// Always-on invariant check; aborts on failure.
+#define MP_CHECK(cond, ...)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::mp::check::detail::fail(                                         \
+          __FILE__, __LINE__, "MP_CHECK", #cond,                         \
+          ::mp::check::detail::format_message(__VA_ARGS__));             \
+    }                                                                    \
+  } while (0)
+
+// Shared implementation of the binary comparison checks.
+#define MP_CHECK_OP_IMPL(kind, op, a, b, ...)                            \
+  do {                                                                   \
+    const auto mp_check_lhs_ = (a);                                      \
+    const auto mp_check_rhs_ = (b);                                      \
+    if (!(mp_check_lhs_ op mp_check_rhs_)) {                             \
+      ::mp::check::detail::fail(                                         \
+          __FILE__, __LINE__, kind, #a " " #op " " #b,                   \
+          ::mp::check::detail::describe_operands(mp_check_lhs_,          \
+                                                 mp_check_rhs_) +        \
+              ::mp::check::detail::format_message(__VA_ARGS__));         \
+    }                                                                    \
+  } while (0)
+
+#define MP_CHECK_GE(a, b, ...) MP_CHECK_OP_IMPL("MP_CHECK_GE", >=, a, b, __VA_ARGS__)
+#define MP_CHECK_GT(a, b, ...) MP_CHECK_OP_IMPL("MP_CHECK_GT", >, a, b, __VA_ARGS__)
+#define MP_CHECK_LE(a, b, ...) MP_CHECK_OP_IMPL("MP_CHECK_LE", <=, a, b, __VA_ARGS__)
+#define MP_CHECK_LT(a, b, ...) MP_CHECK_OP_IMPL("MP_CHECK_LT", <, a, b, __VA_ARGS__)
+#define MP_CHECK_EQ(a, b, ...) MP_CHECK_OP_IMPL("MP_CHECK_EQ", ==, a, b, __VA_ARGS__)
+
+/// |a - b| <= tol, with NaN operands failing (the negated comparison form).
+#define MP_CHECK_NEAR(a, b, tol, ...)                                    \
+  do {                                                                   \
+    const double mp_check_lhs_ = static_cast<double>(a);                 \
+    const double mp_check_rhs_ = static_cast<double>(b);                 \
+    const double mp_check_tol_ = static_cast<double>(tol);               \
+    if (!(std::abs(mp_check_lhs_ - mp_check_rhs_) <= mp_check_tol_)) {   \
+      ::mp::check::detail::fail(                                         \
+          __FILE__, __LINE__, "MP_CHECK_NEAR",                           \
+          "|" #a " - " #b "| <= " #tol,                                  \
+          ::mp::check::detail::describe_operands(mp_check_lhs_,          \
+                                                 mp_check_rhs_) +        \
+              ::mp::check::detail::format_message(__VA_ARGS__));         \
+    }                                                                    \
+  } while (0)
+
+/// NaN/Inf guard (value printed on failure).
+#define MP_CHECK_FINITE(x, ...)                                          \
+  do {                                                                   \
+    const double mp_check_val_ = static_cast<double>(x);                 \
+    if (!std::isfinite(mp_check_val_)) {                                 \
+      ::mp::check::detail::fail(                                         \
+          __FILE__, __LINE__, "MP_CHECK_FINITE", "isfinite(" #x ")",     \
+          ::mp::check::detail::describe_operand(mp_check_val_) +         \
+              ::mp::check::detail::format_message(__VA_ARGS__));         \
+    }                                                                    \
+  } while (0)
+
+// MP_DCHECK follows assert() semantics by default (this codebase builds its
+// Release configuration without NDEBUG, so DCHECKs are active there too);
+// define MP_DCHECK_ENABLED=0|1 to force either way.
+#ifndef MP_DCHECK_ENABLED
+#ifdef NDEBUG
+#define MP_DCHECK_ENABLED 0
+#else
+#define MP_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if MP_DCHECK_ENABLED
+#define MP_DCHECK(cond, ...) MP_CHECK(cond, __VA_ARGS__)
+#else
+#define MP_DCHECK(cond, ...) \
+  do {                       \
+  } while (0)
+#endif
+
+namespace mp::check {
+/// True when MP_DCHECK compiles to a real check in this translation unit's
+/// build configuration (mirrors the macro so tests can branch at runtime).
+constexpr bool dchecks_enabled() { return MP_DCHECK_ENABLED != 0; }
+}  // namespace mp::check

@@ -1,0 +1,159 @@
+#include "check/validators.hpp"
+
+#include <cmath>
+
+#include "geometry/geometry.hpp"
+
+namespace mp::check {
+
+using netlist::Design;
+using netlist::NodeId;
+
+void validate_placement_legal(const Design& design, const char* where,
+                              double overlap_tolerance) {
+  const int level = validate_level();
+  if (level < 1) return;
+
+  const double region_area = std::max(1.0, design.region().area());
+  const double overlap = design.macro_overlap_area();
+  MP_CHECK_FINITE(overlap, "macro overlap area at %s", where);
+  MP_CHECK_LE(overlap / region_area, overlap_tolerance,
+              "macro overlap above tolerance at %s", where);
+  for (NodeId id : design.movable_macros()) {
+    const netlist::Node& node = design.node(id);
+    MP_CHECK(design.region().contains(node.rect()),
+             "macro \"%s\" outside the region at %s", node.name.c_str(), where);
+  }
+
+  if (level < 2) return;
+  // Exhaustive: name the first offending pair / node.
+  const std::vector<NodeId>& macros = design.macros();
+  const geometry::Rect region = design.region();
+  for (std::size_t i = 0; i < macros.size(); ++i) {
+    const netlist::Node& a = design.node(macros[i]);
+    MP_CHECK_FINITE(a.position.x, "macro \"%s\" x at %s", a.name.c_str(), where);
+    MP_CHECK_FINITE(a.position.y, "macro \"%s\" y at %s", a.name.c_str(), where);
+    if (!a.fixed) {
+      MP_CHECK(region.contains(a.rect()),
+               "macro \"%s\" [%g,%g)x[%g,%g) leaves the region at %s",
+               a.name.c_str(), a.rect().left(), a.rect().right(),
+               a.rect().bottom(), a.rect().top(), where);
+    }
+    for (std::size_t j = i + 1; j < macros.size(); ++j) {
+      const netlist::Node& b = design.node(macros[j]);
+      const double pair_overlap = geometry::overlap_area(a.rect(), b.rect());
+      MP_CHECK_LE(pair_overlap / region_area, overlap_tolerance,
+                  "macros \"%s\" and \"%s\" overlap at %s", a.name.c_str(),
+                  b.name.c_str(), where);
+    }
+  }
+}
+
+void validate_positions_finite(const Design& design, const char* where) {
+  const int level = validate_level();
+  if (level < 1) return;
+
+  MP_CHECK_FINITE(design.total_hpwl(), "total HPWL at %s", where);
+  for (NodeId id : design.movable_macros()) {
+    const netlist::Node& node = design.node(id);
+    MP_CHECK_FINITE(node.position.x, "macro \"%s\" x at %s", node.name.c_str(),
+                    where);
+    MP_CHECK_FINITE(node.position.y, "macro \"%s\" y at %s", node.name.c_str(),
+                    where);
+  }
+  if (level < 2) return;
+  for (std::size_t i = 0; i < design.num_nodes(); ++i) {
+    const netlist::Node& node = design.node(static_cast<NodeId>(i));
+    MP_CHECK_FINITE(node.position.x, "node \"%s\" x at %s", node.name.c_str(),
+                    where);
+    MP_CHECK_FINITE(node.position.y, "node \"%s\" y at %s", node.name.c_str(),
+                    where);
+  }
+}
+
+void validate_occupancy_reconciles(const grid::OccupancyMap& occupancy,
+                                   const grid::OccupancyMap& initial,
+                                   const std::vector<grid::Footprint>& footprints,
+                                   const std::vector<grid::CellCoord>& anchors,
+                                   const char* where) {
+  const int level = validate_level();
+  if (level < 1) return;
+
+  MP_CHECK_LE(anchors.size(), footprints.size(),
+              "more anchors than footprints at %s", where);
+  grid::OccupancyMap replayed = initial;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    MP_CHECK(replayed.fits(footprints[i], anchors[i]),
+             "anchor %zu (%d,%d) leaves the grid at %s", i, anchors[i].gx,
+             anchors[i].gy, where);
+    replayed.place(footprints[i], anchors[i]);
+  }
+  // Placement accumulates one add per covered cell; give the comparison a
+  // drift budget proportional to the number of placements.
+  const double tol =
+      1e-9 * occupancy.spec().cell_area() *
+      static_cast<double>(anchors.size() + 1);
+
+  const grid::GridSpec& spec = occupancy.spec();
+  if (level >= 2) {
+    for (int flat = 0; flat < spec.num_cells(); ++flat) {
+      const grid::CellCoord c = spec.coord(flat);
+      MP_CHECK_NEAR(occupancy.occupied_area(c), replayed.occupied_area(c), tol,
+                    "occupancy of cell (%d,%d) diverged from replay at %s",
+                    c.gx, c.gy, where);
+    }
+    return;
+  }
+  double total = 0.0;
+  double replayed_total = 0.0;
+  for (int flat = 0; flat < spec.num_cells(); ++flat) {
+    const grid::CellCoord c = spec.coord(flat);
+    total += occupancy.occupied_area(c);
+    replayed_total += replayed.occupied_area(c);
+  }
+  MP_CHECK_NEAR(total, replayed_total,
+                tol * static_cast<double>(spec.num_cells()),
+                "total occupied area diverged from replay at %s", where);
+}
+
+void validate_tensor_finite(const nn::Tensor& tensor, const char* what,
+                            const char* where) {
+  if (validate_level() < 1) return;
+  const float* data = tensor.data();
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    MP_CHECK(std::isfinite(data[i]), "%s[%zu] = %g not finite at %s", what, i,
+             static_cast<double>(data[i]), where);
+  }
+}
+
+void validate_finite(const std::vector<double>& values, const char* what,
+                     const char* where) {
+  if (validate_level() < 1) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    MP_CHECK(std::isfinite(values[i]), "%s[%zu] = %g not finite at %s", what,
+             i, values[i], where);
+  }
+}
+
+void validate_probabilities(const nn::Tensor& probs, const char* what,
+                            const char* where) {
+  const int level = validate_level();
+  if (level < 1) return;
+  double sum = 0.0;
+  const float* data = probs.data();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double p = static_cast<double>(data[i]);
+    MP_CHECK(std::isfinite(p), "%s[%zu] = %g not finite at %s", what, i, p,
+             where);
+    MP_CHECK_GE(p, 0.0, "%s[%zu] negative at %s", what, i, where);
+    if (level >= 2) {
+      MP_CHECK_LE(p, 1.0 + 1e-5, "%s[%zu] above 1 at %s", what, i, where);
+    }
+    sum += p;
+  }
+  // float accumulation over ζ² entries; 1e-3 leaves headroom without letting
+  // an unnormalized distribution slip through.
+  MP_CHECK_NEAR(sum, 1.0, 1e-3, "%s does not sum to 1 at %s", what, where);
+}
+
+}  // namespace mp::check

@@ -1,0 +1,62 @@
+#pragma once
+// Deep structural validators for the placement flow, gated by
+// MP_VALIDATE_LEVEL (check::validate_level()):
+//   0 — every function here returns immediately (one cached-int branch);
+//       flow output is bit-identical to a build without the layer,
+//   1 — cheap aggregate checks at stage boundaries,
+//   2 — exhaustive per-pair / per-cell / per-element reconciliation.
+//
+// Validators only read state; a violated invariant aborts through MP_CHECK
+// with the offending objects named and the active obs span path attached.
+// `where` is a short call-site tag ("legal.legalize_groups", "flow.final")
+// included in every failure message.  Catalog in docs/CHECKING.md.
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "grid/occupancy.hpp"
+#include "netlist/design.hpp"
+#include "nn/tensor.hpp"
+
+namespace mp::check {
+
+/// Placement legality after a legalization stage.
+///   level 1: total pairwise macro overlap area <= `overlap_tolerance`
+///            relative to the region area, every movable node inside the
+///            region, every position finite.
+///   level 2: additionally walks all macro pairs and names the first
+///            overlapping pair, and names the first out-of-region node.
+void validate_placement_legal(const netlist::Design& design, const char* where,
+                              double overlap_tolerance = 1e-9);
+
+/// Positions and HPWL finite after an analytic stage (GP/QP): no NaN/Inf
+/// crept out of the numeric solvers.  level 1 checks the movable macros and
+/// the total HPWL; level 2 checks every node.
+void validate_positions_finite(const netlist::Design& design, const char* where);
+
+/// Incremental grid occupancy reconciled against a from-scratch replay of
+/// the placed footprints (anchors[i] places footprints[i] on top of
+/// `initial`).  level 1: total occupied area matches; level 2: every cell
+/// matches.  Tolerance scales with the number of placements (accumulated
+/// floating-point drift).
+void validate_occupancy_reconciles(const grid::OccupancyMap& occupancy,
+                                   const grid::OccupancyMap& initial,
+                                   const std::vector<grid::Footprint>& footprints,
+                                   const std::vector<grid::CellCoord>& anchors,
+                                   const char* where);
+
+/// NaN/Inf guard over a tensor (NN activations, gradients, parameters).
+/// Runs at level >= 1; `what` names the tensor in the failure message.
+void validate_tensor_finite(const nn::Tensor& tensor, const char* what,
+                            const char* where);
+
+/// NaN/Inf guard over a scalar vector (rewards, advantages, state maps).
+void validate_finite(const std::vector<double>& values, const char* what,
+                     const char* where);
+
+/// Probability vector: finite, non-negative entries summing to ~1 (level 1);
+/// level 2 additionally rejects entries > 1 + eps.
+void validate_probabilities(const nn::Tensor& probs, const char* what,
+                            const char* where);
+
+}  // namespace mp::check

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "gp/density.hpp"
 #include "obs/obs.hpp"
 #include "qp/b2b.hpp"
@@ -214,6 +216,15 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
   result.hpwl = design.total_hpwl();
   MP_OBS_HIST("gp.hpwl_after", result.hpwl);
   MP_OBS_GAUGE("gp.overflow_ratio", result.overflow_ratio);
+  // Stage boundary: spreading + anchored QP must hand back finite positions
+  // and a meaningful density summary, whatever the solver did internally.
+  check::validate_positions_finite(design, "gp.global_place");
+  if (check::validate_level() >= 1) {
+    MP_CHECK_FINITE(result.hpwl, "GP result HPWL");
+    MP_CHECK_GE(result.hpwl, 0.0, "GP result HPWL");
+    MP_CHECK_FINITE(result.overflow_ratio, "GP overflow ratio");
+    MP_CHECK_GE(result.overflow_ratio, 0.0, "GP overflow ratio");
+  }
   util::log_debug() << "global_place: hpwl=" << result.hpwl
                     << " overflow=" << result.overflow_ratio
                     << " iters=" << result.iterations;

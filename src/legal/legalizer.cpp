@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "legal/shove.hpp"
 #include "util/log.hpp"
 
@@ -237,6 +239,14 @@ MacroLegalizeResult legalize_groups(Design& original,
     }
   }
   final_shove_if_needed(original, movable, region, result, options);
+  // Stage-boundary validation: the pipeline's contract is a legal (overlap-
+  // free, in-region) macro placement; the shove pass is the last resort that
+  // guarantees it, so a violation here is a real legalizer bug.
+  check::validate_placement_legal(original, "legal.legalize_groups");
+  if (check::validate_level() >= 1) {
+    MP_CHECK_FINITE(result.overlap_after, "legalize_groups overlap_after");
+    MP_CHECK_GE(result.overlap_before, 0.0, "legalize_groups overlap_before");
+  }
   util::log_debug() << "legalize_groups: overlap " << result.overlap_before
                     << " -> " << result.overlap_after << " ("
                     << result.components << " components, shove="
@@ -256,6 +266,7 @@ MacroLegalizeResult legalize_flat(Design& design,
     if (processed == 0) break;
   }
   final_shove_if_needed(design, movable, region, result, options);
+  check::validate_placement_legal(design, "legal.legalize_flat");
   return result;
 }
 

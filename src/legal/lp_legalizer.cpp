@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "check/check.hpp"
 #include "legal/sequence_pair.hpp"
 #include "lp/simplex.hpp"
 #include "util/log.hpp"
@@ -136,6 +137,10 @@ LpLegalizeResult lp_legalize_component(Design& design,
     heights[i] = rects[i].h;
   }
   const SequencePair sp = sequence_pair_from_placement(rects);
+  if (check::validate_level() >= 1) {
+    MP_CHECK(is_valid_sequence_pair(sp),
+             "stepline construction produced a non-permutation sequence pair");
+  }
   const std::vector<PairConstraint> constraints = extract_constraints(sp);
 
   // Per-macro allowed interval per axis, clipped to the component region.
@@ -231,6 +236,23 @@ LpLegalizeResult lp_legalize_component(Design& design,
         geometry::fit_interval(xs[i], widths[i], region.left(), region.right()),
         geometry::fit_interval(ys[i], heights[i], region.bottom(),
                                region.top())};
+  }
+
+  // Sequence-pair ↔ placement consistency (MP_VALIDATE_LEVEL >= 1): when
+  // both axis LPs solved, the written-back positions must still honor every
+  // separation relation of the sequence pair the LPs were built from.  The
+  // packed fallback keeps the relations by construction but may be clamped
+  // into the region afterwards, so only the solved case is certified.
+  if (out.lp_solved_x && out.lp_solved_y && check::validate_level() >= 1) {
+    std::vector<geometry::Rect> placed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      placed[i] = design.node(macros[i]).rect();
+    }
+    const double tol =
+        1e-6 * std::max(1.0, std::max(region.w, region.h));
+    MP_CHECK_LE(max_constraint_violation(sp, placed), tol,
+                "LP-legalized component of %zu macros violates its sequence "
+                "pair", n);
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <numeric>
 
 namespace mp::legal {
@@ -83,6 +84,21 @@ bool is_valid_sequence_pair(const SequencePair& sp) {
     seen[static_cast<std::size_t>(v)] = true;
   }
   return true;
+}
+
+double max_constraint_violation(const SequencePair& sp,
+                                const std::vector<geometry::Rect>& rects) {
+  assert(rects.size() == sp.size());
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const PairConstraint& c : extract_constraints(sp)) {
+    const geometry::Rect& a = rects[static_cast<std::size_t>(c.i)];
+    const geometry::Rect& b = rects[static_cast<std::size_t>(c.j)];
+    const double deficit = (c.relation == PairRelation::kLeftOf)
+                               ? a.right() - b.left()
+                               : a.top() - b.bottom();
+    worst = std::max(worst, deficit);
+  }
+  return worst;
 }
 
 void pack_longest_path(const SequencePair& sp, const std::vector<double>& widths,

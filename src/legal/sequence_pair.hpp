@@ -44,6 +44,14 @@ std::vector<PairConstraint> extract_constraints(const SequencePair& sp);
 /// True when both vectors are permutations of 0..n-1 with equal n.
 bool is_valid_sequence_pair(const SequencePair& sp);
 
+/// Worst violation of the separation constraints implied by `sp` over the
+/// placement `rects` (<= 0 when every relation holds): for i left of j the
+/// slack deficit is x_i + w_i - x_j, for i below j it is y_i + h_i - y_j.
+/// Used by the MP_VALIDATE_LEVEL layer to certify that an LP-legalized
+/// placement still honors the sequence pair it was derived from.
+double max_constraint_violation(const SequencePair& sp,
+                                const std::vector<geometry::Rect>& rects);
+
 /// Packed placement by longest paths: x from left edge honoring horizontal
 /// constraints, y from bottom honoring vertical ones (no wirelength
 /// objective; used as an LP fallback and by tests as a feasibility witness).

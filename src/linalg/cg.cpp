@@ -3,7 +3,42 @@
 #include <cassert>
 #include <cmath>
 
+#include "check/check.hpp"
+
 namespace mp::linalg {
+
+namespace {
+
+// MP_VALIDATE_LEVEL >= 1: the reported relative residual must be a finite
+// non-negative number and the solution free of NaN/Inf.  Level >= 2
+// recomputes ||b - Ax|| / ||b|| from scratch and certifies the report —
+// catches residual-update drift (the recurrence accumulates error the true
+// residual does not have).
+void certify_cg(const CsrMatrix& a, const Vec& b, const Vec& x, double b_norm,
+                const CgResult& result) {
+  const int level = check::validate_level();
+  if (level < 1) return;
+  MP_CHECK_FINITE(result.residual, "CG reported residual");
+  MP_CHECK_GE(result.residual, 0.0, "CG reported residual");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MP_CHECK(std::isfinite(x[i]), "CG solution x[%zu] = %g not finite", i, x[i]);
+  }
+  if (level < 2) return;
+  Vec r = a.multiply(x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  const double true_residual = norm2(r) / b_norm;
+  // The recurrence-tracked residual drifts from the true one by rounding
+  // noise amplified by the iteration count; certify order of magnitude.
+  MP_CHECK_NEAR(true_residual, result.residual,
+                1e-6 + 0.5 * (true_residual + result.residual),
+                "CG residual recurrence diverged from ||b - Ax|| / ||b||");
+  if (result.converged) {
+    MP_CHECK_LT(true_residual, 1.0,
+                "CG claims convergence but the true residual did not drop");
+  }
+}
+
+}  // namespace
 
 CgResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
                             const CgOptions& options) {
@@ -43,6 +78,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
     result.residual = norm2(r) / b_norm;
     if (result.residual < options.tolerance) {
       result.converged = true;
+      certify_cg(a, b, x, b_norm, result);
       return result;
     }
     for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
@@ -53,6 +89,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vec& b, Vec& x,
   }
   result.residual = norm2(r) / b_norm;
   result.converged = result.residual < options.tolerance;
+  certify_cg(a, b, x, b_norm, result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "check/check.hpp"
+
 namespace mp::lp {
 
 namespace {
@@ -39,6 +41,39 @@ void LinearProgram::add_lower_bound(std::size_t j, double bound) {
   std::vector<double> row(num_variables_, 0.0);
   row[j] = 1.0;
   add_constraint(std::move(row), Relation::kGreaterEqual, bound);
+}
+
+double LinearProgram::max_violation(const std::vector<double>& x) const {
+  assert(x.size() == num_variables_);
+  double worst = 0.0;
+  for (std::size_t j = 0; j < num_variables_; ++j) {
+    worst = std::max(worst, -x[j]);  // x >= 0
+  }
+  for (const Constraint& con : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < num_variables_; ++j) {
+      lhs += con.coefficients[j] * x[j];
+    }
+    switch (con.relation) {
+      case Relation::kLessEqual:
+        worst = std::max(worst, lhs - con.rhs);
+        break;
+      case Relation::kEqual:
+        worst = std::max(worst, std::abs(lhs - con.rhs));
+        break;
+      case Relation::kGreaterEqual:
+        worst = std::max(worst, con.rhs - lhs);
+        break;
+    }
+  }
+  return worst;
+}
+
+double LinearProgram::objective_value(const std::vector<double>& x) const {
+  assert(x.size() == num_variables_);
+  double obj = 0.0;
+  for (std::size_t j = 0; j < num_variables_; ++j) obj += objective_[j] * x[j];
+  return obj;
 }
 
 namespace {
@@ -262,9 +297,21 @@ LpResult LinearProgram::solve(int max_iterations) const {
     if (t.basis[r] < n) result.x[t.basis[r]] = t.at(r, total_cols - 1);
   }
   // Recompute the objective from the primal solution for numerical sanity.
-  double obj = 0.0;
-  for (std::size_t j = 0; j < n; ++j) obj += objective_[j] * result.x[j];
-  result.objective = obj;
+  result.objective = objective_value(result.x);
+
+  // Feasibility/consistency certificate (MP_VALIDATE_LEVEL >= 1): the point
+  // the tableau claims optimal must actually satisfy the original program.
+  // Tolerance scales with the constraint data (pivoting magnifies kEps).
+  if (check::validate_level() >= 1) {
+    double scale = 1.0;
+    for (const Constraint& con : constraints_) {
+      scale = std::max(scale, std::abs(con.rhs));
+      for (double c : con.coefficients) scale = std::max(scale, std::abs(c));
+    }
+    MP_CHECK_FINITE(result.objective, "LP objective");
+    MP_CHECK_LE(max_violation(result.x), 1e-6 * scale * static_cast<double>(m + 1),
+                "simplex returned an infeasible \"optimal\" point");
+  }
   return result;
 }
 

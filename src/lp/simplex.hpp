@@ -59,8 +59,21 @@ class LinearProgram {
   /// Convenience: adds a lower bound  x[j] >= bound.
   void add_lower_bound(std::size_t j, double bound);
 
-  /// Solves with two-phase simplex.
+  /// Solves with two-phase simplex.  When MP_VALIDATE_LEVEL >= 1, an optimal
+  /// result is certified before it is returned: the primal point must be
+  /// feasible (max_violation within rounding tolerance) and the reported
+  /// objective must equal c^T x.
   LpResult solve(int max_iterations = 20000) const;
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Feasibility residual of `x`: the largest violation over all constraints
+  /// and the x >= 0 bounds (0 for a feasible point).
+  double max_violation(const std::vector<double>& x) const;
+
+  /// c^T x.
+  double objective_value(const std::vector<double>& x) const;
 
  private:
   std::size_t num_variables_;

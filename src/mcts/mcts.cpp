@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 
@@ -68,6 +70,10 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
       MP_OBS_COUNT("mcts.terminal_evaluations", 1);
       MP_OBS_HIST("mcts.terminal_wirelength", w);
       node.eval_value = reward_(w);
+      if (check::validate_level() >= 1) {
+        MP_CHECK_FINITE(w, "terminal wirelength in MCTS");
+        MP_CHECK_FINITE(node.eval_value, "terminal reward in MCTS");
+      }
       node.has_terminal_value = true;
       if (w < best_terminal_wirelength_) {
         best_terminal_wirelength_ = w;
@@ -83,6 +89,13 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
   const std::vector<double> availability = env_.availability();
   const rl::AgentOutput out = agent_.forward(
       sp, availability, env_.current_step(), env_.num_steps(), /*train=*/false);
+  // A NaN value or poisoned prior would silently corrupt every backup on
+  // this line of play; catch it at the network boundary.
+  if (check::validate_level() >= 1) {
+    MP_CHECK_FINITE(out.value, "value head output in MCTS expansion");
+    check::validate_probabilities(out.probs, "policy head output",
+                                  "mcts.expand");
+  }
   ++stats_.nn_evaluations;
   MP_OBS_COUNT("mcts.nn_evaluations", 1);
   if (!already_expanded) MP_OBS_COUNT("mcts.expansions", 1);
@@ -194,6 +207,11 @@ void MctsPlacer::explore() {
 
   // Expansion + evaluation.
   const double value = expand_and_evaluate(node_index);
+  if (check::validate_level() >= 1) {
+    // Eq. (12) accumulates this into every edge on the path; a single NaN
+    // would permanently poison their Q means and the min-max bounds.
+    MP_CHECK_FINITE(value, "leaf value entering PUCT backup");
+  }
   value_bounds_.update(value);
 
   // Backpropagation (Eq. 12).

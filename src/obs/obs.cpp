@@ -235,4 +235,21 @@ RegistrySnapshot Registry::snapshot() const {
 
 void reset_values() { Registry::global().reset_values(); }
 
+std::string current_span_path() {
+  // Walks this thread's cursor to the root.  Names and parent pointers are
+  // immutable after node creation and the cursor is thread-local, so the
+  // walk needs no lock — important because the caller may be aborting.
+  std::vector<const detail::SpanNode*> stack;
+  for (const detail::SpanNode* node = t_cursor;
+       node != nullptr && node->parent != nullptr; node = node->parent) {
+    stack.push_back(node);
+  }
+  std::string path;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (!path.empty()) path += '/';
+    path += (*it)->name;
+  }
+  return path;
+}
+
 }  // namespace mp::obs

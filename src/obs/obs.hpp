@@ -160,6 +160,12 @@ class Registry {
 /// each JSONL report line describes exactly one run).
 void reset_values();
 
+/// Slash-joined path of the calling thread's active span stack (e.g.
+/// "flow.finalize/flow.legalize"), empty when no span is open.  Used by the
+/// MP_CHECK fail handler so an aborting invariant names the phase it died
+/// in; safe to call from signal-free failure paths (no locks taken).
+std::string current_span_path();
+
 /// RAII phase timer.  Nests: a Span constructed while another is alive on
 /// the same thread becomes its child in the aggregated tree.  Inert when
 /// telemetry is disabled.

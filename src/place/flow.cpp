@@ -1,5 +1,7 @@
 #include "place/flow.hpp"
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "dp/detailed.hpp"
 #include "dp/row_legalizer.hpp"
 #include "obs/obs.hpp"
@@ -30,6 +32,23 @@ FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options) {
                static_cast<double>(context.clustering.macro_groups.size()));
   MP_OBS_GAUGE("flow.cell_groups",
                static_cast<double>(context.clustering.cell_groups.size()));
+  check::validate_positions_finite(design, "flow.prepare");
+  if (check::validate_level() >= 1) {
+    // Every macro group must carry a positive footprint and every original
+    // macro must belong to exactly one group (the -1 sentinel marks cells).
+    for (const cluster::Group& group : context.clustering.macro_groups) {
+      MP_CHECK_GT(group.width, 0.0, "macro group with non-positive width");
+      MP_CHECK_GT(group.height, 0.0, "macro group with non-positive height");
+    }
+    for (netlist::NodeId id : design.movable_macros()) {
+      const int mg = context.clustering.macro_group_of[static_cast<std::size_t>(id)];
+      MP_CHECK_GE(mg, 0, "movable macro \"%s\" not assigned to a macro group",
+                  design.node(id).name.c_str());
+      MP_CHECK_LT(static_cast<std::size_t>(mg),
+                  context.clustering.macro_groups.size(),
+                  "macro group index out of range");
+    }
+  }
   return context;
 }
 
@@ -44,6 +63,10 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
   }
   double hpwl = place_cells_and_measure(design, options.final_gp);
   MP_OBS_HIST("flow.hpwl_after_legalize", hpwl);
+  if (check::validate_level() >= 1) {
+    MP_CHECK_FINITE(hpwl, "HPWL after legalization");
+    MP_CHECK_GE(hpwl, 0.0, "HPWL after legalization");
+  }
 
   // Bounded macro refinement interleaved with cell placement (see
   // FlowOptions::refine_rounds).  Rounds that do not improve are rolled
@@ -93,6 +116,16 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
     hpwl = design.total_hpwl();
   }
   MP_OBS_HIST("flow.final_hpwl", hpwl);
+  // Final stage boundary: the flow's contract is a legal macro placement
+  // with a finite, reproducible HPWL.
+  check::validate_placement_legal(design, "flow.finalize");
+  check::validate_positions_finite(design, "flow.finalize");
+  if (check::validate_level() >= 1) {
+    MP_CHECK_FINITE(hpwl, "final HPWL");
+    MP_CHECK_NEAR(hpwl, design.total_hpwl(),
+                  1e-9 * (1.0 + design.total_hpwl()),
+                  "returned HPWL diverges from the design state");
+  }
   return hpwl;
 }
 

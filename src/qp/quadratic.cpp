@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "check/check.hpp"
 #include "obs/obs.hpp"
 
 namespace mp::qp {
@@ -180,6 +181,15 @@ QpResult solve_quadratic_placement(Design& design,
   QpResult result;
   result.cg_x = linalg::conjugate_gradient(ax, sys_x.rhs, x, options.cg);
   result.cg_y = linalg::conjugate_gradient(ay, sys_y.rhs, y, options.cg);
+  // The CG layer certifies its own residuals; here guard the QP contract:
+  // the coordinates written back into the design must be finite numbers.
+  if (check::validate_level() >= 1) {
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      MP_CHECK(std::isfinite(x[i]) && std::isfinite(y[i]),
+               "QP solution for node %d not finite (x=%g, y=%g)", movable[i],
+               x[i], y[i]);
+    }
+  }
   MP_OBS_COUNT("qp.solves", 1);
   MP_OBS_COUNT("qp.cg_iterations", result.cg_x.iterations + result.cg_y.iterations);
   MP_OBS_HIST("qp.cg_iterations_per_solve",

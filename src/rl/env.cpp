@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "obs/obs.hpp"
 
 namespace mp::rl {
@@ -59,6 +61,14 @@ bool PlacementEnv::step(int action) {
   anchors_.push_back(anchor);
   ++step_;
   MP_OBS_COUNT("rl.env.steps", 1);
+  // The incremental occupancy map is the env's only source of truth for
+  // legality; reconcile it against a replay of the anchor history — every
+  // step when exhaustive, once per episode when cheap.
+  const int level = check::validate_level();
+  if (level >= 2 || (level >= 1 && done())) {
+    check::validate_occupancy_reconciles(occupancy_, initial_occupancy_,
+                                         footprints_, anchors_, "rl.env.step");
+  }
   return true;
 }
 

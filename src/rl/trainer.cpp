@@ -4,6 +4,8 @@
 #include <limits>
 #include <optional>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 
@@ -74,6 +76,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       const AgentOutput out =
           agent.forward(record.sp, record.availability, env.current_step(),
                         total_steps, /*train=*/false);
+      if (check::validate_level() >= 1) {
+        check::validate_probabilities(out.probs, "rollout policy",
+                                      "rl.rollout");
+      }
       const int action = sample_action(out.probs, env, rng);
       if (action < 0 || !env.step(action)) {
         aborted = true;
@@ -92,6 +98,13 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
 
     const double wirelength = evaluator.evaluate(env.anchors());
     const double r = reward(wirelength);
+    if (check::validate_level() >= 1) {
+      MP_CHECK_FINITE(wirelength, "episode wirelength");
+      MP_CHECK_GE(wirelength, 0.0, "episode wirelength");
+      // A non-finite reward would feed straight into every advantage of the
+      // replay below and from there into the parameter gradients.
+      MP_CHECK_FINITE(r, "episode reward (wirelength=%g)", wirelength);
+    }
     MP_OBS_HIST("rl.reward", r);
     MP_OBS_HIST("rl.episode_wirelength", wirelength);
     result.episodes.push_back({r, wirelength});
@@ -112,6 +125,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
           agent.forward(record.sp, record.availability, static_cast<int>(t),
                         total_steps, /*train=*/true);
       const float advantage = static_cast<float>(r) - out.value;  // Eq. (6)
+      if (check::validate_level() >= 1) {
+        MP_CHECK_FINITE(out.value, "value head output during replay");
+        MP_CHECK_FINITE(advantage, "advantage during replay");
+      }
       value_loss += static_cast<double>(advantage) * advantage;
       const nn::Tensor policy_grad = nn::policy_gradient(
           out.probs, record.action, advantage * inv_steps);       // Eq. (5)
@@ -132,6 +149,14 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       ++result.optimizer_steps;
       MP_OBS_COUNT("rl.optimizer_steps", 1);
       window_fill = 0;
+      if (check::validate_level() >= 2) {
+        // Exhaustive mode: the update must leave every weight finite, or the
+        // next forward silently produces garbage policies.
+        for (const nn::Parameter* p : agent.parameters()) {
+          check::validate_tensor_finite(p->value, "agent parameter",
+                                        "rl.optimizer_step");
+        }
+      }
     }
   }
   env.reset();

@@ -1,0 +1,350 @@
+// Tests for the MP_CHECK invariant layer (src/check): macro semantics, the
+// abort/throw failure modes, the obs span path in failure reports, the
+// MP_VALIDATE_LEVEL gate, the structural validators' catch/no-catch behavior,
+// and the level-0 bit-identity guarantee of the placement flow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "check/check.hpp"
+#include "check/validators.hpp"
+#include "grid/occupancy.hpp"
+#include "nn/tensor.hpp"
+#include "obs/obs.hpp"
+#include "place/flow.hpp"
+
+namespace mp::check {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Pins validate_level() for one scope; tests must not depend on the
+// MP_VALIDATE_LEVEL the surrounding ctest invocation exported.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(int level) : previous_(validate_level()) {
+    set_validate_level(level);
+  }
+  ~ScopedLevel() { set_validate_level(previous_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  int previous_;
+};
+
+std::string failure_message(const std::function<void()>& body) {
+  ScopedCheckThrow guard;
+  try {
+    body();
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a CheckFailure";
+  return {};
+}
+
+netlist::Design bench(std::uint64_t seed, int macros = 8) {
+  benchgen::BenchSpec spec;
+  spec.movable_macros = macros;
+  spec.std_cells = 150;
+  spec.nets = 200;
+  spec.seed = seed;
+  return benchgen::generate(spec);
+}
+
+// --- Macro semantics -------------------------------------------------------
+
+TEST(Check, PassingChecksAreSilent) {
+  ScopedCheckThrow guard;
+  MP_CHECK(1 + 1 == 2);
+  MP_CHECK(true, "message ignored on success %d", 42);
+  MP_CHECK_GE(2.0, 2.0);
+  MP_CHECK_GT(3, 2);
+  MP_CHECK_LE(2, 2);
+  MP_CHECK_LT(2, 3);
+  MP_CHECK_EQ(5, 5);
+  MP_CHECK_NEAR(1.0, 1.0 + 1e-12, 1e-9);
+  MP_CHECK_FINITE(0.0);
+  MP_CHECK_FINITE(-1e300);
+}
+
+TEST(Check, FailureMessageNamesFileExpressionAndMessage) {
+  const std::string what =
+      failure_message([] { MP_CHECK(2 < 1, "context %s/%d", "abc", 7); });
+  EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find("MP_CHECK failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("context abc/7"), std::string::npos) << what;
+}
+
+TEST(Check, ComparisonFailuresPrintBothOperands) {
+  const std::string what = failure_message([] {
+    const double lhs = 0.25, rhs = 0.75;
+    MP_CHECK_GE(lhs, rhs);
+  });
+  EXPECT_NE(what.find("MP_CHECK_GE failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("lhs=0.25"), std::string::npos) << what;
+  EXPECT_NE(what.find("rhs=0.75"), std::string::npos) << what;
+}
+
+TEST(Check, NearFailsOutsideToleranceAndOnNan) {
+  ScopedCheckThrow guard;
+  EXPECT_THROW(MP_CHECK_NEAR(1.0, 1.1, 1e-3), CheckFailure);
+  EXPECT_THROW(MP_CHECK_NEAR(kNan, 0.0, 1e9), CheckFailure);
+  EXPECT_THROW(MP_CHECK_NEAR(0.0, kNan, 1e9), CheckFailure);
+  MP_CHECK_NEAR(1.0, 1.1, 0.2);
+}
+
+TEST(Check, FiniteRejectsNanAndInfinity) {
+  ScopedCheckThrow guard;
+  EXPECT_THROW(MP_CHECK_FINITE(kNan), CheckFailure);
+  EXPECT_THROW(MP_CHECK_FINITE(kInf), CheckFailure);
+  EXPECT_THROW(MP_CHECK_FINITE(-kInf, "gradient"), CheckFailure);
+}
+
+TEST(Check, ComparisonMacrosEvaluateOperandsOnce) {
+  ScopedCheckThrow guard;
+  int evaluations = 0;
+  const auto bump = [&evaluations] { return ++evaluations; };
+  MP_CHECK_GE(bump(), 0);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_THROW(MP_CHECK_LT(bump(), 0), CheckFailure);
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Check, DcheckFollowsBuildConfiguration) {
+  // This repo builds without NDEBUG, so MP_DCHECK must be live here.
+  EXPECT_TRUE(dchecks_enabled());
+  ScopedCheckThrow guard;
+  EXPECT_THROW(MP_DCHECK(false, "dcheck active"), CheckFailure);
+}
+
+TEST(CheckDeathTest, DefaultModeAborts) {
+  ASSERT_TRUE(abort_on_failure());
+  EXPECT_DEATH(MP_CHECK(false, "fatal by default"), "MP_CHECK failed");
+  EXPECT_DEATH(MP_CHECK_EQ(1, 2), "MP_CHECK_EQ failed");
+}
+
+TEST(Check, ScopedThrowRestoresAbortMode) {
+  ASSERT_TRUE(abort_on_failure());
+  {
+    ScopedCheckThrow guard;
+    EXPECT_FALSE(abort_on_failure());
+  }
+  EXPECT_TRUE(abort_on_failure());
+}
+
+TEST(Check, FailureReportIncludesActiveSpanPath) {
+  obs::set_enabled(true);
+  std::string what;
+  {
+    obs::Span outer("check_test.outer");
+    obs::Span inner("check_test.inner");
+    what = failure_message([] { MP_CHECK(false); });
+  }
+  EXPECT_NE(what.find("check_test.outer/check_test.inner"), std::string::npos)
+      << what;
+}
+
+// --- MP_VALIDATE_LEVEL gate ------------------------------------------------
+
+TEST(Check, SetValidateLevelOverridesEnvironment) {
+  ScopedLevel level(2);
+  EXPECT_EQ(validate_level(), 2);
+  set_validate_level(0);
+  EXPECT_EQ(validate_level(), 0);
+}
+
+TEST(Validators, LevelZeroSkipsEvenCorruptState) {
+  ScopedLevel level(0);
+  ScopedCheckThrow guard;
+  netlist::Design d = bench(900, 4);
+  // Stack every movable macro on the same spot and poison one coordinate —
+  // blatantly illegal, but level 0 must not even look.
+  for (netlist::NodeId id : d.movable_macros()) d.node(id).position = {0.0, 0.0};
+  d.node(d.movable_macros().front()).position.x = kNan;
+  validate_placement_legal(d, "test.level0");
+  validate_positions_finite(d, "test.level0");
+}
+
+// --- Structural validators -------------------------------------------------
+
+TEST(Validators, PlacementLegalAcceptsLegalAndNamesOverlappingPair) {
+  ScopedLevel level(2);
+  ScopedCheckThrow guard;
+  netlist::Design d = bench(901, 4);
+  // Tile the movable macros along the bottom edge, touching but disjoint.
+  double x = d.region().left();
+  for (netlist::NodeId id : d.movable_macros()) {
+    d.node(id).position = {x, d.region().bottom()};
+    x += d.node(id).width;
+  }
+  validate_placement_legal(d, "test.legal");
+
+  // Collapse two macros onto each other: level 2 names both in the message.
+  const netlist::NodeId a = d.movable_macros()[0];
+  const netlist::NodeId b = d.movable_macros()[1];
+  d.node(b).position = d.node(a).position;
+  const std::string what = failure_message(
+      [&] { validate_placement_legal(d, "test.overlap"); });
+  EXPECT_NE(what.find("test.overlap"), std::string::npos) << what;
+}
+
+TEST(Validators, PlacementLegalRejectsMacroOutsideRegion) {
+  ScopedLevel level(1);
+  ScopedCheckThrow guard;
+  netlist::Design d = bench(902, 3);
+  double x = d.region().left();
+  for (netlist::NodeId id : d.movable_macros()) {
+    d.node(id).position = {x, d.region().bottom()};
+    x += d.node(id).width;
+  }
+  validate_placement_legal(d, "test.inside");
+  netlist::Node& escapee = d.node(d.movable_macros().front());
+  escapee.position.x = d.region().right() - escapee.width / 2.0;
+  EXPECT_THROW(validate_placement_legal(d, "test.outside"), CheckFailure);
+}
+
+TEST(Validators, PositionsFiniteCatchesNanByLevel) {
+  ScopedCheckThrow guard;
+  netlist::Design d = bench(903, 3);
+  validate_positions_finite(d, "test.finite");
+
+  // Level 1 watches the movable macros...
+  {
+    ScopedLevel level(1);
+    netlist::Design poisoned = d;
+    poisoned.node(poisoned.movable_macros().front()).position.y = kNan;
+    EXPECT_THROW(validate_positions_finite(poisoned, "test.macro_nan"),
+                 CheckFailure);
+    // ...but a poisoned std cell only trips the exhaustive walk: HPWL treats
+    // NaN coordinates as unbounded extents, which max/min may mask.
+    netlist::Design cell_poisoned = d;
+    cell_poisoned.node(cell_poisoned.std_cells().front()).position.x = kNan;
+    ScopedLevel exhaustive(2);
+    EXPECT_THROW(validate_positions_finite(cell_poisoned, "test.cell_nan"),
+                 CheckFailure);
+  }
+}
+
+TEST(Validators, OccupancyReconciliationByLevel) {
+  ScopedCheckThrow guard;
+  const grid::GridSpec spec(geometry::Rect{0.0, 0.0, 64.0, 64.0}, 8);
+  grid::OccupancyMap initial(spec);
+  initial.place(grid::make_footprint(spec, 12.0, 12.0), {6, 6});
+
+  grid::OccupancyMap occupancy = initial;
+  std::vector<grid::Footprint> footprints{
+      grid::make_footprint(spec, 16.0, 8.0),
+      grid::make_footprint(spec, 8.0, 8.0),
+      grid::make_footprint(spec, 24.0, 16.0),
+  };
+  std::vector<grid::CellCoord> anchors{{0, 0}, {4, 0}};
+  occupancy.place(footprints[0], anchors[0]);
+  occupancy.place(footprints[1], anchors[1]);
+
+  {
+    ScopedLevel level(2);
+    validate_occupancy_reconciles(occupancy, initial, footprints, anchors,
+                                  "test.occupancy");
+  }
+  // Drift the map without recording an anchor: caught at both levels.
+  occupancy.place(footprints[1], {0, 4});
+  {
+    ScopedLevel level(1);
+    EXPECT_THROW(validate_occupancy_reconciles(occupancy, initial, footprints,
+                                               anchors, "test.drift"),
+                 CheckFailure);
+  }
+  {
+    ScopedLevel level(2);
+    EXPECT_THROW(validate_occupancy_reconciles(occupancy, initial, footprints,
+                                               anchors, "test.drift"),
+                 CheckFailure);
+  }
+}
+
+TEST(Validators, ProbabilitiesValidateShapeAndMass) {
+  ScopedLevel level(2);
+  ScopedCheckThrow guard;
+  nn::Tensor probs({4});
+  for (int i = 0; i < 4; ++i) probs[static_cast<std::size_t>(i)] = 0.25f;
+  validate_probabilities(probs, "uniform", "test.probs");
+
+  nn::Tensor nan_probs = probs;
+  nan_probs[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(validate_probabilities(nan_probs, "nan", "test.probs"),
+               CheckFailure);
+
+  nn::Tensor negative = probs;
+  negative[0] = -0.25f;
+  EXPECT_THROW(validate_probabilities(negative, "negative", "test.probs"),
+               CheckFailure);
+
+  nn::Tensor unnormalized = probs;
+  unnormalized[0] = 0.75f;  // sum = 1.5
+  EXPECT_THROW(validate_probabilities(unnormalized, "mass", "test.probs"),
+               CheckFailure);
+}
+
+TEST(Validators, FiniteGuardsNameTheOffendingIndex) {
+  ScopedLevel level(1);
+  ScopedCheckThrow guard;
+  validate_finite({0.0, 1.0, -2.5}, "rewards", "test.finite");
+  const std::string what = failure_message(
+      [] { validate_finite({0.0, kInf}, "rewards", "test.finite"); });
+  EXPECT_NE(what.find("rewards[1]"), std::string::npos) << what;
+
+  nn::Tensor t({3});
+  t[0] = 1.0f;
+  t[1] = 2.0f;
+  t[2] = std::numeric_limits<float>::infinity();
+  const std::string tensor_what = failure_message(
+      [&] { validate_tensor_finite(t, "weights", "test.finite"); });
+  EXPECT_NE(tensor_what.find("weights[2]"), std::string::npos) << tensor_what;
+}
+
+// --- Level-0 bit-identity through the real flow ----------------------------
+
+std::vector<geometry::Point> run_flow_at_level(int level, std::uint64_t seed) {
+  ScopedLevel scoped(level);
+  netlist::Design d = bench(seed);
+  place::FlowOptions options;
+  options.grid_dim = 4;
+  options.initial_gp.max_iterations = 3;
+  options.final_gp.max_iterations = 4;
+  place::FlowContext context = place::prepare_flow(d, options);
+  std::vector<grid::CellCoord> anchors;
+  for (std::size_t g = 0; g < context.clustering.macro_groups.size(); ++g) {
+    anchors.push_back({static_cast<int>(g) % 4, static_cast<int>(g / 4) % 4});
+  }
+  place::finalize_placement(d, context, anchors, options);
+  std::vector<geometry::Point> positions;
+  positions.reserve(d.num_nodes());
+  for (std::size_t i = 0; i < d.num_nodes(); ++i) {
+    positions.push_back(d.node(static_cast<netlist::NodeId>(i)).position);
+  }
+  return positions;
+}
+
+TEST(Validators, FlowIsBitIdenticalAcrossValidateLevels) {
+  // Validators only read state: every coordinate out of the flow must match
+  // to the last bit whether they are off (0) or exhaustive (2).
+  const std::vector<geometry::Point> off = run_flow_at_level(0, 777);
+  const std::vector<geometry::Point> exhaustive = run_flow_at_level(2, 777);
+  ASSERT_EQ(off.size(), exhaustive.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].x, exhaustive[i].x) << "node " << i;
+    EXPECT_EQ(off[i].y, exhaustive[i].y) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mp::check
