@@ -74,7 +74,8 @@ double run_mcts(Prepared& p, int gamma, double c_puct, double* seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   const bench::Budgets budgets = bench::budgets();
   std::printf("# Ablations on ibm06-like (episodes=%d gamma=%d)\n",
               budgets.episodes, budgets.gamma);

@@ -42,7 +42,8 @@ double window_mean(const std::vector<double>& v, std::size_t begin,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   const double cell_scale = bench::cell_scale();
   // ibm10 is preset index 8; Fig. 4 uses its netlist.
   benchgen::BenchSpec spec =

@@ -86,7 +86,8 @@ void run_circuit(std::size_t preset_index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   std::printf("# Fig. 5 — MCTS guided by partially trained agents vs RL\n");
   run_circuit(0);  // ibm01
   run_circuit(4);  // ibm06

@@ -15,7 +15,8 @@
 
 using namespace mp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   std::printf(
       "# Table II — HPWL on industrial-like circuits (hierarchy + preplaced "
       "macros; macro_scale=%.2f cell_scale=%.3f)\n",

@@ -20,7 +20,8 @@
 
 using namespace mp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   const int circuits = util::env_int(
       "REPRO_TABLE3_CIRCUITS",
       static_cast<int>(benchgen::iccad04_names().size()));

@@ -15,7 +15,8 @@
 
 using namespace mp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
   const bench::Budgets budgets = bench::budgets();
   std::printf(
       "# Table IV — MCTS stage runtime per circuit (gamma=%d, macro_scale=%.2f)\n",

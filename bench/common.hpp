@@ -25,10 +25,28 @@
 
 #include "benchgen/presets.hpp"
 #include "obs/report.hpp"
+#include "par/par.hpp"
 #include "place/placer.hpp"
 #include "util/env.hpp"
 
 namespace mp::bench {
+
+/// Thread-count convention shared by every bench driver: `--threads N` (or
+/// `--threads=N`) beats the MP_THREADS environment variable, which beats
+/// hardware concurrency.  Call first thing in main(); without the flag the
+/// par:: pool resolves MP_THREADS lazily on first use.
+inline void init_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      par::set_num_threads(std::atoi(argv[i + 1]));
+      return;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      par::set_num_threads(std::atoi(argv[i] + 10));
+      return;
+    }
+  }
+}
 
 inline double scale() { return util::repro_scale(); }
 
@@ -101,6 +119,10 @@ inline place::MctsRlOptions default_flow_options() {
   o.train.calibration_episodes = b.calibration;
   o.mcts.explorations_per_move = b.gamma;
   o.mcts.leaf_evaluation = leaf_evaluation();
+  // Benches batch leaf evaluations to the pool size (0 = auto); at
+  // --threads 1 this resolves to the serial search, so single-threaded
+  // bench results remain bit-identical to the pre-parallel flow.
+  o.mcts.eval_batch = 0;
   return o;
 }
 

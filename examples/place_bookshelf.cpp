@@ -20,6 +20,7 @@
 #include "io/bookshelf.hpp"
 #include "io/plot.hpp"
 #include "obs/report.hpp"
+#include "par/par.hpp"
 #include "place/analytic_placer.hpp"
 #include "place/placer.hpp"
 #include "place/rl_only_placer.hpp"
@@ -32,7 +33,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: place_bookshelf <prefix> [--placer ours|rl|sa|wiremask|"
                "analytic] [--episodes N] [--gamma N] [--grid N] "
-               "[--channels N] [--blocks N] [--out PREFIX]\n");
+               "[--channels N] [--blocks N] [--threads N] [--out PREFIX]\n");
   return 2;
 }
 
@@ -58,6 +59,11 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--grid") == 0) { if (!next(grid)) return usage(); }
     else if (std::strcmp(argv[i], "--channels") == 0) { if (!next(channels)) return usage(); }
     else if (std::strcmp(argv[i], "--blocks") == 0) { if (!next(blocks)) return usage(); }
+    else if (std::strcmp(argv[i], "--threads") == 0) {
+      int threads = 0;
+      if (!next(threads)) return usage();
+      mp::par::set_num_threads(threads);
+    }
     else return usage();
   }
 

@@ -6,8 +6,12 @@
 #      -Werror, then the full ctest suite under it at MP_VALIDATE_LEVEL=2 so
 #      the deep structural validators are exercised together with the
 #      sanitizers.
-#   2. (--tsan) The same under ThreadSanitizer, in its own build tree —
-#      TSan cannot be combined with ASan.
+#   2. A ThreadSanitizer build (its own tree — TSan cannot be combined with
+#      ASan) running the `par`-labelled suite (ctest -L par): the thread
+#      pool, the lock-free obs metrics and every parallelized hot path
+#      (docs/PARALLELISM.md).  This leg is on by DEFAULT; pass --tsan to run
+#      the FULL suite under TSan instead (slower), or --no-tsan to skip the
+#      TSan leg entirely.
 #   3. clang-tidy over the compile database, when clang-tidy is installed.
 #      Skipped with a notice otherwise (the container ships gcc only).
 #
@@ -20,14 +24,15 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${ROOT}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-RUN_TSAN=0
+TSAN_MODE=par   # par = `ctest -L par` under TSan (default); full; off
 FRESH=0
 for arg in "$@"; do
   case "${arg}" in
-    --tsan) RUN_TSAN=1 ;;
+    --tsan) TSAN_MODE=full ;;
+    --no-tsan) TSAN_MODE=off ;;
     --fresh) FRESH=1 ;;
     -h|--help)
-      echo "usage: scripts/check.sh [--tsan] [--fresh]"
+      echo "usage: scripts/check.sh [--tsan|--no-tsan] [--fresh]"
       exit 0
       ;;
     *)
@@ -39,10 +44,13 @@ done
 
 note() { printf '\n==== %s ====\n' "$*"; }
 
-# Build + full test suite in one sanitized tree.
+# Build one sanitized tree and run ctest in it; a third argument narrows the
+# run to that ctest label (-L).
 run_sanitized() {
-  local name="$1" sanitizers="$2"
+  local name="$1" sanitizers="$2" label="${3:-}"
   local dir="build-check/${name}"
+  local label_args=()
+  [[ -n "${label}" ]] && label_args=(-L "${label}")
   [[ "${FRESH}" == 1 ]] && rm -rf "${dir}"
   note "${name}: configure (${sanitizers})"
   cmake -B "${dir}" -S . \
@@ -51,19 +59,25 @@ run_sanitized() {
     -DMP_WERROR=ON
   note "${name}: build"
   cmake --build "${dir}" -j "${JOBS}"
-  note "${name}: ctest (MP_VALIDATE_LEVEL=2)"
+  note "${name}: ctest (MP_VALIDATE_LEVEL=2${label:+, -L ${label}})"
   # halt_on_error: the suite's death tests intentionally abort; only genuine
   # sanitizer reports should fail the run.
   MP_VALIDATE_LEVEL=2 \
   ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
   UBSAN_OPTIONS="print_stacktrace=1" \
-    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+      ${label_args[@]+"${label_args[@]}"}
 }
 
 run_sanitized asan "address;undefined"
-if [[ "${RUN_TSAN}" == 1 ]]; then
-  run_sanitized tsan "thread"
-fi
+case "${TSAN_MODE}" in
+  # Exercise the pool and shared-tree/self-play paths with several workers
+  # even on small CI machines.
+  par)  MP_THREADS="${MP_THREADS:-4}" run_sanitized tsan "thread" par ;;
+  full) MP_THREADS="${MP_THREADS:-4}" run_sanitized tsan "thread" ;;
+  off)  note "tsan: skipped (--no-tsan)" ;;
+esac
 
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -2,6 +2,9 @@
 # Regenerates every table/figure of the paper into results/.
 # Knobs (see bench/common.hpp): REPRO_SCALE, REPRO_MACRO_SCALE,
 # REPRO_EPISODES, REPRO_GAMMA, REPRO_CHANNELS, REPRO_BLOCKS, REPRO_LEAF.
+# THREADS (or the MP_THREADS env var) sets the par:: worker-pool size for
+# every bench; it is recorded in each JSONL run entry ("threads" field) so
+# results stay attributable (see docs/PARALLELISM.md).
 #
 # Next to each text table a machine-readable JSONL telemetry report
 # ($out/<bench>.jsonl, schema in docs/OBSERVABILITY.md) is written via
@@ -10,13 +13,22 @@ set -euo pipefail
 
 build=${1:-build}
 out=${2:-results}
+threads=${THREADS:-${MP_THREADS:-}}
 mkdir -p "$out"
+
+thread_args=()
+if [[ -n "$threads" ]]; then
+  export MP_THREADS="$threads"
+  thread_args=(--threads "$threads")
+  echo "=== threads: $threads ==="
+fi
 
 for b in bench_fig4_reward bench_fig5_mcts_vs_rl bench_table2_industrial \
          bench_table3_iccad04 bench_table4_runtime bench_ablation; do
   echo "=== $b ==="
   rm -f "$out/$b.jsonl"
-  MP_OBS_OUT="$out/$b.jsonl" "$build/bench/$b" | tee "$out/$b.txt"
+  MP_OBS_OUT="$out/$b.jsonl" "$build/bench/$b" ${thread_args[@]+"${thread_args[@]}"} \
+    | tee "$out/$b.txt"
 done
 "$build/bench/bench_micro_kernels" --benchmark_min_time=0.1s \
   | tee "$out/bench_micro_kernels.txt" \

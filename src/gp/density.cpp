@@ -1,7 +1,10 @@
 #include "gp/density.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "par/par.hpp"
 
 namespace mp::gp {
 
@@ -51,6 +54,76 @@ void DensityGrid::add_movable(const geometry::Rect& rect) {
       usage_[index(bx, by)] += geometry::overlap_area(rect, bin);
     }
   }
+}
+
+void DensityGrid::add_all(const std::vector<geometry::Rect>& rects,
+                          const std::vector<unsigned char>& movable) {
+  assert(rects.size() == movable.size());
+  // The movable-area total is a plain serial sum either way (rect order).
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    if (movable[i] != 0) total_movable_ += rects[i].area();
+  }
+  if (par::num_threads() <= 1 || par::in_worker() || bins_ < 2) {
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      const geometry::Rect& rect = rects[i];
+      const int bx0 = bin_x_of(rect.left());
+      const int bx1 = bin_x_of(std::nextafter(rect.right(), rect.left()));
+      const int by0 = bin_y_of(rect.bottom());
+      const int by1 = bin_y_of(std::nextafter(rect.top(), rect.bottom()));
+      for (int by = by0; by <= by1; ++by) {
+        for (int bx = bx0; bx <= bx1; ++bx) {
+          const geometry::Rect bin(bin_left(bx), bin_bottom(by), bin_w_, bin_h_);
+          const double a = geometry::overlap_area(rect, bin);
+          if (movable[i] != 0) {
+            usage_[index(bx, by)] += a;
+          } else {
+            capacity_[index(bx, by)] = std::max(0.0, capacity_[index(bx, by)] - a);
+          }
+        }
+      }
+    }
+    return;
+  }
+  // Parallel path: each task owns a contiguous band of bin rows and scans
+  // the whole rect list, clipping each rect's bin span to its band.  Bands
+  // write disjoint bins, and within a bin the accumulation order is the
+  // rect order — identical to the serial loop bit for bit.
+  struct Span {
+    int bx0, bx1, by0, by1;
+  };
+  std::vector<Span> spans(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const geometry::Rect& rect = rects[i];
+    spans[i] = {bin_x_of(rect.left()),
+                bin_x_of(std::nextafter(rect.right(), rect.left())),
+                bin_y_of(rect.bottom()),
+                bin_y_of(std::nextafter(rect.top(), rect.bottom()))};
+  }
+  const std::size_t rows = static_cast<std::size_t>(bins_);
+  const std::size_t grain =
+      std::max<std::size_t>(1, rows / (4 * static_cast<std::size_t>(par::num_threads())));
+  par::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
+    const int band_lo = static_cast<int>(lo);
+    const int band_hi = static_cast<int>(hi);  // exclusive
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      const Span& s = spans[i];
+      const int by0 = std::max(s.by0, band_lo);
+      const int by1 = std::min(s.by1, band_hi - 1);
+      if (by0 > by1) continue;
+      const geometry::Rect& rect = rects[i];
+      for (int by = by0; by <= by1; ++by) {
+        for (int bx = s.bx0; bx <= s.bx1; ++bx) {
+          const geometry::Rect bin(bin_left(bx), bin_bottom(by), bin_w_, bin_h_);
+          const double a = geometry::overlap_area(rect, bin);
+          if (movable[i] != 0) {
+            usage_[index(bx, by)] += a;
+          } else {
+            capacity_[index(bx, by)] = std::max(0.0, capacity_[index(bx, by)] - a);
+          }
+        }
+      }
+    }
+  });
 }
 
 void DensityGrid::clear_movable() {

@@ -23,6 +23,15 @@ class DensityGrid {
   /// Adds the overlap of a movable rectangle to the usage map.
   void add_movable(const geometry::Rect& rect);
 
+  /// Bulk accumulation of a whole design pass: rects[i] is movable when
+  /// movable[i] != 0, fixed otherwise.  Equivalent to calling add_movable /
+  /// add_fixed in index order; when the par:: pool has more than one thread
+  /// the bins are partitioned by bin row and every task scans the full rect
+  /// list, so each bin still accumulates its overlaps in rect order — the
+  /// result is bit-identical to the serial loop at every thread count.
+  void add_all(const std::vector<geometry::Rect>& rects,
+               const std::vector<unsigned char>& movable);
+
   void clear_movable();
 
   double capacity(int bx, int by) const { return capacity_[index(bx, by)]; }

@@ -8,6 +8,7 @@
 #include "check/validators.hpp"
 #include "gp/density.hpp"
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 #include "qp/b2b.hpp"
 #include "util/log.hpp"
 
@@ -81,6 +82,28 @@ std::vector<double> equalize_slice(const std::vector<double>& positions,
   return targets;
 }
 
+// One density pass over the whole design: every non-pad node's rect, with
+// its movable/fixed role, accumulated through DensityGrid::add_all (which
+// parallelizes across bin rows deterministically).
+DensityGrid build_density_grid(const Design& design,
+                               const std::vector<bool>& is_movable,
+                               const geometry::Rect& region, int bins,
+                               double target_density) {
+  DensityGrid grid(region, bins, target_density);
+  std::vector<geometry::Rect> rects;
+  std::vector<unsigned char> movable;
+  rects.reserve(design.num_nodes());
+  movable.reserve(design.num_nodes());
+  for (std::size_t i = 0; i < design.num_nodes(); ++i) {
+    const netlist::Node& node = design.node(static_cast<NodeId>(i));
+    if (node.kind == netlist::NodeKind::kPad) continue;
+    rects.push_back(node.rect());
+    movable.push_back(is_movable[i] ? 1 : 0);
+  }
+  grid.add_all(rects, movable);
+  return grid;
+}
+
 }  // namespace
 
 GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options) {
@@ -114,13 +137,8 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
   double anchor_weight = options.anchor_weight;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     MP_OBS_COUNT("gp.spreading_passes", 1);
-    DensityGrid grid(region, bins, options.target_density);
-    for (std::size_t i = 0; i < design.num_nodes(); ++i) {
-      const netlist::Node& node = design.node(static_cast<NodeId>(i));
-      if (node.kind == netlist::NodeKind::kPad) continue;
-      if (is_movable[i]) grid.add_movable(node.rect());
-      else grid.add_fixed(node.rect());
-    }
+    DensityGrid grid = build_density_grid(design, is_movable, region, bins,
+                                          options.target_density);
     result.overflow_ratio = grid.overflow_ratio();
     result.iterations = iter;
     if (result.overflow_ratio < options.overflow_target) break;
@@ -135,24 +153,31 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
       for (std::size_t i = 0; i < movable.size(); ++i) {
         rows[static_cast<std::size_t>(grid.bin_y_of(targets[i].y))].push_back(i);
       }
-      for (int by = 0; by < bins; ++by) {
-        const auto& members = rows[static_cast<std::size_t>(by)];
-        if (members.empty()) continue;
-        std::vector<double> pos, area, cap;
-        pos.reserve(members.size());
-        area.reserve(members.size());
-        for (std::size_t i : members) {
-          pos.push_back(targets[i].x);
-          area.push_back(design.node(movable[i]).area());
+      // Rows are independent slices writing disjoint targets — parallel
+      // execution is bit-identical to the serial loop.
+      par::parallel_for(0, static_cast<std::size_t>(bins), 1,
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t by = lo; by < hi; ++by) {
+          const auto& members = rows[by];
+          if (members.empty()) continue;
+          std::vector<double> pos, area, cap;
+          pos.reserve(members.size());
+          area.reserve(members.size());
+          for (std::size_t i : members) {
+            pos.push_back(targets[i].x);
+            area.push_back(design.node(movable[i]).area());
+          }
+          cap.reserve(static_cast<std::size_t>(bins));
+          for (int bx = 0; bx < bins; ++bx) {
+            cap.push_back(grid.capacity(bx, static_cast<int>(by)));
+          }
+          const std::vector<double> remapped =
+              equalize_slice(pos, area, cap, region.x, grid.bin_width());
+          for (std::size_t k = 0; k < members.size(); ++k) {
+            targets[members[k]].x = remapped[k];
+          }
         }
-        cap.reserve(static_cast<std::size_t>(bins));
-        for (int bx = 0; bx < bins; ++bx) cap.push_back(grid.capacity(bx, by));
-        const std::vector<double> remapped =
-            equalize_slice(pos, area, cap, region.x, grid.bin_width());
-        for (std::size_t k = 0; k < members.size(); ++k) {
-          targets[members[k]].x = remapped[k];
-        }
-      }
+      });
     }
     // --- Y pass: per bin-column remap (on x-updated bin assignment) ---
     {
@@ -160,24 +185,29 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
       for (std::size_t i = 0; i < movable.size(); ++i) {
         cols[static_cast<std::size_t>(grid.bin_x_of(targets[i].x))].push_back(i);
       }
-      for (int bx = 0; bx < bins; ++bx) {
-        const auto& members = cols[static_cast<std::size_t>(bx)];
-        if (members.empty()) continue;
-        std::vector<double> pos, area, cap;
-        pos.reserve(members.size());
-        area.reserve(members.size());
-        for (std::size_t i : members) {
-          pos.push_back(targets[i].y);
-          area.push_back(design.node(movable[i]).area());
+      par::parallel_for(0, static_cast<std::size_t>(bins), 1,
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t bx = lo; bx < hi; ++bx) {
+          const auto& members = cols[bx];
+          if (members.empty()) continue;
+          std::vector<double> pos, area, cap;
+          pos.reserve(members.size());
+          area.reserve(members.size());
+          for (std::size_t i : members) {
+            pos.push_back(targets[i].y);
+            area.push_back(design.node(movable[i]).area());
+          }
+          cap.reserve(static_cast<std::size_t>(bins));
+          for (int by = 0; by < bins; ++by) {
+            cap.push_back(grid.capacity(static_cast<int>(bx), by));
+          }
+          const std::vector<double> remapped =
+              equalize_slice(pos, area, cap, region.y, grid.bin_height());
+          for (std::size_t k = 0; k < members.size(); ++k) {
+            targets[members[k]].y = remapped[k];
+          }
         }
-        cap.reserve(static_cast<std::size_t>(bins));
-        for (int by = 0; by < bins; ++by) cap.push_back(grid.capacity(bx, by));
-        const std::vector<double> remapped =
-            equalize_slice(pos, area, cap, region.y, grid.bin_height());
-        for (std::size_t k = 0; k < members.size(); ++k) {
-          targets[members[k]].y = remapped[k];
-        }
-      }
+      });
     }
 
     // Anchored QP pulls the wirelength solution toward the spread targets.
@@ -192,13 +222,8 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
 
   // Final density snapshot for reporting.
   {
-    DensityGrid grid(region, bins, options.target_density);
-    for (std::size_t i = 0; i < design.num_nodes(); ++i) {
-      const netlist::Node& node = design.node(static_cast<NodeId>(i));
-      if (node.kind == netlist::NodeKind::kPad) continue;
-      if (is_movable[i]) grid.add_movable(node.rect());
-      else grid.add_fixed(node.rect());
-    }
+    DensityGrid grid = build_density_grid(design, is_movable, region, bins,
+                                          options.target_density);
     result.overflow_ratio = grid.overflow_ratio();
   }
   if (options.b2b_iterations > 0) {

@@ -4,7 +4,19 @@
 #include <cassert>
 #include <numeric>
 
+#include "par/par.hpp"
+
 namespace mp::linalg {
+
+namespace {
+
+// Rows per parallel chunk for SpMV.  Each y[row] is an independent serial
+// dot product, so the parallel result is bit-identical to the serial loop
+// at every thread count; the grain only bounds scheduling overhead.  Below
+// ~4 chunks' worth of rows the dispatch isn't worth it.
+constexpr std::size_t kSpmvGrain = 2048;
+
+}  // namespace
 
 void TripletBuilder::add(std::size_t r, std::size_t c, double value) {
   assert(r < n_ && c < n_);
@@ -69,13 +81,15 @@ void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   const std::size_t n = dimension();
   assert(x.size() == n);
   y.assign(n, 0.0);
-  for (std::size_t row = 0; row < n; ++row) {
-    double sum = 0.0;
-    for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
+  par::parallel_for(0, n, kSpmvGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      double sum = 0.0;
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+        sum += values_[k] * x[col_idx_[k]];
+      }
+      y[row] = sum;
     }
-    y[row] = sum;
-  }
+  });
 }
 
 Vec CsrMatrix::multiply(const Vec& x) const {

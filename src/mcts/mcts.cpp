@@ -8,6 +8,7 @@
 #include "check/check.hpp"
 #include "check/validators.hpp"
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 #include "util/log.hpp"
 
 namespace mp::mcts {
@@ -21,6 +22,9 @@ MctsPlacer::MctsPlacer(rl::PlacementEnv& env, rl::AllocationEvaluator& evaluator
       reward_(std::move(reward)),
       options_(options),
       rng_(options.seed) {
+  // eval_batch == 0 means "match the worker pool"; the library default of 1
+  // keeps the serial path unless a caller opts in.
+  if (options_.eval_batch <= 0) options_.eval_batch = par::num_threads();
   nodes_.push_back(Node{});  // root
 }
 
@@ -39,7 +43,7 @@ int MctsPlacer::select_edge(const Node& node) const {
   // both, the positive reward scale of Eq. (9) drowns the exploration term
   // and the search degenerates into one exploited line.
   double sum_visits = 0.0;
-  for (const Edge& e : node.edges) sum_visits += e.visits;
+  for (const Edge& e : node.edges) sum_visits += e.visits + e.virtual_loss;
   const double sqrt_sum = std::sqrt(std::max(1.0, sum_visits));
   const double fpu = value_bounds_.normalize(node.eval_value);
 
@@ -47,10 +51,19 @@ int MctsPlacer::select_edge(const Node& node) const {
   double best_score = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < node.edges.size(); ++i) {
     const Edge& e = node.edges[i];
-    const double q = (e.visits > 0)
-                         ? value_bounds_.normalize(e.mean_value())
-                         : fpu;
-    const double u = options_.c_puct * e.prior * sqrt_sum / (1.0 + e.visits);
+    double q = (e.visits > 0)
+                   ? value_bounds_.normalize(e.mean_value())
+                   : fpu;
+    double visit_count = e.visits;
+    if (e.virtual_loss > 0) {
+      // Batch mode: score the in-flight visits as if they had returned the
+      // worst value seen (normalized 0), steering the remaining slots of
+      // this batch onto other lines.  The branch keeps the vl == 0 math —
+      // and so the serial path — bit-identical to the pre-batch code.
+      q = q * e.visits / (e.visits + e.virtual_loss);
+      visit_count += e.virtual_loss;
+    }
+    const double u = options_.c_puct * e.prior * sqrt_sum / (1.0 + visit_count);
     const double score = q + u;
     if (score > best_score) {
       best_score = score;
@@ -58,6 +71,43 @@ int MctsPlacer::select_edge(const Node& node) const {
     }
   }
   return best;
+}
+
+void MctsPlacer::expand_node(Node& node, const std::vector<int>& legal,
+                             const nn::Tensor& probs, int step) {
+  // Children: every on-chip anchor; priors from the masked policy, with a
+  // uniform floor so zero-availability (but feasible) anchors stay
+  // reachable.
+  node.edges.reserve(legal.size());
+  double prior_sum = 0.0;
+  for (int action : legal) {
+    Edge e;
+    e.action = action;
+    e.prior = static_cast<double>(probs[static_cast<std::size_t>(action)]);
+    prior_sum += e.prior;
+    node.edges.push_back(e);
+  }
+  if (prior_sum <= 1e-12) {
+    for (Edge& e : node.edges) e.prior = 1.0 / static_cast<double>(legal.size());
+  } else {
+    for (Edge& e : node.edges) e.prior /= prior_sum;
+  }
+  // Optional analytic prior bias (DESIGN.md "Substitutions").
+  if (options_.prior_bonus) {
+    double bonus_sum = 0.0;
+    for (Edge& e : node.edges) {
+      e.prior *= std::max(0.0, options_.prior_bonus(step, e.action));
+      bonus_sum += e.prior;
+    }
+    if (bonus_sum > 1e-12) {
+      for (Edge& e : node.edges) e.prior /= bonus_sum;
+    } else {
+      for (Edge& e : node.edges) {
+        e.prior = 1.0 / static_cast<double>(node.edges.size());
+      }
+    }
+  }
+  node.expanded = true;
 }
 
 double MctsPlacer::expand_and_evaluate(int node_index) {
@@ -103,41 +153,7 @@ double MctsPlacer::expand_and_evaluate(int node_index) {
   // Expansion first (it reads the node's own environment state; the rollout
   // leaf evaluation below advances the environment).
   if (!already_expanded) {
-    // Children: every on-chip anchor; priors from the masked policy, with a
-    // uniform floor so zero-availability (but feasible) anchors stay
-    // reachable.
-    const std::vector<int> legal = env_.legal_actions();
-    node.edges.reserve(legal.size());
-    double prior_sum = 0.0;
-    for (int action : legal) {
-      Edge e;
-      e.action = action;
-      e.prior = static_cast<double>(out.probs[static_cast<std::size_t>(action)]);
-      prior_sum += e.prior;
-      node.edges.push_back(e);
-    }
-    if (prior_sum <= 1e-12) {
-      for (Edge& e : node.edges) e.prior = 1.0 / static_cast<double>(legal.size());
-    } else {
-      for (Edge& e : node.edges) e.prior /= prior_sum;
-    }
-    // Optional analytic prior bias (DESIGN.md "Substitutions").
-    if (options_.prior_bonus) {
-      const int step = env_.current_step();
-      double bonus_sum = 0.0;
-      for (Edge& e : node.edges) {
-        e.prior *= std::max(0.0, options_.prior_bonus(step, e.action));
-        bonus_sum += e.prior;
-      }
-      if (bonus_sum > 1e-12) {
-        for (Edge& e : node.edges) e.prior /= bonus_sum;
-      } else {
-        for (Edge& e : node.edges) {
-          e.prior = 1.0 / static_cast<double>(node.edges.size());
-        }
-      }
-    }
-    node.expanded = true;
+    expand_node(node, env_.legal_actions(), out.probs, env_.current_step());
   }
 
   // Leaf value per the configured evaluation mode.
@@ -223,6 +239,203 @@ void MctsPlacer::explore() {
   }
 }
 
+void MctsPlacer::ensure_contexts(int batch) {
+  while (static_cast<int>(contexts_.size()) < batch) {
+    WorkerContext ctx;
+    ctx.agent = agent_.clone();
+    ctx.evaluator = evaluator_.clone();
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+void MctsPlacer::run_batch(int batch) {
+  ensure_contexts(batch);
+  std::vector<PendingLeaf> leaves(static_cast<std::size_t>(batch));
+
+  // --- Phase 1: serial selection under virtual loss. ---------------------
+  // Slot k sees the virtual losses applied by slots 0..k-1, so the batch
+  // fans out over distinct lines; every virtual visit is drained in phase 3.
+  for (int k = 0; k < batch; ++k) {
+    PendingLeaf& leaf = leaves[static_cast<std::size_t>(k)];
+    MP_OBS_COUNT("mcts.simulations", 1);
+    if (!replay(committed_)) {
+      util::log_warn() << "mcts: committed prefix became unplayable";
+      continue;
+    }
+    int node_index = root_;
+    while (nodes_[static_cast<std::size_t>(node_index)].expanded && !env_.done()) {
+      const int edge_index =
+          select_edge(nodes_[static_cast<std::size_t>(node_index)]);
+      if (edge_index < 0) break;  // no legal children (full chip)
+      Edge& edge = nodes_[static_cast<std::size_t>(node_index)]
+                       .edges[static_cast<std::size_t>(edge_index)];
+      if (!env_.step(edge.action)) break;
+      if (edge.child < 0) {
+        edge.child = static_cast<int>(nodes_.size());
+        nodes_.push_back(Node{});
+        ++stats_.nodes_created;
+      }
+      edge.virtual_loss += std::max(1, options_.virtual_loss);
+      leaf.path.emplace_back(node_index, edge_index);
+      node_index = edge.child;
+    }
+    MP_OBS_HIST("mcts.path_depth", static_cast<double>(leaf.path.size()));
+    leaf.valid = true;
+    leaf.node_index = node_index;
+    leaf.terminal = env_.done();
+    leaf.step = env_.current_step();
+    const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    leaf.cached_terminal = leaf.terminal && node.has_terminal_value;
+    if (leaf.cached_terminal) {
+      leaf.value = node.eval_value;
+    } else {
+      leaf.env.emplace(env_);  // private copy of the leaf state
+    }
+  }
+
+  // --- Phase 2: leaf evaluation, concurrent when resources allow. --------
+  // Each slot works only on its own env copy, agent clone, evaluator clone
+  // and rng_.split stream, so the outputs are a pure function of the slot —
+  // identical at every thread count.  A null evaluator clone means the
+  // evaluator is not clonable; then the loop runs inline on the shared one.
+  const bool cloned_eval = contexts_[0].evaluator != nullptr;
+  auto evaluate_slot = [&](std::size_t k) {
+    PendingLeaf& leaf = leaves[k];
+    if (!leaf.valid || leaf.cached_terminal || !leaf.env.has_value()) return;
+    rl::PlacementEnv& env = *leaf.env;
+    rl::AllocationEvaluator& evaluator =
+        cloned_eval ? *contexts_[k].evaluator : evaluator_;
+    rl::AgentNetwork& agent =
+        cloned_eval ? *contexts_[k].agent : agent_;
+    if (leaf.terminal) {
+      leaf.wirelength = evaluator.evaluate(env.anchors());
+      leaf.have_wirelength = true;
+      leaf.anchors = env.anchors();
+      leaf.value = reward_(leaf.wirelength);
+      return;
+    }
+    const std::vector<double> sp = env.placement_state();
+    const std::vector<double> availability = env.availability();
+    leaf.out =
+        agent.forward(sp, availability, env.current_step(), env.num_steps(),
+                      /*train=*/false);
+    leaf.legal = env.legal_actions();
+    double value = static_cast<double>(leaf.out.value);
+    switch (options_.leaf_evaluation) {
+      case LeafEvaluation::kValueNetwork:
+        break;
+      case LeafEvaluation::kPartialPlacement:
+        value = reward_(evaluator.evaluate_partial(env.anchors()));
+        break;
+      case LeafEvaluation::kRandomRollout: {
+        util::Rng rng = rng_.split(exploration_counter_ + k);
+        bool ok = true;
+        while (!env.done()) {
+          const std::vector<int> legal = env.legal_actions();
+          if (legal.empty()) {
+            ok = false;
+            break;
+          }
+          env.step(legal[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(legal.size()) - 1))]);
+        }
+        if (ok) {
+          leaf.wirelength = evaluator.evaluate(env.anchors());
+          leaf.have_wirelength = true;
+          leaf.anchors = env.anchors();
+          value = reward_(leaf.wirelength);
+        }
+        break;
+      }
+    }
+    leaf.value = value;
+  };
+  if (cloned_eval && par::num_threads() > 1) {
+    par::parallel_for(0, static_cast<std::size_t>(batch), 1,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t k = lo; k < hi; ++k) evaluate_slot(k);
+                      });
+  } else {
+    for (std::size_t k = 0; k < static_cast<std::size_t>(batch); ++k) {
+      evaluate_slot(k);
+    }
+  }
+
+  // --- Phase 3: serial apply in slot order. -------------------------------
+  // Drains virtual loss, commits node state and backs values up exactly as
+  // the serial loop would, so the tree after the batch depends only on the
+  // slot results (deterministic) and their fixed order.
+  for (int k = 0; k < batch; ++k) {
+    PendingLeaf& leaf = leaves[static_cast<std::size_t>(k)];
+    const int vl = std::max(1, options_.virtual_loss);
+    for (const auto& [n, e] : leaf.path) {
+      nodes_[static_cast<std::size_t>(n)]
+          .edges[static_cast<std::size_t>(e)]
+          .virtual_loss -= vl;
+    }
+    if (!leaf.valid) continue;
+    Node& node = nodes_[static_cast<std::size_t>(leaf.node_index)];
+    if (leaf.terminal) {
+      if (!leaf.cached_terminal && leaf.have_wirelength) {
+        ++stats_.terminal_evaluations;
+        MP_OBS_COUNT("mcts.terminal_evaluations", 1);
+        MP_OBS_HIST("mcts.terminal_wirelength", leaf.wirelength);
+        if (check::validate_level() >= 1) {
+          MP_CHECK_FINITE(leaf.wirelength, "terminal wirelength in MCTS");
+          MP_CHECK_FINITE(leaf.value, "terminal reward in MCTS");
+        }
+        if (!node.has_terminal_value) {
+          node.eval_value = leaf.value;
+          node.has_terminal_value = true;
+        } else {
+          // A sibling slot of this batch evaluated the same node; keep the
+          // cached value (bit-identical anyway for a deterministic
+          // evaluator).
+          leaf.value = node.eval_value;
+        }
+        if (leaf.wirelength < best_terminal_wirelength_) {
+          best_terminal_wirelength_ = leaf.wirelength;
+          best_terminal_anchors_ = leaf.anchors;
+        }
+      }
+    } else {
+      ++stats_.nn_evaluations;
+      MP_OBS_COUNT("mcts.nn_evaluations", 1);
+      if (check::validate_level() >= 1) {
+        MP_CHECK_FINITE(leaf.out.value, "value head output in MCTS expansion");
+        check::validate_probabilities(leaf.out.probs, "policy head output",
+                                      "mcts.expand");
+      }
+      if (!node.expanded) {
+        MP_OBS_COUNT("mcts.expansions", 1);
+        expand_node(node, leaf.legal, leaf.out.probs, leaf.step);
+      }
+      if (leaf.have_wirelength) {
+        ++stats_.terminal_evaluations;
+        MP_OBS_COUNT("mcts.terminal_evaluations", 1);
+        MP_OBS_HIST("mcts.terminal_wirelength", leaf.wirelength);
+        if (leaf.wirelength < best_terminal_wirelength_) {
+          best_terminal_wirelength_ = leaf.wirelength;
+          best_terminal_anchors_ = leaf.anchors;
+        }
+      }
+      node.eval_value = leaf.value;
+    }
+    if (check::validate_level() >= 1) {
+      MP_CHECK_FINITE(leaf.value, "leaf value entering PUCT backup");
+    }
+    value_bounds_.update(leaf.value);
+    for (const auto& [n, e] : leaf.path) {
+      Edge& edge =
+          nodes_[static_cast<std::size_t>(n)].edges[static_cast<std::size_t>(e)];
+      edge.visits += 1;
+      edge.total_value += leaf.value;
+      value_bounds_.update(edge.mean_value());
+    }
+  }
+  exploration_counter_ += static_cast<std::uint64_t>(batch);
+}
+
 void MctsPlacer::seed_path(const std::vector<int>& actions) {
   if (!replay(committed_)) return;
   int node_index = root_;
@@ -274,9 +487,30 @@ void MctsPlacer::seed_path(const std::vector<int>& actions) {
 
 MctsResult MctsPlacer::run() {
   const int total_steps = env_.num_steps();
+  const int batch = std::max(1, options_.eval_batch);
   for (const std::vector<int>& seed : options_.seed_paths) seed_path(seed);
   for (int t = 0; t < total_steps; ++t) {
-    for (int g = 0; g < options_.explorations_per_move; ++g) explore();
+    if (batch <= 1) {
+      // Serial path: bit-identical to the pre-parallel implementation.
+      for (int g = 0; g < options_.explorations_per_move; ++g) explore();
+    } else {
+      int remaining = options_.explorations_per_move;
+      while (remaining > 0) {
+        const int b = std::min(remaining, batch);
+        run_batch(b);
+        remaining -= b;
+      }
+      if (check::validate_level() >= 2) {
+        // Every virtual visit must be drained before a move is committed —
+        // a leak would permanently bias select_edge away from that line.
+        for (const Node& node : nodes_) {
+          for (const Edge& e : node.edges) {
+            MP_CHECK_EQ(e.virtual_loss, 0,
+                        "virtual loss drained after MCTS batch");
+          }
+        }
+      }
+    }
     MP_OBS_COUNT("mcts.moves", 1);
     MP_OBS_HIST("mcts.tree_nodes_per_move", static_cast<double>(nodes_.size()));
 

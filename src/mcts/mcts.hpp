@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "rl/agent.hpp"
@@ -59,6 +61,20 @@ struct MctsOptions {
   /// multiplied into the policy prior at expansion.  Used to bias the search
   /// toward each group's analytical position; empty = pure π_θ (paper mode).
   std::function<double(int step, int action)> prior_bonus;
+
+  /// Leaf evaluations per batch (tree parallelism).  1 (default) runs the
+  /// classic serial loop, bit-identical to the pre-parallel implementation.
+  /// 0 resolves to the par:: pool's thread count.  >1 selects that many
+  /// leaves per batch under virtual loss, evaluates them concurrently on
+  /// per-slot agent/evaluator clones and backs them up serially in slot
+  /// order — the committed move sequence depends on eval_batch but NOT on
+  /// how many threads execute the batch (see docs/PARALLELISM.md).
+  int eval_batch = 1;
+
+  /// Visits temporarily added to every edge on an in-flight selection path
+  /// (scored as if they had returned the worst value seen), pushing the
+  /// other slots of the same batch onto different lines.  Removed at backup.
+  int virtual_loss = 3;
 };
 
 struct MctsResult {
@@ -92,6 +108,9 @@ class MctsPlacer {
     double prior = 0.0;
     double total_value = 0.0;  ///< W(s_p, s_q)
     int visits = 0;            ///< N(s_p, s_q)
+    /// In-flight batch-mode visits (pessimistically scored in select_edge);
+    /// always 0 outside run_batch() and in the serial path.
+    int virtual_loss = 0;
     double mean_value() const { return visits > 0 ? total_value / visits : 0.0; }
   };
 
@@ -121,11 +140,49 @@ class MctsPlacer {
     }
   };
 
+  /// Per-batch-slot resources for concurrent leaf evaluation.  The agent is
+  /// always clonable; the evaluator clone may be nullptr (un-clonable
+  /// evaluator), in which case the batch evaluates serially through the
+  /// shared evaluator — same results, no overlap.
+  struct WorkerContext {
+    std::unique_ptr<rl::AgentNetwork> agent;
+    std::unique_ptr<rl::AllocationEvaluator> evaluator;
+  };
+
+  /// One selected-but-not-yet-applied leaf of a batch.
+  struct PendingLeaf {
+    std::vector<std::pair<int, int>> path;  ///< (node, edge) indices
+    int node_index = -1;
+    bool valid = false;             ///< selection reached a usable leaf
+    bool terminal = false;          ///< env done at the leaf
+    bool cached_terminal = false;   ///< terminal value already on the node
+    int step = 0;                   ///< env step at the leaf
+    std::optional<rl::PlacementEnv> env;  ///< private copy at the leaf state
+    // Worker outputs (filled by the evaluation phase):
+    double value = 0.0;
+    bool have_wirelength = false;   ///< terminal / rollout produced a full W
+    double wirelength = 0.0;
+    std::vector<grid::CellCoord> anchors;  ///< allocation behind `wirelength`
+    rl::AgentOutput out;            ///< non-terminal network output
+    std::vector<int> legal;         ///< legal actions at the leaf
+  };
+
   // Replays env to the state given by `actions`; returns false on failure.
   bool replay(const std::vector<int>& actions);
 
   // One exploration from the current root; returns the leaf value.
   void explore();
+
+  // Batch-mode exploration: selects `batch` leaves under virtual loss,
+  // evaluates them in parallel, applies them serially in slot order.
+  void run_batch(int batch);
+
+  // Fills the node's edges from `legal` priors (masked policy + floor +
+  // optional prior bonus) — shared by serial expansion and batch apply.
+  void expand_node(Node& node, const std::vector<int>& legal,
+                   const nn::Tensor& probs, int step);
+
+  void ensure_contexts(int batch);
 
   // Walks one seed line from the current root, expanding nodes along it and
   // backing up its terminal value with options_.seed_visits virtual visits.
@@ -146,6 +203,12 @@ class MctsPlacer {
   rl::RewardFn reward_;
   MctsOptions options_;
   util::Rng rng_;
+
+  std::vector<WorkerContext> contexts_;
+  /// Monotone exploration counter; batch slot k of the current batch draws
+  /// its rollout randomness from rng_.split(counter + k) so results are a
+  /// function of the slot index, not of worker scheduling.
+  std::uint64_t exploration_counter_ = 0;
 
   std::vector<Node> nodes_;
   int root_ = 0;

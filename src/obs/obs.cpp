@@ -68,44 +68,67 @@ double Histogram::bin_value(int index) {
   return std::exp2((index - kZeroBin + 0.5) / static_cast<double>(kSubBins));
 }
 
+namespace {
+
+// Lock-free accumulation helpers (relaxed CAS loops; telemetry tolerates
+// any interleaving as long as no update is lost).
+void atomic_add(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void Histogram::record(double v) {
   if (!std::isfinite(v)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) {
-    min_ = v;
-    max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
-  sum_ += v;
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
   if (v <= 0.0) {
-    ++underflow_;
+    underflow_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++bins_[bin_index(v)];
+    bins_[bin_index(v)].fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  count_ = 0;
-  underflow_ = 0;
-  sum_ = 0.0;
-  min_ = 0.0;
-  max_ = 0.0;
-  std::memset(bins_, 0, sizeof(bins_));
+  count_.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   HistogramSnapshot s;
-  s.count = count_;
-  s.underflow = underflow_;
-  s.sum = sum_;
-  s.min = min_;
-  s.max = max_;
-  s.bins.assign(bins_, bins_ + kNumBins);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.underflow = underflow_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  // Empty histograms report min = max = 0 (the pre-atomic behavior) rather
+  // than the +/-inf accumulator sentinels.
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  s.bins.reserve(kNumBins);
+  for (const auto& bin : bins_) {
+    s.bins.push_back(bin.load(std::memory_order_relaxed));
+  }
   return s;
 }
 

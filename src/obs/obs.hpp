@@ -11,6 +11,7 @@
 // documented in docs/OBSERVABILITY.md.
 
 #include <atomic>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -68,8 +69,12 @@ struct HistogramSnapshot {
 
 /// Log-scale histogram for positive samples: kSubBins bins per power of two,
 /// covering 2^-32 .. 2^32; non-positive samples land in an underflow bucket.
-/// Bins are mutex-guarded (record() is rare enough that contention is moot);
-/// exact count/sum/min/max ride along for precise means and bounds.
+/// record() is lock-free (relaxed atomics: bins and counts via fetch_add,
+/// sum/min/max via CAS loops) so worker threads — parallel MCTS leaf
+/// evaluations, RL rollout workers — can record concurrently without a
+/// mutex.  A snapshot taken while recorders are active may be torn across
+/// fields (count vs sum vs bins); reports are only read between phases,
+/// where every recorder has quiesced.
 class Histogram {
  public:
   static constexpr int kSubBins = 4;
@@ -89,13 +94,12 @@ class Histogram {
   static double bin_value(int index);
 
  private:
-  mutable std::mutex mutex_;
-  long long count_ = 0;
-  long long underflow_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  long long bins_[kNumBins] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> underflow_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<long long> bins_[kNumBins] = {};
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "par/par.hpp"
 #include "util/log.hpp"
 
 namespace mp::obs {
@@ -123,6 +124,11 @@ void ReportWriter::write_run(const std::string& label,
   out.reserve(1024);
   out += "{\"kind\":\"run\",\"label\":";
   append_escaped(out, label);
+  // Thread count the run was configured with (MP_THREADS / --threads), so
+  // JSONL entries stay comparable across machines; per-phase wall time is
+  // in the span tree below.
+  out += ",\"threads\":";
+  append_number(out, static_cast<long long>(par::num_threads()));
   out += ",\"counters\":{";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out += ',';

@@ -1,0 +1,181 @@
+#include "par/par.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace mp::par {
+
+namespace {
+
+// 0 = auto (MP_THREADS, else hardware); > 0 = explicit override.
+std::atomic<int> g_override{0};
+// set_num_threads bumps the generation so the global pool is rebuilt lazily
+// with the new size on its next use.
+std::atomic<int> g_generation{0};
+
+int resolve_threads() {
+  const int override_n = g_override.load(std::memory_order_relaxed);
+  if (override_n > 0) return override_n;
+  const int env_n = util::env_int("MP_THREADS", 0);
+  if (env_n > 0) return env_n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+int num_threads() { return resolve_threads(); }
+
+void set_num_threads(int n) {
+  g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool in_worker() { return t_in_worker; }
+
+// One run() invocation.  The wave owns a copy of the task list and is held
+// by shared_ptr: a worker that claims the wave keeps it alive until it
+// leaves drain(), so run() may return (and its caller's task vector die)
+// while a late worker is still observing an exhausted cursor.
+struct ThreadPool::Wave {
+  std::vector<std::function<void()>> tasks;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Claims and runs tasks until the list is exhausted.
+  void drain() {
+    const std::size_t total = tasks.size();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        tasks[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    std::shared_ptr<Wave> wave;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (wave_ != nullptr && wave_seq_ != last_seq);
+      });
+      if (stop_) return;
+      wave = wave_;
+      last_seq = wave_seq_;
+    }
+    wave->drain();
+  }
+}
+
+void ThreadPool::run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (size_ <= 1 || t_in_worker) {
+    // Serial pool or nested region: run inline, in order.
+    for (const auto& task : tasks) task();
+    return;
+  }
+  auto wave = std::make_shared<Wave>();
+  wave->tasks = tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wave_ = wave;
+    ++wave_seq_;
+  }
+  wake_.notify_all();
+  // The submitting thread is one of the executors.  It counts as "inside the
+  // pool" while it drains, so a nested parallel region encountered in a
+  // caller-executed chunk runs inline (same rule as on the worker threads)
+  // instead of submitting a second wave that would clobber wave_.
+  t_in_worker = true;
+  wave->drain();
+  t_in_worker = false;
+  {
+    std::unique_lock<std::mutex> lock(wave->done_mutex);
+    wave->done_cv.wait(lock, [&] {
+      return wave->done.load(std::memory_order_acquire) == wave->tasks.size();
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wave_ = nullptr;
+  }
+  if (wave->error) std::rethrow_exception(wave->error);
+}
+
+ThreadPool& global_pool() {
+  // Rebuilt when set_num_threads() changed the configuration since the last
+  // use.  Guarded by a mutex: first-use races are possible when several
+  // threads enter a parallel region simultaneously.
+  static std::mutex pool_mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  static int pool_generation = -1;
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  const int generation = g_generation.load(std::memory_order_relaxed);
+  if (!pool || pool_generation != generation ||
+      pool->size() != resolve_threads()) {
+    pool.reset();  // join old workers before spawning the new set
+    pool = std::make_unique<ThreadPool>(resolve_threads());
+    pool_generation = generation;
+  }
+  return *pool;
+}
+
+namespace detail {
+
+void run_chunks(std::size_t chunks,
+                const std::function<void(std::size_t)>& chunk_body) {
+  if (chunks == 0) return;
+  if (chunks == 1 || t_in_worker || num_threads() <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) chunk_body(c);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    tasks.emplace_back([c, &chunk_body] { chunk_body(c); });
+  }
+  global_pool().run(tasks);
+}
+
+}  // namespace detail
+
+}  // namespace mp::par

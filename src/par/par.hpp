@@ -1,0 +1,143 @@
+#pragma once
+// Parallel execution subsystem (docs/PARALLELISM.md).
+//
+// A lazily-initialized global thread pool plus deterministic parallel-for /
+// parallel-reduce primitives.  The design contract, relied on by every
+// caller in mcts/, rl/, gp/ and linalg/:
+//
+//   * The loop range is split into chunks by a caller-supplied grain size
+//     only — NEVER by the thread count — and parallel_reduce combines the
+//     per-chunk partials in ascending chunk order on the calling thread.
+//     Results are therefore bit-identical at any thread count, including 1.
+//   * Chunk bodies that only write disjoint outputs (SpMV rows, bin rows,
+//     per-slice remaps) are bit-identical to the plain serial loop as well.
+//   * Nested parallelism degrades gracefully: a parallel_for issued from
+//     inside a pool worker runs inline on that worker (no deadlock, same
+//     chunk order).
+//
+// Thread count: MP_THREADS env var, or set_num_threads() (e.g. from a
+// --threads CLI flag); 0/unset means std::thread::hardware_concurrency().
+// The pool spawns size-1 workers and the calling thread participates, so
+// num_threads() == 1 executes everything inline with zero synchronization.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mp::par {
+
+/// Configured thread count (>= 1).  First call reads MP_THREADS once;
+/// 0/unset/unparsable falls back to hardware_concurrency().
+int num_threads();
+
+/// Overrides the thread count (0 = back to auto).  Destroys and re-creates
+/// the global pool on the next use; must not be called while a parallel
+/// region is executing.
+void set_num_threads(int n);
+
+/// True while the calling thread is executing a pool task — parallel
+/// primitives use this to run nested regions inline.
+bool in_worker();
+
+/// Fixed-size pool of cooperating workers.  run() executes a task list to
+/// completion; tasks are claimed by an atomic cursor, so any worker may run
+/// any task — callers must not depend on the task→thread mapping (the
+/// deterministic primitives below never do).
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining executor).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs every task and blocks until all complete.  The calling thread
+  /// participates.  The first exception thrown by a task is rethrown here
+  /// (remaining tasks still run).  Concurrent run() calls serialize.
+  void run(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  struct Wave;
+  void worker_loop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::shared_ptr<Wave> wave_;   ///< current wave, guarded by mutex_
+  std::uint64_t wave_seq_ = 0;   ///< bumped per run(), guarded by mutex_
+  bool stop_ = false;
+};
+
+/// The process-wide pool, created on first use with num_threads() threads.
+ThreadPool& global_pool();
+
+namespace detail {
+
+/// Deterministic chunking: number of chunks for a range of `n` items at the
+/// given grain (>= 1).  Depends only on (n, grain), never on thread count.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (grain == 0) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+void run_chunks(std::size_t chunks,
+                const std::function<void(std::size_t)>& chunk_body);
+
+}  // namespace detail
+
+/// Applies `body(begin_i, end_i)` over [begin, end) split into grain-sized
+/// chunks.  Chunks may run concurrently; the body must only touch disjoint
+/// state per chunk (then the result is bit-identical to the serial loop).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = detail::chunk_count(n, grain);
+  if (chunks <= 1) {
+    if (n > 0) body(begin, end);
+    return;
+  }
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    body(lo, hi);
+  });
+}
+
+/// Reduction with deterministic combine order: `body(begin_i, end_i)`
+/// produces one partial per chunk; partials are folded left-to-right in
+/// chunk order with `combine(acc, partial)` on the calling thread, so the
+/// result is independent of the thread count (chunking depends only on the
+/// grain, and each chunk is a serial loop).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T init, Body&& body, Combine&& combine) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = detail::chunk_count(n, grain);
+  if (chunks == 0) return init;
+  if (chunks == 1) return combine(std::move(init), body(begin, end));
+  std::vector<T> partials(chunks);
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    partials[c] = body(lo, hi);
+  });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace mp::par

@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "par/par.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -148,6 +149,7 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
                    << result.mcts_seconds << "s)";
   MP_OBS_HIST("place.hpwl", result.hpwl);
   MP_OBS_GAUGE("place.coarse_wirelength", result.coarse_wirelength);
+  MP_OBS_GAUGE("par.threads", static_cast<double>(par::num_threads()));
   run_span.reset();
   obs::write_run_report("mcts_rl_place");
   return result;

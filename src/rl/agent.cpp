@@ -148,6 +148,22 @@ std::vector<nn::Parameter*> AgentNetwork::parameters() {
   return out;
 }
 
+std::unique_ptr<AgentNetwork> AgentNetwork::clone() {
+  auto copy = std::make_unique<AgentNetwork>(config_);
+  copy->copy_parameters_from(*this);
+  return copy;
+}
+
+void AgentNetwork::copy_parameters_from(AgentNetwork& other) {
+  std::vector<nn::Parameter*> dst = parameters();
+  std::vector<nn::Parameter*> src = other.parameters();
+  assert(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    assert(dst[i]->value.size() == src[i]->value.size());
+    dst[i]->value = src[i]->value;
+  }
+}
+
 std::size_t AgentNetwork::num_parameters() {
   std::size_t total = 0;
   for (const nn::Parameter* p : parameters()) total += p->value.size();

@@ -53,6 +53,16 @@ class AgentNetwork {
 
   std::vector<nn::Parameter*> parameters();
 
+  /// Deep copy: a fresh network with identical parameter values.  BN running
+  /// statistics are Parameters too, so inference on the clone matches the
+  /// original exactly.  Forward caches are not copied — the clone is ready
+  /// for independent forward() calls (e.g. on a par:: worker).
+  std::unique_ptr<AgentNetwork> clone();
+
+  /// Overwrites this network's parameter values with `other`'s.  Both
+  /// networks must have been built from the same AgentConfig shape.
+  void copy_parameters_from(AgentNetwork& other);
+
   /// Number of scalar parameters (for reporting).
   std::size_t num_parameters();
 

@@ -34,6 +34,13 @@ class CoarseEvaluator : public AllocationEvaluator {
   /// Number of evaluations performed (for runtime accounting).
   long long evaluations() const { return evaluations_; }
 
+  /// Value copy — all state (design, warm-start positions, options) is
+  /// copyable, and evaluate() resets positions first, so a clone produces
+  /// bit-identical values to the original.
+  std::unique_ptr<AllocationEvaluator> clone() const override {
+    return std::make_unique<CoarseEvaluator>(*this);
+  }
+
  private:
   netlist::Design design_;
   std::vector<netlist::NodeId> macro_group_nodes_;

@@ -8,6 +8,7 @@
 //   s_a — Eq. (4) availability of each anchor for the *next* group,
 //   t   — the sequence number of the group to place.
 
+#include <memory>
 #include <vector>
 
 #include "cluster/coarse.hpp"
@@ -31,6 +32,12 @@ class AllocationEvaluator {
   virtual double evaluate_partial(const std::vector<grid::CellCoord>& anchors) {
     return evaluate(anchors);
   }
+
+  /// Independent copy for use on a par:: worker thread, or nullptr when the
+  /// evaluator is not clonable (callers must then evaluate serially through
+  /// the shared instance).  A clone must return bit-identical values for
+  /// identical allocations.
+  virtual std::unique_ptr<AllocationEvaluator> clone() const { return nullptr; }
 };
 
 class PlacementEnv {

@@ -91,4 +91,16 @@ Rng Rng::fork(std::uint64_t salt) {
   return Rng(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Fold the full 256-bit state into one word (rotations keep the words
+  // from cancelling), then run two splitmix64 rounds over (state, id) so
+  // adjacent stream ids land far apart.
+  std::uint64_t folded = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  std::uint64_t sm = folded + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  const std::uint64_t a = splitmix64(sm);
+  sm ^= stream_id;
+  const std::uint64_t b = splitmix64(sm);
+  return Rng(a ^ rotl(b, 31));
+}
+
 }  // namespace mp::util

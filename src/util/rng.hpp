@@ -54,7 +54,15 @@ class Rng {
   }
 
   /// Independent child stream; (parent, salt) pairs give distinct streams.
+  /// Advances this generator by one draw.
   Rng fork(std::uint64_t salt);
+
+  /// Statistically independent child stream keyed by `stream_id`, via a
+  /// splitmix mix of the current state and the id.  Unlike fork(), does NOT
+  /// advance this generator: split(k) is a pure function of (state, k), so
+  /// parallel tasks can be seeded per task index — in any order, from any
+  /// thread — and a seeded run stays reproducible at every thread count.
+  Rng split(std::uint64_t stream_id) const;
 
  private:
   std::uint64_t s_[4];
