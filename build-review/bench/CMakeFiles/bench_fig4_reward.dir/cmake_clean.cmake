@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_reward.dir/bench_fig4_reward.cpp.o"
+  "CMakeFiles/bench_fig4_reward.dir/bench_fig4_reward.cpp.o.d"
+  "bench_fig4_reward"
+  "bench_fig4_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mcts_vs_rl.dir/bench_fig5_mcts_vs_rl.cpp.o"
+  "CMakeFiles/bench_fig5_mcts_vs_rl.dir/bench_fig5_mcts_vs_rl.cpp.o.d"
+  "bench_fig5_mcts_vs_rl"
+  "bench_fig5_mcts_vs_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mcts_vs_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

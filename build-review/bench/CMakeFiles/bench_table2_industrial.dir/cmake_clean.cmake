@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_industrial.dir/bench_table2_industrial.cpp.o"
+  "CMakeFiles/bench_table2_industrial.dir/bench_table2_industrial.cpp.o.d"
+  "bench_table2_industrial"
+  "bench_table2_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

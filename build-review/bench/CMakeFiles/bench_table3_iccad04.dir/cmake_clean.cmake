@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_iccad04.dir/bench_table3_iccad04.cpp.o"
+  "CMakeFiles/bench_table3_iccad04.dir/bench_table3_iccad04.cpp.o.d"
+  "bench_table3_iccad04"
+  "bench_table3_iccad04.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_iccad04.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

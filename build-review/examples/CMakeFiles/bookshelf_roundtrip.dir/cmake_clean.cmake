@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookshelf_roundtrip.dir/bookshelf_roundtrip.cpp.o"
+  "CMakeFiles/bookshelf_roundtrip.dir/bookshelf_roundtrip.cpp.o.d"
+  "bookshelf_roundtrip"
+  "bookshelf_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookshelf_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_placers.dir/compare_placers.cpp.o"
+  "CMakeFiles/compare_placers.dir/compare_placers.cpp.o.d"
+  "compare_placers"
+  "compare_placers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_placers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

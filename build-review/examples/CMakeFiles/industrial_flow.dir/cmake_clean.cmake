@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_flow.dir/industrial_flow.cpp.o"
+  "CMakeFiles/industrial_flow.dir/industrial_flow.cpp.o.d"
+  "industrial_flow"
+  "industrial_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_bookshelf.dir/place_bookshelf.cpp.o"
+  "CMakeFiles/place_bookshelf.dir/place_bookshelf.cpp.o.d"
+  "place_bookshelf"
+  "place_bookshelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_bookshelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_inspect.dir/train_inspect.cpp.o"
+  "CMakeFiles/train_inspect.dir/train_inspect.cpp.o.d"
+  "train_inspect"
+  "train_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("par")
+subdirs("obs")
+subdirs("check")
+subdirs("geometry")
+subdirs("linalg")
+subdirs("lp")
+subdirs("netlist")
+subdirs("io")
+subdirs("grid")
+subdirs("qp")
+subdirs("gp")
+subdirs("dp")
+subdirs("cluster")
+subdirs("legal")
+subdirs("nn")
+subdirs("rl")
+subdirs("mcts")
+subdirs("benchgen")
+subdirs("place")

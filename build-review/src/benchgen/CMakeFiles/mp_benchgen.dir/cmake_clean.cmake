@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_benchgen.dir/generator.cpp.o"
+  "CMakeFiles/mp_benchgen.dir/generator.cpp.o.d"
+  "CMakeFiles/mp_benchgen.dir/presets.cpp.o"
+  "CMakeFiles/mp_benchgen.dir/presets.cpp.o.d"
+  "libmp_benchgen.a"
+  "libmp_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_check.dir/check.cpp.o"
+  "CMakeFiles/mp_check.dir/check.cpp.o.d"
+  "libmp_check.a"
+  "libmp_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_validate.dir/validators.cpp.o"
+  "CMakeFiles/mp_validate.dir/validators.cpp.o.d"
+  "libmp_validate.a"
+  "libmp_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

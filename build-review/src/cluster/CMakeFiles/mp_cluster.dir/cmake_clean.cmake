@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_cluster.dir/clustering.cpp.o"
+  "CMakeFiles/mp_cluster.dir/clustering.cpp.o.d"
+  "CMakeFiles/mp_cluster.dir/coarse.cpp.o"
+  "CMakeFiles/mp_cluster.dir/coarse.cpp.o.d"
+  "libmp_cluster.a"
+  "libmp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

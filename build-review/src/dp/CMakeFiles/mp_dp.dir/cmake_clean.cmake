@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_dp.dir/detailed.cpp.o"
+  "CMakeFiles/mp_dp.dir/detailed.cpp.o.d"
+  "CMakeFiles/mp_dp.dir/row_legalizer.cpp.o"
+  "CMakeFiles/mp_dp.dir/row_legalizer.cpp.o.d"
+  "libmp_dp.a"
+  "libmp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

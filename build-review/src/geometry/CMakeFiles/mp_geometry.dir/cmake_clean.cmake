@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_geometry.dir/geometry.cpp.o"
+  "CMakeFiles/mp_geometry.dir/geometry.cpp.o.d"
+  "libmp_geometry.a"
+  "libmp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

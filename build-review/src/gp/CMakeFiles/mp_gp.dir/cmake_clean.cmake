@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_gp.dir/density.cpp.o"
+  "CMakeFiles/mp_gp.dir/density.cpp.o.d"
+  "CMakeFiles/mp_gp.dir/global_placer.cpp.o"
+  "CMakeFiles/mp_gp.dir/global_placer.cpp.o.d"
+  "CMakeFiles/mp_gp.dir/rudy.cpp.o"
+  "CMakeFiles/mp_gp.dir/rudy.cpp.o.d"
+  "libmp_gp.a"
+  "libmp_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/mp_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/mp_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/occupancy.cpp" "src/grid/CMakeFiles/mp_grid.dir/occupancy.cpp.o" "gcc" "src/grid/CMakeFiles/mp_grid.dir/occupancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geometry/CMakeFiles/mp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_grid.dir/grid.cpp.o"
+  "CMakeFiles/mp_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/mp_grid.dir/occupancy.cpp.o"
+  "CMakeFiles/mp_grid.dir/occupancy.cpp.o.d"
+  "libmp_grid.a"
+  "libmp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

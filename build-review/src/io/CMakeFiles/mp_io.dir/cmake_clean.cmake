@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_io.dir/bookshelf.cpp.o"
+  "CMakeFiles/mp_io.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/mp_io.dir/plot.cpp.o"
+  "CMakeFiles/mp_io.dir/plot.cpp.o.d"
+  "libmp_io.a"
+  "libmp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_legal.dir/legalizer.cpp.o"
+  "CMakeFiles/mp_legal.dir/legalizer.cpp.o.d"
+  "CMakeFiles/mp_legal.dir/lp_legalizer.cpp.o"
+  "CMakeFiles/mp_legal.dir/lp_legalizer.cpp.o.d"
+  "CMakeFiles/mp_legal.dir/sequence_pair.cpp.o"
+  "CMakeFiles/mp_legal.dir/sequence_pair.cpp.o.d"
+  "CMakeFiles/mp_legal.dir/shove.cpp.o"
+  "CMakeFiles/mp_legal.dir/shove.cpp.o.d"
+  "libmp_legal.a"
+  "libmp_legal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_legal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

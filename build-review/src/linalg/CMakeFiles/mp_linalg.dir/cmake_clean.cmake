@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_linalg.dir/cg.cpp.o"
+  "CMakeFiles/mp_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/dense.cpp.o"
+  "CMakeFiles/mp_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/mp_linalg.dir/sparse.cpp.o.d"
+  "libmp_linalg.a"
+  "libmp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mp_lp.dir/simplex.cpp.o.d"
+  "libmp_lp.a"
+  "libmp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

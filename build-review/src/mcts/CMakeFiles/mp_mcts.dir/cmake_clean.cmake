@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_mcts.dir/mcts.cpp.o"
+  "CMakeFiles/mp_mcts.dir/mcts.cpp.o.d"
+  "libmp_mcts.a"
+  "libmp_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/mp_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/mp_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/hierarchy.cpp" "src/netlist/CMakeFiles/mp_netlist.dir/hierarchy.cpp.o" "gcc" "src/netlist/CMakeFiles/mp_netlist.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/mp_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/mp_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/netlist/CMakeFiles/mp_netlist.dir/validate.cpp.o" "gcc" "src/netlist/CMakeFiles/mp_netlist.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geometry/CMakeFiles/mp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_netlist.dir/design.cpp.o"
+  "CMakeFiles/mp_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/mp_netlist.dir/hierarchy.cpp.o"
+  "CMakeFiles/mp_netlist.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mp_netlist.dir/stats.cpp.o"
+  "CMakeFiles/mp_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/mp_netlist.dir/validate.cpp.o"
+  "CMakeFiles/mp_netlist.dir/validate.cpp.o.d"
+  "libmp_netlist.a"
+  "libmp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

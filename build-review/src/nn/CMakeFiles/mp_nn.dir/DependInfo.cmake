@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/functional.cpp" "src/nn/CMakeFiles/mp_nn.dir/functional.cpp.o" "gcc" "src/nn/CMakeFiles/mp_nn.dir/functional.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/mp_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/mp_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/mp_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/mp_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mp_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mp_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/mp_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/mp_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

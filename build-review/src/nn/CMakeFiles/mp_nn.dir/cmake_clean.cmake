@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_nn.dir/functional.cpp.o"
+  "CMakeFiles/mp_nn.dir/functional.cpp.o.d"
+  "CMakeFiles/mp_nn.dir/layers.cpp.o"
+  "CMakeFiles/mp_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mp_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mp_nn.dir/tensor.cpp.o"
+  "CMakeFiles/mp_nn.dir/tensor.cpp.o.d"
+  "libmp_nn.a"
+  "libmp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_obs.dir/obs.cpp.o"
+  "CMakeFiles/mp_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/mp_obs.dir/report.cpp.o"
+  "CMakeFiles/mp_obs.dir/report.cpp.o.d"
+  "libmp_obs.a"
+  "libmp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

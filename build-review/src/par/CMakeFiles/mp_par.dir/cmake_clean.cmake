@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_par.dir/par.cpp.o"
+  "CMakeFiles/mp_par.dir/par.cpp.o.d"
+  "libmp_par.a"
+  "libmp_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

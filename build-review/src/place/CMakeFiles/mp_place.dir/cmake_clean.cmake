@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_place.dir/analytic_placer.cpp.o"
+  "CMakeFiles/mp_place.dir/analytic_placer.cpp.o.d"
+  "CMakeFiles/mp_place.dir/flow.cpp.o"
+  "CMakeFiles/mp_place.dir/flow.cpp.o.d"
+  "CMakeFiles/mp_place.dir/placer.cpp.o"
+  "CMakeFiles/mp_place.dir/placer.cpp.o.d"
+  "CMakeFiles/mp_place.dir/rl_only_placer.cpp.o"
+  "CMakeFiles/mp_place.dir/rl_only_placer.cpp.o.d"
+  "CMakeFiles/mp_place.dir/sa_placer.cpp.o"
+  "CMakeFiles/mp_place.dir/sa_placer.cpp.o.d"
+  "CMakeFiles/mp_place.dir/wiremask_placer.cpp.o"
+  "CMakeFiles/mp_place.dir/wiremask_placer.cpp.o.d"
+  "libmp_place.a"
+  "libmp_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

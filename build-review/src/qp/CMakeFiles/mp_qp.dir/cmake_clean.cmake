@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_qp.dir/b2b.cpp.o"
+  "CMakeFiles/mp_qp.dir/b2b.cpp.o.d"
+  "CMakeFiles/mp_qp.dir/quadratic.cpp.o"
+  "CMakeFiles/mp_qp.dir/quadratic.cpp.o.d"
+  "libmp_qp.a"
+  "libmp_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

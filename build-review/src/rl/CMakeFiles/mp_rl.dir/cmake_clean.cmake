@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_rl.dir/agent.cpp.o"
+  "CMakeFiles/mp_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/mp_rl.dir/coarse_evaluator.cpp.o"
+  "CMakeFiles/mp_rl.dir/coarse_evaluator.cpp.o.d"
+  "CMakeFiles/mp_rl.dir/env.cpp.o"
+  "CMakeFiles/mp_rl.dir/env.cpp.o.d"
+  "CMakeFiles/mp_rl.dir/reward.cpp.o"
+  "CMakeFiles/mp_rl.dir/reward.cpp.o.d"
+  "CMakeFiles/mp_rl.dir/trainer.cpp.o"
+  "CMakeFiles/mp_rl.dir/trainer.cpp.o.d"
+  "libmp_rl.a"
+  "libmp_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

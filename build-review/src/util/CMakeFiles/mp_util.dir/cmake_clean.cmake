@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_util.dir/env.cpp.o"
+  "CMakeFiles/mp_util.dir/env.cpp.o.d"
+  "CMakeFiles/mp_util.dir/log.cpp.o"
+  "CMakeFiles/mp_util.dir/log.cpp.o.d"
+  "CMakeFiles/mp_util.dir/rng.cpp.o"
+  "CMakeFiles/mp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mp_util.dir/timer.cpp.o"
+  "CMakeFiles/mp_util.dir/timer.cpp.o.d"
+  "libmp_util.a"
+  "libmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_b2b.dir/test_b2b.cpp.o"
+  "CMakeFiles/test_b2b.dir/test_b2b.cpp.o.d"
+  "test_b2b"
+  "test_b2b.pdb"
+  "test_b2b[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_b2b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_sweep.dir/test_cluster_sweep.cpp.o"
+  "CMakeFiles/test_cluster_sweep.dir/test_cluster_sweep.cpp.o.d"
+  "test_cluster_sweep"
+  "test_cluster_sweep.pdb"
+  "test_cluster_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

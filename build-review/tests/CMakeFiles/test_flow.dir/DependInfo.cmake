@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/test_flow.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/test_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/place/CMakeFiles/mp_place.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dp/CMakeFiles/mp_dp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mcts/CMakeFiles/mp_mcts.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rl/CMakeFiles/mp_rl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/legal/CMakeFiles/mp_legal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cluster/CMakeFiles/mp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/mp_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gp/CMakeFiles/mp_gp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qp/CMakeFiles/mp_qp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/mp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/benchgen/CMakeFiles/mp_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/mp_validate.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netlist/CMakeFiles/mp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/mp_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/grid/CMakeFiles/mp_grid.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geometry/CMakeFiles/mp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/mp_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/par/CMakeFiles/mp_par.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

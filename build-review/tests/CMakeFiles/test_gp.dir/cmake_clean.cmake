@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp.dir/test_gp.cpp.o"
+  "CMakeFiles/test_gp.dir/test_gp.cpp.o.d"
+  "test_gp"
+  "test_gp.pdb"
+  "test_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_robustness.dir/test_io_robustness.cpp.o"
+  "CMakeFiles/test_io_robustness.dir/test_io_robustness.cpp.o.d"
+  "test_io_robustness"
+  "test_io_robustness.pdb"
+  "test_io_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

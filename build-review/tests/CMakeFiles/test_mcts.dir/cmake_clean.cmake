@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcts.dir/test_mcts.cpp.o"
+  "CMakeFiles/test_mcts.dir/test_mcts.cpp.o.d"
+  "test_mcts"
+  "test_mcts.pdb"
+  "test_mcts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcts_extensions.dir/test_mcts_extensions.cpp.o"
+  "CMakeFiles/test_mcts_extensions.dir/test_mcts_extensions.cpp.o.d"
+  "test_mcts_extensions"
+  "test_mcts_extensions.pdb"
+  "test_mcts_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcts_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_sweep.dir/test_nn_sweep.cpp.o"
+  "CMakeFiles/test_nn_sweep.dir/test_nn_sweep.cpp.o.d"
+  "test_nn_sweep"
+  "test_nn_sweep.pdb"
+  "test_nn_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

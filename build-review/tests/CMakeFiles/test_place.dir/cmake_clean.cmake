@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_place.dir/test_place.cpp.o"
+  "CMakeFiles/test_place.dir/test_place.cpp.o.d"
+  "test_place"
+  "test_place.pdb"
+  "test_place[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

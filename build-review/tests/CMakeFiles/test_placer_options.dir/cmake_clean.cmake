@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placer_options.dir/test_placer_options.cpp.o"
+  "CMakeFiles/test_placer_options.dir/test_placer_options.cpp.o.d"
+  "test_placer_options"
+  "test_placer_options.pdb"
+  "test_placer_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placer_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rudy.dir/test_rudy.cpp.o"
+  "CMakeFiles/test_rudy.dir/test_rudy.cpp.o.d"
+  "test_rudy"
+  "test_rudy.pdb"
+  "test_rudy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sa_wiremask_units.dir/test_sa_wiremask_units.cpp.o"
+  "CMakeFiles/test_sa_wiremask_units.dir/test_sa_wiremask_units.cpp.o.d"
+  "test_sa_wiremask_units"
+  "test_sa_wiremask_units.pdb"
+  "test_sa_wiremask_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sa_wiremask_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
