@@ -1,0 +1,81 @@
+// Long-lived placement service daemon:
+//
+//   ./mp_serve --socket /tmp/mp.sock [--max-queued N] [--threads N]
+//
+// Speaks newline-delimited JSON over a Unix domain socket (protocol in
+// src/svc/server.hpp and docs/SERVICE.md); submit work with mp_submit.
+// SIGTERM/SIGINT drain gracefully: the socket stops accepting, the running
+// job and the queued backlog complete, then the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "par/par.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+mp::svc::Server* g_server = nullptr;
+
+// Async-signal-safe: request_shutdown is one atomic store + one pipe write.
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mp_serve --socket PATH [--max-queued N] [--threads N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  mp::svc::ServiceOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
+      options.max_queued = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      mp::par::set_num_threads(std::atoi(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty()) return usage();
+
+  mp::svc::LocalService service(options);
+  mp::svc::Server server(service, socket_path);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("mp_serve: listening on %s (max %d queued)\n",
+              socket_path.c_str(), options.max_queued);
+  std::fflush(stdout);
+  server.serve();
+
+  // serve() returns only after the drain completed.
+  int done = 0, failed = 0, cancelled = 0;
+  for (const mp::svc::JobSnapshot& snap : service.jobs()) {
+    if (snap.state == mp::svc::JobState::kDone) ++done;
+    else if (snap.state == mp::svc::JobState::kFailed) ++failed;
+    else if (snap.state == mp::svc::JobState::kCancelled) ++cancelled;
+  }
+  std::printf("mp_serve: drained (%d done, %d failed, %d cancelled)\n", done,
+              failed, cancelled);
+  g_server = nullptr;
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Client CLI for the mp_serve daemon:
+//
+//   ./mp_submit --socket PATH submit <spec-json|@file> [--wait] [--watch]
+//   ./mp_submit --socket PATH status <job-id>
+//   ./mp_submit --socket PATH result <job-id> [--timeout S]
+//   ./mp_submit --socket PATH cancel <job-id>
+//   ./mp_submit --socket PATH stats
+//   ./mp_submit --socket PATH shutdown
+//
+// The spec is a JSON job object (docs/SERVICE.md), inline or @file.  Replies
+// print as one JSON line on stdout; exit status is 0 iff the server said ok.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "svc/client.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mp_submit --socket PATH "
+               "(submit <spec|@file> [--wait] [--watch] [--timeout S]"
+               " | status <id> | result <id> [--timeout S]"
+               " | cancel <id> | stats | shutdown)\n");
+  return 2;
+}
+
+bool reply_ok(const mp::svc::Json& reply) {
+  const mp::svc::Json* ok = reply.find("ok");
+  if (ok != nullptr && ok->is_bool()) return ok->as_bool();
+  // watch's final line carries the job instead of "ok".
+  return reply.find("event") != nullptr;
+}
+
+int finish(const mp::svc::Json& reply) {
+  std::printf("%s\n", reply.dump().c_str());
+  return reply_ok(reply) ? 0 : 1;
+}
+
+std::string load_spec_text(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return arg;
+  std::ifstream f(arg.substr(1));
+  if (!f) throw std::runtime_error("cannot open spec file " + arg.substr(1));
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, command, operand;
+  bool wait = false, watch = false;
+  double timeout_s = 600.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      wait = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (command.empty()) {
+      command = argv[i];
+    } else if (operand.empty()) {
+      operand = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() || command.empty()) return usage();
+
+  mp::svc::Client client(socket_path);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  try {
+    if (command == "submit") {
+      if (operand.empty()) return usage();
+      const mp::svc::Json spec =
+          mp::svc::Json::parse(load_spec_text(operand));
+      const mp::svc::Json reply = client.submit(spec);
+      if (!reply_ok(reply) || (!wait && !watch)) return finish(reply);
+      const std::string id = reply.find("id")->as_string();
+      if (watch) {
+        return finish(client.watch(id, [](const mp::svc::Json& event) {
+          std::printf("%s\n", event.dump().c_str());
+          std::fflush(stdout);
+        }));
+      }
+      return finish(client.result(id, timeout_s));
+    }
+    if (command == "status") {
+      if (operand.empty()) return usage();
+      return finish(client.status(operand));
+    }
+    if (command == "result") {
+      if (operand.empty()) return usage();
+      return finish(client.result(operand, timeout_s));
+    }
+    if (command == "cancel") {
+      if (operand.empty()) return usage();
+      return finish(client.cancel(operand));
+    }
+    if (command == "stats") return finish(client.stats());
+    if (command == "shutdown") return finish(client.shutdown());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -6,13 +6,17 @@
 #      -Werror, then the full ctest suite under it at MP_VALIDATE_LEVEL=2 so
 #      the deep structural validators are exercised together with the
 #      sanitizers.
-#   2. A ThreadSanitizer build (its own tree — TSan cannot be combined with
+#   2. A service smoke under the same ASan/UBSan build: boots mp_serve on a
+#      throwaway socket, pushes a 2-job mixed-preset smoke through
+#      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
+#      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
+#   3. A ThreadSanitizer build (its own tree — TSan cannot be combined with
 #      ASan) running the `par`-labelled suite (ctest -L par): the thread
 #      pool, the lock-free obs metrics and every parallelized hot path
 #      (docs/PARALLELISM.md).  This leg is on by DEFAULT; pass --tsan to run
 #      the FULL suite under TSan instead (slower), or --no-tsan to skip the
 #      TSan leg entirely.
-#   3. clang-tidy over the compile database, when clang-tidy is installed.
+#   4. clang-tidy over the compile database, when clang-tidy is installed.
 #      Skipped with a notice otherwise (the container ships gcc only).
 #
 # Build trees live under build-check/ and are reused across runs; use
@@ -70,7 +74,60 @@ run_sanitized() {
       ${label_args[@]+"${label_args[@]}"}
 }
 
+# Boots the sanitized mp_serve daemon, runs a 2-job smoke through mp_submit
+# (one mcts, one sa — both tiny synthetic designs), then SIGTERMs with the
+# second job still in flight and verifies the graceful drain: both jobs done,
+# exit status 0, no stale socket.  Every step fails the gate on a non-zero
+# exit (set -euo pipefail above).
+svc_smoke() {
+  local dir="build-check/asan"
+  local sock="${TMPDIR:-/tmp}/mp_check_svc_$$.sock"
+  local log="build-check/svc_smoke.log"
+  local base='"synthetic":{"movable_macros":8,"std_cells":300,"nets":400,"io_pads":16,"seed":5},"episodes":6,"gamma":4,"grid":8,"channels":8,"blocks":1'
+  rm -f "${sock}"
+  ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    "${dir}/examples/mp_serve" --socket "${sock}" >"${log}" 2>&1 &
+  local pid=$!
+  local up=0
+  for _ in $(seq 1 300); do
+    [[ -S "${sock}" ]] && { up=1; break; }
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [[ "${up}" != 1 ]]; then
+    echo "svc: mp_serve did not come up; log follows" >&2
+    cat "${log}" >&2
+    kill "${pid}" 2>/dev/null || true
+    return 1
+  fi
+  "${dir}/examples/mp_submit" --socket "${sock}" \
+    submit "{${base},\"preset\":\"mcts\"}" --wait
+  # Left in flight on purpose: the drain below must run it to completion.
+  "${dir}/examples/mp_submit" --socket "${sock}" \
+    submit "{${base},\"preset\":\"sa\"}"
+  kill -TERM "${pid}"
+  local status=0
+  wait "${pid}" || status=$?
+  if [[ "${status}" != 0 ]]; then
+    echo "svc: mp_serve exited ${status} after SIGTERM; log follows" >&2
+    cat "${log}" >&2
+    return 1
+  fi
+  if ! grep -q "drained (2 done, 0 failed, 0 cancelled)" "${log}"; then
+    echo "svc: unexpected drain summary; log follows" >&2
+    cat "${log}" >&2
+    return 1
+  fi
+  if [[ -e "${sock}" ]]; then
+    echo "svc: stale socket ${sock} left behind after drain" >&2
+    return 1
+  fi
+}
+
 run_sanitized asan "address;undefined"
+note "svc: mp_serve smoke (2 jobs + SIGTERM drain, ASan/UBSan)"
+svc_smoke
 case "${TSAN_MODE}" in
   # Exercise the pool and shared-tree/self-play paths with several workers
   # even on small CI machines.

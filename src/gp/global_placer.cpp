@@ -136,6 +136,10 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
 
   double anchor_weight = options.anchor_weight;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     MP_OBS_COUNT("gp.spreading_passes", 1);
     DensityGrid grid = build_density_grid(design, is_movable, region, bins,
                                           options.target_density);
@@ -226,7 +230,7 @@ GlobalPlaceResult global_place(Design& design, const GlobalPlaceOptions& options
                                           options.target_density);
     result.overflow_ratio = grid.overflow_ratio();
   }
-  if (options.b2b_iterations > 0) {
+  if (options.b2b_iterations > 0 && !result.cancelled) {
     // Hold the spread positions with weak anchors while B2B polishes
     // wirelength.
     std::vector<qp::Anchor> anchors;

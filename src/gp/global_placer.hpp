@@ -10,6 +10,7 @@
 
 #include "netlist/design.hpp"
 #include "qp/quadratic.hpp"
+#include "util/cancel.hpp"
 
 namespace mp::gp {
 
@@ -38,12 +39,18 @@ struct GlobalPlaceOptions {
   /// the density achieved by spreading is not thrown away).
   double b2b_anchor_weight = 0.05;
   qp::QpOptions qp;
+  /// Cooperative cancellation, polled at spreading-round boundaries: a
+  /// cancelled run stops after the current round's anchored QP (positions
+  /// stay finite and consistent) and skips the B2B polish.  An inert or
+  /// never-triggered token leaves results bit-identical.
+  util::CancelToken cancel;
 };
 
 struct GlobalPlaceResult {
   double hpwl = 0.0;
   double overflow_ratio = 0.0;
   int iterations = 0;
+  bool cancelled = false;  ///< stopped early via GlobalPlaceOptions::cancel
 };
 
 /// Runs global placement in place.  Moves std cells (and movable macros when

@@ -489,13 +489,24 @@ MctsResult MctsPlacer::run() {
   const int total_steps = env_.num_steps();
   const int batch = std::max(1, options_.eval_batch);
   for (const std::vector<int>& seed : options_.seed_paths) seed_path(seed);
-  for (int t = 0; t < total_steps; ++t) {
+  bool cancelled = false;
+  for (int t = 0; t < total_steps && !cancelled; ++t) {
     if (batch <= 1) {
       // Serial path: bit-identical to the pre-parallel implementation.
-      for (int g = 0; g < options_.explorations_per_move; ++g) explore();
+      for (int g = 0; g < options_.explorations_per_move; ++g) {
+        if (options_.cancel.cancelled()) {
+          cancelled = true;
+          break;
+        }
+        explore();
+      }
     } else {
       int remaining = options_.explorations_per_move;
       while (remaining > 0) {
+        if (options_.cancel.cancelled()) {
+          cancelled = true;
+          break;
+        }
         const int b = std::min(remaining, batch);
         run_batch(b);
         remaining -= b;
@@ -511,6 +522,7 @@ MctsResult MctsPlacer::run() {
         }
       }
     }
+    if (cancelled) break;  // commit nothing on a cancelled move
     MP_OBS_COUNT("mcts.moves", 1);
     MP_OBS_HIST("mcts.tree_nodes_per_move", static_cast<double>(nodes_.size()));
 
@@ -547,12 +559,13 @@ MctsResult MctsPlacer::run() {
   }
 
   MctsResult result = stats_;
+  result.cancelled = cancelled;
   if (replay(committed_) && env_.done()) {
     result.anchors = env_.anchors();
     result.committed_wirelength = evaluator_.evaluate(result.anchors);
     result.wirelength = result.committed_wirelength;
   } else {
-    util::log_error() << "mcts: final allocation incomplete";
+    if (!cancelled) util::log_error() << "mcts: final allocation incomplete";
     result.committed_wirelength = std::numeric_limits<double>::infinity();
     result.wirelength = result.committed_wirelength;
   }
@@ -563,7 +576,9 @@ MctsResult MctsPlacer::run() {
     result.anchors = best_terminal_anchors_;
     result.wirelength = best_terminal_wirelength_;
   }
-  result.reward = reward_(result.wirelength);
+  result.reward = std::isfinite(result.wirelength)
+                      ? reward_(result.wirelength)
+                      : -std::numeric_limits<double>::infinity();
   MP_OBS_GAUGE("mcts.tree_nodes", static_cast<double>(nodes_.size()));
   MP_OBS_GAUGE("mcts.value_bound_lo", value_bounds_.lo);
   MP_OBS_GAUGE("mcts.value_bound_hi", value_bounds_.hi);

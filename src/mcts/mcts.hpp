@@ -22,6 +22,7 @@
 
 #include "rl/agent.hpp"
 #include "rl/reward.hpp"
+#include "util/cancel.hpp"
 
 namespace mp::mcts {
 
@@ -75,6 +76,14 @@ struct MctsOptions {
   /// (scored as if they had returned the worst value seen), pushing the
   /// other slots of the same batch onto different lines.  Removed at backup.
   int virtual_loss = 3;
+
+  /// Cooperative cancellation, polled between explorations (serial mode) or
+  /// between batches, and between committed moves.  A cancelled search
+  /// returns the best complete allocation evaluated so far (terminal leaves,
+  /// seed lines) with MctsResult::cancelled set; when none exists the
+  /// anchors are empty and the wirelength is +inf.  An inert or untriggered
+  /// token leaves the search bit-identical.
+  util::CancelToken cancel;
 };
 
 struct MctsResult {
@@ -87,6 +96,7 @@ struct MctsResult {
   long long nodes_created = 0;
   long long nn_evaluations = 0;           ///< value-network evaluations
   long long terminal_evaluations = 0;     ///< full placement evaluations
+  bool cancelled = false;                 ///< stopped via MctsOptions::cancel
 };
 
 class MctsPlacer {

@@ -7,8 +7,34 @@
 namespace mp::nn {
 
 namespace {
+
 constexpr std::uint32_t kMagic = 0x4d504e4e;  // "MPNN"
+// Plausibility bounds: a corrupt header must fail fast with a clear message
+// instead of driving a multi-gigabyte allocation or a sign-flipped loop.
+constexpr std::uint32_t kMaxTensors = 1u << 20;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::int32_t kMaxDim = 1 << 28;
+
+template <typename T>
+void read_pod(std::ifstream& f, T& out, const std::string& path,
+              const char* what) {
+  f.read(reinterpret_cast<char*>(&out), sizeof(T));
+  if (!f) {
+    throw std::runtime_error(std::string("truncated parameter file (") + what +
+                             "): " + path);
+  }
 }
+
+std::string shape_string(const std::vector<int>& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace
 
 std::vector<Tensor> snapshot_parameters(const std::vector<Parameter*>& params) {
   std::vector<Tensor> out;
@@ -51,36 +77,82 @@ void save_parameters(const std::vector<Parameter*>& params,
   if (!f) throw std::runtime_error("write failed: " + path);
 }
 
-void load_parameters(const std::vector<Parameter*>& params,
-                     const std::string& path) {
+std::vector<Tensor> read_parameters_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open for reading: " + path);
   std::uint32_t magic = 0, count = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (magic != kMagic) throw std::runtime_error("bad magic in " + path);
-  if (count != params.size()) {
-    throw std::runtime_error("parameter count mismatch in " + path);
+  read_pod(f, magic, path, "magic");
+  if (magic != kMagic) {
+    throw std::runtime_error("bad magic in " + path +
+                             " (not an nn parameter file)");
   }
-  for (Parameter* p : params) {
+  read_pod(f, count, path, "tensor count");
+  if (count > kMaxTensors) {
+    throw std::runtime_error("implausible tensor count " +
+                             std::to_string(count) + " in " + path);
+  }
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string where = "tensor " + std::to_string(i);
     std::uint32_t rank = 0;
-    f.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    if (rank != static_cast<std::uint32_t>(p->value.rank())) {
-      throw std::runtime_error("parameter rank mismatch in " + path);
+    read_pod(f, rank, path, (where + " rank").c_str());
+    if (rank > kMaxRank) {
+      throw std::runtime_error("implausible rank " + std::to_string(rank) +
+                               " for " + where + " in " + path);
     }
+    std::vector<int> shape;
+    shape.reserve(rank);
     std::size_t total = 1;
     for (std::uint32_t d = 0; d < rank; ++d) {
       std::int32_t dim = 0;
-      f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-      if (dim != p->value.dim(static_cast<int>(d))) {
-        throw std::runtime_error("parameter shape mismatch in " + path);
+      read_pod(f, dim, path, (where + " shape").c_str());
+      if (dim <= 0 || dim > kMaxDim) {
+        throw std::runtime_error("implausible dimension " +
+                                 std::to_string(dim) + " for " + where +
+                                 " in " + path);
       }
+      shape.push_back(dim);
       total *= static_cast<std::size_t>(dim);
     }
-    f.read(reinterpret_cast<char*>(p->value.data()),
+    Tensor t(shape);
+    f.read(reinterpret_cast<char*>(t.data()),
            static_cast<std::streamsize>(total * sizeof(float)));
+    if (!f) {
+      throw std::runtime_error("truncated parameter file (" + where +
+                               " data): " + path);
+    }
+    out.push_back(std::move(t));
   }
-  if (!f) throw std::runtime_error("read failed: " + path);
+  // The container is length-delimited; bytes past the last tensor mean the
+  // file was written by something else (or doubly appended) — refuse it.
+  f.peek();
+  if (!f.eof()) {
+    throw std::runtime_error("trailing bytes after last tensor in " + path);
+  }
+  return out;
+}
+
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  const std::vector<Tensor> loaded = read_parameters_file(path);
+  if (loaded.size() != params.size()) {
+    throw std::runtime_error(
+        "parameter count mismatch in " + path + ": network has " +
+        std::to_string(params.size()) + ", file has " +
+        std::to_string(loaded.size()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (loaded[i].shape() != params[i]->value.shape()) {
+      throw std::runtime_error(
+          "parameter " + std::to_string(i) + " shape mismatch in " + path +
+          ": network expects " + shape_string(params[i]->value.shape()) +
+          ", file has " + shape_string(loaded[i].shape()));
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = loaded[i];
+  }
 }
 
 }  // namespace mp::nn

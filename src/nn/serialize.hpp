@@ -24,4 +24,11 @@ void save_parameters(const std::vector<Parameter*>& params,
 void load_parameters(const std::vector<Parameter*>& params,
                      const std::string& path);
 
+/// Reads a save_parameters file into free-standing tensors, validating the
+/// container itself (magic, plausible counts/ranks/dims, exact length — a
+/// truncated or trailing-garbage file throws with the failing field named)
+/// without needing a network of matching architecture.  Used by the service
+/// weights cache (src/svc/cache.cpp); load_parameters builds on it.
+std::vector<Tensor> read_parameters_file(const std::string& path);
+
 }  // namespace mp::nn

@@ -33,6 +33,39 @@ int level_from_env() {
 // Per-thread position in the global registry's span tree.
 thread_local detail::SpanNode* t_cursor = nullptr;
 
+// Span listener slot.  The atomic flag keeps the common no-listener case to
+// one relaxed-ish load on the span hot path; the shared_ptr lets an
+// in-flight notification keep using the listener it captured even if
+// set_span_listener() swaps it concurrently.
+std::atomic<bool> g_has_listener{false};
+std::mutex g_listener_mutex;
+std::shared_ptr<const SpanListener> g_listener;
+
+// Invoked by enter_span/exit_span AFTER the registry mutex is released, so a
+// listener that reads the registry (snapshots, counters) cannot deadlock.
+// Path and depth come from the node's name/parent chain, which is immutable
+// after creation.
+void notify_span(const detail::SpanNode* node, bool enter, double seconds) {
+  if (!g_has_listener.load(std::memory_order_acquire)) return;
+  std::shared_ptr<const SpanListener> listener;
+  {
+    std::lock_guard<std::mutex> lock(g_listener_mutex);
+    listener = g_listener;
+  }
+  if (!listener) return;
+  std::vector<const detail::SpanNode*> stack;
+  for (const detail::SpanNode* n = node;
+       n != nullptr && n->parent != nullptr; n = n->parent) {
+    stack.push_back(n);
+  }
+  std::string path;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (!path.empty()) path += '/';
+    path += (*it)->name;
+  }
+  (*listener)(path, static_cast<int>(stack.size()), enter, seconds);
+}
+
 }  // namespace
 
 bool enabled() {
@@ -181,23 +214,31 @@ Histogram& Registry::histogram(const std::string& name) {
 }
 
 detail::SpanNode* Registry::enter_span(const char* name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  detail::SpanNode* parent = t_cursor != nullptr ? t_cursor : &span_root_;
-  std::unique_ptr<detail::SpanNode>& slot = parent->children[name];
-  if (!slot) {
-    slot = std::make_unique<detail::SpanNode>();
-    slot->name = name;
-    slot->parent = parent;
+  detail::SpanNode* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    detail::SpanNode* parent = t_cursor != nullptr ? t_cursor : &span_root_;
+    std::unique_ptr<detail::SpanNode>& slot = parent->children[name];
+    if (!slot) {
+      slot = std::make_unique<detail::SpanNode>();
+      slot->name = name;
+      slot->parent = parent;
+    }
+    t_cursor = slot.get();
+    node = slot.get();
   }
-  t_cursor = slot.get();
-  return slot.get();
+  notify_span(node, /*enter=*/true, 0.0);
+  return node;
 }
 
 void Registry::exit_span(detail::SpanNode* node, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  node->count += 1;
-  node->total_seconds += seconds;
-  t_cursor = node->parent == &span_root_ ? nullptr : node->parent;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    node->count += 1;
+    node->total_seconds += seconds;
+    t_cursor = node->parent == &span_root_ ? nullptr : node->parent;
+  }
+  notify_span(node, /*enter=*/false, seconds);
 }
 
 namespace {
@@ -257,6 +298,17 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void reset_values() { Registry::global().reset_values(); }
+
+void set_span_listener(SpanListener listener) {
+  std::lock_guard<std::mutex> lock(g_listener_mutex);
+  if (listener) {
+    g_listener = std::make_shared<const SpanListener>(std::move(listener));
+    g_has_listener.store(true, std::memory_order_release);
+  } else {
+    g_has_listener.store(false, std::memory_order_release);
+    g_listener.reset();
+  }
+}
 
 std::string current_span_path() {
   // Walks this thread's cursor to the root.  Names and parent pointers are

@@ -11,6 +11,7 @@
 // documented in docs/OBSERVABILITY.md.
 
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -163,6 +164,23 @@ class Registry {
 /// Zeroes every metric of the global registry (used at the start of a run so
 /// each JSONL report line describes exactly one run).
 void reset_values();
+
+/// Live span notification: called on every span enter (`seconds` is 0) and
+/// exit (`seconds` is the span's wall time) while a listener is installed.
+/// `path` is the slash-joined span path, `depth` its nesting level (1 =
+/// top-level).  Invoked on whichever thread runs the span, after the
+/// registry mutex is released — the listener may read the registry but must
+/// not open spans of its own, and should return quickly (it sits on the hot
+/// instrumentation path).  Used by the service layer to stream per-phase
+/// progress to clients (src/svc/service.cpp).
+using SpanListener =
+    std::function<void(const std::string& path, int depth, bool enter,
+                       double seconds)>;
+
+/// Installs (or, with an empty function, removes) the process-wide span
+/// listener.  Thread-safe; in-flight notifications finish with the listener
+/// they captured.
+void set_span_listener(SpanListener listener);
 
 /// Slash-joined path of the calling thread's active span stack (e.g.
 /// "flow.finalize/flow.legalize"), empty when no span is open.  Used by the

@@ -117,13 +117,20 @@ void ReportWriter::write_line(const std::string& line) {
   std::fclose(f);
 }
 
-void ReportWriter::write_run(const std::string& label,
-                             const RegistrySnapshot& snapshot) {
+void ReportWriter::write_run(
+    const std::string& label, const RegistrySnapshot& snapshot,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
   if (!valid()) return;
   std::string out;
   out.reserve(1024);
   out += "{\"kind\":\"run\",\"label\":";
   append_escaped(out, label);
+  for (const auto& [key, value] : fields) {
+    out += ',';
+    append_escaped(out, key);
+    out += ':';
+    append_escaped(out, value);
+  }
   // Thread count the run was configured with (MP_THREADS / --threads), so
   // JSONL entries stay comparable across machines; per-phase wall time is
   // in the span tree below.
@@ -188,11 +195,15 @@ void ReportWriter::write_table(
   write_line(out);
 }
 
-void write_run_report(const std::string& label) {
+void write_run_report(const std::string& label) { write_run_report(label, {}); }
+
+void write_run_report(
+    const std::string& label,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
   if (!enabled()) return;
   ReportWriter writer = ReportWriter::from_env();
   if (!writer.valid()) return;
-  writer.write_run(label, Registry::global().snapshot());
+  writer.write_run(label, Registry::global().snapshot(), fields);
 }
 
 std::string summary_table() {

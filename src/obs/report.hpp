@@ -29,8 +29,13 @@ class ReportWriter {
   const std::string& destination() const { return destination_; }
 
   /// Appends one run object: {"kind":"run","label":...,"counters":{...},
-  /// "gauges":{...},"histograms":{...},"spans":[...]}.
-  void write_run(const std::string& label, const RegistrySnapshot& snapshot);
+  /// "gauges":{...},"histograms":{...},"spans":[...]}.  `fields` adds extra
+  /// top-level string members right after "label" (job IDs, design names,
+  /// flow presets — see src/svc/service.cpp); keys must not collide with the
+  /// fixed schema keys.
+  void write_run(
+      const std::string& label, const RegistrySnapshot& snapshot,
+      const std::vector<std::pair<std::string, std::string>>& fields = {});
 
   /// Appends one bench-table object: {"kind":"table","bench":...,
   /// "columns":[...],"rows":[{"name":...,"values":[...]}]}.
@@ -47,6 +52,11 @@ class ReportWriter {
 /// Snapshots the global registry and appends one run line to MP_OBS_OUT.
 /// No-op when telemetry is disabled or MP_OBS_OUT is unset.
 void write_run_report(const std::string& label);
+
+/// Same, with extra top-level string fields (see ReportWriter::write_run).
+void write_run_report(
+    const std::string& label,
+    const std::vector<std::pair<std::string, std::string>>& fields);
 
 /// Human-readable per-phase table of the global registry's span tree
 /// (phase, calls, wall seconds, self seconds, share of total) followed by

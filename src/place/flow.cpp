@@ -15,7 +15,9 @@ FlowContext prepare_flow(netlist::Design& design, const FlowOptions& options) {
   util::Timer timer;
   {
     MP_OBS_SPAN("flow.initial_gp");
-    gp::global_place(design, options.initial_gp);
+    gp::GlobalPlaceOptions initial_gp = options.initial_gp;
+    if (options.cancel.valid()) initial_gp.cancel = options.cancel;
+    gp::global_place(design, initial_gp);
   }
   util::log_info() << "prepare_flow: initial GP in " << timer.seconds() << "s";
 
@@ -56,12 +58,14 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
                           const std::vector<grid::CellCoord>& anchors,
                           const FlowOptions& options) {
   MP_OBS_SPAN("flow.finalize");
+  gp::GlobalPlaceOptions final_gp = options.final_gp;
+  if (options.cancel.valid()) final_gp.cancel = options.cancel;
   {
     MP_OBS_SPAN("flow.legalize");
     legal::legalize_groups(design, context.coarse, context.clustering,
                            context.spec, anchors, options.legalize);
   }
-  double hpwl = place_cells_and_measure(design, options.final_gp);
+  double hpwl = place_cells_and_measure(design, final_gp);
   MP_OBS_HIST("flow.hpwl_after_legalize", hpwl);
   if (check::validate_level() >= 1) {
     MP_CHECK_FINITE(hpwl, "HPWL after legalization");
@@ -72,6 +76,7 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
   // FlowOptions::refine_rounds).  Rounds that do not improve are rolled
   // back, so refinement can only help.
   for (int round = 0; round < options.refine_rounds; ++round) {
+    if (options.cancel.cancelled()) break;  // keep the legal placement we have
     MP_OBS_SPAN("flow.refine_round");
     MP_OBS_COUNT("flow.refine_rounds", 1);
     const std::vector<netlist::NodeId>& movable = design.movable_macros();
@@ -97,7 +102,7 @@ double finalize_placement(netlist::Design& design, FlowContext& context,
     qp::solve_quadratic_placement(design, movable, {}, bounds,
                                   options.legalize.qp);
     legal::legalize_flat(design, options.legalize);
-    const double refined = place_cells_and_measure(design, options.final_gp);
+    const double refined = place_cells_and_measure(design, final_gp);
     if (refined >= hpwl) {
       // Roll back and try the next (wider) round.
       for (std::size_t i = 0; i < design.num_nodes(); ++i) {

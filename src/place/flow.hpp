@@ -41,6 +41,12 @@ struct FlowOptions {
   /// HPWL on the row-legal placement.  Off by default: the paper reports
   /// the global-placement wirelength (DREAMPlace convention).
   bool row_legal_cells = false;
+  /// Cooperative cancellation (docs/SERVICE.md): propagated into the GP
+  /// stages and polled at refinement-round boundaries.  A cancelled finalize
+  /// still completes macro legalization and one cell placement pass, so the
+  /// design it leaves behind is structurally valid; only the optional
+  /// refinement is skipped.  Inert/untriggered tokens are bit-identical.
+  util::CancelToken cancel;
 };
 
 struct FlowContext {

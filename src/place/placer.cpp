@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "nn/serialize.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
@@ -12,19 +13,25 @@
 
 namespace mp::place {
 
-MctsRlResult mcts_rl_place(netlist::Design& design,
-                           const MctsRlOptions& options) {
-  // Each run owns one telemetry window: the registry is zeroed up front and
-  // serialized as one JSONL line at the end (MP_OBS_OUT; no-op when unset).
-  if (obs::enabled()) obs::reset_values();
+namespace {
+
+// A valid top-level token overrides the per-stage tokens, so one token
+// cancels the whole flow regardless of which stage is running.
+MctsRlOptions propagate_cancel(const MctsRlOptions& options) {
+  if (!options.cancel.valid()) return options;
+  MctsRlOptions o = options;
+  o.flow.cancel = o.cancel;
+  o.train.cancel = o.cancel;
+  o.mcts.cancel = o.cancel;
+  return o;
+}
+
+// Algorithm 1 lines 3-16 on a prepared context.  Owns no telemetry window;
+// `options` must already have cancel propagated.
+MctsRlResult place_from_context(netlist::Design& design, FlowContext& context,
+                                const MctsRlOptions& options) {
   MctsRlResult result;
   util::Timer total_timer;
-  // optional<> so the root span can close before the report is serialized.
-  std::optional<obs::Span> run_span;
-  run_span.emplace("mcts_rl_place");
-
-  // --- Preprocessing (Algorithm 1, lines 1-2) ---
-  FlowContext context = prepare_flow(design, options.flow);
   result.macro_groups = static_cast<int>(context.clustering.macro_groups.size());
   result.cell_groups = static_cast<int>(context.clustering.cell_groups.size());
 
@@ -32,6 +39,9 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   rl::AgentConfig agent_config = options.agent;
   agent_config.grid_dim = options.flow.grid_dim;
   rl::AgentNetwork agent(agent_config);
+  if (!options.initial_parameters.empty()) {
+    nn::restore_parameters(agent.parameters(), options.initial_parameters);
+  }
   rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
   rl::CoarseEvaluator evaluator(context.coarse, context.spec);
   evaluator.set_overflow_penalty(options.overflow_penalty);
@@ -42,6 +52,12 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
     result.train_result = rl::train_agent(env, evaluator, agent, options.train);
   }
   result.train_seconds = train_timer.seconds();
+  if (result.train_result.cancelled) {
+    result.cancelled = true;
+    result.total_seconds = total_timer.seconds();
+    util::log_info() << "mcts_rl_place: cancelled during pre-training";
+    return result;
+  }
 
   // --- MCTS placement optimization (lines 11-15) ---
   rl::RewardFn reward = options.train.reward;
@@ -92,10 +108,12 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   mcts::MctsPlacer mcts_placer(env, evaluator, agent, reward, mcts_options);
   result.mcts_result = mcts_placer.run();
   result.coarse_wirelength = result.mcts_result.wirelength;
+  result.cancelled = result.mcts_result.cancelled;
 
   // Greedy anchor hill-climb on the coarse objective (placer extension; see
   // MctsRlOptions::hill_climb_rounds).
-  if (options.hill_climb_rounds > 0 && !result.mcts_result.anchors.empty()) {
+  if (options.hill_climb_rounds > 0 && !result.cancelled &&
+      !result.mcts_result.anchors.empty()) {
     MP_OBS_SPAN("mcts.hill_climb");
     std::vector<grid::CellCoord> anchors = result.mcts_result.anchors;
     double best = result.coarse_wirelength;
@@ -140,16 +158,62 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   result.mcts_seconds = mcts_timer.seconds();
 
   // --- Legalization + cell placement (line 16) ---
-  result.hpwl = finalize_placement(design, context, result.mcts_result.anchors,
-                                   options.flow);
+  // A cancelled search may still have found a complete allocation (best
+  // terminal leaf, seed line); legalize it so the design ends legal even
+  // then.  Only a cancelled search with an incomplete allocation skips
+  // finalize — positions then remain at the (finite) initial placement.
+  const bool complete_allocation =
+      static_cast<int>(result.mcts_result.anchors.size()) ==
+      result.macro_groups;
+  if (complete_allocation) {
+    result.hpwl = finalize_placement(design, context,
+                                     result.mcts_result.anchors, options.flow);
+    result.finalized = true;
+  }
   result.total_seconds = total_timer.seconds();
   util::log_info() << "mcts_rl_place: hpwl=" << result.hpwl << " ("
                    << result.macro_groups << " macro groups, train "
                    << result.train_seconds << "s, mcts "
-                   << result.mcts_seconds << "s)";
+                   << result.mcts_seconds << "s)"
+                   << (result.cancelled ? " [cancelled]" : "");
   MP_OBS_HIST("place.hpwl", result.hpwl);
   MP_OBS_GAUGE("place.coarse_wirelength", result.coarse_wirelength);
   MP_OBS_GAUGE("par.threads", static_cast<double>(par::num_threads()));
+  return result;
+}
+
+}  // namespace
+
+MctsRlResult mcts_rl_place_prepared(netlist::Design& design,
+                                    FlowContext& context,
+                                    const MctsRlOptions& options) {
+  return place_from_context(design, context, propagate_cancel(options));
+}
+
+MctsRlResult mcts_rl_place(netlist::Design& design,
+                           const MctsRlOptions& options) {
+  // Each run owns one telemetry window: the registry is zeroed up front and
+  // serialized as one JSONL line at the end (MP_OBS_OUT; no-op when unset).
+  if (obs::enabled()) obs::reset_values();
+  const MctsRlOptions propagated = propagate_cancel(options);
+  util::Timer total_timer;
+  // optional<> so the root span can close before the report is serialized.
+  std::optional<obs::Span> run_span;
+  run_span.emplace("mcts_rl_place");
+
+  // --- Preprocessing (Algorithm 1, lines 1-2) ---
+  FlowContext context = prepare_flow(design, propagated.flow);
+  MctsRlResult result;
+  if (propagated.cancel.cancelled()) {
+    result.cancelled = true;
+    result.macro_groups =
+        static_cast<int>(context.clustering.macro_groups.size());
+    result.cell_groups = static_cast<int>(context.clustering.cell_groups.size());
+    util::log_info() << "mcts_rl_place: cancelled during preprocessing";
+  } else {
+    result = place_from_context(design, context, propagated);
+  }
+  result.total_seconds = total_timer.seconds();
   run_span.reset();
   obs::write_run_report("mcts_rl_place");
   return result;

@@ -37,6 +37,18 @@ struct MctsRlOptions {
   /// set_overflow_penalty); keeps the coarse objective aligned with what the
   /// legalizer can realize.  0 = the paper's pure-HPWL reward.
   double overflow_penalty = 0.0;
+  /// Pre-trained parameters restored into the freshly constructed agent
+  /// before training (the paper's pre-trained-policy setting; also the
+  /// service weights cache, src/svc/cache.hpp).  Shapes must match the
+  /// agent config; empty keeps the random initialization.
+  std::vector<nn::Tensor> initial_parameters;
+  /// Cooperative cancellation for the whole flow: when valid, it is
+  /// propagated into flow/train/mcts before running, and the flow stops at
+  /// the next stage or iteration boundary with MctsRlResult::cancelled set.
+  /// The design is always left with finite positions; when the search had
+  /// already produced a complete allocation it is legalized as usual, so a
+  /// cancelled run may still end in a fully legal placement.
+  util::CancelToken cancel;
 };
 
 struct MctsRlResult {
@@ -49,10 +61,22 @@ struct MctsRlResult {
   int cell_groups = 0;
   rl::TrainResult train_result;
   mcts::MctsResult mcts_result;
+  bool cancelled = false;   ///< stopped early via MctsRlOptions::cancel
+  bool finalized = false;   ///< legalization + cell placement completed
 };
 
 /// Runs the full flow in place; `design` ends up fully placed and legal.
 MctsRlResult mcts_rl_place(netlist::Design& design,
                            const MctsRlOptions& options = {});
+
+/// Runs the flow on an already-prepared context (Algorithm 1 lines 3-16):
+/// `design` must hold the initial placement that produced `context` — e.g. a
+/// warm-cache copy captured after prepare_flow (src/svc/cache.hpp).  Skips
+/// the obs run-report window management of mcts_rl_place (the caller owns
+/// the telemetry window); results are bit-identical to a cold mcts_rl_place
+/// at the same options.  options.flow.grid_dim must match context.spec.
+MctsRlResult mcts_rl_place_prepared(netlist::Design& design,
+                                    FlowContext& context,
+                                    const MctsRlOptions& options = {});
 
 }  // namespace mp::place

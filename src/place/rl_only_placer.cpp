@@ -1,23 +1,36 @@
 #include "place/rl_only_placer.hpp"
 
+#include "nn/serialize.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace mp::place {
 
-RlOnlyResult rl_only_place(netlist::Design& design,
-                           const MctsRlOptions& options) {
+namespace {
+
+RlOnlyResult place_from_context(netlist::Design& design, FlowContext& context,
+                                const MctsRlOptions& options) {
   RlOnlyResult result;
   util::Timer timer;
 
-  FlowContext context = prepare_flow(design, options.flow);
   rl::AgentConfig agent_config = options.agent;
   agent_config.grid_dim = options.flow.grid_dim;
   rl::AgentNetwork agent(agent_config);
+  if (!options.initial_parameters.empty()) {
+    nn::restore_parameters(agent.parameters(), options.initial_parameters);
+  }
   rl::PlacementEnv env(context.coarse, context.clustering, context.spec);
   rl::CoarseEvaluator evaluator(context.coarse, context.spec);
 
-  result.train_result = rl::train_agent(env, evaluator, agent, options.train);
+  rl::TrainOptions train = options.train;
+  if (options.cancel.valid()) train.cancel = options.cancel;
+  result.train_result = rl::train_agent(env, evaluator, agent, train);
+  if (result.train_result.cancelled) {
+    result.cancelled = true;
+    result.seconds = timer.seconds();
+    util::log_info() << "rl_only_place: cancelled during pre-training";
+    return result;
+  }
 
   std::vector<grid::CellCoord> anchors;
   result.coarse_wirelength =
@@ -29,9 +42,39 @@ RlOnlyResult rl_only_place(netlist::Design& design,
     anchors = result.train_result.best_anchors;
     result.coarse_wirelength = result.train_result.best_wirelength;
   }
-  result.hpwl = finalize_placement(design, context, anchors, options.flow);
+  FlowOptions flow = options.flow;
+  if (options.cancel.valid()) flow.cancel = options.cancel;
+  result.hpwl = finalize_placement(design, context, anchors, flow);
+  result.finalized = true;
+  result.cancelled = options.cancel.cancelled();
   result.seconds = timer.seconds();
   util::log_info() << "rl_only_place: hpwl=" << result.hpwl;
+  return result;
+}
+
+}  // namespace
+
+RlOnlyResult rl_only_place_prepared(netlist::Design& design,
+                                    FlowContext& context,
+                                    const MctsRlOptions& options) {
+  return place_from_context(design, context, options);
+}
+
+RlOnlyResult rl_only_place(netlist::Design& design,
+                           const MctsRlOptions& options) {
+  util::Timer timer;
+  FlowOptions flow = options.flow;
+  if (options.cancel.valid()) flow.cancel = options.cancel;
+  FlowContext context = prepare_flow(design, flow);
+  if (options.cancel.cancelled()) {
+    RlOnlyResult result;
+    result.cancelled = true;
+    result.seconds = timer.seconds();
+    util::log_info() << "rl_only_place: cancelled during preprocessing";
+    return result;
+  }
+  RlOnlyResult result = place_from_context(design, context, options);
+  result.seconds = timer.seconds();
   return result;
 }
 

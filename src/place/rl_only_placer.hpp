@@ -13,10 +13,18 @@ struct RlOnlyResult {
   double coarse_wirelength = 0.0;
   double seconds = 0.0;
   rl::TrainResult train_result;
+  bool cancelled = false;  ///< stopped early via MctsRlOptions::cancel
+  bool finalized = false;  ///< legalization + cell placement completed
 };
 
 /// Uses MctsRlOptions for parity with the full flow; options.mcts is ignored.
 RlOnlyResult rl_only_place(netlist::Design& design,
                            const MctsRlOptions& options = {});
+
+/// Same flow on an already-prepared context (warm-cache path; see
+/// mcts_rl_place_prepared for the contract).
+RlOnlyResult rl_only_place_prepared(netlist::Design& design,
+                                    FlowContext& context,
+                                    const MctsRlOptions& options = {});
 
 }  // namespace mp::place

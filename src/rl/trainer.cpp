@@ -46,6 +46,7 @@ int sample_action(const nn::Tensor& probs, PlacementEnv& env, util::Rng& rng) {
 // Result of one self-play rollout collected by a worker slot.
 struct EpisodeData {
   bool aborted = false;
+  bool cancelled = false;  ///< rollout stopped by the cancel token
   std::vector<StepRecord> steps;
   double wirelength = 0.0;
   std::vector<grid::CellCoord> anchors;
@@ -57,12 +58,18 @@ struct EpisodeData {
 // parameters and the rng stream, independent of scheduling.
 void run_episode(PlacementEnv& env, AllocationEvaluator& evaluator,
                  AgentNetwork& agent, util::Rng rng, int total_steps,
-                 EpisodeData& out) {
+                 const util::CancelToken& cancel, EpisodeData& out) {
   env.reset();
   out.aborted = false;
+  out.cancelled = false;
   out.steps.clear();
   out.steps.reserve(static_cast<std::size_t>(total_steps));
   while (!env.done()) {
+    if (cancel.cancelled()) {
+      out.aborted = true;
+      out.cancelled = true;
+      break;
+    }
     StepRecord record;
     record.sp = env.placement_state();
     record.availability = env.availability();
@@ -99,6 +106,12 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
         calibrate_reward(env, evaluator, options.calibration_episodes, rng);
     reward = result.calibration.make_reward(options.alpha);
   }
+  if (options.cancel.cancelled()) {
+    result.cancelled = true;
+    result.best_wirelength = std::numeric_limits<double>::infinity();
+    env.reset();
+    return result;
+  }
 
   nn::Adam optimizer(agent.parameters(), options.learning_rate);
   result.best_wirelength = std::numeric_limits<double>::infinity();
@@ -131,6 +144,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
 
     int episode = 0;
     while (episode < options.episodes) {
+      if (options.cancel.cancelled()) {
+        result.cancelled = true;
+        break;
+      }
       const int window =
           std::min(options.update_window, options.episodes - episode);
       // Freeze θ for the window's rollouts.
@@ -149,10 +166,19 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
                 for (int k = static_cast<int>(s); k < window; k += nslots) {
                   run_episode(*ctx.env, *ctx.evaluator, *ctx.agent,
                               rng.split(static_cast<std::uint64_t>(episode + k)),
-                              total_steps, data[static_cast<std::size_t>(k)]);
+                              total_steps, options.cancel,
+                              data[static_cast<std::size_t>(k)]);
                 }
               }
             });
+      }
+
+      // A window interrupted mid-rollout is discarded whole: applying the
+      // gradients of a partial window would make the cancelled trajectory
+      // diverge from any uncancelled run in an uncontrolled way.
+      if (options.cancel.cancelled()) {
+        result.cancelled = true;
+        break;
       }
 
       // Serial accumulation in episode order on the live network.
@@ -227,6 +253,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
   }
 
   for (int episode = 0; episode < options.episodes; ++episode) {
+    if (options.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // --- Rollout ---
     MP_OBS_COUNT("rl.episodes", 1);
     std::optional<obs::Span> rollout_span;
@@ -236,6 +266,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
     steps.reserve(static_cast<std::size_t>(total_steps));
     bool aborted = false;
     while (!env.done()) {
+      if (options.cancel.cancelled()) {
+        aborted = true;
+        break;
+      }
       StepRecord record;
       record.sp = env.placement_state();
       record.availability = env.availability();
@@ -255,6 +289,10 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       steps.push_back(std::move(record));
     }
     rollout_span.reset();
+    if (options.cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     if (aborted) {
       MP_OBS_COUNT("rl.episodes_aborted", 1);
       util::log_warn() << "train_agent: episode " << episode

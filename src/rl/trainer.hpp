@@ -15,6 +15,7 @@
 
 #include "rl/agent.hpp"
 #include "rl/reward.hpp"
+#include "util/cancel.hpp"
 
 namespace mp::rl {
 
@@ -42,6 +43,12 @@ struct TrainOptions {
   RewardFn reward;
   /// Called after every episode with (episode index, reward, wirelength).
   std::function<void(int, double, double)> on_episode;
+  /// Cooperative cancellation, polled at rollout-step and episode
+  /// boundaries: a cancelled run stops without applying a partial gradient
+  /// window and returns the episodes trained so far (TrainResult::cancelled).
+  /// Never perturbs an uncancelled run (bit-identity guard, see
+  /// docs/SERVICE.md).
+  util::CancelToken cancel;
 };
 
 struct EpisodeRecord {
@@ -55,6 +62,7 @@ struct TrainResult {
   double best_wirelength = 0.0;
   std::vector<grid::CellCoord> best_anchors;
   int optimizer_steps = 0;
+  bool cancelled = false;  ///< stopped early via TrainOptions::cancel
 };
 
 /// Pre-trains `agent` on `env`; wirelengths come from `evaluator`.

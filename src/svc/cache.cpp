@@ -1,0 +1,127 @@
+#include "svc/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "io/bookshelf.hpp"
+#include "nn/serialize.hpp"
+#include "obs/obs.hpp"
+#include "svc/hash.hpp"
+#include "util/log.hpp"
+
+namespace mp::svc {
+
+namespace {
+
+// Content hash of one file; throws when it cannot be read (the job would
+// fail later anyway — better to fail at admission with the path named).
+std::uint64_t hash_file(const std::string& path, std::uint64_t seed) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  char buf[1 << 16];
+  std::uint64_t h = seed;
+  while (f) {
+    f.read(buf, sizeof(buf));
+    h = fnv1a64(buf, static_cast<std::size_t>(f.gcount()), h);
+  }
+  return h;
+}
+
+std::string design_key_for(const JobSpec& spec) {
+  if (spec.use_synthetic) {
+    // benchgen is deterministic from the spec, so the canonical spec string
+    // is the content.
+    std::ostringstream os;
+    const benchgen::BenchSpec& s = spec.synthetic;
+    os << s.name << '|' << s.movable_macros << '|' << s.preplaced_macros << '|'
+       << s.io_pads << '|' << s.std_cells << '|' << s.nets << '|'
+       << s.hierarchy << '|' << s.seed << '|' << s.scale << '|'
+       << s.macro_area_fraction << '|' << s.utilization;
+    return "gen:" + hash_hex(fnv1a64(os.str()));
+  }
+  std::uint64_t h = kFnvOffset;
+  for (const char* ext : {".nodes", ".nets", ".pl"}) {
+    h = hash_file(spec.design_path + ext, h);
+  }
+  return "bs:" + hash_hex(h);
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::size_t designs, std::size_t prepared,
+                             std::size_t weights)
+    : designs_(designs), prepared_(prepared), weights_(weights) {}
+
+std::shared_ptr<const DesignArtifact> ArtifactCache::design_for(
+    const JobSpec& spec) {
+  const std::string key = design_key_for(spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::shared_ptr<const DesignArtifact> hit = designs_.get(key)) {
+    ++stats_.design_hits;
+    MP_OBS_COUNT("svc.cache.design.hits", 1);
+    return hit;
+  }
+  ++stats_.design_misses;
+  MP_OBS_COUNT("svc.cache.design.misses", 1);
+  auto artifact = std::make_shared<DesignArtifact>();
+  artifact->key = key;
+  artifact->design = spec.use_synthetic
+                         ? benchgen::generate(spec.synthetic)
+                         : io::read_bookshelf(spec.design_path);
+  util::log_info() << "svc: cached design " << key << " ("
+                   << artifact->design.name() << ")";
+  designs_.put(key, artifact);
+  return artifact;
+}
+
+std::shared_ptr<const PreparedArtifact> ArtifactCache::prepared_for(
+    const std::shared_ptr<const DesignArtifact>& design,
+    const place::FlowOptions& flow) {
+  // The service holds every preprocessing option other than the grid at its
+  // default (see LocalService's option builders), so design + grid identify
+  // the prepare_flow result.
+  const std::string key =
+      design->key + "|grid=" + std::to_string(flow.grid_dim);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::shared_ptr<const PreparedArtifact> hit = prepared_.get(key)) {
+    ++stats_.prepared_hits;
+    MP_OBS_COUNT("svc.cache.prepared.hits", 1);
+    return hit;
+  }
+  ++stats_.prepared_misses;
+  MP_OBS_COUNT("svc.cache.prepared.misses", 1);
+  auto artifact = std::make_shared<PreparedArtifact>();
+  artifact->key = key;
+  artifact->design = design->design;  // copy; prepare_flow mutates positions
+  place::FlowOptions prep = flow;
+  prep.cancel = {};  // the artifact is shared across jobs; never cancel it
+  artifact->context = place::prepare_flow(artifact->design, prep);
+  prepared_.put(key, artifact);
+  return artifact;
+}
+
+std::shared_ptr<const WeightsArtifact> ArtifactCache::weights_for(
+    const std::string& path) {
+  const std::string key = "nn:" + hash_hex(hash_file(path, kFnvOffset));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::shared_ptr<const WeightsArtifact> hit = weights_.get(key)) {
+    ++stats_.weights_hits;
+    MP_OBS_COUNT("svc.cache.weights.hits", 1);
+    return hit;
+  }
+  ++stats_.weights_misses;
+  MP_OBS_COUNT("svc.cache.weights.misses", 1);
+  auto artifact = std::make_shared<WeightsArtifact>();
+  artifact->key = key;
+  artifact->parameters = nn::read_parameters_file(path);
+  weights_.put(key, artifact);
+  return artifact;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mp::svc

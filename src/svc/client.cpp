@@ -1,0 +1,157 @@
+#include "svc/client.hpp"
+
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mp::svc {
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+bool Client::connect(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    close();
+    return false;
+  };
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + socket_path_;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("connect " + socket_path_);
+  }
+  reader_ = std::make_unique<LineReader>(fd_);
+  return true;
+}
+
+Json Client::request(const Json& req) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  if (!write_line(fd_, req.dump())) {
+    throw std::runtime_error("write to " + socket_path_ + " failed");
+  }
+  std::string line;
+  if (!reader_->next(line)) {
+    throw std::runtime_error("server closed connection");
+  }
+  return Json::parse(line);
+}
+
+Json Client::submit(const Json& spec) {
+  Json req = Json::object();
+  req["verb"] = Json::string("submit");
+  req["spec"] = spec;
+  return request(req);
+}
+
+namespace {
+
+Json id_request(const char* verb, const std::string& id) {
+  Json req = Json::object();
+  req["verb"] = Json::string(verb);
+  req["id"] = Json::string(id);
+  return req;
+}
+
+}  // namespace
+
+Json Client::status(const std::string& id) {
+  return request(id_request("status", id));
+}
+
+Json Client::result(const std::string& id, double timeout_s) {
+  Json req = id_request("result", id);
+  req["timeout_s"] = Json::number(timeout_s);
+  return request(req);
+}
+
+Json Client::cancel(const std::string& id) {
+  return request(id_request("cancel", id));
+}
+
+Json Client::stats() {
+  Json req = Json::object();
+  req["verb"] = Json::string("stats");
+  return request(req);
+}
+
+Json Client::shutdown() {
+  Json req = Json::object();
+  req["verb"] = Json::string("shutdown");
+  return request(req);
+}
+
+Json Client::watch(const std::string& id,
+                   const std::function<void(const Json&)>& on_event) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  if (!write_line(fd_, id_request("watch", id).dump())) {
+    throw std::runtime_error("write to " + socket_path_ + " failed");
+  }
+  std::string line;
+  while (reader_->next(line)) {
+    Json event = Json::parse(line);
+    const Json* kind = event.find("event");
+    if (kind != nullptr && kind->is_string() &&
+        kind->as_string() == "done") {
+      return event;
+    }
+    // Error replies ({"ok":false,...}) terminate the stream too.
+    if (event.find("ok") != nullptr) return event;
+    if (on_event) on_event(event);
+  }
+  throw std::runtime_error("server closed connection mid-watch");
+}
+
+}  // namespace mp::svc
+
+#else  // non-POSIX stub
+
+namespace mp::svc {
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+Client::~Client() = default;
+void Client::close() {}
+bool Client::connect(std::string* error) {
+  if (error != nullptr) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+Json Client::request(const Json&) {
+  throw std::runtime_error("unix sockets unavailable on this platform");
+}
+Json Client::submit(const Json&) { return request(Json()); }
+Json Client::status(const std::string&) { return request(Json()); }
+Json Client::result(const std::string&, double) { return request(Json()); }
+Json Client::cancel(const std::string&) { return request(Json()); }
+Json Client::stats() { return request(Json()); }
+Json Client::shutdown() { return request(Json()); }
+Json Client::watch(const std::string&,
+                   const std::function<void(const Json&)>&) {
+  return request(Json());
+}
+
+}  // namespace mp::svc
+
+#endif

@@ -1,0 +1,53 @@
+#pragma once
+// Client side of the mp_serve protocol (used by the mp_submit CLI and the
+// socket-level tests): connects to the Unix socket, sends one JSON request
+// per line, reads reply lines.  Blocking, single-threaded; open one Client
+// per concurrent request stream.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "svc/json.hpp"
+#include "svc/net.hpp"
+
+namespace mp::svc {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects; false with `error` filled on failure.
+  bool connect(std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One request/reply round-trip.  Throws std::runtime_error on transport
+  /// failure and JsonError on an unparsable reply.
+  Json request(const Json& req);
+
+  // Verb wrappers (each one round-trip; reply object as documented in
+  // server.hpp).
+  Json submit(const Json& spec);
+  Json status(const std::string& id);
+  Json result(const std::string& id, double timeout_s = 600.0);
+  Json cancel(const std::string& id);
+  Json stats();
+  Json shutdown();
+
+  /// Streams a job: calls `on_event` for every {"event":"phase"} line and
+  /// returns the final {"event":"done"} object.
+  Json watch(const std::string& id,
+             const std::function<void(const Json&)>& on_event);
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace mp::svc

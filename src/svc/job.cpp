@@ -1,0 +1,209 @@
+#include "svc/job.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "svc/hash.hpp"
+
+namespace mp::svc {
+
+const char* preset_name(FlowPreset preset) {
+  switch (preset) {
+    case FlowPreset::kMcts: return "mcts";
+    case FlowPreset::kRlOnly: return "rl_only";
+    case FlowPreset::kSa: return "sa";
+    case FlowPreset::kWiremask: return "wiremask";
+    case FlowPreset::kAnalytic: return "analytic";
+  }
+  return "?";
+}
+
+bool parse_preset(const std::string& name, FlowPreset& out) {
+  if (name == "mcts" || name == "ours") out = FlowPreset::kMcts;
+  else if (name == "rl_only" || name == "rl") out = FlowPreset::kRlOnly;
+  else if (name == "sa") out = FlowPreset::kSa;
+  else if (name == "wiremask") out = FlowPreset::kWiremask;
+  else if (name == "analytic") out = FlowPreset::kAnalytic;
+  else return false;
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& key, const std::string& what) {
+  throw JobError("job spec: \"" + key + "\" " + what);
+}
+
+double require_number(const Json& v, const std::string& key) {
+  if (!v.is_number()) bad(key, "must be a number");
+  return v.as_number();
+}
+
+// Integer field with range validation; rejects fractional values so "0.5
+// episodes" cannot silently truncate.
+int require_int(const Json& v, const std::string& key, long long lo,
+                long long hi) {
+  const double d = require_number(v, key);
+  if (d != std::floor(d)) bad(key, "must be an integer");
+  const long long n = static_cast<long long>(d);
+  if (n < lo || n > hi) {
+    bad(key, "out of range [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+  }
+  return static_cast<int>(n);
+}
+
+const std::string& require_string(const Json& v, const std::string& key) {
+  if (!v.is_string()) bad(key, "must be a string");
+  return v.as_string();
+}
+
+benchgen::BenchSpec parse_synthetic(const Json& json) {
+  if (!json.is_object()) bad("synthetic", "must be an object");
+  benchgen::BenchSpec spec;
+  static const std::set<std::string> known = {
+      "name",     "movable_macros", "preplaced_macros",
+      "io_pads",  "std_cells",      "nets",
+      "hierarchy", "seed",          "scale",
+      "macro_area_fraction",        "utilization"};
+  for (const auto& [key, value] : json.members()) {
+    if (known.count(key) == 0) bad("synthetic." + key, "is not a known field");
+    const std::string qualified = "synthetic." + key;
+    if (key == "name") spec.name = require_string(value, qualified);
+    else if (key == "movable_macros")
+      spec.movable_macros = require_int(value, qualified, 1, 100000);
+    else if (key == "preplaced_macros")
+      spec.preplaced_macros = require_int(value, qualified, 0, 100000);
+    else if (key == "io_pads")
+      spec.io_pads = require_int(value, qualified, 0, 1000000);
+    else if (key == "std_cells")
+      spec.std_cells = require_int(value, qualified, 0, 100000000);
+    else if (key == "nets")
+      spec.nets = require_int(value, qualified, 1, 100000000);
+    else if (key == "hierarchy") {
+      if (!value.is_bool()) bad(qualified, "must be a bool");
+      spec.hierarchy = value.as_bool();
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(
+          require_int(value, qualified, 0, (1ll << 53)));
+    } else if (key == "scale") {
+      spec.scale = require_number(value, qualified);
+      if (!(spec.scale > 0.0 && spec.scale <= 1.0)) {
+        bad(qualified, "must be in (0, 1]");
+      }
+    } else if (key == "macro_area_fraction") {
+      spec.macro_area_fraction = require_number(value, qualified);
+      if (!(spec.macro_area_fraction > 0.0 && spec.macro_area_fraction < 1.0)) {
+        bad(qualified, "must be in (0, 1)");
+      }
+    } else if (key == "utilization") {
+      spec.utilization = require_number(value, qualified);
+      if (!(spec.utilization > 0.0 && spec.utilization <= 1.0)) {
+        bad(qualified, "must be in (0, 1]");
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+JobSpec parse_job_spec(const Json& json) {
+  if (!json.is_object()) throw JobError("job spec must be a JSON object");
+  JobSpec spec;
+  static const std::set<std::string> known = {
+      "design",   "synthetic", "preset",  "seed",    "threads",
+      "deadline_s", "priority", "episodes", "gamma", "grid",
+      "channels", "blocks",    "weights", "out"};
+  for (const auto& [key, value] : json.members()) {
+    if (known.count(key) == 0) bad(key, "is not a known field");
+    if (key == "design") spec.design_path = require_string(value, key);
+    else if (key == "synthetic") {
+      spec.use_synthetic = true;
+      spec.synthetic = parse_synthetic(value);
+    } else if (key == "preset") {
+      if (!parse_preset(require_string(value, key), spec.preset)) {
+        bad(key, "must be one of mcts|rl_only|sa|wiremask|analytic");
+      }
+    } else if (key == "seed") {
+      spec.seed =
+          static_cast<std::uint64_t>(require_int(value, key, 0, (1ll << 53)));
+    } else if (key == "threads") {
+      spec.threads = require_int(value, key, 0, 1024);
+    } else if (key == "deadline_s") {
+      spec.deadline_s = require_number(value, key);
+      if (spec.deadline_s < 0.0 || spec.deadline_s > 86400.0) {
+        bad(key, "must be in [0, 86400]");
+      }
+    } else if (key == "priority") {
+      spec.priority = require_int(value, key, -100, 100);
+    } else if (key == "episodes") {
+      spec.episodes = require_int(value, key, 1, 1000000);
+    } else if (key == "gamma") {
+      spec.gamma = require_int(value, key, 1, 1000000);
+    } else if (key == "grid") {
+      spec.grid = require_int(value, key, 2, 256);
+    } else if (key == "channels") {
+      spec.channels = require_int(value, key, 1, 4096);
+    } else if (key == "blocks") {
+      spec.blocks = require_int(value, key, 0, 256);
+    } else if (key == "weights") {
+      spec.weights_path = require_string(value, key);
+    } else if (key == "out") {
+      spec.out_prefix = require_string(value, key);
+    }
+  }
+  if (spec.design_path.empty() && !spec.use_synthetic) {
+    throw JobError("job spec: one of \"design\" or \"synthetic\" is required");
+  }
+  if (!spec.design_path.empty() && spec.use_synthetic) {
+    throw JobError(
+        "job spec: \"design\" and \"synthetic\" are mutually exclusive");
+  }
+  return spec;
+}
+
+Json job_spec_to_json(const JobSpec& spec) {
+  Json j = Json::object();
+  if (spec.use_synthetic) {
+    Json s = Json::object();
+    s["name"] = Json::string(spec.synthetic.name);
+    s["movable_macros"] = Json::number(spec.synthetic.movable_macros);
+    s["preplaced_macros"] = Json::number(spec.synthetic.preplaced_macros);
+    s["io_pads"] = Json::number(spec.synthetic.io_pads);
+    s["std_cells"] = Json::number(spec.synthetic.std_cells);
+    s["nets"] = Json::number(spec.synthetic.nets);
+    s["hierarchy"] = Json::boolean(spec.synthetic.hierarchy);
+    s["seed"] = Json::number(static_cast<double>(spec.synthetic.seed));
+    s["scale"] = Json::number(spec.synthetic.scale);
+    s["macro_area_fraction"] = Json::number(spec.synthetic.macro_area_fraction);
+    s["utilization"] = Json::number(spec.synthetic.utilization);
+    j["synthetic"] = s;
+  } else {
+    j["design"] = Json::string(spec.design_path);
+  }
+  j["preset"] = Json::string(preset_name(spec.preset));
+  j["seed"] = Json::number(static_cast<double>(spec.seed));
+  j["threads"] = Json::number(spec.threads);
+  j["deadline_s"] = Json::number(spec.deadline_s);
+  j["priority"] = Json::number(spec.priority);
+  j["episodes"] = Json::number(spec.episodes);
+  j["gamma"] = Json::number(spec.gamma);
+  j["grid"] = Json::number(spec.grid);
+  j["channels"] = Json::number(spec.channels);
+  j["blocks"] = Json::number(spec.blocks);
+  j["weights"] = Json::string(spec.weights_path);
+  j["out"] = Json::string(spec.out_prefix);
+  return j;
+}
+
+std::string job_canonical_string(const JobSpec& spec) {
+  return job_spec_to_json(spec).dump();
+}
+
+std::string make_job_id(const JobSpec& spec, std::uint64_t seq) {
+  const std::uint64_t h = fnv1a64(job_canonical_string(spec));
+  return "j" + hash_hex(h).substr(0, 10) + "-" + std::to_string(seq);
+}
+
+}  // namespace mp::svc

@@ -1,0 +1,100 @@
+#pragma once
+// Job model of the placement service: a JobSpec describes one placement
+// request — which design (a Bookshelf prefix on disk, or a synthetic
+// benchgen spec), which flow preset, and the knobs the offline CLI exposes
+// (place_bookshelf) so a service job at equal settings is bit-identical to
+// the offline run.  Specs parse from / serialize to JSON with strict
+// validation (unknown keys and out-of-range values are errors, not
+// warnings: a typo'd knob silently falling back to a default would change
+// results).  docs/SERVICE.md documents the schema.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "benchgen/generator.hpp"
+#include "svc/json.hpp"
+
+namespace mp::svc {
+
+/// Thrown by parse_job_spec on an invalid spec (the message names the
+/// offending key).
+class JobError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which placement flow a job runs.  Mirrors place_bookshelf --placer.
+enum class FlowPreset {
+  kMcts,      ///< the paper's flow (place::mcts_rl_place); CLI "ours"
+  kRlOnly,    ///< CT-style greedy policy rollout (place::rl_only_place)
+  kSa,        ///< simulated-annealing baseline (place::sa_place)
+  kWiremask,  ///< MaskPlace-style greedy baseline (place::wiremask_place)
+  kAnalytic,  ///< mixed-size analytical baseline (place::analytic_place)
+};
+
+const char* preset_name(FlowPreset preset);
+
+/// Accepts the canonical names (mcts|rl_only|sa|wiremask|analytic) plus the
+/// CLI spellings "ours" (= mcts) and "rl" (= rl_only).
+bool parse_preset(const std::string& name, FlowPreset& out);
+
+struct JobSpec {
+  /// Bookshelf prefix (<prefix>.nodes/.nets/.pl).  Exactly one of
+  /// `design_path` / `use_synthetic` must be set.
+  std::string design_path;
+  /// Synthetic design generated in-process (benchgen); deterministic from
+  /// the spec, so it needs no files on disk.
+  bool use_synthetic = false;
+  benchgen::BenchSpec synthetic;
+
+  FlowPreset preset = FlowPreset::kMcts;
+  /// 0 keeps every library default seed — required for bit-identity with
+  /// the offline CLI, which exposes no seed flag.  Non-zero overrides the
+  /// preset's RNG seeds (train/mcts for the RL flows, the annealer for sa).
+  std::uint64_t seed = 0;
+  /// par:: pool size for this job; 0 keeps the server's current setting.
+  /// Results are thread-count independent either way (docs/PARALLELISM.md).
+  int threads = 0;
+  /// Wall-clock run budget in seconds, armed when the job starts executing
+  /// (queue wait does not count); <= 0 disables.  Enforced cooperatively
+  /// via util::CancelToken, so an expired job still ends in a structurally
+  /// valid state.
+  double deadline_s = 0.0;
+  /// Higher runs first; FIFO within equal priority.
+  int priority = 0;
+
+  // Flow knobs, defaults identical to place_bookshelf.
+  int episodes = 60;   ///< RL pre-training episodes
+  int gamma = 24;      ///< MCTS explorations per move
+  int grid = 16;       ///< ζ — grid dimension
+  int channels = 24;   ///< agent tower width
+  int blocks = 2;      ///< agent tower depth
+
+  /// Optional pre-trained agent parameters (nn::save_parameters file),
+  /// restored into the agent before training; cached by content hash.
+  std::string weights_path;
+  /// Optional Bookshelf output prefix for the placed design.
+  std::string out_prefix;
+};
+
+/// Validates and converts; throws JobError naming the bad key.  The JSON
+/// schema is the field list above; "design" is the Bookshelf prefix string
+/// and "synthetic" an object of benchgen::BenchSpec fields.
+JobSpec parse_job_spec(const Json& json);
+
+/// Inverse of parse_job_spec (canonical: defaulted fields included, sorted
+/// keys via Json::dump).
+Json job_spec_to_json(const JobSpec& spec);
+
+/// Canonical serialized form, the content-hash input for job IDs and the
+/// prepared-artifact cache key prefix.
+std::string job_canonical_string(const JobSpec& spec);
+
+/// Stable job ID: "j<spec-hash-prefix>-<seq>".  The hash prefix is a pure
+/// function of the spec (identical resubmissions share it, which makes
+/// warm-cache hits visible in logs); `seq` disambiguates concurrent
+/// submissions of the same spec.
+std::string make_job_id(const JobSpec& spec, std::uint64_t seq);
+
+}  // namespace mp::svc

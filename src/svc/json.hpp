@@ -1,0 +1,84 @@
+#pragma once
+// Minimal JSON value/parser/writer for the service protocol (job specs on
+// disk, newline-delimited request/reply framing on the mp_serve socket).
+// Scope is deliberately small: UTF-8 pass-through strings, doubles for all
+// numbers (integers round-trip exactly up to 2^53 — seeds and counts in job
+// specs stay below that), objects stored in sorted order so dump() is
+// canonical and usable as a cache/hash key (src/svc/job.cpp).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mp::svc {
+
+/// Thrown by Json::parse on malformed input (message carries the byte
+/// offset) and by the typed accessors on a type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  /// std::map (not unordered) so member order — and therefore dump() — is
+  /// deterministic across platforms.
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;  ///< null
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(long long v) { return number(static_cast<double>(v)); }
+  static Json number(int v) { return number(static_cast<double>(v)); }
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& items() const;      ///< array elements
+  const Object& members() const;   ///< object members
+
+  // Object helpers.
+  bool has(const std::string& key) const;
+  /// Member pointer or nullptr (valid on any type; non-objects have none).
+  const Json* find(const std::string& key) const;
+  /// Inserts a null member on first use; converts a null value to an object.
+  Json& operator[](const std::string& key);
+
+  // Array helpers.
+  /// Appends to an array; converts a null value to an array.
+  void push_back(Json v);
+  std::size_t size() const;
+
+  /// Parses exactly one JSON value (trailing whitespace allowed, anything
+  /// else is an error).  Throws JsonError.
+  static Json parse(const std::string& text);
+
+  /// Compact canonical serialization (sorted object keys, no whitespace).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace mp::svc

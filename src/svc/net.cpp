@@ -1,0 +1,55 @@
+#include "svc/net.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace mp::svc {
+
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::next(std::string& line) {
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace mp::svc
+
+#else  // non-POSIX: the service protocol is Unix-socket only.
+
+namespace mp::svc {
+bool write_line(int, const std::string&) { return false; }
+bool LineReader::next(std::string&) { return false; }
+}  // namespace mp::svc
+
+#endif

@@ -1,0 +1,30 @@
+#pragma once
+// Small POSIX socket helpers shared by the mp_serve server and the
+// mp_submit client: whole-buffer writes and buffered newline-delimited
+// reads over a file descriptor.  Unix-only (guarded like server/client).
+
+#include <string>
+
+namespace mp::svc {
+
+/// Writes all of `line` plus a trailing '\n'; false on error/EOF.
+/// Thread-safe per fd only if callers serialize (the server holds a
+/// per-connection write mutex).
+bool write_line(int fd, const std::string& line);
+
+/// Buffered line reader for one fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one full line arrives; strips the terminator.  Returns
+  /// false on EOF or error (a final unterminated fragment is discarded —
+  /// the protocol is strictly newline-delimited).
+  bool next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace mp::svc

@@ -1,0 +1,238 @@
+#include "svc/scheduler.hpp"
+
+#include <chrono>
+
+#include "obs/obs.hpp"
+#include "util/log.hpp"
+
+namespace mp::svc {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+bool terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Runner runner, int max_queued)
+    : runner_(std::move(runner)),
+      max_queued_(static_cast<std::size_t>(max_queued < 1 ? 1 : max_queued)) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown_now(); }
+
+Scheduler::Record* Scheduler::find_locked(const std::string& id) {
+  const auto it = records_.find(id);
+  return it != records_.end() ? it->second.get() : nullptr;
+}
+
+const Scheduler::Record* Scheduler::find_locked(const std::string& id) const {
+  const auto it = records_.find(id);
+  return it != records_.end() ? it->second.get() : nullptr;
+}
+
+Scheduler::SubmitResult Scheduler::submit(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SubmitResult result;
+  if (!accepting_) {
+    result.error = "scheduler is draining; not accepting jobs";
+    MP_OBS_COUNT("svc.jobs.rejected", 1);
+    return result;
+  }
+  if (pending_.size() >= max_queued_) {
+    result.error = "queue full (" + std::to_string(max_queued_) +
+                   " jobs); retry later";
+    MP_OBS_COUNT("svc.jobs.rejected", 1);
+    return result;
+  }
+  const std::uint64_t seq = next_seq_++;
+  auto record = std::make_unique<Record>();
+  record->snap.id = make_job_id(spec, seq);
+  record->snap.spec = spec;
+  record->snap.seq = seq;
+  record->cancel = util::CancelToken::make();
+  result.accepted = true;
+  result.id = record->snap.id;
+  pending_.insert({-spec.priority, seq, record->snap.id});
+  records_[record->snap.id] = std::move(record);
+  MP_OBS_COUNT("svc.jobs.submitted", 1);
+  cv_.notify_all();
+  return result;
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record* record = find_locked(id);
+  if (record == nullptr || terminal(record->snap.state)) return false;
+  record->cancel.request_cancel();
+  if (record->snap.state == JobState::kQueued) {
+    pending_.erase(
+        {-record->snap.spec.priority, record->snap.seq, record->snap.id});
+    record->snap.state = JobState::kCancelled;
+    record->snap.queue_seconds = record->submitted.seconds();
+    MP_OBS_COUNT("svc.jobs.cancelled", 1);
+    cv_.notify_all();
+  }
+  // A running job stops at its next poll; the worker records the terminal
+  // state when the runner returns.
+  return true;
+}
+
+std::optional<JobSnapshot> Scheduler::status(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Record* record = find_locked(id);
+  if (record == nullptr) return std::nullopt;
+  return record->snap;
+}
+
+std::vector<JobSnapshot> Scheduler::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobSnapshot> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(record->snap);
+  return out;
+}
+
+bool Scheduler::wait(const std::string& id, double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto done = [&] {
+    const Record* record = find_locked(id);
+    return record != nullptr && terminal(record->snap.state);
+  };
+  if (find_locked(id) == nullptr) return false;
+  if (timeout_s <= 0.0) {
+    cv_.wait(lock, done);
+    return true;
+  }
+  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), done);
+}
+
+void Scheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+void Scheduler::shutdown_now() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    stop_ = true;
+    stop_immediate_ = true;
+    // Drop the queue: jobs that never ran end kCancelled.
+    for (const auto& [np, seq, id] : pending_) {
+      Record* record = find_locked(id);
+      record->snap.state = JobState::kCancelled;
+      record->snap.queue_seconds = record->submitted.seconds();
+      record->cancel.request_cancel();
+    }
+    pending_.clear();
+    if (!running_id_.empty()) {
+      if (Record* record = find_locked(running_id_)) {
+        record->cancel.request_cancel();
+      }
+    }
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+bool Scheduler::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepting_;
+}
+
+int Scheduler::queued_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(pending_.size());
+}
+
+std::string Scheduler::running_job() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_id_;
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] { return !pending_.empty() || stop_; });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (stop_immediate_) return;  // shutdown_now already drained pending_
+
+    const auto best = *pending_.begin();
+    pending_.erase(pending_.begin());
+    Record* record = find_locked(std::get<2>(best));
+    record->snap.state = JobState::kRunning;
+    record->snap.queue_seconds = record->submitted.seconds();
+    running_id_ = record->snap.id;
+    // Deadline is a *run* budget: armed now, not at submit, so queue wait
+    // does not eat into it.
+    if (record->snap.spec.deadline_s > 0.0) {
+      record->cancel.set_deadline_after(record->snap.spec.deadline_s);
+    }
+    // Copies for the unlocked run (the record may be inspected concurrently).
+    const std::string id = record->snap.id;
+    const JobSpec spec = record->snap.spec;
+    const util::CancelToken cancel = record->cancel;
+    cv_.notify_all();
+    lock.unlock();
+
+    util::Timer run_timer;
+    JobOutcome outcome;
+    std::string error;
+    bool failed = false;
+    try {
+      outcome = runner_(id, spec, cancel);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown exception";
+    }
+    const double run_seconds = run_timer.seconds();
+
+    lock.lock();
+    record = find_locked(id);
+    record->snap.outcome = outcome;
+    record->snap.error = error;
+    record->snap.run_seconds = run_seconds;
+    if (failed) {
+      record->snap.state = JobState::kFailed;
+      MP_OBS_COUNT("svc.jobs.failed", 1);
+      util::log_warn() << "svc: job " << id << " failed: " << error;
+    } else if (outcome.cancelled || cancel.cancelled()) {
+      record->snap.outcome.cancelled = true;
+      record->snap.state = JobState::kCancelled;
+      MP_OBS_COUNT("svc.jobs.cancelled", 1);
+    } else {
+      record->snap.state = JobState::kDone;
+      MP_OBS_COUNT("svc.jobs.done", 1);
+    }
+    running_id_.clear();
+    cv_.notify_all();
+  }
+}
+
+}  // namespace mp::svc

@@ -1,0 +1,141 @@
+#pragma once
+// Job scheduler of the placement service: a bounded priority queue feeding
+// one worker thread.  Jobs run strictly one at a time — each job parallelizes
+// internally on the par:: pool, and serial execution keeps results
+// bit-identical to the offline CLI (two placements sharing the pool would
+// not perturb each other's results, but would fight over cores).
+//
+// Admission control: submit() rejects when the queue is full or the
+// scheduler is draining, so callers get backpressure instead of unbounded
+// memory growth.  Deadlines (JobSpec::deadline_s) arm the job's CancelToken
+// when it starts running; cancel() works in any non-terminal state (a queued
+// job is dropped without running).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
+
+namespace mp::svc {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+const char* job_state_name(JobState state);
+
+/// What a finished job produced; filled by the runner.
+struct JobOutcome {
+  double hpwl = 0.0;
+  double coarse_wirelength = 0.0;
+  bool cancelled = false;  ///< stopped early (explicit cancel or deadline)
+  bool finalized = false;  ///< legalization + cell placement completed
+  /// FNV-1a over every node position's bit pattern — the placement
+  /// fingerprint clients use for bit-identity checks (docs/SERVICE.md).
+  std::uint64_t placement_hash = 0;
+  int macro_groups = 0;
+};
+
+/// Copyable view of one job's lifecycle, returned by status()/jobs().
+struct JobSnapshot {
+  std::string id;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  JobOutcome outcome;
+  std::string error;          ///< set when state == kFailed
+  double queue_seconds = 0.0; ///< submit → start (or terminal, if never ran)
+  double run_seconds = 0.0;   ///< start → terminal
+  std::uint64_t seq = 0;      ///< submission order
+};
+
+class Scheduler {
+ public:
+  /// Executes one job; runs on the worker thread.  Must poll `cancel` and
+  /// may throw (the job is then kFailed with the exception message).
+  using Runner = std::function<JobOutcome(
+      const std::string& id, const JobSpec& spec,
+      const util::CancelToken& cancel)>;
+
+  struct SubmitResult {
+    bool accepted = false;
+    std::string id;
+    std::string error;
+  };
+
+  Scheduler(Runner runner, int max_queued);
+  /// Cancels the running job, drops the queue, joins the worker.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a job (higher JobSpec::priority first, FIFO within equal
+  /// priority).  Rejects with `error` set when the queue is at capacity or
+  /// the scheduler no longer accepts work.
+  SubmitResult submit(const JobSpec& spec);
+
+  /// Requests cancellation; true when the job exists and was not already
+  /// terminal.  Queued jobs drop immediately; a running job stops at its
+  /// next poll point and keeps whatever partial outcome the runner returns.
+  bool cancel(const std::string& id);
+
+  std::optional<JobSnapshot> status(const std::string& id) const;
+  std::vector<JobSnapshot> jobs() const;
+
+  /// Blocks until the job reaches a terminal state; false on timeout or
+  /// unknown id.  timeout_s <= 0 waits forever.
+  bool wait(const std::string& id, double timeout_s) const;
+
+  /// Graceful shutdown: stop accepting, run the queue dry (the running and
+  /// all queued jobs complete), join the worker.  Idempotent.
+  void drain();
+
+  /// Fast shutdown: stop accepting, cancel the running job, mark queued
+  /// jobs kCancelled without running them, join the worker.  Idempotent.
+  void shutdown_now();
+
+  bool accepting() const;
+  int queued_count() const;
+  /// Id of the currently executing job, "" when idle.  Used to attribute
+  /// obs span events to a job (jobs run serially, so at most one is live).
+  std::string running_job() const;
+
+ private:
+  struct Record {
+    JobSnapshot snap;
+    util::CancelToken cancel;
+    util::Timer submitted;   ///< measures queue wait, then total age
+  };
+
+  void worker_loop();
+  // Both expect mutex_ held.
+  Record* find_locked(const std::string& id);
+  const Record* find_locked(const std::string& id) const;
+
+  Runner runner_;
+  const std::size_t max_queued_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;  ///< notified on queue + state changes
+  std::map<std::string, std::unique_ptr<Record>> records_;
+  /// Pending ids ordered (priority desc, seq asc) — set iteration order is
+  /// the dispatch order.
+  std::set<std::tuple<int, std::uint64_t, std::string>> pending_;
+  std::string running_id_;
+  std::uint64_t next_seq_ = 1;
+  bool accepting_ = true;
+  bool stop_ = false;        ///< worker exits once pending_ is empty
+  bool stop_immediate_ = false;
+  std::thread worker_;
+};
+
+}  // namespace mp::svc

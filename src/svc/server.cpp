@@ -1,0 +1,305 @@
+#include "svc/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "svc/net.hpp"
+#include "util/log.hpp"
+
+namespace mp::svc {
+
+Server::Server(LocalService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+  close_all_connections();
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + socket_path_;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind " + socket_path_);
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  util::log_info() << "svc: listening on " << socket_path_;
+  return true;
+}
+
+void Server::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  // Self-pipe wakeup: one byte, async-signal-safe (the only call a SIGTERM
+  // handler needs to make).
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+bool Server::shutdown_requested() const {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+
+void Server::serve() {
+  while (!shutdown_requested()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn() << "svc: poll failed: " << std::strerror(errno);
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn() << "svc: accept failed: " << std::strerror(errno);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+
+  // Graceful drain: stop accepting (close + unlink the socket so new
+  // connects fail fast), let the running job and the queued backlog finish,
+  // then disconnect clients.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+  util::log_info() << "svc: draining (" << service_.jobs().size()
+                   << " jobs known)";
+  service_.drain();
+  close_all_connections();
+  util::log_info() << "svc: drained";
+}
+
+void Server::close_all_connections() {
+  std::vector<Connection*> conns;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& c : connections_) {
+      conns.push_back(c.get());
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);  // unblock reads
+    }
+  }
+  for (Connection* c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const std::unique_ptr<Connection>& c : connections_) {
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+namespace {
+
+Json error_reply(const std::string& message) {
+  Json j = Json::object();
+  j["ok"] = Json::boolean(false);
+  j["error"] = Json::string(message);
+  return j;
+}
+
+const std::string& require_id(const Json& request) {
+  const Json* id = request.find("id");
+  if (id == nullptr || !id->is_string()) {
+    throw JsonError("request needs a string \"id\"");
+  }
+  return id->as_string();
+}
+
+}  // namespace
+
+Json Server::handle_request(Connection* conn, const Json& request) {
+  const Json* verb_field = request.find("verb");
+  if (verb_field == nullptr || !verb_field->is_string()) {
+    return error_reply("request needs a string \"verb\"");
+  }
+  const std::string& verb = verb_field->as_string();
+
+  if (verb == "submit") {
+    const Json* spec_field = request.find("spec");
+    if (spec_field == nullptr) return error_reply("submit needs a \"spec\"");
+    const JobSpec spec = parse_job_spec(*spec_field);  // throws JobError
+    const Scheduler::SubmitResult result = service_.submit(spec);
+    if (!result.accepted) return error_reply(result.error);
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    j["id"] = Json::string(result.id);
+    return j;
+  }
+  if (verb == "status" || verb == "result") {
+    const std::string id = require_id(request);
+    if (verb == "result") {
+      double timeout_s = 600.0;
+      if (const Json* t = request.find("timeout_s")) timeout_s = t->as_number();
+      if (!service_.wait(id, timeout_s)) {
+        return error_reply("job " + id + " unknown or still running after " +
+                           std::to_string(timeout_s) + "s");
+      }
+    }
+    const std::optional<JobSnapshot> snap = service_.status(id);
+    if (!snap) return error_reply("unknown job " + id);
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    j["job"] = LocalService::job_to_json(*snap);
+    return j;
+  }
+  if (verb == "cancel") {
+    const std::string id = require_id(request);
+    const bool ok = service_.cancel(id);
+    Json j = Json::object();
+    j["ok"] = Json::boolean(ok);
+    if (!ok) j["error"] = Json::string("job " + id + " unknown or finished");
+    return j;
+  }
+  if (verb == "watch") {
+    const std::string id = require_id(request);
+    if (!service_.status(id)) return error_reply("unknown job " + id);
+    const int token = service_.add_progress_listener(
+        [this, conn, id](const ProgressEvent& event) {
+          if (event.job_id != id) return;
+          Json line = Json::object();
+          line["event"] = Json::string("phase");
+          line["job"] = Json::string(event.job_id);
+          line["phase"] = Json::string(event.phase);
+          line["depth"] = Json::number(event.depth);
+          line["enter"] = Json::boolean(event.enter);
+          line["seconds"] = Json::number(event.seconds);
+          std::lock_guard<std::mutex> lock(conn->write_mutex);
+          // A callback in flight while the connection closes must not write
+          // to a recycled descriptor; fd is fenced by write_mutex.
+          if (conn->fd >= 0) write_line(conn->fd, line.dump());
+        });
+    service_.wait(id, 0.0);  // terminal is guaranteed even across a drain
+    service_.remove_progress_listener(token);
+    Json j = Json::object();
+    j["event"] = Json::string("done");
+    j["job"] = LocalService::job_to_json(*service_.status(id));
+    return j;
+  }
+  if (verb == "jobs") {
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    Json list = Json::array();
+    for (const JobSnapshot& snap : service_.jobs()) {
+      list.push_back(LocalService::job_to_json(snap));
+    }
+    j["jobs"] = list;
+    return j;
+  }
+  if (verb == "stats") {
+    Json j = service_.stats_json();
+    j["ok"] = Json::boolean(true);
+    return j;
+  }
+  if (verb == "shutdown") {
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    j["draining"] = Json::boolean(true);
+    return j;
+  }
+  return error_reply("unknown verb \"" + verb + "\"");
+}
+
+void Server::handle_connection(Connection* conn) {
+  LineReader reader(conn->fd);
+  std::string line;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    Json reply;
+    bool shutdown_after = false;
+    try {
+      const Json request = Json::parse(line);
+      reply = handle_request(conn, request);
+      const Json* verb = request.find("verb");
+      shutdown_after = verb != nullptr && verb->is_string() &&
+                       verb->as_string() == "shutdown";
+    } catch (const std::exception& e) {
+      reply = error_reply(e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (!write_line(conn->fd, reply.dump())) break;
+    }
+    if (shutdown_after) {
+      request_shutdown();
+      break;
+    }
+  }
+  // Lock order: write_mutex before connections_mutex (close_all never takes
+  // write_mutex, so there is no inversion).
+  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+}  // namespace mp::svc
+
+#else  // non-POSIX stub: the daemon is Unix-only; LocalService still works.
+
+namespace mp::svc {
+
+Server::Server(LocalService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {}
+Server::~Server() = default;
+bool Server::start(std::string* error) {
+  if (error != nullptr) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+void Server::serve() {}
+void Server::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+}
+bool Server::shutdown_requested() const {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+void Server::close_all_connections() {}
+Json Server::handle_request(Connection*, const Json&) { return Json(); }
+void Server::handle_connection(Connection*) {}
+
+}  // namespace mp::svc
+
+#endif

@@ -1,0 +1,79 @@
+#pragma once
+// Unix-domain-socket front end of the placement service (the mp_serve
+// daemon).  Protocol: newline-delimited JSON, one request object per line,
+// one reply line per request — except "watch", which streams progress event
+// lines until the watched job finishes.  Verbs:
+//
+//   {"verb":"submit","spec":{...}}        -> {"ok":true,"id":"j..."}
+//   {"verb":"status","id":"j..."}         -> {"ok":true,"job":{...}}
+//   {"verb":"result","id":"j...",
+//    "timeout_s":600}                     -> waits, then {"ok":true,"job":{...}}
+//   {"verb":"cancel","id":"j..."}         -> {"ok":true|false,...}
+//   {"verb":"watch","id":"j..."}          -> {"event":"phase",...}* then
+//                                            {"event":"done","job":{...}}
+//   {"verb":"jobs"} / {"verb":"stats"}    -> {"ok":true,...}
+//   {"verb":"shutdown"}                   -> {"ok":true}, then the server
+//                                            drains (runs queued jobs dry)
+//                                            and exits serve()
+//
+// Every error reply is {"ok":false,"error":"..."}.  SIGTERM/SIGINT drain is
+// wired by the mp_serve binary through request_shutdown(), which is safe to
+// call from a signal handler (one write to a self-pipe).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace mp::svc {
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(LocalService& service, std::string socket_path);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens (removing a stale socket file first).  False with
+  /// `error` filled on failure.  Does not accept yet; serve() does.
+  bool start(std::string* error);
+
+  /// Accept loop: blocks until a shutdown is requested (verb or signal),
+  /// then drains the service (running + queued jobs complete), closes every
+  /// connection and returns.  Call after start().
+  void serve();
+
+  /// Async-signal-safe shutdown request (self-pipe write).
+  void request_shutdown();
+  bool shutdown_requested() const;
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;  ///< progress stream vs reply interleaving
+    std::thread thread;
+  };
+
+  void handle_connection(Connection* conn);
+  Json handle_request(Connection* conn, const Json& request);
+  void close_all_connections();
+
+  LocalService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mp::svc

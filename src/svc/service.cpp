@@ -1,0 +1,278 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/bookshelf.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "par/par.hpp"
+#include "place/analytic_placer.hpp"
+#include "place/placer.hpp"
+#include "place/rl_only_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "place/wiremask_placer.hpp"
+#include "svc/hash.hpp"
+#include "util/log.hpp"
+
+namespace mp::svc {
+
+std::uint64_t placement_fingerprint(const netlist::Design& design) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < design.num_nodes(); ++i) {
+    const geometry::Point p =
+        design.node(static_cast<netlist::NodeId>(i)).position;
+    h = fnv1a64_double(p.x, h);
+    h = fnv1a64_double(p.y, h);
+  }
+  return h;
+}
+
+namespace {
+
+// Exactly the option derivation of examples/place_bookshelf.cpp — the
+// service's bit-identity contract with the offline CLI hangs on this
+// function staying in lockstep with it.
+place::MctsRlOptions mcts_options_for(const JobSpec& spec) {
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.train.update_window = std::min(30, std::max(3, spec.episodes / 6));
+  options.train.calibration_episodes = std::max(5, spec.episodes / 3);
+  options.mcts.explorations_per_move = spec.gamma;
+  if (spec.seed != 0) {
+    // The CLI has no seed flag; seed 0 keeps its defaults (bit-identity).
+    options.train.seed = spec.seed;
+    options.mcts.seed = spec.seed + 1;
+  }
+  return options;
+}
+
+}  // namespace
+
+LocalService::LocalService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_designs, options.cache_prepared,
+             options.cache_weights) {
+  scheduler_ = std::make_unique<Scheduler>(
+      [this](const std::string& id, const JobSpec& spec,
+             const util::CancelToken& cancel) {
+        return execute(id, spec, cancel);
+      },
+      options_.max_queued);
+  if (options_.stream_progress) {
+    obs::set_span_listener(
+        [this](const std::string& path, int depth, bool enter,
+               double seconds) { on_span(path, depth, enter, seconds); });
+  }
+}
+
+LocalService::~LocalService() {
+  // Stop the worker before tearing down the listener plumbing it feeds.
+  scheduler_->shutdown_now();
+  if (options_.stream_progress) obs::set_span_listener({});
+}
+
+Scheduler::SubmitResult LocalService::submit(const JobSpec& spec) {
+  return scheduler_->submit(spec);
+}
+
+bool LocalService::cancel(const std::string& id) {
+  return scheduler_->cancel(id);
+}
+
+std::optional<JobSnapshot> LocalService::status(const std::string& id) const {
+  return scheduler_->status(id);
+}
+
+std::vector<JobSnapshot> LocalService::jobs() const {
+  return scheduler_->jobs();
+}
+
+bool LocalService::wait(const std::string& id, double timeout_s) const {
+  return scheduler_->wait(id, timeout_s);
+}
+
+void LocalService::drain() { scheduler_->drain(); }
+
+void LocalService::shutdown_now() { scheduler_->shutdown_now(); }
+
+bool LocalService::accepting() const { return scheduler_->accepting(); }
+
+int LocalService::add_progress_listener(ProgressFn fn) {
+  std::lock_guard<std::mutex> lock(listeners_mutex_);
+  const int token = next_listener_token_++;
+  listeners_[token] = std::move(fn);
+  return token;
+}
+
+void LocalService::remove_progress_listener(int token) {
+  std::lock_guard<std::mutex> lock(listeners_mutex_);
+  listeners_.erase(token);
+}
+
+void LocalService::on_span(const std::string& path, int depth, bool enter,
+                           double seconds) {
+  if (depth > options_.max_progress_depth) return;
+  // Jobs run serially, so any span fired while a job is running belongs to
+  // it; spans outside a job (other library users in-process) have no job id
+  // and are not streamed.
+  const std::string job_id = scheduler_->running_job();
+  if (job_id.empty()) return;
+  ProgressEvent event{job_id, path, depth, enter, seconds};
+  std::vector<ProgressFn> sinks;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
+    sinks.reserve(listeners_.size());
+    for (const auto& [token, fn] : listeners_) sinks.push_back(fn);
+  }
+  for (const ProgressFn& fn : sinks) fn(event);
+}
+
+JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
+                                 const util::CancelToken& cancel) {
+  if (spec.threads > 0) par::set_num_threads(spec.threads);
+  // Each job owns one telemetry window (like one offline CLI run): zeroed at
+  // start, serialized as one JSONL line tagged with the job id at the end.
+  if (obs::enabled()) obs::reset_values();
+  JobOutcome out;
+  std::string design_name;
+  {
+    obs::Span job_span("svc.job");
+    const std::shared_ptr<const DesignArtifact> loaded =
+        cache_.design_for(spec);
+    design_name = loaded->design.name();
+    netlist::Design design;
+
+    switch (spec.preset) {
+      case FlowPreset::kMcts:
+      case FlowPreset::kRlOnly: {
+        place::MctsRlOptions options = mcts_options_for(spec);
+        options.cancel = cancel;
+        if (!spec.weights_path.empty()) {
+          options.initial_parameters =
+              cache_.weights_for(spec.weights_path)->parameters;
+        }
+        const std::shared_ptr<const PreparedArtifact> prepared =
+            cache_.prepared_for(loaded, options.flow);
+        design = prepared->design;  // post-prepare copy the job may mutate
+        place::FlowContext context = prepared->context;
+        if (spec.preset == FlowPreset::kMcts) {
+          const place::MctsRlResult r =
+              place::mcts_rl_place_prepared(design, context, options);
+          out.hpwl = r.hpwl;
+          out.coarse_wirelength = r.coarse_wirelength;
+          out.cancelled = r.cancelled;
+          out.finalized = r.finalized;
+          out.macro_groups = r.macro_groups;
+        } else {
+          const place::RlOnlyResult r =
+              place::rl_only_place_prepared(design, context, options);
+          out.hpwl = r.hpwl;
+          out.coarse_wirelength = r.coarse_wirelength;
+          out.cancelled = r.cancelled;
+          out.finalized = r.finalized;
+          out.macro_groups =
+              static_cast<int>(context.clustering.macro_groups.size());
+        }
+        break;
+      }
+      case FlowPreset::kSa: {
+        design = loaded->design;
+        place::SaOptions o;
+        if (spec.seed != 0) o.seed = spec.seed;
+        // Baselines honor cancellation during their GP stages only; the
+        // core annealer/greedy loops run to completion.
+        if (cancel.valid()) o.initial_gp.cancel = cancel;
+        out.hpwl = place::sa_place(design, o).hpwl;
+        out.finalized = true;
+        out.cancelled = cancel.cancelled();
+        break;
+      }
+      case FlowPreset::kWiremask: {
+        design = loaded->design;
+        place::WiremaskOptions o;
+        if (cancel.valid()) o.initial_gp.cancel = cancel;
+        out.hpwl = place::wiremask_place(design, o).hpwl;
+        out.finalized = true;
+        out.cancelled = cancel.cancelled();
+        break;
+      }
+      case FlowPreset::kAnalytic: {
+        design = loaded->design;
+        place::AnalyticOptions o;
+        if (cancel.valid()) o.mixed_gp.cancel = cancel;
+        out.hpwl = place::analytic_place(design, o).hpwl;
+        out.finalized = true;
+        out.cancelled = cancel.cancelled();
+        break;
+      }
+    }
+
+    out.placement_hash = placement_fingerprint(design);
+    if (!spec.out_prefix.empty()) io::write_bookshelf(design, spec.out_prefix);
+  }
+  obs::write_run_report("svc.job", {{"job_id", id},
+                                    {"preset", preset_name(spec.preset)},
+                                    {"design", design_name}});
+  return out;
+}
+
+Json LocalService::job_to_json(const JobSnapshot& snap) {
+  Json j = Json::object();
+  j["id"] = Json::string(snap.id);
+  j["state"] = Json::string(job_state_name(snap.state));
+  j["seq"] = Json::number(static_cast<double>(snap.seq));
+  j["queue_s"] = Json::number(snap.queue_seconds);
+  j["run_s"] = Json::number(snap.run_seconds);
+  if (!snap.error.empty()) j["error"] = Json::string(snap.error);
+  j["spec"] = job_spec_to_json(snap.spec);
+  if (snap.state == JobState::kDone || snap.state == JobState::kCancelled) {
+    Json o = Json::object();
+    o["hpwl"] = Json::number(snap.outcome.hpwl);
+    o["coarse_wirelength"] = Json::number(snap.outcome.coarse_wirelength);
+    o["cancelled"] = Json::boolean(snap.outcome.cancelled);
+    o["finalized"] = Json::boolean(snap.outcome.finalized);
+    o["placement_hash"] = Json::string(hash_hex(snap.outcome.placement_hash));
+    o["macro_groups"] = Json::number(snap.outcome.macro_groups);
+    j["outcome"] = o;
+  }
+  return j;
+}
+
+Json LocalService::stats_json() const {
+  Json j = Json::object();
+  long long queued = 0, running = 0, done = 0, failed = 0, cancelled = 0;
+  for (const JobSnapshot& snap : jobs()) {
+    switch (snap.state) {
+      case JobState::kQueued: ++queued; break;
+      case JobState::kRunning: ++running; break;
+      case JobState::kDone: ++done; break;
+      case JobState::kFailed: ++failed; break;
+      case JobState::kCancelled: ++cancelled; break;
+    }
+  }
+  Json jobs_obj = Json::object();
+  jobs_obj["queued"] = Json::number(queued);
+  jobs_obj["running"] = Json::number(running);
+  jobs_obj["done"] = Json::number(done);
+  jobs_obj["failed"] = Json::number(failed);
+  jobs_obj["cancelled"] = Json::number(cancelled);
+  j["jobs"] = jobs_obj;
+  const CacheStats cache = cache_stats();
+  Json cache_obj = Json::object();
+  cache_obj["design_hits"] = Json::number(cache.design_hits);
+  cache_obj["design_misses"] = Json::number(cache.design_misses);
+  cache_obj["prepared_hits"] = Json::number(cache.prepared_hits);
+  cache_obj["prepared_misses"] = Json::number(cache.prepared_misses);
+  cache_obj["weights_hits"] = Json::number(cache.weights_hits);
+  cache_obj["weights_misses"] = Json::number(cache.weights_misses);
+  j["cache"] = cache_obj;
+  j["threads"] = Json::number(par::num_threads());
+  j["accepting"] = Json::boolean(accepting());
+  return j;
+}
+
+}  // namespace mp::svc

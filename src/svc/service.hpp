@@ -1,0 +1,101 @@
+#pragma once
+// LocalService — the placement service without the socket: scheduler +
+// artifact cache + per-preset job runners, embeddable in tests and tools.
+// The socket server (src/svc/server.hpp) is a thin protocol shim over this
+// class, so everything observable over the wire is testable in-process.
+//
+// Determinism contract: jobs execute one at a time on the scheduler's worker
+// thread (parallelism lives *inside* a job, on the par:: pool), runners
+// mirror the offline CLI's option derivation exactly, and warm-cache hits
+// resume from a deterministic prepare_flow artifact — so a job's placement
+// is bit-identical to `place_bookshelf` at equal settings, warm or cold
+// (verified by tests/test_svc.cpp and the scripts/check.sh smoke leg).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "svc/cache.hpp"
+#include "svc/scheduler.hpp"
+
+namespace mp::svc {
+
+struct ServiceOptions {
+  int max_queued = 32;          ///< admission-control bound
+  std::size_t cache_designs = 8;
+  std::size_t cache_prepared = 8;
+  std::size_t cache_weights = 4;
+  /// Stream per-phase progress by installing the process-wide
+  /// obs::set_span_listener (removed again on destruction).  At most one
+  /// service per process should enable this.
+  bool stream_progress = true;
+  /// Span depth cutoff for progress events: 1 is just the job envelope,
+  /// 2 adds the flow phases (prepare / rl.train / mcts.search / finalize).
+  int max_progress_depth = 2;
+};
+
+/// One streamed progress notification (span enter/exit of the running job).
+struct ProgressEvent {
+  std::string job_id;
+  std::string phase;     ///< slash-joined span path, e.g. "svc.job/rl.train"
+  int depth = 0;
+  bool enter = false;    ///< true = phase started, false = finished
+  double seconds = 0.0;  ///< wall time of the phase on exit, 0 on enter
+};
+
+class LocalService {
+ public:
+  using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+  explicit LocalService(ServiceOptions options = {});
+  ~LocalService();  ///< shutdown_now + listener removal
+
+  LocalService(const LocalService&) = delete;
+  LocalService& operator=(const LocalService&) = delete;
+
+  // Scheduler pass-throughs (see scheduler.hpp for semantics).
+  Scheduler::SubmitResult submit(const JobSpec& spec);
+  bool cancel(const std::string& id);
+  std::optional<JobSnapshot> status(const std::string& id) const;
+  std::vector<JobSnapshot> jobs() const;
+  bool wait(const std::string& id, double timeout_s = 0.0) const;
+  void drain();
+  void shutdown_now();
+  bool accepting() const;
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  /// Protocol "stats" object: job counts by state, queue depth, cache
+  /// hit/miss counters, pool size.
+  Json stats_json() const;
+
+  /// Registers a progress sink (server watch streams, tests); returns a
+  /// token for remove_progress_listener.  Callbacks fire on the job's
+  /// execution threads and must not block.
+  int add_progress_listener(ProgressFn fn);
+  void remove_progress_listener(int token);
+
+  /// Protocol "job" object for a snapshot (docs/SERVICE.md schema).
+  static Json job_to_json(const JobSnapshot& snap);
+
+ private:
+  JobOutcome execute(const std::string& id, const JobSpec& spec,
+                     const util::CancelToken& cancel);
+  void on_span(const std::string& path, int depth, bool enter, double seconds);
+
+  ServiceOptions options_;
+  ArtifactCache cache_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::mutex listeners_mutex_;
+  std::map<int, ProgressFn> listeners_;
+  int next_listener_token_ = 1;
+};
+
+/// FNV-1a fingerprint over every node position's bit pattern, in node order.
+/// Two bit-identical placements — e.g. a service job and the offline CLI at
+/// equal settings — share it; any position differing in even one ulp does
+/// not.
+std::uint64_t placement_fingerprint(const netlist::Design& design);
+
+}  // namespace mp::svc

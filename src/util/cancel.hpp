@@ -1,0 +1,97 @@
+#pragma once
+// Cooperative cancellation for long-running placement work (docs/SERVICE.md).
+//
+// A CancelToken is a cheap copyable handle to shared cancellation state: the
+// owner (a service scheduler, a CLI signal handler, a test) requests
+// cancellation or arms a wall-clock deadline, and the inner loops of the
+// placement flow — GP spreading rounds, RL episodes, MCTS explorations,
+// refinement rounds — poll `cancelled()` at their iteration boundaries and
+// return early with a best-effort partial result.
+//
+// Contract relied on by the flow code:
+//   * A default-constructed token is inert: `cancelled()` is a null check
+//     that never fires, so threading tokens through options structs costs
+//     nothing for offline callers.
+//   * Polling never mutates algorithm state — a run with an armed token that
+//     is never cancelled is bit-identical to a run without one.
+//   * `cancelled()` is safe to call from any thread (relaxed atomic load
+//     plus a steady_clock read when a deadline is armed).
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace mp::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancelled, no shared state.
+  CancelToken() = default;
+
+  /// Token with live shared state (cancellable, deadline-capable).
+  static CancelToken make() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// True when this token can ever report cancellation.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Requests cancellation; no-op on an inert token.  Idempotent and safe
+  /// from any thread (e.g. a signal-handling thread or a socket reader).
+  void request_cancel() const {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Arms (or re-arms) an absolute deadline; after it passes, `cancelled()`
+  /// reports true.  No-op on an inert token.
+  void set_deadline(Clock::time_point deadline) const {
+    if (state_ == nullptr) return;
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `seconds` from now; non-positive values disarm.
+  void set_deadline_after(double seconds) const {
+    if (state_ == nullptr) return;
+    if (seconds <= 0.0) {
+      state_->deadline_ns.store(0, std::memory_order_relaxed);
+      return;
+    }
+    set_deadline(Clock::now() + std::chrono::nanoseconds(static_cast<long long>(
+                                    seconds * 1e9)));
+  }
+
+  /// True once cancellation was requested or an armed deadline passed.
+  bool cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    const long long deadline = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        Clock::now().time_since_epoch() >= std::chrono::nanoseconds(deadline)) {
+      // Latch, so later polls skip the clock read.
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    /// Deadline as steady_clock nanoseconds-since-epoch; 0 = disarmed.
+    std::atomic<long long> deadline_ns{0};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mp::util

@@ -5,7 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <memory>
+#include <sstream>
 
 #include "nn/functional.hpp"
 #include "nn/layers.hpp"
@@ -374,7 +379,141 @@ TEST(Serialize, LoadRejectsWrongShape) {
   b.collect_parameters(pb);
   const std::string path = "/tmp/mp_test_params2.bin";
   save_parameters(pa, path);
-  EXPECT_THROW(load_parameters(pb, path), std::runtime_error);
+  try {
+    load_parameters(pb, path);
+    FAIL() << "expected shape mismatch";
+  } catch (const std::runtime_error& e) {
+    // The message must name both shapes so a weights/config mix-up is
+    // diagnosable from the exception alone.
+    EXPECT_NE(std::string(e.what()).find("shape mismatch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[2,4]"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[2,3]"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// Saves one small Linear's parameters to `path` and returns its raw bytes.
+std::string save_reference_file(const std::string& path) {
+  util::Rng rng(22);
+  Linear lin(3, 2, rng);
+  std::vector<Parameter*> params;
+  lin.collect_parameters(params);
+  save_parameters(params, path);
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << f.rdbuf();
+  return bytes.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Serialize, ReadParametersFileRoundTripsBitExactly) {
+  util::Rng rng(23);
+  Linear lin(5, 3, rng);
+  std::vector<Parameter*> params;
+  lin.collect_parameters(params);
+  const std::string path = "/tmp/mp_test_params_read.bin";
+  save_parameters(params, path);
+  const std::vector<Tensor> loaded = read_parameters_file(path);
+  ASSERT_EQ(loaded.size(), params.size());
+  for (std::size_t k = 0; k < loaded.size(); ++k) {
+    ASSERT_EQ(loaded[k].shape(), params[k]->value.shape());
+    for (std::size_t i = 0; i < loaded[k].size(); ++i) {
+      // Bit-exact, not approximately equal: these bytes seed the service
+      // weights cache, whose determinism contract is bit-identity.
+      const float got = loaded[k][i];
+      const float want = params[k]->value[i];
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(float)), 0);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsTruncatedFile) {
+  const std::string path = "/tmp/mp_test_params_trunc.bin";
+  const std::string bytes = save_reference_file(path);
+  // Cut in every region: header, shape table, tensor payload.
+  for (const std::size_t keep :
+       {std::size_t{2}, std::size_t{9}, bytes.size() - 3}) {
+    write_bytes(path, bytes.substr(0, keep));
+    try {
+      read_parameters_file(path);
+      FAIL() << "expected truncation error at " << keep << " bytes";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsBadMagic) {
+  const std::string path = "/tmp/mp_test_params_magic.bin";
+  std::string bytes = save_reference_file(path);
+  bytes[0] = 'X';
+  write_bytes(path, bytes);
+  try {
+    read_parameters_file(path);
+    FAIL() << "expected bad-magic error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not an nn parameter file"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsTrailingBytes) {
+  const std::string path = "/tmp/mp_test_params_trail.bin";
+  const std::string bytes = save_reference_file(path);
+  write_bytes(path, bytes + '\0');
+  EXPECT_THROW(read_parameters_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsImplausibleHeader) {
+  const std::string path = "/tmp/mp_test_params_huge.bin";
+  std::string bytes = save_reference_file(path);
+  // Corrupt the tensor count (bytes 4..7) to 2^31: must refuse before
+  // attempting any allocation.
+  bytes[4] = 0;
+  bytes[5] = 0;
+  bytes[6] = 0;
+  bytes[7] = static_cast<char>(0x80);
+  write_bytes(path, bytes);
+  try {
+    read_parameters_file(path);
+    FAIL() << "expected implausible-count error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadRejectsCountMismatchNamingBothCounts) {
+  const std::string path = "/tmp/mp_test_params_count.bin";
+  save_reference_file(path);  // 2 tensors (weight + bias)
+  util::Rng rng(24);
+  Sequential net;
+  net.add(std::make_unique<Linear>(3, 2, rng));
+  net.add(std::make_unique<Linear>(2, 2, rng));
+  std::vector<Parameter*> params;  // 4 tensors
+  net.collect_parameters(params);
+  try {
+    load_parameters(params, path);
+    FAIL() << "expected count mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("network has 4"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("file has 2"), std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

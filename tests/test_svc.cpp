@@ -1,0 +1,602 @@
+// Tests for the placement service (src/svc): JSON protocol values, job-spec
+// validation, the LRU artifact cache, scheduler ordering/admission/cancel,
+// the LocalService end-to-end determinism contract (service job ≡ offline
+// placer call, warm ≡ cold), cooperative cancellation, and the socket
+// server/client round trip.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "check/check.hpp"
+#include "netlist/validate.hpp"
+#include "place/placer.hpp"
+#include "place/rl_only_placer.hpp"
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/hash.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace mp::svc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON
+
+TEST(Json, ParseDumpRoundTripIsCanonical) {
+  const Json v = Json::parse(
+      R"({"b":[1,2.5,true,null],"a":"x\ny","nested":{"k":-3}})");
+  // Sorted keys, integers without fraction, escapes re-encoded.
+  EXPECT_EQ(v.dump(), R"({"a":"x\ny","b":[1,2.5,true,null],"nested":{"k":-3}})");
+  EXPECT_EQ(Json::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(Json, ParseDecodesUnicodeEscapes) {
+  const Json v = Json::parse(R"("Aé")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Json v = Json::parse("42");
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.items(), JsonError);
+  EXPECT_THROW(v.members(), JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// Job specs
+
+Json tiny_synthetic_spec_json() {
+  Json spec = Json::object();
+  Json synth = Json::object();
+  synth["name"] = Json::string("svc-tiny");
+  synth["movable_macros"] = Json::number(8);
+  synth["std_cells"] = Json::number(300);
+  synth["nets"] = Json::number(400);
+  synth["io_pads"] = Json::number(16);
+  synth["seed"] = Json::number(5);
+  spec["synthetic"] = synth;
+  spec["preset"] = Json::string("mcts");
+  spec["episodes"] = Json::number(6);
+  spec["gamma"] = Json::number(4);
+  spec["grid"] = Json::number(8);
+  spec["channels"] = Json::number(8);
+  spec["blocks"] = Json::number(1);
+  return spec;
+}
+
+JobSpec tiny_synthetic_spec() {
+  return parse_job_spec(tiny_synthetic_spec_json());
+}
+
+TEST(JobSpec, ParsesAndRoundTrips) {
+  const JobSpec spec = tiny_synthetic_spec();
+  EXPECT_TRUE(spec.use_synthetic);
+  EXPECT_EQ(spec.synthetic.movable_macros, 8);
+  EXPECT_EQ(spec.preset, FlowPreset::kMcts);
+  EXPECT_EQ(spec.episodes, 6);
+  EXPECT_EQ(spec.grid, 8);
+  // Canonical form survives a parse round trip.
+  const JobSpec again = parse_job_spec(job_spec_to_json(spec));
+  EXPECT_EQ(job_canonical_string(again), job_canonical_string(spec));
+}
+
+TEST(JobSpec, RejectsUnknownKey) {
+  Json spec = tiny_synthetic_spec_json();
+  spec["episides"] = Json::number(10);  // typo'd knob must not be silent
+  EXPECT_THROW(parse_job_spec(spec), JobError);
+}
+
+TEST(JobSpec, RejectsFractionalAndOutOfRangeValues) {
+  Json spec = tiny_synthetic_spec_json();
+  spec["episodes"] = Json::number(6.5);
+  EXPECT_THROW(parse_job_spec(spec), JobError);
+  spec = tiny_synthetic_spec_json();
+  spec["grid"] = Json::number(1);
+  EXPECT_THROW(parse_job_spec(spec), JobError);
+  spec = tiny_synthetic_spec_json();
+  spec["priority"] = Json::number(1000);
+  EXPECT_THROW(parse_job_spec(spec), JobError);
+}
+
+TEST(JobSpec, RequiresExactlyOneDesignSource) {
+  EXPECT_THROW(parse_job_spec(Json::object()), JobError);
+  Json both = tiny_synthetic_spec_json();
+  both["design"] = Json::string("/tmp/some_prefix");
+  EXPECT_THROW(parse_job_spec(both), JobError);
+}
+
+TEST(JobSpec, RejectsUnknownPreset) {
+  Json spec = tiny_synthetic_spec_json();
+  spec["preset"] = Json::string("quantum");
+  EXPECT_THROW(parse_job_spec(spec), JobError);
+}
+
+TEST(JobSpec, PresetAliasesMatchCli) {
+  FlowPreset p;
+  ASSERT_TRUE(parse_preset("ours", p));
+  EXPECT_EQ(p, FlowPreset::kMcts);
+  ASSERT_TRUE(parse_preset("rl", p));
+  EXPECT_EQ(p, FlowPreset::kRlOnly);
+  EXPECT_FALSE(parse_preset("nope", p));
+}
+
+TEST(JobSpec, JobIdsAreStablePerSpecAndUniquePerSubmission) {
+  const JobSpec spec = tiny_synthetic_spec();
+  const std::string a = make_job_id(spec, 1);
+  const std::string b = make_job_id(spec, 2);
+  EXPECT_NE(a, b);
+  // Same spec => same hash prefix (the part before the seq suffix).
+  EXPECT_EQ(a.substr(0, a.rfind('-')), b.substr(0, b.rfind('-')));
+  JobSpec other = spec;
+  other.episodes = 7;
+  const std::string c = make_job_id(other, 1);
+  EXPECT_NE(a.substr(0, a.rfind('-')), c.substr(0, c.rfind('-')));
+}
+
+// ---------------------------------------------------------------------------
+// LRU pool
+
+TEST(LruPool, EvictsLeastRecentlyUsed) {
+  LruPool<int> pool(2);
+  pool.put("a", std::make_shared<int>(1));
+  pool.put("b", std::make_shared<int>(2));
+  ASSERT_NE(pool.get("a"), nullptr);  // bumps "a"; "b" is now LRU
+  pool.put("c", std::make_shared<int>(3));
+  EXPECT_EQ(pool.get("b"), nullptr);
+  ASSERT_NE(pool.get("a"), nullptr);
+  EXPECT_EQ(*pool.get("a"), 1);
+  ASSERT_NE(pool.get("c"), nullptr);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler (with a fake runner)
+
+// Runner that records execution order and blocks every job until released.
+struct GatedRunner {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<std::string> order;
+
+  Scheduler::Runner runner() {
+    return [this](const std::string& id, const JobSpec&,
+                  const util::CancelToken&) {
+      std::unique_lock<std::mutex> lock(mutex);
+      order.push_back(id);
+      cv.wait(lock, [this] { return open; });
+      return JobOutcome{};
+    };
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+void wait_until_running(const Scheduler& scheduler, const std::string& id) {
+  while (scheduler.running_job() != id) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Scheduler, DispatchesByPriorityThenFifo) {
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/8);
+  const JobSpec base = tiny_synthetic_spec();
+  const std::string blocker = scheduler.submit(base).id;
+  wait_until_running(scheduler, blocker);  // queue fills while this blocks
+
+  JobSpec lo = base;
+  lo.priority = 0;
+  JobSpec hi = base;
+  hi.priority = 5;
+  const std::string lo_a = scheduler.submit(lo).id;
+  const std::string hi_id = scheduler.submit(hi).id;
+  const std::string lo_b = scheduler.submit(lo).id;
+  gate.release();
+  scheduler.drain();
+
+  const std::vector<std::string> expected = {blocker, hi_id, lo_a, lo_b};
+  EXPECT_EQ(gate.order, expected);
+}
+
+TEST(Scheduler, RejectsWhenQueueFull) {
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/1);
+  const JobSpec spec = tiny_synthetic_spec();
+  const std::string blocker = scheduler.submit(spec).id;
+  wait_until_running(scheduler, blocker);
+  EXPECT_TRUE(scheduler.submit(spec).accepted);  // fills the queue
+  const Scheduler::SubmitResult rejected = scheduler.submit(spec);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_FALSE(rejected.error.empty());
+  gate.release();
+  scheduler.drain();
+}
+
+TEST(Scheduler, CancelsQueuedJobWithoutRunningIt) {
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/8);
+  const JobSpec spec = tiny_synthetic_spec();
+  const std::string blocker = scheduler.submit(spec).id;
+  wait_until_running(scheduler, blocker);
+  const std::string queued = scheduler.submit(spec).id;
+  EXPECT_TRUE(scheduler.cancel(queued));
+  EXPECT_FALSE(scheduler.cancel(queued));  // already terminal
+  gate.release();
+  scheduler.drain();
+
+  const auto snap = scheduler.status(queued);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+  // Never executed: only the blocker reached the runner.
+  EXPECT_EQ(gate.order, std::vector<std::string>{blocker});
+}
+
+TEST(Scheduler, ThrowingRunnerMarksJobFailed) {
+  Scheduler scheduler(
+      [](const std::string&, const JobSpec&,
+         const util::CancelToken&) -> JobOutcome {
+        throw std::runtime_error("boom");
+      },
+      8);
+  const std::string id = scheduler.submit(tiny_synthetic_spec()).id;
+  ASSERT_TRUE(scheduler.wait(id, 30.0));
+  const auto snap = scheduler.status(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kFailed);
+  EXPECT_NE(snap->error.find("boom"), std::string::npos);
+}
+
+TEST(Scheduler, DeadlineArmsCancelTokenWhenJobStarts) {
+  Scheduler scheduler(
+      [](const std::string&, const JobSpec&, const util::CancelToken& cancel) {
+        while (!cancel.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        JobOutcome out;
+        out.cancelled = true;
+        return out;
+      },
+      8);
+  JobSpec spec = tiny_synthetic_spec();
+  spec.deadline_s = 0.05;
+  const std::string id = scheduler.submit(spec).id;
+  ASSERT_TRUE(scheduler.wait(id, 30.0));
+  const auto snap = scheduler.status(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+  EXPECT_TRUE(snap->outcome.cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// LocalService end-to-end
+
+ServiceOptions quiet_options() {
+  ServiceOptions o;
+  o.stream_progress = false;  // most tests don't need the global listener
+  return o;
+}
+
+TEST(LocalService, ConcurrentMixedPresetJobsAllComplete) {
+  LocalService service(quiet_options());
+  const FlowPreset presets[] = {FlowPreset::kMcts, FlowPreset::kRlOnly,
+                                FlowPreset::kSa, FlowPreset::kWiremask};
+  std::vector<std::string> ids;
+  for (const FlowPreset preset : presets) {
+    JobSpec spec = tiny_synthetic_spec();
+    spec.preset = preset;
+    const Scheduler::SubmitResult r = service.submit(spec);
+    ASSERT_TRUE(r.accepted) << r.error;
+    ids.push_back(r.id);
+  }
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(service.wait(id, 600.0)) << id;
+    const auto snap = service.status(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kDone)
+        << id << ": " << snap->error;
+    EXPECT_TRUE(snap->outcome.finalized);
+    EXPECT_GT(snap->outcome.hpwl, 0.0);
+    EXPECT_NE(snap->outcome.placement_hash, 0u);
+  }
+}
+
+TEST(LocalService, MctsJobBitIdenticalToOfflinePlacerCall) {
+  const JobSpec spec = tiny_synthetic_spec();
+
+  // Offline path: the CLI's option derivation, cold, no service involved.
+  netlist::Design design = benchgen::generate(spec.synthetic);
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.train.update_window =
+      std::min(30, std::max(3, spec.episodes / 6));
+  options.train.calibration_episodes = std::max(5, spec.episodes / 3);
+  options.mcts.explorations_per_move = spec.gamma;
+  const place::MctsRlResult direct = place::mcts_rl_place(design, options);
+  const std::uint64_t offline_hash = placement_fingerprint(design);
+
+  // Service path: same spec through the scheduler + warm cache machinery.
+  LocalService service(quiet_options());
+  const std::string id = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(id, 600.0));
+  const auto snap = service.status(id);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(snap->state, JobState::kDone) << snap->error;
+  EXPECT_EQ(snap->outcome.placement_hash, offline_hash);
+  EXPECT_DOUBLE_EQ(snap->outcome.hpwl, direct.hpwl);
+}
+
+TEST(LocalService, WarmCacheResubmissionIsBitIdenticalAndHits) {
+  LocalService service(quiet_options());
+  const JobSpec spec = tiny_synthetic_spec();
+  const std::string cold = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(cold, 600.0));
+  const std::string warm = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(warm, 600.0));
+
+  const auto a = service.status(cold);
+  const auto b = service.status(warm);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  ASSERT_EQ(a->state, JobState::kDone) << a->error;
+  ASSERT_EQ(b->state, JobState::kDone) << b->error;
+  EXPECT_EQ(a->outcome.placement_hash, b->outcome.placement_hash);
+
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.design_misses, 1);
+  EXPECT_GE(stats.design_hits, 1);
+  EXPECT_EQ(stats.prepared_misses, 1);
+  EXPECT_GE(stats.prepared_hits, 1);
+}
+
+TEST(LocalService, CancelStopsRunningJob) {
+  LocalService service(quiet_options());
+  JobSpec spec = tiny_synthetic_spec();
+  spec.episodes = 600;  // long enough that cancel lands mid-run
+  const std::string id = service.submit(spec).id;
+  while (true) {
+    const auto snap = service.status(id);
+    ASSERT_TRUE(snap.has_value());
+    if (snap->state == JobState::kRunning) break;
+    ASSERT_EQ(snap->state, JobState::kQueued);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(service.cancel(id));
+  ASSERT_TRUE(service.wait(id, 120.0));
+  const auto snap = service.status(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+  EXPECT_TRUE(snap->outcome.cancelled);
+}
+
+TEST(LocalService, DeadlineExpiresLongJob) {
+  LocalService service(quiet_options());
+  JobSpec spec = tiny_synthetic_spec();
+  spec.episodes = 600;
+  spec.deadline_s = 0.25;
+  const std::string id = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(id, 120.0));
+  const auto snap = service.status(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kCancelled);
+  EXPECT_TRUE(snap->outcome.cancelled);
+}
+
+TEST(LocalService, MissingDesignFileFailsJobWithError) {
+  LocalService service(quiet_options());
+  JobSpec spec;
+  spec.design_path = "/nonexistent/mp_svc_test_prefix";
+  const std::string id = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(id, 60.0));
+  const auto snap = service.status(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kFailed);
+  EXPECT_FALSE(snap->error.empty());
+}
+
+TEST(LocalService, StreamsPhaseProgressForRunningJob) {
+  ServiceOptions options;
+  options.stream_progress = true;
+  LocalService service(options);
+  std::mutex mutex;
+  std::vector<ProgressEvent> events;
+  const int token = service.add_progress_listener([&](const ProgressEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(e);
+  });
+  const std::string id = service.submit(tiny_synthetic_spec()).id;
+  ASSERT_TRUE(service.wait(id, 600.0));
+  service.remove_progress_listener(token);
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_FALSE(events.empty());
+  bool saw_envelope_exit = false, saw_phase = false;
+  for (const ProgressEvent& e : events) {
+    EXPECT_EQ(e.job_id, id);
+    EXPECT_LE(e.depth, options.max_progress_depth);
+    if (e.phase == "svc.job" && !e.enter) {
+      saw_envelope_exit = true;
+      EXPECT_GT(e.seconds, 0.0);
+    }
+    if (e.depth == 2) saw_phase = true;
+  }
+  EXPECT_TRUE(saw_envelope_exit);
+  EXPECT_TRUE(saw_phase);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation at the placer level (the primitives the service
+// deadline/cancel paths are built from)
+
+// Restores the MP_VALIDATE_LEVEL override on scope exit.
+struct ScopedValidateLevel {
+  explicit ScopedValidateLevel(int level) : previous(check::validate_level()) {
+    check::set_validate_level(level);
+  }
+  ~ScopedValidateLevel() { check::set_validate_level(previous); }
+  int previous;
+};
+
+TEST(CancelToken, PreCancelledFlowReturnsPromptlyWithValidDesign) {
+  // Exhaustive validators stay on for the whole truncated flow: a cancelled
+  // run must not leave a structurally invalid intermediate state behind.
+  ScopedValidateLevel deep(2);
+  const JobSpec spec = tiny_synthetic_spec();
+  netlist::Design design = benchgen::generate(spec.synthetic);
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.mcts.explorations_per_move = spec.gamma;
+  options.cancel = util::CancelToken::make();
+  options.cancel.request_cancel();
+  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  EXPECT_TRUE(result.cancelled);
+  const netlist::ValidationReport report = netlist::validate_design(design);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(CancelToken, DeadlineCancelsMidFlowLeavingValidDesign) {
+  ScopedValidateLevel deep(2);
+  JobSpec spec = tiny_synthetic_spec();
+  spec.episodes = 600;  // would run for a long time uncancelled
+  netlist::Design design = benchgen::generate(spec.synthetic);
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.mcts.explorations_per_move = spec.gamma;
+  options.cancel = util::CancelToken::make();
+  options.cancel.set_deadline_after(0.2);
+  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  EXPECT_TRUE(result.cancelled);
+  const netlist::ValidationReport report = netlist::validate_design(design);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(CancelToken, MidFlowCancelFromAnotherThreadStopsSelfPlay) {
+  JobSpec spec = tiny_synthetic_spec();
+  spec.episodes = 600;
+  netlist::Design design = benchgen::generate(spec.synthetic);
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.mcts.explorations_per_move = spec.gamma;
+  options.cancel = util::CancelToken::make();
+  std::thread canceller([token = options.cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    token.request_cancel();
+  });
+  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  canceller.join();
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(netlist::validate_design(design).ok());
+}
+
+TEST(CancelToken, UntriggeredTokenIsBitIdenticalToNoToken) {
+  const JobSpec spec = tiny_synthetic_spec();
+  place::MctsRlOptions options;
+  options.flow.grid_dim = spec.grid;
+  options.agent.channels = spec.channels;
+  options.agent.res_blocks = spec.blocks;
+  options.train.episodes = spec.episodes;
+  options.mcts.explorations_per_move = spec.gamma;
+
+  netlist::Design inert = benchgen::generate(spec.synthetic);
+  const place::MctsRlResult a = place::mcts_rl_place(inert, options);
+
+  netlist::Design armed = benchgen::generate(spec.synthetic);
+  options.cancel = util::CancelToken::make();  // live but never cancelled
+  const place::MctsRlResult b = place::mcts_rl_place(armed, options);
+
+  EXPECT_FALSE(a.cancelled);
+  EXPECT_FALSE(b.cancelled);
+  EXPECT_EQ(placement_fingerprint(inert), placement_fingerprint(armed));
+  EXPECT_DOUBLE_EQ(a.hpwl, b.hpwl);
+}
+
+// ---------------------------------------------------------------------------
+// Socket server + client
+
+TEST(Server, SubmitWatchStatsShutdownOverSocket) {
+  const std::string socket_path =
+      "/tmp/mp_test_svc_" + std::to_string(::getpid()) + ".sock";
+  LocalService service;  // stream_progress on: watch needs phase events
+  Server server(service, socket_path);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread serving([&server] { server.serve(); });
+
+  Client client(socket_path);
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  // Unknown verbs are errors, not disconnects.
+  const Json bad = client.request(Json::parse(R"({"verb":"frobnicate"})"));
+  ASSERT_TRUE(bad.find("ok") != nullptr);
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+
+  const Json submitted = client.submit(tiny_synthetic_spec_json());
+  ASSERT_TRUE(submitted.find("ok") != nullptr);
+  ASSERT_TRUE(submitted.find("ok")->as_bool()) << submitted.dump();
+  const std::string id = submitted.find("id")->as_string();
+
+  int phase_events = 0;
+  const Json done = client.watch(id, [&](const Json& event) {
+    const Json* kind = event.find("event");
+    if (kind != nullptr && kind->as_string() == "phase") ++phase_events;
+  });
+  ASSERT_TRUE(done.find("job") != nullptr) << done.dump();
+  const Json& job = *done.find("job");
+  EXPECT_EQ(job.find("state")->as_string(), "done");
+  ASSERT_TRUE(job.find("outcome") != nullptr);
+  EXPECT_FALSE(job.find("outcome")->find("placement_hash")->as_string().empty());
+  EXPECT_GT(phase_events, 0);
+
+  const Json stats = client.stats();
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(stats.find("jobs")->find("done")->as_number(), 1.0);
+
+  const Json ack = client.shutdown();
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  serving.join();  // serve() returns only after the drain
+  EXPECT_FALSE(service.accepting());
+  client.close();
+  std::remove(socket_path.c_str());
+}
+
+}  // namespace
+}  // namespace mp::svc
