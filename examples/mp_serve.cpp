@@ -1,6 +1,7 @@
 // Long-lived placement service daemon:
 //
 //   ./mp_serve --socket /tmp/mp.sock [--max-queued N] [--threads N]
+//             [--workers N]
 //
 // Speaks newline-delimited JSON over a Unix domain socket (protocol in
 // src/svc/server.hpp and docs/SERVICE.md); submit work with mp_submit.
@@ -27,7 +28,8 @@ void on_signal(int) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mp_serve --socket PATH [--max-queued N] [--threads N]\n");
+               "usage: mp_serve --socket PATH [--max-queued N] [--threads N] "
+               "[--workers N]\n");
   return 2;
 }
 
@@ -43,6 +45,8 @@ int main(int argc, char** argv) {
       options.max_queued = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       mp::par::set_num_threads(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.workers = std::atoi(argv[++i]);
     } else {
       return usage();
     }
@@ -62,8 +66,8 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
 
-  std::printf("mp_serve: listening on %s (max %d queued)\n",
-              socket_path.c_str(), options.max_queued);
+  std::printf("mp_serve: listening on %s (max %d queued, %d workers)\n",
+              socket_path.c_str(), options.max_queued, service.workers());
   std::fflush(stdout);
   server.serve();
 

@@ -21,11 +21,7 @@
 #include "io/plot.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
-#include "place/analytic_placer.hpp"
 #include "place/placer.hpp"
-#include "place/rl_only_placer.hpp"
-#include "place/sa_placer.hpp"
-#include "place/wiremask_placer.hpp"
 
 namespace {
 
@@ -79,30 +75,16 @@ int main(int argc, char** argv) {
               prefix.c_str(), stats.movable_macros, stats.preplaced_macros,
               stats.standard_cells, stats.nets);
 
-  double hpwl = 0.0;
-  if (placer == "ours" || placer == "rl") {
-    mp::place::MctsRlOptions options;
-    options.flow.grid_dim = grid;
-    options.agent.channels = channels;
-    options.agent.res_blocks = blocks;
-    options.train.episodes = episodes;
-    options.train.update_window = std::min(30, std::max(3, episodes / 6));
-    options.train.calibration_episodes = std::max(5, episodes / 3);
-    options.mcts.explorations_per_move = gamma;
-    if (placer == "ours") {
-      hpwl = mp::place::mcts_rl_place(design, options).hpwl;
-    } else {
-      hpwl = mp::place::rl_only_place(design, options).hpwl;
-    }
-  } else if (placer == "sa") {
-    hpwl = mp::place::sa_place(design).hpwl;
-  } else if (placer == "wiremask") {
-    hpwl = mp::place::wiremask_place(design).hpwl;
-  } else if (placer == "analytic") {
-    hpwl = mp::place::analytic_place(design).hpwl;
-  } else {
-    return usage();
-  }
+  mp::place::Preset preset;
+  if (!mp::place::parse_preset(placer, preset)) return usage();
+  mp::place::PresetKnobs knobs;
+  knobs.episodes = episodes;
+  knobs.gamma = gamma;
+  knobs.grid = grid;
+  knobs.channels = channels;
+  knobs.blocks = blocks;
+  const mp::place::PlacerSpec spec = mp::place::spec_from_preset(preset, knobs);
+  const double hpwl = mp::place::run(design, spec).hpwl;
 
   std::printf("placer=%s  HPWL=%.6g  macro_overlap=%.3g  in_region=%s\n",
               placer.c_str(), hpwl, design.macro_overlap_area(),

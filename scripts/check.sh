@@ -11,10 +11,14 @@
 #      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
 #   3. A ThreadSanitizer build (its own tree — TSan cannot be combined with
-#      ASan) running the `par`-labelled suite (ctest -L par): the thread
-#      pool, the lock-free obs metrics and every parallelized hot path
-#      (docs/PARALLELISM.md).  This leg is on by DEFAULT; pass --tsan to run
-#      the FULL suite under TSan instead (slower), or --no-tsan to skip the
+#      ASan) running the `par`- and `svc`-labelled suites (ctest -L
+#      "par|svc") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
+#      lock-free obs metrics, every parallelized hot path
+#      (docs/PARALLELISM.md), and the concurrent placement service — four
+#      workers chewing through mixed-preset jobs with mid-run cancels,
+#      thread-budget leases, and the in-flight-deduplicating artifact cache
+#      (docs/SERVICE.md).  This leg is on by DEFAULT; pass --tsan to run the
+#      FULL suite under TSan instead (slower), or --no-tsan to skip the
 #      TSan leg entirely.
 #   4. clang-tidy over the compile database, when clang-tidy is installed.
 #      Skipped with a notice otherwise (the container ships gcc only).
@@ -28,7 +32,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${ROOT}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-TSAN_MODE=par   # par = `ctest -L par` under TSan (default); full; off
+TSAN_MODE=par   # par = `ctest -L "par|svc"` under TSan (default); full; off
 FRESH=0
 for arg in "$@"; do
   case "${arg}" in
@@ -87,7 +91,7 @@ svc_smoke() {
   rm -f "${sock}"
   ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
   UBSAN_OPTIONS="print_stacktrace=1" \
-    "${dir}/examples/mp_serve" --socket "${sock}" >"${log}" 2>&1 &
+    "${dir}/examples/mp_serve" --socket "${sock}" --workers 2 >"${log}" 2>&1 &
   local pid=$!
   local up=0
   for _ in $(seq 1 300); do
@@ -129,10 +133,14 @@ run_sanitized asan "address;undefined"
 note "svc: mp_serve smoke (2 jobs + SIGTERM drain, ASan/UBSan)"
 svc_smoke
 case "${TSAN_MODE}" in
-  # Exercise the pool and shared-tree/self-play paths with several workers
-  # even on small CI machines.
-  par)  MP_THREADS="${MP_THREADS:-4}" run_sanitized tsan "thread" par ;;
-  full) MP_THREADS="${MP_THREADS:-4}" run_sanitized tsan "thread" ;;
+  # Exercise the pool, shared-tree/self-play paths, AND the concurrent
+  # service (4 scheduler workers — the svc-labelled stress submits 8
+  # mixed-preset jobs and cancels two mid-run) with several threads even on
+  # small CI machines.
+  par)  MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
+          run_sanitized tsan "thread" "par|svc" ;;
+  full) MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
+          run_sanitized tsan "thread" ;;
   off)  note "tsan: skipped (--no-tsan)" ;;
 esac
 

@@ -63,7 +63,7 @@ void DensityGrid::add_all(const std::vector<geometry::Rect>& rects,
   for (std::size_t i = 0; i < rects.size(); ++i) {
     if (movable[i] != 0) total_movable_ += rects[i].area();
   }
-  if (par::num_threads() <= 1 || par::in_worker() || bins_ < 2) {
+  if (par::current_threads() <= 1 || par::in_worker() || bins_ < 2) {
     for (std::size_t i = 0; i < rects.size(); ++i) {
       const geometry::Rect& rect = rects[i];
       const int bx0 = bin_x_of(rect.left());
@@ -101,7 +101,7 @@ void DensityGrid::add_all(const std::vector<geometry::Rect>& rects,
   }
   const std::size_t rows = static_cast<std::size_t>(bins_);
   const std::size_t grain =
-      std::max<std::size_t>(1, rows / (4 * static_cast<std::size_t>(par::num_threads())));
+      std::max<std::size_t>(1, rows / (4 * static_cast<std::size_t>(par::current_threads())));
   par::parallel_for(0, rows, grain, [&](std::size_t lo, std::size_t hi) {
     const int band_lo = static_cast<int>(lo);
     const int band_hi = static_cast<int>(hi);  // exclusive

@@ -350,7 +350,7 @@ void MctsPlacer::run_batch(int batch) {
     }
     leaf.value = value;
   };
-  if (cloned_eval && par::num_threads() > 1) {
+  if (cloned_eval && par::current_threads() > 1) {
     par::parallel_for(0, static_cast<std::size_t>(batch), 1,
                       [&](std::size_t lo, std::size_t hi) {
                         for (std::size_t k = lo; k < hi; ++k) evaluate_slot(k);

@@ -7,6 +7,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <unordered_map>
+
+#include "par/par.hpp"
 
 namespace mp::obs {
 
@@ -30,7 +33,10 @@ int level_from_env() {
   return 1;
 }
 
-// Per-thread position in the global registry's span tree.
+// Per-thread position in the current registry's span tree.  A span chain
+// always stays within one registry: ScopedContext saves/restores the cursor
+// when it rebinds, and pool workers open and close their spans within one
+// task, so the cursor is back to null before the binding can change.
 thread_local detail::SpanNode* t_cursor = nullptr;
 
 // Span listener slot.  The atomic flag keeps the common no-listener case to
@@ -192,10 +198,58 @@ Registry& Registry::global() {
   return *instance;
 }
 
+namespace detail {
+
+std::size_t intern_metric(const char* name) {
+  // Append-only process-wide name → id table.  Called once per call site
+  // (function-local static in the macros), so the mutex is cold.
+  static std::mutex intern_mutex;
+  static std::unordered_map<std::string, std::size_t> ids;
+  std::lock_guard<std::mutex> lock(intern_mutex);
+  return ids.try_emplace(name, ids.size()).first->second;
+}
+
+}  // namespace detail
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+// The *_slow resolvers create (or find) the named entry under the registry
+// mutex and publish it into the interned-id fast slot.  Racing resolvers for
+// the same id converge on the same map entry, so the slot is written the
+// same pointer by every loser.
+
+Counter& Registry::counter_slow(std::size_t id, const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  if (id < kFastSlots) {
+    fast_counters_[id].store(slot.get(), std::memory_order_release);
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge_slow(std::size_t id, const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  if (id < kFastSlots) {
+    fast_gauges_[id].store(slot.get(), std::memory_order_release);
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram_slow(std::size_t id, const char* name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  if (id < kFastSlots) {
+    fast_histograms_[id].store(slot.get(), std::memory_order_release);
+  }
   return *slot;
 }
 
@@ -297,7 +351,35 @@ RegistrySnapshot Registry::snapshot() const {
   return snap;
 }
 
-void reset_values() { Registry::global().reset_values(); }
+// --- Contexts ---
+
+ScopedContext::ScopedContext(Context* context)
+    : previous_slot_(par::context_slot()), previous_cursor_(t_cursor) {
+  par::set_context_slot(context);
+  t_cursor = nullptr;
+}
+
+ScopedContext::~ScopedContext() {
+  t_cursor = previous_cursor_;
+  par::set_context_slot(previous_slot_);
+}
+
+Context* current_context() {
+  return static_cast<Context*>(par::context_slot());
+}
+
+Registry& current_registry() {
+  Context* ctx = current_context();
+  return ctx != nullptr ? ctx->registry() : Registry::global();
+}
+
+const std::string& current_context_tag() {
+  static const std::string kEmpty;
+  Context* ctx = current_context();
+  return ctx != nullptr ? ctx->tag() : kEmpty;
+}
+
+void reset_values() { current_registry().reset_values(); }
 
 void set_span_listener(SpanListener listener) {
   std::lock_guard<std::mutex> lock(g_listener_mutex);

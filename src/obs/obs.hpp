@@ -1,7 +1,14 @@
 #pragma once
-// Structured telemetry: a process-wide Registry of named counters, gauges
-// and log-scale histograms, plus an RAII Span that times a scoped phase and
-// aggregates into a parent/child tree (one node per unique span path).
+// Structured telemetry: Registries of named counters, gauges and log-scale
+// histograms, plus an RAII Span that times a scoped phase and aggregates
+// into a parent/child tree (one node per unique span path).
+//
+// Recording targets the calling thread's *current* registry: the process
+// global one by default, or a job-scoped Context installed with
+// ScopedContext (the placement service gives every job its own, tagged with
+// the job id, so concurrent jobs never mix metrics).  The context rides
+// par::context_slot(), so work a job fans out to pool workers still records
+// into that job's registry.
 //
 // Recording is gated by MP_OBS_LEVEL (off|on, default on, case-insensitive)
 // or programmatically via set_enabled(); every macro below is a cheap branchy
@@ -11,6 +18,7 @@
 // documented in docs/OBSERVABILITY.md.
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <limits>
 #include <map>
@@ -104,6 +112,15 @@ class Histogram {
 };
 
 namespace detail {
+
+/// Process-wide dense id for a metric name, assigned on first call and
+/// stable for the process lifetime.  Two call sites naming the same metric
+/// share one id.  The MP_OBS_* macros intern once per call site (function-
+/// local static) and then resolve through Registry's lock-free fast slots,
+/// so the per-hit cost stays one branch + two loads even though the target
+/// registry can change between hits (job contexts).
+std::size_t intern_metric(const char* name);
+
 /// One node of the aggregated span tree: all Span instances sharing the same
 /// path ("flow.finalize" under "mcts_rl_place", say) accumulate here.
 struct SpanNode {
@@ -132,18 +149,52 @@ struct RegistrySnapshot {
   std::vector<SpanSnapshot> spans;  ///< top-level spans (root's children)
 };
 
-/// Process-wide metric registry.  Entries are created on first use and never
-/// removed, so references returned by counter()/gauge()/histogram() stay
-/// valid for the process lifetime (the MP_OBS_* macros cache them in
-/// function-local statics).  reset_values() zeroes every metric and span
-/// statistic in place without invalidating those references.
+/// Metric registry: the process-wide one (global()) plus one per job-scoped
+/// Context.  Entries are created on first use and never removed while the
+/// registry lives, so references returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime.  reset_values() zeroes every
+/// metric and span statistic in place without invalidating those references.
+///
+/// Interned-id fast path: *_fast(id, name) resolves an interned metric id
+/// (detail::intern_metric) through a lock-free per-registry slot array —
+/// one acquire load when warm — falling back to the mutex-guarded name map
+/// to create the entry (and publish the slot) on the first hit.  Ids beyond
+/// kFastSlots still work; they just take the map path every time.
 class Registry {
  public:
+  static constexpr std::size_t kFastSlots = 512;
+
   static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  Counter& counter_fast(std::size_t id, const char* name) {
+    if (id < kFastSlots) {
+      Counter* c = fast_counters_[id].load(std::memory_order_acquire);
+      if (c != nullptr) return *c;
+    }
+    return counter_slow(id, name);
+  }
+  Gauge& gauge_fast(std::size_t id, const char* name) {
+    if (id < kFastSlots) {
+      Gauge* g = fast_gauges_[id].load(std::memory_order_acquire);
+      if (g != nullptr) return *g;
+    }
+    return gauge_slow(id, name);
+  }
+  Histogram& histogram_fast(std::size_t id, const char* name) {
+    if (id < kFastSlots) {
+      Histogram* h = fast_histograms_[id].load(std::memory_order_acquire);
+      if (h != nullptr) return *h;
+    }
+    return histogram_slow(id, name);
+  }
 
   void reset_values();
   RegistrySnapshot snapshot() const;
@@ -154,15 +205,71 @@ class Registry {
   void exit_span(detail::SpanNode* node, double seconds);
 
  private:
+  Counter& counter_slow(std::size_t id, const char* name);
+  Gauge& gauge_slow(std::size_t id, const char* name);
+  Histogram& histogram_slow(std::size_t id, const char* name);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   detail::SpanNode span_root_;
+  std::atomic<Counter*> fast_counters_[kFastSlots] = {};
+  std::atomic<Gauge*> fast_gauges_[kFastSlots] = {};
+  std::atomic<Histogram*> fast_histograms_[kFastSlots] = {};
 };
 
-/// Zeroes every metric of the global registry (used at the start of a run so
-/// each JSONL report line describes exactly one run).
+/// Job-scoped telemetry context: a private Registry plus a tag (the job id)
+/// that reports and span listeners use to attribute output to the owning
+/// job.  Install with ScopedContext; the context must outlive every thread
+/// still recording into it (the service destroys it only after the job's
+/// sub-pool has drained).
+class Context {
+ public:
+  explicit Context(std::string tag) : tag_(std::move(tag)) {}
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const std::string& tag() const { return tag_; }
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+ private:
+  std::string tag_;
+  Registry registry_;
+};
+
+/// Binds `context` as the calling thread's current telemetry context for the
+/// scope (nullptr rebinds the global registry).  Saves and restores both the
+/// context binding and this thread's span cursor, so spans open in the outer
+/// scope are untouched and spans opened inside must close before the scope
+/// ends.  The binding propagates to par pool workers executing work this
+/// thread submits (via par::context_slot()).
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context* context);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  void* previous_slot_;
+  detail::SpanNode* previous_cursor_;
+};
+
+/// The calling thread's bound context, or nullptr when recording is global.
+Context* current_context();
+
+/// The registry the calling thread records into: the bound context's, else
+/// Registry::global().
+Registry& current_registry();
+
+/// Tag of the bound context ("" when none) — the owning job id inside the
+/// placement service.  Safe on any thread, including pool workers.
+const std::string& current_context_tag();
+
+/// Zeroes every metric of the calling thread's current registry (used at the
+/// start of a run so each JSONL report line describes exactly one run).
 void reset_values();
 
 /// Live span notification: called on every span enter (`seconds` is 0) and
@@ -189,31 +296,38 @@ void set_span_listener(SpanListener listener);
 std::string current_span_path();
 
 /// RAII phase timer.  Nests: a Span constructed while another is alive on
-/// the same thread becomes its child in the aggregated tree.  Inert when
-/// telemetry is disabled.
+/// the same thread becomes its child in the aggregated tree.  Binds the
+/// registry current at construction, so it closes into the same tree even
+/// if the context binding changes underneath it.  Inert when telemetry is
+/// disabled.
 class Span {
  public:
   explicit Span(const char* name) {
     if (!enabled()) return;
-    node_ = Registry::global().enter_span(name);
+    registry_ = &current_registry();
+    node_ = registry_->enter_span(name);
     timer_.reset();
   }
   ~Span() {
-    if (node_ != nullptr) Registry::global().exit_span(node_, timer_.seconds());
+    if (node_ != nullptr) registry_->exit_span(node_, timer_.seconds());
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  Registry* registry_ = nullptr;
   detail::SpanNode* node_ = nullptr;
   util::Timer timer_;
 };
 
 }  // namespace mp::obs
 
-// Instrumentation macros.  Each checks enabled() first and resolves its
-// metric once (function-local static reference — safe because the registry
-// never removes entries), so the disabled cost is one predictable branch.
+// Instrumentation macros.  Each checks enabled() first, interns the metric
+// name once per call site (function-local static id — `name` must therefore
+// be the same string on every execution, i.e. a literal), then resolves the
+// id in the calling thread's *current* registry via the lock-free fast
+// slots.  Disabled cost is one predictable branch; enabled cost is a
+// thread-local read plus two loads once the slot is warm.
 #define MP_OBS_CONCAT_INNER(a, b) a##b
 #define MP_OBS_CONCAT(a, b) MP_OBS_CONCAT_INNER(a, b)
 
@@ -222,31 +336,37 @@ class Span {
   ::mp::obs::Span MP_OBS_CONCAT(mp_obs_span_, __LINE__)(name)
 
 /// Adds `n` to counter `name`.
-#define MP_OBS_COUNT(name, n)                                        \
-  do {                                                               \
-    if (::mp::obs::enabled()) {                                      \
-      static ::mp::obs::Counter& MP_OBS_CONCAT(mp_obs_c_, __LINE__) = \
-          ::mp::obs::Registry::global().counter(name);               \
-      MP_OBS_CONCAT(mp_obs_c_, __LINE__).add(n);                     \
-    }                                                                \
+#define MP_OBS_COUNT(name, n)                                          \
+  do {                                                                 \
+    if (::mp::obs::enabled()) {                                        \
+      static const std::size_t MP_OBS_CONCAT(mp_obs_cid_, __LINE__) =  \
+          ::mp::obs::detail::intern_metric(name);                      \
+      ::mp::obs::current_registry()                                    \
+          .counter_fast(MP_OBS_CONCAT(mp_obs_cid_, __LINE__), name)    \
+          .add(n);                                                     \
+    }                                                                  \
   } while (0)
 
 /// Sets gauge `name` to `v`.
-#define MP_OBS_GAUGE(name, v)                                        \
-  do {                                                               \
-    if (::mp::obs::enabled()) {                                      \
-      static ::mp::obs::Gauge& MP_OBS_CONCAT(mp_obs_g_, __LINE__) =  \
-          ::mp::obs::Registry::global().gauge(name);                 \
-      MP_OBS_CONCAT(mp_obs_g_, __LINE__).set(v);                     \
-    }                                                                \
+#define MP_OBS_GAUGE(name, v)                                          \
+  do {                                                                 \
+    if (::mp::obs::enabled()) {                                        \
+      static const std::size_t MP_OBS_CONCAT(mp_obs_gid_, __LINE__) =  \
+          ::mp::obs::detail::intern_metric(name);                      \
+      ::mp::obs::current_registry()                                    \
+          .gauge_fast(MP_OBS_CONCAT(mp_obs_gid_, __LINE__), name)      \
+          .set(v);                                                     \
+    }                                                                  \
   } while (0)
 
 /// Records sample `v` into histogram `name`.
-#define MP_OBS_HIST(name, v)                                            \
-  do {                                                                  \
-    if (::mp::obs::enabled()) {                                         \
-      static ::mp::obs::Histogram& MP_OBS_CONCAT(mp_obs_h_, __LINE__) = \
-          ::mp::obs::Registry::global().histogram(name);                \
-      MP_OBS_CONCAT(mp_obs_h_, __LINE__).record(v);                     \
-    }                                                                   \
+#define MP_OBS_HIST(name, v)                                           \
+  do {                                                                 \
+    if (::mp::obs::enabled()) {                                        \
+      static const std::size_t MP_OBS_CONCAT(mp_obs_hid_, __LINE__) =  \
+          ::mp::obs::detail::intern_metric(name);                      \
+      ::mp::obs::current_registry()                                    \
+          .histogram_fast(MP_OBS_CONCAT(mp_obs_hid_, __LINE__), name)  \
+          .record(v);                                                  \
+    }                                                                  \
   } while (0)

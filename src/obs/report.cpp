@@ -131,11 +131,11 @@ void ReportWriter::write_run(
     out += ':';
     append_escaped(out, value);
   }
-  // Thread count the run was configured with (MP_THREADS / --threads), so
-  // JSONL entries stay comparable across machines; per-phase wall time is
-  // in the span tree below.
+  // Thread count the run executed with (MP_THREADS / --threads, or the
+  // job's granted lease inside the service), so JSONL entries stay
+  // comparable across machines; per-phase wall time is in the span tree.
   out += ",\"threads\":";
-  append_number(out, static_cast<long long>(par::num_threads()));
+  append_number(out, static_cast<long long>(par::current_threads()));
   out += ",\"counters\":{";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out += ',';
@@ -203,11 +203,21 @@ void write_run_report(
   if (!enabled()) return;
   ReportWriter writer = ReportWriter::from_env();
   if (!writer.valid()) return;
-  writer.write_run(label, Registry::global().snapshot(), fields);
+  // Snapshot the calling thread's current registry, and tag the line with
+  // the owning context (job id) when one is bound so every JSONL entry is
+  // attributable even when jobs run concurrently.
+  const std::string& tag = current_context_tag();
+  if (tag.empty()) {
+    writer.write_run(label, current_registry().snapshot(), fields);
+  } else {
+    auto tagged = fields;
+    tagged.emplace_back("ctx", tag);
+    writer.write_run(label, current_registry().snapshot(), tagged);
+  }
 }
 
 std::string summary_table() {
-  const RegistrySnapshot snap = Registry::global().snapshot();
+  const RegistrySnapshot snap = current_registry().snapshot();
   if (snap.spans.empty() && snap.counters.empty()) return {};
 
   std::vector<std::pair<std::string, const SpanSnapshot*>> flat;

@@ -28,9 +28,30 @@ int resolve_threads() {
 
 thread_local bool t_in_worker = false;
 
+// Sub-pool bound to this thread by a ScopedPool (nullptr = global pool).
+thread_local ThreadPool* t_bound_pool = nullptr;
+
+// Opaque per-task context; see context_slot() in par.hpp.  Propagated from
+// the wave submitter to every worker that drains the wave.
+thread_local void* t_context_slot = nullptr;
+
 }  // namespace
 
 int num_threads() { return resolve_threads(); }
+
+int current_threads() {
+  return t_bound_pool != nullptr ? t_bound_pool->size() : resolve_threads();
+}
+
+void* context_slot() { return t_context_slot; }
+
+void set_context_slot(void* value) { t_context_slot = value; }
+
+ScopedPool::ScopedPool(ThreadPool* pool) : previous_(t_bound_pool) {
+  t_bound_pool = pool;
+}
+
+ScopedPool::~ScopedPool() { t_bound_pool = previous_; }
 
 void set_num_threads(int n) {
   g_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
@@ -45,6 +66,9 @@ bool in_worker() { return t_in_worker; }
 // while a late worker is still observing an exhausted cursor.
 struct ThreadPool::Wave {
   std::vector<std::function<void()>> tasks;
+  /// Submitter's context_slot(), applied to every worker for the drain so
+  /// thread-local consumers (obs contexts) follow the work across threads.
+  void* context = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex done_mutex;
@@ -102,7 +126,10 @@ void ThreadPool::worker_loop() {
       wave = wave_;
       last_seq = wave_seq_;
     }
+    void* const previous_context = t_context_slot;
+    t_context_slot = wave->context;
     wave->drain();
+    t_context_slot = previous_context;
   }
 }
 
@@ -115,6 +142,7 @@ void ThreadPool::run(const std::vector<std::function<void()>>& tasks) {
   }
   auto wave = std::make_shared<Wave>();
   wave->tasks = tasks;
+  wave->context = t_context_slot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     wave_ = wave;
@@ -164,7 +192,11 @@ namespace detail {
 void run_chunks(std::size_t chunks,
                 const std::function<void(std::size_t)>& chunk_body) {
   if (chunks == 0) return;
-  if (chunks == 1 || t_in_worker || num_threads() <= 1) {
+  // A bound sub-pool (ScopedPool) redirects this thread's regions; its size
+  // gates the go-parallel decision so a 1-thread lease runs fully inline.
+  ThreadPool* const bound = t_bound_pool;
+  const int width = bound != nullptr ? bound->size() : num_threads();
+  if (chunks == 1 || t_in_worker || width <= 1) {
     for (std::size_t c = 0; c < chunks; ++c) chunk_body(c);
     return;
   }
@@ -173,7 +205,7 @@ void run_chunks(std::size_t chunks,
   for (std::size_t c = 0; c < chunks; ++c) {
     tasks.emplace_back([c, &chunk_body] { chunk_body(c); });
   }
-  global_pool().run(tasks);
+  (bound != nullptr ? *bound : global_pool()).run(tasks);
 }
 
 }  // namespace detail

@@ -45,6 +45,20 @@ void set_num_threads(int n);
 /// primitives use this to run nested regions inline.
 bool in_worker();
 
+/// Effective parallel width for the calling thread: the size of the pool a
+/// ScopedPool bound to it, else num_threads().  Use for performance
+/// decisions (grain sizes, go-parallel gates) — never for anything that
+/// changes results, which must stay thread-count independent.
+int current_threads();
+
+/// Opaque per-task pointer propagated from the thread that submits a wave to
+/// every worker executing its chunks (and restored afterwards).  The obs
+/// subsystem stores the job-scoped telemetry context here so counters and
+/// spans recorded on pool workers land in the submitting job's registry
+/// (src/obs/obs.hpp); par itself never dereferences it.
+void* context_slot();
+void set_context_slot(void* value);
+
 /// Fixed-size pool of cooperating workers.  run() executes a task list to
 /// completion; tasks are claimed by an atomic cursor, so any worker may run
 /// any task — callers must not depend on the task→thread mapping (the
@@ -79,6 +93,26 @@ class ThreadPool {
 
 /// The process-wide pool, created on first use with num_threads() threads.
 ThreadPool& global_pool();
+
+/// Budgeted sub-pool binding (docs/PARALLELISM.md): while alive, parallel
+/// primitives on the *constructing thread* execute on `pool` instead of the
+/// global pool, so concurrent top-level tasks (service jobs) can each run on
+/// a private pool sized to their thread lease instead of fighting over the
+/// global pool's workers.  Chunking stays grain-based, so results are
+/// bit-identical whichever pool (of whatever size) executes the chunks.
+/// Binding nests (the previous binding is restored on destruction) and is
+/// thread-local: only regions issued from this thread are redirected.
+/// Passing nullptr temporarily restores the global pool.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
 
 namespace detail {
 

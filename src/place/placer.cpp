@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
+#include "place/rl_only_placer.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -178,7 +179,7 @@ MctsRlResult place_from_context(netlist::Design& design, FlowContext& context,
                    << (result.cancelled ? " [cancelled]" : "");
   MP_OBS_HIST("place.hpwl", result.hpwl);
   MP_OBS_GAUGE("place.coarse_wirelength", result.coarse_wirelength);
-  MP_OBS_GAUGE("par.threads", static_cast<double>(par::num_threads()));
+  MP_OBS_GAUGE("par.threads", static_cast<double>(par::current_threads()));
   return result;
 }
 
@@ -216,6 +217,116 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   result.total_seconds = total_timer.seconds();
   run_span.reset();
   obs::write_run_report("mcts_rl_place");
+  return result;
+}
+
+// --- Unified placer API ---
+
+const char* preset_name(Preset preset) {
+  switch (preset) {
+    case Preset::kMcts: return "mcts";
+    case Preset::kRlOnly: return "rl_only";
+    case Preset::kSa: return "sa";
+    case Preset::kWiremask: return "wiremask";
+    case Preset::kAnalytic: return "analytic";
+  }
+  return "mcts";
+}
+
+bool parse_preset(const std::string& name, Preset& out) {
+  if (name == "mcts" || name == "ours") {
+    out = Preset::kMcts;
+  } else if (name == "rl_only" || name == "rl") {
+    out = Preset::kRlOnly;
+  } else if (name == "sa") {
+    out = Preset::kSa;
+  } else if (name == "wiremask") {
+    out = Preset::kWiremask;
+  } else if (name == "analytic") {
+    out = Preset::kAnalytic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+PlacerSpec spec_from_preset(Preset preset, const PresetKnobs& knobs) {
+  PlacerSpec spec;
+  spec.preset = preset;
+  spec.mcts_rl.flow.grid_dim = knobs.grid;
+  spec.mcts_rl.agent.channels = knobs.channels;
+  spec.mcts_rl.agent.res_blocks = knobs.blocks;
+  spec.mcts_rl.train.episodes = knobs.episodes;
+  spec.mcts_rl.train.update_window =
+      std::min(30, std::max(3, knobs.episodes / 6));
+  spec.mcts_rl.train.calibration_episodes = std::max(5, knobs.episodes / 3);
+  spec.mcts_rl.mcts.explorations_per_move = knobs.gamma;
+  if (knobs.seed != 0) {
+    spec.mcts_rl.train.seed = knobs.seed;
+    spec.mcts_rl.mcts.seed = knobs.seed + 1;
+    spec.sa.seed = knobs.seed;
+  }
+  return spec;
+}
+
+PlaceResult run(netlist::Design& design, const PlacerSpec& spec,
+                PreparedFlow* prepared) {
+  PlaceResult result;
+  util::Timer timer;
+  switch (spec.preset) {
+    case Preset::kMcts: {
+      MctsRlOptions o = spec.mcts_rl;
+      if (spec.cancel.valid()) o.cancel = spec.cancel;
+      const MctsRlResult r =
+          prepared != nullptr
+              ? mcts_rl_place_prepared(design, prepared->context, o)
+              : mcts_rl_place(design, o);
+      result.hpwl = r.hpwl;
+      result.coarse_wirelength = r.coarse_wirelength;
+      result.macro_groups = r.macro_groups;
+      result.cancelled = r.cancelled;
+      result.finalized = r.finalized;
+      break;
+    }
+    case Preset::kRlOnly: {
+      MctsRlOptions o = spec.mcts_rl;
+      if (spec.cancel.valid()) o.cancel = spec.cancel;
+      const RlOnlyResult r =
+          prepared != nullptr
+              ? rl_only_place_prepared(design, prepared->context, o)
+              : rl_only_place(design, o);
+      result.hpwl = r.hpwl;
+      result.coarse_wirelength = r.coarse_wirelength;
+      result.macro_groups = r.macro_groups;
+      result.cancelled = r.cancelled;
+      result.finalized = r.finalized;
+      break;
+    }
+    case Preset::kSa: {
+      SaOptions o = spec.sa;
+      // Baselines honor cancellation during their GP stages only; the core
+      // annealer/greedy loops run to completion.
+      if (spec.cancel.valid()) o.initial_gp.cancel = spec.cancel;
+      result.hpwl = sa_place(design, o).hpwl;
+      result.cancelled = spec.cancel.cancelled();
+      break;
+    }
+    case Preset::kWiremask: {
+      WiremaskOptions o = spec.wiremask;
+      if (spec.cancel.valid()) o.initial_gp.cancel = spec.cancel;
+      result.hpwl = wiremask_place(design, o).hpwl;
+      result.cancelled = spec.cancel.cancelled();
+      break;
+    }
+    case Preset::kAnalytic: {
+      AnalyticOptions o = spec.analytic;
+      if (spec.cancel.valid()) o.mixed_gp.cancel = spec.cancel;
+      result.hpwl = analytic_place(design, o).hpwl;
+      result.cancelled = spec.cancel.cancelled();
+      break;
+    }
+  }
+  result.seconds = timer.seconds();
   return result;
 }
 

@@ -1,9 +1,22 @@
 #pragma once
 // The paper's placer (Algorithm 1): preprocessing → RL pre-training →
 // MCTS placement optimization → macro legalization → cell placement.
+//
+// Unified entry point: build a PlacerSpec (by hand, or from a preset name +
+// knob set via spec_from_preset) and call place::run().  One facade covers
+// all five flows — the paper's MCTS flow, the RL-only ablation, and the
+// SA / wiremask / analytic baselines — plus the warm-start path on an
+// already-prepared flow context.  The per-flow functions further down
+// remain for existing callers but are deprecated in favor of run().
+
+#include <cstdint>
+#include <string>
 
 #include "mcts/mcts.hpp"
+#include "place/analytic_placer.hpp"
 #include "place/flow.hpp"
+#include "place/sa_placer.hpp"
+#include "place/wiremask_placer.hpp"
 #include "rl/coarse_evaluator.hpp"
 #include "rl/trainer.hpp"
 
@@ -65,10 +78,12 @@ struct MctsRlResult {
   bool finalized = false;   ///< legalization + cell placement completed
 };
 
+/// Deprecated: call place::run() with a PlacerSpec (Preset::kMcts) instead.
 /// Runs the full flow in place; `design` ends up fully placed and legal.
 MctsRlResult mcts_rl_place(netlist::Design& design,
                            const MctsRlOptions& options = {});
 
+/// Deprecated: call place::run() with a PreparedFlow instead.
 /// Runs the flow on an already-prepared context (Algorithm 1 lines 3-16):
 /// `design` must hold the initial placement that produced `context` — e.g. a
 /// warm-cache copy captured after prepare_flow (src/svc/cache.hpp).  Skips
@@ -78,5 +93,89 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
 MctsRlResult mcts_rl_place_prepared(netlist::Design& design,
                                     FlowContext& context,
                                     const MctsRlOptions& options = {});
+
+// --- Unified placer API ---
+
+/// Which placement flow to run.  Canonical names (preset_name): mcts,
+/// rl_only, sa, wiremask, analytic.
+enum class Preset {
+  kMcts,      ///< the paper's flow (RL pre-training + MCTS); CLI "ours"
+  kRlOnly,    ///< CT-style greedy policy rollout; CLI "rl"
+  kSa,        ///< simulated-annealing baseline
+  kWiremask,  ///< MaskPlace-style greedy baseline
+  kAnalytic,  ///< mixed-size analytical baseline
+};
+
+const char* preset_name(Preset preset);
+
+/// Accepts the canonical names plus the CLI spellings "ours" (= mcts) and
+/// "rl" (= rl_only).  Returns false (out untouched) on anything else.
+bool parse_preset(const std::string& name, Preset& out);
+
+/// The knob set every front end exposes (place_bookshelf flags, service
+/// JobSpec fields).  Defaults are the CPU-budget CLI defaults.
+struct PresetKnobs {
+  int episodes = 60;   ///< RL pre-training episodes
+  int gamma = 24;      ///< MCTS explorations per move
+  int grid = 16;       ///< ζ — grid dimension
+  int channels = 24;   ///< agent tower width
+  int blocks = 2;      ///< agent tower depth
+  /// 0 keeps every library default seed (bit-identity with fronts that
+  /// expose no seed); non-zero overrides the preset's RNG seeds (train /
+  /// mcts for the RL flows, the annealer for sa).
+  std::uint64_t seed = 0;
+};
+
+/// Everything place::run needs: the preset selector plus the option struct
+/// for each flow (only the selected one is read).  Build by hand for full
+/// control, or with spec_from_preset for the shared front-end derivation.
+struct PlacerSpec {
+  Preset preset = Preset::kMcts;
+  MctsRlOptions mcts_rl;   ///< kMcts and kRlOnly (mcts member ignored by rl)
+  SaOptions sa;
+  WiremaskOptions wiremask;
+  AnalyticOptions analytic;
+  /// Cooperative cancellation: when valid, propagated into the selected
+  /// flow's own cancel points before running (the whole RL/MCTS flow; the
+  /// GP stages of the baselines, whose core loops run to completion).
+  util::CancelToken cancel;
+};
+
+/// The one preset → options derivation shared by the CLI, the service and
+/// the benches, so all fronts get byte-identical option structs (the
+/// bit-identity contract between place_bookshelf and service jobs hangs on
+/// there being exactly one copy of this logic).
+PlacerSpec spec_from_preset(Preset preset, const PresetKnobs& knobs = {});
+
+/// Reusable preprocessing (Algorithm 1 lines 1-2) for the RL flows: capture
+/// after prepare_flow() and pass to run() to skip clustering + initial GP —
+/// the warm-artifact path of the placement service.  `context.spec` must
+/// match the spec's flow.grid_dim, and the design passed to run() must hold
+/// the initial placement that produced the context.  Ignored by the
+/// baseline presets (they place from the raw design).
+struct PreparedFlow {
+  FlowContext context;
+};
+
+/// Preset-independent result summary (flow-specific detail stays in the
+/// per-flow results; run only surfaces what every flow can report).
+struct PlaceResult {
+  double hpwl = 0.0;
+  double coarse_wirelength = 0.0;  ///< RL flows only (0 for baselines)
+  double seconds = 0.0;
+  int macro_groups = 0;            ///< RL flows only (0 for baselines)
+  bool cancelled = false;
+  bool finalized = true;           ///< legalization + cell placement ran
+};
+
+/// Runs the selected flow in place; `design` ends up fully placed (and
+/// legal, unless cancelled before a complete allocation existed).  With a
+/// PreparedFlow, the RL flows skip preprocessing and are bit-identical to
+/// the cold path at equal options.  Telemetry: the cold RL flows own a run
+/// window (reset + JSONL report) exactly like the deprecated entry points;
+/// pass prepared (or wrap in an obs::ScopedContext) when the caller owns
+/// the window.
+PlaceResult run(netlist::Design& design, const PlacerSpec& spec,
+                PreparedFlow* prepared = nullptr);
 
 }  // namespace mp::place

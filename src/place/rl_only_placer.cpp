@@ -12,6 +12,8 @@ RlOnlyResult place_from_context(netlist::Design& design, FlowContext& context,
                                 const MctsRlOptions& options) {
   RlOnlyResult result;
   util::Timer timer;
+  result.macro_groups =
+      static_cast<int>(context.clustering.macro_groups.size());
 
   rl::AgentConfig agent_config = options.agent;
   agent_config.grid_dim = options.flow.grid_dim;

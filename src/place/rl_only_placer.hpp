@@ -12,6 +12,7 @@ struct RlOnlyResult {
   double hpwl = 0.0;
   double coarse_wirelength = 0.0;
   double seconds = 0.0;
+  int macro_groups = 0;
   rl::TrainResult train_result;
   bool cancelled = false;  ///< stopped early via MctsRlOptions::cancel
   bool finalized = false;  ///< legalization + cell placement completed

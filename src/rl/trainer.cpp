@@ -123,7 +123,7 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
   // of the frozen policy; gradients are then replayed serially in episode
   // order, so the parameter trajectory is identical at every pool size > 1.
   std::unique_ptr<AllocationEvaluator> probe_evaluator;
-  if (options.parallel_rollouts && par::num_threads() > 1) {
+  if (options.parallel_rollouts && par::current_threads() > 1) {
     probe_evaluator = evaluator.clone();
   }
   if (probe_evaluator != nullptr) {
@@ -133,7 +133,7 @@ TrainResult train_agent(PlacementEnv& env, AllocationEvaluator& evaluator,
       std::optional<PlacementEnv> env;
     };
     const int nslots =
-        std::min(par::num_threads(), std::max(1, options.update_window));
+        std::min(par::current_threads(), std::max(1, options.update_window));
     std::vector<SlotContext> slots(static_cast<std::size_t>(nslots));
     for (std::size_t s = 0; s < slots.size(); ++s) {
       slots[s].agent = agent.clone();

@@ -1,0 +1,39 @@
+#include "svc/budget.hpp"
+
+#include <algorithm>
+
+namespace mp::svc {
+
+ThreadLease& ThreadLease::operator=(ThreadLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    arbiter_ = other.arbiter_;
+    threads_ = other.threads_;
+    other.arbiter_ = nullptr;
+    other.threads_ = 0;
+  }
+  return *this;
+}
+
+void ThreadLease::release() {
+  if (arbiter_ != nullptr) {
+    arbiter_->release_threads(threads_);
+    arbiter_ = nullptr;
+    threads_ = 0;
+  }
+}
+
+ThreadLease ThreadArbiter::acquire(int requested) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int want = requested > 0 ? std::min(requested, total_) : total_;
+  const int grant = std::max(1, std::min(want, total_ - leased_));
+  leased_ += grant;
+  return ThreadLease(this, grant);
+}
+
+void ThreadArbiter::release_threads(int threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  leased_ -= threads;
+}
+
+}  // namespace mp::svc

@@ -1,0 +1,76 @@
+#pragma once
+// Thread-budget arbiter of the placement service (docs/SERVICE.md,
+// docs/PARALLELISM.md): partitions the machine's global thread budget
+// across concurrently running jobs.  Each job acquires a ThreadLease before
+// it starts; the lease size drives the job's private par::ThreadPool, and
+// releasing it (job completion or cancel) returns the threads to the budget
+// so a lone job expands to the whole machine.
+//
+// Lease sizes never change results: par:: chunking depends only on grain,
+// so a job is bit-identical whether it runs on 1 thread or 64.
+
+#include <mutex>
+
+namespace mp::svc {
+
+class ThreadArbiter;
+
+/// RAII lease of `threads()` pool threads; move-only, released on
+/// destruction.  A default-constructed lease holds nothing.
+class ThreadLease {
+ public:
+  ThreadLease() = default;
+  ThreadLease(ThreadLease&& other) noexcept
+      : arbiter_(other.arbiter_), threads_(other.threads_) {
+    other.arbiter_ = nullptr;
+    other.threads_ = 0;
+  }
+  ThreadLease& operator=(ThreadLease&& other) noexcept;
+  ~ThreadLease() { release(); }
+  ThreadLease(const ThreadLease&) = delete;
+  ThreadLease& operator=(const ThreadLease&) = delete;
+
+  int threads() const { return threads_; }
+  /// Early release (before destruction); idempotent.
+  void release();
+
+ private:
+  friend class ThreadArbiter;
+  ThreadLease(ThreadArbiter* arbiter, int threads)
+      : arbiter_(arbiter), threads_(threads) {}
+
+  ThreadArbiter* arbiter_ = nullptr;
+  int threads_ = 0;
+};
+
+/// Non-blocking arbiter over a fixed total.  acquire() grants
+/// min(want, total - leased) where want is the request (0 = the whole
+/// budget), floored at 1 so admission never stalls: when every thread is
+/// leased, a new job still runs — serially — rather than waiting.  The
+/// floor means `leased` can transiently exceed `total` under full load
+/// (bounded oversubscription by one thread per running job); leases shrink
+/// back as jobs finish.
+class ThreadArbiter {
+ public:
+  explicit ThreadArbiter(int total) : total_(total < 1 ? 1 : total) {}
+  ThreadArbiter(const ThreadArbiter&) = delete;
+  ThreadArbiter& operator=(const ThreadArbiter&) = delete;
+
+  ThreadLease acquire(int requested);
+
+  int total() const { return total_; }
+  int leased() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return leased_;
+  }
+
+ private:
+  friend class ThreadLease;
+  void release_threads(int threads);
+
+  const int total_;
+  mutable std::mutex mutex_;
+  int leased_ = 0;
+};
+
+}  // namespace mp::svc

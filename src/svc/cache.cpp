@@ -53,70 +53,124 @@ ArtifactCache::ArtifactCache(std::size_t designs, std::size_t prepared,
                              std::size_t weights)
     : designs_(designs), prepared_(prepared), weights_(weights) {}
 
+template <typename V, typename Build>
+std::shared_ptr<const V> ArtifactCache::resolve(
+    LruPool<V>& pool, InFlightMap<V>& inflight, const std::string& key,
+    long long& hits, long long& misses, const char* hit_counter,
+    const char* miss_counter, Build&& build) {
+  std::shared_ptr<detail::InFlight<V>> fl;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::shared_ptr<const V> hit = pool.get(key)) {
+      ++hits;
+      if (obs::enabled()) obs::current_registry().counter(hit_counter).add(1);
+      return hit;
+    }
+    const auto it = inflight.find(key);
+    if (it != inflight.end()) {
+      // Someone is already building this key: the artifact is shared, not
+      // rebuilt, so this is a hit; join their build below.
+      ++hits;
+      if (obs::enabled()) obs::current_registry().counter(hit_counter).add(1);
+      fl = it->second;
+    } else {
+      ++misses;
+      if (obs::enabled()) obs::current_registry().counter(miss_counter).add(1);
+      fl = std::make_shared<detail::InFlight<V>>();
+      inflight[key] = fl;
+      builder = true;
+    }
+  }
+
+  if (!builder) {
+    std::unique_lock<std::mutex> wait_lock(fl->m);
+    fl->cv.wait(wait_lock, [&] { return fl->done; });
+    // A failed build fails every joiner the same way (the content itself is
+    // bad); the key was removed from inflight so a retry rebuilds.
+    if (fl->error) std::rethrow_exception(fl->error);
+    return fl->value;
+  }
+
+  // Builder: the expensive construction runs OUTSIDE the cache mutex so
+  // different keys build concurrently.
+  std::shared_ptr<const V> artifact;
+  std::exception_ptr error;
+  try {
+    artifact = build();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (artifact != nullptr) pool.put(key, artifact);
+    inflight.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> publish(fl->m);
+    fl->value = artifact;
+    fl->error = error;
+    fl->done = true;
+  }
+  fl->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return artifact;
+}
+
 std::shared_ptr<const DesignArtifact> ArtifactCache::design_for(
     const JobSpec& spec) {
   const std::string key = design_key_for(spec);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (std::shared_ptr<const DesignArtifact> hit = designs_.get(key)) {
-    ++stats_.design_hits;
-    MP_OBS_COUNT("svc.cache.design.hits", 1);
-    return hit;
-  }
-  ++stats_.design_misses;
-  MP_OBS_COUNT("svc.cache.design.misses", 1);
-  auto artifact = std::make_shared<DesignArtifact>();
-  artifact->key = key;
-  artifact->design = spec.use_synthetic
-                         ? benchgen::generate(spec.synthetic)
-                         : io::read_bookshelf(spec.design_path);
-  util::log_info() << "svc: cached design " << key << " ("
-                   << artifact->design.name() << ")";
-  designs_.put(key, artifact);
-  return artifact;
+  return resolve(
+      designs_, designs_inflight_, key, stats_.design_hits,
+      stats_.design_misses, "svc.cache.design.hits", "svc.cache.design.misses",
+      [&]() -> std::shared_ptr<const DesignArtifact> {
+        auto artifact = std::make_shared<DesignArtifact>();
+        artifact->key = key;
+        artifact->design = spec.use_synthetic
+                               ? benchgen::generate(spec.synthetic)
+                               : io::read_bookshelf(spec.design_path);
+        util::log_info() << "svc: cached design " << key << " ("
+                         << artifact->design.name() << ")";
+        return artifact;
+      });
 }
 
 std::shared_ptr<const PreparedArtifact> ArtifactCache::prepared_for(
     const std::shared_ptr<const DesignArtifact>& design,
     const place::FlowOptions& flow) {
   // The service holds every preprocessing option other than the grid at its
-  // default (see LocalService's option builders), so design + grid identify
-  // the prepare_flow result.
+  // default (see place::spec_from_preset), so design + grid identify the
+  // prepare_flow result.
   const std::string key =
       design->key + "|grid=" + std::to_string(flow.grid_dim);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (std::shared_ptr<const PreparedArtifact> hit = prepared_.get(key)) {
-    ++stats_.prepared_hits;
-    MP_OBS_COUNT("svc.cache.prepared.hits", 1);
-    return hit;
-  }
-  ++stats_.prepared_misses;
-  MP_OBS_COUNT("svc.cache.prepared.misses", 1);
-  auto artifact = std::make_shared<PreparedArtifact>();
-  artifact->key = key;
-  artifact->design = design->design;  // copy; prepare_flow mutates positions
-  place::FlowOptions prep = flow;
-  prep.cancel = {};  // the artifact is shared across jobs; never cancel it
-  artifact->context = place::prepare_flow(artifact->design, prep);
-  prepared_.put(key, artifact);
-  return artifact;
+  return resolve(
+      prepared_, prepared_inflight_, key, stats_.prepared_hits,
+      stats_.prepared_misses, "svc.cache.prepared.hits",
+      "svc.cache.prepared.misses",
+      [&]() -> std::shared_ptr<const PreparedArtifact> {
+        auto artifact = std::make_shared<PreparedArtifact>();
+        artifact->key = key;
+        artifact->design = design->design;  // copy; prepare_flow mutates it
+        place::FlowOptions prep = flow;
+        prep.cancel = {};  // shared across jobs; never cancel the artifact
+        artifact->context = place::prepare_flow(artifact->design, prep);
+        return artifact;
+      });
 }
 
 std::shared_ptr<const WeightsArtifact> ArtifactCache::weights_for(
     const std::string& path) {
   const std::string key = "nn:" + hash_hex(hash_file(path, kFnvOffset));
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (std::shared_ptr<const WeightsArtifact> hit = weights_.get(key)) {
-    ++stats_.weights_hits;
-    MP_OBS_COUNT("svc.cache.weights.hits", 1);
-    return hit;
-  }
-  ++stats_.weights_misses;
-  MP_OBS_COUNT("svc.cache.weights.misses", 1);
-  auto artifact = std::make_shared<WeightsArtifact>();
-  artifact->key = key;
-  artifact->parameters = nn::read_parameters_file(path);
-  weights_.put(key, artifact);
-  return artifact;
+  return resolve(
+      weights_, weights_inflight_, key, stats_.weights_hits,
+      stats_.weights_misses, "svc.cache.weights.hits",
+      "svc.cache.weights.misses",
+      [&]() -> std::shared_ptr<const WeightsArtifact> {
+        auto artifact = std::make_shared<WeightsArtifact>();
+        artifact->key = key;
+        artifact->parameters = nn::read_parameters_file(path);
+        return artifact;
+      });
 }
 
 CacheStats ArtifactCache::stats() const {

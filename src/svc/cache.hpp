@@ -16,7 +16,16 @@
 // are counted through obs (svc.cache.{design,prepared,weights}.{hits,misses})
 // — the run report of a warm job shows zero misses, which is how the e2e
 // test asserts cache effectiveness (docs/SERVICE.md).
+//
+// Concurrency: lookups take one short-held mutex; the expensive build
+// (parse / prepare_flow / weight load) runs OUTSIDE it, so workers
+// resolving different keys build in parallel.  Per-key in-flight entries
+// deduplicate concurrent resolution of the SAME key: the first worker
+// builds (one miss), later workers block on that build and share the
+// artifact (one hit each) — never a duplicate build.
 
+#include <condition_variable>
+#include <exception>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -92,6 +101,20 @@ struct CacheStats {
   long long weights_hits = 0, weights_misses = 0;
 };
 
+namespace detail {
+
+/// One build in progress: later arrivals for the same key wait on `cv`.
+template <typename V>
+struct InFlight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const V> value;
+  std::exception_ptr error;
+};
+
+}  // namespace detail
+
 class ArtifactCache {
  public:
   explicit ArtifactCache(std::size_t designs = 8, std::size_t prepared = 8,
@@ -114,10 +137,24 @@ class ArtifactCache {
   CacheStats stats() const;
 
  private:
+  template <typename V>
+  using InFlightMap =
+      std::unordered_map<std::string, std::shared_ptr<detail::InFlight<V>>>;
+
+  /// The hit/miss/dedup protocol shared by the three pools (cache.cpp).
+  template <typename V, typename Build>
+  std::shared_ptr<const V> resolve(LruPool<V>& pool, InFlightMap<V>& inflight,
+                                   const std::string& key, long long& hits,
+                                   long long& misses, const char* hit_counter,
+                                   const char* miss_counter, Build&& build);
+
   mutable std::mutex mutex_;
   LruPool<DesignArtifact> designs_;
   LruPool<PreparedArtifact> prepared_;
   LruPool<WeightsArtifact> weights_;
+  InFlightMap<DesignArtifact> designs_inflight_;
+  InFlightMap<PreparedArtifact> prepared_inflight_;
+  InFlightMap<WeightsArtifact> weights_inflight_;
   CacheStats stats_;
 };
 

@@ -7,27 +7,6 @@
 
 namespace mp::svc {
 
-const char* preset_name(FlowPreset preset) {
-  switch (preset) {
-    case FlowPreset::kMcts: return "mcts";
-    case FlowPreset::kRlOnly: return "rl_only";
-    case FlowPreset::kSa: return "sa";
-    case FlowPreset::kWiremask: return "wiremask";
-    case FlowPreset::kAnalytic: return "analytic";
-  }
-  return "?";
-}
-
-bool parse_preset(const std::string& name, FlowPreset& out) {
-  if (name == "mcts" || name == "ours") out = FlowPreset::kMcts;
-  else if (name == "rl_only" || name == "rl") out = FlowPreset::kRlOnly;
-  else if (name == "sa") out = FlowPreset::kSa;
-  else if (name == "wiremask") out = FlowPreset::kWiremask;
-  else if (name == "analytic") out = FlowPreset::kAnalytic;
-  else return false;
-  return true;
-}
-
 namespace {
 
 [[noreturn]] void bad(const std::string& key, const std::string& what) {

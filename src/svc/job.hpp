@@ -13,6 +13,7 @@
 #include <string>
 
 #include "benchgen/generator.hpp"
+#include "place/placer.hpp"
 #include "svc/json.hpp"
 
 namespace mp::svc {
@@ -24,20 +25,15 @@ class JobError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Which placement flow a job runs.  Mirrors place_bookshelf --placer.
-enum class FlowPreset {
-  kMcts,      ///< the paper's flow (place::mcts_rl_place); CLI "ours"
-  kRlOnly,    ///< CT-style greedy policy rollout (place::rl_only_place)
-  kSa,        ///< simulated-annealing baseline (place::sa_place)
-  kWiremask,  ///< MaskPlace-style greedy baseline (place::wiremask_place)
-  kAnalytic,  ///< mixed-size analytical baseline (place::analytic_place)
-};
+/// Which placement flow a job runs — the unified placer API's preset
+/// (place::Preset; mirrors place_bookshelf --placer).  The svc alias and
+/// forwarders survive for existing callers.
+using FlowPreset = place::Preset;
 
-const char* preset_name(FlowPreset preset);
-
-/// Accepts the canonical names (mcts|rl_only|sa|wiremask|analytic) plus the
-/// CLI spellings "ours" (= mcts) and "rl" (= rl_only).
-bool parse_preset(const std::string& name, FlowPreset& out);
+// Using-declarations (not wrappers): ADL on place::Preset already finds the
+// place:: functions, so a second mp::svc overload would be ambiguous.
+using place::parse_preset;
+using place::preset_name;
 
 struct JobSpec {
   /// Bookshelf prefix (<prefix>.nodes/.nets/.pl).  Exactly one of

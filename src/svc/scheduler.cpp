@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/obs.hpp"
+#include "par/par.hpp"
 #include "util/log.hpp"
 
 namespace mp::svc {
@@ -27,10 +28,16 @@ bool terminal(JobState s) {
 
 }  // namespace
 
-Scheduler::Scheduler(Runner runner, int max_queued)
+Scheduler::Scheduler(Runner runner, int max_queued, int workers,
+                     int thread_budget)
     : runner_(std::move(runner)),
-      max_queued_(static_cast<std::size_t>(max_queued < 1 ? 1 : max_queued)) {
-  worker_ = std::thread([this] { worker_loop(); });
+      max_queued_(static_cast<std::size_t>(max_queued < 1 ? 1 : max_queued)),
+      arbiter_(thread_budget > 0 ? thread_budget : par::num_threads()) {
+  const int n = workers < 1 ? 1 : workers;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
 }
 
 Scheduler::~Scheduler() { shutdown_now(); }
@@ -87,7 +94,7 @@ bool Scheduler::cancel(const std::string& id) {
     MP_OBS_COUNT("svc.jobs.cancelled", 1);
     cv_.notify_all();
   }
-  // A running job stops at its next poll; the worker records the terminal
+  // A running job stops at its next poll; its worker records the terminal
   // state when the runner returns.
   return true;
 }
@@ -125,34 +132,53 @@ void Scheduler::drain() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     accepting_ = false;
-    stop_ = true;
+    // Never de-escalate a shutdown already in flight (kStopping) or undo a
+    // finished one (kStopped).
+    if (phase_ == Phase::kRunning) phase_ = Phase::kDraining;
     cv_.notify_all();
   }
-  if (worker_.joinable()) worker_.join();
+  join_workers();
 }
 
 void Scheduler::shutdown_now() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     accepting_ = false;
-    stop_ = true;
-    stop_immediate_ = true;
-    // Drop the queue: jobs that never ran end kCancelled.
-    for (const auto& [np, seq, id] : pending_) {
-      Record* record = find_locked(id);
-      record->snap.state = JobState::kCancelled;
-      record->snap.queue_seconds = record->submitted.seconds();
-      record->cancel.request_cancel();
-    }
-    pending_.clear();
-    if (!running_id_.empty()) {
-      if (Record* record = find_locked(running_id_)) {
+    if (phase_ == Phase::kRunning || phase_ == Phase::kDraining) {
+      phase_ = Phase::kStopping;
+      // Drop the queue: jobs that never ran end kCancelled.
+      for (const auto& [np, seq, id] : pending_) {
+        Record* record = find_locked(id);
+        record->snap.state = JobState::kCancelled;
+        record->snap.queue_seconds = record->submitted.seconds();
         record->cancel.request_cancel();
+        MP_OBS_COUNT("svc.jobs.cancelled", 1);
+      }
+      pending_.clear();
+      for (const std::string& id : running_) {
+        if (Record* record = find_locked(id)) record->cancel.request_cancel();
       }
     }
     cv_.notify_all();
   }
-  if (worker_.joinable()) worker_.join();
+  join_workers();
+}
+
+void Scheduler::join_workers() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (phase_ == Phase::kStopped) return;
+  if (joiner_active_) {
+    // Another drain()/shutdown_now()/destructor call is already joining;
+    // joining the same std::thread twice is UB, so wait for its result.
+    cv_.wait(lock, [&] { return phase_ == Phase::kStopped; });
+    return;
+  }
+  joiner_active_ = true;
+  lock.unlock();
+  for (std::thread& w : workers_) w.join();
+  lock.lock();
+  phase_ = Phase::kStopped;
+  cv_.notify_all();
 }
 
 bool Scheduler::accepting() const {
@@ -165,27 +191,33 @@ int Scheduler::queued_count() const {
   return static_cast<int>(pending_.size());
 }
 
-std::string Scheduler::running_job() const {
+std::vector<std::string> Scheduler::running_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return running_id_;
+  return {running_.begin(), running_.end()};
 }
 
-void Scheduler::worker_loop() {
+void Scheduler::worker_loop(int worker_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    cv_.wait(lock, [&] { return !pending_.empty() || stop_; });
+    cv_.wait(lock, [&] {
+      return !pending_.empty() || phase_ != Phase::kRunning;
+    });
+    if (phase_ == Phase::kStopping) return;  // pending_ already dropped
     if (pending_.empty()) {
-      if (stop_) return;
+      if (phase_ != Phase::kRunning) return;  // drained dry
       continue;
     }
-    if (stop_immediate_) return;  // shutdown_now already drained pending_
 
     const auto best = *pending_.begin();
     pending_.erase(pending_.begin());
     Record* record = find_locked(std::get<2>(best));
     record->snap.state = JobState::kRunning;
     record->snap.queue_seconds = record->submitted.seconds();
-    running_id_ = record->snap.id;
+    running_.insert(record->snap.id);
+    // Thread-budget lease for the job's private pool; released (back to the
+    // budget) when the job leaves the running set, on any path.
+    ThreadLease lease = arbiter_.acquire(record->snap.spec.threads);
+    record->snap.granted_threads = lease.threads();
     // Deadline is a *run* budget: armed now, not at submit, so queue wait
     // does not eat into it.
     if (record->snap.spec.deadline_s > 0.0) {
@@ -195,6 +227,7 @@ void Scheduler::worker_loop() {
     const std::string id = record->snap.id;
     const JobSpec spec = record->snap.spec;
     const util::CancelToken cancel = record->cancel;
+    const RunContext ctx{lease.threads(), worker_index};
     cv_.notify_all();
     lock.unlock();
 
@@ -203,7 +236,7 @@ void Scheduler::worker_loop() {
     std::string error;
     bool failed = false;
     try {
-      outcome = runner_(id, spec, cancel);
+      outcome = runner_(id, spec, cancel, ctx);
     } catch (const std::exception& e) {
       failed = true;
       error = e.what();
@@ -214,6 +247,7 @@ void Scheduler::worker_loop() {
     const double run_seconds = run_timer.seconds();
 
     lock.lock();
+    lease.release();
     record = find_locked(id);
     record->snap.outcome = outcome;
     record->snap.error = error;
@@ -230,7 +264,7 @@ void Scheduler::worker_loop() {
       record->snap.state = JobState::kDone;
       MP_OBS_COUNT("svc.jobs.done", 1);
     }
-    running_id_.clear();
+    running_.erase(id);
     cv_.notify_all();
   }
 }

@@ -1,15 +1,29 @@
 #pragma once
 // Job scheduler of the placement service: a bounded priority queue feeding
-// one worker thread.  Jobs run strictly one at a time — each job parallelizes
-// internally on the par:: pool, and serial execution keeps results
-// bit-identical to the offline CLI (two placements sharing the pool would
-// not perturb each other's results, but would fight over cores).
+// N worker threads (--workers / MP_WORKERS).  Jobs run concurrently, each
+// on a private par:: sub-pool sized by a ThreadBudget lease (svc/budget.hpp)
+// carved from the machine's global thread budget; leases are reclaimed on
+// completion or cancel, so a lone job gets the whole machine.  Results stay
+// bit-identical to the single-worker service at equal per-job thread
+// requests: par:: chunking is grain-based (thread-count independent) and
+// every job records into its own obs context, so concurrent jobs never
+// perturb each other.
 //
 // Admission control: submit() rejects when the queue is full or the
 // scheduler is draining, so callers get backpressure instead of unbounded
-// memory growth.  Deadlines (JobSpec::deadline_s) arm the job's CancelToken
-// when it starts running; cancel() works in any non-terminal state (a queued
-// job is dropped without running).
+// memory growth.  Dispatch is priority-aware: the pending set is ordered
+// (priority desc, submission seq asc) and every idle worker takes the
+// front, so a high-priority job is admitted as soon as any worker frees up
+// while lower-priority work keeps running.  Deadlines (JobSpec::deadline_s)
+// arm the job's CancelToken when it starts running; cancel() works in any
+// non-terminal state (a queued job is dropped without running).
+//
+// Shutdown is a single guarded state machine (Phase): drain() runs the
+// queue dry, shutdown_now() cancels everything in flight; both are
+// idempotent, callable concurrently (with each other, cancel(), and the
+// destructor), and may escalate kDraining → kStopping but never the
+// reverse.  Exactly one caller joins the workers; the rest wait for
+// kStopped.
 
 #include <condition_variable>
 #include <cstdint>
@@ -23,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/budget.hpp"
 #include "svc/job.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
@@ -55,15 +70,24 @@ struct JobSnapshot {
   double queue_seconds = 0.0; ///< submit → start (or terminal, if never ran)
   double run_seconds = 0.0;   ///< start → terminal
   std::uint64_t seq = 0;      ///< submission order
+  /// Thread-budget lease granted when the job started (0 while queued).
+  int granted_threads = 0;
 };
 
 class Scheduler {
  public:
-  /// Executes one job; runs on the worker thread.  Must poll `cancel` and
-  /// may throw (the job is then kFailed with the exception message).
+  /// Execution environment handed to the runner alongside the job.
+  struct RunContext {
+    int threads = 1;  ///< granted thread lease — size the job's pool to this
+    int worker = 0;   ///< index of the worker thread running the job
+  };
+
+  /// Executes one job; runs on a worker thread (several run concurrently).
+  /// Must poll `cancel` and may throw (the job is then kFailed with the
+  /// exception message).
   using Runner = std::function<JobOutcome(
       const std::string& id, const JobSpec& spec,
-      const util::CancelToken& cancel)>;
+      const util::CancelToken& cancel, const RunContext& ctx)>;
 
   struct SubmitResult {
     bool accepted = false;
@@ -71,8 +95,11 @@ class Scheduler {
     std::string error;
   };
 
-  Scheduler(Runner runner, int max_queued);
-  /// Cancels the running job, drops the queue, joins the worker.
+  /// `workers` threads (< 1 clamps to 1) share `thread_budget` pool threads
+  /// (< 1 means par::num_threads()).
+  Scheduler(Runner runner, int max_queued, int workers = 1,
+            int thread_budget = 0);
+  /// Cancels running jobs, drops the queue, joins the workers.
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -95,34 +122,47 @@ class Scheduler {
   /// unknown id.  timeout_s <= 0 waits forever.
   bool wait(const std::string& id, double timeout_s) const;
 
-  /// Graceful shutdown: stop accepting, run the queue dry (the running and
-  /// all queued jobs complete), join the worker.  Idempotent.
+  /// Graceful shutdown: stop accepting, run the queue dry (running and all
+  /// queued jobs complete), join the workers.  Idempotent and safe to call
+  /// concurrently with shutdown_now()/cancel()/the destructor.
   void drain();
 
-  /// Fast shutdown: stop accepting, cancel the running job, mark queued
-  /// jobs kCancelled without running them, join the worker.  Idempotent.
+  /// Fast shutdown: stop accepting, cancel running jobs, mark queued jobs
+  /// kCancelled without running them, join the workers.  Idempotent and
+  /// safe to call concurrently with drain()/cancel()/the destructor.
   void shutdown_now();
 
   bool accepting() const;
   int queued_count() const;
-  /// Id of the currently executing job, "" when idle.  Used to attribute
-  /// obs span events to a job (jobs run serially, so at most one is live).
-  std::string running_job() const;
+  int workers() const { return static_cast<int>(workers_.size()); }
+  int thread_budget() const { return arbiter_.total(); }
+  /// Threads currently leased to running jobs.
+  int threads_leased() const { return arbiter_.leased(); }
+  /// Ids of all currently executing jobs (empty when idle).
+  std::vector<std::string> running_jobs() const;
 
  private:
+  /// Lifecycle: kRunning → kDraining (drain) → kStopped, or
+  /// kRunning/kDraining → kStopping (shutdown_now) → kStopped.
+  enum class Phase { kRunning, kDraining, kStopping, kStopped };
+
   struct Record {
     JobSnapshot snap;
     util::CancelToken cancel;
     util::Timer submitted;   ///< measures queue wait, then total age
   };
 
-  void worker_loop();
+  void worker_loop(int worker_index);
+  /// Single-joiner election: the first caller joins every worker and
+  /// publishes kStopped; concurrent callers block until then.
+  void join_workers();
   // Both expect mutex_ held.
   Record* find_locked(const std::string& id);
   const Record* find_locked(const std::string& id) const;
 
   Runner runner_;
   const std::size_t max_queued_;
+  ThreadArbiter arbiter_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;  ///< notified on queue + state changes
@@ -130,12 +170,12 @@ class Scheduler {
   /// Pending ids ordered (priority desc, seq asc) — set iteration order is
   /// the dispatch order.
   std::set<std::tuple<int, std::uint64_t, std::string>> pending_;
-  std::string running_id_;
+  std::set<std::string> running_;  ///< ids currently executing
   std::uint64_t next_seq_ = 1;
   bool accepting_ = true;
-  bool stop_ = false;        ///< worker exits once pending_ is empty
-  bool stop_immediate_ = false;
-  std::thread worker_;
+  Phase phase_ = Phase::kRunning;
+  bool joiner_active_ = false;  ///< a thread is inside workers_[i].join()
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace mp::svc

@@ -7,12 +7,9 @@
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
-#include "place/analytic_placer.hpp"
 #include "place/placer.hpp"
-#include "place/rl_only_placer.hpp"
-#include "place/sa_placer.hpp"
-#include "place/wiremask_placer.hpp"
 #include "svc/hash.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 
 namespace mp::svc {
@@ -30,24 +27,18 @@ std::uint64_t placement_fingerprint(const netlist::Design& design) {
 
 namespace {
 
-// Exactly the option derivation of examples/place_bookshelf.cpp — the
-// service's bit-identity contract with the offline CLI hangs on this
-// function staying in lockstep with it.
-place::MctsRlOptions mcts_options_for(const JobSpec& spec) {
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.train.update_window = std::min(30, std::max(3, spec.episodes / 6));
-  options.train.calibration_episodes = std::max(5, spec.episodes / 3);
-  options.mcts.explorations_per_move = spec.gamma;
-  if (spec.seed != 0) {
-    // The CLI has no seed flag; seed 0 keeps its defaults (bit-identity).
-    options.train.seed = spec.seed;
-    options.mcts.seed = spec.seed + 1;
-  }
-  return options;
+// Shared CLI/service/bench knob mapping: JobSpec fields → place::PresetKnobs.
+// The actual preset → options derivation lives in place::spec_from_preset,
+// the single copy every front end uses (bit-identity by construction).
+place::PresetKnobs knobs_for(const JobSpec& spec) {
+  place::PresetKnobs knobs;
+  knobs.episodes = spec.episodes;
+  knobs.gamma = spec.gamma;
+  knobs.grid = spec.grid;
+  knobs.channels = spec.channels;
+  knobs.blocks = spec.blocks;
+  knobs.seed = spec.seed;
+  return knobs;
 }
 
 }  // namespace
@@ -56,12 +47,15 @@ LocalService::LocalService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_designs, options.cache_prepared,
              options.cache_weights) {
+  if (options_.workers <= 0) {
+    options_.workers = std::max(1, util::env_int("MP_WORKERS", 1));
+  }
   scheduler_ = std::make_unique<Scheduler>(
       [this](const std::string& id, const JobSpec& spec,
-             const util::CancelToken& cancel) {
-        return execute(id, spec, cancel);
+             const util::CancelToken& cancel, const Scheduler::RunContext& ctx) {
+        return execute(id, spec, cancel, ctx);
       },
-      options_.max_queued);
+      options_.max_queued, options_.workers);
   if (options_.stream_progress) {
     obs::set_span_listener(
         [this](const std::string& path, int depth, bool enter,
@@ -116,10 +110,12 @@ void LocalService::remove_progress_listener(int token) {
 void LocalService::on_span(const std::string& path, int depth, bool enter,
                            double seconds) {
   if (depth > options_.max_progress_depth) return;
-  // Jobs run serially, so any span fired while a job is running belongs to
-  // it; spans outside a job (other library users in-process) have no job id
-  // and are not streamed.
-  const std::string job_id = scheduler_->running_job();
+  // The listener fires on whichever thread recorded the span, and every
+  // thread working for a job carries that job's obs context (the scheduler
+  // installs it; par propagates it to pool workers) — so the context tag is
+  // the owning job even with many jobs in flight.  Spans outside any job
+  // (other library users in-process) have no tag and are not streamed.
+  const std::string& job_id = obs::current_context_tag();
   if (job_id.empty()) return;
   ProgressEvent event{job_id, path, depth, enter, seconds};
   std::vector<ProgressFn> sinks;
@@ -132,11 +128,18 @@ void LocalService::on_span(const std::string& path, int depth, bool enter,
 }
 
 JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
-                                 const util::CancelToken& cancel) {
-  if (spec.threads > 0) par::set_num_threads(spec.threads);
-  // Each job owns one telemetry window (like one offline CLI run): zeroed at
-  // start, serialized as one JSONL line tagged with the job id at the end.
-  if (obs::enabled()) obs::reset_values();
+                                 const util::CancelToken& cancel,
+                                 const Scheduler::RunContext& ctx) {
+  // Each job owns a private telemetry context — a fresh registry tagged
+  // with the job id, so every counter/span/JSONL line this job (and the
+  // pool workers it fans out to) records is attributed to it — and a
+  // private par:: pool sized to its thread lease, so concurrent jobs
+  // partition the machine instead of fighting over the global pool.
+  obs::Context obs_context(id);
+  obs::ScopedContext scoped_obs(&obs_context);
+  par::ThreadPool pool(ctx.threads);
+  par::ScopedPool scoped_pool(&pool);
+
   JobOutcome out;
   std::string design_name;
   {
@@ -146,69 +149,32 @@ JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
     design_name = loaded->design.name();
     netlist::Design design;
 
-    switch (spec.preset) {
-      case FlowPreset::kMcts:
-      case FlowPreset::kRlOnly: {
-        place::MctsRlOptions options = mcts_options_for(spec);
-        options.cancel = cancel;
-        if (!spec.weights_path.empty()) {
-          options.initial_parameters =
-              cache_.weights_for(spec.weights_path)->parameters;
-        }
-        const std::shared_ptr<const PreparedArtifact> prepared =
-            cache_.prepared_for(loaded, options.flow);
-        design = prepared->design;  // post-prepare copy the job may mutate
-        place::FlowContext context = prepared->context;
-        if (spec.preset == FlowPreset::kMcts) {
-          const place::MctsRlResult r =
-              place::mcts_rl_place_prepared(design, context, options);
-          out.hpwl = r.hpwl;
-          out.coarse_wirelength = r.coarse_wirelength;
-          out.cancelled = r.cancelled;
-          out.finalized = r.finalized;
-          out.macro_groups = r.macro_groups;
-        } else {
-          const place::RlOnlyResult r =
-              place::rl_only_place_prepared(design, context, options);
-          out.hpwl = r.hpwl;
-          out.coarse_wirelength = r.coarse_wirelength;
-          out.cancelled = r.cancelled;
-          out.finalized = r.finalized;
-          out.macro_groups =
-              static_cast<int>(context.clustering.macro_groups.size());
-        }
-        break;
+    place::PlacerSpec pspec =
+        place::spec_from_preset(spec.preset, knobs_for(spec));
+    pspec.cancel = cancel;
+
+    if (spec.preset == FlowPreset::kMcts ||
+        spec.preset == FlowPreset::kRlOnly) {
+      if (!spec.weights_path.empty()) {
+        pspec.mcts_rl.initial_parameters =
+            cache_.weights_for(spec.weights_path)->parameters;
       }
-      case FlowPreset::kSa: {
-        design = loaded->design;
-        place::SaOptions o;
-        if (spec.seed != 0) o.seed = spec.seed;
-        // Baselines honor cancellation during their GP stages only; the
-        // core annealer/greedy loops run to completion.
-        if (cancel.valid()) o.initial_gp.cancel = cancel;
-        out.hpwl = place::sa_place(design, o).hpwl;
-        out.finalized = true;
-        out.cancelled = cancel.cancelled();
-        break;
-      }
-      case FlowPreset::kWiremask: {
-        design = loaded->design;
-        place::WiremaskOptions o;
-        if (cancel.valid()) o.initial_gp.cancel = cancel;
-        out.hpwl = place::wiremask_place(design, o).hpwl;
-        out.finalized = true;
-        out.cancelled = cancel.cancelled();
-        break;
-      }
-      case FlowPreset::kAnalytic: {
-        design = loaded->design;
-        place::AnalyticOptions o;
-        if (cancel.valid()) o.mixed_gp.cancel = cancel;
-        out.hpwl = place::analytic_place(design, o).hpwl;
-        out.finalized = true;
-        out.cancelled = cancel.cancelled();
-        break;
-      }
+      const std::shared_ptr<const PreparedArtifact> prepared =
+          cache_.prepared_for(loaded, pspec.mcts_rl.flow);
+      design = prepared->design;  // post-prepare copy the job may mutate
+      place::PreparedFlow warm{prepared->context};
+      const place::PlaceResult r = place::run(design, pspec, &warm);
+      out.hpwl = r.hpwl;
+      out.coarse_wirelength = r.coarse_wirelength;
+      out.cancelled = r.cancelled;
+      out.finalized = r.finalized;
+      out.macro_groups = r.macro_groups;
+    } else {
+      design = loaded->design;
+      const place::PlaceResult r = place::run(design, pspec);
+      out.hpwl = r.hpwl;
+      out.cancelled = r.cancelled;
+      out.finalized = r.finalized;
     }
 
     out.placement_hash = placement_fingerprint(design);
@@ -270,6 +236,7 @@ Json LocalService::stats_json() const {
   cache_obj["weights_hits"] = Json::number(cache.weights_hits);
   cache_obj["weights_misses"] = Json::number(cache.weights_misses);
   j["cache"] = cache_obj;
+  j["workers"] = Json::number(workers());
   j["threads"] = Json::number(par::num_threads());
   j["accepting"] = Json::boolean(accepting());
   return j;

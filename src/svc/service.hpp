@@ -4,12 +4,15 @@
 // The socket server (src/svc/server.hpp) is a thin protocol shim over this
 // class, so everything observable over the wire is testable in-process.
 //
-// Determinism contract: jobs execute one at a time on the scheduler's worker
-// thread (parallelism lives *inside* a job, on the par:: pool), runners
-// mirror the offline CLI's option derivation exactly, and warm-cache hits
-// resume from a deterministic prepare_flow artifact — so a job's placement
-// is bit-identical to `place_bookshelf` at equal settings, warm or cold
-// (verified by tests/test_svc.cpp and the scripts/check.sh smoke leg).
+// Determinism contract: jobs execute concurrently on the scheduler's worker
+// threads, each inside its own obs context and on a private par:: sub-pool
+// sized by its thread lease (parallelism lives *inside* a job; leases
+// partition the machine).  Runners derive options through the one shared
+// place::spec_from_preset, and warm-cache hits resume from a deterministic
+// prepare_flow artifact — and since par:: results are thread-count
+// independent, a job's placement is bit-identical to `place_bookshelf` at
+// equal settings, warm or cold, at any worker count (verified by
+// tests/test_svc.cpp and the scripts/check.sh smoke + TSan legs).
 
 #include <functional>
 #include <map>
@@ -23,6 +26,10 @@ namespace mp::svc {
 
 struct ServiceOptions {
   int max_queued = 32;          ///< admission-control bound
+  /// Concurrent job executors.  0 resolves MP_WORKERS (falling back to 1),
+  /// so existing single-worker deployments keep their behavior; the thread
+  /// budget (par::num_threads()) is partitioned across whatever runs.
+  int workers = 0;
   std::size_t cache_designs = 8;
   std::size_t cache_prepared = 8;
   std::size_t cache_weights = 4;
@@ -65,8 +72,9 @@ class LocalService {
   bool accepting() const;
 
   CacheStats cache_stats() const { return cache_.stats(); }
+  int workers() const { return scheduler_->workers(); }
   /// Protocol "stats" object: job counts by state, queue depth, cache
-  /// hit/miss counters, pool size.
+  /// hit/miss counters, worker count, thread budget.
   Json stats_json() const;
 
   /// Registers a progress sink (server watch streams, tests); returns a
@@ -80,7 +88,8 @@ class LocalService {
 
  private:
   JobOutcome execute(const std::string& id, const JobSpec& spec,
-                     const util::CancelToken& cancel);
+                     const util::CancelToken& cancel,
+                     const Scheduler::RunContext& ctx);
   void on_span(const std::string& path, int depth, bool enter, double seconds);
 
   ServiceOptions options_;

@@ -5,15 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchgen/generator.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "par/par.hpp"
 #include "place/flow.hpp"
 #include "util/timer.hpp"
 
@@ -227,6 +230,55 @@ TEST_F(ObsTest, MacrosRecordIntoGlobalRegistry) {
   EXPECT_EQ(Registry::global().counter("test.macro_counter").value(), 7);
   EXPECT_DOUBLE_EQ(Registry::global().gauge("test.macro_gauge").value(), 9.0);
   EXPECT_EQ(Registry::global().histogram("test.macro_hist").count(), 1);
+}
+
+TEST_F(ObsTest, ContextsIsolateMetricsPerJob) {
+  // Two concurrent "jobs" record the same metric names inside their own
+  // contexts: each lands in its own registry (tagged with the job id), the
+  // global registry sees nothing, and the binding restores on scope exit.
+  EXPECT_EQ(current_context_tag(), "");
+  Context job_a("job-a");
+  Context job_b("job-b");
+  std::thread tb([&] {
+    ScopedContext scoped(&job_b);
+    MP_OBS_COUNT("test.ctx_counter", 5);
+    Span span("ctx.phase");
+  });
+  {
+    ScopedContext scoped(&job_a);
+    EXPECT_EQ(current_context_tag(), "job-a");
+    EXPECT_EQ(&current_registry(), &job_a.registry());
+    MP_OBS_COUNT("test.ctx_counter", 2);
+    MP_OBS_COUNT("test.ctx_counter", 1);
+    Span span("ctx.phase");
+  }
+  tb.join();
+  EXPECT_EQ(current_context_tag(), "");
+  EXPECT_EQ(&current_registry(), &Registry::global());
+  EXPECT_EQ(job_a.registry().counter("test.ctx_counter").value(), 3);
+  EXPECT_EQ(job_b.registry().counter("test.ctx_counter").value(), 5);
+  EXPECT_EQ(Registry::global().counter("test.ctx_counter").value(), 0);
+}
+
+TEST_F(ObsTest, ContextPropagatesToParPoolWorkers) {
+  // par:: carries the obs context into pool workers, so a job's fan-out
+  // records into the job's registry, not the global one.
+  Context job("job-par");
+  {
+    ScopedContext scoped(&job);
+    par::ThreadPool pool(3);
+    par::ScopedPool scoped_pool(&pool);
+    std::atomic<long long> ticks{0};
+    par::parallel_for(0, 64, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        MP_OBS_COUNT("test.ctx_par_counter", 1);
+        ticks.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(ticks.load(), 64);
+  }
+  EXPECT_EQ(job.registry().counter("test.ctx_par_counter").value(), 64);
+  EXPECT_EQ(Registry::global().counter("test.ctx_par_counter").value(), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,9 @@
 // Tests for the placement service (src/svc): JSON protocol values, job-spec
-// validation, the LRU artifact cache, scheduler ordering/admission/cancel,
-// the LocalService end-to-end determinism contract (service job ≡ offline
-// placer call, warm ≡ cold), cooperative cancellation, and the socket
-// server/client round trip.
+// validation, the LRU artifact cache, thread-budget arbitration, scheduler
+// ordering/admission/cancel (including the multi-worker fairness and
+// shutdown-race contracts), the LocalService end-to-end determinism contract
+// (service job ≡ offline placer call, warm ≡ cold, N workers ≡ 1 worker),
+// cooperative cancellation, and the socket server/client round trip.
 
 #include <gtest/gtest.h>
 
@@ -23,6 +24,7 @@
 #include "netlist/validate.hpp"
 #include "place/placer.hpp"
 #include "place/rl_only_placer.hpp"
+#include "svc/budget.hpp"
 #include "svc/cache.hpp"
 #include "svc/client.hpp"
 #include "svc/hash.hpp"
@@ -174,34 +176,90 @@ TEST(LruPool, EvictsLeastRecentlyUsed) {
 }
 
 // ---------------------------------------------------------------------------
+// Thread-budget arbiter
+
+TEST(ThreadArbiter, PartitionsBudgetAndReclaimsOnRelease) {
+  ThreadArbiter arbiter(8);
+  EXPECT_EQ(arbiter.total(), 8);
+  ThreadLease lone = arbiter.acquire(0);  // 0 = "give me everything"
+  EXPECT_EQ(lone.threads(), 8);           // lone job gets the whole machine
+  ThreadLease starved = arbiter.acquire(4);
+  EXPECT_EQ(starved.threads(), 1);  // budget exhausted: floor of 1, no stall
+  EXPECT_EQ(arbiter.leased(), 9);   // bounded oversubscription
+  lone.release();
+  EXPECT_EQ(arbiter.leased(), 1);
+  ThreadLease half = arbiter.acquire(4);
+  EXPECT_EQ(half.threads(), 4);  // reclaimed budget is grantable again
+  ThreadLease capped = arbiter.acquire(100);
+  EXPECT_EQ(capped.threads(), 3);  // min(want, remaining)
+}
+
+TEST(ThreadArbiter, LeaseReleaseIsIdempotentAndMoveSafe) {
+  ThreadArbiter arbiter(4);
+  ThreadLease a = arbiter.acquire(2);
+  ThreadLease b = std::move(a);  // moved-from lease must not double-release
+  EXPECT_EQ(a.threads(), 0);
+  EXPECT_EQ(b.threads(), 2);
+  b.release();
+  b.release();  // second release is a no-op
+  EXPECT_EQ(arbiter.leased(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler (with a fake runner)
 
-// Runner that records execution order and blocks every job until released.
+// Runner that records execution-start order and blocks each job until a
+// token is released (counting-semaphore gate, so tests can let exactly one
+// job through) or its cancel token fires.
 struct GatedRunner {
   std::mutex mutex;
   std::condition_variable cv;
-  bool open = false;
+  int tokens = 0;
   std::vector<std::string> order;
+  std::atomic<int> max_granted_threads{0};
 
   Scheduler::Runner runner() {
     return [this](const std::string& id, const JobSpec&,
-                  const util::CancelToken&) {
+                  const util::CancelToken& cancel,
+                  const Scheduler::RunContext& ctx) {
       std::unique_lock<std::mutex> lock(mutex);
       order.push_back(id);
-      cv.wait(lock, [this] { return open; });
-      return JobOutcome{};
+      int seen = max_granted_threads.load();
+      while (ctx.threads > seen &&
+             !max_granted_threads.compare_exchange_weak(seen, ctx.threads)) {
+      }
+      while (true) {
+        if (cancel.cancelled()) {
+          JobOutcome out;
+          out.cancelled = true;
+          return out;
+        }
+        if (tokens > 0) {
+          --tokens;
+          return JobOutcome{};
+        }
+        cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
     };
   }
 
-  void release() {
+  /// Lets `n` blocked/future jobs run to completion.
+  void release(int n = 1 << 20) {
     std::lock_guard<std::mutex> lock(mutex);
-    open = true;
+    tokens += n;
     cv.notify_all();
+  }
+
+  std::vector<std::string> order_snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return order;
   }
 };
 
 void wait_until_running(const Scheduler& scheduler, const std::string& id) {
-  while (scheduler.running_job() != id) {
+  while (true) {
+    const std::vector<std::string> running = scheduler.running_jobs();
+    if (std::find(running.begin(), running.end(), id) != running.end()) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -262,8 +320,8 @@ TEST(Scheduler, CancelsQueuedJobWithoutRunningIt) {
 
 TEST(Scheduler, ThrowingRunnerMarksJobFailed) {
   Scheduler scheduler(
-      [](const std::string&, const JobSpec&,
-         const util::CancelToken&) -> JobOutcome {
+      [](const std::string&, const JobSpec&, const util::CancelToken&,
+         const Scheduler::RunContext&) -> JobOutcome {
         throw std::runtime_error("boom");
       },
       8);
@@ -277,7 +335,8 @@ TEST(Scheduler, ThrowingRunnerMarksJobFailed) {
 
 TEST(Scheduler, DeadlineArmsCancelTokenWhenJobStarts) {
   Scheduler scheduler(
-      [](const std::string&, const JobSpec&, const util::CancelToken& cancel) {
+      [](const std::string&, const JobSpec&, const util::CancelToken& cancel,
+         const Scheduler::RunContext&) {
         while (!cancel.cancelled()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
@@ -294,6 +353,99 @@ TEST(Scheduler, DeadlineArmsCancelTokenWhenJobStarts) {
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->state, JobState::kCancelled);
   EXPECT_TRUE(snap->outcome.cancelled);
+}
+
+TEST(Scheduler, HighPriorityJobDispatchedWhileLowPriorityWaits) {
+  // Fairness under load: with every worker busy, the next freed worker must
+  // pick the high-priority job even though a low-priority one queued first.
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/8, /*workers=*/2);
+  EXPECT_EQ(scheduler.workers(), 2);
+  const JobSpec base = tiny_synthetic_spec();
+  const std::string blocker_a = scheduler.submit(base).id;
+  const std::string blocker_b = scheduler.submit(base).id;
+  wait_until_running(scheduler, blocker_a);
+  wait_until_running(scheduler, blocker_b);
+
+  JobSpec lo = base;
+  lo.priority = 0;
+  JobSpec hi = base;
+  hi.priority = 5;
+  const std::string lo_id = scheduler.submit(lo).id;
+  const std::string hi_id = scheduler.submit(hi).id;
+
+  gate.release(1);  // exactly one blocker finishes, freeing one worker
+  wait_until_running(scheduler, hi_id);
+  const std::vector<std::string> order = gate.order_snapshot();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], hi_id);  // dispatched ahead of the earlier lo job
+  {
+    const auto snap = scheduler.status(lo_id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kQueued);
+  }
+  gate.release();
+  scheduler.drain();
+  const auto lo_snap = scheduler.status(lo_id);
+  ASSERT_TRUE(lo_snap.has_value());
+  EXPECT_EQ(lo_snap->state, JobState::kDone);
+}
+
+TEST(Scheduler, GrantsThreadLeasesWithinBudget) {
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/8, /*workers=*/2,
+                      /*thread_budget=*/6);
+  EXPECT_EQ(scheduler.thread_budget(), 6);
+  JobSpec spec = tiny_synthetic_spec();
+  spec.threads = 4;
+  const std::string a = scheduler.submit(spec).id;
+  const std::string b = scheduler.submit(spec).id;
+  wait_until_running(scheduler, a);
+  wait_until_running(scheduler, b);
+  // First grant honors the request (4); the second gets the remainder (2).
+  EXPECT_EQ(scheduler.threads_leased(), 6);
+  gate.release();
+  scheduler.drain();
+  EXPECT_EQ(scheduler.threads_leased(), 0);  // leases reclaimed
+  const auto snap_a = scheduler.status(a);
+  const auto snap_b = scheduler.status(b);
+  ASSERT_TRUE(snap_a.has_value() && snap_b.has_value());
+  EXPECT_EQ(snap_a->granted_threads + snap_b->granted_threads, 6);
+  EXPECT_EQ(gate.max_granted_threads.load(), 4);  // RunContext saw the lease
+}
+
+TEST(Scheduler, ConcurrentShutdownCancelAndDrainAreIdempotent) {
+  // Regression for the shutdown/cancel race: drain(), shutdown_now(), and
+  // cancel() storming from many threads at once must neither deadlock nor
+  // double-join the workers, and every job must end in a terminal state.
+  GatedRunner gate;
+  Scheduler scheduler(gate.runner(), /*max_queued=*/16, /*workers=*/3);
+  const JobSpec spec = tiny_synthetic_spec();
+  std::vector<std::string> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(scheduler.submit(spec).id);
+  wait_until_running(scheduler, ids[0]);
+
+  std::vector<std::thread> stormers;
+  stormers.emplace_back([&] { scheduler.shutdown_now(); });
+  stormers.emplace_back([&] { scheduler.shutdown_now(); });
+  stormers.emplace_back([&] { scheduler.drain(); });
+  stormers.emplace_back([&] {
+    for (const std::string& id : ids) scheduler.cancel(id);
+  });
+  for (std::thread& t : stormers) t.join();
+  scheduler.drain();         // idempotent after shutdown
+  scheduler.shutdown_now();  // idempotent after join
+
+  EXPECT_FALSE(scheduler.accepting());
+  EXPECT_EQ(scheduler.queued_count(), 0);
+  EXPECT_TRUE(scheduler.running_jobs().empty());
+  for (const std::string& id : ids) {
+    const auto snap = scheduler.status(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->state == JobState::kDone ||
+                snap->state == JobState::kCancelled)
+        << id << ": " << job_state_name(snap->state);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -377,6 +529,130 @@ TEST(LocalService, WarmCacheResubmissionIsBitIdenticalAndHits) {
   EXPECT_GE(stats.design_hits, 1);
   EXPECT_EQ(stats.prepared_misses, 1);
   EXPECT_GE(stats.prepared_hits, 1);
+}
+
+TEST(LocalService, ConcurrentWorkersShareOnePreparedArtifact) {
+  // Two workers, two identical cold jobs submitted back-to-back: the cache's
+  // in-flight dedup must build each artifact exactly once (1 miss) and hand
+  // the second job the same build (1 hit) — never a duplicate build.
+  ServiceOptions options = quiet_options();
+  options.workers = 2;
+  LocalService service(options);
+  ASSERT_EQ(service.workers(), 2);
+  const JobSpec spec = tiny_synthetic_spec();
+  const std::string a = service.submit(spec).id;
+  const std::string b = service.submit(spec).id;
+  ASSERT_TRUE(service.wait(a, 600.0));
+  ASSERT_TRUE(service.wait(b, 600.0));
+
+  const auto snap_a = service.status(a);
+  const auto snap_b = service.status(b);
+  ASSERT_TRUE(snap_a.has_value() && snap_b.has_value());
+  ASSERT_EQ(snap_a->state, JobState::kDone) << snap_a->error;
+  ASSERT_EQ(snap_b->state, JobState::kDone) << snap_b->error;
+  // Same spec through either worker: bit-identical placements.
+  EXPECT_EQ(snap_a->outcome.placement_hash, snap_b->outcome.placement_hash);
+
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.design_misses, 1);
+  EXPECT_EQ(stats.design_hits, 1);
+  EXPECT_EQ(stats.prepared_misses, 1);
+  EXPECT_EQ(stats.prepared_hits, 1);
+}
+
+TEST(LocalService, FourWorkersBitIdenticalToOneWorkerAndOffline) {
+  // The headline determinism contract: per-job results are bit-identical
+  // whether jobs run alone (1 worker, whole thread budget) or concurrently
+  // (4 workers, partitioned budget) — and both match the offline
+  // place::run() path at the same preset/seed.
+  std::vector<JobSpec> specs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    JobSpec spec = tiny_synthetic_spec();
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+
+  auto run_all = [&](int workers) {
+    ServiceOptions options = quiet_options();
+    options.workers = workers;
+    LocalService service(options);
+    std::vector<std::string> ids;
+    for (const JobSpec& spec : specs) ids.push_back(service.submit(spec).id);
+    std::vector<std::uint64_t> hashes;
+    for (const std::string& id : ids) {
+      EXPECT_TRUE(service.wait(id, 600.0)) << id;
+      const auto snap = service.status(id);
+      EXPECT_TRUE(snap.has_value());
+      EXPECT_EQ(snap->state, JobState::kDone) << snap->error;
+      hashes.push_back(snap->outcome.placement_hash);
+    }
+    return hashes;
+  };
+
+  const std::vector<std::uint64_t> wide = run_all(4);
+  const std::vector<std::uint64_t> narrow = run_all(1);
+  EXPECT_EQ(wide, narrow);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    netlist::Design design = benchgen::generate(specs[i].synthetic);
+    place::PresetKnobs knobs;
+    knobs.episodes = specs[i].episodes;
+    knobs.gamma = specs[i].gamma;
+    knobs.grid = specs[i].grid;
+    knobs.channels = specs[i].channels;
+    knobs.blocks = specs[i].blocks;
+    knobs.seed = specs[i].seed;
+    place::run(design, place::spec_from_preset(specs[i].preset, knobs));
+    EXPECT_EQ(placement_fingerprint(design), wide[i]) << "seed " << (i + 1);
+  }
+}
+
+TEST(LocalService, FourWorkerMixedPresetStressWithMidRunCancels) {
+  // The in-process twin of the check.sh TSan stress leg: 4 workers chew
+  // through 8 mixed-preset jobs while two long jobs are cancelled mid-run.
+  ServiceOptions options = quiet_options();
+  options.workers = 4;
+  LocalService service(options);
+  const FlowPreset presets[] = {FlowPreset::kMcts, FlowPreset::kRlOnly,
+                                FlowPreset::kSa, FlowPreset::kWiremask};
+  std::vector<std::string> ids;
+  std::vector<std::string> doomed;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec spec = tiny_synthetic_spec();
+    spec.preset = presets[i % 4];
+    spec.seed = static_cast<std::uint64_t>(i + 1);
+    const bool cancel_me = (i == 2 || i == 5);
+    if (cancel_me) {
+      spec.preset = FlowPreset::kMcts;
+      spec.episodes = 600;  // long enough that cancel lands mid-run
+    }
+    const Scheduler::SubmitResult r = service.submit(spec);
+    ASSERT_TRUE(r.accepted) << r.error;
+    ids.push_back(r.id);
+    if (cancel_me) doomed.push_back(r.id);
+  }
+  for (const std::string& id : doomed) {
+    while (true) {
+      const auto snap = service.status(id);
+      ASSERT_TRUE(snap.has_value());
+      if (snap->state != JobState::kQueued) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    service.cancel(id);
+  }
+  service.drain();
+  for (const std::string& id : ids) {
+    const auto snap = service.status(id);
+    ASSERT_TRUE(snap.has_value());
+    const bool was_doomed =
+        std::find(doomed.begin(), doomed.end(), id) != doomed.end();
+    if (was_doomed) {
+      EXPECT_EQ(snap->state, JobState::kCancelled) << id;
+    } else {
+      EXPECT_EQ(snap->state, JobState::kDone) << id << ": " << snap->error;
+      EXPECT_GT(snap->outcome.hpwl, 0.0);
+    }
+  }
 }
 
 TEST(LocalService, CancelStopsRunningJob) {
