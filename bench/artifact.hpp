@@ -1,0 +1,171 @@
+#pragma once
+// BENCH_*.json perf artifacts: one machine-readable JSON file per bench so
+// the perf trajectory is diffable across commits (ROADMAP item 2; the
+// committed copies live in results/ and are schema-checked by
+// scripts/validate_bench_json.py from scripts/check.sh).
+//
+// Schema (schema_version 1):
+//   {"kind": "bench", "schema_version": 1, "name": "<bench>",
+//    "config":    {str -> str|num},   // knobs the numbers depend on
+//    "metrics":   {str -> num},       // scalar results (means, rates, ns)
+//    "quantiles": {str -> {"p50":..,"p90":..,"p95":..,"p99":..}},
+//    "threads": N, "peak_rss_mb": N}
+//
+// The file is written as BENCH_<name>.json into $MP_BENCH_DIR (default the
+// working directory); scripts/run_benches.sh points MP_BENCH_DIR at the
+// repo's results/ so fresh artifacts land next to the committed ones.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <variant>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/obs.hpp"
+#include "par/par.hpp"
+#include "util/env.hpp"
+
+namespace mp::bench {
+
+/// Peak resident set size of this process in MiB (getrusage ru_maxrss;
+/// 0 when the platform has no rusage).
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// One bench's artifact under construction; write() emits the JSON file.
+struct BenchArtifact {
+  std::string name;
+  std::map<std::string, std::variant<std::string, double>> config;
+  std::map<std::string, double> metrics;
+  /// metric name -> p50/p90/p95/p99 (filled from obs histograms).
+  std::map<std::string, std::map<std::string, double>> quantiles;
+
+  void set_quantiles_from(const std::string& metric,
+                          const obs::HistogramSnapshot& h) {
+    quantiles[metric] = {{"p50", h.quantile(0.5)},
+                         {"p90", h.quantile(0.9)},
+                         {"p95", h.quantile(0.95)},
+                         {"p99", h.quantile(0.99)}};
+  }
+
+  /// Writes BENCH_<name>.json into `dir` (default $MP_BENCH_DIR or ".").
+  /// Returns the path written, or "" on failure.
+  std::string write(std::string dir = {}) const;
+};
+
+namespace detail {
+
+inline void artifact_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void artifact_number(std::string& out, double v) {
+  // JSON has no inf/nan literals; a missing measurement serializes as null.
+  if (!(v == v) || v > 1e308 || v < -1e308) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace detail
+
+inline std::string BenchArtifact::write(std::string dir) const {
+  if (dir.empty()) {
+    const char* env = std::getenv("MP_BENCH_DIR");
+    dir = env != nullptr && env[0] != '\0' ? env : ".";
+  }
+  std::string out;
+  out.reserve(1024);
+  out += "{\"kind\":\"bench\",\"schema_version\":1,\"name\":";
+  detail::artifact_escape(out, name);
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    if (!first) out += ',';
+    first = false;
+    detail::artifact_escape(out, key);
+    out += ':';
+    if (const std::string* s = std::get_if<std::string>(&value)) {
+      detail::artifact_escape(out, *s);
+    } else {
+      detail::artifact_number(out, std::get<double>(value));
+    }
+  }
+  out += "},\"metrics\":{";
+  first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    detail::artifact_escape(out, key);
+    out += ':';
+    detail::artifact_number(out, value);
+  }
+  out += "},\"quantiles\":{";
+  first = true;
+  for (const auto& [metric, qs] : quantiles) {
+    if (!first) out += ',';
+    first = false;
+    detail::artifact_escape(out, metric);
+    out += ":{";
+    bool qfirst = true;
+    for (const auto& [q, value] : qs) {
+      if (!qfirst) out += ',';
+      qfirst = false;
+      detail::artifact_escape(out, q);
+      out += ':';
+      detail::artifact_number(out, value);
+    }
+    out += '}';
+  }
+  out += "},\"threads\":";
+  detail::artifact_number(out, static_cast<double>(par::num_threads()));
+  out += ",\"peak_rss_mb\":";
+  detail::artifact_number(out, peak_rss_mb());
+  out += "}\n";
+
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warn: cannot write bench artifact %s\n", path.c_str());
+    return {};
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok ? path : std::string();
+}
+
+}  // namespace mp::bench

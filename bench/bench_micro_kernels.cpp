@@ -1,9 +1,19 @@
 // Google-benchmark micro kernels for the library's hot paths: HPWL, CG
 // solve, conv2d forward/backward, availability map, sequence-pair
 // legalization LP and one MCTS exploration step.
+//
+// Besides the usual console output, the explicit main() below captures every
+// run through an ArtifactReporter and writes BENCH_micro_kernels.json
+// (bench/artifact.hpp schema) so the kernel timings join the committed perf
+// trajectory in results/.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "artifact.hpp"
 #include "benchgen/generator.hpp"
 #include "grid/occupancy.hpp"
 #include "legal/lp_legalizer.hpp"
@@ -144,6 +154,37 @@ void BM_LpLegalizeComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_LpLegalizeComponent)->Arg(4)->Arg(10)->Arg(20);
 
+// Console output as usual, plus per-run adjusted real/CPU ns collected for
+// the BENCH_micro_kernels.json artifact.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      metrics_[name + ".real_ns"] = run.GetAdjustedRealTime();
+      metrics_[name + ".cpu_ns"] = run.GetAdjustedCPUTime();
+    }
+  }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+ private:
+  std::map<std::string, double> metrics_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  mp::bench::BenchArtifact artifact;
+  artifact.name = "micro_kernels";
+  artifact.metrics = reporter.metrics();
+  const std::string path = artifact.write();
+  if (!path.empty()) std::printf("artifact: %s\n", path.c_str());
+  return path.empty() ? 1 : 0;
+}

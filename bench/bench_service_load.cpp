@@ -1,0 +1,161 @@
+// Service SLO load bench: N concurrent clients driving a multi-worker
+// LocalService with small synthetic placement jobs, reporting the
+// admission -> result latency quantiles the ROADMAP wants as the headline
+// scaling number.  The printed p50/p90/p95/p99 come straight from the
+// service-global obs histograms the scheduler records (svc.queue_wait,
+// svc.run_time, svc.submit_to_result) — the same series the mp_serve
+// `metrics` verb exposes — so the bench measures the telemetry path a
+// production scrape would read, not a parallel bookkeeping scheme.
+//
+//   ./bench_service_load [--workers N] [--clients N] [--jobs N]
+//                        [--preset sa|mcts|rl|wiremask|analytic]
+//                        [--threads N]
+//
+// Writes BENCH_service_load.json (bench/artifact.hpp schema) into
+// $MP_BENCH_DIR (default cwd).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "svc/service.hpp"
+#include "util/timer.hpp"
+
+using namespace mp;
+
+namespace {
+
+svc::JobSpec load_spec(place::Preset preset, std::uint64_t seed) {
+  svc::JobSpec spec;
+  spec.use_synthetic = true;
+  spec.synthetic.name = "svc-load";
+  spec.synthetic.movable_macros = 8;
+  spec.synthetic.std_cells = 300;
+  spec.synthetic.nets = 400;
+  spec.synthetic.io_pads = 16;
+  spec.synthetic.seed = 5;
+  spec.preset = preset;
+  // Distinct seeds keep the jobs distinct specs (unique job-id hash
+  // prefixes) while the design stays shared, so the design cache is
+  // exercised with hits and the scheduler still sees unique work.
+  spec.seed = seed;
+  // Tiny RL/MCTS budgets so the non-SA presets finish in seconds.
+  spec.episodes = 6;
+  spec.gamma = 4;
+  spec.grid = 8;
+  spec.channels = 8;
+  spec.blocks = 1;
+  return spec;
+}
+
+void print_histogram_row(const std::string& name,
+                         const obs::HistogramSnapshot& h) {
+  std::printf("%-22s %8lld %10.4f %10.4f %10.4f %10.4f %10.4f\n", name.c_str(),
+              h.count, h.mean(), h.quantile(0.5), h.quantile(0.9),
+              h.quantile(0.95), h.quantile(0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_threads(argc, argv);
+  int workers = 4, clients = 8, jobs_per_client = 1;
+  place::Preset preset = place::Preset::kSa;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs_per_client = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--preset") == 0 && i + 1 < argc) {
+      if (!place::parse_preset(argv[++i], preset)) {
+        std::fprintf(stderr, "unknown preset %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      ++i;  // consumed by init_threads
+    }
+  }
+  workers = std::max(1, workers);
+  clients = std::max(1, clients);
+  jobs_per_client = std::max(1, jobs_per_client);
+  const int total_jobs = clients * jobs_per_client;
+
+  svc::ServiceOptions options;
+  options.workers = workers;
+  // Admission control sized to the offered load: this bench measures
+  // latency under queueing, not rejection behavior.
+  options.max_queued = total_jobs + 8;
+  options.stream_progress = false;
+  svc::LocalService service(options);
+
+  std::printf("service load: %d workers, %d clients x %d jobs, preset %s, "
+              "%d pool threads\n",
+              workers, clients, jobs_per_client, place::preset_name(preset),
+              par::num_threads());
+
+  util::Timer wall;
+  std::vector<std::thread> client_threads;
+  std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int j = 0; j < jobs_per_client; ++j) {
+        const std::uint64_t seed =
+            1 + static_cast<std::uint64_t>(c) * 1000 +
+            static_cast<std::uint64_t>(j);
+        const svc::Scheduler::SubmitResult r =
+            service.submit(load_spec(preset, seed));
+        if (!r.accepted) {
+          ++failures[static_cast<std::size_t>(c)];
+          continue;
+        }
+        service.wait(r.id, 600.0);
+        const auto snap = service.status(r.id);
+        if (!snap || snap->state != svc::JobState::kDone) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double wall_s = wall.seconds();
+
+  int failed = 0;
+  for (int f : failures) failed += f;
+  const int done = total_jobs - failed;
+  const double throughput = wall_s > 0.0 ? done / wall_s : 0.0;
+
+  // The SLO readout: latency quantiles from the service-global registry the
+  // scheduler recorded into while the load ran.
+  const obs::RegistrySnapshot snap = service.slo_registry().snapshot();
+  std::printf("\n%-22s %8s %10s %10s %10s %10s %10s\n", "latency_s", "count",
+              "mean", "p50", "p90", "p95", "p99");
+  bench::BenchArtifact artifact;
+  artifact.name = "service_load";
+  for (const auto& [name, h] : snap.histograms) {
+    print_histogram_row(name, h);
+    artifact.set_quantiles_from(name, h);
+    artifact.metrics[name + ".mean"] = h.mean();
+    artifact.metrics[name + ".count"] = static_cast<double>(h.count);
+  }
+  std::printf("\n%d/%d jobs done, %.2fs wall, %.2f jobs/s\n", done, total_jobs,
+              wall_s, throughput);
+
+  artifact.config["workers"] = static_cast<double>(workers);
+  artifact.config["clients"] = static_cast<double>(clients);
+  artifact.config["jobs_per_client"] = static_cast<double>(jobs_per_client);
+  artifact.config["preset"] = std::string(place::preset_name(preset));
+  artifact.metrics["jobs_done"] = static_cast<double>(done);
+  artifact.metrics["jobs_failed"] = static_cast<double>(failed);
+  artifact.metrics["wall_s"] = wall_s;
+  artifact.metrics["throughput_jobs_per_s"] = throughput;
+  const std::string path = artifact.write();
+  if (!path.empty()) std::printf("artifact: %s\n", path.c_str());
+  return failed == 0 && !path.empty() ? 0 : 1;
+}

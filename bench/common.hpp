@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "artifact.hpp"
 #include "benchgen/presets.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
@@ -145,7 +146,10 @@ inline void print_header(const std::string& first,
 /// one machine-readable JSONL object through obs::ReportWriter (MP_OBS_OUT)
 /// when telemetry is enabled — benches stay scrapable by eye and by tooling
 /// (scripts/obs_summary.py) at the same time.  The JSON artifact is written
-/// when the table goes out of scope.
+/// when the table goes out of scope.  With MP_BENCH_JSON set (truthy;
+/// scripts/run_benches.sh sets it) the destructor additionally writes a
+/// BENCH_<bench>.json perf artifact (bench/artifact.hpp) flattening each
+/// cell to a "row.column" metric.
 class Table {
  public:
   Table(std::string bench, const std::string& first,
@@ -161,6 +165,20 @@ class Table {
   }
 
   ~Table() {
+    const char* bench_json = std::getenv("MP_BENCH_JSON");
+    if (bench_json != nullptr && bench_json[0] != '\0' &&
+        std::strcmp(bench_json, "0") != 0) {
+      BenchArtifact artifact;
+      artifact.name = bench_;
+      artifact.config["repro_scale"] = scale();
+      artifact.config["repro_macro_scale"] = macro_scale();
+      for (const auto& [name, values] : rows_) {
+        for (std::size_t c = 0; c < values.size() && c < columns_.size(); ++c) {
+          artifact.metrics[name + "." + columns_[c]] = values[c];
+        }
+      }
+      artifact.write();
+    }
     if (!obs::enabled()) return;
     obs::ReportWriter writer = obs::ReportWriter::from_env();
     if (writer.valid()) writer.write_table(bench_, columns_, rows_);

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "par/par.hpp"
 #include "svc/server.hpp"
 
@@ -80,6 +81,14 @@ int main(int argc, char** argv) {
   }
   std::printf("mp_serve: drained (%d done, %d failed, %d cancelled)\n", done,
               failed, cancelled);
+  // With MP_OBS_TRACE set, persist the span timeline now that every job has
+  // finished (the atexit flush would also fire, but an explicit flush after
+  // the drain makes the file complete even if exit paths change).
+  if (mp::obs::trace_enabled() && mp::obs::trace_flush()) {
+    std::printf("mp_serve: trace written to %s\n",
+                std::getenv("MP_OBS_TRACE") != nullptr
+                    ? std::getenv("MP_OBS_TRACE") : "(trace path)");
+  }
   g_server = nullptr;
   return 0;
 }

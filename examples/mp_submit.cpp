@@ -5,6 +5,7 @@
 //   ./mp_submit --socket PATH result <job-id> [--timeout S]
 //   ./mp_submit --socket PATH cancel <job-id>
 //   ./mp_submit --socket PATH stats
+//   ./mp_submit --socket PATH metrics [--prom]
 //   ./mp_submit --socket PATH shutdown
 //
 // The spec is a JSON job object (docs/SERVICE.md), inline or @file.  Replies
@@ -25,7 +26,7 @@ int usage() {
                "usage: mp_submit --socket PATH "
                "(submit <spec|@file> [--wait] [--watch] [--timeout S]"
                " | status <id> | result <id> [--timeout S]"
-               " | cancel <id> | stats | shutdown)\n");
+               " | cancel <id> | stats | metrics [--prom] | shutdown)\n");
   return 2;
 }
 
@@ -54,7 +55,7 @@ std::string load_spec_text(const std::string& arg) {
 
 int main(int argc, char** argv) {
   std::string socket_path, command, operand;
-  bool wait = false, watch = false;
+  bool wait = false, watch = false, prom = false;
   double timeout_s = 600.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
       wait = true;
     } else if (std::strcmp(argv[i], "--watch") == 0) {
       watch = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
     } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
       timeout_s = std::atof(argv[++i]);
     } else if (command.empty()) {
@@ -111,6 +114,19 @@ int main(int argc, char** argv) {
       return finish(client.cancel(operand));
     }
     if (command == "stats") return finish(client.stats());
+    if (command == "metrics") {
+      const mp::svc::Json reply = client.metrics(prom);
+      if (prom && reply_ok(reply)) {
+        // Unwrap the exposition so the output pipes straight into a
+        // node_exporter textfile or promtool.
+        const mp::svc::Json* text = reply.find("text");
+        if (text != nullptr && text->is_string()) {
+          std::fputs(text->as_string().c_str(), stdout);
+          return 0;
+        }
+      }
+      return finish(reply);
+    }
     if (command == "shutdown") return finish(client.shutdown());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -11,8 +11,8 @@
 #      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
 #   3. A ThreadSanitizer build (its own tree — TSan cannot be combined with
-#      ASan) running the `par`- and `svc`-labelled suites (ctest -L
-#      "par|svc") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
+#      ASan) running the `par`-, `svc`- and `obs`-labelled suites (ctest -L
+#      "par|svc|obs") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
 #      lock-free obs metrics, every parallelized hot path
 #      (docs/PARALLELISM.md), and the concurrent placement service — four
 #      workers chewing through mixed-preset jobs with mid-run cancels,
@@ -20,7 +20,10 @@
 #      (docs/SERVICE.md).  This leg is on by DEFAULT; pass --tsan to run the
 #      FULL suite under TSan instead (slower), or --no-tsan to skip the
 #      TSan leg entirely.
-#   4. clang-tidy over the compile database, when clang-tidy is installed.
+#   4. Schema validation of the committed perf artifacts
+#      (results/BENCH_*.json) via scripts/validate_bench_json.py — stdlib
+#      python only, skipped with a notice when none are present.
+#   5. clang-tidy over the compile database, when clang-tidy is installed.
 #      Skipped with a notice otherwise (the container ships gcc only).
 #
 # Build trees live under build-check/ and are reused across runs; use
@@ -32,7 +35,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${ROOT}"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-TSAN_MODE=par   # par = `ctest -L "par|svc"` under TSan (default); full; off
+TSAN_MODE=par   # par = `ctest -L "par|svc|obs"` under TSan (default); full; off
 FRESH=0
 for arg in "$@"; do
   case "${arg}" in
@@ -138,11 +141,19 @@ case "${TSAN_MODE}" in
   # mixed-preset jobs and cancels two mid-run) with several threads even on
   # small CI machines.
   par)  MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
-          run_sanitized tsan "thread" "par|svc" ;;
+          run_sanitized tsan "thread" "par|svc|obs" ;;
   full) MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
           run_sanitized tsan "thread" ;;
   off)  note "tsan: skipped (--no-tsan)" ;;
 esac
+
+note "bench artifacts: schema validation (results/BENCH_*.json)"
+BENCH_ARTIFACTS=(results/BENCH_*.json)
+if [[ -e "${BENCH_ARTIFACTS[0]}" ]]; then
+  python3 scripts/validate_bench_json.py "${BENCH_ARTIFACTS[@]}"
+else
+  echo "no results/BENCH_*.json artifacts present; skipping" >&2
+fi
 
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then

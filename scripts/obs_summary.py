@@ -8,9 +8,13 @@ Usage:
 
 For every 'kind:"run"' line, prints the span tree (phase, calls, wall
 seconds, self seconds, share of the run — a Table-IV-style runtime
-breakdown), the non-zero counters, and histogram summaries.  'kind:"table"'
-lines (bench result tables routed through MP_OBS_OUT by bench::Table) are
-re-rendered as text tables.  Stdlib only.
+breakdown), the non-zero counters, and histogram summaries with the
+quantile columns (p50/p90/p95/p99; files written before the quantile
+columns existed render with blanks).  Runs carrying a "ctx" field (service
+jobs tag their JSONL line with the owning job id) are grouped per ctx, with
+a per-group run count, so a many-job service log reads as one block per
+job.  'kind:"table"' lines (bench result tables routed through MP_OBS_OUT
+by bench::Table) are re-rendered as text tables.  Stdlib only.
 """
 
 import json
@@ -34,8 +38,13 @@ def print_spans(spans, total, depth=0):
         print_spans(span.get("children", []), total, depth + 1)
 
 
+QUANTILE_COLS = ("p50", "p90", "p95", "p99")
+
+
 def print_run(doc):
-    print(f"\n== run: {doc.get('label', '?')} ==")
+    ctx = doc.get("ctx")
+    suffix = f" [ctx {ctx}]" if ctx else ""
+    print(f"\n== run: {doc.get('label', '?')}{suffix} ==")
     spans = doc.get("spans", [])
     if spans:
         total = sum(s.get("wall_s") or 0.0 for s in spans)
@@ -49,12 +58,15 @@ def print_run(doc):
     histograms = {k: h for k, h in doc.get("histograms", {}).items()
                   if h.get("count")}
     if histograms:
-        print(f"    {'histogram':<30} {'count':>8} {'mean':>12} "
-              f"{'p50':>12} {'p99':>12} {'max':>12}")
+        qheader = "".join(f"{q:>12}" for q in QUANTILE_COLS)
+        print(f"    {'histogram':<30} {'count':>8} {'mean':>12}"
+              f"{qheader} {'max':>12}")
     for name, h in sorted(histograms.items()):
-        print(f"    {name:<30} {h['count']:>8} {fmt(h.get('mean')):>12} "
-              f"{fmt(h.get('p50')):>12} {fmt(h.get('p99')):>12} "
-              f"{fmt(h.get('max')):>12}")
+        # p90/p95 only exist in post-PR-6 reports; older lines show blanks.
+        qvals = "".join(f"{fmt(h[q]) if q in h else '':>12}"
+                        for q in QUANTILE_COLS)
+        print(f"    {name:<30} {h['count']:>8} {fmt(h.get('mean')):>12}"
+              f"{qvals} {fmt(h.get('max')):>12}")
 
 
 def print_table(doc):
@@ -79,6 +91,7 @@ def main(argv):
             print(f"error: {e}", file=sys.stderr)
             status = 1
             continue
+        runs, tables, unknowns = [], [], []
         for i, line in enumerate(lines, 1):
             if not line.strip():
                 continue
@@ -89,13 +102,35 @@ def main(argv):
                 status = 1
                 continue
             if doc.get("kind") == "run":
-                print_run(doc)
+                runs.append(doc)
             elif doc.get("kind") == "table":
-                print_table(doc)
+                tables.append(doc)
             else:
-                print(f"\n== unknown kind {doc.get('kind')!r} (line {i}) ==")
+                unknowns.append((i, doc))
+        # Per-ctx breakdown: service jobs tag their run line with the job id
+        # ("ctx"); group those runs per job, first-seen order.  Untagged runs
+        # (pre-PR-6 files, offline CLI) print ungrouped, exactly as before.
+        groups, order = {}, []
+        for doc in runs:
+            key = doc.get("ctx") or ""
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(doc)
+        for key in order:
+            if key:
+                print(f"\n-- ctx {key}: {len(groups[key])} run(s) --")
+            for doc in groups[key]:
+                print_run(doc)
+        for doc in tables:
+            print_table(doc)
+        for i, doc in unknowns:
+            print(f"\n== unknown kind {doc.get('kind')!r} (line {i}) ==")
     return status
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

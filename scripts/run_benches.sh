@@ -8,13 +8,20 @@
 #
 # Next to each text table a machine-readable JSONL telemetry report
 # ($out/<bench>.jsonl, schema in docs/OBSERVABILITY.md) is written via
-# MP_OBS_OUT; summarize with scripts/obs_summary.py.
+# MP_OBS_OUT; summarize with scripts/obs_summary.py.  Every bench also
+# leaves a BENCH_<name>.json perf artifact in $out (bench/artifact.hpp
+# schema, validated by scripts/validate_bench_json.py).
 set -euo pipefail
 
 build=${1:-build}
 out=${2:-results}
 threads=${THREADS:-${MP_THREADS:-}}
 mkdir -p "$out"
+
+# BENCH_*.json artifacts: bench::Table emits one per table bench when
+# MP_BENCH_JSON is truthy; MP_BENCH_DIR routes all artifacts into $out.
+export MP_BENCH_JSON=1
+export MP_BENCH_DIR="$out"
 
 thread_args=()
 if [[ -n "$threads" ]]; then
@@ -33,3 +40,15 @@ done
 "$build/bench/bench_micro_kernels" --benchmark_min_time=0.1s \
   | tee "$out/bench_micro_kernels.txt" \
   || "$build/bench/bench_micro_kernels" | tee "$out/bench_micro_kernels.txt"
+
+echo "=== bench_service_load ==="
+"$build/bench/bench_service_load" --workers "${SVC_WORKERS:-4}" \
+  --clients "${SVC_CLIENTS:-16}" ${thread_args[@]+"${thread_args[@]}"} \
+  | tee "$out/bench_service_load.txt"
+
+# Stray artifacts from benches run outside MP_BENCH_DIR (e.g. a cwd run of
+# bench_micro_kernels) are collected too, then everything is schema-checked.
+for f in BENCH_*.json; do
+  if [[ -e "$f" ]]; then mv "$f" "$out/"; fi
+done
+python3 "$(dirname "$0")/validate_bench_json.py" "$out"/BENCH_*.json

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_*.json perf artifacts (bench/artifact.hpp).
+
+Usage:
+    scripts/validate_bench_json.py results/BENCH_*.json
+
+Validates, stdlib-only, that each file is one JSON object with:
+    kind == "bench", schema_version == 1, a non-empty string "name"
+    matching its BENCH_<name>.json filename,
+    "config"    -- object of string -> string|number,
+    "metrics"   -- object of string -> number|null (at least one entry),
+    "quantiles" -- object of string -> {"p50","p90","p95","p99"} numbers,
+    "threads"   -- positive integer,
+    "peak_rss_mb" -- non-negative number.
+
+Exit status 0 when every file passes; 1 with per-file diagnostics otherwise.
+Run by scripts/check.sh over the committed artifacts in results/.
+"""
+
+import json
+import os
+import sys
+
+QUANTILE_KEYS = {"p50", "p90", "p95", "p99"}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate(path):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    if doc.get("kind") != "bench":
+        err(f'kind must be "bench", got {doc.get("kind")!r}')
+    if doc.get("schema_version") != 1:
+        err(f"schema_version must be 1, got {doc.get('schema_version')!r}")
+
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        err(f"name must be a non-empty string, got {name!r}")
+    else:
+        expected = f"BENCH_{name}.json"
+        if os.path.basename(path) != expected:
+            err(f"filename should be {expected} for name {name!r}")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        err("config must be an object")
+    else:
+        for k, v in config.items():
+            if not isinstance(v, str) and not is_number(v):
+                err(f"config[{k!r}] must be a string or number, got {type(v).__name__}")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        err("metrics must be an object")
+    elif not metrics:
+        err("metrics must have at least one entry")
+    else:
+        for k, v in metrics.items():
+            if v is not None and not is_number(v):
+                err(f"metrics[{k!r}] must be a number or null, got {type(v).__name__}")
+
+    quantiles = doc.get("quantiles")
+    if not isinstance(quantiles, dict):
+        err("quantiles must be an object")
+    else:
+        for metric, qs in quantiles.items():
+            if not isinstance(qs, dict):
+                err(f"quantiles[{metric!r}] must be an object")
+                continue
+            if set(qs) != QUANTILE_KEYS:
+                err(f"quantiles[{metric!r}] keys must be exactly "
+                    f"{sorted(QUANTILE_KEYS)}, got {sorted(qs)}")
+            for q, v in qs.items():
+                if v is not None and not is_number(v):
+                    err(f"quantiles[{metric!r}][{q!r}] must be a number or null")
+
+    threads = doc.get("threads")
+    if not is_number(threads) or threads != int(threads) or threads < 1:
+        err(f"threads must be a positive integer, got {threads!r}")
+
+    rss = doc.get("peak_rss_mb")
+    if not is_number(rss) or rss < 0:
+        err(f"peak_rss_mb must be a non-negative number, got {rss!r}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(f"error: {e}", file=sys.stderr)
+        else:
+            print(f"ok: {path}")
+    if failures:
+        print(f"{failures} invalid artifact(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "par/par.hpp"
 
 namespace mp::obs {
@@ -135,6 +136,9 @@ void atomic_max(std::atomic<double>& target, double v) {
 
 void Histogram::record(double v) {
   if (!std::isfinite(v)) return;
+  // Open a write window for snapshot()'s consistency check: acq_rel keeps
+  // the increment ordered before the field updates below.
+  writes_begun_.fetch_add(1, std::memory_order_acq_rel);
   atomic_min(min_, v);
   atomic_max(max_, v);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -144,30 +148,51 @@ void Histogram::record(double v) {
   } else {
     bins_[bin_index(v)].fetch_add(1, std::memory_order_relaxed);
   }
+  writes_done_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Histogram::reset() {
+  writes_begun_.fetch_add(1, std::memory_order_acq_rel);
   count_.store(0, std::memory_order_relaxed);
   underflow_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  writes_done_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.underflow = underflow_.load(std::memory_order_relaxed);
-  s.sum = sum_.load(std::memory_order_relaxed);
-  // Empty histograms report min = max = 0 (the pre-atomic behavior) rather
-  // than the +/-inf accumulator sentinels.
-  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
-  s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
-  s.bins.reserve(kNumBins);
-  for (const auto& bin : bins_) {
-    s.bins.push_back(bin.load(std::memory_order_relaxed));
+  for (int attempt = 0; attempt < kSnapshotRetries; ++attempt) {
+    const long long done_before = writes_done_.load(std::memory_order_acquire);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.underflow = underflow_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    // Empty histograms report min = max = 0 (the pre-atomic behavior) rather
+    // than the +/-inf accumulator sentinels.
+    s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+    s.max = s.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+    s.bins.clear();
+    s.bins.reserve(kNumBins);
+    for (const auto& bin : bins_) {
+      s.bins.push_back(bin.load(std::memory_order_relaxed));
+    }
+    // The acquire fence keeps the field loads above from sinking below the
+    // writes_begun_ load: if no write began before we finished reading that
+    // had not already completed before we started, the window was quiescent
+    // and the snapshot is internally consistent.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const long long begun_after = writes_begun_.load(std::memory_order_acquire);
+    if (begun_after == done_before) {
+      s.consistent = true;
+      return s;
+    }
   }
+  // Recorders overlapped every attempt (sustained concurrent load): return
+  // the last read, flagged, instead of spinning — live scrapes prefer a
+  // slightly torn view over blocking the instrumented threads.
+  s.consistent = false;
   return s;
 }
 
@@ -181,10 +206,20 @@ double HistogramSnapshot::quantile(double q) const {
   double cum = static_cast<double>(underflow);
   if (cum >= target) return min;
   for (int i = 0; i < static_cast<int>(bins.size()); ++i) {
-    cum += static_cast<double>(bins[static_cast<std::size_t>(i)]);
-    if (cum >= target) {
-      return std::clamp(Histogram::bin_value(i), min, max);
+    const double in_bin = static_cast<double>(bins[static_cast<std::size_t>(i)]);
+    if (cum + in_bin >= target) {
+      // Geometric interpolation inside the pivot bin: the bin spans
+      // [2^(k/kSubBins), 2^((k+1)/kSubBins)) with k = i - kZeroBin, and the
+      // target rank sits `frac` of the way through its mass.  Both the true
+      // quantile and this estimate lie inside the bin, so the relative
+      // error stays below the bin width, 2^(1/kSubBins) - 1 (~19%).
+      const double frac = in_bin > 0.0 ? (target - cum) / in_bin : 0.5;
+      const double estimate = std::exp2(
+          (static_cast<double>(i - Histogram::kZeroBin) + frac) /
+          static_cast<double>(Histogram::kSubBins));
+      return std::clamp(estimate, min, max);
     }
+    cum += in_bin;
   }
   return max;
 }
@@ -281,6 +316,7 @@ detail::SpanNode* Registry::enter_span(const char* name) {
     t_cursor = slot.get();
     node = slot.get();
   }
+  if (detail::trace_active()) detail::trace_span(node, /*begin=*/true);
   notify_span(node, /*enter=*/true, 0.0);
   return node;
 }
@@ -292,6 +328,7 @@ void Registry::exit_span(detail::SpanNode* node, double seconds) {
     node->total_seconds += seconds;
     t_cursor = node->parent == &span_root_ ? nullptr : node->parent;
   }
+  if (detail::trace_active()) detail::trace_span(node, /*begin=*/false);
   notify_span(node, /*enter=*/false, seconds);
 }
 

@@ -61,15 +61,24 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Read-only view of a histogram at one point in time; quantiles are
-/// estimated from the log-scale bins (relative error bounded by the bin
-/// width, 2^(1/kSubBins) ~ 19%) and clamped to the observed [min, max].
+/// Read-only view of a histogram at one point in time.  Quantiles are
+/// estimated from the log-scale bins by geometric interpolation inside the
+/// bin holding the target rank: with kSubBins bins per octave a bin spans
+/// [2^(k/kSubBins), 2^((k+1)/kSubBins)), so both the true quantile and the
+/// interpolated estimate lie in the same bin and the relative error is
+/// bounded by the bin width, 2^(1/kSubBins) - 1 (~19% at kSubBins = 4;
+/// exact when all mass of the pivot bin is one repeated value, because the
+/// result is clamped to the observed [min, max]).
 struct HistogramSnapshot {
   long long count = 0;
   long long underflow = 0;  ///< samples <= 0 (kept out of the log bins)
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// False when concurrent record() calls overlapped every snapshot attempt
+  /// and the fields may be torn (count vs sum vs bins); see
+  /// Histogram::snapshot().
+  bool consistent = true;
   std::vector<long long> bins;
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
@@ -81,14 +90,23 @@ struct HistogramSnapshot {
 /// record() is lock-free (relaxed atomics: bins and counts via fetch_add,
 /// sum/min/max via CAS loops) so worker threads — parallel MCTS leaf
 /// evaluations, RL rollout workers — can record concurrently without a
-/// mutex.  A snapshot taken while recorders are active may be torn across
-/// fields (count vs sum vs bins); reports are only read between phases,
-/// where every recorder has quiesced.
+/// mutex.
+///
+/// snapshot() is torn-read safe for live readers (the mp_serve `metrics`
+/// endpoint scrapes mid-run): record() brackets its field updates with a
+/// begun/done write-counter pair, and snapshot() retries until it observes
+/// a window with no recorder in flight — so a returned snapshot's count,
+/// sum and bins describe the same set of samples.  Under sustained
+/// concurrent recording the retry loop is bounded; the (rare) fallback
+/// snapshot is marked `consistent = false` instead of blocking the reader.
 class Histogram {
  public:
   static constexpr int kSubBins = 4;
   static constexpr int kNumBins = 256;
   static constexpr int kZeroBin = kNumBins / 2;  // bin of v == 1
+  /// snapshot() consistency-retry bound (attempts before giving up and
+  /// returning a possibly-torn snapshot flagged inconsistent).
+  static constexpr int kSnapshotRetries = 64;
 
   void record(double v);
   void reset();
@@ -103,6 +121,13 @@ class Histogram {
   static double bin_value(int index);
 
  private:
+  /// Write-window counters for torn-read-safe snapshots: a record() call
+  /// increments writes_begun_ before touching any field and writes_done_
+  /// after the last update.  A reader that sees writes_begun_ (after its
+  /// field reads) equal to writes_done_ (before them) observed a quiescent
+  /// window: every write that started also finished before the read began.
+  std::atomic<long long> writes_begun_{0};
+  std::atomic<long long> writes_done_{0};
   std::atomic<long long> count_{0};
   std::atomic<long long> underflow_{0};
   std::atomic<double> sum_{0.0};

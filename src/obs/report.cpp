@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "par/par.hpp"
 #include "util/log.hpp"
@@ -64,6 +67,8 @@ void append_histogram(std::string& out, const HistogramSnapshot& h) {
   append_number(out, h.quantile(0.5));
   out += ",\"p90\":";
   append_number(out, h.quantile(0.9));
+  out += ",\"p95\":";
+  append_number(out, h.quantile(0.95));
   out += ",\"p99\":";
   append_number(out, h.quantile(0.99));
   out += '}';
@@ -102,8 +107,26 @@ std::string report_destination() {
   return raw != nullptr ? std::string(raw) : std::string();
 }
 
+namespace {
+
+// One mutex per report destination, shared by every ReportWriter aiming at
+// it: concurrent service workers finishing jobs at the same instant each
+// append a whole line, never an interleaving of two partial lines.  Entries
+// are never removed (destinations are few: MP_OBS_OUT and test paths).
+std::mutex& destination_mutex(const std::string& destination) {
+  static std::mutex map_mutex;
+  static std::map<std::string, std::unique_ptr<std::mutex>> mutexes;
+  std::lock_guard<std::mutex> lock(map_mutex);
+  std::unique_ptr<std::mutex>& slot = mutexes[destination];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+}  // namespace
+
 void ReportWriter::write_line(const std::string& line) {
   if (destination_.empty()) return;
+  std::lock_guard<std::mutex> lock(destination_mutex(destination_));
   if (destination_ == "-") {
     std::fprintf(stderr, "%s\n", line.c_str());
     return;
@@ -218,7 +241,9 @@ void write_run_report(
 
 std::string summary_table() {
   const RegistrySnapshot snap = current_registry().snapshot();
-  if (snap.spans.empty() && snap.counters.empty()) return {};
+  if (snap.spans.empty() && snap.counters.empty() && snap.histograms.empty()) {
+    return {};
+  }
 
   std::vector<std::pair<std::string, const SpanSnapshot*>> flat;
   double total = 0.0;
@@ -247,6 +272,82 @@ std::string summary_table() {
       std::snprintf(buf, sizeof(buf), "  %-34s %12lld\n", name.c_str(), value);
       out += buf;
     }
+  }
+  if (!snap.histograms.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-36s %8s %10s %10s %10s %10s %10s\n",
+                  "histogram", "count", "mean", "p50", "p90", "p95", "p99");
+    out += buf;
+    for (const auto& [name, h] : snap.histograms) {
+      if (h.count == 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "%-36s %8lld %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+                    name.c_str(), h.count, h.mean(), h.quantile(0.5),
+                    h.quantile(0.9), h.quantile(0.95), h.quantile(0.99));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted metric names
+// ("svc.queue_wait") map dots and any other byte to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "mp_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void prom_value(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  char buf[64];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", n.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n" + n + ' ';
+    prom_value(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    // Exposed as a summary: quantiles are pre-computed from the log bins
+    // (Prometheus histogram buckets would need cumulative le= bounds; the
+    // summary form matches what the scraper actually wants — SLO quantiles).
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " summary\n";
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%g\"} ", n.c_str(), q);
+      out += buf;
+      prom_value(out, h.quantile(q));
+      out += '\n';
+    }
+    out += n + "_sum ";
+    prom_value(out, h.sum);
+    out += '\n';
+    std::snprintf(buf, sizeof(buf), "%s_count %lld\n", n.c_str(), h.count);
+    out += buf;
   }
   return out;
 }

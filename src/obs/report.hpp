@@ -60,7 +60,16 @@ void write_run_report(
 
 /// Human-readable per-phase table of the global registry's span tree
 /// (phase, calls, wall seconds, self seconds, share of total) followed by
-/// the counters.  Empty string when nothing was recorded.
+/// the counters and a histogram quantile table (count, mean, p50/p90/p95/
+/// p99).  Empty string when nothing was recorded.
 std::string summary_table();
+
+/// Prometheus text exposition (version 0.0.4) of a registry snapshot:
+/// counters and gauges as-is, histograms as summaries with quantile="0.5|
+/// 0.9|0.95|0.99" series plus _sum/_count.  Metric names are prefixed
+/// "mp_" and sanitized (every byte outside [a-zA-Z0-9_:] becomes '_'), so
+/// "svc.queue_wait" exports as mp_svc_queue_wait.  Served by the mp_serve
+/// `metrics` command with {"format":"prom"}.
+std::string prometheus_text(const RegistrySnapshot& snapshot);
 
 }  // namespace mp::obs

@@ -1,0 +1,236 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace mp::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_state{-1};
+
+}  // namespace detail
+
+namespace {
+
+// One buffered span boundary.  Name and track ids are interned indices so
+// an event stays small and never dangles: job-scoped registries (and their
+// SpanNodes) are destroyed when the job completes, which can be long before
+// the trace is flushed.
+struct TraceEvent {
+  long long ts_us = 0;
+  int name_id = 0;
+  int pid = 0;   ///< context-tag track (1 = global/untagged)
+  int tid = 0;   ///< OS-thread track
+  char phase = 'B';
+};
+
+// All mutable trace state behind one mutex.  Recording under a mutex is
+// acceptable here: tracing is an explicit opt-in diagnostic mode, and the
+// critical section is a couple of map probes plus a push_back.
+struct TraceState {
+  std::mutex mutex;
+  std::string path;
+  std::chrono::steady_clock::time_point epoch;
+  std::vector<TraceEvent> events;
+  std::vector<std::string> names;             // name_id -> span name
+  std::map<std::string, int> name_ids;
+  std::vector<std::string> process_names;     // pid - 1 -> track label
+  std::map<std::string, int> pids;            // context tag -> pid
+  long long dropped = 0;
+  bool atexit_registered = false;
+};
+
+// Leaked on purpose (same discipline as Registry::global()): spans may fire
+// from static destructors after main() returns.
+TraceState& state() {
+  static TraceState* instance = new TraceState();
+  return *instance;
+}
+
+/// Buffer capacity.  256k events (~6 MB) covers minutes of service traffic;
+/// beyond it events are dropped and counted rather than growing without
+/// bound or stalling workers.
+constexpr std::size_t kMaxEvents = 1u << 18;
+
+int intern_name_locked(TraceState& s, const std::string& name) {
+  auto [it, inserted] = s.name_ids.try_emplace(name, static_cast<int>(s.names.size()));
+  if (inserted) s.names.push_back(name);
+  return it->second;
+}
+
+int pid_for_tag_locked(TraceState& s, const std::string& tag) {
+  auto [it, inserted] =
+      s.pids.try_emplace(tag, static_cast<int>(s.process_names.size()) + 1);
+  if (inserted) {
+    s.process_names.push_back(tag.empty() ? std::string("global") : "job:" + tag);
+  }
+  return it->second;
+}
+
+int this_thread_tid() {
+  static std::atomic<int> next_tid{1};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void json_escape_into(std::string& out, const std::string& in) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void enable_with_path_locked(TraceState& s, const std::string& path) {
+  s.path = path;
+  s.epoch = std::chrono::steady_clock::now();
+  s.events.clear();
+  s.names.clear();
+  s.name_ids.clear();
+  s.process_names.clear();
+  s.pids.clear();
+  s.dropped = 0;
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit([] { trace_flush(); });
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+bool trace_init_from_env() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  int cur = g_trace_state.load(std::memory_order_acquire);
+  if (cur >= 0) return cur > 0;  // another thread initialized first
+  const char* raw = std::getenv("MP_OBS_TRACE");
+  if (raw == nullptr || raw[0] == '\0') {
+    g_trace_state.store(0, std::memory_order_release);
+    return false;
+  }
+  enable_with_path_locked(s, raw);
+  g_trace_state.store(1, std::memory_order_release);
+  return true;
+}
+
+void trace_span(const SpanNode* node, bool begin) {
+  TraceState& s = state();
+  TraceEvent ev;
+  ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - s.epoch)
+                 .count();
+  ev.phase = begin ? 'B' : 'E';
+  ev.tid = this_thread_tid();
+  const std::string& tag = current_context_tag();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (g_trace_state.load(std::memory_order_acquire) <= 0) return;
+  if (s.events.size() >= kMaxEvents) {
+    ++s.dropped;
+    return;
+  }
+  ev.name_id = intern_name_locked(s, node->name);
+  ev.pid = pid_for_tag_locked(s, tag);
+  s.events.push_back(ev);
+}
+
+}  // namespace detail
+
+void set_trace_path(const std::string& path) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (path.empty()) {
+    detail::g_trace_state.store(0, std::memory_order_release);
+    s.path.clear();
+    s.events.clear();
+    s.dropped = 0;
+    return;
+  }
+  enable_with_path_locked(s, path);
+  detail::g_trace_state.store(1, std::memory_order_release);
+}
+
+bool trace_flush() {
+  TraceState& s = state();
+  // Copy out under the lock, serialize and write outside it so a slow disk
+  // never stalls instrumented threads.
+  std::string path;
+  std::vector<TraceEvent> events;
+  std::vector<std::string> names;
+  std::vector<std::string> process_names;
+  long long dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (detail::g_trace_state.load(std::memory_order_acquire) <= 0 || s.path.empty()) {
+      return false;
+    }
+    path = s.path;
+    events = s.events;
+    names = s.names;
+    process_names = s.process_names;
+    dropped = s.dropped;
+  }
+
+  std::string out;
+  out.reserve(events.size() * 64 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata events so Perfetto labels each lane with the job id
+  // instead of a bare pid number.
+  for (std::size_t i = 0; i < process_names.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(i + 1);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape_into(out, process_names[i]);
+    out += "\"}}";
+  }
+  char buf[96];
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"name\":\"";
+    json_escape_into(out, names[static_cast<std::size_t>(ev.name_id)]);
+    std::snprintf(buf, sizeof(buf), "\",\"cat\":\"span\",\"ts\":%lld,\"pid\":%d,\"tid\":%d}",
+                  ev.ts_us, ev.pid, ev.tid);
+    out += buf;
+  }
+  out += "],\"droppedEvents\":";
+  out += std::to_string(dropped);
+  out += "}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[warn] MP_OBS_TRACE: cannot open \"%s\" for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace mp::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Chrome trace_event / Perfetto timeline export for obs spans.
+//
+// When MP_OBS_TRACE=<path> is set (or set_trace_path() is called), every
+// span enter/exit records a "B"/"E" duration event into a bounded in-memory
+// buffer; trace_flush() — called automatically at process exit and
+// explicitly by long-lived servers — writes the buffer as Chrome
+// trace_event JSON ({"traceEvents": [...]}) that loads directly in
+// chrome://tracing and https://ui.perfetto.dev.
+//
+// Track model: each telemetry context tag becomes one Perfetto "process"
+// track (pid), so concurrent service jobs render as separate lanes; each OS
+// thread becomes a "thread" track (tid) inside it, so work a job fans out
+// to par:: pool workers shows up as parallel rows under that job's lane.
+//
+// Overhead: when tracing is not enabled the per-span cost is one atomic
+// load and a predicted branch (same discipline as obs::enabled()); nothing
+// is allocated and no clock is read.  When enabled, events beyond the
+// buffer capacity are dropped (counted, reported in the flushed JSON) —
+// tracing never blocks or unboundedly grows the instrumented process.
+
+#include <atomic>
+#include <string>
+
+namespace mp::obs {
+
+namespace detail {
+
+struct SpanNode;
+
+// -1 = not yet initialized from MP_OBS_TRACE; 0 = off; 1 = on.  Inline so
+// the span hot path can gate on one acquire load without a function call
+// into trace.cpp when tracing is off.
+extern std::atomic<int> g_trace_state;
+
+/// Reads MP_OBS_TRACE once and latches the state; returns true when tracing
+/// became (or already was) enabled.
+bool trace_init_from_env();
+
+inline bool trace_active() {
+  const int s = g_trace_state.load(std::memory_order_acquire);
+  if (s >= 0) return s > 0;
+  return trace_init_from_env();
+}
+
+/// Records one span boundary event ("B" on enter, "E" on exit) attributed
+/// to the calling thread and its current context tag.  Called by
+/// Registry::enter_span/exit_span after the registry mutex is released.
+void trace_span(const SpanNode* node, bool begin);
+
+}  // namespace detail
+
+/// True when span trace export is active (MP_OBS_TRACE set to a path, or a
+/// programmatic set_trace_path()).
+inline bool trace_enabled() { return detail::trace_active(); }
+
+/// Programmatic override of MP_OBS_TRACE (tests, embedders).  A non-empty
+/// path enables tracing to that file and resets the event buffer and trace
+/// clock; an empty path disables tracing and discards buffered events.
+void set_trace_path(const std::string& path);
+
+/// Writes all buffered events to the trace path as Chrome trace_event JSON
+/// (rewrites the whole file, so it is safe to call repeatedly — servers
+/// flush after every drained job).  Returns false when tracing is disabled
+/// or the file cannot be written.  Also invoked automatically at process
+/// exit once tracing has activated.
+bool trace_flush();
+
+}  // namespace mp::obs

@@ -97,6 +97,13 @@ Json Client::stats() {
   return request(req);
 }
 
+Json Client::metrics(bool prom) {
+  Json req = Json::object();
+  req["verb"] = Json::string("metrics");
+  if (prom) req["format"] = Json::string("prom");
+  return request(req);
+}
+
 Json Client::shutdown() {
   Json req = Json::object();
   req["verb"] = Json::string("shutdown");
@@ -146,6 +153,7 @@ Json Client::status(const std::string&) { return request(Json()); }
 Json Client::result(const std::string&, double) { return request(Json()); }
 Json Client::cancel(const std::string&) { return request(Json()); }
 Json Client::stats() { return request(Json()); }
+Json Client::metrics(bool) { return request(Json()); }
 Json Client::shutdown() { return request(Json()); }
 Json Client::watch(const std::string&,
                    const std::function<void(const Json&)>&) {

@@ -37,6 +37,9 @@ class Client {
   Json result(const std::string& id, double timeout_s = 600.0);
   Json cancel(const std::string& id);
   Json stats();
+  /// SLO metrics snapshot; `prom` asks for the Prometheus text exposition
+  /// (reply carries it in "text") instead of the JSON registry view.
+  Json metrics(bool prom = false);
   Json shutdown();
 
   /// Streams a job: calls `on_event` for every {"event":"phase"} line and

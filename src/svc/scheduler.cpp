@@ -29,9 +29,10 @@ bool terminal(JobState s) {
 }  // namespace
 
 Scheduler::Scheduler(Runner runner, int max_queued, int workers,
-                     int thread_budget)
+                     int thread_budget, obs::Registry* slo)
     : runner_(std::move(runner)),
       max_queued_(static_cast<std::size_t>(max_queued < 1 ? 1 : max_queued)),
+      slo_(slo),
       arbiter_(thread_budget > 0 ? thread_budget : par::num_threads()) {
   const int n = workers < 1 ? 1 : workers;
   workers_.reserve(static_cast<std::size_t>(n));
@@ -41,6 +42,12 @@ Scheduler::Scheduler(Runner runner, int max_queued, int workers,
 }
 
 Scheduler::~Scheduler() { shutdown_now(); }
+
+void Scheduler::update_slo_gauges_locked() {
+  if (slo_ == nullptr) return;
+  slo_->gauge("svc.queue_depth").set(static_cast<double>(pending_.size()));
+  slo_->gauge("svc.active_jobs").set(static_cast<double>(running_.size()));
+}
 
 Scheduler::Record* Scheduler::find_locked(const std::string& id) {
   const auto it = records_.find(id);
@@ -58,12 +65,14 @@ Scheduler::SubmitResult Scheduler::submit(const JobSpec& spec) {
   if (!accepting_) {
     result.error = "scheduler is draining; not accepting jobs";
     MP_OBS_COUNT("svc.jobs.rejected", 1);
+    if (slo_ != nullptr) slo_->counter("svc.jobs.rejected").add(1);
     return result;
   }
   if (pending_.size() >= max_queued_) {
     result.error = "queue full (" + std::to_string(max_queued_) +
                    " jobs); retry later";
     MP_OBS_COUNT("svc.jobs.rejected", 1);
+    if (slo_ != nullptr) slo_->counter("svc.jobs.rejected").add(1);
     return result;
   }
   const std::uint64_t seq = next_seq_++;
@@ -77,6 +86,8 @@ Scheduler::SubmitResult Scheduler::submit(const JobSpec& spec) {
   pending_.insert({-spec.priority, seq, record->snap.id});
   records_[record->snap.id] = std::move(record);
   MP_OBS_COUNT("svc.jobs.submitted", 1);
+  if (slo_ != nullptr) slo_->counter("svc.jobs.submitted").add(1);
+  update_slo_gauges_locked();
   cv_.notify_all();
   return result;
 }
@@ -92,6 +103,8 @@ bool Scheduler::cancel(const std::string& id) {
     record->snap.state = JobState::kCancelled;
     record->snap.queue_seconds = record->submitted.seconds();
     MP_OBS_COUNT("svc.jobs.cancelled", 1);
+    if (slo_ != nullptr) slo_->counter("svc.jobs.cancelled").add(1);
+    update_slo_gauges_locked();
     cv_.notify_all();
   }
   // A running job stops at its next poll; its worker records the terminal
@@ -153,8 +166,10 @@ void Scheduler::shutdown_now() {
         record->snap.queue_seconds = record->submitted.seconds();
         record->cancel.request_cancel();
         MP_OBS_COUNT("svc.jobs.cancelled", 1);
+        if (slo_ != nullptr) slo_->counter("svc.jobs.cancelled").add(1);
       }
       pending_.clear();
+      update_slo_gauges_locked();
       for (const std::string& id : running_) {
         if (Record* record = find_locked(id)) record->cancel.request_cancel();
       }
@@ -214,6 +229,10 @@ void Scheduler::worker_loop(int worker_index) {
     record->snap.state = JobState::kRunning;
     record->snap.queue_seconds = record->submitted.seconds();
     running_.insert(record->snap.id);
+    if (slo_ != nullptr) {
+      slo_->histogram("svc.queue_wait").record(record->snap.queue_seconds);
+    }
+    update_slo_gauges_locked();
     // Thread-budget lease for the job's private pool; released (back to the
     // budget) when the job leaves the running set, on any path.
     ThreadLease lease = arbiter_.acquire(record->snap.spec.threads);
@@ -255,16 +274,27 @@ void Scheduler::worker_loop(int worker_index) {
     if (failed) {
       record->snap.state = JobState::kFailed;
       MP_OBS_COUNT("svc.jobs.failed", 1);
+      if (slo_ != nullptr) slo_->counter("svc.jobs.failed").add(1);
       util::log_warn() << "svc: job " << id << " failed: " << error;
     } else if (outcome.cancelled || cancel.cancelled()) {
       record->snap.outcome.cancelled = true;
       record->snap.state = JobState::kCancelled;
       MP_OBS_COUNT("svc.jobs.cancelled", 1);
+      if (slo_ != nullptr) slo_->counter("svc.jobs.cancelled").add(1);
     } else {
       record->snap.state = JobState::kDone;
       MP_OBS_COUNT("svc.jobs.done", 1);
+      if (slo_ != nullptr) slo_->counter("svc.jobs.done").add(1);
     }
     running_.erase(id);
+    if (slo_ != nullptr) {
+      // Service-global SLO latencies (per-job copies land in the job's own
+      // context inside LocalService::execute): run time and the full
+      // submit -> terminal-result age this scrape point cares about.
+      slo_->histogram("svc.run_time").record(run_seconds);
+      slo_->histogram("svc.submit_to_result").record(record->submitted.seconds());
+    }
+    update_slo_gauges_locked();
     cv_.notify_all();
   }
 }

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "svc/budget.hpp"
 #include "svc/job.hpp"
 #include "util/cancel.hpp"
@@ -96,9 +97,14 @@ class Scheduler {
   };
 
   /// `workers` threads (< 1 clamps to 1) share `thread_budget` pool threads
-  /// (< 1 means par::num_threads()).
+  /// (< 1 means par::num_threads()).  `slo`, when non-null, is a
+  /// service-global registry the scheduler records SLO telemetry into
+  /// (histograms svc.queue_wait / svc.run_time / svc.submit_to_result in
+  /// seconds, gauges svc.queue_depth / svc.active_jobs); it must outlive the
+  /// scheduler.  Per-job registries are unaffected — the runner records into
+  /// the job's own context.
   Scheduler(Runner runner, int max_queued, int workers = 1,
-            int thread_budget = 0);
+            int thread_budget = 0, obs::Registry* slo = nullptr);
   /// Cancels running jobs, drops the queue, joins the workers.
   ~Scheduler();
 
@@ -160,8 +166,13 @@ class Scheduler {
   Record* find_locked(const std::string& id);
   const Record* find_locked(const std::string& id) const;
 
+  /// Updates the SLO queue-depth/active-jobs gauges; expects mutex_ held
+  /// (reads pending_/running_ sizes).  No-op without an SLO registry.
+  void update_slo_gauges_locked();
+
   Runner runner_;
   const std::size_t max_queued_;
+  obs::Registry* const slo_;  ///< service-global SLO registry (may be null)
   ThreadArbiter arbiter_;
 
   mutable std::mutex mutex_;

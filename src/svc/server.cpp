@@ -232,6 +232,23 @@ Json Server::handle_request(Connection* conn, const Json& request) {
     j["ok"] = Json::boolean(true);
     return j;
   }
+  if (verb == "metrics") {
+    // {"verb":"metrics"} → SLO registry as JSON; {"format":"prom"} wraps
+    // the Prometheus text exposition in a {"text": ...} reply so the NDJSON
+    // framing stays line-oriented (a sidecar exporter unwraps it).
+    const Json* format = request.find("format");
+    if (format != nullptr && format->is_string() &&
+        format->as_string() == "prom") {
+      Json j = Json::object();
+      j["ok"] = Json::boolean(true);
+      j["format"] = Json::string("prom");
+      j["text"] = Json::string(service_.metrics_prom());
+      return j;
+    }
+    Json j = service_.metrics_json();
+    j["ok"] = Json::boolean(true);
+    return j;
+  }
   if (verb == "shutdown") {
     Json j = Json::object();
     j["ok"] = Json::boolean(true);

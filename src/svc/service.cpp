@@ -55,7 +55,8 @@ LocalService::LocalService(ServiceOptions options)
              const util::CancelToken& cancel, const Scheduler::RunContext& ctx) {
         return execute(id, spec, cancel, ctx);
       },
-      options_.max_queued, options_.workers);
+      options_.max_queued, options_.workers, /*thread_budget=*/0,
+      &slo_ctx_.registry());
   if (options_.stream_progress) {
     obs::set_span_listener(
         [this](const std::string& path, int depth, bool enter,
@@ -142,6 +143,7 @@ JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
 
   JobOutcome out;
   std::string design_name;
+  util::Timer run_timer;
   {
     obs::Span job_span("svc.job");
     const std::shared_ptr<const DesignArtifact> loaded =
@@ -180,6 +182,19 @@ JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
     out.placement_hash = placement_fingerprint(design);
     if (!spec.out_prefix.empty()) io::write_bookshelf(design, spec.out_prefix);
   }
+  // Per-job copies of the SLO latencies (the scheduler records the
+  // service-global ones): landing them in the job's own registry puts
+  // p50/p95/p99 on this job's JSONL run line, attributable via "ctx".
+  if (obs::enabled()) {
+    const double run_s = run_timer.seconds();
+    double queue_s = 0.0;
+    // queue_seconds is set before the runner is invoked, so it is stable.
+    if (const auto snap = scheduler_->status(id)) queue_s = snap->queue_seconds;
+    obs::Registry& reg = obs_context.registry();
+    reg.histogram("svc.queue_wait").record(queue_s);
+    reg.histogram("svc.run_time").record(run_s);
+    reg.histogram("svc.submit_to_result").record(queue_s + run_s);
+  }
   obs::write_run_report("svc.job", {{"job_id", id},
                                     {"preset", preset_name(spec.preset)},
                                     {"design", design_name}});
@@ -206,6 +221,64 @@ Json LocalService::job_to_json(const JobSnapshot& snap) {
     j["outcome"] = o;
   }
   return j;
+}
+
+void LocalService::refresh_slo_cache_gauges() {
+  const CacheStats cache = cache_stats();
+  obs::Registry& reg = slo_ctx_.registry();
+  reg.gauge("svc.cache_hit")
+      .set(static_cast<double>(cache.design_hits + cache.prepared_hits +
+                               cache.weights_hits));
+  reg.gauge("svc.cache_miss")
+      .set(static_cast<double>(cache.design_misses + cache.prepared_misses +
+                               cache.weights_misses));
+}
+
+namespace {
+
+Json histogram_to_json(const obs::HistogramSnapshot& h) {
+  Json j = Json::object();
+  j["count"] = Json::number(static_cast<long long>(h.count));
+  j["sum"] = Json::number(h.sum);
+  j["min"] = Json::number(h.min);
+  j["max"] = Json::number(h.max);
+  j["mean"] = Json::number(h.mean());
+  j["p50"] = Json::number(h.quantile(0.5));
+  j["p90"] = Json::number(h.quantile(0.9));
+  j["p95"] = Json::number(h.quantile(0.95));
+  j["p99"] = Json::number(h.quantile(0.99));
+  return j;
+}
+
+}  // namespace
+
+Json LocalService::metrics_json() {
+  refresh_slo_cache_gauges();
+  const obs::RegistrySnapshot snap = slo_ctx_.registry().snapshot();
+  Json j = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) {
+    counters[name] = Json::number(value);
+  }
+  j["counters"] = counters;
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges[name] = Json::number(value);
+  }
+  j["gauges"] = gauges;
+  Json hists = Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    hists[name] = histogram_to_json(h);
+  }
+  j["histograms"] = hists;
+  j["workers"] = Json::number(workers());
+  j["threads"] = Json::number(par::num_threads());
+  return j;
+}
+
+std::string LocalService::metrics_prom() {
+  refresh_slo_cache_gauges();
+  return obs::prometheus_text(slo_ctx_.registry().snapshot());
 }
 
 Json LocalService::stats_json() const {

@@ -77,6 +77,18 @@ class LocalService {
   /// hit/miss counters, worker count, thread budget.
   Json stats_json() const;
 
+  /// Protocol "metrics" object: a live snapshot of the service-global SLO
+  /// registry — svc.queue_wait / svc.run_time / svc.submit_to_result
+  /// histograms (count, mean, p50/p90/p95/p99), svc.queue_depth /
+  /// svc.active_jobs gauges, svc.jobs.* counters, svc.cache_{hit,miss}
+  /// totals.  Safe to call while jobs run (torn-read-safe snapshots).
+  /// Non-const: refreshes the cache gauges before snapshotting.
+  Json metrics_json();
+  /// Same snapshot as Prometheus text exposition (obs::prometheus_text).
+  std::string metrics_prom();
+  /// The service-global SLO registry (scraped by metrics_json; tests).
+  const obs::Registry& slo_registry() const { return slo_ctx_.registry(); }
+
   /// Registers a progress sink (server watch streams, tests); returns a
   /// token for remove_progress_listener.  Callbacks fire on the job's
   /// execution threads and must not block.
@@ -92,8 +104,16 @@ class LocalService {
                      const Scheduler::RunContext& ctx);
   void on_span(const std::string& path, int depth, bool enter, double seconds);
 
+  /// Syncs cache hit/miss totals into the SLO registry's gauges so a
+  /// metrics scrape sees them next to the latency histograms.
+  void refresh_slo_cache_gauges();
+
   ServiceOptions options_;
   ArtifactCache cache_;
+  /// Service-global SLO telemetry (scheduler latencies, queue gauges).
+  /// Declared before scheduler_: worker threads record into this registry
+  /// until the scheduler joins them, so it must be destroyed after.
+  obs::Context slo_ctx_{"svc"};
   std::unique_ptr<Scheduler> scheduler_;
 
   std::mutex listeners_mutex_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -306,6 +307,95 @@ TEST_F(ObsTest, HistogramQuantilesOnUniformDistribution) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
+TEST_F(ObsTest, HistogramQuantileEdgeCases) {
+  // Empty histogram: every quantile is 0 (matching the min/max convention).
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  // One sample: all mass in one bin, clamped to [min, max] -> exact.
+  Histogram one;
+  one.record(3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 3.5);
+}
+
+TEST_F(ObsTest, HistogramQuantilePinsExactBinBoundaries) {
+  // Two well-separated spikes: ranks at or below the first spike's mass must
+  // resolve to the first spike's bin, ranks above to the second's.  The
+  // spike values are bin representatives, so interpolation stays inside a
+  // single bin and the estimate lands within one bin width of the spike.
+  const double lo = Histogram::bin_value(Histogram::kZeroBin);        // ~1
+  const double hi = Histogram::bin_value(Histogram::kZeroBin + 40);   // ~2^10
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(lo);
+  for (int i = 0; i < 10; ++i) h.record(hi);
+  const double bin_width = std::exp2(1.0 / Histogram::kSubBins) - 1.0;
+  EXPECT_NEAR(h.quantile(0.5), lo, lo * bin_width);
+  EXPECT_NEAR(h.quantile(0.9), lo, lo * bin_width);
+  EXPECT_NEAR(h.quantile(0.95), hi, hi * bin_width);
+  EXPECT_NEAR(h.quantile(0.99), hi, hi * bin_width);
+}
+
+TEST_F(ObsTest, HistogramQuantileInterpolationErrorBound) {
+  // The documented guarantee: relative error below one bin width,
+  // 2^(1/kSubBins) - 1.  Check it against exact quantiles of a log-uniform
+  // sample where every bin boundary is crossed many times.
+  std::vector<double> values;
+  Histogram h;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = std::exp2(static_cast<double>(i % 1000) / 100.0);  // [1, 2^10)
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double bound = std::exp2(1.0 / Histogram::kSubBins) - 1.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size()));
+    const double exact = values[std::min(rank, values.size() - 1)];
+    const double estimate = h.quantile(q);
+    EXPECT_LE(std::abs(estimate - exact) / exact, bound)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST_F(ObsTest, HistogramSnapshotIsConsistentUnderConcurrentRecords) {
+  // Writers hammer record(1.0) while a reader snapshots.  Every sample is
+  // 1.0, so any snapshot flagged consistent must have sum == count exactly;
+  // a torn read (count incremented, sum not yet) would break that equality.
+  // Under sustained overlap the retry loop is allowed to give up — but then
+  // the snapshot must be FLAGGED inconsistent, never silently torn.
+  constexpr int kWriters = 3;
+  constexpr long long kPerWriter = 40000;
+  Histogram h;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (long long i = 0; i < kPerWriter; ++i) h.record(1.0);
+    });
+  }
+  while (h.count() < kWriters * kPerWriter) {
+    const HistogramSnapshot s = h.snapshot();
+    if (s.consistent && s.count > 0) {
+      EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(s.count));
+      EXPECT_DOUBLE_EQ(s.min, 1.0);
+      EXPECT_DOUBLE_EQ(s.max, 1.0);
+      long long binned = s.underflow;
+      for (long long b : s.bins) binned += b;
+      EXPECT_EQ(binned, s.count);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  // Quiescent now: the snapshot must come back consistent and complete.
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.consistent);
+  EXPECT_EQ(s.count, kWriters * kPerWriter);
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(s.count));
+}
+
 TEST_F(ObsTest, HistogramQuantileOfConstantIsExact) {
   // All mass in one bin; clamping to [min, max] makes the estimate exact.
   Histogram h;
@@ -486,7 +576,11 @@ TEST_F(ObsTest, RunReportRoundTripsThroughJsonParser) {
   EXPECT_DOUBLE_EQ(hist.at("count").number, 10.0);
   EXPECT_DOUBLE_EQ(hist.at("sum").number, 30.0);
   EXPECT_DOUBLE_EQ(hist.at("mean").number, 3.0);
+  // Constant samples: every reported quantile is exact.
   EXPECT_DOUBLE_EQ(hist.at("p50").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("p90").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, 3.0);
 
   const Json& spans = doc.at("spans");
   ASSERT_EQ(spans.type, Json::Type::kArray);
@@ -570,6 +664,61 @@ TEST_F(ObsTest, EmptyDestinationIsInvalidAndWritesNothing) {
   writer.write_run("dropped", Registry::global().snapshot());  // must not crash
 }
 
+TEST_F(ObsTest, ConcurrentWritersToOneDestinationNeverInterleaveLines) {
+  // Four writers (one ReportWriter each, same path — the per-destination
+  // mutex is keyed by path, not per instance) append many run lines
+  // concurrently.  Regression: before the mutex, fprintf bodies from
+  // different service workers could interleave mid-line.
+  const std::string path = ::testing::TempDir() + "obs_interleave.jsonl";
+  std::remove(path.c_str());
+  constexpr int kWriters = 4;
+  constexpr int kLines = 50;
+  // A long counter name makes each line big enough to straddle stdio
+  // buffer boundaries, where unsynchronized interleaving actually bites.
+  Registry::global().counter(std::string(2048, 'x')).add(1);
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ReportWriter writer(path);
+      for (int i = 0; i < kLines; ++i) {
+        writer.write_run("w" + std::to_string(w) + "." + std::to_string(i),
+                         snap);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kWriters * kLines));
+  for (const std::string& line : lines) {
+    JsonParser parser(line);
+    const Json doc = parser.parse();
+    ASSERT_TRUE(parser.ok()) << "torn line: " << line.substr(0, 80);
+    EXPECT_EQ(doc.at("kind").string, "run");
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, PrometheusTextExposesAllMetricKinds) {
+  Registry::global().counter("svc.jobs.done").add(3);
+  Registry::global().gauge("svc.queue_depth").set(2.0);
+  Histogram& h = Registry::global().histogram("svc.run_time");
+  for (int i = 0; i < 8; ++i) h.record(0.5);
+  const std::string text = prometheus_text(Registry::global().snapshot());
+  // Names are prefixed and sanitized ('.' -> '_').
+  EXPECT_NE(text.find("# TYPE mp_svc_jobs_done counter"), std::string::npos);
+  EXPECT_NE(text.find("mp_svc_jobs_done 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mp_svc_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mp_svc_run_time summary"), std::string::npos);
+  EXPECT_NE(text.find("mp_svc_run_time{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("mp_svc_run_time{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("mp_svc_run_time_count 8"), std::string::npos);
+  EXPECT_NE(text.find("mp_svc_run_time_sum"), std::string::npos);
+  // Exposition ends with a newline (required by the text format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST_F(ObsTest, SummaryTableListsPhasesAndCounters) {
   {
     Span outer("phase_a");
@@ -577,10 +726,16 @@ TEST_F(ObsTest, SummaryTableListsPhasesAndCounters) {
     spin_for(0.001);
   }
   Registry::global().counter("summary.counter").add(5);
+  Registry::global().histogram("summary.latency").record(0.25);
   const std::string table = summary_table();
   EXPECT_NE(table.find("phase_a"), std::string::npos);
   EXPECT_NE(table.find("phase_b"), std::string::npos);
   EXPECT_NE(table.find("summary.counter"), std::string::npos);
+  // Histograms get their own quantile table.
+  EXPECT_NE(table.find("summary.latency"), std::string::npos);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

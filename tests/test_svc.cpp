@@ -14,6 +14,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "benchgen/generator.hpp"
 #include "check/check.hpp"
 #include "netlist/validate.hpp"
+#include "obs/obs.hpp"
 #include "place/placer.hpp"
 #include "place/rl_only_placer.hpp"
 #include "svc/budget.hpp"
@@ -531,6 +533,73 @@ TEST(LocalService, WarmCacheResubmissionIsBitIdenticalAndHits) {
   EXPECT_GE(stats.prepared_hits, 1);
 }
 
+TEST(LocalService, SloMetricsCoverCompletedJobs) {
+  // Three jobs through the service: the service-global SLO registry must
+  // carry matching counter totals and one latency sample per job in each of
+  // the three histograms, and both exports must surface them.
+  ServiceOptions options = quiet_options();
+  options.workers = 2;
+  LocalService service(options);
+  constexpr int kJobs = 3;
+  std::vector<std::string> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec = tiny_synthetic_spec();
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    const Scheduler::SubmitResult r = service.submit(spec);
+    ASSERT_TRUE(r.accepted) << r.error;
+    ids.push_back(r.id);
+  }
+  for (const std::string& id : ids) ASSERT_TRUE(service.wait(id, 600.0));
+
+  // RegistrySnapshot stores name/value pairs; index them for lookups.
+  const obs::RegistrySnapshot snap = service.slo_registry().snapshot();
+  const std::map<std::string, long long> counters(snap.counters.begin(),
+                                                  snap.counters.end());
+  const std::map<std::string, double> gauges(snap.gauges.begin(),
+                                             snap.gauges.end());
+  const std::map<std::string, obs::HistogramSnapshot> hists(
+      snap.histograms.begin(), snap.histograms.end());
+  EXPECT_EQ(counters.at("svc.jobs.submitted"), kJobs);
+  EXPECT_EQ(counters.at("svc.jobs.done"), kJobs);
+  for (const char* name :
+       {"svc.queue_wait", "svc.run_time", "svc.submit_to_result"}) {
+    const auto it = hists.find(name);
+    ASSERT_NE(it, hists.end()) << name;
+    EXPECT_EQ(it->second.count, kJobs) << name;
+    EXPECT_GE(it->second.quantile(0.95), it->second.quantile(0.5)) << name;
+  }
+  // Latency decomposition: submit-to-result covers queue wait plus run time.
+  EXPECT_GE(hists.at("svc.submit_to_result").sum,
+            hists.at("svc.run_time").sum);
+  // Drained: no queued or running work left behind the gauges.
+  EXPECT_DOUBLE_EQ(gauges.at("svc.queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(gauges.at("svc.active_jobs"), 0.0);
+
+  // JSON export mirrors the registry, quantiles included.
+  const Json metrics = service.metrics_json();
+  EXPECT_DOUBLE_EQ(metrics.find("counters")->find("svc.jobs.done")->as_number(),
+                   kJobs);
+  const Json* run_time = metrics.find("histograms")->find("svc.run_time");
+  ASSERT_NE(run_time, nullptr);
+  EXPECT_DOUBLE_EQ(run_time->find("count")->as_number(), kJobs);
+  for (const char* q : {"p50", "p90", "p95", "p99"}) {
+    EXPECT_TRUE(run_time->has(q)) << q;
+  }
+  // Cache gauges are refreshed on export and match cache_stats().
+  const CacheStats stats = service.cache_stats();
+  EXPECT_DOUBLE_EQ(metrics.find("gauges")->find("svc.cache_hit")->as_number(),
+                   static_cast<double>(stats.design_hits +
+                                       stats.prepared_hits +
+                                       stats.weights_hits));
+
+  // Prometheus exposition carries the same metrics under sanitized names.
+  const std::string prom = service.metrics_prom();
+  EXPECT_NE(prom.find("# TYPE mp_svc_jobs_done counter"), std::string::npos);
+  EXPECT_NE(prom.find("mp_svc_jobs_done 3"), std::string::npos);
+  EXPECT_NE(prom.find("mp_svc_submit_to_result{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
 TEST(LocalService, ConcurrentWorkersShareOnePreparedArtifact) {
   // Two workers, two identical cold jobs submitted back-to-back: the cache's
   // in-flight dedup must build each artifact exactly once (1 miss) and hand
@@ -865,6 +934,25 @@ TEST(Server, SubmitWatchStatsShutdownOverSocket) {
   const Json stats = client.stats();
   ASSERT_TRUE(stats.find("ok")->as_bool());
   EXPECT_DOUBLE_EQ(stats.find("jobs")->find("done")->as_number(), 1.0);
+
+  // Live SLO metrics: JSON by default, Prometheus text with format:"prom".
+  const Json metrics = client.metrics();
+  ASSERT_TRUE(metrics.find("ok")->as_bool()) << metrics.dump();
+  EXPECT_DOUBLE_EQ(
+      metrics.find("counters")->find("svc.jobs.done")->as_number(), 1.0);
+  const Json* run_time = metrics.find("histograms")->find("svc.run_time");
+  ASSERT_NE(run_time, nullptr);
+  EXPECT_DOUBLE_EQ(run_time->find("count")->as_number(), 1.0);
+  EXPECT_TRUE(run_time->has("p95"));
+
+  const Json prom = client.metrics(/*prom=*/true);
+  ASSERT_TRUE(prom.find("ok")->as_bool()) << prom.dump();
+  EXPECT_EQ(prom.find("format")->as_string(), "prom");
+  const std::string& exposition = prom.find("text")->as_string();
+  EXPECT_NE(exposition.find("# TYPE mp_svc_jobs_done counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("mp_svc_run_time{quantile=\"0.5\"}"),
+            std::string::npos);
 
   const Json ack = client.shutdown();
   EXPECT_TRUE(ack.find("ok")->as_bool());

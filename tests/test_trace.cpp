@@ -1,0 +1,191 @@
+// Tests for the Chrome trace_event / Perfetto export (obs/trace.hpp): the
+// flushed file is well-formed JSON in the trace_event schema, B/E events
+// nest in balanced stacks per (pid, tid) track and mirror the span tree,
+// context tags map to labelled process tracks, flush is idempotent, and
+// tracing stays inert when disabled.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "svc/json.hpp"
+
+namespace mp::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) out += static_cast<char>(c);
+  std::fclose(f);
+  return out;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset_values();
+    path_ = ::testing::TempDir() + "trace_test.json";
+    std::remove(path_.c_str());
+    set_trace_path(path_);
+  }
+  void TearDown() override {
+    set_trace_path("");  // disable and discard, so other suites stay inert
+    std::remove(path_.c_str());
+    set_enabled(true);
+    reset_values();
+  }
+  std::string path_;
+};
+
+TEST_F(TraceTest, DisabledTracingIsInert) {
+  set_trace_path("");
+  EXPECT_FALSE(trace_enabled());
+  {
+    Span s("trace.untraced");
+  }
+  EXPECT_FALSE(trace_flush());
+  EXPECT_TRUE(read_file(path_).empty());
+}
+
+TEST_F(TraceTest, FlushWritesWellFormedTraceEventJson) {
+  ASSERT_TRUE(trace_enabled());
+  {
+    Span outer("trace.outer");
+    { Span inner("trace.inner"); }
+    { Span inner("trace.inner"); }
+  }
+  ASSERT_TRUE(trace_flush());
+
+  const svc::Json doc = svc::Json::parse(read_file(path_));
+  ASSERT_TRUE(doc.is_object());
+  const svc::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  const svc::Json* dropped = doc.find("droppedEvents");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->as_number(), 0.0);
+
+  // 2 boundaries per span: outer + 2x inner = 6, plus "M" metadata rows.
+  int begins = 0, ends = 0, meta = 0;
+  long long last_ts = -1;
+  for (const svc::Json& ev : events->items()) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "M") {
+      ++meta;
+      continue;
+    }
+    ASSERT_TRUE(ph == "B" || ph == "E") << "unexpected phase " << ph;
+    ph == "B" ? ++begins : ++ends;
+    // Timestamps are monotone non-decreasing (single-threaded span stream).
+    const long long ts = static_cast<long long>(ev.find("ts")->as_number());
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+  }
+  EXPECT_EQ(begins, 3);
+  EXPECT_EQ(ends, 3);
+  EXPECT_GE(meta, 1);  // at least the "global" track label
+}
+
+TEST_F(TraceTest, EventsNestInBalancedStacksMatchingSpanTree) {
+  ASSERT_TRUE(trace_enabled());
+  Context job("job-t");
+  {
+    Span outer("trace.outer");
+    { Span inner("trace.inner"); }
+  }
+  std::thread worker([&] {
+    ScopedContext scoped(&job);
+    Span tagged("trace.tagged");
+    { Span leaf("trace.leaf"); }
+  });
+  worker.join();
+  ASSERT_TRUE(trace_flush());
+
+  const svc::Json doc = svc::Json::parse(read_file(path_));
+  // Replay each (pid, tid) track's B/E stream as a stack: every E must close
+  // the innermost open B with the same name, and every stack ends empty —
+  // exactly the discipline of the nested Span destructors.
+  std::map<std::pair<int, int>, std::vector<std::string>> stacks;
+  std::map<int, std::string> track_labels;
+  std::vector<std::string> toplevel;  // roots per track, in order
+  for (const svc::Json& ev : doc.find("traceEvents")->items()) {
+    const std::string& ph = ev.find("ph")->as_string();
+    const int pid = static_cast<int>(ev.find("pid")->as_number());
+    if (ph == "M") {
+      if (ev.find("name")->as_string() == "process_name") {
+        track_labels[pid] = ev.find("args")->find("name")->as_string();
+      }
+      continue;
+    }
+    const int tid = static_cast<int>(ev.find("tid")->as_number());
+    auto& stack = stacks[{pid, tid}];
+    const std::string& name = ev.find("name")->as_string();
+    if (ph == "B") {
+      if (stack.empty()) toplevel.push_back(name);
+      stack.push_back(name);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "E without matching B: " << name;
+      EXPECT_EQ(stack.back(), name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unbalanced track pid=" << track.first;
+  }
+  // Two tracks (untagged main thread + the tagged worker), with the span
+  // roots we opened, and the context tag labelling its own process track.
+  EXPECT_EQ(stacks.size(), 2u);
+  EXPECT_EQ(toplevel.size(), 2u);
+  bool saw_global = false, saw_job = false;
+  for (const auto& [pid, label] : track_labels) {
+    if (label == "global") saw_global = true;
+    if (label == "job:job-t") saw_job = true;
+  }
+  EXPECT_TRUE(saw_global);
+  EXPECT_TRUE(saw_job);
+}
+
+TEST_F(TraceTest, FlushIsIdempotentAndRewritesTheFile) {
+  ASSERT_TRUE(trace_enabled());
+  {
+    Span s("trace.once");
+  }
+  ASSERT_TRUE(trace_flush());
+  const std::string first = read_file(path_);
+  ASSERT_TRUE(trace_flush());
+  const std::string second = read_file(path_);
+  // Same buffer, same serialization: a long-lived server can flush after
+  // every job without corrupting or duplicating the file.
+  EXPECT_EQ(first, second);
+  svc::Json::parse(second);  // throws on malformed output
+}
+
+TEST_F(TraceTest, SetTracePathResetsTheBuffer) {
+  ASSERT_TRUE(trace_enabled());
+  {
+    Span s("trace.stale");
+  }
+  set_trace_path(path_);  // re-arm: clears buffered events
+  {
+    Span s("trace.fresh");
+  }
+  ASSERT_TRUE(trace_flush());
+  const std::string text = read_file(path_);
+  EXPECT_EQ(text.find("trace.stale"), std::string::npos);
+  EXPECT_NE(text.find("trace.fresh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp::obs
