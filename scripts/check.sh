@@ -2,15 +2,22 @@
 # Correctness gate for the placement flow (docs/CHECKING.md).
 #
 # Runs, in order:
-#   1. A Debug build with AddressSanitizer + UndefinedBehaviorSanitizer and
+#   1. mplint, the in-repo static analyzer (docs/CHECKING.md "Static
+#      analysis: mplint"): determinism bans (raw rand / wall-clock /
+#      unordered iteration in result-affecting dirs), lock discipline
+#      (annotation coverage on every mutex, RAII-only locking), and header
+#      hygiene.  Runs first because it is by far the cheapest gate — a
+#      finding fails the run before any sanitizer tree configures.  Needs
+#      only a C++17 compiler; works on the plain-gcc container.
+#   2. A Debug build with AddressSanitizer + UndefinedBehaviorSanitizer and
 #      -Werror, then the full ctest suite under it at MP_VALIDATE_LEVEL=2 so
 #      the deep structural validators are exercised together with the
 #      sanitizers.
-#   2. A service smoke under the same ASan/UBSan build: boots mp_serve on a
+#   3. A service smoke under the same ASan/UBSan build: boots mp_serve on a
 #      throwaway socket, pushes a 2-job mixed-preset smoke through
 #      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
-#   3. A ThreadSanitizer build (its own tree — TSan cannot be combined with
+#   4. A ThreadSanitizer build (its own tree — TSan cannot be combined with
 #      ASan) running the `par`-, `svc`- and `obs`-labelled suites (ctest -L
 #      "par|svc|obs") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
 #      lock-free obs metrics, every parallelized hot path
@@ -20,10 +27,10 @@
 #      (docs/SERVICE.md).  This leg is on by DEFAULT; pass --tsan to run the
 #      FULL suite under TSan instead (slower), or --no-tsan to skip the
 #      TSan leg entirely.
-#   4. Schema validation of the committed perf artifacts
+#   5. Schema validation of the committed perf artifacts
 #      (results/BENCH_*.json) via scripts/validate_bench_json.py — stdlib
 #      python only, skipped with a notice when none are present.
-#   5. clang-tidy over the compile database, when clang-tidy is installed.
+#   6. clang-tidy over the compile database, when clang-tidy is installed.
 #      Skipped with a notice otherwise (the container ships gcc only).
 #
 # Build trees live under build-check/ and are reused across runs; use
@@ -44,6 +51,15 @@ for arg in "$@"; do
     --fresh) FRESH=1 ;;
     -h|--help)
       echo "usage: scripts/check.sh [--tsan|--no-tsan] [--fresh]"
+      echo
+      echo "Stages, in order: mplint static analysis (fails fast; also"
+      echo "reachable as 'cmake --build build --target lint'), ASan/UBSan"
+      echo "build + full ctest, mp_serve smoke, TSan leg, bench-artifact"
+      echo "schema validation, clang-tidy (when installed)."
+      echo
+      echo "  --tsan     run the FULL suite under TSan (default: par|svc|obs)"
+      echo "  --no-tsan  skip the TSan leg"
+      echo "  --fresh    reconfigure the build-check/ trees from scratch"
       exit 0
       ;;
     *)
@@ -132,6 +148,20 @@ svc_smoke() {
   fi
 }
 
+# Stage 1: mplint.  Cheapest gate by orders of magnitude (a static library +
+# one small binary, no sanitizers), so a determinism or lock-discipline
+# finding fails the run before any sanitizer tree even configures.
+run_lint() {
+  local dir="build-check/lint"
+  [[ "${FRESH}" == 1 ]] && rm -rf "${dir}"
+  note "lint: build mplint"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${dir}" --target mplint -j "${JOBS}"
+  note "lint: mplint over src/ (determinism, locks, header hygiene)"
+  "${dir}/tools/mplint/mplint" --root "${ROOT}"
+}
+
+run_lint
 run_sanitized asan "address;undefined"
 note "svc: mp_serve smoke (2 jobs + SIGTERM drain, ASan/UBSan)"
 svc_smoke

@@ -1,0 +1,88 @@
+#pragma once
+// Thread-safety annotation layer (docs/CHECKING.md "Static analysis:
+// mplint").  Every macro expands to a Clang thread-safety-analysis
+// attribute when the compiler is clang — so `-Wthread-safety` works the day
+// a clang toolchain appears in the container — and to nothing under gcc,
+// where tools/mplint enforces the *presence* of the annotations instead.
+//
+// Usage conventions, enforced by mplint's `mutex-annotation` check:
+//
+//   * every `std::mutex` / `std::shared_mutex` / `std::condition_variable`
+//     member (or namespace-scope instance) carries an annotation from this
+//     family on its declaration.  For the lock itself that is MP_GUARDS(...)
+//     — the dual of MP_GUARDED_BY, naming the state the lock protects — or
+//     MP_ACQUIRED_BEFORE / MP_ACQUIRED_AFTER when a lock order exists;
+//   * the data those locks protect carries MP_GUARDED_BY(lock) /
+//     MP_PT_GUARDED_BY(lock);
+//   * functions that expect a lock held carry MP_REQUIRES(lock) (the
+//     `*_locked()` helpers), functions that must NOT be entered with it held
+//     carry MP_EXCLUDES(lock), and RAII-breaking entry points carry
+//     MP_ACQUIRE / MP_RELEASE.
+//
+// Caveats for the clang day: libstdc++'s std::mutex is not annotated as a
+// capability, so clang emits -Wthread-safety-attributes notes unless the
+// build uses libc++ with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS (or
+// silences that one warning group).  Define MP_NO_THREAD_SAFETY_ANALYSIS_ATTRS
+// to compile the whole layer away regardless of compiler.
+
+#if defined(__clang__) && !defined(SWIG) && \
+    !defined(MP_NO_THREAD_SAFETY_ANALYSIS_ATTRS)
+#define MP_TSA_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MP_TSA_ATTRIBUTE__(x)
+#endif
+
+/// On a lock-like *type*: marks it as a capability ("mutex", "role", ...).
+#define MP_CAPABILITY(x) MP_TSA_ATTRIBUTE__(capability(x))
+
+/// On an RAII guard type: acquires in the constructor, releases in the
+/// destructor (std::lock_guard-shaped wrappers).
+#define MP_SCOPED_CAPABILITY MP_TSA_ATTRIBUTE__(scoped_lockable)
+
+/// On a data member: readable/writable only with `x` held.
+#define MP_GUARDED_BY(x) MP_TSA_ATTRIBUTE__(guarded_by(x))
+
+/// On a pointer member: the *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define MP_PT_GUARDED_BY(x) MP_TSA_ATTRIBUTE__(pt_guarded_by(x))
+
+/// On a lock member: documents lock-ordering edges (deadlock detection).
+#define MP_ACQUIRED_BEFORE(...) MP_TSA_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define MP_ACQUIRED_AFTER(...) MP_TSA_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// On a function: the caller must hold the lock(s) (exclusively / shared).
+#define MP_REQUIRES(...) MP_TSA_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define MP_REQUIRES_SHARED(...) \
+  MP_TSA_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// On a function: acquires / releases the lock(s) itself.
+#define MP_ACQUIRE(...) MP_TSA_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define MP_ACQUIRE_SHARED(...) \
+  MP_TSA_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define MP_RELEASE(...) MP_TSA_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define MP_RELEASE_SHARED(...) \
+  MP_TSA_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define MP_TRY_ACQUIRE(...) \
+  MP_TSA_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// On a function: must be called WITHOUT the lock(s) held (it takes them).
+#define MP_EXCLUDES(...) MP_TSA_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// On a function: runtime-asserts the lock is held instead of proving it.
+#define MP_ASSERT_CAPABILITY(x) MP_TSA_ATTRIBUTE__(assert_capability(x))
+
+/// On a function returning a reference to a lock.
+#define MP_RETURN_CAPABILITY(x) MP_TSA_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function body.
+#define MP_NO_THREAD_SAFETY_ANALYSIS \
+  MP_TSA_ATTRIBUTE__(no_thread_safety_analysis)
+
+/// On a std::mutex / std::shared_mutex / std::condition_variable member:
+/// names the state the lock protects (members, or a string for external
+/// state such as an output stream).  Clang has no attribute for the lock
+/// side of the guarded-by relation — it derives it from MP_GUARDED_BY on
+/// the data — so this expands to nothing everywhere; mplint treats it as the
+/// machine-checked statement that the lock's protection set was thought
+/// about, and its arguments keep that statement next to the declaration.
+#define MP_GUARDS(...)

@@ -45,8 +45,8 @@ thread_local detail::SpanNode* t_cursor = nullptr;
 // in-flight notification keep using the listener it captured even if
 // set_span_listener() swaps it concurrently.
 std::atomic<bool> g_has_listener{false};
-std::mutex g_listener_mutex;
-std::shared_ptr<const SpanListener> g_listener;
+std::mutex g_listener_mutex MP_GUARDS(g_listener);
+std::shared_ptr<const SpanListener> g_listener MP_GUARDED_BY(g_listener_mutex);
 
 // Invoked by enter_span/exit_span AFTER the registry mutex is released, so a
 // listener that reads the registry (snapshots, counters) cannot deadlock.
@@ -238,7 +238,7 @@ namespace detail {
 std::size_t intern_metric(const char* name) {
   // Append-only process-wide name → id table.  Called once per call site
   // (function-local static in the macros), so the mutex is cold.
-  static std::mutex intern_mutex;
+  static std::mutex intern_mutex MP_GUARDS(ids);
   static std::unordered_map<std::string, std::size_t> ids;
   std::lock_guard<std::mutex> lock(intern_mutex);
   return ids.try_emplace(name, ids.size()).first->second;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "check/annotations.hpp"
 #include "util/timer.hpp"
 
 namespace mp::obs {
@@ -234,11 +235,17 @@ class Registry {
   Gauge& gauge_slow(std::size_t id, const char* name);
   Histogram& histogram_slow(std::size_t id, const char* name);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  detail::SpanNode span_root_;
+  /// Guards the name maps and the span tree's *structure* (node creation in
+  /// enter_span, statistics in exit_span); the metric objects themselves are
+  /// lock-free and the fast slots are atomics published under this mutex.
+  mutable std::mutex mutex_ MP_GUARDS(counters_, gauges_, histograms_,
+                                      span_root_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MP_GUARDED_BY(mutex_);
+  detail::SpanNode span_root_ MP_GUARDED_BY(mutex_);
   std::atomic<Counter*> fast_counters_[kFastSlots] = {};
   std::atomic<Gauge*> fast_gauges_[kFastSlots] = {};
   std::atomic<Histogram*> fast_histograms_[kFastSlots] = {};

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "check/annotations.hpp"
 #include "par/par.hpp"
 #include "util/log.hpp"
 
@@ -114,7 +115,7 @@ namespace {
 // append a whole line, never an interleaving of two partial lines.  Entries
 // are never removed (destinations are few: MP_OBS_OUT and test paths).
 std::mutex& destination_mutex(const std::string& destination) {
-  static std::mutex map_mutex;
+  static std::mutex map_mutex MP_GUARDS(mutexes);
   static std::map<std::string, std::unique_ptr<std::mutex>> mutexes;
   std::lock_guard<std::mutex> lock(map_mutex);
   std::unique_ptr<std::mutex>& slot = mutexes[destination];

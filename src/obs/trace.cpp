@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "check/annotations.hpp"
 #include "obs/obs.hpp"
 
 namespace mp::obs {
@@ -35,16 +36,20 @@ struct TraceEvent {
 // acceptable here: tracing is an explicit opt-in diagnostic mode, and the
 // critical section is a couple of map probes plus a push_back.
 struct TraceState {
-  std::mutex mutex;
-  std::string path;
-  std::chrono::steady_clock::time_point epoch;
-  std::vector<TraceEvent> events;
-  std::vector<std::string> names;             // name_id -> span name
-  std::map<std::string, int> name_ids;
-  std::vector<std::string> process_names;     // pid - 1 -> track label
-  std::map<std::string, int> pids;            // context tag -> pid
-  long long dropped = 0;
-  bool atexit_registered = false;
+  std::mutex mutex MP_GUARDS(path, epoch, events, names, name_ids,
+                             process_names, pids, dropped, atexit_registered);
+  std::string path MP_GUARDED_BY(mutex);
+  std::chrono::steady_clock::time_point epoch MP_GUARDED_BY(mutex);
+  std::vector<TraceEvent> events MP_GUARDED_BY(mutex);
+  /// name_id -> span name.
+  std::vector<std::string> names MP_GUARDED_BY(mutex);
+  std::map<std::string, int> name_ids MP_GUARDED_BY(mutex);
+  /// pid - 1 -> track label.
+  std::vector<std::string> process_names MP_GUARDED_BY(mutex);
+  /// Context tag -> pid.
+  std::map<std::string, int> pids MP_GUARDED_BY(mutex);
+  long long dropped MP_GUARDED_BY(mutex) = 0;
+  bool atexit_registered MP_GUARDED_BY(mutex) = false;
 };
 
 // Leaked on purpose (same discipline as Registry::global()): spans may fire

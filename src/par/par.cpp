@@ -71,10 +71,12 @@ struct ThreadPool::Wave {
   void* context = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  /// Taken only to publish the final `done` increment before notifying, so
+  /// the submitter's wait cannot miss the last completion.
+  std::mutex done_mutex MP_GUARDS("done_cv wait condition");
+  std::condition_variable done_cv MP_GUARDED_BY(done_mutex);
+  std::mutex error_mutex MP_GUARDS(error);
+  std::exception_ptr error MP_GUARDED_BY(error_mutex);
 
   // Claims and runs tasks until the list is exhausted.
   void drain() {
@@ -173,7 +175,7 @@ ThreadPool& global_pool() {
   // Rebuilt when set_num_threads() changed the configuration since the last
   // use.  Guarded by a mutex: first-use races are possible when several
   // threads enter a parallel region simultaneously.
-  static std::mutex pool_mutex;
+  static std::mutex pool_mutex MP_GUARDS(pool, pool_generation);
   static std::unique_ptr<ThreadPool> pool;
   static int pool_generation = -1;
   std::lock_guard<std::mutex> lock(pool_mutex);

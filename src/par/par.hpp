@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "check/annotations.hpp"
+
 namespace mp::par {
 
 /// Configured thread count (>= 1).  First call reads MP_THREADS once;
@@ -84,11 +86,11 @@ class ThreadPool {
 
   int size_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::shared_ptr<Wave> wave_;   ///< current wave, guarded by mutex_
-  std::uint64_t wave_seq_ = 0;   ///< bumped per run(), guarded by mutex_
-  bool stop_ = false;
+  std::mutex mutex_ MP_GUARDS(wave_, wave_seq_, stop_);
+  std::condition_variable wake_ MP_GUARDED_BY(mutex_);
+  std::shared_ptr<Wave> wave_ MP_GUARDED_BY(mutex_);  ///< current wave
+  std::uint64_t wave_seq_ MP_GUARDED_BY(mutex_) = 0;  ///< bumped per run()
+  bool stop_ MP_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide pool, created on first use with num_threads() threads.

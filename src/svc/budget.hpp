@@ -11,6 +11,8 @@
 
 #include <mutex>
 
+#include "check/annotations.hpp"
+
 namespace mp::svc {
 
 class ThreadArbiter;
@@ -56,21 +58,21 @@ class ThreadArbiter {
   ThreadArbiter(const ThreadArbiter&) = delete;
   ThreadArbiter& operator=(const ThreadArbiter&) = delete;
 
-  ThreadLease acquire(int requested);
+  ThreadLease acquire(int requested) MP_EXCLUDES(mutex_);
 
   int total() const { return total_; }
-  int leased() const {
+  int leased() const MP_EXCLUDES(mutex_) {
     std::lock_guard<std::mutex> lock(mutex_);
     return leased_;
   }
 
  private:
   friend class ThreadLease;
-  void release_threads(int threads);
+  void release_threads(int threads) MP_EXCLUDES(mutex_);
 
   const int total_;
-  mutable std::mutex mutex_;
-  int leased_ = 0;
+  mutable std::mutex mutex_ MP_GUARDS(leased_);
+  int leased_ MP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mp::svc

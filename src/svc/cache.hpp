@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/annotations.hpp"
 #include "netlist/design.hpp"
 #include "nn/layers.hpp"
 #include "place/flow.hpp"
@@ -106,11 +107,11 @@ namespace detail {
 /// One build in progress: later arrivals for the same key wait on `cv`.
 template <typename V>
 struct InFlight {
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  std::shared_ptr<const V> value;
-  std::exception_ptr error;
+  std::mutex m MP_GUARDS(done, value, error);
+  std::condition_variable cv MP_GUARDED_BY(m);
+  bool done MP_GUARDED_BY(m) = false;
+  std::shared_ptr<const V> value MP_GUARDED_BY(m);
+  std::exception_ptr error MP_GUARDED_BY(m);
 };
 
 }  // namespace detail
@@ -148,14 +149,16 @@ class ArtifactCache {
                                    long long& misses, const char* hit_counter,
                                    const char* miss_counter, Build&& build);
 
-  mutable std::mutex mutex_;
-  LruPool<DesignArtifact> designs_;
-  LruPool<PreparedArtifact> prepared_;
-  LruPool<WeightsArtifact> weights_;
-  InFlightMap<DesignArtifact> designs_inflight_;
-  InFlightMap<PreparedArtifact> prepared_inflight_;
-  InFlightMap<WeightsArtifact> weights_inflight_;
-  CacheStats stats_;
+  mutable std::mutex mutex_ MP_GUARDS(designs_, prepared_, weights_,
+                                      designs_inflight_, prepared_inflight_,
+                                      weights_inflight_, stats_);
+  LruPool<DesignArtifact> designs_ MP_GUARDED_BY(mutex_);
+  LruPool<PreparedArtifact> prepared_ MP_GUARDED_BY(mutex_);
+  LruPool<WeightsArtifact> weights_ MP_GUARDED_BY(mutex_);
+  InFlightMap<DesignArtifact> designs_inflight_ MP_GUARDED_BY(mutex_);
+  InFlightMap<PreparedArtifact> prepared_inflight_ MP_GUARDED_BY(mutex_);
+  InFlightMap<WeightsArtifact> weights_inflight_ MP_GUARDED_BY(mutex_);
+  CacheStats stats_ MP_GUARDED_BY(mutex_);
 };
 
 }  // namespace mp::svc

@@ -189,6 +189,8 @@ void Scheduler::join_workers() {
     return;
   }
   joiner_active_ = true;
+  // mplint: allow(manual-unlock): workers take mutex_ to finish their jobs,
+  // so joining them while holding it would deadlock; relocked right after.
   lock.unlock();
   for (std::thread& w : workers_) w.join();
   lock.lock();
@@ -248,6 +250,8 @@ void Scheduler::worker_loop(int worker_index) {
     const util::CancelToken cancel = record->cancel;
     const RunContext ctx{lease.threads(), worker_index};
     cv_.notify_all();
+    // mplint: allow(manual-unlock): the runner executes unlocked so other
+    // workers keep dispatching; relocked below to record the outcome.
     lock.unlock();
 
     util::Timer run_timer;

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/annotations.hpp"
 #include "obs/obs.hpp"
 #include "svc/budget.hpp"
 #include "svc/job.hpp"
@@ -158,34 +159,40 @@ class Scheduler {
     util::Timer submitted;   ///< measures queue wait, then total age
   };
 
-  void worker_loop(int worker_index);
+  void worker_loop(int worker_index) MP_EXCLUDES(mutex_);
   /// Single-joiner election: the first caller joins every worker and
   /// publishes kStopped; concurrent callers block until then.
-  void join_workers();
-  // Both expect mutex_ held.
-  Record* find_locked(const std::string& id);
-  const Record* find_locked(const std::string& id) const;
+  void join_workers() MP_EXCLUDES(mutex_);
+  Record* find_locked(const std::string& id) MP_REQUIRES(mutex_);
+  const Record* find_locked(const std::string& id) const MP_REQUIRES(mutex_);
 
-  /// Updates the SLO queue-depth/active-jobs gauges; expects mutex_ held
-  /// (reads pending_/running_ sizes).  No-op without an SLO registry.
-  void update_slo_gauges_locked();
+  /// Updates the SLO queue-depth/active-jobs gauges (reads pending_/
+  /// running_ sizes).  No-op without an SLO registry.
+  void update_slo_gauges_locked() MP_REQUIRES(mutex_);
 
   Runner runner_;
   const std::size_t max_queued_;
   obs::Registry* const slo_;  ///< service-global SLO registry (may be null)
   ThreadArbiter arbiter_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;  ///< notified on queue + state changes
-  std::map<std::string, std::unique_ptr<Record>> records_;
+  mutable std::mutex mutex_ MP_GUARDS(records_, pending_, running_, next_seq_,
+                                      accepting_, phase_, joiner_active_);
+  /// Notified on queue + state changes.
+  mutable std::condition_variable cv_ MP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Record>> records_
+      MP_GUARDED_BY(mutex_);
   /// Pending ids ordered (priority desc, seq asc) — set iteration order is
   /// the dispatch order.
-  std::set<std::tuple<int, std::uint64_t, std::string>> pending_;
-  std::set<std::string> running_;  ///< ids currently executing
-  std::uint64_t next_seq_ = 1;
-  bool accepting_ = true;
-  Phase phase_ = Phase::kRunning;
-  bool joiner_active_ = false;  ///< a thread is inside workers_[i].join()
+  std::set<std::tuple<int, std::uint64_t, std::string>> pending_
+      MP_GUARDED_BY(mutex_);
+  std::set<std::string> running_ MP_GUARDED_BY(mutex_);  ///< executing ids
+  std::uint64_t next_seq_ MP_GUARDED_BY(mutex_) = 1;
+  bool accepting_ MP_GUARDED_BY(mutex_) = true;
+  Phase phase_ MP_GUARDED_BY(mutex_) = Phase::kRunning;
+  /// A thread is inside workers_[i].join().
+  bool joiner_active_ MP_GUARDED_BY(mutex_) = false;
+  /// Spawned in the constructor, joined once by the elected joiner; the
+  /// vector itself is immutable between those points.
   std::vector<std::thread> workers_;
 };
 

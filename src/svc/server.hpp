@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/annotations.hpp"
 #include "svc/service.hpp"
 
 namespace mp::svc {
@@ -57,8 +58,10 @@ class Server {
 
  private:
   struct Connection {
-    int fd = -1;
-    std::mutex write_mutex;  ///< progress stream vs reply interleaving
+    int fd = -1;  ///< written under write_mutex once the socket is live
+    /// Serializes progress-stream writes against reply writes, and fences
+    /// fd against the close in close_all_connections().
+    std::mutex write_mutex MP_GUARDS(fd);
     std::thread thread;
   };
 
@@ -72,8 +75,11 @@ class Server {
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> shutdown_requested_{false};
 
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Lock order: Connection::write_mutex before connections_mutex_
+  /// (close_all_connections never takes write_mutex, so no inversion).
+  std::mutex connections_mutex_ MP_GUARDS(connections_);
+  std::vector<std::unique_ptr<Connection>> connections_
+      MP_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace mp::svc

@@ -17,8 +17,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
+#include "check/annotations.hpp"
 #include "svc/cache.hpp"
 #include "svc/scheduler.hpp"
 
@@ -116,9 +118,9 @@ class LocalService {
   obs::Context slo_ctx_{"svc"};
   std::unique_ptr<Scheduler> scheduler_;
 
-  std::mutex listeners_mutex_;
-  std::map<int, ProgressFn> listeners_;
-  int next_listener_token_ = 1;
+  std::mutex listeners_mutex_ MP_GUARDS(listeners_, next_listener_token_);
+  std::map<int, ProgressFn> listeners_ MP_GUARDED_BY(listeners_mutex_);
+  int next_listener_token_ MP_GUARDED_BY(listeners_mutex_) = 1;
 };
 
 /// FNV-1a fingerprint over every node position's bit pattern, in node order.

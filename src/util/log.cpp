@@ -7,13 +7,16 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "check/annotations.hpp"
+
 namespace mp::util {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::once_flag g_env_once;
-std::mutex g_io_mutex;
+/// Serializes whole formatted lines onto the stderr stream.
+std::mutex g_io_mutex MP_GUARDS("stderr");
 
 const char* level_name(LogLevel level) {
   switch (level) {

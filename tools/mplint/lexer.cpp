@@ -1,0 +1,241 @@
+// Tokenizer for mplint (tools/mplint/mplint.hpp).  Scans C++ source into
+// the coarse token stream the checkers pattern-match on: identifiers,
+// numbers, string/char literals (prefixes and raw strings handled), single
+// punctuation characters, whole comments, and whole preprocessor directives
+// (backslash continuations joined into one token).
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mplint/mplint.hpp"
+
+namespace mp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// String-literal prefixes whose following quote belongs to the literal.
+bool is_string_prefix(const std::string& s) {
+  return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+bool is_raw_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && i_ + 1 < src_.size() &&
+          (src_[i_ + 1] == '/' || src_[i_ + 1] == '*')) {
+        comment();
+        continue;
+      }
+      if (ident_start(c)) {
+        ident();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[i_ + 1])))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal(i_);
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      emit(TokKind::kPunct, std::string(1, c), line_);
+      ++i_;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(TokKind kind, std::string text, int line) {
+    out_.push_back(Token{kind, std::move(text), line});
+  }
+
+  /// One full directive: to end of line, honoring backslash continuations
+  /// (joined with a single space so "#pragma once" stays matchable).
+  void preproc() {
+    const int start_line = line_;
+    std::string text;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size() && src_[i_ + 1] == '\n') {
+        text += ' ';
+        i_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;  // the newline itself is handled by run()
+      text += c;
+      ++i_;
+    }
+    emit(TokKind::kPreproc, std::move(text), start_line);
+  }
+
+  void comment() {
+    const int start_line = line_;
+    std::string text;
+    if (src_[i_ + 1] == '/') {
+      while (i_ < src_.size() && src_[i_] != '\n') text += src_[i_++];
+    } else {
+      text += "/*";
+      i_ += 2;
+      while (i_ < src_.size()) {
+        if (src_[i_] == '*' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+          text += "*/";
+          i_ += 2;
+          break;
+        }
+        if (src_[i_] == '\n') ++line_;
+        text += src_[i_++];
+      }
+    }
+    emit(TokKind::kComment, std::move(text), start_line);
+  }
+
+  void ident() {
+    const std::size_t start = i_;
+    const int start_line = line_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    std::string text = src_.substr(start, i_ - start);
+    // A literal prefix glued to a quote is part of the literal.
+    if (i_ < src_.size() && src_[i_] == '"') {
+      if (is_raw_prefix(text)) {
+        raw_string(start);
+        return;
+      }
+      if (is_string_prefix(text)) {
+        string_literal(start);
+        return;
+      }
+    }
+    if (i_ < src_.size() && src_[i_] == '\'' &&
+        (is_string_prefix(text) || text == "u8")) {
+      char_literal_from(start);
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), start_line);
+  }
+
+  void number() {
+    const std::size_t start = i_;
+    const int start_line = line_;
+    // pp-number: digits, idents, dots, separators, exponent signs.
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > start) {
+        const char prev = src_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, src_.substr(start, i_ - start), start_line);
+  }
+
+  /// From `start` (prefix included); i_ sits on the opening quote.
+  void string_literal(std::size_t start) {
+    const int start_line = line_;
+    ++i_;  // opening quote
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts sane
+      ++i_;
+      if (c == '"') break;
+    }
+    emit(TokKind::kString, src_.substr(start, i_ - start), start_line);
+  }
+
+  void raw_string(std::size_t start) {
+    const int start_line = line_;
+    ++i_;  // opening quote
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim += src_[i_++];
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, i_);
+    const std::size_t stop =
+        end == std::string::npos ? src_.size() : end + closer.size();
+    for (std::size_t k = i_; k < stop; ++k) {
+      if (src_[k] == '\n') ++line_;
+    }
+    i_ = stop;
+    emit(TokKind::kString, src_.substr(start, i_ - start), start_line);
+  }
+
+  void char_literal() { char_literal_from(i_); }
+
+  void char_literal_from(std::size_t start) {
+    const int start_line = line_;
+    ++i_;  // opening quote
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        i_ += 2;
+        continue;
+      }
+      ++i_;
+      if (c == '\'' || c == '\n') break;
+    }
+    emit(TokKind::kChar, src_.substr(start, i_ - start), start_line);
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace mp::lint

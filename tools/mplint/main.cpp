@@ -1,0 +1,85 @@
+// mplint CLI (tools/mplint/mplint.hpp).
+//
+//   mplint [--root DIR] [--list-checks] [paths...]
+//
+// With no paths, lints every *.hpp / *.cpp under DIR/src (DIR defaults to
+// the current directory).  Explicit paths are repo-relative to DIR.
+// Findings go to stdout as "path:line: check: message" — editor-parseable.
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mplint/mplint.hpp"
+
+namespace {
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: mplint [--root DIR] [--list-checks] [paths...]\n"
+               "\n"
+               "Lints repo sources against the per-directory policies in\n"
+               "tools/mplint (determinism, lock discipline, header hygiene).\n"
+               "With no paths, scans every *.hpp / *.cpp under DIR/src.\n"
+               "\n"
+               "  --root DIR     repo root to scan (default: .)\n"
+               "  --list-checks  print the check names and exit\n"
+               "  -h, --help     this message\n"
+               "\n"
+               "Suppress a finding with a justified comment on the same line\n"
+               "or the line above:\n"
+               "  // mplint: allow(<check>): <why the exception is sound>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--list-checks") == 0) {
+      for (const std::string& name : mp::lint::check_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mplint: --root needs a directory\n");
+        print_usage(stderr);
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg[0] == '-') {
+      std::fprintf(stderr, "mplint: unknown option '%s'\n", arg);
+      print_usage(stderr);
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+
+  const std::vector<mp::lint::Finding> findings =
+      paths.empty() ? mp::lint::lint_tree(root)
+                    : mp::lint::lint_paths(root, paths);
+
+  bool io_error = false;
+  for (const mp::lint::Finding& finding : findings) {
+    std::printf("%s\n", mp::lint::format_finding(finding).c_str());
+    if (finding.check == "io") io_error = true;
+  }
+  if (io_error) return 2;
+  if (!findings.empty()) {
+    std::fprintf(stderr, "mplint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#pragma once
+// mplint — the repo's own static analyzer (docs/CHECKING.md "Static
+// analysis: mplint").  A small C++ tokenizer plus per-file checkers driven
+// by a table of per-directory policies; it enforces, at source level and on
+// a plain gcc container, the invariants the test suite can only probe
+// dynamically:
+//
+//   determinism   raw-rand          rand()/srand()/std::random_device
+//                                   outside util/rng
+//                 wall-clock        clock reads in result-affecting dirs
+//                 unordered-iter    iteration over unordered containers in
+//                                   result-affecting dirs (ordering leaks
+//                                   into results)
+//   locks         mutex-annotation  std::mutex/shared_mutex/
+//                                   condition_variable declarations missing
+//                                   an MP_GUARDS/MP_GUARDED_BY-family
+//                                   annotation (src/check/annotations.hpp)
+//                 raii-lock         manual .lock()/.unlock()/.try_lock() on
+//                                   a declared mutex (use std::lock_guard/
+//                                   unique_lock/scoped_lock)
+//                 manual-unlock     .unlock() on an RAII guard
+//   hygiene       pragma-once       headers must start with #pragma once
+//                 iostream-include  <iostream> in library code
+//                 using-namespace-header
+//                                   `using namespace` in a header
+//   meta          bad-suppression   malformed/unknown/unjustified allow()
+//
+// Any finding (except bad-suppression) is suppressible with a justified
+// comment on the same line or the line above:
+//
+//   // mplint: allow(manual-unlock): joining workers must not hold mutex_.
+//
+// The checkers are lexical and per-file by design: no type information, no
+// cross-file resolution.  That keeps them dependency-free and fast, at the
+// cost of documented blind spots (an unordered member declared in a header
+// and iterated in its .cpp, an aliased clock type).  The clang path
+// (.clang-tidy concurrency-*, -Wthread-safety via the annotation layer)
+// covers those when a clang toolchain is available.
+
+#include <string>
+#include <vector>
+
+namespace mp::lint {
+
+// ---------------------------------------------------------------------------
+// Tokens
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords
+  kNumber,   ///< pp-number (including separators and suffixes)
+  kString,   ///< string literal, prefix and quotes included
+  kChar,     ///< character literal
+  kPunct,    ///< one punctuation character
+  kComment,  ///< // or /* */ comment, markers included
+  kPreproc,  ///< one full preprocessor directive (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes C++ source.  Comments and preprocessor directives are kept as
+/// single tokens; everything else follows the usual lexical grammar closely
+/// enough for the checkers (raw strings, digit separators, escapes).
+std::vector<Token> tokenize(const std::string& source);
+
+// ---------------------------------------------------------------------------
+// Policy
+
+/// What applies to one file, resolved from its repo-relative path.
+struct Policy {
+  bool lint = false;         ///< false: file is out of scope entirely
+  bool header = false;       ///< .hpp — header-hygiene checks apply
+  bool determinism = false;  ///< result-affecting dir: wall-clock +
+                             ///< unordered-iter bans
+  bool rng_home = false;     ///< util/rng — raw randomness lives here
+};
+
+/// Resolves the per-directory policy for a repo-relative path with forward
+/// slashes (e.g. "src/mcts/mcts.cpp").  Paths outside src/ get lint=false.
+Policy policy_for(const std::string& path);
+
+/// Names of every check, in reporting order.
+const std::vector<std::string>& check_names();
+
+// ---------------------------------------------------------------------------
+// Findings
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// "path:line: check: message" — the editor-parseable output format.
+std::string format_finding(const Finding& finding);
+
+/// Lints one file's content under the policy for `path` (repo-relative,
+/// forward slashes).  Returns findings sorted by line.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+/// Lints the repo-relative `paths` under `root`.  Unreadable files produce
+/// an "io" finding rather than aborting the run.
+std::vector<Finding> lint_paths(const std::string& root,
+                                const std::vector<std::string>& paths);
+
+/// Lints every *.hpp / *.cpp under root/src, sorted by path.
+std::vector<Finding> lint_tree(const std::string& root);
+
+}  // namespace mp::lint
