@@ -1,6 +1,8 @@
-// Client CLI for the mp_serve daemon:
+// Client CLI for the mp_serve daemon (or an mp_route fleet router — both
+// speak the same protocol):
 //
 //   ./mp_submit --socket PATH submit <spec-json|@file> [--wait] [--watch]
+//   ./mp_submit --endpoint tcp:host:port submit <spec-json|@file>
 //   ./mp_submit --socket PATH status <job-id>
 //   ./mp_submit --socket PATH result <job-id> [--timeout S]
 //   ./mp_submit --socket PATH cancel <job-id>
@@ -8,8 +10,10 @@
 //   ./mp_submit --socket PATH metrics [--prom]
 //   ./mp_submit --socket PATH shutdown
 //
-// The spec is a JSON job object (docs/SERVICE.md), inline or @file.  Replies
-// print as one JSON line on stdout; exit status is 0 iff the server said ok.
+// --socket and --endpoint are aliases; both take the net::parse_endpoint
+// grammar (`unix:/path`, `tcp:host:port`, or a bare socket path).  The spec
+// is a JSON job object (docs/SERVICE.md), inline or @file.  Replies print
+// as one JSON line on stdout; exit status is 0 iff the server said ok.
 
 #include <cstdio>
 #include <cstring>
@@ -23,7 +27,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mp_submit --socket PATH "
+               "usage: mp_submit (--socket PATH | --endpoint URI) "
                "(submit <spec|@file> [--wait] [--watch] [--timeout S]"
                " | status <id> | result <id> [--timeout S]"
                " | cancel <id> | stats | metrics [--prom] | shutdown)\n");
@@ -58,7 +62,9 @@ int main(int argc, char** argv) {
   bool wait = false, watch = false, prom = false;
   double timeout_s = 600.0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+    if ((std::strcmp(argv[i], "--socket") == 0 ||
+         std::strcmp(argv[i], "--endpoint") == 0) &&
+        i + 1 < argc) {
       socket_path = argv[++i];
     } else if (std::strcmp(argv[i], "--wait") == 0) {
       wait = true;

@@ -18,8 +18,8 @@
 #      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
 #   4. A ThreadSanitizer build (its own tree — TSan cannot be combined with
-#      ASan) running the `par`-, `svc`- and `obs`-labelled suites (ctest -L
-#      "par|svc|obs") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
+#      ASan) running the `par`-, `svc`-, `obs`- and `net`-labelled suites (ctest -L
+#      "par|svc|obs|net") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
 #      lock-free obs metrics, every parallelized hot path
 #      (docs/PARALLELISM.md), and the concurrent placement service — four
 #      workers chewing through mixed-preset jobs with mid-run cancels,
@@ -161,17 +161,111 @@ run_lint() {
   "${dir}/tools/mplint/mplint" --root "${ROOT}"
 }
 
+# Fleet smoke under the same ASan/UBSan build (docs/DISTRIBUTED.md): two
+# TCP backends behind an mp_route coordinator.  Submits one job through the
+# router, kills the backend that ran it, then submits a second job and asks
+# for the first one's result again — the router must fail over to the
+# surviving backend (re-submitting in-flight work to the ring successor) and
+# both jobs must come back done.
+fleet_smoke() {
+  local dir="build-check/asan"
+  local log="build-check/fleet_smoke.log"
+  local base='"synthetic":{"movable_macros":8,"std_cells":300,"nets":400,"io_pads":16,"seed":5},"episodes":6,"gamma":4,"grid":8,"channels":8,"blocks":1'
+  local san_env=(env
+    ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+    UBSAN_OPTIONS="print_stacktrace=1")
+  : >"${log}"
+
+  # Backends on ephemeral ports; their bound URIs are printed on stdout as
+  # "mp_serve: listening on tcp:127.0.0.1:PORT ...".
+  local b1_log="build-check/fleet_b1.log" b2_log="build-check/fleet_b2.log"
+  "${san_env[@]}" "${dir}/examples/mp_serve" --listen tcp:127.0.0.1:0 \
+    --workers 2 >"${b1_log}" 2>&1 &
+  local b1_pid=$!
+  "${san_env[@]}" "${dir}/examples/mp_serve" --listen tcp:127.0.0.1:0 \
+    --workers 2 >"${b2_log}" 2>&1 &
+  local b2_pid=$!
+  local b1_uri="" b2_uri=""
+  for _ in $(seq 1 300); do
+    b1_uri="$(sed -n 's/.*listening on \(tcp:[^ ]*\).*/\1/p' "${b1_log}" | head -1)"
+    b2_uri="$(sed -n 's/.*listening on \(tcp:[^ ]*\).*/\1/p' "${b2_log}" | head -1)"
+    [[ -n "${b1_uri}" && -n "${b2_uri}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${b1_uri}" || -z "${b2_uri}" ]]; then
+    echo "fleet: backends did not come up" >&2
+    cat "${b1_log}" "${b2_log}" >&2
+    kill "${b1_pid}" "${b2_pid}" 2>/dev/null || true
+    return 1
+  fi
+
+  local router_log="build-check/fleet_route.log"
+  "${san_env[@]}" "${dir}/examples/mp_route" --listen tcp:127.0.0.1:0 \
+    --backends "${b1_uri},${b2_uri}" --health-period 0.1 \
+    >"${router_log}" 2>&1 &
+  local route_pid=$!
+  local route_uri=""
+  for _ in $(seq 1 300); do
+    route_uri="$(sed -n 's/.*listening on \(tcp:[^ ]*\).*/\1/p' "${router_log}" | head -1)"
+    [[ -n "${route_uri}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${route_uri}" ]]; then
+    echo "fleet: mp_route did not come up" >&2
+    cat "${router_log}" >&2
+    kill "${b1_pid}" "${b2_pid}" "${route_pid}" 2>/dev/null || true
+    return 1
+  fi
+
+  local cleanup_pids=("${b1_pid}" "${b2_pid}" "${route_pid}")
+  local status=0
+  (
+    set -euo pipefail
+    # Job 1 through the router; the submit reply (no --wait) names the
+    # backend the ring chose.  Wait for completion via `result` so the kill
+    # below hits a backend that holds a finished job's only result copy.
+    reply="$("${dir}/examples/mp_submit" --endpoint "${route_uri}" \
+      submit "{${base},\"preset\":\"mcts\"}")"
+    echo "fleet: job1 ${reply}" >>"${log}"
+    job1="$(printf '%s' "${reply}" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    victim="$(printf '%s' "${reply}" | sed -n 's/.*"backend":"\([^"]*\)".*/\1/p')"
+    [[ -n "${job1}" && -n "${victim}" ]]
+    "${dir}/examples/mp_submit" --endpoint "${route_uri}" \
+      result "${job1}" --timeout 300 >>"${log}"
+
+    # Kill the backend that owns job 1.
+    if [[ "${victim}" == "${b1_uri}" ]]; then kill -KILL "${b1_pid}";
+    else kill -KILL "${b2_pid}"; fi
+
+    # The router must detect the loss, re-submit job 1 to the survivor, and
+    # keep serving: both its result and a brand-new job succeed.
+    "${dir}/examples/mp_submit" --endpoint "${route_uri}" \
+      result "${job1}" --timeout 300 >>"${log}"
+    "${dir}/examples/mp_submit" --endpoint "${route_uri}" \
+      submit "{${base},\"preset\":\"sa\"}" --wait >>"${log}"
+  ) || status=$?
+  kill "${cleanup_pids[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [[ "${status}" != 0 ]]; then
+    echo "fleet: smoke failed; logs follow" >&2
+    cat "${log}" "${router_log}" >&2
+    return 1
+  fi
+}
+
 run_lint
 run_sanitized asan "address;undefined"
 note "svc: mp_serve smoke (2 jobs + SIGTERM drain, ASan/UBSan)"
 svc_smoke
+note "fleet: mp_route smoke (2 TCP backends, backend kill + failover)"
+fleet_smoke
 case "${TSAN_MODE}" in
   # Exercise the pool, shared-tree/self-play paths, AND the concurrent
   # service (4 scheduler workers — the svc-labelled stress submits 8
   # mixed-preset jobs and cancels two mid-run) with several threads even on
   # small CI machines.
   par)  MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
-          run_sanitized tsan "thread" "par|svc|obs" ;;
+          run_sanitized tsan "thread" "par|svc|obs|net" ;;
   full) MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
           run_sanitized tsan "thread" ;;
   off)  note "tsan: skipped (--no-tsan)" ;;

@@ -46,6 +46,14 @@ echo "=== bench_service_load ==="
   --clients "${SVC_CLIENTS:-16}" ${thread_args[@]+"${thread_args[@]}"} \
   | tee "$out/bench_service_load.txt"
 
+# Fleet variant: same load through an in-process mp_route + TCP backends
+# (docs/DISTRIBUTED.md); writes BENCH_service_fleet.json.
+echo "=== bench_service_load --router ==="
+"$build/bench/bench_service_load" --router \
+  --backends "${FLEET_BACKENDS:-3}" --workers "${SVC_WORKERS:-2}" \
+  --clients "${SVC_CLIENTS:-16}" ${thread_args[@]+"${thread_args[@]}"} \
+  | tee "$out/bench_service_fleet.txt"
+
 # Stray artifacts from benches run outside MP_BENCH_DIR (e.g. a cwd run of
 # bench_micro_kernels) are collected too, then everything is schema-checked.
 for f in BENCH_*.json; do

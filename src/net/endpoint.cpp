@@ -1,0 +1,272 @@
+#include "net/endpoint.hpp"
+
+#include <cstdlib>
+
+namespace mp::net {
+
+std::string Endpoint::uri() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool parse_endpoint(const std::string& uri, Endpoint* out, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = "endpoint \"" + uri + "\": " + what;
+    return false;
+  };
+  if (uri.empty()) return fail("empty");
+  Endpoint ep;
+  if (uri.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = uri.substr(5);
+    if (ep.path.empty()) return fail("missing socket path");
+  } else if (uri.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = uri.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail("expected tcp:host:port");
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty()) return fail("missing port");
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return fail("bad port \"" + port_text + "\"");
+    }
+    ep.port = static_cast<int>(port);
+  } else {
+    // Bare path: the pre-fleet --socket form.
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = uri;
+  }
+  if (out != nullptr) *out = ep;
+  return true;
+}
+
+}  // namespace mp::net
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+namespace mp::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+bool fill_unix_addr(const Endpoint& ep, sockaddr_un* addr,
+                    std::string* error) {
+  *addr = {};
+  addr->sun_family = AF_UNIX;
+  if (ep.path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + ep.path;
+    return false;
+  }
+  std::strncpy(addr->sun_path, ep.path.c_str(), sizeof(addr->sun_path) - 1);
+  return true;
+}
+
+bool fill_tcp_addr(const Endpoint& ep, sockaddr_in* addr, std::string* error) {
+  *addr = {};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  if (ep.host.empty() || ep.host == "*") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr->sin_addr) == 1) return true;
+  // Name lookup (IPv4 only — the fleet config uses numeric addresses or
+  // resolvable short names).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot resolve host \"" + ep.host + "\": " + gai_strerror(rc);
+    }
+    return false;
+  }
+  addr->sin_addr =
+      reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+/// One connect() bounded by timeout_s via non-blocking connect + poll.
+int connect_once(const Endpoint& ep, double timeout_s, std::string* error) {
+  int fd = -1;
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    auto* addr = reinterpret_cast<sockaddr_un*>(&storage);
+    if (!fill_unix_addr(ep, addr, error)) return -1;
+    len = sizeof(sockaddr_un);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  } else {
+    auto* addr = reinterpret_cast<sockaddr_in*>(&storage);
+    if (!fill_tcp_addr(ep, addr, error)) return -1;
+    len = sizeof(sockaddr_in);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  }
+  if (fd < 0) {
+    set_error(error, "socket");
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_s > 0.0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), len);
+  if (rc != 0 && errno == EINTR) {
+    // An interrupted connect continues asynchronously; wait for it below
+    // like EINPROGRESS.
+    errno = EINPROGRESS;
+    rc = -1;
+  }
+  if (rc != 0 && errno == EINPROGRESS && timeout_s > 0.0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout_s * 1000.0);
+    int prc;
+    do {
+      prc = ::poll(&pfd, 1, timeout_ms);
+    } while (prc < 0 && errno == EINTR);
+    if (prc <= 0) {
+      if (error != nullptr) *error = "connect " + ep.uri() + ": timed out";
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+    if (so_error != 0) {
+      errno = so_error;
+      set_error(error, "connect " + ep.uri());
+      ::close(fd);
+      return -1;
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    set_error(error, "connect " + ep.uri());
+    ::close(fd);
+    return -1;
+  }
+  if (timeout_s > 0.0) ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace
+
+int listen_endpoint(const Endpoint& ep, int backlog, std::string* error) {
+  if (backlog < 1) backlog = 1;
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!fill_unix_addr(ep, &addr, error)) return -1;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, "socket");
+      return -1;
+    }
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      set_error(error, "bind " + ep.uri());
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    sockaddr_in addr{};
+    if (!fill_tcp_addr(ep, &addr, error)) return -1;
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, "socket");
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      set_error(error, "bind " + ep.uri());
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (::listen(fd, backlog) != 0) {
+    set_error(error, "listen " + ep.uri());
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_endpoint(const Endpoint& ep, const ConnectOptions& options,
+                     std::string* error) {
+  const int attempts = options.attempts < 1 ? 1 : options.attempts;
+  double backoff = options.initial_backoff_s;
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, options.max_backoff_s);
+    }
+    const int fd = connect_once(ep, options.timeout_s, &last_error);
+    if (fd >= 0) return fd;
+  }
+  if (error != nullptr) *error = last_error;
+  return -1;
+}
+
+Endpoint local_endpoint(int listen_fd, const Endpoint& ep) {
+  if (ep.kind != Endpoint::Kind::kTcp) return ep;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ep;
+  }
+  Endpoint bound = ep;
+  bound.port = static_cast<int>(ntohs(addr.sin_port));
+  if (bound.host.empty() || bound.host == "*") bound.host = "127.0.0.1";
+  return bound;
+}
+
+}  // namespace mp::net
+
+#else  // non-POSIX: sockets unavailable (LocalService still works in-process).
+
+namespace mp::net {
+
+int listen_endpoint(const Endpoint&, int, std::string* error) {
+  if (error != nullptr) *error = "sockets unavailable on this platform";
+  return -1;
+}
+int connect_endpoint(const Endpoint&, const ConnectOptions&,
+                     std::string* error) {
+  if (error != nullptr) *error = "sockets unavailable on this platform";
+  return -1;
+}
+Endpoint local_endpoint(int, const Endpoint& ep) { return ep; }
+
+}  // namespace mp::net
+
+#endif

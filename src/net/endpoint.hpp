@@ -1,0 +1,59 @@
+#pragma once
+// Endpoint abstraction of the distributed serving stack (docs/DISTRIBUTED.md):
+// one URI grammar covering both transports the fleet speaks —
+//
+//   unix:/path/to.sock   Unix domain socket (single-host; mp_serve default)
+//   tcp:host:port        TCP (fleet transport; port 0 binds an ephemeral
+//                        port, read back via local_endpoint())
+//   /path/to.sock        bare path, kept as an alias for unix:/path (every
+//                        pre-fleet --socket flag and test keeps working)
+//
+// plus the two POSIX operations everything above the framing layer needs:
+// a bound listening socket and a connected client socket with a connect
+// timeout and bounded exponential backoff.  Unix-only like the rest of the
+// socket stack; the non-POSIX stubs fail with a message.
+
+#include <string>
+
+namespace mp::net {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< unix: socket path
+  std::string host;  ///< tcp: host (name or dotted quad)
+  int port = 0;      ///< tcp: port (0 = ephemeral bind)
+
+  /// Canonical URI ("unix:/p" / "tcp:host:port").
+  std::string uri() const;
+};
+
+/// Parses the endpoint grammar above.  False with *error set (never throws)
+/// on an empty string, a bad port, or a missing host/path.
+bool parse_endpoint(const std::string& uri, Endpoint* out, std::string* error);
+
+/// Connect retry policy: `attempts` tries spaced by an exponential backoff
+/// starting at `initial_backoff_s`, doubling, capped at `max_backoff_s`.
+/// Each individual connect() is bounded by `timeout_s` (<= 0: OS default).
+struct ConnectOptions {
+  double timeout_s = 5.0;
+  int attempts = 1;
+  double initial_backoff_s = 0.05;
+  double max_backoff_s = 1.0;
+};
+
+/// Binds + listens; returns the fd or -1 with *error set.  A unix endpoint
+/// unlinks a stale socket file first; a tcp endpoint sets SO_REUSEADDR so
+/// restarts do not fight TIME_WAIT.
+int listen_endpoint(const Endpoint& ep, int backlog, std::string* error);
+
+/// Connects with ConnectOptions' timeout/backoff schedule; returns the fd or
+/// -1 with *error set to the last failure.
+int connect_endpoint(const Endpoint& ep, const ConnectOptions& options,
+                     std::string* error);
+
+/// The endpoint a listening fd is actually bound to — resolves a tcp port 0
+/// to the kernel-assigned ephemeral port.  Falls back to `ep` on error.
+Endpoint local_endpoint(int listen_fd, const Endpoint& ep);
+
+}  // namespace mp::net

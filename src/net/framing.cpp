@@ -1,0 +1,90 @@
+#include "net/framing.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <poll.h>
+#include <unistd.h>
+
+namespace mp::net {
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed = line;
+  framed += '\n';
+  return write_all(fd, framed.data(), framed.size());
+}
+
+ReadStatus FrameReader::next(std::string& line) {
+  line.clear();
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      if (discarding_ || pos > max_frame_bytes_) {
+        // Tail of an oversized line (or one that arrived whole in a single
+        // read burst): drop through its terminator and report the
+        // truncation once; the caller decides whether to keep reading.
+        buffer_.erase(0, pos + 1);
+        discarding_ = false;
+        return ReadStatus::kOversized;
+      }
+      line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return ReadStatus::kOk;
+    }
+    if (!discarding_ && buffer_.size() > max_frame_bytes_) {
+      // The line under assembly already exceeds the ceiling: stop buffering
+      // it (bound memory) and discard until its '\n' arrives.
+      buffer_.clear();
+      discarding_ = true;
+    }
+    if (discarding_) buffer_.clear();
+
+    if (timeout_s_ > 0.0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_s_ * 1000.0));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) return ReadStatus::kTimeout;
+      if (rc < 0) return ReadStatus::kError;
+    }
+    char chunk[1 << 16];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace mp::net
+
+#else  // non-POSIX stub
+
+namespace mp::net {
+bool write_all(int, const void*, std::size_t) { return false; }
+bool write_frame(int, const std::string&) { return false; }
+ReadStatus FrameReader::next(std::string&) { return ReadStatus::kError; }
+}  // namespace mp::net
+
+#endif

@@ -1,0 +1,70 @@
+#pragma once
+// NDJSON framing shared by every socket speaker in the serving stack
+// (mp_serve, mp_submit, mp_route, the peer artifact fetcher): one JSON value
+// per '\n'-terminated line.  Generalizes the original src/svc/net.* helpers
+// with the hardening a fleet needs against malformed or hostile peers:
+//
+//   * write_all / write_frame retry EINTR and short writes, so one shared
+//     copy of the partial-write loop serves every caller;
+//   * FrameReader enforces a maximum line length — an oversized frame is
+//     reported (and the rest of that line discarded) instead of growing the
+//     buffer without bound, so a garbage peer cannot OOM the server — and
+//     supports an optional per-read timeout (poll before read) so routers
+//     never hang forever on a stuck backend.
+//
+// The reader returns a ReadStatus instead of bool so servers can answer an
+// oversized frame with a JSON error and keep the connection alive.
+
+#include <cstddef>
+#include <string>
+
+namespace mp::net {
+
+/// Default frame-size ceiling: generous enough for serialized design
+/// artifacts (net/wire.hpp), far below anything that could OOM a host.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Writes all `n` bytes, retrying EINTR and short writes; false on any other
+/// error or EOF.  Callers serialize per fd (e.g. a per-connection mutex).
+bool write_all(int fd, const void* data, std::size_t n);
+
+/// Frames `line` with a trailing '\n' and write_all()s it.
+bool write_frame(int fd, const std::string& line);
+
+enum class ReadStatus {
+  kOk,         ///< one complete line delivered
+  kEof,        ///< orderly peer close
+  kError,      ///< read failure (errno-level)
+  kTimeout,    ///< no data within the configured timeout
+  kOversized,  ///< line exceeded max_frame_bytes; its remainder is discarded
+};
+
+/// Buffered line reader for one fd; strips '\n' (and a trailing '\r').
+class FrameReader {
+ public:
+  /// `timeout_s` <= 0 blocks forever; otherwise each next() call waits at
+  /// most that long for the line to complete.
+  explicit FrameReader(int fd,
+                       std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                       double timeout_s = 0.0)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes), timeout_s_(timeout_s) {}
+
+  /// Blocks until one full line arrives (or EOF/error/timeout/limit).  On
+  /// kOversized the offending line's bytes are dropped through its
+  /// terminating '\n' — the next call resumes with the following line — and
+  /// `line` is left empty.  A final unterminated fragment at EOF is
+  /// discarded (the protocol is strictly newline-delimited).
+  ReadStatus next(std::string& line);
+
+  void set_timeout(double timeout_s) { timeout_s_ = timeout_s; }
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  int fd_;
+  std::size_t max_frame_bytes_;
+  double timeout_s_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an oversized line, pre-'\n'
+};
+
+}  // namespace mp::net

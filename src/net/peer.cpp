@@ -1,0 +1,53 @@
+#include "net/peer.hpp"
+
+#include "svc/client.hpp"
+#include "util/log.hpp"
+
+namespace mp::net {
+
+PeerFetcher::PeerFetcher(std::vector<std::string> peers,
+                         PeerFetchOptions options)
+    : peers_(std::move(peers)),
+      options_(options),
+      ring_(peers_, options_.vnodes) {}
+
+bool PeerFetcher::fetch(const std::string& kind, const std::string& key,
+                        std::string* blob) const {
+  if (peers_.empty()) return false;
+  // Ask the ring owner of the key first — under router placement that is
+  // the peer most likely to have built it — then the rest in listed order.
+  std::vector<std::string> order;
+  order.reserve(peers_.size());
+  const std::string& owner = ring_.owner(key);
+  if (!owner.empty()) order.push_back(owner);
+  for (const std::string& p : peers_) {
+    if (p != owner) order.push_back(p);
+  }
+  ConnectOptions copts;
+  copts.timeout_s = options_.connect_timeout_s;
+  copts.attempts = 1;  // a down peer is a skip, not a retry loop
+  for (const std::string& peer : order) {
+    svc::Client client(peer, copts);
+    client.set_read_timeout(options_.read_timeout_s);
+    std::string error;
+    if (!client.connect(&error)) continue;
+    try {
+      const svc::Json reply = client.fetch_artifact(kind, key);
+      const svc::Json* ok = reply.find("ok");
+      const svc::Json* payload = reply.find("blob");
+      if (ok != nullptr && ok->is_bool() && ok->as_bool() &&
+          payload != nullptr && payload->is_string()) {
+        *blob = payload->as_string();
+        util::log_info() << "net: " << kind << " " << key << " fetched from "
+                         << peer;
+        return true;
+      }
+    } catch (const std::exception& e) {
+      util::log_warn() << "net: fetch_artifact from " << peer
+                       << " failed: " << e.what();
+    }
+  }
+  return false;
+}
+
+}  // namespace mp::net

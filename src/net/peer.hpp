@@ -1,0 +1,48 @@
+#pragma once
+// Peer-to-peer artifact replication client (docs/DISTRIBUTED.md).  A fleet
+// backend installs a PeerFetcher as its ArtifactCache peer source: on a
+// cache miss it asks the ring peers — the consistent-hash owner of the
+// content key first, then clockwise — for the serialized artifact
+// (fetch_artifact verb) before paying for a cold rebuild.  Any reachable
+// peer that holds the key answers; a fleet therefore builds each artifact
+// once, not once per backend.
+//
+// Thread-safe: fetch() opens a fresh connection per call and touches no
+// shared mutable state, so concurrent cache misses fetch in parallel.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/ring.hpp"
+
+namespace mp::net {
+
+struct PeerFetchOptions {
+  int vnodes = 64;              ///< must match the router's ring
+  double connect_timeout_s = 2.0;
+  double read_timeout_s = 30.0; ///< serialized designs can be large
+};
+
+class PeerFetcher {
+ public:
+  /// `peers` are the OTHER backends' endpoint URIs (exclude this process's
+  /// own listen address, or every miss would ask itself first).
+  explicit PeerFetcher(std::vector<std::string> peers,
+                       PeerFetchOptions options = {});
+
+  /// ArtifactCache::PeerFetchFn shape: true with *blob set when some peer's
+  /// cache holds `key`.  Never throws; unreachable peers are skipped.
+  bool fetch(const std::string& kind, const std::string& key,
+             std::string* blob) const;
+
+  const std::vector<std::string>& peers() const { return peers_; }
+
+ private:
+  std::vector<std::string> peers_;
+  PeerFetchOptions options_;
+  HashRing ring_;
+};
+
+}  // namespace mp::net

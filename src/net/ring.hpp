@@ -1,0 +1,65 @@
+#pragma once
+// Consistent-hash ring mapping content-addressed job/artifact keys onto a
+// static backend list (docs/DISTRIBUTED.md).  Each backend contributes
+// `vnodes` points on a 64-bit ring at mix64(fnv1a64(backend + "#" + i)) —
+// FNV-1a for the shared content-hash vocabulary, a splitmix64 finalizer for
+// uniform point spacing (ring.cpp) — and a key owns the first point
+// clockwise of its own mixed hash.  Properties the fleet relies on
+// (tests/test_net.cpp pins all three):
+//
+//   * deterministic across processes — pure FNV-1a of strings, no seeding,
+//     no pointer or iteration-order dependence, so mp_route replicas and
+//     backends resolve identical owners;
+//   * balanced — with 64 vnodes no backend owns more than ~2x the mean over
+//     a large key population;
+//   * minimal remapping — removing a backend moves only the keys it owned
+//     (its points vanish; every other point is unchanged).
+//
+// owner() takes an optional alive-set so a router can skip backends its
+// health pings marked down: the walk continues clockwise to the ring
+// successor, which is exactly the idempotent re-submit target.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mp::net {
+
+class HashRing {
+ public:
+  explicit HashRing(std::vector<std::string> backends, int vnodes = 64);
+
+  const std::vector<std::string>& backends() const { return backends_; }
+  int vnodes() const { return vnodes_; }
+  bool empty() const { return points_.empty(); }
+
+  /// The backend owning `key`, or "" on an empty ring.
+  const std::string& owner(const std::string& key) const;
+
+  /// The first backend clockwise of `key` that is in `alive`; "" when none
+  /// are.  owner(key) == owner_among(key, all-backends).
+  const std::string& owner_among(const std::string& key,
+                                 const std::set<std::string>& alive) const;
+
+  /// The next distinct backend clockwise after `from` for this key — the
+  /// re-submit target when `from` is lost.  Skips backends not in `alive`;
+  /// "" when `alive` has no candidate other than `from`.
+  const std::string& successor(const std::string& key, const std::string& from,
+                               const std::set<std::string>& alive) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int backend;  ///< index into backends_
+  };
+
+  /// Index into points_ of the first point with hash >= h (wrapping).
+  std::size_t first_point(std::uint64_t h) const;
+
+  std::vector<std::string> backends_;
+  int vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace mp::net

@@ -1,0 +1,636 @@
+#include "net/router.hpp"
+
+#include "util/fnv.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/framing.hpp"
+#include "obs/report.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace mp::net {
+
+namespace {
+
+svc::Json error_reply(const std::string& message) {
+  svc::Json j = svc::Json::object();
+  j["ok"] = svc::Json::boolean(false);
+  j["error"] = svc::Json::string(message);
+  return j;
+}
+
+const std::string& require_id(const svc::Json& request) {
+  const svc::Json* id = request.find("id");
+  if (id == nullptr || !id->is_string()) {
+    throw svc::JsonError("request needs a string \"id\"");
+  }
+  return id->as_string();
+}
+
+/// True when a reply's job object is in a terminal state (never re-run).
+bool job_is_terminal(const svc::Json& reply) {
+  const svc::Json* job = reply.find("job");
+  if (job == nullptr) return false;
+  const svc::Json* state = job->find("state");
+  if (state == nullptr || !state->is_string()) return false;
+  const std::string& s = state->as_string();
+  return s == "done" || s == "failed" || s == "cancelled";
+}
+
+}  // namespace
+
+Router::Router(std::string listen_uri, RouterOptions options)
+    : listen_uri_(std::move(listen_uri)),
+      options_(std::move(options)),
+      ring_(options_.backends, options_.vnodes) {}
+
+Router::~Router() {
+  request_shutdown();
+  if (health_thread_.joinable()) health_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    if (endpoint_.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.path.c_str());
+    }
+  }
+  close_all_connections();
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+int Router::backend_index(const std::string& backend) const {
+  for (std::size_t i = 0; i < options_.backends.size(); ++i) {
+    if (options_.backends[i] == backend) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Router::start(std::string* error) {
+  if (options_.backends.empty()) {
+    if (error != nullptr) *error = "router needs at least one backend";
+    return false;
+  }
+  std::string parse_error;
+  if (!parse_endpoint(listen_uri_, &endpoint_, &parse_error)) {
+    if (error != nullptr) *error = parse_error;
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    if (error != nullptr) {
+      *error = std::string("pipe: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  listen_fd_ = listen_endpoint(endpoint_, options_.backlog, error);
+  if (listen_fd_ < 0) return false;
+  bound_ = local_endpoint(listen_fd_, endpoint_);
+
+  // Optimistically assume every backend is up; the first failed forward or
+  // health ping corrects the picture.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const std::string& b : options_.backends) up_.insert(b);
+  }
+  obs::Registry& reg = obs_ctx_.registry();
+  for (std::size_t i = 0; i < options_.backends.size(); ++i) {
+    reg.gauge("net.backend_up." + std::to_string(i)).set(1.0);
+  }
+  if (options_.health_period_s > 0.0) {
+    health_thread_ = std::thread([this] { health_loop(); });
+  }
+  util::log_info() << "route: listening on " << bound_.uri() << " ("
+                   << options_.backends.size() << " backends, "
+                   << options_.vnodes << " vnodes)";
+  return true;
+}
+
+void Router::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+bool Router::shutdown_requested() const {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+
+std::set<std::string> Router::alive_backends() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return up_;
+}
+
+void Router::serve() {
+  while (!shutdown_requested()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn() << "route: poll failed: " << std::strerror(errno);
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      obs_ctx_.registry().counter("net.accept.error").add(1);
+      util::log_warn() << "route: accept failed: " << std::strerror(errno);
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+  close_all_connections();
+  util::log_info() << "route: stopped";
+}
+
+void Router::close_all_connections() {
+  std::vector<Connection*> conns;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& c : connections_) {
+      conns.push_back(c.get());
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  for (Connection* c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const std::unique_ptr<Connection>& c : connections_) {
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
+  connections_.clear();
+}
+
+bool Router::backend_request(const std::string& backend, const svc::Json& req,
+                             svc::Json* reply, std::string* error,
+                             double read_timeout_s) {
+  ConnectOptions copts;
+  copts.timeout_s = options_.connect_timeout_s;
+  copts.attempts = 1;  // fail fast; the ring successor is the retry path
+  svc::Client client(backend, copts);
+  if (read_timeout_s > 0.0) client.set_read_timeout(read_timeout_s);
+  if (!client.connect(error)) return false;
+  util::Timer timer;
+  try {
+    *reply = client.request(req);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  const int idx = backend_index(backend);
+  if (idx >= 0) {
+    obs_ctx_.registry()
+        .histogram("net.backend_latency." + std::to_string(idx))
+        .record(timer.seconds());
+  }
+  return true;
+}
+
+void Router::mark_up(const std::string& backend) {
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    changed = up_.insert(backend).second;
+  }
+  if (!changed) return;
+  const int idx = backend_index(backend);
+  if (idx >= 0) {
+    obs_ctx_.registry().gauge("net.backend_up." + std::to_string(idx)).set(1.0);
+  }
+  util::log_info() << "route: backend up: " << backend;
+}
+
+void Router::mark_down(const std::string& backend) {
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    changed = up_.erase(backend) > 0;
+  }
+  if (!changed) return;
+  const int idx = backend_index(backend);
+  if (idx >= 0) {
+    obs_ctx_.registry().gauge("net.backend_up." + std::to_string(idx)).set(0.0);
+  }
+  util::log_warn() << "route: backend down: " << backend
+                   << "; re-dispatching its jobs";
+  // Idempotent failover: every job routed to the dead backend is
+  // re-submitted to its ring successor — terminal ones too, because the
+  // dead backend held the only copy of their results.  Content-hash IDs +
+  // determinism make the re-run byte-identical, so this is exactly-once in
+  // effect and a later `result` serves the same bytes.
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (auto& [client_id, route] : routes_) {
+    if (route.backend != backend) continue;
+    if (redispatch(client_id, &route)) route.terminal = false;
+  }
+}
+
+bool Router::redispatch(const std::string& client_id, Route* route) {
+  svc::Json req = svc::Json::object();
+  req["verb"] = svc::Json::string("submit");
+  req["spec"] = svc::Json::parse(route->spec_dump);
+  for (;;) {
+    const std::string next =
+        ring_.owner_among(route->key, alive_backends());
+    if (next.empty()) {
+      util::log_warn() << "route: no live backend for " << client_id;
+      return false;
+    }
+    svc::Json reply;
+    std::string error;
+    if (!backend_request(next, req, &reply, &error)) {
+      // Mark the failing successor down inline (mark_down would re-enter
+      // routes_mutex_) and keep walking the ring.
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        up_.erase(next);
+      }
+      const int idx = backend_index(next);
+      if (idx >= 0) {
+        obs_ctx_.registry()
+            .gauge("net.backend_up." + std::to_string(idx))
+            .set(0.0);
+      }
+      util::log_warn() << "route: re-dispatch to " << next
+                       << " failed: " << error;
+      continue;  // walk further around the ring
+    }
+    const svc::Json* ok = reply.find("ok");
+    const svc::Json* id = reply.find("id");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool() || id == nullptr) {
+      // The backend is alive but rejected the job (e.g. full queue); leave
+      // the route as-is so a later attempt can retry.
+      util::log_warn() << "route: " << next << " rejected re-dispatch of "
+                       << client_id;
+      return false;
+    }
+    obs_ctx_.registry().counter("net.retries").add(1);
+    route->backend = next;
+    route->backend_id = id->as_string();
+    util::log_info() << "route: " << client_id << " re-dispatched to " << next;
+    return true;
+  }
+}
+
+void Router::health_loop() {
+  svc::Json ping = svc::Json::object();
+  ping["verb"] = svc::Json::string("ping");
+  while (!shutdown_requested()) {
+    for (const std::string& backend : options_.backends) {
+      if (shutdown_requested()) return;
+      svc::Json reply;
+      std::string error;
+      if (backend_request(backend, ping, &reply, &error,
+                          options_.ping_timeout_s)) {
+        mark_up(backend);
+      } else {
+        mark_down(backend);
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.health_period_s));
+  }
+}
+
+svc::Json Router::handle_submit(const svc::Json& request) {
+  const svc::Json* spec = request.find("spec");
+  if (spec == nullptr) return error_reply("submit needs a \"spec\"");
+  const std::string spec_dump = spec->dump();  // canonical: sorted keys
+  const std::string key = util::hash_hex(util::fnv1a64(spec_dump));
+
+  svc::Json forward = svc::Json::object();
+  forward["verb"] = svc::Json::string("submit");
+  forward["spec"] = *spec;
+
+  for (;;) {
+    const std::string backend = ring_.owner_among(key, alive_backends());
+    if (backend.empty()) return error_reply("no live backends");
+    svc::Json reply;
+    std::string error;
+    if (!backend_request(backend, forward, &reply, &error)) {
+      mark_down(backend);
+      continue;  // ring successor
+    }
+    obs_ctx_.registry().counter("net.forwarded").add(1);
+    const svc::Json* ok = reply.find("ok");
+    const svc::Json* id = reply.find("id");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool() || id == nullptr ||
+        !id->is_string()) {
+      return reply;  // admission error; relay verbatim
+    }
+    // Mint the stable client-visible id: the spec's content hash plus a
+    // router sequence number (the same spec submitted twice is two jobs,
+    // like the backends' own content-hash + seq scheme).
+    std::string client_id;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      client_id = "r" + key.substr(0, 10) + "-" + std::to_string(next_seq_++);
+      Route route;
+      route.spec_dump = spec_dump;
+      route.key = key;
+      route.backend = backend;
+      route.backend_id = id->as_string();
+      routes_[client_id] = route;
+    }
+    svc::Json j = svc::Json::object();
+    j["ok"] = svc::Json::boolean(true);
+    j["id"] = svc::Json::string(client_id);
+    j["backend"] = svc::Json::string(backend);
+    return j;
+  }
+}
+
+svc::Json Router::handle_job_verb(const svc::Json& request) {
+  const std::string client_id = require_id(request);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string backend, backend_id;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      const auto it = routes_.find(client_id);
+      if (it == routes_.end()) {
+        return error_reply("unknown job " + client_id);
+      }
+      backend = it->second.backend;
+      backend_id = it->second.backend_id;
+    }
+    svc::Json forward = request;
+    forward["id"] = svc::Json::string(backend_id);
+    svc::Json reply;
+    std::string error;
+    if (!backend_request(backend, forward, &reply, &error)) {
+      mark_down(backend);  // re-dispatches this route too (no-op when the
+                           // health thread already marked it down)
+      {
+        // If the route still points at the dead backend — mark_down was a
+        // no-op, or its earlier re-dispatch round failed — re-dispatch this
+        // route directly so the retry below has somewhere to go.
+        std::lock_guard<std::mutex> lock(routes_mutex_);
+        const auto it = routes_.find(client_id);
+        if (it != routes_.end() && it->second.backend == backend) {
+          if (redispatch(client_id, &it->second)) it->second.terminal = false;
+        }
+      }
+      continue;  // second attempt follows the new route
+    }
+    obs_ctx_.registry().counter("net.forwarded").add(1);
+    if (reply.find("job") != nullptr) {
+      reply["job"]["id"] = svc::Json::string(client_id);
+      if (job_is_terminal(reply)) {
+        std::lock_guard<std::mutex> lock(routes_mutex_);
+        const auto it = routes_.find(client_id);
+        if (it != routes_.end()) it->second.terminal = true;
+      }
+    }
+    return reply;
+  }
+  return error_reply("job " + client_id + ": backends unreachable");
+}
+
+svc::Json Router::handle_watch(Connection* conn, const svc::Json& request) {
+  const std::string client_id = require_id(request);
+  std::string backend, backend_id;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(client_id);
+    if (it == routes_.end()) return error_reply("unknown job " + client_id);
+    backend = it->second.backend;
+    backend_id = it->second.backend_id;
+  }
+  ConnectOptions copts;
+  copts.timeout_s = options_.connect_timeout_s;
+  svc::Client client(backend, copts);
+  std::string error;
+  if (!client.connect(&error)) {
+    mark_down(backend);
+    return error_reply("backend " + backend + " unreachable: " + error);
+  }
+  try {
+    svc::Json done = client.watch(backend_id, [&](const svc::Json& event) {
+      svc::Json line = event;
+      if (line.find("job") != nullptr) {
+        line["job"] = svc::Json::string(client_id);
+      }
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->fd >= 0) write_frame(conn->fd, line.dump());
+    });
+    if (done.find("job") != nullptr && done.find("job")->is_object()) {
+      done["job"]["id"] = svc::Json::string(client_id);
+    }
+    obs_ctx_.registry().counter("net.forwarded").add(1);
+    return done;
+  } catch (const std::exception& e) {
+    mark_down(backend);
+    return error_reply("watch of " + client_id + " failed: " + e.what());
+  }
+}
+
+svc::Json Router::handle_stats() {
+  // Fan the stats verb out to every live backend; the reply nests each
+  // backend's own object so fleet dashboards see the whole picture.
+  svc::Json req = svc::Json::object();
+  req["verb"] = svc::Json::string("stats");
+  svc::Json backends = svc::Json::object();
+  for (std::size_t i = 0; i < options_.backends.size(); ++i) {
+    const std::string& backend = options_.backends[i];
+    svc::Json reply;
+    std::string error;
+    if (backend_request(backend, req, &reply, &error,
+                        options_.ping_timeout_s)) {
+      backends[backend] = reply;
+    } else {
+      backends[backend] = error_reply(error);
+    }
+  }
+  svc::Json j = svc::Json::object();
+  j["ok"] = svc::Json::boolean(true);
+  j["backends"] = backends;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    j["routes"] = svc::Json::number(static_cast<long long>(routes_.size()));
+  }
+  return j;
+}
+
+svc::Json Router::handle_metrics(const svc::Json& request) {
+  const svc::Json* format = request.find("format");
+  if (format != nullptr && format->is_string() &&
+      format->as_string() == "prom") {
+    svc::Json j = svc::Json::object();
+    j["ok"] = svc::Json::boolean(true);
+    j["format"] = svc::Json::string("prom");
+    j["text"] = svc::Json::string(
+        obs::prometheus_text(obs_ctx_.registry().snapshot()));
+    return j;
+  }
+  const obs::RegistrySnapshot snap = obs_ctx_.registry().snapshot();
+  svc::Json j = svc::Json::object();
+  j["ok"] = svc::Json::boolean(true);
+  svc::Json counters = svc::Json::object();
+  for (const auto& [name, value] : snap.counters) {
+    counters[name] = svc::Json::number(static_cast<long long>(value));
+  }
+  j["counters"] = counters;
+  svc::Json gauges = svc::Json::object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges[name] = svc::Json::number(value);
+  }
+  j["gauges"] = gauges;
+  svc::Json hists = svc::Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    svc::Json hj = svc::Json::object();
+    hj["count"] = svc::Json::number(static_cast<long long>(h.count));
+    hj["mean"] = svc::Json::number(h.mean());
+    hj["p50"] = svc::Json::number(h.quantile(0.5));
+    hj["p95"] = svc::Json::number(h.quantile(0.95));
+    hj["p99"] = svc::Json::number(h.quantile(0.99));
+    hists[name] = hj;
+  }
+  j["histograms"] = hists;
+  // Index → URI mapping for the net.backend_*.N metric names.
+  svc::Json list = svc::Json::array();
+  for (const std::string& b : options_.backends) {
+    list.push_back(svc::Json::string(b));
+  }
+  j["backends"] = list;
+  return j;
+}
+
+svc::Json Router::handle_request(Connection* conn, const svc::Json& request) {
+  const svc::Json* verb_field = request.find("verb");
+  if (verb_field == nullptr || !verb_field->is_string()) {
+    return error_reply("request needs a string \"verb\"");
+  }
+  const std::string& verb = verb_field->as_string();
+  if (verb == "submit") return handle_submit(request);
+  if (verb == "status" || verb == "result" || verb == "cancel") {
+    return handle_job_verb(request);
+  }
+  if (verb == "watch") return handle_watch(conn, request);
+  if (verb == "stats") return handle_stats();
+  if (verb == "metrics") return handle_metrics(request);
+  if (verb == "ping") {
+    svc::Json j = svc::Json::object();
+    j["ok"] = svc::Json::boolean(true);
+    j["pong"] = svc::Json::boolean(true);
+    return j;
+  }
+  if (verb == "shutdown") {
+    svc::Json j = svc::Json::object();
+    j["ok"] = svc::Json::boolean(true);
+    return j;
+  }
+  return error_reply("unknown verb \"" + verb + "\" (the router forwards "
+                     "submit/status/result/cancel/watch/stats/metrics)");
+}
+
+void Router::handle_connection(Connection* conn) {
+  FrameReader reader(conn->fd, options_.max_frame_bytes);
+  std::string line;
+  for (;;) {
+    const ReadStatus status = reader.next(line);
+    if (status == ReadStatus::kOversized) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->fd < 0 ||
+          !write_frame(conn->fd,
+                       error_reply("request line exceeds " +
+                                   std::to_string(options_.max_frame_bytes) +
+                                   " bytes")
+                           .dump())) {
+        break;
+      }
+      continue;
+    }
+    if (status != ReadStatus::kOk) break;
+    if (line.empty()) continue;
+    svc::Json reply;
+    bool shutdown_after = false;
+    try {
+      const svc::Json request = svc::Json::parse(line);
+      reply = handle_request(conn, request);
+      const svc::Json* verb = request.find("verb");
+      shutdown_after = verb != nullptr && verb->is_string() &&
+                       verb->as_string() == "shutdown";
+    } catch (const std::exception& e) {
+      reply = error_reply(e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (!write_frame(conn->fd, reply.dump())) break;
+    }
+    if (shutdown_after) {
+      request_shutdown();
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+}  // namespace mp::net
+
+#else  // non-POSIX stub: the fleet runs on Unix only.
+
+namespace mp::net {
+
+Router::Router(std::string listen_uri, RouterOptions options)
+    : listen_uri_(std::move(listen_uri)),
+      options_(std::move(options)),
+      ring_(options_.backends, options_.vnodes) {}
+Router::~Router() = default;
+bool Router::start(std::string* error) {
+  if (error != nullptr) *error = "sockets unavailable on this platform";
+  return false;
+}
+void Router::serve() {}
+void Router::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+}
+bool Router::shutdown_requested() const {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+std::set<std::string> Router::alive_backends() const { return {}; }
+void Router::close_all_connections() {}
+void Router::handle_connection(Connection*) {}
+svc::Json Router::handle_request(Connection*, const svc::Json&) {
+  return svc::Json();
+}
+
+}  // namespace mp::net
+
+#endif

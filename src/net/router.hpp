@@ -1,0 +1,151 @@
+#pragma once
+// mp_route — the fleet coordinator (docs/DISTRIBUTED.md).  Listens on one
+// endpoint, owns a static list of backend endpoints, and consistent-hashes
+// each job's content onto the backend ring (net/ring.hpp) so identical specs
+// land on the same backend and reuse its warm artifact cache.  Forwards
+// submit / status / result / cancel / watch / stats, serves its own
+// "metrics" (the routing SLO registry), and answers "ping".
+//
+// Failure semantics: a backend that stops answering (health ping or a failed
+// forward) is marked down and every non-terminal job routed to it is
+// re-submitted to the ring successor.  Because job IDs are content hashes of
+// canonical specs and jobs are deterministic, re-submission is idempotent —
+// the re-run yields a byte-identical outcome, so clients never observe a
+// lost or diverging job, only added latency (the at-most-once +
+// deterministic-retry argument in docs/DISTRIBUTED.md).  Client-visible job
+// IDs are minted by the router and stay stable across re-dispatch; replies
+// are rewritten accordingly.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/annotations.hpp"
+#include "net/endpoint.hpp"
+#include "net/ring.hpp"
+#include "obs/obs.hpp"
+#include "svc/client.hpp"
+#include "svc/json.hpp"
+
+namespace mp::net {
+
+struct RouterOptions {
+  std::vector<std::string> backends;  ///< endpoint URIs, order = ring identity
+  int vnodes = 64;                    ///< ring virtual nodes per backend
+  int backlog = 64;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  double health_period_s = 0.5;   ///< ping cadence (0 disables the thread)
+  double ping_timeout_s = 2.0;    ///< reply budget for one health ping
+  double connect_timeout_s = 2.0; ///< per-forward connect budget
+};
+
+class Router {
+ public:
+  Router(std::string listen_uri, RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds + listens and starts the health thread.  False with *error set
+  /// on a bad URI, an empty backend list, or a bind failure.
+  bool start(std::string* error);
+
+  /// Accept loop; returns after request_shutdown().
+  void serve();
+
+  void request_shutdown();
+  bool shutdown_requested() const;
+
+  std::string bound_uri() const { return bound_.uri(); }
+
+  /// Routing SLO registry: net.forwarded / net.retries counters,
+  /// net.backend_up.<i> gauges and net.backend_latency.<i> histograms
+  /// (indices follow RouterOptions::backends order).
+  const obs::Registry& registry() const { return obs_ctx_.registry(); }
+
+  /// Live backends as seen by the health checks (tests; metrics).
+  std::set<std::string> alive_backends() const;
+
+ private:
+  struct Connection {
+    int fd = -1;  ///< written under write_mutex once the socket is live
+    std::mutex write_mutex MP_GUARDS(fd);
+    std::thread thread;
+  };
+
+  /// One client-visible job and where it currently runs.
+  struct Route {
+    std::string spec_dump;   ///< canonical spec JSON (for re-submission)
+    std::string key;         ///< ring key (content hash of spec_dump)
+    std::string backend;     ///< backend URI currently owning the job
+    std::string backend_id;  ///< the job id that backend assigned
+    bool terminal = false;   ///< done/failed/cancelled observed; never re-run
+  };
+
+  void handle_connection(Connection* conn);
+  svc::Json handle_request(Connection* conn, const svc::Json& request);
+  void close_all_connections();
+
+  svc::Json handle_submit(const svc::Json& request);
+  svc::Json handle_job_verb(const svc::Json& request);
+  svc::Json handle_watch(Connection* conn, const svc::Json& request);
+  svc::Json handle_stats();
+  svc::Json handle_metrics(const svc::Json& request);
+
+  /// One request/reply round-trip against `backend` (fresh connection, so
+  /// forwards never head-of-line block each other).  Null Json + *error on
+  /// transport failure, after which the caller marks the backend down.
+  bool backend_request(const std::string& backend, const svc::Json& req,
+                       svc::Json* reply, std::string* error,
+                       double read_timeout_s = 0.0);
+
+  void mark_up(const std::string& backend);
+  /// Marks down and re-dispatches every route owned by `backend` —
+  /// terminal ones included, since the dead backend held the only copy of
+  /// their results — to its ring successor.  No-op when already down.
+  void mark_down(const std::string& backend);
+  void health_loop();
+
+  /// Submits `route`'s spec to the ring successor of its current backend;
+  /// true when a new backend accepted it (route updated in place).
+  bool redispatch(const std::string& client_id, Route* route)
+      MP_REQUIRES(routes_mutex_);
+
+  int backend_index(const std::string& backend) const;
+
+  std::string listen_uri_;
+  RouterOptions options_;
+  HashRing ring_;
+  Endpoint endpoint_;
+  Endpoint bound_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread health_thread_;
+
+  mutable obs::Context obs_ctx_{"route"};
+
+  mutable std::mutex state_mutex_ MP_GUARDS(up_);
+  std::set<std::string> up_ MP_GUARDED_BY(state_mutex_);
+
+  std::mutex routes_mutex_ MP_GUARDS(routes_, next_seq_);
+  std::map<std::string, Route> routes_ MP_GUARDED_BY(routes_mutex_);
+  long long next_seq_ MP_GUARDED_BY(routes_mutex_) = 0;
+
+  /// Lock order: Connection::write_mutex before connections_mutex_, and
+  /// routes_mutex_ before state_mutex_ (redispatch reads the alive set while
+  /// rerouting); state_mutex_ is otherwise a leaf.  routes_mutex_ is held
+  /// across the re-dispatch round-trips in mark_down — failover is rare and
+  /// pausing routing during it is the simple-correct choice.
+  std::mutex connections_mutex_ MP_GUARDS(connections_);
+  std::vector<std::unique_ptr<Connection>> connections_
+      MP_GUARDED_BY(connections_mutex_);
+};
+
+}  // namespace mp::net

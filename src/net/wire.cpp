@@ -1,0 +1,415 @@
+#include "net/wire.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mp::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token writer/reader.  Tokens are space-separated; strings are
+// length-prefixed so arbitrary bytes (node names, hierarchies) need no
+// escaping and a truncated blob fails at the first short read.
+
+void put_u(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += ' ';
+}
+
+void put_i(std::string& out, long long v) {
+  out += std::to_string(v);
+  out += ' ';
+}
+
+void put_d(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "x%016llx ",
+                static_cast<unsigned long long>(bits));
+  out += buf;
+}
+
+void put_f(std::string& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "f%08x ", bits);
+  out += buf;
+}
+
+void put_s(std::string& out, const std::string& s) {
+  out += std::to_string(s.size());
+  out += ':';
+  out += s;
+  out += ' ';
+}
+
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& blob) : blob_(blob) {}
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("artifact blob: bad " + std::string(what) +
+                             " at offset " + std::to_string(pos_));
+  }
+
+  std::uint64_t get_u(const char* what) {
+    const std::string tok = token(what);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || tok.empty()) fail(what);
+    return v;
+  }
+
+  long long get_i(const char* what) {
+    const std::string tok = token(what);
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || tok.empty()) fail(what);
+    return v;
+  }
+
+  double get_d(const char* what) {
+    const std::string tok = token(what);
+    if (tok.size() != 17 || tok[0] != 'x') fail(what);
+    char* end = nullptr;
+    const std::uint64_t bits = std::strtoull(tok.c_str() + 1, &end, 16);
+    if (end == nullptr || *end != '\0') fail(what);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  float get_f(const char* what) {
+    const std::string tok = token(what);
+    if (tok.size() != 9 || tok[0] != 'f') fail(what);
+    char* end = nullptr;
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(std::strtoull(tok.c_str() + 1, &end, 16));
+    if (end == nullptr || *end != '\0') fail(what);
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string get_s(const char* what) {
+    // "<len>:<bytes> "
+    std::size_t len = 0;
+    bool any = false;
+    while (pos_ < blob_.size() && blob_[pos_] >= '0' && blob_[pos_] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(blob_[pos_] - '0');
+      if (len > blob_.size()) fail(what);
+      ++pos_;
+      any = true;
+    }
+    if (!any || pos_ >= blob_.size() || blob_[pos_] != ':') fail(what);
+    ++pos_;
+    if (pos_ + len > blob_.size()) fail(what);
+    std::string s = blob_.substr(pos_, len);
+    pos_ += len;
+    if (pos_ < blob_.size() && blob_[pos_] == ' ') ++pos_;
+    return s;
+  }
+
+  void expect_magic(const char* magic) {
+    const std::string tok = token("magic");
+    if (tok != magic) {
+      throw std::runtime_error("artifact blob: expected magic \"" +
+                               std::string(magic) + "\", got \"" + tok + "\"");
+    }
+  }
+
+  void expect_end() const {
+    if (pos_ != blob_.size()) fail("trailing bytes");
+  }
+
+ private:
+  std::string token(const char* what) {
+    if (pos_ >= blob_.size()) fail(what);
+    const std::size_t sp = blob_.find(' ', pos_);
+    if (sp == std::string::npos) fail(what);
+    std::string tok = blob_.substr(pos_, sp - pos_);
+    pos_ = sp + 1;
+    return tok;
+  }
+
+  const std::string& blob_;
+  std::size_t pos_ = 0;
+};
+
+// Bounds used to reject absurd counts before allocating (a corrupt or
+// hostile blob must not drive a multi-gigabyte reserve).
+constexpr std::uint64_t kMaxCount = 1u << 28;
+
+std::uint64_t checked_count(TokenReader& r, const char* what) {
+  const std::uint64_t n = r.get_u(what);
+  if (n > kMaxCount) r.fail(what);
+  return n;
+}
+
+void put_design_body(std::string& out, const netlist::Design& design) {
+  put_s(out, design.name());
+  const geometry::Rect& region = design.region();
+  put_d(out, region.x);
+  put_d(out, region.y);
+  put_d(out, region.w);
+  put_d(out, region.h);
+  put_u(out, design.num_nodes());
+  for (const netlist::Node& node : design.nodes()) {
+    put_s(out, node.name);
+    put_i(out, static_cast<long long>(node.kind));
+    put_d(out, node.width);
+    put_d(out, node.height);
+    put_d(out, node.position.x);
+    put_d(out, node.position.y);
+    put_u(out, node.fixed ? 1 : 0);
+    put_s(out, node.hierarchy);
+  }
+  put_u(out, design.num_nets());
+  for (const netlist::Net& net : design.nets()) {
+    put_s(out, net.name);
+    put_d(out, net.weight);
+    put_u(out, net.pins.size());
+    for (const netlist::PinRef& pin : net.pins) {
+      put_i(out, pin.node);
+      put_d(out, pin.dx);
+      put_d(out, pin.dy);
+    }
+  }
+}
+
+netlist::Design get_design_body(TokenReader& r) {
+  const std::string name = r.get_s("design name");
+  geometry::Rect region;
+  region.x = r.get_d("region.x");
+  region.y = r.get_d("region.y");
+  region.w = r.get_d("region.w");
+  region.h = r.get_d("region.h");
+  netlist::Design design(name, region);
+  const std::uint64_t num_nodes = checked_count(r, "node count");
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    netlist::Node node;
+    node.name = r.get_s("node name");
+    const long long kind = r.get_i("node kind");
+    if (kind < 0 || kind > 2) r.fail("node kind");
+    node.kind = static_cast<netlist::NodeKind>(kind);
+    node.width = r.get_d("node width");
+    node.height = r.get_d("node height");
+    node.position.x = r.get_d("node x");
+    node.position.y = r.get_d("node y");
+    node.fixed = r.get_u("node fixed") != 0;
+    node.hierarchy = r.get_s("node hierarchy");
+    design.add_node(std::move(node));
+  }
+  const std::uint64_t num_nets = checked_count(r, "net count");
+  for (std::uint64_t i = 0; i < num_nets; ++i) {
+    netlist::Net net;
+    net.name = r.get_s("net name");
+    net.weight = r.get_d("net weight");
+    const std::uint64_t num_pins = checked_count(r, "pin count");
+    net.pins.reserve(num_pins);
+    for (std::uint64_t p = 0; p < num_pins; ++p) {
+      netlist::PinRef pin;
+      const long long node = r.get_i("pin node");
+      if (node < 0 || node >= static_cast<long long>(num_nodes)) {
+        r.fail("pin node");
+      }
+      pin.node = static_cast<netlist::NodeId>(node);
+      pin.dx = r.get_d("pin dx");
+      pin.dy = r.get_d("pin dy");
+      net.pins.push_back(pin);
+    }
+    design.add_net(std::move(net));
+  }
+  return design;
+}
+
+void put_group(std::string& out, const cluster::Group& group) {
+  put_u(out, group.members.size());
+  for (const netlist::NodeId member : group.members) put_i(out, member);
+  put_d(out, group.area);
+  put_d(out, group.width);
+  put_d(out, group.height);
+  put_d(out, group.centroid.x);
+  put_d(out, group.centroid.y);
+  put_s(out, group.hierarchy);
+}
+
+cluster::Group get_group(TokenReader& r) {
+  cluster::Group group;
+  const std::uint64_t members = checked_count(r, "group member count");
+  group.members.reserve(members);
+  for (std::uint64_t i = 0; i < members; ++i) {
+    group.members.push_back(
+        static_cast<netlist::NodeId>(r.get_i("group member")));
+  }
+  group.area = r.get_d("group area");
+  group.width = r.get_d("group width");
+  group.height = r.get_d("group height");
+  group.centroid.x = r.get_d("group centroid.x");
+  group.centroid.y = r.get_d("group centroid.y");
+  group.hierarchy = r.get_s("group hierarchy");
+  return group;
+}
+
+void put_id_vector(std::string& out, const std::vector<netlist::NodeId>& v) {
+  put_u(out, v.size());
+  for (const netlist::NodeId id : v) put_i(out, id);
+}
+
+std::vector<netlist::NodeId> get_id_vector(TokenReader& r, const char* what) {
+  const std::uint64_t n = checked_count(r, what);
+  std::vector<netlist::NodeId> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<netlist::NodeId>(r.get_i(what)));
+  }
+  return v;
+}
+
+void put_int_vector(std::string& out, const std::vector<int>& v) {
+  put_u(out, v.size());
+  for (const int x : v) put_i(out, x);
+}
+
+std::vector<int> get_int_vector(TokenReader& r, const char* what) {
+  const std::uint64_t n = checked_count(r, what);
+  std::vector<int> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<int>(r.get_i(what)));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_design(const netlist::Design& design) {
+  std::string out;
+  out.reserve(128 + design.num_nodes() * 96 + design.num_nets() * 64);
+  out += "MPD1 ";
+  put_design_body(out, design);
+  return out;
+}
+
+netlist::Design deserialize_design(const std::string& blob) {
+  TokenReader r(blob);
+  r.expect_magic("MPD1");
+  netlist::Design design = get_design_body(r);
+  r.expect_end();
+  return design;
+}
+
+std::string serialize_prepared(const netlist::Design& design,
+                               const place::FlowContext& context) {
+  std::string out;
+  out.reserve(256 + design.num_nodes() * 96 + design.num_nets() * 64);
+  out += "MPP1 ";
+  put_design_body(out, design);
+  // GridSpec is a pure function of (region, dim): serialize those and
+  // reconstruct through the constructor so derived cell sizes stay
+  // consistent by definition.
+  const grid::GridSpec& spec = context.spec;
+  put_d(out, spec.region().x);
+  put_d(out, spec.region().y);
+  put_d(out, spec.region().w);
+  put_d(out, spec.region().h);
+  put_i(out, spec.dim());
+  const cluster::Clustering& clustering = context.clustering;
+  put_u(out, clustering.macro_groups.size());
+  for (const cluster::Group& g : clustering.macro_groups) put_group(out, g);
+  put_u(out, clustering.cell_groups.size());
+  for (const cluster::Group& g : clustering.cell_groups) put_group(out, g);
+  put_int_vector(out, clustering.macro_group_of);
+  put_int_vector(out, clustering.cell_group_of);
+  const cluster::CoarseDesign& coarse = context.coarse;
+  put_design_body(out, coarse.design);
+  put_id_vector(out, coarse.macro_group_nodes);
+  put_id_vector(out, coarse.cell_group_nodes);
+  put_id_vector(out, coarse.coarse_of_original);
+  return out;
+}
+
+void deserialize_prepared(const std::string& blob, netlist::Design* design,
+                          place::FlowContext* context) {
+  TokenReader r(blob);
+  r.expect_magic("MPP1");
+  *design = get_design_body(r);
+  geometry::Rect region;
+  region.x = r.get_d("grid region.x");
+  region.y = r.get_d("grid region.y");
+  region.w = r.get_d("grid region.w");
+  region.h = r.get_d("grid region.h");
+  const long long dim = r.get_i("grid dim");
+  if (dim < 1 || dim > (1 << 20)) r.fail("grid dim");
+  context->spec = grid::GridSpec(region, static_cast<int>(dim));
+  cluster::Clustering clustering;
+  const std::uint64_t macro_groups = checked_count(r, "macro group count");
+  clustering.macro_groups.reserve(macro_groups);
+  for (std::uint64_t i = 0; i < macro_groups; ++i) {
+    clustering.macro_groups.push_back(get_group(r));
+  }
+  const std::uint64_t cell_groups = checked_count(r, "cell group count");
+  clustering.cell_groups.reserve(cell_groups);
+  for (std::uint64_t i = 0; i < cell_groups; ++i) {
+    clustering.cell_groups.push_back(get_group(r));
+  }
+  clustering.macro_group_of = get_int_vector(r, "macro_group_of");
+  clustering.cell_group_of = get_int_vector(r, "cell_group_of");
+  context->clustering = std::move(clustering);
+  cluster::CoarseDesign coarse;
+  coarse.design = get_design_body(r);
+  coarse.macro_group_nodes = get_id_vector(r, "macro_group_nodes");
+  coarse.cell_group_nodes = get_id_vector(r, "cell_group_nodes");
+  coarse.coarse_of_original = get_id_vector(r, "coarse_of_original");
+  context->coarse = std::move(coarse);
+  r.expect_end();
+}
+
+std::string serialize_weights(const std::vector<nn::Tensor>& parameters) {
+  std::string out;
+  std::size_t elems = 0;
+  for (const nn::Tensor& t : parameters) elems += t.size();
+  out.reserve(64 + parameters.size() * 32 + elems * 10);
+  out += "MPW1 ";
+  put_u(out, parameters.size());
+  for (const nn::Tensor& t : parameters) {
+    put_u(out, t.shape().size());
+    for (const int d : t.shape()) put_i(out, d);
+    for (std::size_t i = 0; i < t.size(); ++i) put_f(out, t[i]);
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> deserialize_weights(const std::string& blob) {
+  TokenReader r(blob);
+  r.expect_magic("MPW1");
+  const std::uint64_t count = checked_count(r, "tensor count");
+  std::vector<nn::Tensor> parameters;
+  parameters.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t rank = r.get_u("tensor rank");
+    if (rank > 8) r.fail("tensor rank");
+    std::vector<int> shape;
+    shape.reserve(rank);
+    std::uint64_t total = 1;
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      const long long dim = r.get_i("tensor dim");
+      if (dim < 0 || dim > (1 << 24)) r.fail("tensor dim");
+      shape.push_back(static_cast<int>(dim));
+      total *= static_cast<std::uint64_t>(dim);
+    }
+    if (total > kMaxCount) r.fail("tensor size");
+    nn::Tensor t(shape);
+    for (std::size_t e = 0; e < t.size(); ++e) t[e] = r.get_f("tensor value");
+    parameters.push_back(std::move(t));
+  }
+  r.expect_end();
+  return parameters;
+}
+
+}  // namespace mp::net

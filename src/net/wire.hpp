@@ -1,0 +1,44 @@
+#pragma once
+// Wire codecs for peer-to-peer artifact replication (docs/DISTRIBUTED.md):
+// bit-exact text serialization of the three warm-cache artifact payloads —
+// parsed designs, prepared flows (design + FlowContext), and pre-trained
+// weights — so a backend can serve its cache to ring peers over the NDJSON
+// protocol's `fetch_artifact` verb instead of every node rebuilding cold.
+//
+// Format notes:
+//   * text-only (fits inside one JSON string on the wire), versioned with a
+//     leading magic token per kind ("MPD1" design, "MPP1" prepared, "MPW1"
+//     weights) so format evolution fails loudly;
+//   * floating-point values travel as hex bit patterns (x<16 hex> for
+//     doubles, f<8 hex> for floats) — decode is bit-identical, which the
+//     service's determinism contract requires: a peer-fetched artifact must
+//     produce byte-identical placements to a locally built one;
+//   * strings are length-prefixed ("<len>:<bytes>"), so node names need no
+//     escaping and a truncated blob fails at the first bad token.
+//
+// Decoders throw std::runtime_error naming the failing field; callers treat
+// a corrupt blob as a cache miss and rebuild locally.
+
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "nn/tensor.hpp"
+#include "place/flow.hpp"
+
+namespace mp::net {
+
+std::string serialize_design(const netlist::Design& design);
+netlist::Design deserialize_design(const std::string& blob);
+
+/// The prepared-flow artifact: the post-prepare_flow design plus its
+/// FlowContext (grid spec, clustering, coarse netlist).
+std::string serialize_prepared(const netlist::Design& design,
+                               const place::FlowContext& context);
+void deserialize_prepared(const std::string& blob, netlist::Design* design,
+                          place::FlowContext* context);
+
+std::string serialize_weights(const std::vector<nn::Tensor>& parameters);
+std::vector<nn::Tensor> deserialize_weights(const std::string& blob);
+
+}  // namespace mp::net

@@ -5,6 +5,7 @@
 
 #include "benchgen/generator.hpp"
 #include "io/bookshelf.hpp"
+#include "net/wire.hpp"
 #include "nn/serialize.hpp"
 #include "obs/obs.hpp"
 #include "svc/hash.hpp"
@@ -53,11 +54,44 @@ ArtifactCache::ArtifactCache(std::size_t designs, std::size_t prepared,
                              std::size_t weights)
     : designs_(designs), prepared_(prepared), weights_(weights) {}
 
-template <typename V, typename Build>
+void ArtifactCache::set_peer_fetcher(PeerFetchFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_fetcher_ = std::move(fn);
+}
+
+ArtifactCache::PeerFetchFn ArtifactCache::peer_fetcher_copy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peer_fetcher_;
+}
+
+template <typename V>
+std::shared_ptr<const V> ArtifactCache::peek(LruPool<V>& pool,
+                                             const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool.get(key);
+}
+
+std::shared_ptr<const DesignArtifact> ArtifactCache::peek_design(
+    const std::string& key) {
+  return peek(designs_, key);
+}
+
+std::shared_ptr<const PreparedArtifact> ArtifactCache::peek_prepared(
+    const std::string& key) {
+  return peek(prepared_, key);
+}
+
+std::shared_ptr<const WeightsArtifact> ArtifactCache::peek_weights(
+    const std::string& key) {
+  return peek(weights_, key);
+}
+
+template <typename V, typename Peer, typename Build>
 std::shared_ptr<const V> ArtifactCache::resolve(
     LruPool<V>& pool, InFlightMap<V>& inflight, const std::string& key,
-    long long& hits, long long& misses, const char* hit_counter,
-    const char* miss_counter, Build&& build) {
+    long long& hits, long long& misses, long long& peer_hits,
+    const char* hit_counter, const char* miss_counter,
+    const char* peer_counter, Peer&& peer, Build&& build) {
   std::shared_ptr<detail::InFlight<V>> fl;
   bool builder = false;
   {
@@ -75,8 +109,8 @@ std::shared_ptr<const V> ArtifactCache::resolve(
       if (obs::enabled()) obs::current_registry().counter(hit_counter).add(1);
       fl = it->second;
     } else {
-      ++misses;
-      if (obs::enabled()) obs::current_registry().counter(miss_counter).add(1);
+      // Hit-or-miss is decided below: a ring peer serving the artifact is a
+      // (peer) hit, only a genuinely cold local build counts as the miss.
       fl = std::make_shared<detail::InFlight<V>>();
       inflight[key] = fl;
       builder = true;
@@ -92,14 +126,34 @@ std::shared_ptr<const V> ArtifactCache::resolve(
     return fl->value;
   }
 
-  // Builder: the expensive construction runs OUTSIDE the cache mutex so
-  // different keys build concurrently.
+  // Builder: peer fetch and the expensive construction run OUTSIDE the
+  // cache mutex so different keys resolve concurrently.
   std::shared_ptr<const V> artifact;
   std::exception_ptr error;
   try {
-    artifact = build();
+    artifact = peer();
   } catch (...) {
-    error = std::current_exception();
+    artifact = nullptr;  // a failing peer is a cold build, never an error
+  }
+  if (artifact != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits;
+    ++peer_hits;
+    if (obs::enabled()) {
+      obs::current_registry().counter(hit_counter).add(1);
+      obs::current_registry().counter(peer_counter).add(1);
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++misses;
+      if (obs::enabled()) obs::current_registry().counter(miss_counter).add(1);
+    }
+    try {
+      artifact = build();
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -122,7 +176,24 @@ std::shared_ptr<const DesignArtifact> ArtifactCache::design_for(
   const std::string key = design_key_for(spec);
   return resolve(
       designs_, designs_inflight_, key, stats_.design_hits,
-      stats_.design_misses, "svc.cache.design.hits", "svc.cache.design.misses",
+      stats_.design_misses, stats_.design_peer_hits, "svc.cache.design.hits",
+      "svc.cache.design.misses", "svc.cache.design.peer_hits",
+      [&]() -> std::shared_ptr<const DesignArtifact> {
+        const PeerFetchFn fetch = peer_fetcher_copy();
+        std::string blob;
+        if (!fetch || !fetch("design", key, &blob)) return nullptr;
+        try {
+          auto artifact = std::make_shared<DesignArtifact>();
+          artifact->key = key;
+          artifact->design = net::deserialize_design(blob);
+          util::log_info() << "svc: design " << key << " served by a peer";
+          return artifact;
+        } catch (const std::exception& e) {
+          util::log_warn() << "svc: corrupt peer design blob for " << key
+                           << ": " << e.what();
+          return nullptr;
+        }
+      },
       [&]() -> std::shared_ptr<const DesignArtifact> {
         auto artifact = std::make_shared<DesignArtifact>();
         artifact->key = key;
@@ -145,8 +216,26 @@ std::shared_ptr<const PreparedArtifact> ArtifactCache::prepared_for(
       design->key + "|grid=" + std::to_string(flow.grid_dim);
   return resolve(
       prepared_, prepared_inflight_, key, stats_.prepared_hits,
-      stats_.prepared_misses, "svc.cache.prepared.hits",
-      "svc.cache.prepared.misses",
+      stats_.prepared_misses, stats_.prepared_peer_hits,
+      "svc.cache.prepared.hits", "svc.cache.prepared.misses",
+      "svc.cache.prepared.peer_hits",
+      [&]() -> std::shared_ptr<const PreparedArtifact> {
+        const PeerFetchFn fetch = peer_fetcher_copy();
+        std::string blob;
+        if (!fetch || !fetch("prepared", key, &blob)) return nullptr;
+        try {
+          auto artifact = std::make_shared<PreparedArtifact>();
+          artifact->key = key;
+          net::deserialize_prepared(blob, &artifact->design,
+                                    &artifact->context);
+          util::log_info() << "svc: prepared " << key << " served by a peer";
+          return artifact;
+        } catch (const std::exception& e) {
+          util::log_warn() << "svc: corrupt peer prepared blob for " << key
+                           << ": " << e.what();
+          return nullptr;
+        }
+      },
       [&]() -> std::shared_ptr<const PreparedArtifact> {
         auto artifact = std::make_shared<PreparedArtifact>();
         artifact->key = key;
@@ -163,8 +252,25 @@ std::shared_ptr<const WeightsArtifact> ArtifactCache::weights_for(
   const std::string key = "nn:" + hash_hex(hash_file(path, kFnvOffset));
   return resolve(
       weights_, weights_inflight_, key, stats_.weights_hits,
-      stats_.weights_misses, "svc.cache.weights.hits",
-      "svc.cache.weights.misses",
+      stats_.weights_misses, stats_.weights_peer_hits,
+      "svc.cache.weights.hits", "svc.cache.weights.misses",
+      "svc.cache.weights.peer_hits",
+      [&]() -> std::shared_ptr<const WeightsArtifact> {
+        const PeerFetchFn fetch = peer_fetcher_copy();
+        std::string blob;
+        if (!fetch || !fetch("weights", key, &blob)) return nullptr;
+        try {
+          auto artifact = std::make_shared<WeightsArtifact>();
+          artifact->key = key;
+          artifact->parameters = net::deserialize_weights(blob);
+          util::log_info() << "svc: weights " << key << " served by a peer";
+          return artifact;
+        } catch (const std::exception& e) {
+          util::log_warn() << "svc: corrupt peer weights blob for " << key
+                           << ": " << e.what();
+          return nullptr;
+        }
+      },
       [&]() -> std::shared_ptr<const WeightsArtifact> {
         auto artifact = std::make_shared<WeightsArtifact>();
         artifact->key = key;

@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <exception>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,12 @@ struct CacheStats {
   long long design_hits = 0, design_misses = 0;
   long long prepared_hits = 0, prepared_misses = 0;
   long long weights_hits = 0, weights_misses = 0;
+  /// Subset of hits satisfied by a ring peer's cache (fleet replication)
+  /// rather than this process's pools; a peer fetch is a hit, not a miss —
+  /// the fleet-wide miss count for one artifact stays at one.
+  long long design_peer_hits = 0;
+  long long prepared_peer_hits = 0;
+  long long weights_peer_hits = 0;
 };
 
 namespace detail {
@@ -118,8 +125,27 @@ struct InFlight {
 
 class ArtifactCache {
  public:
+  /// Optional peer source consulted before a local rebuild (fleet artifact
+  /// replication, docs/DISTRIBUTED.md).  Called outside the cache mutex with
+  /// kind "design" / "prepared" / "weights"; returns true with *blob set to
+  /// the net::wire serialization when some ring peer holds the key.  Must
+  /// not call back into this cache.
+  using PeerFetchFn = std::function<bool(
+      const std::string& kind, const std::string& key, std::string* blob)>;
+
   explicit ArtifactCache(std::size_t designs = 8, std::size_t prepared = 8,
                          std::size_t weights = 4);
+
+  /// Installs (or clears, with an empty function) the peer source.  A blob a
+  /// peer returns is decoded defensively: a corrupt payload logs and falls
+  /// back to the local build, never poisons the pool.
+  void set_peer_fetcher(PeerFetchFn fn);
+
+  // Non-building lookups for serving fetch_artifact to ring peers: the
+  // artifact if this process's pool holds the exact key, else nullptr.
+  std::shared_ptr<const DesignArtifact> peek_design(const std::string& key);
+  std::shared_ptr<const PreparedArtifact> peek_prepared(const std::string& key);
+  std::shared_ptr<const WeightsArtifact> peek_weights(const std::string& key);
 
   /// Loads (Bookshelf) or generates (benchgen) the job's design, reusing a
   /// cached copy when the content hash matches.  Throws std::runtime_error
@@ -143,15 +169,26 @@ class ArtifactCache {
       std::unordered_map<std::string, std::shared_ptr<detail::InFlight<V>>>;
 
   /// The hit/miss/dedup protocol shared by the three pools (cache.cpp).
-  template <typename V, typename Build>
+  /// `peer` runs before `build` on the builder path: a non-null artifact is
+  /// counted as a (peer) hit, a null one falls through to the miss + build.
+  template <typename V, typename Peer, typename Build>
   std::shared_ptr<const V> resolve(LruPool<V>& pool, InFlightMap<V>& inflight,
                                    const std::string& key, long long& hits,
-                                   long long& misses, const char* hit_counter,
-                                   const char* miss_counter, Build&& build);
+                                   long long& misses, long long& peer_hits,
+                                   const char* hit_counter,
+                                   const char* miss_counter,
+                                   const char* peer_counter, Peer&& peer,
+                                   Build&& build);
+
+  template <typename V>
+  std::shared_ptr<const V> peek(LruPool<V>& pool, const std::string& key);
+
+  PeerFetchFn peer_fetcher_copy() const;
 
   mutable std::mutex mutex_ MP_GUARDS(designs_, prepared_, weights_,
                                       designs_inflight_, prepared_inflight_,
-                                      weights_inflight_, stats_);
+                                      weights_inflight_, stats_,
+                                      peer_fetcher_);
   LruPool<DesignArtifact> designs_ MP_GUARDED_BY(mutex_);
   LruPool<PreparedArtifact> prepared_ MP_GUARDED_BY(mutex_);
   LruPool<WeightsArtifact> weights_ MP_GUARDED_BY(mutex_);
@@ -159,6 +196,7 @@ class ArtifactCache {
   InFlightMap<PreparedArtifact> prepared_inflight_ MP_GUARDED_BY(mutex_);
   InFlightMap<WeightsArtifact> weights_inflight_ MP_GUARDED_BY(mutex_);
   CacheStats stats_ MP_GUARDED_BY(mutex_);
+  PeerFetchFn peer_fetcher_ MP_GUARDED_BY(mutex_);
 };
 
 }  // namespace mp::svc

@@ -4,16 +4,12 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 
-#include <cerrno>
-#include <cstring>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 namespace mp::svc {
 
-Client::Client(std::string socket_path)
-    : socket_path_(std::move(socket_path)) {}
+Client::Client(std::string endpoint_uri, net::ConnectOptions connect_opts)
+    : endpoint_uri_(std::move(endpoint_uri)), connect_opts_(connect_opts) {}
 
 Client::~Client() { close(); }
 
@@ -25,37 +21,52 @@ void Client::close() {
   reader_.reset();
 }
 
+void Client::set_read_timeout(double timeout_s) {
+  read_timeout_s_ = timeout_s;
+  if (reader_ != nullptr) reader_->set_timeout(timeout_s);
+}
+
 bool Client::connect(std::string* error) {
-  const auto fail = [&](const std::string& what) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
-    close();
-    return false;
-  };
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) *error = "socket path too long: " + socket_path_;
+  net::Endpoint ep;
+  std::string parse_error;
+  if (!net::parse_endpoint(endpoint_uri_, &ep, &parse_error)) {
+    if (error != nullptr) *error = parse_error;
     return false;
   }
-  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) return fail("socket");
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    return fail("connect " + socket_path_);
-  }
-  reader_ = std::make_unique<LineReader>(fd_);
+  fd_ = net::connect_endpoint(ep, connect_opts_, error);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<net::FrameReader>(fd_, net::kDefaultMaxFrameBytes,
+                                               read_timeout_s_);
   return true;
 }
 
+namespace {
+
+[[noreturn]] void throw_read_failure(net::ReadStatus status,
+                                     const std::string& endpoint) {
+  switch (status) {
+    case net::ReadStatus::kEof:
+      throw std::runtime_error("server closed connection");
+    case net::ReadStatus::kTimeout:
+      throw std::runtime_error("read from " + endpoint + " timed out");
+    case net::ReadStatus::kOversized:
+      throw std::runtime_error("reply from " + endpoint +
+                               " exceeds the frame-size limit");
+    default:
+      throw std::runtime_error("read from " + endpoint + " failed");
+  }
+}
+
+}  // namespace
+
 Json Client::request(const Json& req) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
-  if (!write_line(fd_, req.dump())) {
-    throw std::runtime_error("write to " + socket_path_ + " failed");
+  if (!net::write_frame(fd_, req.dump())) {
+    throw std::runtime_error("write to " + endpoint_uri_ + " failed");
   }
   std::string line;
-  if (!reader_->next(line)) {
-    throw std::runtime_error("server closed connection");
-  }
+  const net::ReadStatus status = reader_->next(line);
+  if (status != net::ReadStatus::kOk) throw_read_failure(status, endpoint_uri_);
   return Json::parse(line);
 }
 
@@ -104,6 +115,20 @@ Json Client::metrics(bool prom) {
   return request(req);
 }
 
+Json Client::ping() {
+  Json req = Json::object();
+  req["verb"] = Json::string("ping");
+  return request(req);
+}
+
+Json Client::fetch_artifact(const std::string& kind, const std::string& key) {
+  Json req = Json::object();
+  req["verb"] = Json::string("fetch_artifact");
+  req["kind"] = Json::string(kind);
+  req["key"] = Json::string(key);
+  return request(req);
+}
+
 Json Client::shutdown() {
   Json req = Json::object();
   req["verb"] = Json::string("shutdown");
@@ -113,11 +138,18 @@ Json Client::shutdown() {
 Json Client::watch(const std::string& id,
                    const std::function<void(const Json&)>& on_event) {
   if (fd_ < 0) throw std::runtime_error("client not connected");
-  if (!write_line(fd_, id_request("watch", id).dump())) {
-    throw std::runtime_error("write to " + socket_path_ + " failed");
+  if (!net::write_frame(fd_, id_request("watch", id).dump())) {
+    throw std::runtime_error("write to " + endpoint_uri_ + " failed");
   }
   std::string line;
-  while (reader_->next(line)) {
+  for (;;) {
+    const net::ReadStatus status = reader_->next(line);
+    if (status != net::ReadStatus::kOk) {
+      if (status == net::ReadStatus::kEof) {
+        throw std::runtime_error("server closed connection mid-watch");
+      }
+      throw_read_failure(status, endpoint_uri_);
+    }
     Json event = Json::parse(line);
     const Json* kind = event.find("event");
     if (kind != nullptr && kind->is_string() &&
@@ -128,7 +160,6 @@ Json Client::watch(const std::string& id,
     if (event.find("ok") != nullptr) return event;
     if (on_event) on_event(event);
   }
-  throw std::runtime_error("server closed connection mid-watch");
 }
 
 }  // namespace mp::svc
@@ -137,16 +168,17 @@ Json Client::watch(const std::string& id,
 
 namespace mp::svc {
 
-Client::Client(std::string socket_path)
-    : socket_path_(std::move(socket_path)) {}
+Client::Client(std::string endpoint_uri, net::ConnectOptions connect_opts)
+    : endpoint_uri_(std::move(endpoint_uri)), connect_opts_(connect_opts) {}
 Client::~Client() = default;
 void Client::close() {}
+void Client::set_read_timeout(double timeout_s) { read_timeout_s_ = timeout_s; }
 bool Client::connect(std::string* error) {
-  if (error != nullptr) *error = "unix sockets unavailable on this platform";
+  if (error != nullptr) *error = "sockets unavailable on this platform";
   return false;
 }
 Json Client::request(const Json&) {
-  throw std::runtime_error("unix sockets unavailable on this platform");
+  throw std::runtime_error("sockets unavailable on this platform");
 }
 Json Client::submit(const Json&) { return request(Json()); }
 Json Client::status(const std::string&) { return request(Json()); }
@@ -154,6 +186,10 @@ Json Client::result(const std::string&, double) { return request(Json()); }
 Json Client::cancel(const std::string&) { return request(Json()); }
 Json Client::stats() { return request(Json()); }
 Json Client::metrics(bool) { return request(Json()); }
+Json Client::ping() { return request(Json()); }
+Json Client::fetch_artifact(const std::string&, const std::string&) {
+  return request(Json());
+}
 Json Client::shutdown() { return request(Json()); }
 Json Client::watch(const std::string&,
                    const std::function<void(const Json&)>&) {

@@ -1,21 +1,27 @@
 #pragma once
-// Client side of the mp_serve protocol (used by the mp_submit CLI and the
-// socket-level tests): connects to the Unix socket, sends one JSON request
-// per line, reads reply lines.  Blocking, single-threaded; open one Client
-// per concurrent request stream.
+// Client side of the mp_serve protocol (used by the mp_submit CLI, the
+// mp_route fleet router, the peer artifact fetcher and the socket-level
+// tests): connects to a net::Endpoint — `unix:/path`, `tcp:host:port`, or a
+// bare socket path — sends one JSON request per line, reads reply lines.
+// Blocking, single-threaded; open one Client per concurrent request stream.
 
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "net/endpoint.hpp"
+#include "net/framing.hpp"
 #include "svc/json.hpp"
-#include "svc/net.hpp"
 
 namespace mp::svc {
 
 class Client {
  public:
-  explicit Client(std::string socket_path);
+  /// `endpoint_uri` follows the net::parse_endpoint grammar.  `connect_opts`
+  /// sets the connect timeout and retry/backoff schedule (the router retries
+  /// backends; the CLI default is one attempt).
+  explicit Client(std::string endpoint_uri,
+                  net::ConnectOptions connect_opts = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -25,6 +31,10 @@ class Client {
   bool connect(std::string* error);
   bool connected() const { return fd_ >= 0; }
   void close();
+
+  /// Per-read timeout for replies; <= 0 (default) blocks forever.  Routers
+  /// set this so a stuck backend surfaces as an error instead of a hang.
+  void set_read_timeout(double timeout_s);
 
   /// One request/reply round-trip.  Throws std::runtime_error on transport
   /// failure and JsonError on an unparsable reply.
@@ -40,6 +50,12 @@ class Client {
   /// SLO metrics snapshot; `prom` asks for the Prometheus text exposition
   /// (reply carries it in "text") instead of the JSON registry view.
   Json metrics(bool prom = false);
+  /// Health probe ({"verb":"ping"}); the router's liveness check.
+  Json ping();
+  /// Peer artifact fetch by content hash; kind is "design", "prepared" or
+  /// "weights".  The reply carries the serialized blob on "blob" when the
+  /// peer's cache holds the key, {"ok":false,...} when it does not.
+  Json fetch_artifact(const std::string& kind, const std::string& key);
   Json shutdown();
 
   /// Streams a job: calls `on_event` for every {"event":"phase"} line and
@@ -47,10 +63,14 @@ class Client {
   Json watch(const std::string& id,
              const std::function<void(const Json&)>& on_event);
 
+  const std::string& endpoint_uri() const { return endpoint_uri_; }
+
  private:
-  std::string socket_path_;
+  std::string endpoint_uri_;
+  net::ConnectOptions connect_opts_;
+  double read_timeout_s_ = 0.0;
   int fd_ = -1;
-  std::unique_ptr<LineReader> reader_;
+  std::unique_ptr<net::FrameReader> reader_;
 };
 
 }  // namespace mp::svc

@@ -1,49 +1,17 @@
 #pragma once
-// FNV-1a content hashing used by the service layer: stable job IDs from
-// canonical job-spec strings (job.cpp), artifact-cache keys from file bytes
-// (cache.cpp), and placement fingerprints from position bit patterns
-// (service.cpp) so clients can assert bit-identity across submissions
-// without shipping whole placements over the socket.
+// Compatibility shim: the FNV-1a helpers moved to src/util/fnv.hpp so the
+// net/ layer (consistent-hash ring, wire codecs) can share the exact hash
+// the service uses for content-addressed job IDs.  Existing svc:: callers
+// keep compiling through these using-declarations.
 
-#include <cstdint>
-#include <cstdio>
-#include <cstring>
-#include <string>
+#include "util/fnv.hpp"
 
 namespace mp::svc {
 
-inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-inline std::uint64_t fnv1a64(const void* data, std::size_t n,
-                             std::uint64_t seed = kFnvOffset) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-inline std::uint64_t fnv1a64(const std::string& s,
-                             std::uint64_t seed = kFnvOffset) {
-  return fnv1a64(s.data(), s.size(), seed);
-}
-
-/// Folds a double's bit pattern into a running hash (exact, not value-based:
-/// -0.0 and 0.0 hash differently, as do NaN payloads).
-inline std::uint64_t fnv1a64_double(double v, std::uint64_t seed) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return fnv1a64(&bits, sizeof(bits), seed);
-}
-
-/// 16-digit lowercase hex rendering (fixed width so IDs align in logs).
-inline std::string hash_hex(std::uint64_t h) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
-  return std::string(buf);
-}
+using util::kFnvOffset;
+using util::kFnvPrime;
+using util::fnv1a64;
+using util::fnv1a64_double;
+using util::hash_hex;
 
 }  // namespace mp::svc

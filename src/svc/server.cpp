@@ -3,24 +3,29 @@
 #if defined(__unix__) || defined(__APPLE__)
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include "svc/net.hpp"
+#include "net/framing.hpp"
 #include "util/log.hpp"
 
 namespace mp::svc {
 
-Server::Server(LocalService& service, std::string socket_path)
-    : service_(service), socket_path_(std::move(socket_path)) {}
+Server::Server(LocalService& service, std::string endpoint_uri,
+               ServerOptions options)
+    : service_(service),
+      endpoint_uri_(std::move(endpoint_uri)),
+      options_(options) {}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
-    ::unlink(socket_path_.c_str());
+    if (endpoint_.kind == net::Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.path.c_str());
+    }
   }
   close_all_connections();
   for (int fd : wake_pipe_) {
@@ -29,28 +34,21 @@ Server::~Server() {
 }
 
 bool Server::start(std::string* error) {
-  const auto fail = [&](const std::string& what) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
-    return false;
-  };
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) *error = "socket path too long: " + socket_path_;
+  std::string parse_error;
+  if (!net::parse_endpoint(endpoint_uri_, &endpoint_, &parse_error)) {
+    if (error != nullptr) *error = parse_error;
     return false;
   }
-  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
-
-  if (::pipe(wake_pipe_) != 0) return fail("pipe");
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return fail("socket");
-  ::unlink(socket_path_.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return fail("bind " + socket_path_);
+  if (::pipe(wake_pipe_) != 0) {
+    if (error != nullptr) {
+      *error = std::string("pipe: ") + std::strerror(errno);
+    }
+    return false;
   }
-  if (::listen(listen_fd_, 16) != 0) return fail("listen");
-  util::log_info() << "svc: listening on " << socket_path_;
+  listen_fd_ = net::listen_endpoint(endpoint_, options_.backlog, error);
+  if (listen_fd_ < 0) return false;
+  bound_ = net::local_endpoint(listen_fd_, endpoint_);
+  util::log_info() << "svc: listening on " << bound_.uri();
   return true;
 }
 
@@ -82,7 +80,19 @@ void Server::serve() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      util::log_warn() << "svc: accept failed: " << std::strerror(errno);
+      // Accept failures are surfaced through the SLO registry so a fleet
+      // scrape sees descriptor exhaustion instead of a silent stall.
+      if (errno == EMFILE || errno == ENFILE) {
+        service_.slo_registry().counter("net.accept.emfile").add(1);
+        util::log_warn() << "svc: accept: out of descriptors ("
+                         << std::strerror(errno) << "); backing off";
+        // Brief pause so the busy-looping accept doesn't starve the
+        // connection handlers that could be releasing descriptors.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      } else {
+        service_.slo_registry().counter("net.accept.error").add(1);
+        util::log_warn() << "svc: accept failed: " << std::strerror(errno);
+      }
       continue;
     }
     auto conn = std::make_unique<Connection>();
@@ -95,12 +105,14 @@ void Server::serve() {
     raw->thread = std::thread([this, raw] { handle_connection(raw); });
   }
 
-  // Graceful drain: stop accepting (close + unlink the socket so new
-  // connects fail fast), let the running job and the queued backlog finish,
-  // then disconnect clients.
+  // Graceful drain: stop accepting (close the socket — and unlink a unix
+  // path — so new connects fail fast), let the running job and the queued
+  // backlog finish, then disconnect clients.
   ::close(listen_fd_);
   listen_fd_ = -1;
-  ::unlink(socket_path_.c_str());
+  if (endpoint_.kind == net::Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
   util::log_info() << "svc: draining (" << service_.jobs().size()
                    << " jobs known)";
   service_.drain();
@@ -145,6 +157,14 @@ const std::string& require_id(const Json& request) {
     throw JsonError("request needs a string \"id\"");
   }
   return id->as_string();
+}
+
+const std::string& require_string(const Json& request, const char* field) {
+  const Json* v = request.find(field);
+  if (v == nullptr || !v->is_string()) {
+    throw JsonError(std::string("request needs a string \"") + field + "\"");
+  }
+  return v->as_string();
 }
 
 }  // namespace
@@ -208,7 +228,7 @@ Json Server::handle_request(Connection* conn, const Json& request) {
           std::lock_guard<std::mutex> lock(conn->write_mutex);
           // A callback in flight while the connection closes must not write
           // to a recycled descriptor; fd is fenced by write_mutex.
-          if (conn->fd >= 0) write_line(conn->fd, line.dump());
+          if (conn->fd >= 0) net::write_frame(conn->fd, line.dump());
         });
     service_.wait(id, 0.0);  // terminal is guaranteed even across a drain
     service_.remove_progress_listener(token);
@@ -249,6 +269,31 @@ Json Server::handle_request(Connection* conn, const Json& request) {
     j["ok"] = Json::boolean(true);
     return j;
   }
+  if (verb == "ping") {
+    // Router health probe: cheap (no service locks), so a loaded backend
+    // still answers within the router's ping timeout.
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    j["pong"] = Json::boolean(true);
+    return j;
+  }
+  if (verb == "fetch_artifact") {
+    // Peer artifact replication (docs/DISTRIBUTED.md): a ring peer asks for
+    // a warm artifact by content hash before rebuilding it cold.  A miss is
+    // a normal reply, not a failure — the peer just builds locally.
+    const std::string& kind = require_string(request, "kind");
+    const std::string& key = require_string(request, "key");
+    std::string blob;
+    if (!service_.artifact_blob(kind, key, &blob)) {
+      return error_reply("artifact not cached: " + kind + " " + key);
+    }
+    Json j = Json::object();
+    j["ok"] = Json::boolean(true);
+    j["kind"] = Json::string(kind);
+    j["key"] = Json::string(key);
+    j["blob"] = Json::string(blob);
+    return j;
+  }
   if (verb == "shutdown") {
     Json j = Json::object();
     j["ok"] = Json::boolean(true);
@@ -259,9 +304,25 @@ Json Server::handle_request(Connection* conn, const Json& request) {
 }
 
 void Server::handle_connection(Connection* conn) {
-  LineReader reader(conn->fd);
+  net::FrameReader reader(conn->fd, options_.max_frame_bytes);
   std::string line;
-  while (reader.next(line)) {
+  for (;;) {
+    const net::ReadStatus status = reader.next(line);
+    if (status == net::ReadStatus::kOversized) {
+      // Reject-but-survive: the reader already discarded the line, so the
+      // connection can keep serving well-formed requests.
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->fd < 0 ||
+          !net::write_frame(
+              conn->fd,
+              error_reply("request line exceeds " +
+                          std::to_string(options_.max_frame_bytes) + " bytes")
+                  .dump())) {
+        break;
+      }
+      continue;
+    }
+    if (status != net::ReadStatus::kOk) break;
     if (line.empty()) continue;
     Json reply;
     bool shutdown_after = false;
@@ -276,7 +337,7 @@ void Server::handle_connection(Connection* conn) {
     }
     {
       std::lock_guard<std::mutex> lock(conn->write_mutex);
-      if (!write_line(conn->fd, reply.dump())) break;
+      if (!net::write_frame(conn->fd, reply.dump())) break;
     }
     if (shutdown_after) {
       request_shutdown();
@@ -299,11 +360,14 @@ void Server::handle_connection(Connection* conn) {
 
 namespace mp::svc {
 
-Server::Server(LocalService& service, std::string socket_path)
-    : service_(service), socket_path_(std::move(socket_path)) {}
+Server::Server(LocalService& service, std::string endpoint_uri,
+               ServerOptions options)
+    : service_(service),
+      endpoint_uri_(std::move(endpoint_uri)),
+      options_(options) {}
 Server::~Server() = default;
 bool Server::start(std::string* error) {
-  if (error != nullptr) *error = "unix sockets unavailable on this platform";
+  if (error != nullptr) *error = "sockets unavailable on this platform";
   return false;
 }
 void Server::serve() {}

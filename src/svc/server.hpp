@@ -1,8 +1,10 @@
 #pragma once
-// Unix-domain-socket front end of the placement service (the mp_serve
-// daemon).  Protocol: newline-delimited JSON, one request object per line,
-// one reply line per request — except "watch", which streams progress event
-// lines until the watched job finishes.  Verbs:
+// Socket front end of the placement service (the mp_serve daemon).  Listens
+// on a net::Endpoint — `unix:/path` for the classic single-host deployment,
+// `tcp:host:port` so a backend can join a distributed fleet behind mp_route
+// (docs/DISTRIBUTED.md).  Protocol: newline-delimited JSON, one request
+// object per line, one reply line per request — except "watch", which
+// streams progress event lines until the watched job finishes.  Verbs:
 //
 //   {"verb":"submit","spec":{...}}        -> {"ok":true,"id":"j..."}
 //   {"verb":"status","id":"j..."}         -> {"ok":true,"job":{...}}
@@ -12,13 +14,21 @@
 //   {"verb":"watch","id":"j..."}          -> {"event":"phase",...}* then
 //                                            {"event":"done","job":{...}}
 //   {"verb":"jobs"} / {"verb":"stats"}    -> {"ok":true,...}
+//   {"verb":"ping"}                       -> {"ok":true,"pong":true}
+//                                            (router health checks)
+//   {"verb":"fetch_artifact","kind":"design|prepared|weights",
+//    "key":"..."}                         -> {"ok":true,"blob":"..."} when the
+//                                            warm cache holds that content
+//                                            hash (peer replication)
 //   {"verb":"shutdown"}                   -> {"ok":true}, then the server
 //                                            drains (runs queued jobs dry)
 //                                            and exits serve()
 //
-// Every error reply is {"ok":false,"error":"..."}.  SIGTERM/SIGINT drain is
-// wired by the mp_serve binary through request_shutdown(), which is safe to
-// call from a signal handler (one write to a self-pipe).
+// Every error reply is {"ok":false,"error":"..."} — including an oversized
+// request line, which is rejected without buffering (net::FrameReader) while
+// the connection stays up.  SIGTERM/SIGINT drain is wired by the mp_serve
+// binary through request_shutdown(), which is safe to call from a signal
+// handler (one write to a self-pipe).
 
 #include <atomic>
 #include <memory>
@@ -28,21 +38,35 @@
 #include <vector>
 
 #include "check/annotations.hpp"
+#include "net/endpoint.hpp"
+#include "net/framing.hpp"
 #include "svc/service.hpp"
 
 namespace mp::svc {
 
+struct ServerOptions {
+  /// listen(2) backlog — connection bursts beyond it get RST/ECONNREFUSED,
+  /// so fleets with many clients per backend should raise it (mp_serve
+  /// --backlog).
+  int backlog = 64;
+  /// Request-line ceiling handed to net::FrameReader; longer lines are
+  /// answered with a JSON error instead of buffered.
+  std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+};
+
 class Server {
  public:
-  /// `service` must outlive the server.
-  Server(LocalService& service, std::string socket_path);
+  /// `service` must outlive the server.  `endpoint_uri` follows the
+  /// net::parse_endpoint grammar (a bare path means a unix socket).
+  Server(LocalService& service, std::string endpoint_uri,
+         ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens (removing a stale socket file first).  False with
-  /// `error` filled on failure.  Does not accept yet; serve() does.
+  /// Binds and listens (removing a stale unix socket file first).  False
+  /// with `error` filled on failure.  Does not accept yet; serve() does.
   bool start(std::string* error);
 
   /// Accept loop: blocks until a shutdown is requested (verb or signal),
@@ -54,7 +78,10 @@ class Server {
   void request_shutdown();
   bool shutdown_requested() const;
 
-  const std::string& socket_path() const { return socket_path_; }
+  const std::string& endpoint_uri() const { return endpoint_uri_; }
+  /// After start(): the bound address with a tcp port 0 resolved to the
+  /// kernel-assigned ephemeral port (tests and fleet demos bind port 0).
+  std::string bound_uri() const { return bound_.uri(); }
 
  private:
   struct Connection {
@@ -70,7 +97,10 @@ class Server {
   void close_all_connections();
 
   LocalService& service_;
-  std::string socket_path_;
+  std::string endpoint_uri_;
+  ServerOptions options_;
+  net::Endpoint endpoint_;  ///< parsed at start()
+  net::Endpoint bound_;     ///< actual bound address (ephemeral port resolved)
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> shutdown_requested_{false};

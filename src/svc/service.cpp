@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "io/bookshelf.hpp"
+#include "net/wire.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "par/par.hpp"
@@ -223,6 +224,32 @@ Json LocalService::job_to_json(const JobSnapshot& snap) {
   return j;
 }
 
+bool LocalService::artifact_blob(const std::string& kind,
+                                 const std::string& key, std::string* blob) {
+  if (kind == "design") {
+    if (const auto a = cache_.peek_design(key)) {
+      *blob = net::serialize_design(a->design);
+      return true;
+    }
+    return false;
+  }
+  if (kind == "prepared") {
+    if (const auto a = cache_.peek_prepared(key)) {
+      *blob = net::serialize_prepared(a->design, a->context);
+      return true;
+    }
+    return false;
+  }
+  if (kind == "weights") {
+    if (const auto a = cache_.peek_weights(key)) {
+      *blob = net::serialize_weights(a->parameters);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 void LocalService::refresh_slo_cache_gauges() {
   const CacheStats cache = cache_stats();
   obs::Registry& reg = slo_ctx_.registry();
@@ -308,6 +335,9 @@ Json LocalService::stats_json() const {
   cache_obj["prepared_misses"] = Json::number(cache.prepared_misses);
   cache_obj["weights_hits"] = Json::number(cache.weights_hits);
   cache_obj["weights_misses"] = Json::number(cache.weights_misses);
+  cache_obj["design_peer_hits"] = Json::number(cache.design_peer_hits);
+  cache_obj["prepared_peer_hits"] = Json::number(cache.prepared_peer_hits);
+  cache_obj["weights_peer_hits"] = Json::number(cache.weights_peer_hits);
   j["cache"] = cache_obj;
   j["workers"] = Json::number(workers());
   j["threads"] = Json::number(par::num_threads());

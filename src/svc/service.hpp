@@ -75,6 +75,19 @@ class LocalService {
 
   CacheStats cache_stats() const { return cache_.stats(); }
   int workers() const { return scheduler_->workers(); }
+
+  /// Installs the fleet peer source consulted on a cache miss before a local
+  /// rebuild (net::PeerFetcher; docs/DISTRIBUTED.md).  Call before serving.
+  void set_peer_fetcher(ArtifactCache::PeerFetchFn fn) {
+    cache_.set_peer_fetcher(std::move(fn));
+  }
+
+  /// Serves the `fetch_artifact` verb: serializes the cached artifact with
+  /// the given content key (kind "design" / "prepared" / "weights") into
+  /// `blob`.  False when the cache does not hold the key (the peer rebuilds)
+  /// or the kind is unknown.
+  bool artifact_blob(const std::string& kind, const std::string& key,
+                     std::string* blob);
   /// Protocol "stats" object: job counts by state, queue depth, cache
   /// hit/miss counters, worker count, thread budget.
   Json stats_json() const;
@@ -88,8 +101,11 @@ class LocalService {
   Json metrics_json();
   /// Same snapshot as Prometheus text exposition (obs::prometheus_text).
   std::string metrics_prom();
-  /// The service-global SLO registry (scraped by metrics_json; tests).
+  /// The service-global SLO registry (scraped by metrics_json; tests).  The
+  /// non-const overload lets the socket layer record transport counters
+  /// (net.accept.*) next to the service SLOs.
   const obs::Registry& slo_registry() const { return slo_ctx_.registry(); }
+  obs::Registry& slo_registry() { return slo_ctx_.registry(); }
 
   /// Registers a progress sink (server watch streams, tests); returns a
   /// token for remove_progress_listener.  Callbacks fire on the job's

@@ -1,0 +1,50 @@
+#pragma once
+// FNV-1a content hashing shared across layers: stable job IDs from canonical
+// job-spec strings (svc/job.cpp), artifact-cache keys from file bytes
+// (svc/cache.cpp), placement fingerprints from position bit patterns
+// (svc/service.cpp), and the consistent-hash ring of the fleet router
+// (net/ring.cpp).  One definition, so the router's ring positions and the
+// backends' content-hash IDs can never drift apart.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace mp::util {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnvOffset) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t seed = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Folds a double's bit pattern into a running hash (exact, not value-based:
+/// -0.0 and 0.0 hash differently, as do NaN payloads).
+inline std::uint64_t fnv1a64_double(double v, std::uint64_t seed) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a64(&bits, sizeof(bits), seed);
+}
+
+/// 16-digit lowercase hex rendering (fixed width so IDs align in logs).
+inline std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+}  // namespace mp::util

