@@ -18,8 +18,8 @@
 #      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
 #   4. A ThreadSanitizer build (its own tree — TSan cannot be combined with
-#      ASan) running the `par`-, `svc`-, `obs`- and `net`-labelled suites (ctest -L
-#      "par|svc|obs|net") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
+#      ASan) running the `par`-, `svc`-, `obs`-, `net`- and `infer`-labelled suites (ctest -L
+#      "par|svc|obs|net|infer") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
 #      lock-free obs metrics, every parallelized hot path
 #      (docs/PARALLELISM.md), and the concurrent placement service — four
 #      workers chewing through mixed-preset jobs with mid-run cancels,
@@ -265,7 +265,7 @@ case "${TSAN_MODE}" in
   # mixed-preset jobs and cancels two mid-run) with several threads even on
   # small CI machines.
   par)  MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
-          run_sanitized tsan "thread" "par|svc|obs|net" ;;
+          run_sanitized tsan "thread" "par|svc|obs|net|infer" ;;
   full) MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
           run_sanitized tsan "thread" ;;
   off)  note "tsan: skipped (--no-tsan)" ;;

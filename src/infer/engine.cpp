@@ -1,0 +1,225 @@
+#include "infer/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace mp::infer {
+
+EngineOptions EngineOptions::from_env(obs::Registry* registry) {
+  EngineOptions o;
+  o.max_batch = std::max(1, util::env_int("MP_INFER_BATCH", o.max_batch));
+  o.max_wait_us = std::max(0, util::env_int("MP_INFER_WAIT_US", o.max_wait_us));
+  o.threads = std::clamp(util::env_int("MP_INFER_THREADS", o.threads), 1, 16);
+  o.registry = registry;
+  return o;
+}
+
+InferenceEngine::InferenceEngine(EngineOptions options)
+    : options_(std::move(options)) {
+  const int threads = std::max(1, options_.threads);
+  executors_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+}
+
+SnapshotId InferenceEngine::acquire(rl::AgentNetwork& network) {
+  const SnapshotId id = network.parameter_hash();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = snapshots_.find(id);
+    if (it != snapshots_.end()) {
+      ++it->second->refs;
+      return id;
+    }
+  }
+  // Clone outside the lock — a full parameter copy shouldn't stall the
+  // request path.  A racing acquire of the same hash may get there first;
+  // the clone is then redundant and dropped (both clones are bit-identical
+  // by the hash contract).
+  std::unique_ptr<rl::AgentNetwork> clone = network.clone();
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Snapshot>& slot = snapshots_[id];
+    if (slot == nullptr) {
+      slot = std::make_shared<Snapshot>();
+      slot->network = std::move(clone);
+    }
+    ++slot->refs;
+    live = snapshots_.size();
+  }
+  if (options_.registry != nullptr) {
+    options_.registry->gauge("infer.snapshots")
+        .set(static_cast<double>(live));
+  }
+  return id;
+}
+
+void InferenceEngine::release(SnapshotId id) {
+  std::shared_ptr<Snapshot> doomed;
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = snapshots_.find(id);
+    if (it == snapshots_.end()) return;
+    if (--it->second->refs <= 0) {
+      doomed = std::move(it->second);  // destroy outside the lock
+      snapshots_.erase(it);
+    }
+    live = snapshots_.size();
+  }
+  if (options_.registry != nullptr) {
+    options_.registry->gauge("infer.snapshots")
+        .set(static_cast<double>(live));
+  }
+}
+
+std::vector<rl::AgentOutput> InferenceEngine::forward(
+    SnapshotId id, std::vector<rl::NetInput> inputs) {
+  if (inputs.empty()) return {};
+  auto request = std::make_unique<Request>();
+  request->snapshot = id;
+  request->inputs = std::move(inputs);
+  std::future<std::vector<rl::AgentOutput>> result =
+      request->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("InferenceEngine: forward() after shutdown");
+    }
+    if (snapshots_.find(id) == snapshots_.end()) {
+      throw std::runtime_error("InferenceEngine: unknown snapshot");
+    }
+    queue_.push_back(std::move(request));
+    ++stats_.requests;
+  }
+  if (options_.registry != nullptr) {
+    options_.registry->counter("infer.requests").add(1);
+  }
+  cv_.notify_all();
+  return result.get();
+}
+
+InferenceEngine::Stats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.snapshots = snapshots_.size();
+  return s;
+}
+
+void InferenceEngine::executor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+
+    // The head-of-line request picks the snapshot this batch runs on.
+    const SnapshotId sid = queue_.front()->snapshot;
+    const std::size_t max_batch = static_cast<std::size_t>(options_.max_batch);
+    // Runs with `lock` held (executor_loop owns mutex_ outside the
+    // unlocked forward section below).
+    const auto pending_samples = [&] {
+      std::size_t total = 0;
+      for (const std::unique_ptr<Request>& r : queue_) {
+        if (r->snapshot == sid) total += r->inputs.size();
+      }
+      return total;
+    };
+
+    if (options_.max_wait_us > 0 && pending_samples() < max_batch) {
+      // Coalescing window: hold the batch open briefly for requests from
+      // other slots/jobs.  Affects only when a batch runs, never what it
+      // computes — per-sample bit-identity makes grouping result-neutral.
+      const auto deadline =
+          // mplint: allow(wall-clock): coalescing wait timer; bounds batching latency only, batch composition cannot affect results
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.max_wait_us);
+      while (!stopping_ && pending_samples() < max_batch) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+    }
+
+    // Gather the batch: head request unconditionally (even oversized —
+    // requests never split), then same-snapshot requests while they fit.
+    std::vector<std::unique_ptr<Request>> batch;
+    std::size_t samples = 0;
+    for (auto it = queue_.begin(); it != queue_.end() && samples < max_batch;) {
+      if ((*it)->snapshot == sid &&
+          (samples == 0 || samples + (*it)->inputs.size() <= max_batch)) {
+        samples += (*it)->inputs.size();
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    auto snap_it = snapshots_.find(sid);
+    const std::shared_ptr<Snapshot> snap =
+        snap_it != snapshots_.end() ? snap_it->second : nullptr;
+    ++stats_.batches;
+    stats_.samples += samples;
+    if (batch.size() > 1) stats_.coalesced += batch.size();
+    // mplint: allow(manual-unlock): the batched forward below must run
+    // outside the queue lock (it is the long pole; holding the lock would
+    // serialize producers against it), but this executor loop iteration
+    // continues afterwards, so scoping the guard tighter isn't possible.
+    lock.unlock();
+
+    if (options_.registry != nullptr) {
+      options_.registry->counter("infer.batches").add(1);
+      options_.registry->histogram("infer.batch_size")
+          .record(static_cast<double>(samples));
+      if (batch.size() > 1) {
+        options_.registry->counter("infer.coalesced")
+            .add(static_cast<long long>(batch.size()));
+      }
+    }
+
+    if (snap == nullptr) {
+      auto err = std::make_exception_ptr(std::runtime_error(
+          "InferenceEngine: snapshot released with requests in flight"));
+      for (std::unique_ptr<Request>& r : batch) r->done.set_exception(err);
+    } else {
+      std::vector<rl::NetInput> all;
+      all.reserve(samples);
+      for (std::unique_ptr<Request>& r : batch) {
+        for (rl::NetInput& in : r->inputs) all.push_back(std::move(in));
+      }
+      std::vector<rl::AgentOutput> outputs;
+      {
+        std::lock_guard<std::mutex> exec_lock(snap->exec);
+        outputs = snap->network->forward_many(all);
+      }
+      std::size_t cursor = 0;
+      for (std::unique_ptr<Request>& r : batch) {
+        std::vector<rl::AgentOutput> part;
+        part.reserve(r->inputs.size());
+        for (std::size_t i = 0; i < r->inputs.size(); ++i) {
+          part.push_back(std::move(outputs[cursor++]));
+        }
+        r->done.set_value(std::move(part));
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace mp::infer

@@ -1,0 +1,157 @@
+#pragma once
+// Shared batched inference engine (docs/INFERENCE.md).  One engine serves
+// every consumer of the agent network on the process — all eval slots of a
+// batched MCTS search and all concurrent service jobs — by coalescing their
+// forward requests into true batched forwards: one N×C×H×W pass (one im2col
+// + one GEMM per conv layer) through rl::AgentNetwork::forward_many.
+//
+// Networks enter the engine as immutable *snapshots* keyed by parameter
+// content hash (rl::AgentNetwork::parameter_hash): acquire() clones the
+// caller's network once per distinct parameter state and refcounts it, so N
+// jobs running the same pre-trained weights share one snapshot instead of N
+// full per-slot clones, and a job that trains between searches naturally
+// gets a fresh snapshot per update.  release() drops the reference;
+// snapshots die with their last holder.
+//
+// Request path: forward() enqueues the caller's samples and blocks on a
+// future.  Executor threads pop the head request, wait up to max_wait_us
+// for more requests against the same snapshot (up to max_batch samples
+// total), run one forward_many, and complete every request in the batch.
+// Coalescing is *result-neutral by construction*: forward_many is
+// bit-identical per sample to the single-sample forward, so how requests
+// get grouped — across eval slots, across jobs, or not at all — can never
+// change any output.  Only latency is wall-clock dependent, which is why
+// the coalescing wait timer carries the one justified mplint wall-clock
+// allowance in this directory.
+//
+// Telemetry (per engine, into the registry passed via EngineOptions):
+//   infer.batch_size   histogram — samples per executed forward
+//   infer.requests     counter   — forward() calls admitted
+//   infer.batches      counter   — batched forwards executed
+//   infer.coalesced    counter   — requests that shared a forward with
+//                                  at least one other request
+//   infer.snapshots    gauge     — live snapshots
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "check/annotations.hpp"
+#include "obs/obs.hpp"
+#include "rl/agent.hpp"
+
+namespace mp::infer {
+
+/// Identifies an acquired snapshot: the parameter content hash of the
+/// network it was cloned from.
+using SnapshotId = std::uint64_t;
+
+struct EngineOptions {
+  /// Max samples per batched forward; a single oversized request still runs
+  /// whole (requests never split across forwards).
+  int max_batch = 32;
+  /// How long the executor holds an under-full batch open for more
+  /// requests.  0 disables coalescing waits: every batch runs as soon as
+  /// the executor reaches it.
+  int max_wait_us = 200;
+  /// Executor threads.  One is enough for correctness (and keeps every
+  /// forward on a warm core); more overlap forwards of distinct snapshots.
+  int threads = 1;
+  /// Where infer.* metrics go (e.g. the service SLO registry, so the
+  /// `metrics` verb surfaces engine health).  May be null; must outlive
+  /// the engine.
+  obs::Registry* registry = nullptr;
+
+  /// Reads MP_INFER_BATCH / MP_INFER_WAIT_US / MP_INFER_THREADS over the
+  /// defaults above.
+  static EngineOptions from_env(obs::Registry* registry = nullptr);
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(EngineOptions options = {});
+  /// Finishes every queued request, then joins the executors.  Callers must
+  /// not be blocked in forward() when the destructor runs (the service
+  /// destroys its engine only after the scheduler drained its jobs).
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Registers `network`'s current parameters as a snapshot (content-hash
+  /// dedup: an existing snapshot with the same hash is reused) and takes a
+  /// reference on it.  The caller's network is cloned, not retained — it may
+  /// train on immediately without affecting the snapshot.
+  SnapshotId acquire(rl::AgentNetwork& network) MP_EXCLUDES(mutex_);
+
+  /// Drops one reference; the snapshot is destroyed when the count hits
+  /// zero.  Callers must not release while one of their forwards is still
+  /// pending.
+  void release(SnapshotId id) MP_EXCLUDES(mutex_);
+
+  /// Blocking batched forward through snapshot `id`: returns one output per
+  /// input, bit-identical to AgentNetwork::forward(..., train=false) on the
+  /// snapshot's parameters regardless of what other requests it shared a
+  /// batch with.  Throws when `id` was never acquired/already fully
+  /// released or the engine is shutting down.  Thread-safe; called
+  /// concurrently from MCTS eval slots and service workers.
+  std::vector<rl::AgentOutput> forward(SnapshotId id,
+                                       std::vector<rl::NetInput> inputs)
+      MP_EXCLUDES(mutex_);
+
+  struct Stats {
+    std::uint64_t requests = 0;   ///< forward() calls admitted
+    std::uint64_t batches = 0;    ///< batched forwards executed
+    std::uint64_t coalesced = 0;  ///< requests that shared a forward
+    std::uint64_t samples = 0;    ///< samples across all forwards
+    std::size_t snapshots = 0;    ///< live snapshots right now
+  };
+  Stats stats() const MP_EXCLUDES(mutex_);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// An immutable network snapshot.  shared_ptr so an executor mid-forward
+  /// keeps it alive across a concurrent release of the last reference.
+  struct Snapshot {
+    std::unique_ptr<rl::AgentNetwork> network;
+    int refs = 0;
+    /// Serializes forward_many per snapshot: the batched layer paths are
+    /// read-only today, but the layer contract doesn't promise it for
+    /// every future override, and one forward per snapshot at a time is
+    /// exactly the batching model anyway.
+    std::mutex exec MP_GUARDS(network);
+  };
+
+  struct Request {
+    SnapshotId snapshot = 0;
+    std::vector<rl::NetInput> inputs;
+    std::promise<std::vector<rl::AgentOutput>> done;
+  };
+
+  void executor_loop() MP_EXCLUDES(mutex_);
+
+  const EngineOptions options_;
+
+  mutable std::mutex mutex_ MP_GUARDS(queue_, snapshots_, stats_, stopping_);
+  /// Notified on new requests and on stop.
+  std::condition_variable cv_ MP_GUARDED_BY(mutex_);
+  std::deque<std::unique_ptr<Request>> queue_ MP_GUARDED_BY(mutex_);
+  /// Ordered map: snapshot iteration (stats, shutdown) is hash-ordered,
+  /// never insertion/hash-bucket ordered.
+  std::map<SnapshotId, std::shared_ptr<Snapshot>> snapshots_
+      MP_GUARDED_BY(mutex_);
+  Stats stats_ MP_GUARDED_BY(mutex_);
+  bool stopping_ MP_GUARDED_BY(mutex_) = false;
+  /// Spawned in the constructor, joined in the destructor; immutable in
+  /// between.
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace mp::infer

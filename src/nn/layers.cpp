@@ -4,55 +4,41 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/kernels.hpp"
+
+// Like kernels.cpp, this file is compiled with -ffp-contract=off (see
+// CMakeLists.txt): the single-sample and batched loop bodies below must
+// round identically for the forward_batched() bit-identity contract, which
+// contraction applied to one loop but not the other would break.
+
 namespace mp::nn {
 
-namespace {
+// ----------------------------------------------------------------- Layer ---
 
-// out[M x N] += A[M x K] * B[K x N], row-major, ikj loop order for locality.
-void matmul_acc(const float* a, const float* b, float* out, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* orow = out + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+Tensor Layer::forward_batched(const Tensor& input, int batch) {
+  // Fallback: slice the leading batch dimension and run each sample through
+  // the single-sample inference forward.  Bit-identity per sample holds
+  // trivially; layers with a real batch kernel override this.
+  const std::size_t sample_size = input.size() / static_cast<std::size_t>(batch);
+  Tensor sample(std::vector<int>(input.shape().begin() + 1, input.shape().end()));
+  Tensor output;
+  std::size_t out_sample = 0;
+  for (int bi = 0; bi < batch; ++bi) {
+    std::memcpy(sample.data(), input.data() + bi * sample_size,
+                sizeof(float) * sample_size);
+    Tensor y = forward(sample, /*train=*/false);
+    if (bi == 0) {
+      std::vector<int> out_shape;
+      out_shape.push_back(batch);
+      out_shape.insert(out_shape.end(), y.shape().begin(), y.shape().end());
+      output = Tensor(out_shape);
+      out_sample = y.size();
     }
+    std::memcpy(output.data() + bi * out_sample, y.data(),
+                sizeof(float) * out_sample);
   }
+  return output;
 }
-
-// out[M x N] += A^T[M x K] * B[K x N] where A is stored [K x M].
-void matmul_at_acc(const float* a, const float* b, float* out, int m, int k,
-                   int n) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-// out[M x N] += A[M x K] * B^T[K x N] where B is stored [N x K].
-void matmul_bt_acc(const float* a, const float* b, float* out, int m, int k,
-                   int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* orow = out + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float sum = 0.0f;
-      for (int kk = 0; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      orow[j] += sum;
-    }
-  }
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------- Conv2d ---
 
@@ -67,46 +53,67 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng)
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
-  (void)train;
   const int h = input.dim(1);
   const int w = input.dim(2);
   last_h_ = h;
   last_w_ = w;
-  const int pad = k_ / 2;
   const int patch = in_c_ * k_ * k_;
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
 
-  // im2col: col[patch, h*w].
-  col_cache_ = Tensor({patch, h * w});
-  float* col = col_cache_.data();
-  for (int c = 0; c < in_c_; ++c) {
-    for (int ky = 0; ky < k_; ++ky) {
-      for (int kx = 0; kx < k_; ++kx) {
-        const int row = (c * k_ + ky) * k_ + kx;
-        float* dst = col + static_cast<std::size_t>(row) * h * w;
-        for (int y = 0; y < h; ++y) {
-          const int sy = y + ky - pad;
-          if (sy < 0 || sy >= h) {
-            std::memset(dst + static_cast<std::size_t>(y) * w, 0,
-                        sizeof(float) * static_cast<std::size_t>(w));
-            continue;
-          }
-          for (int x = 0; x < w; ++x) {
-            const int sx = x + kx - pad;
-            dst[static_cast<std::size_t>(y) * w + x] =
-                (sx >= 0 && sx < w) ? input.at(c, sy, sx) : 0.0f;
-          }
-        }
-      }
-    }
-  }
+  // im2col: col[patch, h*w].  Only training forwards park the buffer in
+  // col_cache_ (backward consumes it); inference forwards use a local that
+  // dies on return, so idle layers don't pin the im2col of their last input.
+  Tensor col_local;
+  Tensor& col = train ? col_cache_ : col_local;
+  col = Tensor({patch, h * w});
+  if (!train) col_cache_ = Tensor();
+  im2col(input.data(), in_c_, h, w, k_, col.data(), hw);
 
   Tensor output({out_c_, h, w});
   // output[outC, h*w] = weight[outC, patch] * col[patch, h*w]
-  matmul_acc(weight_.value.data(), col, output.data(), out_c_, patch, h * w);
+  gemm_acc(weight_.value.data(), col.data(), output.data(), out_c_, patch,
+           h * w);
   for (int oc = 0; oc < out_c_; ++oc) {
     const float b = bias_.value[static_cast<std::size_t>(oc)];
-    float* plane = output.data() + static_cast<std::size_t>(oc) * h * w;
+    float* plane = output.data() + static_cast<std::size_t>(oc) * hw;
     for (int i = 0; i < h * w; ++i) plane[i] += b;
+  }
+  return output;
+}
+
+Tensor Conv2d::forward_batched(const Tensor& input, int batch) {
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int patch = in_c_ * k_ * k_;
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  const std::size_t cols = static_cast<std::size_t>(batch) * hw;
+
+  // One [patch, B*h*w] column matrix for the whole batch: sample b occupies
+  // columns [b*hw, (b+1)*hw) and holds exactly the single-sample im2col of
+  // that sample, so the one GEMM below computes, element for element, the
+  // same k-ordered sums the single-sample forward would.
+  Tensor col({patch, static_cast<int>(cols)});
+  for (int bi = 0; bi < batch; ++bi) {
+    im2col(input.data() + static_cast<std::size_t>(bi) * in_c_ * hw, in_c_, h,
+           w, k_, col.data() + static_cast<std::size_t>(bi) * hw, cols);
+  }
+
+  Tensor big({out_c_, static_cast<int>(cols)});
+  gemm_acc(weight_.value.data(), col.data(), big.data(), out_c_, patch,
+           static_cast<int>(cols));
+
+  // Scatter [outC, B*hw] -> [B, outC, hw], adding bias after the GEMM just
+  // like the single-sample path.
+  Tensor output({batch, out_c_, h, w});
+  for (int bi = 0; bi < batch; ++bi) {
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const float b = bias_.value[static_cast<std::size_t>(oc)];
+      const float* src = big.data() + static_cast<std::size_t>(oc) * cols +
+                         static_cast<std::size_t>(bi) * hw;
+      float* dst = output.data() +
+                   (static_cast<std::size_t>(bi) * out_c_ + oc) * hw;
+      for (std::size_t i = 0; i < hw; ++i) dst[i] = src[i] + b;
+    }
   }
   return output;
 }
@@ -118,8 +125,8 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int patch = in_c_ * k_ * k_;
 
   // grad_weight += grad_out[outC, h*w] * col^T[h*w, patch]
-  matmul_bt_acc(grad_output.data(), col_cache_.data(), weight_.grad.data(),
-                out_c_, h * w, patch);
+  gemm_bt_acc(grad_output.data(), col_cache_.data(), weight_.grad.data(),
+              out_c_, h * w, patch);
   // grad_bias
   for (int oc = 0; oc < out_c_; ++oc) {
     const float* plane = grad_output.data() + static_cast<std::size_t>(oc) * h * w;
@@ -129,8 +136,8 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
   // grad_col[patch, h*w] = weight^T[patch, outC] * grad_out[outC, h*w]
   Tensor grad_col({patch, h * w});
-  matmul_at_acc(weight_.value.data(), grad_output.data(), grad_col.data(),
-                patch, out_c_, h * w);
+  gemm_at_acc(weight_.value.data(), grad_output.data(), grad_col.data(),
+              patch, out_c_, h * w);
   // col2im.
   Tensor grad_input({in_c_, h, w});
   const float* gc = grad_col.data();
@@ -180,41 +187,76 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
   const int w = input.dim(2);
   spatial_ = h * w;
   Tensor output({channels_, h, w});
-  x_hat_ = Tensor({channels_, h, w});
-  inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  if (train) {
+    x_hat_ = Tensor({channels_, h, w});
+    inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  } else {
+    // Inference never runs backward, so don't hold the normalized copy of
+    // the last input alive.
+    x_hat_ = Tensor();
+    inv_std_.clear();
+  }
 
   for (int c = 0; c < channels_; ++c) {
     const float* in = input.data() + static_cast<std::size_t>(c) * spatial_;
-    float mean, var;
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float b = beta_.value[static_cast<std::size_t>(c)];
+    float* out = output.data() + static_cast<std::size_t>(c) * spatial_;
     if (train) {
       float sum = 0.0f;
       for (int i = 0; i < spatial_; ++i) sum += in[i];
-      mean = sum / static_cast<float>(spatial_);
+      const float mean = sum / static_cast<float>(spatial_);
       float sq = 0.0f;
       for (int i = 0; i < spatial_; ++i) {
         const float d = in[i] - mean;
         sq += d * d;
       }
-      var = sq / static_cast<float>(spatial_);
+      const float var = sq / static_cast<float>(spatial_);
       running_mean_.value[static_cast<std::size_t>(c)] =
           (1.0f - momentum_) * running_mean_.value[static_cast<std::size_t>(c)] +
           momentum_ * mean;
       running_var_.value[static_cast<std::size_t>(c)] =
           (1.0f - momentum_) * running_var_.value[static_cast<std::size_t>(c)] +
           momentum_ * var;
+      const float inv = 1.0f / std::sqrt(var + eps_);
+      inv_std_[static_cast<std::size_t>(c)] = inv;
+      float* xh = x_hat_.data() + static_cast<std::size_t>(c) * spatial_;
+      for (int i = 0; i < spatial_; ++i) {
+        xh[i] = (in[i] - mean) * inv;
+        out[i] = g * xh[i] + b;
+      }
     } else {
-      mean = running_mean_.value[static_cast<std::size_t>(c)];
-      var = running_var_.value[static_cast<std::size_t>(c)];
+      const float mean = running_mean_.value[static_cast<std::size_t>(c)];
+      const float var = running_var_.value[static_cast<std::size_t>(c)];
+      const float inv = 1.0f / std::sqrt(var + eps_);
+      for (int i = 0; i < spatial_; ++i) {
+        const float xh = (in[i] - mean) * inv;
+        out[i] = g * xh + b;
+      }
     }
-    const float inv = 1.0f / std::sqrt(var + eps_);
-    inv_std_[static_cast<std::size_t>(c)] = inv;
-    const float g = gamma_.value[static_cast<std::size_t>(c)];
-    const float b = beta_.value[static_cast<std::size_t>(c)];
-    float* xh = x_hat_.data() + static_cast<std::size_t>(c) * spatial_;
-    float* out = output.data() + static_cast<std::size_t>(c) * spatial_;
-    for (int i = 0; i < spatial_; ++i) {
-      xh[i] = (in[i] - mean) * inv;
-      out[i] = g * xh[i] + b;
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::forward_batched(const Tensor& input, int batch) {
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const std::size_t sp = static_cast<std::size_t>(h) * w;
+  Tensor output(input.shape());
+  for (int bi = 0; bi < batch; ++bi) {
+    for (int c = 0; c < channels_; ++c) {
+      const std::size_t off = (static_cast<std::size_t>(bi) * channels_ + c) * sp;
+      const float* in = input.data() + off;
+      float* out = output.data() + off;
+      const float mean = running_mean_.value[static_cast<std::size_t>(c)];
+      const float var = running_var_.value[static_cast<std::size_t>(c)];
+      const float inv = 1.0f / std::sqrt(var + eps_);
+      const float g = gamma_.value[static_cast<std::size_t>(c)];
+      const float b = beta_.value[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < sp; ++i) {
+        const float xh = (in[i] - mean) * inv;
+        out[i] = g * xh + b;
+      }
     }
   }
   return output;
@@ -257,15 +299,30 @@ void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
 // ------------------------------------------------------------------ ReLU ---
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
-  (void)train;
   Tensor output = input;
-  mask_.assign(input.size(), false);
-  for (std::size_t i = 0; i < output.size(); ++i) {
-    if (output[i] > 0.0f) {
-      mask_[i] = true;
-    } else {
-      output[i] = 0.0f;
+  if (train) {
+    mask_.assign(input.size(), false);
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      if (output[i] > 0.0f) {
+        mask_[i] = true;
+      } else {
+        output[i] = 0.0f;
+      }
     }
+  } else {
+    mask_.clear();
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      if (!(output[i] > 0.0f)) output[i] = 0.0f;
+    }
+  }
+  return output;
+}
+
+Tensor ReLU::forward_batched(const Tensor& input, int batch) {
+  (void)batch;  // elementwise: the batch layout is irrelevant
+  Tensor output = input;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (!(output[i] > 0.0f)) output[i] = 0.0f;
   }
   return output;
 }
@@ -290,8 +347,11 @@ Linear::Linear(int in_features, int out_features, util::Rng& rng)
 }
 
 Tensor Linear::forward(const Tensor& input, bool train) {
-  (void)train;
-  input_cache_ = input;
+  if (train) {
+    input_cache_ = input;
+  } else {
+    input_cache_ = Tensor();
+  }
   Tensor output({out_f_});
   const float* w = weight_.value.data();
   const float* x = input.data();
@@ -300,6 +360,25 @@ Tensor Linear::forward(const Tensor& input, bool train) {
     float sum = bias_.value[static_cast<std::size_t>(o)];
     for (int i = 0; i < in_f_; ++i) sum += row[i] * x[i];
     output[static_cast<std::size_t>(o)] = sum;
+  }
+  return output;
+}
+
+Tensor Linear::forward_batched(const Tensor& input, int batch) {
+  // Bias-first accumulation, exactly like forward(): the bias seeds the
+  // running sum, so a GEMM that dots first and adds bias after would round
+  // differently.
+  Tensor output({batch, out_f_});
+  const float* w = weight_.value.data();
+  for (int bi = 0; bi < batch; ++bi) {
+    const float* x = input.data() + static_cast<std::size_t>(bi) * in_f_;
+    float* y = output.data() + static_cast<std::size_t>(bi) * out_f_;
+    for (int o = 0; o < out_f_; ++o) {
+      const float* row = w + static_cast<std::size_t>(o) * in_f_;
+      float sum = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_f_; ++i) sum += row[i] * x[i];
+      y[o] = sum;
+    }
   }
   return output;
 }
@@ -349,6 +428,16 @@ Tensor ResBlock::forward(const Tensor& input, bool train) {
   return relu_out_.forward(h, train);
 }
 
+Tensor ResBlock::forward_batched(const Tensor& input, int batch) {
+  Tensor h = conv1_.forward_batched(input, batch);
+  h = bn1_.forward_batched(h, batch);
+  h = relu1_.forward_batched(h, batch);
+  h = conv2_.forward_batched(h, batch);
+  h = bn2_.forward_batched(h, batch);
+  h.add(input);  // skip connection
+  return relu_out_.forward_batched(h, batch);
+}
+
 Tensor ResBlock::backward(const Tensor& grad_output) {
   Tensor g = relu_out_.backward(grad_output);
   const Tensor skip_grad = g;  // gradient flowing through the identity path
@@ -373,6 +462,12 @@ void ResBlock::collect_parameters(std::vector<Parameter*>& out) {
 Tensor Sequential::forward(const Tensor& input, bool train) {
   Tensor x = input;
   for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::forward_batched(const Tensor& input, int batch) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward_batched(x, batch);
   return x;
 }
 

@@ -37,6 +37,18 @@ class Layer {
   /// accumulates parameter gradients.
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only batched forward: `input` stacks `batch` samples along a
+  /// leading dimension ([B, C, H, W] / [B, F]) and the result stacks the
+  /// per-sample outputs the same way.  Contract: sample b of the result is
+  /// bit-identical to `forward(sample_b, /*train=*/false)` for every layer
+  /// (see docs/INFERENCE.md), which is what lets the inference engine
+  /// coalesce requests from unrelated jobs without changing any result.
+  /// The default implementation slices and loops; layers with a real batch
+  /// kernel (Conv2d: one im2col + one GEMM for the whole batch) override
+  /// it.  Never caches backward state — calling backward() after
+  /// forward_batched() is undefined.
+  virtual Tensor forward_batched(const Tensor& input, int batch);
+
   /// Appends the layer's parameters (for the optimizer).
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
 };
@@ -48,16 +60,21 @@ class Conv2d : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   int in_channels() const { return in_c_; }
   int out_channels() const { return out_c_; }
 
+  /// True while the im2col buffer of the last training forward is retained
+  /// (backward needs it; inference forwards must not hold onto it).
+  bool holds_col_cache() const { return !col_cache_.empty(); }
+
  private:
   int in_c_, out_c_, k_;
   Parameter weight_;  ///< [outC, inC * k * k]
   Parameter bias_;    ///< [outC]
-  Tensor col_cache_;  ///< im2col of the last input
+  Tensor col_cache_;  ///< im2col of the last input, train forwards only
   int last_h_ = 0, last_w_ = 0;
 };
 
@@ -68,6 +85,7 @@ class BatchNorm2d : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
  private:
@@ -88,6 +106,7 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
 
  private:
   std::vector<bool> mask_;
@@ -100,6 +119,7 @@ class Linear : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   int in_features() const { return in_f_; }
@@ -119,6 +139,7 @@ class ResBlock : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
  private:
@@ -137,6 +158,7 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor forward_batched(const Tensor& input, int batch) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
  private:

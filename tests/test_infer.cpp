@@ -1,0 +1,409 @@
+// Tests for the shared batched inference engine (src/infer) and the
+// partition-invariance contract underneath it: batched layer/network
+// forwards are bit-identical per sample to the single-sample forward
+// (docs/INFERENCE.md), snapshots dedupe by parameter content hash,
+// concurrent requests coalesce without changing any result, and both the
+// MCTS placer and the placement service produce byte-identical placements
+// with the engine on and off.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "infer/engine.hpp"
+#include "mcts/mcts.hpp"
+#include "nn/layers.hpp"
+#include "place/flow.hpp"
+#include "rl/coarse_evaluator.hpp"
+#include "rl/trainer.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+
+namespace mp::infer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+rl::AgentConfig tiny_agent_config(std::uint64_t seed) {
+  rl::AgentConfig config;
+  config.grid_dim = 8;
+  config.channels = 8;
+  config.res_blocks = 1;
+  config.seed = seed;
+  return config;
+}
+
+/// Random-but-plausible observations: utilization in [0, 1], a 0/1
+/// availability mask with at least one legal cell, and a step index.
+std::vector<rl::NetInput> random_inputs(int n, int grid_dim,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int cells = grid_dim * grid_dim;
+  std::vector<rl::NetInput> inputs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rl::NetInput& in = inputs[static_cast<std::size_t>(i)];
+    in.sp.resize(static_cast<std::size_t>(cells));
+    in.availability.resize(static_cast<std::size_t>(cells));
+    for (int c = 0; c < cells; ++c) {
+      in.sp[static_cast<std::size_t>(c)] = rng.uniform(0.0, 1.0);
+      in.availability[static_cast<std::size_t>(c)] =
+          rng.uniform(0.0, 1.0) < 0.6 ? 1.0 : 0.0;
+    }
+    in.availability[static_cast<std::size_t>(i % cells)] = 1.0;
+    in.total_steps = 10;
+    in.t = i % in.total_steps;
+  }
+  return inputs;
+}
+
+bool bitwise_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.size()) == 0;
+}
+
+bool bitwise_equal(const rl::AgentOutput& a, const rl::AgentOutput& b) {
+  return bitwise_equal(a.probs, b.probs) &&
+         std::memcmp(&a.value, &b.value, sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Batched forward == per-sample forward, bit for bit
+
+TEST(BatchedForward, NetworkForwardManyBitIdenticalPerSample) {
+  rl::AgentNetwork agent(tiny_agent_config(11));
+  for (const int batch : {1, 2, 7, 32}) {
+    const std::vector<rl::NetInput> inputs = random_inputs(batch, 8, 100u + batch);
+    const std::vector<rl::AgentOutput> many = agent.forward_many(inputs);
+    ASSERT_EQ(many.size(), inputs.size());
+    for (int i = 0; i < batch; ++i) {
+      const rl::NetInput& in = inputs[static_cast<std::size_t>(i)];
+      const rl::AgentOutput one = agent.forward(
+          in.sp, in.availability, in.t, in.total_steps, /*train=*/false);
+      EXPECT_TRUE(bitwise_equal(many[static_cast<std::size_t>(i)], one))
+          << "batch " << batch << " sample " << i;
+    }
+  }
+}
+
+TEST(BatchedForward, ConvForwardBatchedMatchesPerSample) {
+  util::Rng rng(3);
+  nn::Conv2d conv(3, 5, 3, rng);
+  const int h = 8, w = 8;
+  for (const int batch : {1, 2, 7}) {
+    nn::Tensor stacked({batch, 3, h, w});
+    util::Rng data_rng(40u + static_cast<std::uint64_t>(batch));
+    for (std::size_t i = 0; i < stacked.size(); ++i) {
+      stacked[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+    }
+    const nn::Tensor out = conv.forward_batched(stacked, batch);
+    ASSERT_EQ(out.dim(0), batch);
+    const std::size_t in_stride = static_cast<std::size_t>(3) * h * w;
+    const std::size_t out_stride = static_cast<std::size_t>(5) * h * w;
+    for (int b = 0; b < batch; ++b) {
+      nn::Tensor sample({3, h, w});
+      std::memcpy(sample.data(), stacked.data() + in_stride * b,
+                  sizeof(float) * in_stride);
+      const nn::Tensor one = conv.forward(sample, /*train=*/false);
+      EXPECT_EQ(std::memcmp(out.data() + out_stride * b, one.data(),
+                            sizeof(float) * out_stride),
+                0)
+          << "batch " << batch << " sample " << b;
+    }
+  }
+}
+
+TEST(BatchedForward, ConvReleasesColCacheAfterInferenceForward) {
+  util::Rng rng(4);
+  nn::Conv2d conv(2, 2, 3, rng);
+  nn::Tensor x({2, 4, 4}, 0.5f);
+
+  conv.forward(x, /*train=*/true);
+  EXPECT_TRUE(conv.holds_col_cache());  // backward needs it
+
+  conv.forward(x, /*train=*/false);
+  EXPECT_FALSE(conv.holds_col_cache());  // inference must not retain it
+
+  conv.forward(x, /*train=*/true);
+  nn::Tensor stacked({2, 2, 4, 4}, 0.25f);
+  conv.forward_batched(stacked, 2);
+  // forward_batched never touches the training caches either way, but it
+  // must not leave a batch-sized buffer behind.
+  EXPECT_TRUE(conv.holds_col_cache());
+  conv.forward(x, /*train=*/false);
+  EXPECT_FALSE(conv.holds_col_cache());
+}
+
+// ---------------------------------------------------------------------------
+// Engine basics
+
+TEST(Engine, ForwardMatchesDirectForwardMany) {
+  rl::AgentNetwork agent(tiny_agent_config(21));
+  EngineOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 0;
+  InferenceEngine engine(options);
+  const SnapshotId id = engine.acquire(agent);
+
+  const std::vector<rl::NetInput> inputs = random_inputs(5, 8, 7);
+  const std::vector<rl::AgentOutput> via_engine = engine.forward(id, inputs);
+  const std::vector<rl::AgentOutput> direct = agent.forward_many(inputs);
+  ASSERT_EQ(via_engine.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(via_engine[i], direct[i])) << i;
+  }
+  engine.release(id);
+}
+
+TEST(Engine, SnapshotsDedupeByParameterHash) {
+  rl::AgentNetwork agent(tiny_agent_config(31));
+  InferenceEngine engine;
+
+  const SnapshotId a = engine.acquire(agent);
+  const SnapshotId b = engine.acquire(agent);  // same parameters
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.stats().snapshots, 1u);
+
+  const std::unique_ptr<rl::AgentNetwork> clone = agent.clone();
+  const SnapshotId c = engine.acquire(*clone);  // clone hashes identically
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(engine.stats().snapshots, 1u);
+
+  rl::AgentNetwork other(tiny_agent_config(32));  // different init
+  const SnapshotId d = engine.acquire(other);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(engine.stats().snapshots, 2u);
+
+  engine.release(a);
+  engine.release(b);
+  EXPECT_EQ(engine.stats().snapshots, 2u);  // c still holds a reference
+  engine.release(c);
+  engine.release(d);
+  EXPECT_EQ(engine.stats().snapshots, 0u);
+}
+
+TEST(Engine, ForwardOnUnknownSnapshotThrows) {
+  InferenceEngine engine;
+  EXPECT_THROW(engine.forward(0xdeadbeefu, random_inputs(1, 8, 1)),
+               std::runtime_error);
+}
+
+TEST(Engine, OversizedRequestRunsWhole) {
+  rl::AgentNetwork agent(tiny_agent_config(41));
+  EngineOptions options;
+  options.max_batch = 2;  // request of 5 samples must not split
+  options.max_wait_us = 0;
+  InferenceEngine engine(options);
+  const SnapshotId id = engine.acquire(agent);
+
+  const std::vector<rl::NetInput> inputs = random_inputs(5, 8, 9);
+  const std::vector<rl::AgentOutput> out = engine.forward(id, inputs);
+  const std::vector<rl::AgentOutput> direct = agent.forward_many(inputs);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(out[i], direct[i])) << i;
+  }
+  EXPECT_EQ(engine.stats().samples, 5u);
+  engine.release(id);
+}
+
+TEST(Engine, CoalescesConcurrentRequestsWithoutChangingResults) {
+  rl::AgentNetwork agent(tiny_agent_config(51));
+  EngineOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 300000;  // generous window so all senders join
+  InferenceEngine engine(options);
+  const SnapshotId id = engine.acquire(agent);
+
+  constexpr int kSenders = 4;
+  const std::vector<rl::NetInput> inputs = random_inputs(kSenders, 8, 13);
+  std::vector<rl::AgentOutput> outputs(kSenders);
+  std::vector<std::thread> senders;
+  senders.reserve(kSenders);
+  for (int i = 0; i < kSenders; ++i) {
+    senders.emplace_back([&, i] {
+      std::vector<rl::NetInput> one{inputs[static_cast<std::size_t>(i)]};
+      outputs[static_cast<std::size_t>(i)] =
+          std::move(engine.forward(id, std::move(one))[0]);
+    });
+  }
+  for (std::thread& t : senders) t.join();
+
+  // Whatever batches the requests landed in, every sample equals the
+  // direct single-sample forward.
+  const std::vector<rl::AgentOutput> direct = agent.forward_many(inputs);
+  for (int i = 0; i < kSenders; ++i) {
+    EXPECT_TRUE(bitwise_equal(outputs[static_cast<std::size_t>(i)],
+                              direct[static_cast<std::size_t>(i)]))
+        << i;
+  }
+
+  const InferenceEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kSenders));
+  EXPECT_EQ(stats.samples, static_cast<std::uint64_t>(kSenders));
+  // The 300 ms window makes all four sharing one batch overwhelmingly
+  // likely, but any coalescing at all proves the mechanism.
+  EXPECT_GE(stats.coalesced, 2u);
+  EXPECT_LT(stats.batches, static_cast<std::uint64_t>(kSenders));
+  engine.release(id);
+}
+
+// ---------------------------------------------------------------------------
+// MCTS: engine on == engine off, byte for byte
+
+struct SearchFixture {
+  netlist::Design design;
+  place::FlowContext context;
+  std::unique_ptr<rl::PlacementEnv> env;
+  std::unique_ptr<rl::CoarseEvaluator> evaluator;
+  std::unique_ptr<rl::AgentNetwork> agent;
+  rl::RewardCalibration calibration;
+
+  explicit SearchFixture(std::uint64_t seed) {
+    benchgen::BenchSpec spec;
+    spec.movable_macros = 10;
+    spec.std_cells = 150;
+    spec.nets = 250;
+    spec.seed = seed;
+    design = benchgen::generate(spec);
+    place::FlowOptions options;
+    options.grid_dim = 4;
+    options.initial_gp.max_iterations = 3;
+    context = place::prepare_flow(design, options);
+    env = std::make_unique<rl::PlacementEnv>(context.coarse,
+                                             context.clustering, context.spec);
+    evaluator = std::make_unique<rl::CoarseEvaluator>(context.coarse,
+                                                      context.spec);
+    rl::AgentConfig config;
+    config.grid_dim = 4;
+    config.channels = 8;
+    config.res_blocks = 1;
+    config.seed = seed;
+    agent = std::make_unique<rl::AgentNetwork>(config);
+    util::Rng rng(seed);
+    calibration = rl::calibrate_reward(*env, *evaluator, 10, rng);
+  }
+
+  mcts::MctsResult run(mcts::MctsOptions options) {
+    mcts::MctsPlacer placer(*env, *evaluator, *agent,
+                            calibration.make_reward(0.75), options);
+    return placer.run();
+  }
+};
+
+void expect_same_result(const mcts::MctsResult& off,
+                        const mcts::MctsResult& on) {
+  ASSERT_EQ(off.anchors.size(), on.anchors.size());
+  for (std::size_t i = 0; i < off.anchors.size(); ++i) {
+    EXPECT_EQ(off.anchors[i].gx, on.anchors[i].gx) << i;
+    EXPECT_EQ(off.anchors[i].gy, on.anchors[i].gy) << i;
+  }
+  EXPECT_EQ(off.wirelength, on.wirelength);  // exact: same bits expected
+  EXPECT_EQ(off.nodes_created, on.nodes_created);
+}
+
+TEST(MctsWithEngine, SerialSearchMatchesEngineOff) {
+  mcts::MctsOptions options;
+  options.explorations_per_move = 6;
+  const mcts::MctsResult off = SearchFixture(81).run(options);
+
+  InferenceEngine engine;
+  options.infer_engine = &engine;
+  const mcts::MctsResult on = SearchFixture(81).run(options);
+  expect_same_result(off, on);
+  EXPECT_GT(engine.stats().requests, 0u);
+}
+
+TEST(MctsWithEngine, BatchedSearchMatchesEngineOffAllLeafModes) {
+  for (const mcts::LeafEvaluation mode :
+       {mcts::LeafEvaluation::kValueNetwork,
+        mcts::LeafEvaluation::kPartialPlacement,
+        mcts::LeafEvaluation::kRandomRollout}) {
+    mcts::MctsOptions options;
+    options.explorations_per_move = 8;
+    options.eval_batch = 4;
+    options.leaf_evaluation = mode;
+    const mcts::MctsResult off = SearchFixture(82).run(options);
+
+    InferenceEngine engine;
+    options.infer_engine = &engine;
+    const mcts::MctsResult on = SearchFixture(82).run(options);
+    expect_same_result(off, on);
+    EXPECT_GT(engine.stats().requests, 0u)
+        << static_cast<int>(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service: jobs sharing one engine == engine off, byte for byte
+
+svc::JobSpec tiny_job(std::uint64_t seed) {
+  svc::Json spec = svc::Json::object();
+  svc::Json synth = svc::Json::object();
+  synth["name"] = svc::Json::string("infer-tiny");
+  synth["movable_macros"] = svc::Json::number(8);
+  synth["std_cells"] = svc::Json::number(300);
+  synth["nets"] = svc::Json::number(400);
+  synth["io_pads"] = svc::Json::number(16);
+  synth["seed"] = svc::Json::number(static_cast<double>(seed));
+  spec["synthetic"] = synth;
+  spec["preset"] = svc::Json::string("mcts");
+  spec["episodes"] = svc::Json::number(6);
+  spec["gamma"] = svc::Json::number(4);
+  spec["grid"] = svc::Json::number(8);
+  spec["channels"] = svc::Json::number(8);
+  spec["blocks"] = svc::Json::number(1);
+  return svc::parse_job_spec(spec);
+}
+
+std::map<std::uint64_t, std::uint64_t> run_jobs(int infer,
+                                                std::uint64_t* requests) {
+  svc::ServiceOptions options;
+  options.stream_progress = false;
+  options.workers = 4;
+  options.infer = infer;
+  svc::LocalService service(options);
+
+  const std::uint64_t seeds[] = {5, 6, 7, 8};
+  std::map<std::uint64_t, std::string> ids;
+  for (const std::uint64_t seed : seeds) {
+    const svc::Scheduler::SubmitResult r = service.submit(tiny_job(seed));
+    EXPECT_TRUE(r.accepted) << r.error;
+    ids[seed] = r.id;
+  }
+  std::map<std::uint64_t, std::uint64_t> hashes;
+  for (const auto& [seed, id] : ids) {
+    EXPECT_TRUE(service.wait(id, 600.0)) << seed;
+    const auto snap = service.status(id);
+    EXPECT_TRUE(snap.has_value());
+    if (!snap.has_value()) continue;
+    EXPECT_EQ(snap->state, svc::JobState::kDone) << snap->error;
+    hashes[seed] = snap->outcome.placement_hash;
+  }
+  if (requests != nullptr) {
+    *requests = static_cast<std::uint64_t>(
+        service.slo_registry().counter("infer.requests").value());
+  }
+  return hashes;
+}
+
+TEST(ServiceWithEngine, ConcurrentJobsSharingEngineMatchEngineOff) {
+  const std::map<std::uint64_t, std::uint64_t> off = run_jobs(0, nullptr);
+  std::uint64_t requests = 0;
+  const std::map<std::uint64_t, std::uint64_t> on = run_jobs(1, &requests);
+  ASSERT_EQ(off.size(), on.size());
+  for (const auto& [seed, hash] : off) {
+    ASSERT_TRUE(on.count(seed)) << seed;
+    EXPECT_EQ(on.at(seed), hash) << "seed " << seed;
+    EXPECT_NE(hash, 0u);
+  }
+  // The engine actually served the jobs' searches, and its telemetry landed
+  // in the SLO registry the `metrics` verb exports.
+  EXPECT_GT(requests, 0u);
+}
+
+}  // namespace
+}  // namespace mp::infer

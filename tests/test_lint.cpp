@@ -94,7 +94,7 @@ TEST(LintPolicy, ResultAffectingDirsGetDeterminism) {
        {"src/mcts/mcts.cpp", "src/rl/policy.hpp", "src/gp/wirelength.cpp",
         "src/qp/solver.cpp", "src/legal/legalize.cpp", "src/nn/net.cpp",
         "src/place/placer.cpp", "src/grid/grid.hpp", "src/netlist/design.cpp",
-        "src/linalg/vec.hpp"}) {
+        "src/linalg/vec.hpp", "src/infer/engine.cpp", "src/infer/engine.hpp"}) {
     EXPECT_TRUE(policy_for(path).determinism) << path;
     EXPECT_TRUE(policy_for(path).lint) << path;
   }
@@ -175,6 +175,20 @@ TEST(LintClock, FlagsCTimeCallsButNotMembers) {
   EXPECT_FALSE(has_check(
       lint_source("src/gp/anneal.cpp", "double d = row.time(3);\n"),
       "wall-clock"));
+}
+
+TEST(LintClock, InferEngineTimerNeedsJustifiedAllow) {
+  // src/infer/ is result-affecting: a bare clock read is flagged, and only
+  // the justified coalescing-timer allow (engine.cpp) suppresses it.
+  EXPECT_TRUE(has_check(
+      lint_source("src/infer/engine.cpp",
+                  "auto d = std::chrono::steady_clock::now();\n"),
+      "wall-clock"));
+  EXPECT_TRUE(
+      lint_source("src/infer/engine.cpp",
+                  "// mplint: allow(wall-clock): coalescing wait timer\n"
+                  "auto d = std::chrono::steady_clock::now();\n")
+          .empty());
 }
 
 TEST(LintUnordered, FlagsRangeForAndBeginInResultDirs) {
