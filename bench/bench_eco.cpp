@@ -1,0 +1,87 @@
+// ECO / incremental re-placement bench (preset=regulate): place a synthetic
+// design from scratch, apply a netlist delta (benchgen::perturb — added and
+// removed nets against the incumbent placement), then measure how much of
+// the destroyed HPWL the regulate preset recovers and how much cheaper it is
+// than re-placing from scratch.  Rows:
+//   scratch   — from-scratch mcts on the base netlist (the incumbent)
+//   input     — the incumbent placement evaluated on the perturbed netlist
+//   regulate  — trust-region refinement of the incumbent on the perturbed
+//               netlist (must end fully legal, HPWL <= input, and run
+//               faster than the from-scratch flow)
+// Writes BENCH_eco.json under MP_BENCH_JSON (scripts/run_benches.sh).
+
+#include <cstdio>
+
+#include "benchgen/generator.hpp"
+#include "common.hpp"
+#include "place/placer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  bench::init_threads(argc, argv);
+
+  const bench::Budgets b = bench::budgets();
+  benchgen::BenchSpec base_spec;
+  base_spec.name = "eco";
+  base_spec.movable_macros =
+      std::max(6, static_cast<int>(24 * bench::macro_scale()));
+  base_spec.io_pads = 32;
+  base_spec.std_cells = std::max(60, static_cast<int>(
+      2000 * bench::cell_scale()));
+  base_spec.nets = std::max(80, static_cast<int>(
+      2600 * bench::cell_scale()));
+  base_spec.seed = 7;
+  netlist::Design base = benchgen::generate(base_spec);
+
+  place::PresetKnobs knobs;
+  knobs.episodes = b.episodes;
+  knobs.gamma = b.gamma;
+  knobs.channels = b.channels;
+  knobs.blocks = b.blocks;
+
+  // From-scratch incumbent: the paper flow on the base netlist.
+  const place::PlacerSpec scratch_spec =
+      place::spec_from_preset(place::Preset::kMcts, knobs);
+  const place::PlaceResult scratch = place::run(base, scratch_spec);
+  const bool scratch_legal =
+      base.macro_overlap_area() == 0.0 && base.all_inside_region();
+
+  // The ECO delta: new connectivity tugging on the macros, some nets gone.
+  benchgen::PerturbSpec delta;
+  delta.seed = 11;
+  delta.add_nets = std::max(8, static_cast<int>(base.num_nets()) / 10);
+  delta.remove_nets = std::max(4, static_cast<int>(base.num_nets()) / 20);
+  netlist::Design perturbed = benchgen::perturb(base, delta);
+  const double input_hpwl = perturbed.total_hpwl();
+
+  // Regulate: same budgets through the same shared derivation.
+  const place::PlacerSpec regulate_spec =
+      place::spec_from_preset(place::Preset::kRegulate, knobs);
+  const place::PlaceResult regulate = place::run(perturbed, regulate_spec);
+  const bool regulate_legal = perturbed.macro_overlap_area() == 0.0 &&
+                              perturbed.all_inside_region();
+
+  {
+    bench::Table table("eco", "flow",
+                       {"HPWL", "seconds", "legal", "moved_groups"});
+    table.row("scratch", {scratch.hpwl, scratch.seconds,
+                          scratch_legal ? 1.0 : 0.0, 0.0});
+    table.row("input", {input_hpwl, 0.0, 1.0, 0.0});
+    table.row("regulate",
+              {regulate.hpwl, regulate.seconds, regulate_legal ? 1.0 : 0.0,
+               static_cast<double>(regulate.moved_groups)});
+  }
+
+  const double recovered =
+      input_hpwl > 0.0 ? (input_hpwl - regulate.hpwl) / input_hpwl : 0.0;
+  std::printf("\nregulate: input HPWL %.6g -> %.6g (%.2f%% recovered), "
+              "%.1fx faster than scratch\n",
+              input_hpwl, regulate.hpwl, 100.0 * recovered,
+              regulate.seconds > 0.0 ? scratch.seconds / regulate.seconds
+                                     : 0.0);
+  const bool ok = regulate_legal && regulate.hpwl <= input_hpwl &&
+                  regulate.seconds < scratch.seconds;
+  std::printf("acceptance: legal=%d improved=%d faster=%d\n", regulate_legal,
+              regulate.hpwl <= input_hpwl, regulate.seconds < scratch.seconds);
+  return ok ? 0 : 1;
+}

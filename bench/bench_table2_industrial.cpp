@@ -9,8 +9,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "place/analytic_placer.hpp"
-#include "place/sa_placer.hpp"
+#include "place/placer.hpp"
 #include "util/timer.hpp"
 
 using namespace mp;
@@ -37,19 +36,23 @@ int main(int argc, char** argv) {
     netlist::Design d_an = benchgen::generate(spec);
     netlist::Design d_ours = benchgen::generate(spec);
 
-    place::SaOptions sa_options;
-    sa_options.iterations = sa_iterations;
-    sa_options.initial_gp.max_iterations = 6;
-    sa_options.final_gp.max_iterations = 8;
-    const place::SaResult sa = place::sa_place(d_sa, sa_options);
+    place::PlacerSpec sa_spec;
+    sa_spec.preset = place::Preset::kSa;
+    sa_spec.sa.iterations = sa_iterations;
+    sa_spec.sa.initial_gp.max_iterations = 6;
+    sa_spec.sa.final_gp.max_iterations = 8;
+    const place::PlaceResult sa = place::run(d_sa, sa_spec);
 
-    place::AnalyticOptions an_options;
-    an_options.mixed_gp.max_iterations = 12;
-    an_options.final_gp.max_iterations = 8;
-    const place::AnalyticResult an = place::analytic_place(d_an, an_options);
+    place::PlacerSpec an_spec;
+    an_spec.preset = place::Preset::kAnalytic;
+    an_spec.analytic.mixed_gp.max_iterations = 12;
+    an_spec.analytic.final_gp.max_iterations = 8;
+    const place::PlaceResult an = place::run(d_an, an_spec);
 
-    const place::MctsRlOptions options = bench::default_flow_options();
-    const place::MctsRlResult ours = place::mcts_rl_place(d_ours, options);
+    place::PlacerSpec ours_spec;
+    ours_spec.preset = place::Preset::kMcts;
+    ours_spec.mcts_rl = bench::default_flow_options();
+    const place::PlaceResult ours = place::run(d_ours, ours_spec);
 
     rows.push_back({sa.hpwl, an.hpwl, ours.hpwl});
     table.row(spec.name,

@@ -13,9 +13,7 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "place/analytic_placer.hpp"
-#include "place/rl_only_placer.hpp"
-#include "place/wiremask_placer.hpp"
+#include "place/placer.hpp"
 #include "util/timer.hpp"
 
 using namespace mp;
@@ -45,23 +43,29 @@ int main(int argc, char** argv) {
     netlist::Design d_an = benchgen::generate(spec);
     netlist::Design d_ours = benchgen::generate(spec);
 
-    const place::MctsRlOptions options = bench::default_flow_options();
+    place::PlacerSpec rl_spec;
+    rl_spec.preset = place::Preset::kRlOnly;
+    rl_spec.mcts_rl = bench::default_flow_options();
+    const place::PlaceResult rl = place::run(d_rl, rl_spec);
 
-    const place::RlOnlyResult rl = place::rl_only_place(d_rl, options);
+    place::PlacerSpec wm_spec;
+    wm_spec.preset = place::Preset::kWiremask;
+    wm_spec.wiremask.grid_dim = 32;
+    wm_spec.wiremask.initial_gp.max_iterations = 6;
+    wm_spec.wiremask.final_gp.max_iterations = 8;
+    const place::PlaceResult wm = place::run(d_wm, wm_spec);
 
-    place::WiremaskOptions wm_options;
-    wm_options.grid_dim = 32;
-    wm_options.initial_gp.max_iterations = 6;
-    wm_options.final_gp.max_iterations = 8;
-    const place::WiremaskResult wm = place::wiremask_place(d_wm, wm_options);
+    place::PlacerSpec an_spec;
+    an_spec.preset = place::Preset::kAnalytic;
+    an_spec.analytic.mixed_gp.max_iterations = 12;
+    an_spec.analytic.final_gp.max_iterations = 8;
+    const place::PlaceResult an = place::run(d_an, an_spec);
 
-    place::AnalyticOptions an_options;
-    an_options.mixed_gp.max_iterations = 12;
-    an_options.final_gp.max_iterations = 8;
-    const place::AnalyticResult an = place::analytic_place(d_an, an_options);
-
+    place::PlacerSpec ours_spec;
+    ours_spec.preset = place::Preset::kMcts;
+    ours_spec.mcts_rl = bench::default_flow_options();
     util::Timer ours_timer;
-    const place::MctsRlResult ours = place::mcts_rl_place(d_ours, options);
+    const place::PlaceResult ours = place::run(d_ours, ours_spec);
 
     rows.push_back({rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl});
     table.row(spec.name, {rl.hpwl, wm.hpwl, an.hpwl, ours.hpwl,

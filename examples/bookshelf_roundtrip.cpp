@@ -8,7 +8,7 @@
 
 #include "benchgen/generator.hpp"
 #include "io/bookshelf.hpp"
-#include "place/analytic_placer.hpp"
+#include "place/placer.hpp"
 
 int main(int argc, char** argv) {
   const std::string prefix = argc > 1 ? argv[1] : "roundtrip_demo";
@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
               static_cast<int>(reloaded.macros().size()),
               reloaded.total_hpwl(), original.total_hpwl());
 
-  const mp::place::AnalyticResult result = mp::place::analytic_place(reloaded);
+  mp::place::PlacerSpec pspec;
+  pspec.preset = mp::place::Preset::kAnalytic;
+  const mp::place::PlaceResult result = mp::place::run(reloaded, pspec);
   std::printf("placed reloaded copy: HPWL %.5g, overlap %.3g\n", result.hpwl,
               reloaded.macro_overlap_area());
 

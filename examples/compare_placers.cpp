@@ -9,12 +9,7 @@
 #include <cstdlib>
 
 #include "benchgen/presets.hpp"
-#include "place/analytic_placer.hpp"
 #include "place/placer.hpp"
-#include "place/rl_only_placer.hpp"
-#include "place/sa_placer.hpp"
-#include "place/wiremask_placer.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t preset = argc > 1
@@ -34,43 +29,52 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   };
 
-  mp::place::MctsRlOptions options;
-  options.agent.channels = 16;
-  options.agent.res_blocks = 2;
-  options.train.episodes = 16;
-  options.train.update_window = 4;
-  options.train.calibration_episodes = 8;
-  options.mcts.explorations_per_move = 10;
+  // One spec per flow through the unified facade; the RL flows share the
+  // same scaled-down knob set.
+  mp::place::PlacerSpec spec_rl;
+  spec_rl.mcts_rl.agent.channels = 16;
+  spec_rl.mcts_rl.agent.res_blocks = 2;
+  spec_rl.mcts_rl.train.episodes = 16;
+  spec_rl.mcts_rl.train.update_window = 4;
+  spec_rl.mcts_rl.train.calibration_episodes = 8;
+  spec_rl.mcts_rl.mcts.explorations_per_move = 10;
 
   {
     mp::netlist::Design d = mp::benchgen::generate(spec);
-    const auto r = mp::place::rl_only_place(d, options);
+    mp::place::PlacerSpec s = spec_rl;
+    s.preset = mp::place::Preset::kRlOnly;
+    const auto r = mp::place::run(d, s);
     report("RL-only (CT-style)", r.hpwl, r.seconds);
   }
   {
     mp::netlist::Design d = mp::benchgen::generate(spec);
-    mp::place::WiremaskOptions wm;
-    wm.grid_dim = 32;
-    mp::util::Timer t;
-    const auto r = mp::place::wiremask_place(d, wm);
-    report("wiremask (MaskPlace)", r.hpwl, t.seconds());
+    mp::place::PlacerSpec s;
+    s.preset = mp::place::Preset::kWiremask;
+    s.wiremask.grid_dim = 32;
+    const auto r = mp::place::run(d, s);
+    report("wiremask (MaskPlace)", r.hpwl, r.seconds);
   }
   {
     mp::netlist::Design d = mp::benchgen::generate(spec);
-    const auto r = mp::place::analytic_place(d);
+    mp::place::PlacerSpec s;
+    s.preset = mp::place::Preset::kAnalytic;
+    const auto r = mp::place::run(d, s);
     report("analytical (RePlAce)", r.hpwl, r.seconds);
   }
   {
     mp::netlist::Design d = mp::benchgen::generate(spec);
-    mp::place::SaOptions sa;
-    sa.iterations = 8000;
-    const auto r = mp::place::sa_place(d, sa);
+    mp::place::PlacerSpec s;
+    s.preset = mp::place::Preset::kSa;
+    s.sa.iterations = 8000;
+    const auto r = mp::place::run(d, s);
     report("annealing (SE-style)", r.hpwl, r.seconds);
   }
   {
     mp::netlist::Design d = mp::benchgen::generate(spec);
-    const auto r = mp::place::mcts_rl_place(d, options);
-    report("MCTS+RL (ours)", r.hpwl, r.total_seconds);
+    mp::place::PlacerSpec s = spec_rl;
+    s.preset = mp::place::Preset::kMcts;
+    const auto r = mp::place::run(d, s);
+    report("MCTS+RL (ours)", r.hpwl, r.seconds);
   }
   return 0;
 }

@@ -11,7 +11,6 @@
 #include "benchgen/presets.hpp"
 #include "io/plot.hpp"
 #include "place/placer.hpp"
-#include "place/sa_placer.hpp"
 
 int main() {
   // Cir1-like circuit at reduced size (see DESIGN.md on substitutions).
@@ -29,24 +28,26 @@ int main() {
 
   // Our flow.  Hierarchy-aware clustering happens inside prepare_flow; the δ
   // weight of Eq. (1) controls how strongly same-module macros group.
-  mp::place::MctsRlOptions options;
-  options.flow.cluster.delta = 0.001;  // paper default
-  options.agent.channels = 16;
-  options.agent.res_blocks = 2;
-  options.train.episodes = 16;
-  options.train.update_window = 4;
-  options.train.calibration_episodes = 8;
-  options.mcts.explorations_per_move = 10;
-  const mp::place::MctsRlResult ours = mp::place::mcts_rl_place(ours_design, options);
+  mp::place::PlacerSpec ours_spec;
+  ours_spec.preset = mp::place::Preset::kMcts;
+  ours_spec.mcts_rl.flow.cluster.delta = 0.001;  // paper default
+  ours_spec.mcts_rl.agent.channels = 16;
+  ours_spec.mcts_rl.agent.res_blocks = 2;
+  ours_spec.mcts_rl.train.episodes = 16;
+  ours_spec.mcts_rl.train.update_window = 4;
+  ours_spec.mcts_rl.train.calibration_episodes = 8;
+  ours_spec.mcts_rl.mcts.explorations_per_move = 10;
+  const mp::place::PlaceResult ours = mp::place::run(ours_design, ours_spec);
 
   // SE-style simulated-annealing baseline [26].
-  mp::place::SaOptions sa_options;
-  sa_options.iterations = 6000;
-  const mp::place::SaResult sa = mp::place::sa_place(sa_design, sa_options);
+  mp::place::PlacerSpec sa_spec;
+  sa_spec.preset = mp::place::Preset::kSa;
+  sa_spec.sa.iterations = 6000;
+  const mp::place::PlaceResult sa = mp::place::run(sa_design, sa_spec);
 
   std::printf("\n%-22s  %12s  %10s\n", "placer", "HPWL", "seconds");
   std::printf("%-22s  %12.5g  %10.1f\n", "MCTS+RL (ours)", ours.hpwl,
-              ours.total_seconds);
+              ours.seconds);
   std::printf("%-22s  %12.5g  %10.1f\n", "simulated annealing", sa.hpwl,
               sa.seconds);
   std::printf("\nratio SA/ours = %.3f (paper's Table II reports 1.05)\n",

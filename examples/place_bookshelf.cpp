@@ -2,13 +2,19 @@
 // external designs:
 //
 //   ./place_bookshelf <prefix> [options]
-//     --placer ours|rl|sa|wiremask|analytic   (default ours)
+//     --placer ours|rl|sa|wiremask|analytic|regulate  (default ours)
 //     --episodes N      RL pre-training episodes           (default 60)
 //     --gamma N         MCTS explorations per move         (default 24)
 //     --grid N          ζ — grid dimension                 (default 16)
 //     --channels N      agent tower width                  (default 24)
 //     --blocks N        agent tower depth                  (default 2)
 //     --out PREFIX      write <PREFIX>.{nodes,nets,pl} + .ppm
+//   regulate (ECO) only:
+//     --initial-placement FILE  standalone .pl applied before refinement
+//                               (default: the positions in <prefix>.pl)
+//     --radius N        trust-region Chebyshev cell radius (default 2)
+//     --max-moves N     cap on moved groups; 0 = unbounded (default 0)
+//     --freeze NAME     pin a macro to its incumbent spot (repeatable)
 //
 // Reads <prefix>.nodes/.nets/.pl, places, reports HPWL and legality.
 
@@ -16,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "io/bookshelf.hpp"
 #include "io/plot.hpp"
@@ -28,8 +35,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: place_bookshelf <prefix> [--placer ours|rl|sa|wiremask|"
-               "analytic] [--episodes N] [--gamma N] [--grid N] "
-               "[--channels N] [--blocks N] [--threads N] [--out PREFIX]\n");
+               "analytic|regulate] [--episodes N] [--gamma N] [--grid N] "
+               "[--channels N] [--blocks N] [--threads N] [--out PREFIX]\n"
+               "       regulate only: [--initial-placement FILE] [--radius N] "
+               "[--max-moves N] [--freeze NAME]...\n");
   return 2;
 }
 
@@ -40,7 +49,10 @@ int main(int argc, char** argv) {
   const std::string prefix = argv[1];
   std::string placer = "ours";
   std::string out;
+  std::string initial_placement;
+  std::vector<std::string> freeze;
   int episodes = 60, gamma = 24, grid = 16, channels = 24, blocks = 2;
+  int radius = 2, max_moves = 0;
 
   for (int i = 2; i < argc; ++i) {
     const auto next = [&](int& value) {
@@ -55,6 +67,12 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--grid") == 0) { if (!next(grid)) return usage(); }
     else if (std::strcmp(argv[i], "--channels") == 0) { if (!next(channels)) return usage(); }
     else if (std::strcmp(argv[i], "--blocks") == 0) { if (!next(blocks)) return usage(); }
+    else if (std::strcmp(argv[i], "--initial-placement") == 0 && i + 1 < argc)
+      initial_placement = argv[++i];
+    else if (std::strcmp(argv[i], "--freeze") == 0 && i + 1 < argc)
+      freeze.push_back(argv[++i]);
+    else if (std::strcmp(argv[i], "--radius") == 0) { if (!next(radius)) return usage(); }
+    else if (std::strcmp(argv[i], "--max-moves") == 0) { if (!next(max_moves)) return usage(); }
     else if (std::strcmp(argv[i], "--threads") == 0) {
       int threads = 0;
       if (!next(threads)) return usage();
@@ -83,6 +101,21 @@ int main(int argc, char** argv) {
   knobs.grid = grid;
   knobs.channels = channels;
   knobs.blocks = blocks;
+  knobs.regulate_radius = radius;
+  knobs.regulate_max_moves = max_moves;
+  knobs.regulate_frozen = freeze;
+  if (preset == mp::place::Preset::kRegulate && !initial_placement.empty()) {
+    try {
+      const auto entries = mp::io::read_pl(initial_placement);
+      const mp::io::PlacementApplyStats applied =
+          mp::io::apply_placement(design, entries);
+      std::printf("applied %s: %d positions (%d unknown names)\n",
+                  initial_placement.c_str(), applied.applied, applied.unknown);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   const mp::place::PlacerSpec spec = mp::place::spec_from_preset(preset, knobs);
   const double hpwl = mp::place::run(design, spec).hpwl;
 

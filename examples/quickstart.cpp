@@ -5,7 +5,7 @@
 //   ./quickstart [seed]
 //
 // Walks through the library's main entry points: benchmark synthesis,
-// MctsRlOptions, mcts_rl_place(), and the PPM plotter.
+// PlacerSpec, place::run(), and the PPM plotter.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,17 +32,18 @@ int main(int argc, char** argv) {
 
   // 2. Configure the flow.  Defaults follow the paper (16x16 grid, PUCT
   //    c=1.05, reward Eq. 9); budgets here are sized for a ~1 minute demo.
-  mp::place::MctsRlOptions options;
-  options.flow.grid_dim = 16;
-  options.agent.channels = 16;
-  options.agent.res_blocks = 2;
-  options.train.episodes = 20;
-  options.train.update_window = 5;
-  options.train.calibration_episodes = 10;
-  options.mcts.explorations_per_move = 12;
+  mp::place::PlacerSpec pspec;
+  pspec.preset = mp::place::Preset::kMcts;
+  pspec.mcts_rl.flow.grid_dim = 16;
+  pspec.mcts_rl.agent.channels = 16;
+  pspec.mcts_rl.agent.res_blocks = 2;
+  pspec.mcts_rl.train.episodes = 20;
+  pspec.mcts_rl.train.update_window = 5;
+  pspec.mcts_rl.train.calibration_episodes = 10;
+  pspec.mcts_rl.mcts.explorations_per_move = 12;
 
   // 3. Place.  The design is modified in place and ends up legal.
-  const mp::place::MctsRlResult result = mp::place::mcts_rl_place(design, options);
+  const mp::place::PlaceResult result = mp::place::run(design, pspec);
 
   std::printf("macro groups: %d (from %d macros)\n", result.macro_groups,
               stats.movable_macros);
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   // 4. Inspect the result.
   mp::io::PlotOptions plot;
   plot.draw_grid = true;
-  plot.grid_dim = options.flow.grid_dim;
+  plot.grid_dim = pspec.mcts_rl.flow.grid_dim;
   mp::io::plot_placement(design, "quickstart_placement.ppm", plot);
   std::printf("wrote quickstart_placement.ppm\n");
   return 0;

@@ -14,12 +14,15 @@
 #      the deep structural validators are exercised together with the
 #      sanitizers.
 #   3. A service smoke under the same ASan/UBSan build: boots mp_serve on a
-#      throwaway socket, pushes a 2-job mixed-preset smoke through
-#      mp_submit, then SIGTERMs the daemon and verifies a clean drain (all
+#      throwaway socket, pushes a 4-job mixed-preset smoke through
+#      mp_submit — including a schema-2 ECO (regulate) job submitted twice,
+#      whose resubmission must hit the placement and prepared-artifact
+#      caches — then SIGTERMs the daemon and verifies a clean drain (all
 #      jobs done, exit 0, socket unlinked) — see docs/SERVICE.md.
 #   4. A ThreadSanitizer build (its own tree — TSan cannot be combined with
-#      ASan) running the `par`-, `svc`-, `obs`-, `net`- and `infer`-labelled suites (ctest -L
-#      "par|svc|obs|net|infer") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
+#      ASan) running the `par`-, `svc`-, `obs`-, `net`-, `infer`- and
+#      `eco`-labelled suites (ctest -L
+#      "par|svc|obs|net|infer|eco") at MP_THREADS=4 MP_WORKERS=4: the thread pool, the
 #      lock-free obs metrics, every parallelized hot path
 #      (docs/PARALLELISM.md), and the concurrent placement service — four
 #      workers chewing through mixed-preset jobs with mid-run cancels,
@@ -97,11 +100,13 @@ run_sanitized() {
       ${label_args[@]+"${label_args[@]}"}
 }
 
-# Boots the sanitized mp_serve daemon, runs a 2-job smoke through mp_submit
-# (one mcts, one sa — both tiny synthetic designs), then SIGTERMs with the
-# second job still in flight and verifies the graceful drain: both jobs done,
-# exit status 0, no stale socket.  Every step fails the gate on a non-zero
-# exit (set -euo pipefail above).
+# Boots the sanitized mp_serve daemon, runs a 4-job smoke through mp_submit
+# (one mcts whose placement seeds a schema-2 regulate job submitted twice —
+# the warm resubmission must hit the placement + prepared caches — then one
+# sa; all tiny synthetic designs), then SIGTERMs with the last job still in
+# flight and verifies the graceful drain: all jobs done, exit status 0, no
+# stale socket.  Every step fails the gate on a non-zero exit (set -euo
+# pipefail above).
 svc_smoke() {
   local dir="build-check/asan"
   local sock="${TMPDIR:-/tmp}/mp_check_svc_$$.sock"
@@ -124,8 +129,29 @@ svc_smoke() {
     kill "${pid}" 2>/dev/null || true
     return 1
   fi
+  local out_prefix="${TMPDIR:-/tmp}/mp_check_eco_$$"
   "${dir}/examples/mp_submit" --socket "${sock}" \
-    submit "{${base},\"preset\":\"mcts\"}" --wait
+    submit "{${base},\"preset\":\"mcts\",\"out\":\"${out_prefix}\"}" --wait
+  # ECO leg: the mcts job's placement becomes a schema-2 regulate job's
+  # incumbent.  Submitted twice — the resubmission must ride the warm
+  # cache (design, placement, and prepared-regulate artifacts all hit).
+  local eco="{${base},\"schema\":2,\"preset\":\"regulate\",\"initial_placement\":\"${out_prefix}.pl\"}"
+  "${dir}/examples/mp_submit" --socket "${sock}" submit "${eco}" --wait
+  "${dir}/examples/mp_submit" --socket "${sock}" submit "${eco}" --wait
+  local stats
+  stats="$("${dir}/examples/mp_submit" --socket "${sock}" stats)"
+  for counter in placement_hits prepared_hits; do
+    local n
+    n="$(printf '%s' "${stats}" | grep -o "\"${counter}\":[0-9]*" \
+      | head -1 | cut -d: -f2)"
+    if [[ -z "${n}" || "${n}" -lt 1 ]]; then
+      echo "svc: warm ECO resubmission did not hit the ${counter%_hits} cache" >&2
+      echo "${stats}" >&2
+      rm -f "${out_prefix}".*
+      return 1
+    fi
+  done
+  rm -f "${out_prefix}".*
   # Left in flight on purpose: the drain below must run it to completion.
   "${dir}/examples/mp_submit" --socket "${sock}" \
     submit "{${base},\"preset\":\"sa\"}"
@@ -137,7 +163,7 @@ svc_smoke() {
     cat "${log}" >&2
     return 1
   fi
-  if ! grep -q "drained (2 done, 0 failed, 0 cancelled)" "${log}"; then
+  if ! grep -q "drained (4 done, 0 failed, 0 cancelled)" "${log}"; then
     echo "svc: unexpected drain summary; log follows" >&2
     cat "${log}" >&2
     return 1
@@ -265,7 +291,7 @@ case "${TSAN_MODE}" in
   # mixed-preset jobs and cancels two mid-run) with several threads even on
   # small CI machines.
   par)  MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
-          run_sanitized tsan "thread" "par|svc|obs|net|infer" ;;
+          run_sanitized tsan "thread" "par|svc|obs|net|infer|eco" ;;
   full) MP_THREADS="${MP_THREADS:-4}" MP_WORKERS="${MP_WORKERS:-4}" \
           run_sanitized tsan "thread" ;;
   off)  note "tsan: skipped (--no-tsan)" ;;

@@ -31,7 +31,8 @@ if [[ -n "$threads" ]]; then
 fi
 
 for b in bench_fig4_reward bench_fig5_mcts_vs_rl bench_table2_industrial \
-         bench_table3_iccad04 bench_table4_runtime bench_ablation; do
+         bench_table3_iccad04 bench_table4_runtime bench_ablation \
+         bench_eco; do
   echo "=== $b ==="
   rm -f "$out/$b.jsonl"
   MP_OBS_OUT="$out/$b.jsonl" "$build/bench/$b" ${thread_args[@]+"${thread_args[@]}"} \

@@ -98,6 +98,30 @@ def validate(path):
     if not is_number(rss) or rss < 0:
         err(f"peak_rss_mb must be a non-negative number, got {rss!r}")
 
+    # Bench-specific acceptance: the committed ECO artifact must show the
+    # regulate flow fully legal, at or below the perturbed input's HPWL, and
+    # cheaper than re-placing from scratch (bench/bench_eco.cpp prints the
+    # same three predicates as its "acceptance:" line).
+    if name == "eco" and isinstance(metrics, dict):
+        def metric(key):
+            v = metrics.get(key)
+            return v if is_number(v) else None
+
+        legal = metric("regulate.legal")
+        if legal != 1:
+            err(f"eco: regulate.legal must be 1, got {legal!r}")
+        reg_hpwl, in_hpwl = metric("regulate.HPWL"), metric("input.HPWL")
+        if reg_hpwl is None or in_hpwl is None:
+            err("eco: regulate.HPWL and input.HPWL metrics are required")
+        elif reg_hpwl > in_hpwl:
+            err(f"eco: regulate.HPWL ({reg_hpwl}) exceeds input.HPWL ({in_hpwl})")
+        reg_s, scratch_s = metric("regulate.seconds"), metric("scratch.seconds")
+        if reg_s is None or scratch_s is None:
+            err("eco: regulate.seconds and scratch.seconds metrics are required")
+        elif reg_s >= scratch_s:
+            err(f"eco: regulate.seconds ({reg_s}) is not faster than "
+                f"scratch.seconds ({scratch_s})")
+
     return errors
 
 

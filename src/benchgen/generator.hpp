@@ -39,4 +39,34 @@ struct BenchSpec {
 /// Generates a design; same spec + seed => identical design.
 netlist::Design generate(const BenchSpec& spec);
 
+/// ECO-style netlist delta applied to an already-placed design — the input
+/// generator for the regulate (incremental re-placement) benches and tests:
+/// a design is placed by some from-scratch flow, perturbed here, and the
+/// regulate preset must recover the HPWL the delta destroyed.
+struct PerturbSpec {
+  std::uint64_t seed = 1;
+  /// Nets added between existing nodes (random 2-4 pin connections; each
+  /// includes at least one macro pin so the delta actually tugs on macros).
+  int add_nets = 0;
+  /// Nets removed, sampled uniformly without replacement.
+  int remove_nets = 0;
+  /// Fraction of movable macros whose width/height is rescaled by
+  /// `resize_scale` (area change = the classic ECO cell-swap).
+  double resize_fraction = 0.0;
+  double resize_scale = 1.1;
+  /// Fraction of movable macros nudged from their incumbent position by a
+  /// uniform offset up to `move_distance` in each axis (models upstream
+  /// edits that dirtied the placement; positions are clamped to the region).
+  double move_fraction = 0.0;
+  double move_distance = 0.0;
+  /// Appended to the design name ("<name><suffix>").
+  std::string name_suffix = "_eco";
+};
+
+/// Returns a new design: `base` with the delta applied.  Node/net ids of
+/// surviving objects are renumbered densely but names are preserved, so a
+/// `.pl` written from `base` applies cleanly (io::apply_placement) to the
+/// perturbed design.  Deterministic: same base + spec => identical output.
+netlist::Design perturb(const netlist::Design& base, const PerturbSpec& spec);
+
 }  // namespace mp::benchgen

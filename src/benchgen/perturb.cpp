@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mp::benchgen {
+
+using netlist::Design;
+using netlist::Net;
+using netlist::NetId;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::PinRef;
+
+Design perturb(const Design& base, const PerturbSpec& spec) {
+  util::Rng rng(spec.seed);
+  Design out(base.name() + spec.name_suffix, base.region());
+
+  // --- Nodes: copy, with optional macro resize / position nudge -----------
+  const std::vector<NodeId>& movable = base.movable_macros();
+  std::set<NodeId> resized, moved;
+  if (spec.resize_fraction > 0.0 && !movable.empty()) {
+    const int count = std::min<int>(
+        static_cast<int>(movable.size()),
+        static_cast<int>(spec.resize_fraction * movable.size() + 0.5));
+    while (static_cast<int>(resized.size()) < count) {
+      resized.insert(movable[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(movable.size()) - 1))]);
+    }
+  }
+  if (spec.move_fraction > 0.0 && !movable.empty()) {
+    const int count = std::min<int>(
+        static_cast<int>(movable.size()),
+        static_cast<int>(spec.move_fraction * movable.size() + 0.5));
+    while (static_cast<int>(moved.size()) < count) {
+      moved.insert(movable[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(movable.size()) - 1))]);
+    }
+  }
+  const geometry::Rect& region = base.region();
+  for (std::size_t i = 0; i < base.num_nodes(); ++i) {
+    Node node = base.node(static_cast<NodeId>(i));
+    if (resized.count(static_cast<NodeId>(i)) != 0) {
+      node.width *= spec.resize_scale;
+      node.height *= spec.resize_scale;
+    }
+    if (moved.count(static_cast<NodeId>(i)) != 0) {
+      node.position.x += rng.uniform(-spec.move_distance, spec.move_distance);
+      node.position.y += rng.uniform(-spec.move_distance, spec.move_distance);
+    }
+    // Resizes and moves may push a node over the boundary; clamp so the
+    // perturbed design stays a valid placement problem.
+    node.position.x = std::clamp(node.position.x, region.left(),
+                                 std::max(region.left(),
+                                          region.right() - node.width));
+    node.position.y = std::clamp(node.position.y, region.bottom(),
+                                 std::max(region.bottom(),
+                                          region.top() - node.height));
+    out.add_node(std::move(node));
+  }
+
+  // --- Nets: drop `remove_nets`, copy the rest, append `add_nets` ---------
+  std::set<NetId> removed;
+  if (spec.remove_nets > 0 && base.num_nets() > 0) {
+    const int count =
+        std::min<int>(static_cast<int>(base.num_nets()), spec.remove_nets);
+    while (static_cast<int>(removed.size()) < count) {
+      removed.insert(
+          rng.uniform_int(0, static_cast<int>(base.num_nets()) - 1));
+    }
+  }
+  for (std::size_t i = 0; i < base.num_nets(); ++i) {
+    if (removed.count(static_cast<NetId>(i)) != 0) continue;
+    out.add_net(base.net(static_cast<NetId>(i)));
+  }
+  const auto random_pin = [&](NodeId id) {
+    const Node& node = out.node(id);
+    return PinRef{id, rng.uniform(0.0, node.width),
+                  rng.uniform(0.0, node.height)};
+  };
+  for (int n = 0; n < spec.add_nets && !movable.empty(); ++n) {
+    Net net;
+    net.name = "eco_n" + std::to_string(n);
+    // Anchor on a macro so the new connectivity pulls on the macro problem.
+    net.pins.push_back(random_pin(movable[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(movable.size()) - 1))]));
+    const int degree = rng.uniform_int(1, 3);
+    for (int d = 0; d < degree; ++d) {
+      net.pins.push_back(random_pin(
+          rng.uniform_int(0, static_cast<int>(out.num_nodes()) - 1)));
+    }
+    out.add_net(std::move(net));
+  }
+  return out;
+}
+
+}  // namespace mp::benchgen

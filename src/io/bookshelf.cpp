@@ -106,6 +106,44 @@ struct RawNode {
 
 }  // namespace
 
+std::vector<PlEntry> parse_pl(std::istream& is) {
+  std::vector<PlEntry> entries;
+  std::string line;
+  while (std::getline(is, line)) {
+    line = clean_line(line);
+    if (line.empty() || line.rfind("UCLA", 0) == 0) continue;
+    std::istringstream ss(line);
+    PlEntry entry;
+    if (!(ss >> entry.name >> entry.position.x >> entry.position.y)) {
+      throw std::runtime_error("bad .pl line: " + line);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<PlEntry> read_pl(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return parse_pl(f);
+}
+
+PlacementApplyStats apply_placement(Design& design,
+                                    const std::vector<PlEntry>& entries) {
+  PlacementApplyStats stats;
+  for (const PlEntry& entry : entries) {
+    const auto id = design.find_node(entry.name);
+    if (!id.has_value()) {
+      ++stats.unknown;
+      continue;
+    }
+    Node& node = design.node(*id);
+    if (!node.fixed) node.position = entry.position;
+    ++stats.applied;
+  }
+  return stats;
+}
+
 Design read_bookshelf(const std::string& prefix, double macro_area_threshold) {
   // --- .nodes ---
   std::ifstream nodes_file(prefix + ".nodes");

@@ -7,10 +7,25 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "netlist/design.hpp"
 
 namespace mp::io {
+
+/// One `.pl` line: a node name and its placed lower-left corner.
+struct PlEntry {
+  std::string name;
+  geometry::Point position;
+};
+
+/// Stats from applying a parsed placement onto a design (ECO jobs tolerate
+/// entries whose node no longer exists in a revised netlist — those count as
+/// `unknown` instead of failing).
+struct PlacementApplyStats {
+  int applied = 0;  ///< nodes whose position was set
+  int unknown = 0;  ///< entries naming no node in the design
+};
 
 /// Writes `<prefix>.nodes`, `<prefix>.nets` and `<prefix>.pl`.
 /// Throws std::runtime_error when a file cannot be opened.
@@ -23,6 +38,22 @@ void write_bookshelf(const netlist::Design& design, const std::string& prefix);
 /// Throws std::runtime_error on parse errors.
 netlist::Design read_bookshelf(const std::string& prefix,
                                double macro_area_threshold = 4.0);
+
+/// Parses standalone `.pl` text (the placement third of the Bookshelf triple,
+/// also the service's `initial_placement` artifact payload) into name →
+/// position entries, without needing the .nodes/.nets files.  Accepts the
+/// same subset write_pl emits; throws std::runtime_error on malformed lines.
+std::vector<PlEntry> parse_pl(std::istream& is);
+
+/// File wrapper around parse_pl.  Throws when `path` cannot be opened.
+std::vector<PlEntry> read_pl(const std::string& path);
+
+/// Applies `entries` onto `design` by node name.  Fixed nodes keep their
+/// position (an incumbent placement must not move preplaced obstacles);
+/// unknown names are counted, not errors — an ECO netlist may have dropped
+/// nodes since the placement was produced.
+PlacementApplyStats apply_placement(netlist::Design& design,
+                                    const std::vector<PlEntry>& entries);
 
 // Stream-level entry points (used by tests; file versions wrap these).
 void write_nodes(const netlist::Design& design, std::ostream& os);

@@ -611,6 +611,41 @@ MctsResult MctsPlacer::run() {
   for (const std::vector<int>& seed : options_.seed_paths) seed_path(seed);
   bool cancelled = false;
   for (int t = 0; t < total_steps && !cancelled; ++t) {
+    if (options_.auto_commit_forced && replay(committed_) && !env_.done()) {
+      const std::vector<int> legal = env_.legal_actions();
+      if (legal.size() == 1) {
+        // Forced move: commit through the tree (keeping subtree reuse and
+        // the committed-path replay consistent) without any exploration.
+        Node& root = nodes_[static_cast<std::size_t>(root_)];
+        int edge_index = -1;
+        for (std::size_t i = 0; i < root.edges.size(); ++i) {
+          if (root.edges[i].action == legal[0]) {
+            edge_index = static_cast<int>(i);
+            break;
+          }
+        }
+        if (edge_index < 0) {
+          Edge e;
+          e.action = legal[0];
+          e.prior = 1.0;
+          root.edges.push_back(e);
+          root.expanded = true;
+          edge_index = static_cast<int>(root.edges.size()) - 1;
+        }
+        Edge& chosen = root.edges[static_cast<std::size_t>(edge_index)];
+        committed_.push_back(chosen.action);
+        if (chosen.child < 0) {
+          chosen.child = static_cast<int>(nodes_.size());
+          nodes_.push_back(Node{});
+          ++stats_.nodes_created;
+        }
+        root_ = chosen.child;
+        ++stats_.forced_moves;
+        MP_OBS_COUNT("mcts.forced_moves", 1);
+        MP_OBS_COUNT("mcts.moves", 1);
+        continue;
+      }
+    }
     if (batch <= 1) {
       // Serial path: bit-identical to the pre-parallel implementation.
       for (int g = 0; g < options_.explorations_per_move; ++g) {

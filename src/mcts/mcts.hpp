@@ -92,6 +92,15 @@ struct MctsOptions {
   /// evaluator work keeps the same per-slot clone/rng-split structure.
   infer::InferenceEngine* infer_engine = nullptr;
 
+  /// Commit steps with exactly one legal action directly instead of spending
+  /// γ explorations on them.  Deterministic (the forced action is the only
+  /// playable one) and off by default so existing searches keep their exact
+  /// exploration schedule.  The regulate flow enables it: with frozen macros
+  /// masked to their incumbent cell (rl::PlacementEnv::set_allowed_actions)
+  /// most steps are forced, and skipping them spends the whole budget on the
+  /// groups that may actually move.
+  bool auto_commit_forced = false;
+
   /// Cooperative cancellation, polled between explorations (serial mode) or
   /// between batches, and between committed moves.  A cancelled search
   /// returns the best complete allocation evaluated so far (terminal leaves,
@@ -111,6 +120,7 @@ struct MctsResult {
   long long nodes_created = 0;
   long long nn_evaluations = 0;           ///< value-network evaluations
   long long terminal_evaluations = 0;     ///< full placement evaluations
+  long long forced_moves = 0;  ///< moves committed via auto_commit_forced
   bool cancelled = false;                 ///< stopped via MctsOptions::cancel
 };
 

@@ -385,6 +385,36 @@ std::string serialize_weights(const std::vector<nn::Tensor>& parameters) {
   return out;
 }
 
+std::string serialize_placement(const std::vector<io::PlEntry>& entries) {
+  std::string out;
+  out.reserve(16 + entries.size() * 64);
+  out += "MPL1 ";
+  put_u(out, entries.size());
+  for (const io::PlEntry& entry : entries) {
+    put_s(out, entry.name);
+    put_d(out, entry.position.x);
+    put_d(out, entry.position.y);
+  }
+  return out;
+}
+
+std::vector<io::PlEntry> deserialize_placement(const std::string& blob) {
+  TokenReader r(blob);
+  r.expect_magic("MPL1");
+  const std::uint64_t count = checked_count(r, "placement entry count");
+  std::vector<io::PlEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    io::PlEntry entry;
+    entry.name = r.get_s("placement name");
+    entry.position.x = r.get_d("placement x");
+    entry.position.y = r.get_d("placement y");
+    entries.push_back(std::move(entry));
+  }
+  r.expect_end();
+  return entries;
+}
+
 std::vector<nn::Tensor> deserialize_weights(const std::string& blob) {
   TokenReader r(blob);
   r.expect_magic("MPW1");

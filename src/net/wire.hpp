@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "io/bookshelf.hpp"
 #include "netlist/design.hpp"
 #include "nn/tensor.hpp"
 #include "place/flow.hpp"
@@ -40,5 +41,12 @@ void deserialize_prepared(const std::string& blob, netlist::Design* design,
 
 std::string serialize_weights(const std::vector<nn::Tensor>& parameters);
 std::vector<nn::Tensor> deserialize_weights(const std::string& blob);
+
+/// The incumbent-placement artifact of ECO jobs ("MPL1"): the parsed name →
+/// position entries of a `.pl` payload.  Positions travel as hex bit
+/// patterns, so a peer-fetched placement reproduces the regulate flow
+/// bit-identically.
+std::string serialize_placement(const std::vector<io::PlEntry>& entries);
+std::vector<io::PlEntry> deserialize_placement(const std::string& blob);
 
 }  // namespace mp::net

@@ -5,6 +5,8 @@
 
 namespace mp::place {
 
+namespace detail {
+
 AnalyticResult analytic_place(netlist::Design& design,
                               const AnalyticOptions& options) {
   AnalyticResult result;
@@ -17,5 +19,7 @@ AnalyticResult analytic_place(netlist::Design& design,
   util::log_info() << "analytic_place: hpwl=" << result.hpwl;
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace mp::place

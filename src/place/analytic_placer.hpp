@@ -25,7 +25,12 @@ struct AnalyticResult {
   double mixed_overflow = 0.0;
 };
 
+namespace detail {
+
+/// Flow plumbing behind place::run (Preset::kAnalytic) — not public API.
 AnalyticResult analytic_place(netlist::Design& design,
                               const AnalyticOptions& options = {});
+
+}  // namespace detail
 
 }  // namespace mp::place

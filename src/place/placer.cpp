@@ -185,6 +185,8 @@ MctsRlResult place_from_context(netlist::Design& design, FlowContext& context,
 
 }  // namespace
 
+namespace detail {
+
 MctsRlResult mcts_rl_place_prepared(netlist::Design& design,
                                     FlowContext& context,
                                     const MctsRlOptions& options) {
@@ -220,34 +222,43 @@ MctsRlResult mcts_rl_place(netlist::Design& design,
   return result;
 }
 
+}  // namespace detail
+
 // --- Unified placer API ---
 
 const char* preset_name(Preset preset) {
-  switch (preset) {
-    case Preset::kMcts: return "mcts";
-    case Preset::kRlOnly: return "rl_only";
-    case Preset::kSa: return "sa";
-    case Preset::kWiremask: return "wiremask";
-    case Preset::kAnalytic: return "analytic";
+  for (const PresetAlias& alias : preset_aliases()) {
+    if (alias.preset == preset && alias.canonical) return alias.name;
   }
   return "mcts";
 }
 
+const std::vector<PresetAlias>& preset_aliases() {
+  // The one accepted name set for every front end (CLI flags, JSON jobs,
+  // mp_submit).  Canonical spelling first per preset; tests enumerate this
+  // table, so extending it here is the whole change for a new alias.
+  static const std::vector<PresetAlias> kAliases = {
+      {"mcts", Preset::kMcts, true},
+      {"ours", Preset::kMcts, false},
+      {"rl_only", Preset::kRlOnly, true},
+      {"rl", Preset::kRlOnly, false},
+      {"sa", Preset::kSa, true},
+      {"wiremask", Preset::kWiremask, true},
+      {"analytic", Preset::kAnalytic, true},
+      {"regulate", Preset::kRegulate, true},
+      {"eco", Preset::kRegulate, false},
+  };
+  return kAliases;
+}
+
 bool parse_preset(const std::string& name, Preset& out) {
-  if (name == "mcts" || name == "ours") {
-    out = Preset::kMcts;
-  } else if (name == "rl_only" || name == "rl") {
-    out = Preset::kRlOnly;
-  } else if (name == "sa") {
-    out = Preset::kSa;
-  } else if (name == "wiremask") {
-    out = Preset::kWiremask;
-  } else if (name == "analytic") {
-    out = Preset::kAnalytic;
-  } else {
-    return false;
+  for (const PresetAlias& alias : preset_aliases()) {
+    if (name == alias.name) {
+      out = alias.preset;
+      return true;
+    }
   }
-  return true;
+  return false;
 }
 
 PlacerSpec spec_from_preset(Preset preset, const PresetKnobs& knobs) {
@@ -261,9 +272,27 @@ PlacerSpec spec_from_preset(Preset preset, const PresetKnobs& knobs) {
       std::min(30, std::max(3, knobs.episodes / 6));
   spec.mcts_rl.train.calibration_episodes = std::max(5, knobs.episodes / 3);
   spec.mcts_rl.mcts.explorations_per_move = knobs.gamma;
+  // Regulate fine-tunes inside a trust region a fraction of the size of the
+  // full action space, so it gets a fraction of the training budget — the
+  // core of the regulator economy (runtime < from-scratch mcts at equal
+  // knobs; see bench_eco).
+  const int regulate_episodes = std::max(4, knobs.episodes / 3);
+  spec.regulate.flow.grid_dim = knobs.grid;
+  spec.regulate.agent.channels = knobs.channels;
+  spec.regulate.agent.res_blocks = knobs.blocks;
+  spec.regulate.train.episodes = regulate_episodes;
+  spec.regulate.train.update_window =
+      std::min(30, std::max(2, regulate_episodes / 6));
+  spec.regulate.train.calibration_episodes = std::max(3, regulate_episodes / 3);
+  spec.regulate.mcts.explorations_per_move = knobs.gamma;
+  spec.regulate.radius = knobs.regulate_radius;
+  spec.regulate.max_moves = knobs.regulate_max_moves;
+  spec.regulate.frozen = knobs.regulate_frozen;
   if (knobs.seed != 0) {
     spec.mcts_rl.train.seed = knobs.seed;
     spec.mcts_rl.mcts.seed = knobs.seed + 1;
+    spec.regulate.train.seed = knobs.seed;
+    spec.regulate.mcts.seed = knobs.seed + 1;
     spec.sa.seed = knobs.seed;
   }
   return spec;
@@ -277,29 +306,35 @@ PlaceResult run(netlist::Design& design, const PlacerSpec& spec,
     case Preset::kMcts: {
       MctsRlOptions o = spec.mcts_rl;
       if (spec.cancel.valid()) o.cancel = spec.cancel;
-      const MctsRlResult r =
+      MctsRlResult r =
           prepared != nullptr
-              ? mcts_rl_place_prepared(design, prepared->context, o)
-              : mcts_rl_place(design, o);
+              ? detail::mcts_rl_place_prepared(design, prepared->context, o)
+              : detail::mcts_rl_place(design, o);
       result.hpwl = r.hpwl;
       result.coarse_wirelength = r.coarse_wirelength;
       result.macro_groups = r.macro_groups;
+      result.cell_groups = r.cell_groups;
       result.cancelled = r.cancelled;
       result.finalized = r.finalized;
+      result.train_seconds = r.train_seconds;
+      result.mcts_seconds = r.mcts_seconds;
+      result.train_result = std::move(r.train_result);
+      result.mcts_result = std::move(r.mcts_result);
       break;
     }
     case Preset::kRlOnly: {
       MctsRlOptions o = spec.mcts_rl;
       if (spec.cancel.valid()) o.cancel = spec.cancel;
-      const RlOnlyResult r =
+      RlOnlyResult r =
           prepared != nullptr
-              ? rl_only_place_prepared(design, prepared->context, o)
-              : rl_only_place(design, o);
+              ? detail::rl_only_place_prepared(design, prepared->context, o)
+              : detail::rl_only_place(design, o);
       result.hpwl = r.hpwl;
       result.coarse_wirelength = r.coarse_wirelength;
       result.macro_groups = r.macro_groups;
       result.cancelled = r.cancelled;
       result.finalized = r.finalized;
+      result.train_result = std::move(r.train_result);
       break;
     }
     case Preset::kSa: {
@@ -307,22 +342,51 @@ PlaceResult run(netlist::Design& design, const PlacerSpec& spec,
       // Baselines honor cancellation during their GP stages only; the core
       // annealer/greedy loops run to completion.
       if (spec.cancel.valid()) o.initial_gp.cancel = spec.cancel;
-      result.hpwl = sa_place(design, o).hpwl;
+      const SaResult r = detail::sa_place(design, o);
+      result.hpwl = r.hpwl;
+      result.sa_accept_ratio = r.accept_ratio;
+      result.sa_final_cost = r.final_cost;
       result.cancelled = spec.cancel.cancelled();
       break;
     }
     case Preset::kWiremask: {
       WiremaskOptions o = spec.wiremask;
       if (spec.cancel.valid()) o.initial_gp.cancel = spec.cancel;
-      result.hpwl = wiremask_place(design, o).hpwl;
+      const WiremaskResult r = detail::wiremask_place(design, o);
+      result.hpwl = r.hpwl;
+      result.wiremask_candidates = r.candidates_evaluated;
       result.cancelled = spec.cancel.cancelled();
       break;
     }
     case Preset::kAnalytic: {
       AnalyticOptions o = spec.analytic;
       if (spec.cancel.valid()) o.mixed_gp.cancel = spec.cancel;
-      result.hpwl = analytic_place(design, o).hpwl;
+      const AnalyticResult r = detail::analytic_place(design, o);
+      result.hpwl = r.hpwl;
+      result.analytic_mixed_overflow = r.mixed_overflow;
       result.cancelled = spec.cancel.cancelled();
+      break;
+    }
+    case Preset::kRegulate: {
+      RegulateOptions o = spec.regulate;
+      if (spec.cancel.valid()) o.cancel = spec.cancel;
+      RegulateResult r =
+          prepared != nullptr
+              ? detail::regulate_place_prepared(design, prepared->context, o)
+              : detail::regulate_place(design, o);
+      result.hpwl = r.hpwl;
+      result.coarse_wirelength = r.coarse_wirelength;
+      result.macro_groups = r.macro_groups;
+      result.cell_groups = r.cell_groups;
+      result.cancelled = r.cancelled;
+      result.finalized = r.finalized;
+      result.train_seconds = r.train_seconds;
+      result.mcts_seconds = r.mcts_seconds;
+      result.train_result = std::move(r.train_result);
+      result.mcts_result = std::move(r.mcts_result);
+      result.input_hpwl = r.input_hpwl;
+      result.moved_groups = r.moved_groups;
+      result.frozen_groups = r.frozen_groups;
       break;
     }
   }

@@ -56,6 +56,8 @@ RlOnlyResult place_from_context(netlist::Design& design, FlowContext& context,
 
 }  // namespace
 
+namespace detail {
+
 RlOnlyResult rl_only_place_prepared(netlist::Design& design,
                                     FlowContext& context,
                                     const MctsRlOptions& options) {
@@ -79,5 +81,7 @@ RlOnlyResult rl_only_place(netlist::Design& design,
   result.seconds = timer.seconds();
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace mp::place

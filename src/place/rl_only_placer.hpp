@@ -18,14 +18,19 @@ struct RlOnlyResult {
   bool finalized = false;  ///< legalization + cell placement completed
 };
 
+namespace detail {
+
+/// Flow plumbing behind place::run (Preset::kRlOnly) — not public API.
 /// Uses MctsRlOptions for parity with the full flow; options.mcts is ignored.
 RlOnlyResult rl_only_place(netlist::Design& design,
                            const MctsRlOptions& options = {});
 
 /// Same flow on an already-prepared context (warm-cache path; see
-/// mcts_rl_place_prepared for the contract).
+/// detail::mcts_rl_place_prepared for the contract).
 RlOnlyResult rl_only_place_prepared(netlist::Design& design,
                                     FlowContext& context,
                                     const MctsRlOptions& options = {});
+
+}  // namespace detail
 
 }  // namespace mp::place

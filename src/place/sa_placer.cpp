@@ -147,6 +147,8 @@ class SaCost {
 
 }  // namespace
 
+namespace detail {
+
 SaResult sa_place(Design& design, const SaOptions& options) {
   SaResult result;
   util::Timer timer;
@@ -252,5 +254,7 @@ SaResult sa_place(Design& design, const SaOptions& options) {
                    << " accept=" << result.accept_ratio;
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace mp::place

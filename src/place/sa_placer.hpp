@@ -38,6 +38,11 @@ struct SaResult {
   double final_cost = 0.0;
 };
 
+namespace detail {
+
+/// Flow plumbing behind place::run (Preset::kSa) — not public API.
 SaResult sa_place(netlist::Design& design, const SaOptions& options = {});
+
+}  // namespace detail
 
 }  // namespace mp::place

@@ -26,6 +26,8 @@ struct NetBox {
 
 }  // namespace
 
+namespace detail {
+
 WiremaskResult wiremask_place(Design& design, const WiremaskOptions& options) {
   WiremaskResult result;
   util::Timer timer;
@@ -140,5 +142,7 @@ WiremaskResult wiremask_place(Design& design, const WiremaskOptions& options) {
   util::log_info() << "wiremask_place: hpwl=" << result.hpwl;
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace mp::place

@@ -31,7 +31,12 @@ struct WiremaskResult {
   long long candidates_evaluated = 0;
 };
 
+namespace detail {
+
+/// Flow plumbing behind place::run (Preset::kWiremask) — not public API.
 WiremaskResult wiremask_place(netlist::Design& design,
                               const WiremaskOptions& options = {});
+
+}  // namespace detail
 
 }  // namespace mp::place

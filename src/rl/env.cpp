@@ -1,5 +1,6 @@
 #include "rl/env.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "check/check.hpp"
@@ -88,6 +89,14 @@ PlacementEnv::PlacementEnv(const cluster::CoarseDesign& coarse,
   reset();
 }
 
+void PlacementEnv::set_allowed_actions(
+    std::shared_ptr<const ActionMask> mask) {
+  MP_CHECK(mask == nullptr ||
+               static_cast<int>(mask->size()) == num_steps(),
+           "action mask must cover every step");
+  mask_ = std::move(mask);
+}
+
 void PlacementEnv::reset() {
   occupancy_ = initial_occupancy_;
   anchors_.clear();
@@ -107,6 +116,12 @@ std::vector<double> PlacementEnv::availability() const {
 bool PlacementEnv::step(int action) {
   assert(!done());
   if (action < 0 || action >= spec_.num_cells()) return false;
+  if (mask_ != nullptr) {
+    const std::vector<int>& allowed = (*mask_)[static_cast<std::size_t>(step_)];
+    if (!std::binary_search(allowed.begin(), allowed.end(), action)) {
+      return false;
+    }
+  }
   const grid::CellCoord anchor = spec_.coord(action);
   const grid::Footprint& fp = current_footprint();
   if (!occupancy_.fits(fp, anchor)) return false;
@@ -129,6 +144,14 @@ std::vector<int> PlacementEnv::legal_actions() const {
   assert(!done());
   const grid::Footprint& fp = current_footprint();
   std::vector<int> actions;
+  if (mask_ != nullptr) {
+    // Masked steps scan only the allowed cells (already sorted), so the
+    // trust-region flows pay O(|mask|) instead of O(dim^2) per expansion.
+    for (int flat : (*mask_)[static_cast<std::size_t>(step_)]) {
+      if (occupancy_.fits(fp, spec_.coord(flat))) actions.push_back(flat);
+    }
+    return actions;
+  }
   for (int flat = 0; flat < spec_.num_cells(); ++flat) {
     if (occupancy_.fits(fp, spec_.coord(flat))) actions.push_back(flat);
   }

@@ -53,11 +53,27 @@ class AllocationEvaluator {
       const std::vector<std::vector<grid::CellCoord>>& anchor_sets);
 };
 
+/// Per-step action restriction: mask[t] is the sorted list of flat cell
+/// indices the step-t group may anchor at.  Shared (immutable) so copying an
+/// env — the MCTS batched leaf path copies envs per pending leaf — stays
+/// cheap.  The regulate flow builds one from the incumbent anchors and the
+/// trust-region radius (place/regulate_placer.hpp).
+using ActionMask = std::vector<std::vector<int>>;
+
 class PlacementEnv {
  public:
   /// `coarse` and `clustering` must outlive the environment.
   PlacementEnv(const cluster::CoarseDesign& coarse,
                const cluster::Clustering& clustering, grid::GridSpec spec);
+
+  /// Restricts step() / legal_actions() to the masked cells: step t only
+  /// accepts actions in (*mask)[t], and legal_actions() only scans them.
+  /// `mask` must have one entry per step, each sorted ascending; nullptr
+  /// removes the restriction.  Affects future steps only (not a reset).
+  void set_allowed_actions(std::shared_ptr<const ActionMask> mask);
+  const std::shared_ptr<const ActionMask>& allowed_actions() const {
+    return mask_;
+  }
 
   const grid::GridSpec& spec() const { return spec_; }
   int num_steps() const { return static_cast<int>(footprints_.size()); }
@@ -94,6 +110,7 @@ class PlacementEnv {
   grid::OccupancyMap occupancy_;
   grid::OccupancyMap initial_occupancy_;  ///< preplaced macros only
   std::vector<grid::CellCoord> anchors_;
+  std::shared_ptr<const ActionMask> mask_;  ///< nullptr = all cells allowed
   int step_ = 0;
 };
 

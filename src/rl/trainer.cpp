@@ -26,6 +26,22 @@ struct StepRecord {
 // when the sampled one cannot be applied (e.g. mask was all-zero and the
 // unmasked softmax proposed an off-chip anchor).
 int sample_action(const nn::Tensor& probs, PlacementEnv& env, util::Rng& rng) {
+  if (env.allowed_actions() != nullptr) {
+    // Trust-region steps (regulate): the unmasked shortcut below would
+    // propose out-of-region anchors that env.step rejects, aborting the
+    // episode — restrict the draw to the legal masked cells, weighted by
+    // the policy.  Unmasked envs keep the original sampling path (and rng
+    // stream) bit-for-bit.
+    const std::vector<int> legal = env.legal_actions();
+    if (legal.empty()) return -1;
+    std::vector<double> weights(legal.size());
+    for (std::size_t i = 0; i < legal.size(); ++i) {
+      const auto p = static_cast<double>(probs[static_cast<std::size_t>(
+          legal[i])]);
+      weights[i] = std::max(p, 1e-12);  // keep every legal cell reachable
+    }
+    return legal[static_cast<std::size_t>(rng.categorical(weights))];
+  }
   std::vector<double> weights(probs.size());
   for (std::size_t i = 0; i < probs.size(); ++i) {
     weights[i] = static_cast<double>(probs[i]);

@@ -51,8 +51,11 @@ std::string design_key_for(const JobSpec& spec) {
 }  // namespace
 
 ArtifactCache::ArtifactCache(std::size_t designs, std::size_t prepared,
-                             std::size_t weights)
-    : designs_(designs), prepared_(prepared), weights_(weights) {}
+                             std::size_t weights, std::size_t placements)
+    : designs_(designs),
+      prepared_(prepared),
+      weights_(weights),
+      placements_(placements) {}
 
 void ArtifactCache::set_peer_fetcher(PeerFetchFn fn) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -84,6 +87,11 @@ std::shared_ptr<const PreparedArtifact> ArtifactCache::peek_prepared(
 std::shared_ptr<const WeightsArtifact> ArtifactCache::peek_weights(
     const std::string& key) {
   return peek(weights_, key);
+}
+
+std::shared_ptr<const PlacementArtifact> ArtifactCache::peek_placement(
+    const std::string& key) {
+  return peek(placements_, key);
 }
 
 template <typename V, typename Peer, typename Build>
@@ -275,6 +283,86 @@ std::shared_ptr<const WeightsArtifact> ArtifactCache::weights_for(
         auto artifact = std::make_shared<WeightsArtifact>();
         artifact->key = key;
         artifact->parameters = nn::read_parameters_file(path);
+        return artifact;
+      });
+}
+
+std::shared_ptr<const PlacementArtifact> ArtifactCache::placement_for(
+    const std::string& path) {
+  const std::string key = "pl:" + hash_hex(hash_file(path, kFnvOffset));
+  return resolve(
+      placements_, placements_inflight_, key, stats_.placement_hits,
+      stats_.placement_misses, stats_.placement_peer_hits,
+      "svc.cache.placement.hits", "svc.cache.placement.misses",
+      "svc.cache.placement.peer_hits",
+      [&]() -> std::shared_ptr<const PlacementArtifact> {
+        const PeerFetchFn fetch = peer_fetcher_copy();
+        std::string blob;
+        if (!fetch || !fetch("placement", key, &blob)) return nullptr;
+        try {
+          auto artifact = std::make_shared<PlacementArtifact>();
+          artifact->key = key;
+          artifact->entries = net::deserialize_placement(blob);
+          util::log_info() << "svc: placement " << key << " served by a peer";
+          return artifact;
+        } catch (const std::exception& e) {
+          util::log_warn() << "svc: corrupt peer placement blob for " << key
+                           << ": " << e.what();
+          return nullptr;
+        }
+      },
+      [&]() -> std::shared_ptr<const PlacementArtifact> {
+        auto artifact = std::make_shared<PlacementArtifact>();
+        artifact->key = key;
+        artifact->entries = io::read_pl(path);
+        util::log_info() << "svc: cached placement " << key << " ("
+                         << artifact->entries.size() << " entries)";
+        return artifact;
+      });
+}
+
+std::shared_ptr<const PreparedArtifact> ArtifactCache::prepared_regulate_for(
+    const std::shared_ptr<const DesignArtifact>& design,
+    const std::shared_ptr<const PlacementArtifact>& placement,
+    const place::FlowOptions& flow) {
+  // The regulate prepared artifact depends on the incumbent placement too
+  // (clustering distances and trust-region anchors come from it), so its key
+  // binds both content hashes; the "|regulate" suffix keeps it disjoint from
+  // prepare_flow artifacts at the same design + grid.
+  const std::string key = design->key + "|pl=" + placement->key +
+                          "|grid=" + std::to_string(flow.grid_dim) +
+                          "|regulate";
+  return resolve(
+      prepared_, prepared_inflight_, key, stats_.prepared_hits,
+      stats_.prepared_misses, stats_.prepared_peer_hits,
+      "svc.cache.prepared.hits", "svc.cache.prepared.misses",
+      "svc.cache.prepared.peer_hits",
+      [&]() -> std::shared_ptr<const PreparedArtifact> {
+        const PeerFetchFn fetch = peer_fetcher_copy();
+        std::string blob;
+        if (!fetch || !fetch("prepared", key, &blob)) return nullptr;
+        try {
+          auto artifact = std::make_shared<PreparedArtifact>();
+          artifact->key = key;
+          net::deserialize_prepared(blob, &artifact->design,
+                                    &artifact->context);
+          util::log_info() << "svc: prepared " << key << " served by a peer";
+          return artifact;
+        } catch (const std::exception& e) {
+          util::log_warn() << "svc: corrupt peer prepared blob for " << key
+                           << ": " << e.what();
+          return nullptr;
+        }
+      },
+      [&]() -> std::shared_ptr<const PreparedArtifact> {
+        auto artifact = std::make_shared<PreparedArtifact>();
+        artifact->key = key;
+        artifact->design = design->design;  // copy; incumbent applied below
+        io::apply_placement(artifact->design, placement->entries);
+        place::FlowOptions prep = flow;
+        prep.cancel = {};  // shared across jobs; never cancel the artifact
+        artifact->context =
+            place::prepare_regulate_flow(artifact->design, prep);
         return artifact;
       });
 }

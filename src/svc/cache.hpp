@@ -1,5 +1,5 @@
 #pragma once
-// Warm artifact cache of the placement service.  Three LRU pools keyed by
+// Warm artifact cache of the placement service.  Four LRU pools keyed by
 // content hashes hold the expensive, reusable prefixes of a job:
 //   * designs      — parsed Bookshelf circuits / generated synthetic designs,
 //                    keyed by the file bytes (not the path: an edited file
@@ -10,10 +10,17 @@
 //                    artifact is bit-identical to a cold run (the
 //                    *_prepared placer entry points, src/place/placer.hpp);
 //   * weights      — pre-trained agent parameter files (nn::load_parameters),
-//                    keyed by file bytes.
+//                    keyed by file bytes;
+//   * placements   — parsed incumbent `.pl` files for ECO/regulate jobs,
+//                    keyed by file bytes.  The regulate prepared artifact
+//                    (prepare_regulate_flow, no initial GP) shares the
+//                    prepared pool under a key that includes the placement
+//                    key, so revising the placement re-prepares while the
+//                    parsed base design stays warm.
 // Entries are immutable shared snapshots: executors copy what they mutate,
 // so concurrent readers need no locking beyond the lookup.  Hits and misses
-// are counted through obs (svc.cache.{design,prepared,weights}.{hits,misses})
+// are counted through obs
+// (svc.cache.{design,prepared,weights,placement}.{hits,misses})
 // — the run report of a warm job shows zero misses, which is how the e2e
 // test asserts cache effectiveness (docs/SERVICE.md).
 //
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "check/annotations.hpp"
+#include "io/bookshelf.hpp"
 #include "netlist/design.hpp"
 #include "nn/layers.hpp"
 #include "place/flow.hpp"
@@ -97,16 +105,23 @@ struct WeightsArtifact {
   std::vector<nn::Tensor> parameters;
 };
 
+struct PlacementArtifact {
+  std::string key;
+  std::vector<io::PlEntry> entries;  ///< parsed incumbent `.pl` file
+};
+
 struct CacheStats {
   long long design_hits = 0, design_misses = 0;
   long long prepared_hits = 0, prepared_misses = 0;
   long long weights_hits = 0, weights_misses = 0;
+  long long placement_hits = 0, placement_misses = 0;
   /// Subset of hits satisfied by a ring peer's cache (fleet replication)
   /// rather than this process's pools; a peer fetch is a hit, not a miss —
   /// the fleet-wide miss count for one artifact stays at one.
   long long design_peer_hits = 0;
   long long prepared_peer_hits = 0;
   long long weights_peer_hits = 0;
+  long long placement_peer_hits = 0;
 };
 
 namespace detail {
@@ -127,14 +142,14 @@ class ArtifactCache {
  public:
   /// Optional peer source consulted before a local rebuild (fleet artifact
   /// replication, docs/DISTRIBUTED.md).  Called outside the cache mutex with
-  /// kind "design" / "prepared" / "weights"; returns true with *blob set to
-  /// the net::wire serialization when some ring peer holds the key.  Must
-  /// not call back into this cache.
+  /// kind "design" / "prepared" / "weights" / "placement"; returns true with
+  /// *blob set to the net::wire serialization when some ring peer holds the
+  /// key.  Must not call back into this cache.
   using PeerFetchFn = std::function<bool(
       const std::string& kind, const std::string& key, std::string* blob)>;
 
   explicit ArtifactCache(std::size_t designs = 8, std::size_t prepared = 8,
-                         std::size_t weights = 4);
+                         std::size_t weights = 4, std::size_t placements = 4);
 
   /// Installs (or clears, with an empty function) the peer source.  A blob a
   /// peer returns is decoded defensively: a corrupt payload logs and falls
@@ -146,6 +161,8 @@ class ArtifactCache {
   std::shared_ptr<const DesignArtifact> peek_design(const std::string& key);
   std::shared_ptr<const PreparedArtifact> peek_prepared(const std::string& key);
   std::shared_ptr<const WeightsArtifact> peek_weights(const std::string& key);
+  std::shared_ptr<const PlacementArtifact> peek_placement(
+      const std::string& key);
 
   /// Loads (Bookshelf) or generates (benchgen) the job's design, reusing a
   /// cached copy when the content hash matches.  Throws std::runtime_error
@@ -160,6 +177,23 @@ class ArtifactCache {
 
   /// Loads an nn::save_parameters file, keyed by its bytes.
   std::shared_ptr<const WeightsArtifact> weights_for(const std::string& path);
+
+  /// Parses a standalone `.pl` file (the ECO job's incumbent placement),
+  /// keyed by its bytes.
+  std::shared_ptr<const PlacementArtifact> placement_for(
+      const std::string& path);
+
+  /// Regulate (ECO) variant of prepared_for: applies `placement` onto a copy
+  /// of the base design and runs place::prepare_regulate_flow — no initial
+  /// GP, the incumbent IS the starting placement.  Shares the prepared pool
+  /// and the "prepared" peer artifact kind; the key binds design, placement
+  /// and grid, so a second ECO job on the same inputs skips preparation
+  /// entirely while a revised placement re-prepares against the still-warm
+  /// design.
+  std::shared_ptr<const PreparedArtifact> prepared_regulate_for(
+      const std::shared_ptr<const DesignArtifact>& design,
+      const std::shared_ptr<const PlacementArtifact>& placement,
+      const place::FlowOptions& flow);
 
   CacheStats stats() const;
 
@@ -186,15 +220,18 @@ class ArtifactCache {
   PeerFetchFn peer_fetcher_copy() const;
 
   mutable std::mutex mutex_ MP_GUARDS(designs_, prepared_, weights_,
-                                      designs_inflight_, prepared_inflight_,
-                                      weights_inflight_, stats_,
+                                      placements_, designs_inflight_,
+                                      prepared_inflight_, weights_inflight_,
+                                      placements_inflight_, stats_,
                                       peer_fetcher_);
   LruPool<DesignArtifact> designs_ MP_GUARDED_BY(mutex_);
   LruPool<PreparedArtifact> prepared_ MP_GUARDED_BY(mutex_);
   LruPool<WeightsArtifact> weights_ MP_GUARDED_BY(mutex_);
+  LruPool<PlacementArtifact> placements_ MP_GUARDED_BY(mutex_);
   InFlightMap<DesignArtifact> designs_inflight_ MP_GUARDED_BY(mutex_);
   InFlightMap<PreparedArtifact> prepared_inflight_ MP_GUARDED_BY(mutex_);
   InFlightMap<WeightsArtifact> weights_inflight_ MP_GUARDED_BY(mutex_);
+  InFlightMap<PlacementArtifact> placements_inflight_ MP_GUARDED_BY(mutex_);
   CacheStats stats_ MP_GUARDED_BY(mutex_);
   PeerFetchFn peer_fetcher_ MP_GUARDED_BY(mutex_);
 };

@@ -85,24 +85,78 @@ benchgen::BenchSpec parse_synthetic(const Json& json) {
   return spec;
 }
 
+// Every accepted preset spelling, for the "preset" error message — built
+// from the one shared table so the message can never drift from the parser.
+std::string preset_name_list() {
+  std::string names;
+  for (const place::PresetAlias& alias : place::preset_aliases()) {
+    if (!names.empty()) names += '|';
+    names += alias.name;
+  }
+  return names;
+}
+
+void parse_regulate_block(const Json& json, JobSpec& spec) {
+  if (!json.is_object()) bad("regulate", "must be an object");
+  static const std::set<std::string> known = {"radius", "max_moves", "frozen"};
+  for (const auto& [key, value] : json.members()) {
+    const std::string qualified = "regulate." + key;
+    if (known.count(key) == 0) bad(qualified, "is not a known field");
+    if (key == "radius") {
+      spec.regulate_radius = require_int(value, qualified, 0, 256);
+    } else if (key == "max_moves") {
+      spec.regulate_max_moves = require_int(value, qualified, 0, 1000000);
+    } else if (key == "frozen") {
+      if (!value.is_array()) bad(qualified, "must be an array of strings");
+      for (const Json& item : value.items()) {
+        spec.regulate_frozen.push_back(require_string(item, qualified + "[]"));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 JobSpec parse_job_spec(const Json& json) {
   if (!json.is_object()) throw JobError("job spec must be a JSON object");
   JobSpec spec;
-  static const std::set<std::string> known = {
+  // The schema version gates which fields exist, so resolve it before the
+  // member loop (object members iterate in sorted order, not input order).
+  if (const Json* schema = json.find("schema")) {
+    spec.schema = require_int(*schema, "schema", 1, 1000000);
+    if (spec.schema != 1 && spec.schema != 2) {
+      bad("schema", "is not supported (accepted schema versions: 1, 2)");
+    }
+  }
+  static const std::set<std::string> known_v1 = {
       "design",   "synthetic", "preset",  "seed",    "threads",
       "deadline_s", "priority", "episodes", "gamma", "grid",
-      "channels", "blocks",    "weights", "out"};
+      "channels", "blocks",    "weights", "out",     "schema"};
+  static const std::set<std::string> known_v2 = {"initial_placement",
+                                                 "regulate"};
   for (const auto& [key, value] : json.members()) {
-    if (known.count(key) == 0) bad(key, "is not a known field");
+    if (known_v1.count(key) == 0) {
+      if (known_v2.count(key) == 0) bad(key, "is not a known field");
+      if (spec.schema < 2) {
+        bad(key, "requires \"schema\": 2 (accepted schema versions: 1, 2)");
+      }
+    }
+    if (key == "schema") continue;  // resolved above
+    if (key == "initial_placement") {
+      spec.initial_placement_path = require_string(value, key);
+      continue;
+    }
+    if (key == "regulate") {
+      parse_regulate_block(value, spec);
+      continue;
+    }
     if (key == "design") spec.design_path = require_string(value, key);
     else if (key == "synthetic") {
       spec.use_synthetic = true;
       spec.synthetic = parse_synthetic(value);
     } else if (key == "preset") {
       if (!parse_preset(require_string(value, key), spec.preset)) {
-        bad(key, "must be one of mcts|rl_only|sa|wiremask|analytic");
+        bad(key, "must be one of " + preset_name_list());
       }
     } else if (key == "seed") {
       spec.seed =
@@ -139,6 +193,17 @@ JobSpec parse_job_spec(const Json& json) {
     throw JobError(
         "job spec: \"design\" and \"synthetic\" are mutually exclusive");
   }
+  if (spec.preset == FlowPreset::kRegulate) {
+    if (spec.schema < 2) {
+      bad("preset",
+          "\"regulate\" requires \"schema\": 2 "
+          "(accepted schema versions: 1, 2)");
+    }
+    if (spec.initial_placement_path.empty()) {
+      throw JobError(
+          "job spec: preset \"regulate\" requires \"initial_placement\"");
+    }
+  }
   return spec;
 }
 
@@ -173,6 +238,22 @@ Json job_spec_to_json(const JobSpec& spec) {
   j["blocks"] = Json::number(spec.blocks);
   j["weights"] = Json::string(spec.weights_path);
   j["out"] = Json::string(spec.out_prefix);
+  // v2 fields (and the "schema" key itself) are emitted only for schema 2:
+  // a v1 spec's canonical bytes — and so its content-hash job ID — must stay
+  // byte-identical to what pre-v2 servers produced.
+  if (spec.schema >= 2) {
+    j["schema"] = Json::number(spec.schema);
+    j["initial_placement"] = Json::string(spec.initial_placement_path);
+    Json r = Json::object();
+    r["radius"] = Json::number(spec.regulate_radius);
+    r["max_moves"] = Json::number(spec.regulate_max_moves);
+    Json frozen = Json::array();
+    for (const std::string& name : spec.regulate_frozen) {
+      frozen.push_back(Json::string(name));
+    }
+    r["frozen"] = frozen;
+    j["regulate"] = r;
+  }
   return j;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "benchgen/generator.hpp"
 #include "place/placer.hpp"
@@ -36,6 +37,14 @@ using place::parse_preset;
 using place::preset_name;
 
 struct JobSpec {
+  /// Job JSON schema version.  1 is the original from-scratch job schema;
+  /// 2 adds the ECO fields (`initial_placement`, the `regulate` knob block)
+  /// and is required by preset "regulate".  v1 documents parse unchanged,
+  /// and a v1 spec serializes without a "schema" key, so v1 canonical bytes
+  /// — and therefore content-hash job IDs — are byte-stable across the v2
+  /// introduction.
+  int schema = 1;
+
   /// Bookshelf prefix (<prefix>.nodes/.nets/.pl).  Exactly one of
   /// `design_path` / `use_synthetic` must be set.
   std::string design_path;
@@ -72,6 +81,18 @@ struct JobSpec {
   std::string weights_path;
   /// Optional Bookshelf output prefix for the placed design.
   std::string out_prefix;
+
+  // --- schema 2 (ECO / regulate jobs) ---
+  /// Standalone `.pl` file holding the incumbent placement the regulate
+  /// flow refines.  Required by preset "regulate"; cached by content hash
+  /// like the weights file.
+  std::string initial_placement_path;
+  /// Trust-region Chebyshev radius in grid cells (regulate.radius).
+  int regulate_radius = 2;
+  /// Cap on moved groups, by descending tension; 0 = unbounded.
+  int regulate_max_moves = 0;
+  /// Macro names pinned to their incumbent position.
+  std::vector<std::string> regulate_frozen;
 };
 
 /// Validates and converts; throws JobError naming the bad key.  The JSON

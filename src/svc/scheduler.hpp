@@ -60,6 +60,9 @@ struct JobOutcome {
   /// fingerprint clients use for bit-identity checks (docs/SERVICE.md).
   std::uint64_t placement_hash = 0;
   int macro_groups = 0;
+  // --- regulate (ECO) jobs only ---
+  double input_hpwl = 0.0;  ///< HPWL of the incumbent placement as received
+  int moved_groups = 0;     ///< groups re-anchored inside the trust region
 };
 
 /// Copyable view of one job's lifecycle, returned by status()/jobs().

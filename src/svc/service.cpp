@@ -40,6 +40,9 @@ place::PresetKnobs knobs_for(const JobSpec& spec) {
   knobs.channels = spec.channels;
   knobs.blocks = spec.blocks;
   knobs.seed = spec.seed;
+  knobs.regulate_radius = spec.regulate_radius;
+  knobs.regulate_max_moves = spec.regulate_max_moves;
+  knobs.regulate_frozen = spec.regulate_frozen;
   return knobs;
 }
 
@@ -48,7 +51,7 @@ place::PresetKnobs knobs_for(const JobSpec& spec) {
 LocalService::LocalService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_designs, options.cache_prepared,
-             options.cache_weights) {
+             options.cache_weights, options.cache_placements) {
   if (options_.workers <= 0) {
     options_.workers = std::max(1, util::env_int("MP_WORKERS", 1));
   }
@@ -167,10 +170,31 @@ JobOutcome LocalService::execute(const std::string& id, const JobSpec& spec,
     // comparable across engine-on and engine-off deployments.
     if (infer_engine_ != nullptr) {
       pspec.mcts_rl.mcts.infer_engine = infer_engine_.get();
+      pspec.regulate.mcts.infer_engine = infer_engine_.get();
     }
 
-    if (spec.preset == FlowPreset::kMcts ||
-        spec.preset == FlowPreset::kRlOnly) {
+    if (spec.preset == FlowPreset::kRegulate) {
+      if (!spec.weights_path.empty()) {
+        pspec.regulate.initial_parameters =
+            cache_.weights_for(spec.weights_path)->parameters;
+      }
+      const std::shared_ptr<const PlacementArtifact> placement =
+          cache_.placement_for(spec.initial_placement_path);
+      const std::shared_ptr<const PreparedArtifact> prepared =
+          cache_.prepared_regulate_for(loaded, placement,
+                                       pspec.regulate.flow);
+      design = prepared->design;  // base design + incumbent placement
+      place::PreparedFlow warm{prepared->context};
+      const place::PlaceResult r = place::run(design, pspec, &warm);
+      out.hpwl = r.hpwl;
+      out.coarse_wirelength = r.coarse_wirelength;
+      out.cancelled = r.cancelled;
+      out.finalized = r.finalized;
+      out.macro_groups = r.macro_groups;
+      out.input_hpwl = r.input_hpwl;
+      out.moved_groups = r.moved_groups;
+    } else if (spec.preset == FlowPreset::kMcts ||
+               spec.preset == FlowPreset::kRlOnly) {
       if (!spec.weights_path.empty()) {
         pspec.mcts_rl.initial_parameters =
             cache_.weights_for(spec.weights_path)->parameters;
@@ -232,6 +256,11 @@ Json LocalService::job_to_json(const JobSnapshot& snap) {
     o["finalized"] = Json::boolean(snap.outcome.finalized);
     o["placement_hash"] = Json::string(hash_hex(snap.outcome.placement_hash));
     o["macro_groups"] = Json::number(snap.outcome.macro_groups);
+    // ECO-only fields, gated so v1 job documents keep their exact shape.
+    if (snap.spec.preset == FlowPreset::kRegulate) {
+      o["input_hpwl"] = Json::number(snap.outcome.input_hpwl);
+      o["moved_groups"] = Json::number(snap.outcome.moved_groups);
+    }
     j["outcome"] = o;
   }
   return j;
@@ -260,6 +289,13 @@ bool LocalService::artifact_blob(const std::string& kind,
     }
     return false;
   }
+  if (kind == "placement") {
+    if (const auto a = cache_.peek_placement(key)) {
+      *blob = net::serialize_placement(a->entries);
+      return true;
+    }
+    return false;
+  }
   return false;
 }
 
@@ -268,10 +304,10 @@ void LocalService::refresh_slo_cache_gauges() {
   obs::Registry& reg = slo_ctx_.registry();
   reg.gauge("svc.cache_hit")
       .set(static_cast<double>(cache.design_hits + cache.prepared_hits +
-                               cache.weights_hits));
+                               cache.weights_hits + cache.placement_hits));
   reg.gauge("svc.cache_miss")
       .set(static_cast<double>(cache.design_misses + cache.prepared_misses +
-                               cache.weights_misses));
+                               cache.weights_misses + cache.placement_misses));
 }
 
 namespace {
@@ -348,9 +384,12 @@ Json LocalService::stats_json() const {
   cache_obj["prepared_misses"] = Json::number(cache.prepared_misses);
   cache_obj["weights_hits"] = Json::number(cache.weights_hits);
   cache_obj["weights_misses"] = Json::number(cache.weights_misses);
+  cache_obj["placement_hits"] = Json::number(cache.placement_hits);
+  cache_obj["placement_misses"] = Json::number(cache.placement_misses);
   cache_obj["design_peer_hits"] = Json::number(cache.design_peer_hits);
   cache_obj["prepared_peer_hits"] = Json::number(cache.prepared_peer_hits);
   cache_obj["weights_peer_hits"] = Json::number(cache.weights_peer_hits);
+  cache_obj["placement_peer_hits"] = Json::number(cache.placement_peer_hits);
   j["cache"] = cache_obj;
   j["workers"] = Json::number(workers());
   j["threads"] = Json::number(par::num_threads());

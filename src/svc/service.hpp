@@ -39,6 +39,7 @@ struct ServiceOptions {
   std::size_t cache_designs = 8;
   std::size_t cache_prepared = 8;
   std::size_t cache_weights = 4;
+  std::size_t cache_placements = 4;  ///< incumbent placements (ECO jobs)
   /// Stream per-phase progress by installing the process-wide
   /// obs::set_span_listener (removed again on destruction).  At most one
   /// service per process should enable this.

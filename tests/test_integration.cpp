@@ -1,7 +1,8 @@
 // End-to-end tests of the paper's full flow (Algorithm 1) on small designs:
 // the placement must be complete, legal and measurable, and the MCTS stage
 // must not lose to the pure-RL rollout by a large margin (Fig. 5's claim in
-// weak form suitable for a smoke test).
+// weak form suitable for a smoke test).  Everything goes through the unified
+// place::run facade.
 
 #include <gtest/gtest.h>
 
@@ -12,7 +13,6 @@
 #include "benchgen/generator.hpp"
 #include "io/plot.hpp"
 #include "place/placer.hpp"
-#include "place/rl_only_placer.hpp"
 
 namespace mp::place {
 namespace {
@@ -43,9 +43,17 @@ netlist::Design bench(std::uint64_t seed, int macros = 10,
   return benchgen::generate(spec);
 }
 
+PlaceResult run_flow(netlist::Design& d, const MctsRlOptions& options,
+                     Preset preset = Preset::kMcts) {
+  PlacerSpec spec;
+  spec.preset = preset;
+  spec.mcts_rl = options;
+  return run(d, spec);
+}
+
 TEST(FullFlow, EndToEndLegalPlacement) {
   netlist::Design d = bench(90);
-  const MctsRlResult r = mcts_rl_place(d, fast_options());
+  const PlaceResult r = run_flow(d, fast_options());
 
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_GT(r.hpwl, 0.0);
@@ -61,14 +69,14 @@ TEST(FullFlow, EndToEndLegalPlacement) {
 
 TEST(FullFlow, WorksWithHierarchyAndPreplaced) {
   netlist::Design d = bench(91, 8, /*hierarchy=*/true, /*preplaced=*/3);
-  const MctsRlResult r = mcts_rl_place(d, fast_options());
+  const PlaceResult r = run_flow(d, fast_options());
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
 }
 
 TEST(FullFlow, TrainingRewardsRecorded) {
   netlist::Design d = bench(92);
-  const MctsRlResult r = mcts_rl_place(d, fast_options());
+  const PlaceResult r = run_flow(d, fast_options());
   EXPECT_EQ(r.train_result.episodes.size(), 10u);
   EXPECT_GT(r.train_seconds, 0.0);
   EXPECT_GT(r.mcts_seconds, 0.0);
@@ -78,8 +86,8 @@ TEST(FullFlow, MctsNotMuchWorseThanRlOnly) {
   netlist::Design d_mcts = bench(93);
   netlist::Design d_rl = bench(93);
   const MctsRlOptions options = fast_options();
-  const MctsRlResult r_mcts = mcts_rl_place(d_mcts, options);
-  const RlOnlyResult r_rl = rl_only_place(d_rl, options);
+  const PlaceResult r_mcts = run_flow(d_mcts, options);
+  const PlaceResult r_rl = run_flow(d_rl, options, Preset::kRlOnly);
   // Fig. 5: MCTS ≥ RL at any stage.  The smoke budget here is tiny (10
   // episodes, 12 explorations) and the RL-only result takes best-of-training,
   // so only guard against a blow-out; bench_fig5 measures the real effect.
@@ -90,15 +98,15 @@ TEST(FullFlow, DeterministicWithFixedSeeds) {
   netlist::Design d1 = bench(94);
   netlist::Design d2 = bench(94);
   const MctsRlOptions options = fast_options();
-  const MctsRlResult r1 = mcts_rl_place(d1, options);
-  const MctsRlResult r2 = mcts_rl_place(d2, options);
+  const PlaceResult r1 = run_flow(d1, options);
+  const PlaceResult r2 = run_flow(d2, options);
   EXPECT_DOUBLE_EQ(r1.hpwl, r2.hpwl);
   EXPECT_DOUBLE_EQ(r1.coarse_wirelength, r2.coarse_wirelength);
 }
 
 TEST(FullFlow, PlacementCanBePlotted) {
   netlist::Design d = bench(95, 6);
-  mcts_rl_place(d, fast_options());
+  run_flow(d, fast_options());
   const std::string path = "/tmp/mp_test_flow_plot.ppm";
   io::PlotOptions plot;
   plot.width_px = 64;
@@ -110,7 +118,7 @@ TEST(FullFlow, PlacementCanBePlotted) {
 
 TEST(RlOnly, ProducesLegalPlacement) {
   netlist::Design d = bench(96);
-  const RlOnlyResult r = rl_only_place(d, fast_options());
+  const PlaceResult r = run_flow(d, fast_options(), Preset::kRlOnly);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
 }

@@ -93,7 +93,8 @@ TEST(LintPolicy, ResultAffectingDirsGetDeterminism) {
   for (const char* path :
        {"src/mcts/mcts.cpp", "src/rl/policy.hpp", "src/gp/wirelength.cpp",
         "src/qp/solver.cpp", "src/legal/legalize.cpp", "src/nn/net.cpp",
-        "src/place/placer.cpp", "src/grid/grid.hpp", "src/netlist/design.cpp",
+        "src/place/placer.cpp", "src/place/regulate_placer.cpp",
+        "src/grid/grid.hpp", "src/netlist/design.cpp",
         "src/linalg/vec.hpp", "src/infer/engine.cpp", "src/infer/engine.hpp"}) {
     EXPECT_TRUE(policy_for(path).determinism) << path;
     EXPECT_TRUE(policy_for(path).lint) << path;

@@ -1,14 +1,13 @@
 // Tests for the baseline placers: each must produce a legal, in-region,
-// finite-HPWL placement on small synthetic designs.
+// finite-HPWL placement on small synthetic designs.  All flows run through
+// the unified place::run facade.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "benchgen/generator.hpp"
-#include "place/analytic_placer.hpp"
-#include "place/sa_placer.hpp"
-#include "place/wiremask_placer.hpp"
+#include "place/placer.hpp"
 
 namespace mp::place {
 namespace {
@@ -33,13 +32,34 @@ void expect_legal(const netlist::Design& d) {
   }
 }
 
+PlaceResult run_sa(netlist::Design& d, const SaOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kSa;
+  spec.sa = options;
+  return run(d, spec);
+}
+
+PlaceResult run_wiremask(netlist::Design& d, const WiremaskOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kWiremask;
+  spec.wiremask = options;
+  return run(d, spec);
+}
+
+PlaceResult run_analytic(netlist::Design& d, const AnalyticOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kAnalytic;
+  spec.analytic = options;
+  return run(d, spec);
+}
+
 TEST(SaPlacer, ProducesLegalPlacement) {
   netlist::Design d = small_bench(80);
   SaOptions options;
   options.iterations = 2000;
   options.initial_gp.max_iterations = 3;
   options.final_gp.max_iterations = 4;
-  const SaResult r = sa_place(d, options);
+  const PlaceResult r = run_sa(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_GT(r.hpwl, 0.0);
   expect_legal(d);
@@ -51,8 +71,8 @@ TEST(SaPlacer, AcceptsSomeMoves) {
   options.iterations = 1000;
   options.initial_gp.max_iterations = 2;
   options.final_gp.max_iterations = 3;
-  const SaResult r = sa_place(d, options);
-  EXPECT_GT(r.accept_ratio, 0.0);
+  const PlaceResult r = run_sa(d, options);
+  EXPECT_GT(r.sa_accept_ratio, 0.0);
 }
 
 TEST(SaPlacer, MoreIterationsHelpOrEqual) {
@@ -65,8 +85,8 @@ TEST(SaPlacer, MoreIterationsHelpOrEqual) {
   short_run.seed = 4;
   SaOptions long_run = short_run;
   long_run.iterations = 4000;
-  const SaResult r_short = sa_place(d1, short_run);
-  const SaResult r_long = sa_place(d2, long_run);
+  const PlaceResult r_short = run_sa(d1, short_run);
+  const PlaceResult r_long = run_sa(d2, long_run);
   EXPECT_LT(r_long.hpwl, r_short.hpwl * 1.2);
 }
 
@@ -80,7 +100,7 @@ TEST(SaPlacer, HandlesPreplacedMacros) {
   options.iterations = 800;
   options.initial_gp.max_iterations = 2;
   options.final_gp.max_iterations = 3;
-  sa_place(d, options);
+  run_sa(d, options);
   std::size_t k = 0;
   for (netlist::NodeId id : d.macros()) {
     if (!d.node(id).fixed) continue;
@@ -95,9 +115,9 @@ TEST(WiremaskPlacer, ProducesLegalPlacement) {
   options.grid_dim = 8;
   options.initial_gp.max_iterations = 3;
   options.final_gp.max_iterations = 4;
-  const WiremaskResult r = wiremask_place(d, options);
+  const PlaceResult r = run_wiremask(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
-  EXPECT_GT(r.candidates_evaluated, 0);
+  EXPECT_GT(r.wiremask_candidates, 0);
   expect_legal(d);
 }
 
@@ -109,7 +129,7 @@ TEST(WiremaskPlacer, RespectsOccupancyPreference) {
   options.grid_dim = 6;
   options.initial_gp.max_iterations = 2;
   options.final_gp.max_iterations = 3;
-  wiremask_place(d, options);
+  run_wiremask(d, options);
   // At least two distinct macro positions.
   const auto& macros = d.movable_macros();
   bool distinct = false;
@@ -127,7 +147,7 @@ TEST(AnalyticPlacer, ProducesLegalPlacement) {
   AnalyticOptions options;
   options.mixed_gp.max_iterations = 6;
   options.final_gp.max_iterations = 4;
-  const AnalyticResult r = analytic_place(d, options);
+  const PlaceResult r = run_analytic(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   expect_legal(d);
 }
@@ -137,7 +157,7 @@ TEST(AnalyticPlacer, WorksWithoutMacros) {
   AnalyticOptions options;
   options.mixed_gp.max_iterations = 4;
   options.final_gp.max_iterations = 3;
-  const AnalyticResult r = analytic_place(d, options);
+  const PlaceResult r = run_analytic(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_GT(r.hpwl, 0.0);
 }
@@ -155,8 +175,8 @@ TEST(Baselines, ComparableMagnitudes) {
   wm.grid_dim = 8;
   wm.initial_gp.max_iterations = 3;
   wm.final_gp.max_iterations = 3;
-  const double hpwl_sa = sa_place(d1, sa).hpwl;
-  const double hpwl_wm = wiremask_place(d2, wm).hpwl;
+  const double hpwl_sa = run_sa(d1, sa).hpwl;
+  const double hpwl_wm = run_wiremask(d2, wm).hpwl;
   EXPECT_LT(hpwl_sa, hpwl_wm * 10.0);
   EXPECT_LT(hpwl_wm, hpwl_sa * 10.0);
 }

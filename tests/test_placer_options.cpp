@@ -1,5 +1,6 @@
 // Tests for MctsRlOptions variants: analytic guidance on/off, hill climb,
-// overflow penalty, leaf-mode selection through the full flow.
+// overflow penalty, leaf-mode selection through the full flow (all driven
+// through the unified place::run facade).
 
 #include <gtest/gtest.h>
 
@@ -34,13 +35,20 @@ MctsRlOptions fast_options() {
   return options;
 }
 
+PlaceResult run_mcts(netlist::Design& d, const MctsRlOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kMcts;
+  spec.mcts_rl = options;
+  return run(d, spec);
+}
+
 TEST(PlacerOptions, PaperFaithfulModeRuns) {
   netlist::Design d = bench(900);
   MctsRlOptions options = fast_options();
   options.analytic_guidance = false;  // pure pi_theta / v_theta search
   options.mcts.leaf_evaluation = mcts::LeafEvaluation::kValueNetwork;
   options.flow.refine_rounds = 0;     // paper-verbatim finalize
-  const MctsRlResult r = mcts_rl_place(d, options);
+  const PlaceResult r = run_mcts(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
 }
@@ -52,8 +60,8 @@ TEST(PlacerOptions, GuidanceNotWorseThanPureSearch) {
   guided.mcts.leaf_evaluation = mcts::LeafEvaluation::kPartialPlacement;
   MctsRlOptions pure = guided;
   pure.analytic_guidance = false;
-  const MctsRlResult r_guided = mcts_rl_place(d_guided, guided);
-  const MctsRlResult r_pure = mcts_rl_place(d_pure, pure);
+  const PlaceResult r_guided = run_mcts(d_guided, guided);
+  const PlaceResult r_pure = run_mcts(d_pure, pure);
   // The analytic seed lines go through best-seen tracking, so the guided
   // coarse objective can only match or beat the pure search.
   EXPECT_LE(r_guided.coarse_wirelength, r_pure.coarse_wirelength * 1.001);
@@ -66,8 +74,8 @@ TEST(PlacerOptions, HillClimbImprovesCoarseObjective) {
   off.hill_climb_rounds = 0;
   MctsRlOptions on = off;
   on.hill_climb_rounds = 2;
-  const MctsRlResult r_off = mcts_rl_place(d_off, off);
-  const MctsRlResult r_on = mcts_rl_place(d_on, on);
+  const PlaceResult r_off = run_mcts(d_off, off);
+  const PlaceResult r_on = run_mcts(d_on, on);
   // Hill climb is greedy descent on the coarse objective: never worse there
   // (final HPWL may differ either way; see the design notes).
   EXPECT_LE(r_on.coarse_wirelength, r_off.coarse_wirelength + 1e-9);
@@ -77,7 +85,7 @@ TEST(PlacerOptions, OverflowPenaltyChangesObjectiveScale) {
   netlist::Design d = bench(903);
   MctsRlOptions options = fast_options();
   options.overflow_penalty = 2.0;
-  const MctsRlResult r = mcts_rl_place(d, options);
+  const PlaceResult r = run_mcts(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_GT(r.coarse_wirelength, 0.0);
 }
@@ -86,7 +94,7 @@ TEST(PlacerOptions, RowLegalCellsEndToEnd) {
   netlist::Design d = bench(904);
   MctsRlOptions options = fast_options();
   options.flow.row_legal_cells = true;
-  const MctsRlResult r = mcts_rl_place(d, options);
+  const PlaceResult r = run_mcts(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_DOUBLE_EQ(r.hpwl, d.total_hpwl());
 }

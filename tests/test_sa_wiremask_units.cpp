@@ -1,13 +1,14 @@
 // Focused unit tests for the SA and wiremask baselines' internal behavior
-// (beyond the end-to-end checks in test_place.cpp).
+// (beyond the end-to-end checks in test_place.cpp).  All flows go through the
+// unified place::run facade; per-flow detail lands in PlaceResult
+// (sa_final_cost, sa_accept_ratio, wiremask_candidates).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "benchgen/generator.hpp"
-#include "place/sa_placer.hpp"
-#include "place/wiremask_placer.hpp"
+#include "place/placer.hpp"
 
 namespace mp::place {
 namespace {
@@ -21,6 +22,20 @@ netlist::Design bench(std::uint64_t seed, int macros = 8) {
   return benchgen::generate(spec);
 }
 
+PlaceResult run_sa(netlist::Design& d, const SaOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kSa;
+  spec.sa = options;
+  return run(d, spec);
+}
+
+PlaceResult run_wiremask(netlist::Design& d, const WiremaskOptions& options) {
+  PlacerSpec spec;
+  spec.preset = Preset::kWiremask;
+  spec.wiremask = options;
+  return run(d, spec);
+}
+
 TEST(SaUnit, DeterministicForSameSeed) {
   SaOptions options;
   options.iterations = 500;
@@ -29,10 +44,10 @@ TEST(SaUnit, DeterministicForSameSeed) {
   options.final_gp.max_iterations = 3;
   netlist::Design d1 = bench(600);
   netlist::Design d2 = bench(600);
-  const SaResult r1 = sa_place(d1, options);
-  const SaResult r2 = sa_place(d2, options);
+  const PlaceResult r1 = run_sa(d1, options);
+  const PlaceResult r2 = run_sa(d2, options);
   EXPECT_DOUBLE_EQ(r1.hpwl, r2.hpwl);
-  EXPECT_DOUBLE_EQ(r1.final_cost, r2.final_cost);
+  EXPECT_DOUBLE_EQ(r1.sa_final_cost, r2.sa_final_cost);
 }
 
 TEST(SaUnit, DifferentSeedsExploreDifferently) {
@@ -45,9 +60,9 @@ TEST(SaUnit, DifferentSeedsExploreDifferently) {
   b.seed = 2;
   netlist::Design d1 = bench(601);
   netlist::Design d2 = bench(601);
-  const SaResult r1 = sa_place(d1, a);
-  const SaResult r2 = sa_place(d2, b);
-  EXPECT_NE(r1.final_cost, r2.final_cost);
+  const PlaceResult r1 = run_sa(d1, a);
+  const PlaceResult r2 = run_sa(d2, b);
+  EXPECT_NE(r1.sa_final_cost, r2.sa_final_cost);
 }
 
 TEST(SaUnit, ZeroIterationsStillLegalizes) {
@@ -56,7 +71,7 @@ TEST(SaUnit, ZeroIterationsStillLegalizes) {
   options.initial_gp.max_iterations = 2;
   options.final_gp.max_iterations = 3;
   netlist::Design d = bench(602);
-  const SaResult r = sa_place(d, options);
+  const PlaceResult r = run_sa(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
   EXPECT_NEAR(d.macro_overlap_area(), 0.0, d.region().area() * 1e-9);
 }
@@ -74,7 +89,7 @@ TEST(SaUnit, WorksWithoutNets) {
   }
   SaOptions options;
   options.iterations = 200;
-  const SaResult r = sa_place(d, options);
+  const PlaceResult r = run_sa(d, options);
   EXPECT_NEAR(d.macro_overlap_area(), 0.0, 1e-6);
   EXPECT_DOUBLE_EQ(r.hpwl, 0.0);  // no nets, no wirelength
 }
@@ -86,8 +101,8 @@ TEST(WiremaskUnit, DeterministicAcrossRuns) {
   options.final_gp.max_iterations = 3;
   netlist::Design d1 = bench(603);
   netlist::Design d2 = bench(603);
-  EXPECT_DOUBLE_EQ(wiremask_place(d1, options).hpwl,
-                   wiremask_place(d2, options).hpwl);
+  EXPECT_DOUBLE_EQ(run_wiremask(d1, options).hpwl,
+                   run_wiremask(d2, options).hpwl);
 }
 
 TEST(WiremaskUnit, FinerGridNotCatastrophicallyWorse) {
@@ -99,8 +114,8 @@ TEST(WiremaskUnit, FinerGridNotCatastrophicallyWorse) {
   fine.grid_dim = 16;
   netlist::Design d1 = bench(604);
   netlist::Design d2 = bench(604);
-  const double h_coarse = wiremask_place(d1, coarse).hpwl;
-  const double h_fine = wiremask_place(d2, fine).hpwl;
+  const double h_coarse = run_wiremask(d1, coarse).hpwl;
+  const double h_fine = run_wiremask(d2, fine).hpwl;
   EXPECT_LT(h_fine, h_coarse * 1.5);
 }
 
@@ -113,9 +128,9 @@ TEST(WiremaskUnit, CandidateCountScalesWithGrid) {
   big.grid_dim = 16;
   netlist::Design d1 = bench(605);
   netlist::Design d2 = bench(605);
-  const auto r_small = wiremask_place(d1, small);
-  const auto r_big = wiremask_place(d2, big);
-  EXPECT_GT(r_big.candidates_evaluated, r_small.candidates_evaluated * 4);
+  const PlaceResult r_small = run_wiremask(d1, small);
+  const PlaceResult r_big = run_wiremask(d2, big);
+  EXPECT_GT(r_big.wiremask_candidates, r_small.wiremask_candidates * 4);
 }
 
 TEST(WiremaskUnit, NoMacrosIsGraceful) {
@@ -123,9 +138,9 @@ TEST(WiremaskUnit, NoMacrosIsGraceful) {
   WiremaskOptions options;
   options.initial_gp.max_iterations = 2;
   options.final_gp.max_iterations = 2;
-  const WiremaskResult r = wiremask_place(d, options);
+  const PlaceResult r = run_wiremask(d, options);
   EXPECT_TRUE(std::isfinite(r.hpwl));
-  EXPECT_EQ(r.candidates_evaluated, 0);
+  EXPECT_EQ(r.wiremask_candidates, 0);
 }
 
 }  // namespace

@@ -25,7 +25,6 @@
 #include "netlist/validate.hpp"
 #include "obs/obs.hpp"
 #include "place/placer.hpp"
-#include "place/rl_only_placer.hpp"
 #include "svc/budget.hpp"
 #include "svc/cache.hpp"
 #include "svc/client.hpp"
@@ -486,18 +485,17 @@ TEST(LocalService, ConcurrentMixedPresetJobsAllComplete) {
 TEST(LocalService, MctsJobBitIdenticalToOfflinePlacerCall) {
   const JobSpec spec = tiny_synthetic_spec();
 
-  // Offline path: the CLI's option derivation, cold, no service involved.
+  // Offline path: the shared preset derivation, cold, no service involved.
   netlist::Design design = benchgen::generate(spec.synthetic);
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.train.update_window =
-      std::min(30, std::max(3, spec.episodes / 6));
-  options.train.calibration_episodes = std::max(5, spec.episodes / 3);
-  options.mcts.explorations_per_move = spec.gamma;
-  const place::MctsRlResult direct = place::mcts_rl_place(design, options);
+  place::PresetKnobs knobs;
+  knobs.grid = spec.grid;
+  knobs.channels = spec.channels;
+  knobs.blocks = spec.blocks;
+  knobs.episodes = spec.episodes;
+  knobs.gamma = spec.gamma;
+  const place::PlacerSpec pspec =
+      place::spec_from_preset(place::Preset::kMcts, knobs);
+  const place::PlaceResult direct = place::run(design, pspec);
   const std::uint64_t offline_hash = placement_fingerprint(design);
 
   // Service path: same spec through the scheduler + warm cache machinery.
@@ -818,15 +816,16 @@ TEST(CancelToken, PreCancelledFlowReturnsPromptlyWithValidDesign) {
   ScopedValidateLevel deep(2);
   const JobSpec spec = tiny_synthetic_spec();
   netlist::Design design = benchgen::generate(spec.synthetic);
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.mcts.explorations_per_move = spec.gamma;
-  options.cancel = util::CancelToken::make();
-  options.cancel.request_cancel();
-  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  place::PlacerSpec pspec;
+  pspec.preset = place::Preset::kMcts;
+  pspec.mcts_rl.flow.grid_dim = spec.grid;
+  pspec.mcts_rl.agent.channels = spec.channels;
+  pspec.mcts_rl.agent.res_blocks = spec.blocks;
+  pspec.mcts_rl.train.episodes = spec.episodes;
+  pspec.mcts_rl.mcts.explorations_per_move = spec.gamma;
+  pspec.cancel = util::CancelToken::make();
+  pspec.cancel.request_cancel();
+  const place::PlaceResult result = place::run(design, pspec);
   EXPECT_TRUE(result.cancelled);
   const netlist::ValidationReport report = netlist::validate_design(design);
   EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
@@ -837,15 +836,16 @@ TEST(CancelToken, DeadlineCancelsMidFlowLeavingValidDesign) {
   JobSpec spec = tiny_synthetic_spec();
   spec.episodes = 600;  // would run for a long time uncancelled
   netlist::Design design = benchgen::generate(spec.synthetic);
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.mcts.explorations_per_move = spec.gamma;
-  options.cancel = util::CancelToken::make();
-  options.cancel.set_deadline_after(0.2);
-  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  place::PlacerSpec pspec;
+  pspec.preset = place::Preset::kMcts;
+  pspec.mcts_rl.flow.grid_dim = spec.grid;
+  pspec.mcts_rl.agent.channels = spec.channels;
+  pspec.mcts_rl.agent.res_blocks = spec.blocks;
+  pspec.mcts_rl.train.episodes = spec.episodes;
+  pspec.mcts_rl.mcts.explorations_per_move = spec.gamma;
+  pspec.cancel = util::CancelToken::make();
+  pspec.cancel.set_deadline_after(0.2);
+  const place::PlaceResult result = place::run(design, pspec);
   EXPECT_TRUE(result.cancelled);
   const netlist::ValidationReport report = netlist::validate_design(design);
   EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
@@ -855,18 +855,19 @@ TEST(CancelToken, MidFlowCancelFromAnotherThreadStopsSelfPlay) {
   JobSpec spec = tiny_synthetic_spec();
   spec.episodes = 600;
   netlist::Design design = benchgen::generate(spec.synthetic);
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.mcts.explorations_per_move = spec.gamma;
-  options.cancel = util::CancelToken::make();
-  std::thread canceller([token = options.cancel] {
+  place::PlacerSpec pspec;
+  pspec.preset = place::Preset::kMcts;
+  pspec.mcts_rl.flow.grid_dim = spec.grid;
+  pspec.mcts_rl.agent.channels = spec.channels;
+  pspec.mcts_rl.train.episodes = spec.episodes;
+  pspec.mcts_rl.agent.res_blocks = spec.blocks;
+  pspec.mcts_rl.mcts.explorations_per_move = spec.gamma;
+  pspec.cancel = util::CancelToken::make();
+  std::thread canceller([token = pspec.cancel] {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     token.request_cancel();
   });
-  const place::MctsRlResult result = place::mcts_rl_place(design, options);
+  const place::PlaceResult result = place::run(design, pspec);
   canceller.join();
   EXPECT_TRUE(result.cancelled);
   EXPECT_TRUE(netlist::validate_design(design).ok());
@@ -874,19 +875,20 @@ TEST(CancelToken, MidFlowCancelFromAnotherThreadStopsSelfPlay) {
 
 TEST(CancelToken, UntriggeredTokenIsBitIdenticalToNoToken) {
   const JobSpec spec = tiny_synthetic_spec();
-  place::MctsRlOptions options;
-  options.flow.grid_dim = spec.grid;
-  options.agent.channels = spec.channels;
-  options.agent.res_blocks = spec.blocks;
-  options.train.episodes = spec.episodes;
-  options.mcts.explorations_per_move = spec.gamma;
+  place::PlacerSpec pspec;
+  pspec.preset = place::Preset::kMcts;
+  pspec.mcts_rl.flow.grid_dim = spec.grid;
+  pspec.mcts_rl.agent.channels = spec.channels;
+  pspec.mcts_rl.agent.res_blocks = spec.blocks;
+  pspec.mcts_rl.train.episodes = spec.episodes;
+  pspec.mcts_rl.mcts.explorations_per_move = spec.gamma;
 
   netlist::Design inert = benchgen::generate(spec.synthetic);
-  const place::MctsRlResult a = place::mcts_rl_place(inert, options);
+  const place::PlaceResult a = place::run(inert, pspec);
 
   netlist::Design armed = benchgen::generate(spec.synthetic);
-  options.cancel = util::CancelToken::make();  // live but never cancelled
-  const place::MctsRlResult b = place::mcts_rl_place(armed, options);
+  pspec.cancel = util::CancelToken::make();  // live but never cancelled
+  const place::PlaceResult b = place::run(armed, pspec);
 
   EXPECT_FALSE(a.cancelled);
   EXPECT_FALSE(b.cancelled);
